@@ -1,0 +1,96 @@
+//! GPU baseline models: Nvidia RTX 4090 and RTX A6000 running cuSparse
+//! (§5.2 / §6.2.1).
+//!
+//! The parameters are curve fits to the paper's published measurements —
+//! peak SpMV throughput of 19.83 GFLOPS (RTX 4090) and 44.20 GFLOPS
+//! (RTX A6000), average powers of 70 W and 65 W — not datasheet numbers.
+//! Two effects dominate, both named by the paper:
+//!
+//! * a fixed kernel-launch + driver overhead that floors latency for the
+//!   small (L2-resident) matrices of the evaluation, and
+//! * SM pipeline underutilization on irregular accesses, modelled by the
+//!   short-row derating.
+//!
+//! The paper's counter-intuitive measurement — the server-class A6000
+//! beating the 4090 on cuSparse SpMV despite lower raw bandwidth — is
+//! attributed to its larger L2 (96 MB vs 72 MB) and better sustained
+//! cache throughput on this access pattern; the fits encode that.
+
+use crate::device::DeviceModel;
+
+/// The Nvidia RTX 4090 (24 GB GDDR6X, 1008 GB/s, 72 MB L2, 144 SMs)
+/// running cuSparse CSR SpMV.
+pub fn rtx4090() -> DeviceModel {
+    DeviceModel {
+        name: "Nvidia RTX 4090 (cuSparse)",
+        overhead_s: 70e-6,
+        mem_bandwidth_gbps: 450.0,
+        cache_bytes: 72 * (1 << 20),
+        cache_bandwidth_gbps: 230.0,
+        half_efficiency_row_nnz: 10.0,
+        power_w: 70.0,
+    }
+}
+
+/// The Nvidia RTX A6000 (48 GB GDDR6, 768 GB/s, 96 MB L2, 84 SMs)
+/// running cuSparse CSR SpMV.
+pub fn rtx_a6000() -> DeviceModel {
+    DeviceModel {
+        name: "Nvidia RTX A6000 (cuSparse)",
+        overhead_s: 35e-6,
+        mem_bandwidth_gbps: 350.0,
+        cache_bytes: 96 * (1 << 20),
+        cache_bandwidth_gbps: 500.0,
+        half_efficiency_row_nnz: 5.0,
+        power_w: 65.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Peak throughput over a dense-row, cache-resident matrix should land
+    /// near the paper's measured peaks (within a factor-ish band — these
+    /// are curve fits, not cycle models).
+    #[test]
+    fn peak_throughputs_land_near_paper_measurements() {
+        // A favourable matrix: 1M nnz, ~33 nnz/row, fully L2-resident.
+        let (rows, cols, nnz) = (30_000, 30_000, 1_000_000);
+        let p4090 = rtx4090().predict(rows, cols, nnz);
+        let pa6000 = rtx_a6000().predict(rows, cols, nnz);
+        assert!(
+            (15.0..30.0).contains(&p4090.throughput_gflops),
+            "4090 peak {} should be near 19.83",
+            p4090.throughput_gflops
+        );
+        assert!(
+            (35.0..55.0).contains(&pa6000.throughput_gflops),
+            "A6000 peak {} should be near 44.20",
+            pa6000.throughput_gflops
+        );
+    }
+
+    #[test]
+    fn a6000_beats_4090_as_in_the_paper() {
+        let p1 = rtx4090().predict(20_000, 20_000, 500_000);
+        let p2 = rtx_a6000().predict(20_000, 20_000, 500_000);
+        assert!(p2.throughput_gflops > p1.throughput_gflops);
+    }
+
+    #[test]
+    fn launch_overhead_floors_small_matrices() {
+        let p = rtx4090().predict(1_000, 1_000, 10_000);
+        assert!(p.latency_s >= 18e-6);
+        // Throughput collapses for tiny problems.
+        assert!(p.throughput_gflops < 2.0, "got {}", p.throughput_gflops);
+    }
+
+    #[test]
+    fn evaluation_matrices_are_l2_resident() {
+        // §5.4: matrices are chosen small enough to fit GPU L2.
+        let bytes = DeviceModel::working_set_bytes(77_437, 77_437, 905_468);
+        assert!(bytes <= rtx4090().cache_bytes);
+        assert!(bytes <= rtx_a6000().cache_bytes);
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion benchmark of the 64-bit sparse-element wire codec.
+
+use chason_core::element::SparseElement;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let elements: Vec<SparseElement> = (0..4096u32)
+        .map(|i| SparseElement {
+            value: 1.0 + i as f32,
+            local_row: (i % 32_768) as u16,
+            pvt: i % 3 == 0,
+            pe_src: (i % 8) as u8,
+            local_col: (i % 8192) as u16,
+        })
+        .collect();
+    let words: Vec<u64> = elements.iter().map(SparseElement::pack).collect();
+
+    let mut group = c.benchmark_group("element-codec");
+    group.throughput(Throughput::Elements(elements.len() as u64));
+    group.bench_function("pack", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for e in &elements {
+                acc ^= black_box(e).pack();
+            }
+            acc
+        })
+    });
+    group.bench_function("unpack", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &w in &words {
+                if let Some(e) = SparseElement::unpack(black_box(w)) {
+                    acc += e.value;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the full accelerator engines (schedule +
+//! functional execution + cycle model) and the CPU SpMV baselines.
+
+use chason_baselines::parallel::{spmv_dynamic, spmv_static};
+use chason_baselines::reference::spmv_csr;
+use chason_sim::{AcceleratorConfig, ChasonEngine, SerpensEngine};
+use chason_sparse::generators::power_law;
+use chason_sparse::CsrMatrix;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_engines(c: &mut Criterion) {
+    let matrix = power_law(2048, 2048, 30_000, 1.7, 5);
+    let x = vec![1.0f32; matrix.cols()];
+    let chason = ChasonEngine::new(AcceleratorConfig::chason());
+    let serpens = SerpensEngine::new(AcceleratorConfig::serpens());
+
+    let mut group = c.benchmark_group("engines");
+    group.throughput(Throughput::Elements(matrix.nnz() as u64));
+    group.bench_function("chason", |b| {
+        b.iter(|| chason.run(&matrix, &x).expect("run succeeds").cycles.total())
+    });
+    group.bench_function("serpens", |b| {
+        b.iter(|| serpens.run(&matrix, &x).expect("run succeeds").cycles.total())
+    });
+    group.finish();
+}
+
+fn bench_cpu_baselines(c: &mut Criterion) {
+    let matrix = CsrMatrix::from(&power_law(4096, 4096, 120_000, 1.6, 9));
+    let x = vec![1.0f32; matrix.cols()];
+
+    let mut group = c.benchmark_group("cpu-spmv");
+    group.throughput(Throughput::Elements(matrix.nnz() as u64));
+    group.bench_function("serial", |b| b.iter(|| spmv_csr(&matrix, &x)));
+    group.bench_function("static-4t", |b| b.iter(|| spmv_static(&matrix, &x, 4)));
+    group.bench_function("dynamic-4t", |b| b.iter(|| spmv_dynamic(&matrix, &x, 4, 256)));
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let a = power_law(1024, 1024, 10_000, 1.7, 3);
+    let b = chason_sparse::DenseMatrix::from_fn(1024, 16, |r, q| ((r + q) % 5) as f32);
+    let c0 = chason_sparse::DenseMatrix::zeros(1024, 16);
+    let chason = ChasonEngine::new(AcceleratorConfig::chason());
+
+    let mut group = c.benchmark_group("spmm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((a.nnz() * 16) as u64));
+    group.bench_function("chason-16col", |bch| {
+        bch.iter(|| chason.run_spmm(&a, &b, 1.0, 0.0, &c0).expect("runs").mac_ops)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_cpu_baselines, bench_spmm);
+criterion_main!(benches);

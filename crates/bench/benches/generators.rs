@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the dataset generators and MatrixMarket IO —
+//! the preprocessing costs a downstream user pays before scheduling.
+
+use chason_sparse::generators::{arrow_with_nnz, mycielskian, power_law, uniform_random};
+use chason_sparse::market::{read_matrix_market, write_matrix_market};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const NNZ: usize = 50_000;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(NNZ as u64));
+    group.bench_function("uniform-50k", |b| {
+        b.iter(|| uniform_random(4096, 4096, NNZ, 7).nnz())
+    });
+    group.bench_function("powerlaw-50k", |b| {
+        b.iter(|| power_law(4096, 4096, NNZ, 1.7, 7).nnz())
+    });
+    group.bench_function("arrow-50k", |b| {
+        b.iter(|| arrow_with_nnz(4096, 4, 8, NNZ, 7).nnz())
+    });
+    group.bench_function("mycielskian-10", |b| b.iter(|| mycielskian(10, 0).nnz()));
+    group.finish();
+}
+
+fn bench_market_io(c: &mut Criterion) {
+    let m = uniform_random(4096, 4096, NNZ, 3);
+    let mut buf = Vec::new();
+    write_matrix_market(&mut buf, &m).expect("write succeeds");
+
+    let mut group = c.benchmark_group("matrix-market");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(buf.len() as u64));
+    group.bench_function("write-50k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            write_matrix_market(&mut out, &m).expect("write succeeds");
+            out.len()
+        })
+    });
+    group.bench_function("read-50k", |b| {
+        b.iter(|| read_matrix_market(buf.as_slice()).expect("read succeeds").nnz())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_market_io);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the three non-zero schedulers.
+//!
+//! These measure *scheduling* (offline preprocessing) throughput, the cost
+//! CrHCS adds over PE-aware scheduling.
+
+use chason_core::schedule::{Crhcs, PeAware, RowBased, Scheduler, SchedulerConfig};
+use chason_sparse::generators::{power_law, uniform_random};
+use chason_sparse::CooMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn workloads() -> Vec<(&'static str, CooMatrix)> {
+    vec![
+        ("uniform-20k", uniform_random(2048, 2048, 20_000, 7)),
+        ("powerlaw-20k", power_law(2048, 2048, 20_000, 1.7, 7)),
+    ]
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let config = SchedulerConfig::paper();
+    let mut group = c.benchmark_group("scheduling");
+    for (name, matrix) in workloads() {
+        group.throughput(Throughput::Elements(matrix.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("row-based", name), &matrix, |b, m| {
+            b.iter(|| RowBased::new().schedule(m, &config).stalls())
+        });
+        group.bench_with_input(BenchmarkId::new("pe-aware", name), &matrix, |b, m| {
+            b.iter(|| PeAware::new().schedule(m, &config).stalls())
+        });
+        group.bench_with_input(BenchmarkId::new("crhcs", name), &matrix, |b, m| {
+            b.iter(|| Crhcs::new().schedule(m, &config).stalls())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

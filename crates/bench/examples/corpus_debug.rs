@@ -1,0 +1,26 @@
+//! Prints per-corpus-matrix scheduling metrics for calibration debugging.
+use chason_core::metrics::windowed_metrics;
+use chason_core::schedule::{Crhcs, PeAware, SchedulerConfig};
+
+fn main() {
+    let config = SchedulerConfig::paper();
+    let w = chason_core::element::WINDOW;
+    for spec in chason_sparse::datasets::corpus(24, 1) {
+        let m = spec.generate();
+        let s = windowed_metrics(&PeAware::new(), &m, &config, w);
+        let c = windowed_metrics(&Crhcs::new(), &m, &config, w);
+        let st = chason_sparse::stats::row_stats(&m);
+        println!(
+            "{:2} {:28} n={:6} nnz={:7} maxrow={:5} | serpens {:5.1}% chason {:5.1}% | cycles {:6} -> {:6}",
+            spec.index,
+            format!("{:?}", spec.recipe).chars().take(28).collect::<String>(),
+            spec.dimension,
+            m.nnz(),
+            st.max_row_nnz,
+            s.underutilization_pct(),
+            c.underutilization_pct(),
+            s.stream_cycles,
+            c.stream_cycles,
+        );
+    }
+}

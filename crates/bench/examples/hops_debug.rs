@@ -1,0 +1,17 @@
+//! Debugs per-channel schedule lengths across migration-hop settings.
+use chason_core::schedule::{Crhcs, PeAware, Scheduler, SchedulerConfig};
+
+fn main() {
+    let m = chason_bench::experiments::ablation::workload(5);
+    for hops in 1..=3 {
+        let cfg = SchedulerConfig { migration_hops: hops, ..SchedulerConfig::paper() };
+        let s = Crhcs::new().schedule(&m, &cfg);
+        let lens: Vec<usize> = s.channels.iter().map(|c| c.cycles()).collect();
+        let nz: Vec<usize> = s.channels.iter().map(|c| c.nonzeros()).collect();
+        println!("hops {hops}: stream {} lens {:?}", s.stream_cycles(), lens);
+        println!("          nz {:?}", nz);
+    }
+    let p = PeAware::new().schedule(&m, &SchedulerConfig::paper());
+    let lens: Vec<usize> = p.channels.iter().map(|c| c.cycles()).collect();
+    println!("pe-aware: stream {} lens {:?}", p.stream_cycles(), lens);
+}

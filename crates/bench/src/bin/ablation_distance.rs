@@ -1,0 +1,5 @@
+//! Ablation (§2.2): accumulator dependency distance sweep.
+fn main() {
+    let r = chason_bench::experiments::ablation::dependency_distance(&[1, 2, 5, 10, 20], 1);
+    print!("{}", chason_bench::experiments::ablation::report(&r));
+}

@@ -1,0 +1,5 @@
+//! Ablation (§6.1): CrHCS migration scope — 1, 2 and 3 ring hops.
+fn main() {
+    let r = chason_bench::experiments::ablation::hops(3, 1);
+    print!("{}", chason_bench::experiments::ablation::report(&r));
+}

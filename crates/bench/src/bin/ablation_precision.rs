@@ -1,0 +1,5 @@
+//! Ablation (§5.5): FP32 (8 PEs/PEG) vs FP64 (5 PEs/PEG) scheduling.
+fn main() {
+    let r = chason_bench::experiments::ablation::precision(1);
+    print!("{}", chason_bench::experiments::ablation::report(&r));
+}

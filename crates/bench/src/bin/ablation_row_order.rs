@@ -1,0 +1,5 @@
+//! Ablation (§7.1): static row reordering vs cross-channel migration.
+fn main() {
+    let r = chason_bench::experiments::ablation::row_order(1);
+    print!("{}", chason_bench::experiments::ablation::report(&r));
+}

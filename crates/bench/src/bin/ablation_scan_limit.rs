@@ -1,0 +1,5 @@
+//! Ablation (§3.3): CrHCS candidate scan limit sweep.
+fn main() {
+    let r = chason_bench::experiments::ablation::scan_limit(&[1, 4, 16, 64, 256, 1024], 1);
+    print!("{}", chason_bench::experiments::ablation::report(&r));
+}

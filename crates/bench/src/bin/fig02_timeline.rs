@@ -1,0 +1,5 @@
+//! Regenerates Fig. 2: PE0 timelines under the three scheduling schemes.
+fn main() {
+    let result = chason_bench::experiments::fig02::run();
+    print!("{}", chason_bench::experiments::fig02::report(&result));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 5: the CrHCS worked example (19/36 -> 7/24 stalls),
+//! including the schedule grids.
+fn main() {
+    print!("{}", chason_bench::experiments::fig05::report_with_grids());
+}

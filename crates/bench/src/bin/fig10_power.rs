@@ -1,0 +1,5 @@
+//! Regenerates Fig. 10: the power distribution of Chason on the U55c.
+fn main() {
+    let result = chason_bench::experiments::fig10::run();
+    print!("{}", chason_bench::experiments::fig10::report(&result));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 11: underutilization PDFs, Chason vs Serpens.
+//! Set `CHASON_CORPUS=<n>` to change the population size (default 800).
+fn main() {
+    let count = chason_bench::util::corpus_size();
+    let result = chason_bench::experiments::fig11::run(count, 1);
+    print!("{}", chason_bench::experiments::fig11::report(&result));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 12: per-PEG underutilization for the Table 2 matrices.
+fn main() {
+    let result = chason_bench::experiments::fig12::run(20);
+    print!("{}", chason_bench::experiments::fig12::report(&result));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13: average per-PEG underutilization (stall fairness).
+fn main() {
+    let result = chason_bench::experiments::fig13::run(20);
+    print!("{}", chason_bench::experiments::fig13::report(&result));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 14: speedup and energy-efficiency gain over the GPU and
+//! CPU baselines. Set `CHASON_CORPUS=<n>` for the population size.
+fn main() {
+    let count = chason_bench::util::corpus_size();
+    let result = chason_bench::experiments::fig14::run(count, 1);
+    print!("{}", chason_bench::experiments::fig14::report(&result));
+}

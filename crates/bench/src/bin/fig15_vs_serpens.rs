@@ -1,0 +1,5 @@
+//! Regenerates Fig. 15: speedup and data-transfer reduction over Serpens.
+fn main() {
+    let result = chason_bench::experiments::fig15::run(20);
+    print!("{}", chason_bench::experiments::fig15::report(&result));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: Alveo U55c resource consumption.
+fn main() {
+    let result = chason_bench::experiments::table1::run();
+    print!("{}", chason_bench::experiments::table1::report(&result));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2: the 20 evaluated matrices (targets vs generated).
+fn main() {
+    let result = chason_bench::experiments::table2::run();
+    print!("{}", chason_bench::experiments::table2::report(&result));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 3: detailed per-matrix performance numbers.
+fn main() {
+    let result = chason_bench::experiments::table3::run(20);
+    print!("{}", chason_bench::experiments::table3::report(&result));
+}

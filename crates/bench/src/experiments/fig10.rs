@@ -1,0 +1,87 @@
+//! Fig. 10 — power distribution of Chasoň on the Alveo U55c.
+
+use chason_sim::power::{MeasuredPower, PowerBreakdown};
+use serde::{Deserialize, Serialize};
+
+/// Result of the Fig. 10 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Result {
+    /// `(component, watts, share%)` rows in legend order.
+    pub components: Vec<(String, f64, f64)>,
+    /// Estimated total power (paper: 48.715 W).
+    pub total_w: f64,
+    /// Measured wall power while running experiments (paper: ≈39 W).
+    pub measured_chason_w: f64,
+    /// Serpens' measured wall power (paper: ≈36 W).
+    pub measured_serpens_w: f64,
+}
+
+/// Builds the power distribution.
+pub fn run() -> Fig10Result {
+    let p = PowerBreakdown::chason_estimated();
+    let total = p.total();
+    Fig10Result {
+        components: p
+            .components()
+            .into_iter()
+            .map(|(name, w)| (name.to_string(), w, 100.0 * p.share(w)))
+            .collect(),
+        total_w: total,
+        measured_chason_w: MeasuredPower::chason().watts,
+        measured_serpens_w: MeasuredPower::serpens().watts,
+    }
+}
+
+/// Renders the distribution table.
+pub fn report(r: &Fig10Result) -> String {
+    let rows: Vec<Vec<String>> = r
+        .components
+        .iter()
+        .map(|(name, w, pct)| {
+            vec![name.clone(), format!("{w:.3}"), format!("{pct:.1}%")]
+        })
+        .collect();
+    let mut out = String::from(
+        "Fig. 10 — power distribution of Chason on the Alveo U55c\n\
+         (paper: ~48.7 W estimated total; HBM dominant; logic ~8%)\n\n",
+    );
+    out.push_str(&crate::util::format_table(&["component", "watts", "share"], &rows));
+    out.push_str(&format!(
+        "\nestimated total: {:.3} W | measured while running: chason {:.0} W, serpens {:.0} W\n",
+        r.total_w, r.measured_chason_w, r.measured_serpens_w
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_dominance() {
+        let r = run();
+        assert!((r.total_w - 48.625).abs() < 0.01);
+        let hbm = r.components.iter().find(|(n, _, _)| n == "HBM").unwrap();
+        let max = r
+            .components
+            .iter()
+            .map(|(_, w, _)| *w)
+            .fold(0.0f64, f64::max);
+        assert_eq!(hbm.1, max, "HBM draws the most power");
+    }
+
+    #[test]
+    fn shares_sum_to_100() {
+        let r = run();
+        let sum: f64 = r.components.iter().map(|(_, _, pct)| pct).sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn report_lists_all_nine_components() {
+        let s = report(&run());
+        for name in ["Static", "Clocks", "Signals", "Logic", "BRAM", "URAM", "DSP", "GTY", "HBM"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig. 13 — average PE underutilization per PEG over the Table 2
+//! matrices: the stall-fairness view.
+//!
+//! Paper reading: Serpens reaches ~95% on its worst PEGs; Chasoň lands at
+//! 60–65% and, crucially, distributes the stalls *evenly* across the 16
+//! PEGs (low spread).
+
+use super::fig12::{self, Fig12Result};
+use serde::{Deserialize, Serialize};
+
+/// Result of the Fig. 13 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13Result {
+    /// Average underutilization per PEG for Serpens (16 entries).
+    pub serpens_avg_pct: Vec<f64>,
+    /// Average underutilization per PEG for Chasoň (16 entries).
+    pub chason_avg_pct: Vec<f64>,
+    /// Max − min spread across PEGs for Serpens.
+    pub serpens_spread: f64,
+    /// Max − min spread across PEGs for Chasoň.
+    pub chason_spread: f64,
+}
+
+/// Averages the Fig. 12 per-PEG vectors across matrices.
+pub fn from_fig12(fig12: &Fig12Result) -> Fig13Result {
+    let pegs = fig12.matrices.first().map_or(0, |m| m.serpens_pct.len());
+    let n = fig12.matrices.len().max(1) as f64;
+    let mut serpens = vec![0.0f64; pegs];
+    let mut chason = vec![0.0f64; pegs];
+    for m in &fig12.matrices {
+        for (i, (&s, &c)) in m.serpens_pct.iter().zip(&m.chason_pct).enumerate() {
+            serpens[i] += s / n;
+            chason[i] += c / n;
+        }
+    }
+    let spread = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - v.iter().cloned().fold(f64::INFINITY, f64::min)
+        }
+    };
+    Fig13Result {
+        serpens_spread: spread(&serpens),
+        chason_spread: spread(&chason),
+        serpens_avg_pct: serpens,
+        chason_avg_pct: chason,
+    }
+}
+
+/// Runs Fig. 12 over `limit` matrices and averages per PEG.
+pub fn run(limit: usize) -> Fig13Result {
+    from_fig12(&fig12::run(limit))
+}
+
+/// Renders the 16-row fairness table.
+pub fn report(r: &Fig13Result) -> String {
+    let rows: Vec<Vec<String>> = r
+        .serpens_avg_pct
+        .iter()
+        .zip(&r.chason_avg_pct)
+        .enumerate()
+        .map(|(peg, (&s, &c))| {
+            vec![format!("PEG {peg}"), format!("{s:.1}%"), format!("{c:.1}%")]
+        })
+        .collect();
+    let mut out = String::from(
+        "Fig. 13 — average PE underutilization per PEG (Table 2 matrices)\n\
+         (paper: serpens up to ~95%; chason 60-65%, even across PEGs)\n\n",
+    );
+    out.push_str(&crate::util::format_table(&["PEG", "serpens", "chason"], &rows));
+    out.push_str(&format!(
+        "\nspread (max - min): serpens {:.1} pts, chason {:.1} pts\n",
+        r.serpens_spread, r.chason_spread
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::fig12::MatrixPegs;
+
+    fn synthetic() -> Fig12Result {
+        Fig12Result {
+            matrices: vec![
+                MatrixPegs {
+                    id: "A".into(),
+                    name: "a".into(),
+                    serpens_pct: vec![90.0, 80.0],
+                    chason_pct: vec![60.0, 62.0],
+                },
+                MatrixPegs {
+                    id: "B".into(),
+                    name: "b".into(),
+                    serpens_pct: vec![70.0, 100.0],
+                    chason_pct: vec![64.0, 62.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn averaging_is_per_peg() {
+        let r = from_fig12(&synthetic());
+        assert_eq!(r.serpens_avg_pct, vec![80.0, 90.0]);
+        assert_eq!(r.chason_avg_pct, vec![62.0, 62.0]);
+        assert!((r.serpens_spread - 10.0).abs() < 1e-12);
+        assert!(r.chason_spread < 1e-12);
+    }
+
+    #[test]
+    fn chason_is_fairer_on_real_catalog_prefix() {
+        let r = run(3);
+        assert_eq!(r.serpens_avg_pct.len(), 16);
+        let s_mean: f64 = r.serpens_avg_pct.iter().sum::<f64>() / 16.0;
+        let c_mean: f64 = r.chason_avg_pct.iter().sum::<f64>() / 16.0;
+        assert!(c_mean <= s_mean + 1e-9);
+    }
+
+    #[test]
+    fn report_has_sixteen_peg_rows() {
+        let s = report(&run(2));
+        assert_eq!(s.lines().filter(|l| l.starts_with("PEG ") && l.contains('%')).count(), 16);
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per reproduced table/figure. Every experiment exposes a pure
+//! `run(...)` returning a structured result plus a `report(...)` renderer
+//! used by the corresponding binary; see `DESIGN.md` §4 for the index.
+
+pub mod ablation;
+pub mod fig02;
+pub mod fig03;
+pub mod fig05;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod table1;
+pub mod table2;
+pub mod table3;

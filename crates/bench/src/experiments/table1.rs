@@ -1,0 +1,84 @@
+//! Table 1 — Alveo U55c resource consumption for Chasoň and Serpens.
+
+use chason_sim::resources::{DeviceCapacity, ResourceConfig, ResourceUsage};
+use serde::{Deserialize, Serialize};
+
+/// Result of the Table 1 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// `(resource, serpens_used, serpens_pct, chason_used, chason_pct)`.
+    pub rows: Vec<(String, u64, f64, u64, f64)>,
+}
+
+/// Computes both designs' resource estimates.
+pub fn run() -> Table1Result {
+    let device = DeviceCapacity::alveo_u55c();
+    let serpens = ResourceUsage::estimate(&ResourceConfig::serpens());
+    let chason = ResourceUsage::estimate(&ResourceConfig::chason());
+    let s_pct = serpens.utilization_pct(&device);
+    let c_pct = chason.utilization_pct(&device);
+    let used = |u: &ResourceUsage| [u.lut, u.ff, u.dsp, u.bram18k, u.uram];
+    let s_used = used(&serpens);
+    let c_used = used(&chason);
+    let rows = s_pct
+        .iter()
+        .zip(&c_pct)
+        .enumerate()
+        .map(|(i, (&(name, sp), &(_, cp)))| (name.to_string(), s_used[i], sp, c_used[i], cp))
+        .collect();
+    Table1Result { rows }
+}
+
+/// Renders the paper-style table.
+pub fn report(r: &Table1Result) -> String {
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|(name, su, sp, cu, cp)| {
+            vec![
+                name.clone(),
+                format!("{su} ({sp:.1}%)"),
+                format!("{cu} ({cp:.1}%)"),
+            ]
+        })
+        .collect();
+    let mut out = String::from(
+        "Table 1 — Alveo U55c resource consumption\n\
+         (paper: Serpens 219K LUT/384 URAM; Chason 346K LUT/512 URAM)\n\n",
+    );
+    out.push_str(&crate::util::format_table(&["resource", "Serpens", "Chason"], &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_columns_match_table1() {
+        let r = run();
+        let uram = r.rows.iter().find(|(n, ..)| n == "URAM").unwrap();
+        assert_eq!(uram.1, 384);
+        assert_eq!(uram.3, 512);
+        let bram = r.rows.iter().find(|(n, ..)| n == "BRAM18K").unwrap();
+        assert_eq!(bram.1, bram.3, "BRAM identical between designs");
+    }
+
+    #[test]
+    fn chason_uses_more_of_everything_but_bram() {
+        let r = run();
+        for (name, su, _, cu, _) in &r.rows {
+            if name == "BRAM18K" {
+                assert_eq!(su, cu);
+            } else {
+                assert!(cu > su, "{name}: chason {cu} should exceed serpens {su}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders_five_rows() {
+        let s = report(&run());
+        assert_eq!(s.lines().filter(|l| l.contains('%')).count(), 5);
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment harness regenerating every table and figure of the Chasoň
+//! paper.
+//!
+//! Each experiment lives in [`experiments`] as a pure function returning a
+//! structured result, and has a thin binary under `src/bin/` that runs it
+//! and prints the paper-style table or curve. The mapping from paper
+//! artifact to binary is the experiment index in `DESIGN.md` §4:
+//!
+//! | Artifact | Binary |
+//! |---|---|
+//! | Fig. 2 (scheduling timelines) | `fig02_timeline` |
+//! | Fig. 3 (PE-aware stall PDF) | `fig03_stall_pdf` |
+//! | Fig. 5 (CrHCS walkthrough) | `fig05_walkthrough` |
+//! | Table 1 (resources) | `table1_resources` |
+//! | Fig. 10 (power) | `fig10_power` |
+//! | Table 2 (datasets) | `table2_datasets` |
+//! | Fig. 11 (underutilization, 800 matrices) | `fig11_underutilization` |
+//! | Fig. 12 (per-PEG PDFs) | `fig12_per_peg_pdf` |
+//! | Fig. 13 (PEG fairness) | `fig13_peg_fairness` |
+//! | Fig. 14 (vs GPU/CPU) | `fig14_vs_gpu_cpu` |
+//! | Fig. 15 (vs Serpens) | `fig15_vs_serpens` |
+//! | Table 3 (detailed numbers) | `table3_detailed` |
+//!
+//! The corpus experiments default to the paper's 800 matrices; set
+//! `CHASON_CORPUS=<n>` to run a smaller population (the integration tests
+//! use a few dozen).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod util;

@@ -1,0 +1,129 @@
+//! Table formatting, ASCII curve rendering and corpus sizing helpers shared
+//! by the experiment binaries.
+
+/// Number of corpus matrices to evaluate: `CHASON_CORPUS` env var, default
+/// 800 (the paper's population).
+pub fn corpus_size() -> usize {
+    std::env::var("CHASON_CORPUS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800)
+}
+
+/// Renders a table with left-aligned first column and right-aligned data
+/// columns.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "table rows must match header width");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Renders a probability-density curve as ASCII bars, one bin per line:
+/// `"<bin-centre>  <bar> <value>"`.
+pub fn render_pdf(bin_lo: f64, bin_hi: f64, pdf: &[f64]) -> String {
+    let max = pdf.iter().cloned().fold(0.0f64, f64::max);
+    let width = (bin_hi - bin_lo) / pdf.len().max(1) as f64;
+    let mut out = String::new();
+    for (i, &p) in pdf.iter().enumerate() {
+        let centre = bin_lo + (i as f64 + 0.5) * width;
+        let bar_len = if max > 0.0 { (p / max * 50.0).round() as usize } else { 0 };
+        out.push_str(&format!("{centre:7.1}  {} {p:.4}\n", "#".repeat(bar_len)));
+    }
+    out
+}
+
+/// Formats a float with engineering-friendly precision (3 significant-ish
+/// decimals for small values, fewer for large).
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "match header width")]
+    fn table_rejects_ragged_rows() {
+        let _ = format_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn pdf_rendering_scales_bars() {
+        let s = render_pdf(0.0, 100.0, &[0.1, 0.2]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].matches('#').count() > lines[0].matches('#').count());
+    }
+
+    #[test]
+    fn fmt_precision_bands() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234), "0.123");
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(301.0), "301");
+    }
+
+    #[test]
+    fn corpus_size_defaults_to_800() {
+        // The env var is not set under `cargo test`.
+        if std::env::var("CHASON_CORPUS").is_err() {
+            assert_eq!(corpus_size(), 800);
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use chason_core::metrics::{schedule_insights, windowed_metrics, WindowedMetrics};
+use chason_core::schedule::{Crhcs, PeAware, RowBased, Scheduler, SchedulerConfig};
+use chason_hbm::HbmConfig;
+use chason_sim::power::MeasuredPower;
+use chason_sim::report::PerformanceReport;
+use chason_sim::{AcceleratorConfig, ChasonEngine, Execution, SerpensEngine};
+use chason_sparse::generators::{arrow_with_nnz, banded_with_nnz, power_law, uniform_random};
+use chason_sparse::market::{read_matrix_market, write_matrix_market};
+use chason_sparse::stats::row_stats;
+use chason_sparse::CooMatrix;
+use chason::solvers::{
+    conjugate_gradient, jacobi, CgOptions, CpuBackend, EngineBackend, SpmvBackend,
+};
+use std::fs::File;
+use std::io::BufWriter;
+
+fn load_matrix(args: &Args) -> Result<CooMatrix, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| "expected a MatrixMarket file path".to_string())?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_matrix_market(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn scheduler_config(args: &Args) -> Result<SchedulerConfig, String> {
+    let config = SchedulerConfig {
+        channels: args.get_or("channels", 16usize)?,
+        pes_per_channel: args.get_or("pes", 8usize)?,
+        dependency_distance: args.get_or("distance", 10usize)?,
+        migration_scan_limit: args.get_or("scan-limit", 256usize)?,
+        migration_hops: args.get_or("hops", 1usize)?,
+    };
+    if !config.is_valid() {
+        return Err(format!(
+            "invalid scheduling configuration: {} channels x {} PEs, D = {}, hops = {}",
+            config.channels,
+            config.pes_per_channel,
+            config.dependency_distance,
+            config.migration_hops
+        ));
+    }
+    Ok(config)
+}
+
+fn describe_metrics(m: &WindowedMetrics) {
+    println!("scheduler        : {}", m.scheduler);
+    println!("non-zeros        : {}", m.nnz);
+    println!("stall slots      : {}", m.stalls);
+    println!("stream cycles    : {}", m.stream_cycles);
+    println!("column windows   : {}", m.windows);
+    println!("underutilization : {:.2}%", m.underutilization_pct());
+    let per_peg = m.per_peg_underutilization_pct();
+    let min = per_peg.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_peg.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("per-PEG range    : {min:.1}% .. {max:.1}%");
+}
+
+/// `chason schedule <matrix.mtx>` — offline scheduling metrics.
+pub fn schedule(args: &Args) -> Result<(), String> {
+    let matrix = load_matrix(args)?;
+    let config = scheduler_config(args)?;
+    let stats = row_stats(&matrix);
+    println!(
+        "matrix: {} x {}, {} nnz (max row {} nnz, gini {:.2})\n",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz(),
+        stats.max_row_nnz,
+        stats.gini
+    );
+    let window = chason_core::element::WINDOW;
+    let name = args.get("scheduler").unwrap_or("crhcs").to_string();
+    let metrics = match name.as_str() {
+        "crhcs" => windowed_metrics(&Crhcs::new(), &matrix, &config, window),
+        "pe-aware" => windowed_metrics(&PeAware::new(), &matrix, &config, window),
+        "row-based" => windowed_metrics(&RowBased::new(), &matrix, &config, window),
+        other => return Err(format!("unknown scheduler '{other}'")),
+    };
+    describe_metrics(&metrics);
+    if args.has_flag("insights") && matrix.cols() <= chason_core::element::WINDOW {
+        let schedule = match name.as_str() {
+            "crhcs" => Crhcs::new().schedule(&matrix, &config),
+            "pe-aware" => PeAware::new().schedule(&matrix, &config),
+            _ => RowBased::new().schedule(&matrix, &config),
+        };
+        let insights = schedule_insights(&schedule);
+        println!("longest idle run : {} cycles", insights.longest_stall_run);
+        println!("migrated values  : {} ({:?} per hop)", insights.migrated, insights.migrated_per_hop);
+        println!("mean fill point  : {:.2} of the stream", insights.mean_fill_position);
+    }
+    Ok(())
+}
+
+fn print_execution(exec: &Execution) {
+    let hbm = HbmConfig::alveo_u55c();
+    let bandwidth = hbm.aggregate_bandwidth_gbps(16);
+    let power = match exec.engine {
+        "chason" => MeasuredPower::chason(),
+        _ => MeasuredPower::serpens(),
+    };
+    let report = PerformanceReport::from_execution(exec, bandwidth, power);
+    println!("engine               : {}", exec.engine);
+    println!("latency              : {:.4} ms", report.latency_ms);
+    println!("throughput           : {:.3} GFLOPS", report.throughput_gflops);
+    println!("bandwidth efficiency : {:.4} GFLOPS/(GB/s)", report.bandwidth_efficiency);
+    println!("energy efficiency    : {:.4} GFLOPS/W", report.energy_efficiency);
+    println!("PE underutilization  : {:.2}%", report.underutilization_pct);
+    println!("cycles               : {} total", exec.cycles.total());
+    println!(
+        "                       stream {} | drain {} | x-reload {} | reduce {} | merge {} | invoke {}",
+        exec.cycles.stream,
+        exec.cycles.fill_drain,
+        exec.cycles.x_reload,
+        exec.cycles.reduction,
+        exec.cycles.merge,
+        exec.cycles.invocation
+    );
+    println!("data streamed        : {:.3} MB", exec.bytes_streamed as f64 / 1e6);
+}
+
+fn execute(
+    args: &Args,
+    matrix: &CooMatrix,
+    engine_name: &str,
+) -> Result<Execution, String> {
+    let sched = scheduler_config(args)?;
+    let x = vec![1.0f32; matrix.cols()];
+    match engine_name {
+        "chason" => {
+            let config = AcceleratorConfig { sched, ..AcceleratorConfig::chason() };
+            ChasonEngine::new(config).run_partitioned(matrix, &x).map_err(|e| e.to_string())
+        }
+        "serpens" => {
+            let config = AcceleratorConfig { sched, ..AcceleratorConfig::serpens() };
+            SerpensEngine::new(config).run_partitioned(matrix, &x).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown engine '{other}'")),
+    }
+}
+
+/// `chason run <matrix.mtx>` — simulated execution.
+pub fn run(args: &Args) -> Result<(), String> {
+    let matrix = load_matrix(args)?;
+    let engine = args.get("engine").unwrap_or("chason").to_string();
+    let exec = execute(args, &matrix, &engine)?;
+    print_execution(&exec);
+    Ok(())
+}
+
+/// `chason compare <matrix.mtx>` — both engines side by side.
+pub fn compare(args: &Args) -> Result<(), String> {
+    let matrix = load_matrix(args)?;
+    let chason = execute(args, &matrix, "chason")?;
+    let serpens = execute(args, &matrix, "serpens")?;
+    print_execution(&serpens);
+    println!();
+    print_execution(&chason);
+    println!();
+    println!(
+        "speedup: {:.2}x | transfer reduction: {:.2}x",
+        serpens.latency_seconds() / chason.latency_seconds(),
+        serpens.bytes_streamed as f64 / chason.bytes_streamed.max(1) as f64
+    );
+    Ok(())
+}
+
+/// `chason generate <recipe> <out.mtx>` — synthetic matrix generation.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let recipe = args
+        .positional
+        .first()
+        .ok_or_else(|| "expected a recipe (uniform|powerlaw|banded|arrow)".to_string())?
+        .clone();
+    let out = args
+        .positional
+        .get(1)
+        .ok_or_else(|| "expected an output path".to_string())?;
+    let n: usize = args.get_or("n", 0)?;
+    let nnz: usize = args.get_or("nnz", 0)?;
+    if n == 0 || nnz == 0 {
+        return Err("--n and --nnz are required".to_string());
+    }
+    let seed: u64 = args.get_or("seed", 1)?;
+    let matrix = match recipe.as_str() {
+        "uniform" => uniform_random(n, n, nnz, seed),
+        "powerlaw" => power_law(n, n, nnz, args.get_or("alpha", 1.7f64)?, seed),
+        "banded" => banded_with_nnz(n, args.get_or("bandwidth", 8usize)?, nnz, seed),
+        "arrow" => arrow_with_nnz(
+            n,
+            args.get_or("bandwidth", 8usize)?,
+            args.get_or("dense-rows", 4usize)?,
+            nnz,
+            seed,
+        ),
+        other => return Err(format!("unknown recipe '{other}'")),
+    };
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_matrix_market(BufWriter::new(file), &matrix).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} x {}, {} nnz, density {:.4}%)",
+        out,
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz(),
+        matrix.density() * 100.0
+    );
+    Ok(())
+}
+
+/// `chason solve <matrix.mtx>` — iterative solve with an accelerator (or
+/// CPU) backend; the right-hand side is `A·1` so the exact solution is the
+/// all-ones vector, giving a built-in correctness check.
+pub fn solve(args: &Args) -> Result<(), String> {
+    let matrix = load_matrix(args)?;
+    if matrix.rows() != matrix.cols() {
+        return Err("solve requires a square system".to_string());
+    }
+    let ones = vec![1.0f32; matrix.cols()];
+    let b = matrix.spmv(&ones);
+    let options = CgOptions {
+        max_iterations: args.get_or("max-iterations", 500usize)?,
+        tolerance: args.get_or("tolerance", 1e-6f64)?,
+    };
+    let solver = args.get("solver").unwrap_or("jacobi").to_string();
+    let sched = scheduler_config(args)?;
+    let mut backend: Box<dyn SpmvBackend> = match args.get("engine").unwrap_or("chason") {
+        "chason" => Box::new(EngineBackend::chason(ChasonEngine::new(AcceleratorConfig {
+            sched,
+            ..AcceleratorConfig::chason()
+        }))),
+        "serpens" => Box::new(EngineBackend::serpens(SerpensEngine::new(
+            AcceleratorConfig { sched, ..AcceleratorConfig::serpens() },
+        ))),
+        "cpu" => Box::new(CpuBackend::default()),
+        other => return Err(format!("unknown engine '{other}'")),
+    };
+    let result = match solver.as_str() {
+        "cg" => conjugate_gradient(backend.as_mut(), &matrix, &b, options),
+        "jacobi" => jacobi(backend.as_mut(), &matrix, &b, options),
+        other => return Err(format!("unknown solver '{other}' (cg|jacobi)")),
+    }
+    .map_err(|e| e.to_string())?;
+    let max_err = result
+        .solution
+        .iter()
+        .map(|&v| (v - 1.0).abs())
+        .fold(0.0f32, f32::max);
+    println!("solver            : {solver} on {}", backend.name());
+    println!("iterations        : {}", result.iterations);
+    println!("relative residual : {:.3e}", result.residual);
+    println!("converged         : {}", result.converged);
+    println!("max |x - 1|       : {max_err:.3e}");
+    println!("SpMV time         : {:.4} ms (simulated for engines)", result.spmv_seconds * 1e3);
+    Ok(())
+}
+
+/// `chason export <matrix.mtx> <out.chsn>` — run CrHCS offline and write
+/// the binary schedule artifact(s) the accelerator host would consume.
+/// Matrices wider than one `W = 8192` window produce one artifact per
+/// window, suffixed `.w<N>`.
+pub fn export(args: &Args) -> Result<(), String> {
+    let matrix = load_matrix(args)?;
+    let out = args
+        .positional
+        .get(1)
+        .ok_or_else(|| "expected an output path".to_string())?;
+    let config = scheduler_config(args)?;
+    let windows = chason_core::window::partition_paper_windows(&matrix);
+    let multi = windows.len() > 1;
+    for w in &windows {
+        let schedule = Crhcs::new().schedule(&w.matrix, &config);
+        let path = if multi { format!("{out}.w{}", w.index) } else { out.clone() };
+        let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        chason_core::export::write_schedule(BufWriter::new(file), &schedule)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "wrote {path}: window {} (cols {}..{}), {} cycles, {:.1}% underutilization",
+            w.index,
+            w.col_start,
+            w.col_end,
+            schedule.stream_cycles(),
+            schedule.underutilization() * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `chason inspect <file.chsn>` — print a schedule artifact's header and
+/// stall statistics.
+pub fn inspect(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| "expected an artifact path".to_string())?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let artifact = chason_core::export::read_schedule(std::io::BufReader::new(file))
+        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+    println!("artifact          : {path}");
+    println!(
+        "geometry          : {} channels x {} PEs, D = {}, hops = {}",
+        artifact.config.channels,
+        artifact.config.pes_per_channel,
+        artifact.config.dependency_distance,
+        artifact.config.migration_hops
+    );
+    println!("matrix            : {} x {}, {} nnz", artifact.rows, artifact.cols, artifact.nnz);
+    println!("stream length     : {} cycles per channel", artifact.cycles);
+    println!("stall words       : {}", artifact.stalls());
+    println!("underutilization  : {:.2}%", artifact.underutilization() * 100.0);
+    Ok(())
+}
+
+/// `chason catalog` — the Table 2 evaluation matrices.
+pub fn catalog() -> Result<(), String> {
+    println!("{:<4} {:<26} {:<12} {:>9} {:>9}", "ID", "name", "collection", "NNZ", "dens%");
+    for spec in chason_sparse::datasets::table2() {
+        println!(
+            "{:<4} {:<26} {:<12} {:>9} {:>9.4}",
+            spec.id, spec.name, spec.collection, spec.nnz, spec.density_pct
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn write_temp_matrix() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("chason-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("m{}.mtx", std::process::id()));
+        let m = uniform_random(64, 64, 200, 3);
+        let file = File::create(&path).unwrap();
+        write_matrix_market(BufWriter::new(file), &m).unwrap();
+        path
+    }
+
+    #[test]
+    fn schedule_and_run_round_trip_a_real_file() {
+        let path = write_temp_matrix();
+        let line = format!("schedule {} --scheduler crhcs", path.display());
+        schedule(&args(&line)).unwrap();
+        let line = format!("run {} --engine serpens", path.display());
+        run(&args(&line)).unwrap();
+        let line = format!("compare {}", path.display());
+        compare(&args(&line)).unwrap();
+    }
+
+    #[test]
+    fn generate_writes_a_readable_file() {
+        let dir = std::env::temp_dir().join("chason-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join(format!("gen{}.mtx", std::process::id()));
+        let line = format!(
+            "generate arrow {} --n 500 --nnz 4000 --dense-rows 3 --seed 9",
+            out.display()
+        );
+        generate(&args(&line)).unwrap();
+        let m = read_matrix_market(File::open(&out).unwrap()).unwrap();
+        assert_eq!(m.nnz(), 4000);
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(schedule(&args("schedule /nonexistent.mtx")).is_err());
+        assert!(generate(&args("generate bogus /tmp/x.mtx --n 10 --nnz 5")).is_err());
+        assert!(generate(&args("generate uniform /tmp/x.mtx")).is_err());
+        let path = write_temp_matrix();
+        assert!(run(&args(&format!("run {} --engine gpu", path.display()))).is_err());
+        assert!(
+            schedule(&args(&format!("schedule {} --scheduler foo", path.display()))).is_err()
+        );
+        assert!(schedule(&args(&format!("schedule {} --pes 9", path.display()))).is_err());
+    }
+
+    #[test]
+    fn catalog_prints() {
+        catalog().unwrap();
+    }
+
+    #[test]
+    fn export_and_inspect_round_trip() {
+        let path = write_temp_matrix();
+        let dir = std::env::temp_dir().join("chason-cli-tests");
+        let out = dir.join(format!("sched{}.chsn", std::process::id()));
+        export(&args(&format!("export {} {}", path.display(), out.display()))).unwrap();
+        inspect(&args(&format!("inspect {}", out.display()))).unwrap();
+        assert!(inspect(&args(&format!("inspect {}", path.display()))).is_err());
+    }
+
+    #[test]
+    fn solve_subcommand_runs_both_solvers() {
+        // A diagonally dominant square system round-trips through the CLI.
+        let dir = std::env::temp_dir().join("chason-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("solve{}.mtx", std::process::id()));
+        let base = chason_sparse::generators::banded_with_nnz(96, 2, 300, 4);
+        let mut t: Vec<(usize, usize, f32)> =
+            base.iter().filter(|&&(r, c, _)| r != c).copied().collect();
+        let mut row_sum = vec![0.0f32; 96];
+        for &(r, _, v) in &t {
+            row_sum[r] += v.abs();
+        }
+        for (i, s) in row_sum.iter().enumerate() {
+            t.push((i, i, s + 1.0));
+        }
+        let m = CooMatrix::from_triplets(96, 96, t).unwrap();
+        let file = File::create(&path).unwrap();
+        write_matrix_market(BufWriter::new(file), &m).unwrap();
+        solve(&args(&format!("solve {} --solver jacobi --engine chason", path.display())))
+            .unwrap();
+        solve(&args(&format!("solve {} --solver cg --engine cpu", path.display()))).unwrap();
+        assert!(solve(&args(&format!("solve {} --solver qr", path.display()))).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! `chason` — command-line front end for the Chasoň sparse-acceleration
+//! simulator.
+//!
+//! ```text
+//! chason schedule <matrix.mtx> [--scheduler crhcs|pe-aware|row-based]
+//!                              [--channels 16] [--pes 8] [--distance 10]
+//!                              [--hops 1]
+//! chason run <matrix.mtx>      [--engine chason|serpens] [--iterations 1]
+//! chason compare <matrix.mtx>  # both engines side by side
+//! chason generate <recipe> <out.mtx> --n 4096 --nnz 60000 [--alpha 1.7]
+//!                              [--bandwidth 8] [--dense-rows 4] [--seed 1]
+//! chason catalog               # the Table 2 evaluation matrices
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+chason — Chasoň sparse-acceleration simulator
+
+USAGE:
+  chason schedule <matrix.mtx> [--scheduler crhcs|pe-aware|row-based]
+                               [--channels N] [--pes N] [--distance D] [--hops H] [--insights]
+  chason run <matrix.mtx>      [--engine chason|serpens]
+  chason compare <matrix.mtx>
+  chason solve <matrix.mtx>      [--solver cg|jacobi] [--engine chason|serpens|cpu]
+                               [--max-iterations N] [--tolerance T]
+  chason export <matrix.mtx> <out.chsn>   # offline CrHCS -> binary artifact
+  chason inspect <file.chsn>
+  chason generate <recipe> <out.mtx> --n N --nnz NNZ
+                               [--alpha A] [--bandwidth W] [--dense-rows D] [--seed S]
+                               (recipes: uniform, powerlaw, banded, arrow)
+  chason catalog
+
+Matrices are MatrixMarket coordinate files (real/integer/pattern,
+general/symmetric).";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "schedule" => commands::schedule(&args),
+        "run" => commands::run(&args),
+        "compare" => commands::compare(&args),
+        "solve" => commands::solve(&args),
+        "export" => commands::export(&args),
+        "inspect" => commands::inspect(&args),
+        "generate" => commands::generate(&args),
+        "catalog" => commands::catalog(),
+        "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

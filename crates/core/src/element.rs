@@ -1,0 +1,246 @@
+//! The 64-bit packed sparse-element wire format of §3.2.
+//!
+//! Each scheduled non-zero occupies one 64-bit word in an HBM channel's data
+//! list. The paper's layout (§3.2) dedicates 32 bits to the FP32 value and 32
+//! bits to metadata:
+//!
+//! ```text
+//!  63            32 31        17  16  15   13 12         0
+//! ┌────────────────┬────────────┬────┬───────┬────────────┐
+//! │  value (f32)   │ row (15 b) │pvt │PE_src │ col (13 b) │
+//! └────────────────┴────────────┴────┴───────┴────────────┘
+//! ```
+//!
+//! * `row` — the row's address within its PE's partial-sum URAM
+//!   (`row_id / total_PEs`, 15 bits → 32 768 rows per PE);
+//! * `pvt` — 1 when the element belongs to the channel that streams it
+//!   (private), 0 when it was migrated from the neighbouring channel;
+//! * `PE_src` — for migrated elements, the PE the element was originally
+//!   scheduled for in its home channel (3 bits → 8 PEs per PEG);
+//! * `col` — column within the current `W = 8192` window (13 bits).
+//!
+//! The all-zero word is reserved: it denotes a **stall** slot (an idle PE,
+//! §2.2), which is why packed values must be non-zero floats — an FP32 `0.0`
+//! payload would be indistinguishable from a stall.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bits for the per-PE row address.
+pub const ROW_BITS: u32 = 15;
+/// Number of bits for the source-PE tag.
+pub const PE_SRC_BITS: u32 = 3;
+/// Number of bits for the in-window column index.
+pub const COL_BITS: u32 = 13;
+/// Column-window size implied by [`COL_BITS`] (`W = 8192`, §4.1).
+pub const WINDOW: usize = 1 << COL_BITS;
+/// Maximum per-PE row address + 1.
+pub const MAX_LOCAL_ROWS: usize = 1 << ROW_BITS;
+/// The reserved stall word (an idle-PE slot in a data list).
+pub const STALL_WORD: u64 = 0;
+
+const COL_SHIFT: u32 = 0;
+const PE_SRC_SHIFT: u32 = COL_BITS;
+const PVT_SHIFT: u32 = PE_SRC_SHIFT + PE_SRC_BITS;
+const ROW_SHIFT: u32 = PVT_SHIFT + 1;
+const VALUE_SHIFT: u32 = 32;
+
+/// One unpacked sparse element as it travels through a PEG.
+///
+/// # Example
+///
+/// ```
+/// use chason_core::SparseElement;
+///
+/// let e = SparseElement { value: 1.5, local_row: 42, pvt: false, pe_src: 5, local_col: 7 };
+/// let word = e.pack();
+/// assert_eq!(SparseElement::unpack(word), Some(e));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparseElement {
+    /// The FP32 non-zero value (must not be `0.0` / `-0.0` is allowed).
+    pub value: f32,
+    /// Row address within the destination PE's partial-sum URAM (15 bits).
+    pub local_row: u16,
+    /// `true` when the element belongs to the streaming channel itself.
+    pub pvt: bool,
+    /// Source PE within the home channel for migrated elements (3 bits);
+    /// by convention 0 for private elements.
+    pub pe_src: u8,
+    /// Column index within the current window (13 bits).
+    pub local_col: u16,
+}
+
+impl SparseElement {
+    /// Creates a private-channel element (`pvt = 1`, `pe_src = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on field overflow or a zero value (see [`SparseElement::pack`]).
+    pub fn private(value: f32, local_row: u16, local_col: u16) -> Self {
+        let e = SparseElement { value, local_row, pvt: true, pe_src: 0, local_col };
+        e.validate();
+        e
+    }
+
+    /// Creates a migrated (shared-channel) element carrying its source PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics on field overflow or a zero value (see [`SparseElement::pack`]).
+    pub fn migrated(value: f32, local_row: u16, pe_src: u8, local_col: u16) -> Self {
+        let e = SparseElement { value, local_row, pvt: false, pe_src, local_col };
+        e.validate();
+        e
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.value != 0.0 || self.value.to_bits() != 0,
+            "a packed element's value must not be +0.0 (reserved for stalls)"
+        );
+        assert!(
+            (self.local_row as usize) < MAX_LOCAL_ROWS,
+            "local_row {} exceeds {} bits",
+            self.local_row,
+            ROW_BITS
+        );
+        assert!(
+            (self.pe_src as u32) < (1 << PE_SRC_BITS),
+            "pe_src {} exceeds {} bits",
+            self.pe_src,
+            PE_SRC_BITS
+        );
+        assert!(
+            (self.local_col as usize) < WINDOW,
+            "local_col {} exceeds {} bits",
+            self.local_col,
+            COL_BITS
+        );
+    }
+
+    /// Packs the element into its 64-bit wire word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its bit budget or if `value` is `+0.0`
+    /// (whose bit pattern collides with [`STALL_WORD`] when all metadata is
+    /// zero).
+    pub fn pack(&self) -> u64 {
+        self.validate();
+        let mut w = (self.value.to_bits() as u64) << VALUE_SHIFT;
+        w |= (self.local_row as u64) << ROW_SHIFT;
+        w |= (self.pvt as u64) << PVT_SHIFT;
+        w |= (self.pe_src as u64) << PE_SRC_SHIFT;
+        w |= (self.local_col as u64) << COL_SHIFT;
+        w
+    }
+
+    /// Unpacks a wire word, returning `None` for the stall word.
+    pub fn unpack(word: u64) -> Option<Self> {
+        if word == STALL_WORD {
+            return None;
+        }
+        Some(SparseElement {
+            value: f32::from_bits((word >> VALUE_SHIFT) as u32),
+            local_row: ((word >> ROW_SHIFT) & ((1 << ROW_BITS) - 1)) as u16,
+            pvt: (word >> PVT_SHIFT) & 1 == 1,
+            pe_src: ((word >> PE_SRC_SHIFT) & ((1 << PE_SRC_BITS) - 1)) as u8,
+            local_col: ((word >> COL_SHIFT) & ((1 << COL_BITS) - 1)) as u16,
+        })
+    }
+
+    /// Whether a wire word denotes a stall.
+    pub fn is_stall(word: u64) -> bool {
+        word == STALL_WORD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_occupies_all_64_bits_disjointly() {
+        assert_eq!(ROW_SHIFT + ROW_BITS, 32);
+        assert_eq!(PVT_SHIFT, 16);
+        assert_eq!(WINDOW, 8192);
+        assert_eq!(MAX_LOCAL_ROWS, 32_768);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let e = SparseElement {
+            value: -3.75,
+            local_row: 0x7FFF,
+            pvt: true,
+            pe_src: 7,
+            local_col: 0x1FFF,
+        };
+        assert_eq!(SparseElement::unpack(e.pack()), Some(e));
+    }
+
+    #[test]
+    fn stall_word_unpacks_to_none() {
+        assert_eq!(SparseElement::unpack(STALL_WORD), None);
+        assert!(SparseElement::is_stall(0));
+        assert!(!SparseElement::is_stall(1));
+    }
+
+    #[test]
+    fn negative_zero_value_is_distinguishable_from_stall() {
+        let e = SparseElement::private(-0.0, 0, 0);
+        assert_ne!(e.pack(), STALL_WORD);
+        assert_eq!(SparseElement::unpack(e.pack()).unwrap().value.to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for stalls")]
+    fn positive_zero_value_is_rejected() {
+        let _ = SparseElement::private(0.0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 15 bits")]
+    fn row_overflow_is_rejected() {
+        let _ = SparseElement::private(1.0, 1 << 15, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 13 bits")]
+    fn col_overflow_is_rejected() {
+        let _ = SparseElement::private(1.0, 0, 1 << 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 3 bits")]
+    fn pe_src_overflow_is_rejected() {
+        let _ = SparseElement::migrated(1.0, 0, 8, 0);
+    }
+
+    #[test]
+    fn private_and_migrated_constructors_set_flags() {
+        let p = SparseElement::private(2.0, 3, 4);
+        assert!(p.pvt);
+        assert_eq!(p.pe_src, 0);
+        let m = SparseElement::migrated(2.0, 3, 6, 4);
+        assert!(!m.pvt);
+        assert_eq!(m.pe_src, 6);
+    }
+
+    #[test]
+    fn distinct_fields_map_to_distinct_words() {
+        let base = SparseElement::private(1.0, 5, 9);
+        let words = [
+            base.pack(),
+            SparseElement::private(1.0, 6, 9).pack(),
+            SparseElement::private(1.0, 5, 10).pack(),
+            SparseElement::migrated(1.0, 5, 1, 9).pack(),
+            SparseElement::private(1.5, 5, 9).pack(),
+        ];
+        for i in 0..words.len() {
+            for j in i + 1..words.len() {
+                assert_ne!(words[i], words[j], "fields {i} and {j} collide");
+            }
+        }
+    }
+}

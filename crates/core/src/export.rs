@@ -1,0 +1,259 @@
+//! Binary export/import of scheduled data lists — the offline
+//! preprocessing artifact.
+//!
+//! The real toolchain runs CrHCS offline and ships the per-channel 64-bit
+//! data lists to the FPGA host program. This module defines that artifact:
+//! a small self-describing container holding the scheduler configuration,
+//! the matrix shape, and every channel's padded data list. The format is
+//! little-endian throughout.
+//!
+//! ```text
+//! magic   "CHSN"            4 B
+//! version u32               (currently 1)
+//! channels, pes, distance, hops          4 × u32
+//! rows, cols, nnz                        3 × u64
+//! cycles  u64               equalized list length (beats per channel)
+//! then per channel: cycles × pes × u64 data words
+//! ```
+
+use crate::element::STALL_WORD;
+use crate::schedule::{ScheduledMatrix, SchedulerConfig};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"CHSN";
+const VERSION: u32 = 1;
+
+/// A deserialized schedule artifact: configuration, shape, and the padded
+/// per-channel data lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleArtifact {
+    /// Scheduler configuration the lists were built for.
+    pub config: SchedulerConfig,
+    /// Source-matrix rows.
+    pub rows: u64,
+    /// Source-matrix columns.
+    pub cols: u64,
+    /// Source-matrix non-zeros.
+    pub nnz: u64,
+    /// Equalized list length in beats (cycles).
+    pub cycles: u64,
+    /// One padded data list per channel (`cycles × pes` words each).
+    pub lists: Vec<Vec<u64>>,
+}
+
+impl ScheduleArtifact {
+    /// Total stall words across all lists (Eq. 4's numerator).
+    pub fn stalls(&self) -> u64 {
+        self.lists
+            .iter()
+            .flatten()
+            .filter(|&&w| w == STALL_WORD)
+            .count() as u64
+    }
+
+    /// PE underutilization of the artifact per Eq. 4.
+    pub fn underutilization(&self) -> f64 {
+        let total: u64 = self.lists.iter().map(|l| l.len() as u64).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.stalls() as f64 / total as f64
+        }
+    }
+}
+
+/// Serializes a schedule (single window; columns must fit the wire format).
+///
+/// A `&mut` reference may be passed for `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+///
+/// # Panics
+///
+/// Panics if a slot overflows the 64-bit wire format (schedule one
+/// [`crate::window`] at a time for wide matrices).
+pub fn write_schedule<W: Write>(
+    mut writer: W,
+    schedule: &ScheduledMatrix,
+) -> io::Result<()> {
+    let cfg = &schedule.config;
+    writer.write_all(MAGIC)?;
+    for v in [
+        VERSION,
+        cfg.channels as u32,
+        cfg.pes_per_channel as u32,
+        cfg.dependency_distance as u32,
+        cfg.migration_hops as u32,
+    ] {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    let cycles = schedule.stream_cycles() as u64;
+    for v in [
+        schedule.rows as u64,
+        schedule.cols as u64,
+        schedule.nnz as u64,
+        cycles,
+    ] {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    for list in schedule.data_lists_padded() {
+        for word in list {
+            writer.write_all(&word.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    reader.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Deserializes a schedule artifact.
+///
+/// A `&mut` reference may be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic/version or implausible geometry,
+/// and propagates I/O failures (including truncation).
+pub fn read_schedule<R: Read>(mut reader: R) -> io::Result<ScheduleArtifact> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a CHSN artifact"));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported artifact version {version}"),
+        ));
+    }
+    let channels = read_u32(&mut reader)? as usize;
+    let pes = read_u32(&mut reader)? as usize;
+    let distance = read_u32(&mut reader)? as usize;
+    let hops = read_u32(&mut reader)? as usize;
+    let config = SchedulerConfig {
+        channels,
+        pes_per_channel: pes,
+        dependency_distance: distance,
+        migration_scan_limit: 256,
+        migration_hops: hops.max(1),
+    };
+    if !config.is_valid() || channels > 1024 || pes > 64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible scheduler geometry in artifact header",
+        ));
+    }
+    let rows = read_u64(&mut reader)?;
+    let cols = read_u64(&mut reader)?;
+    let nnz = read_u64(&mut reader)?;
+    let cycles = read_u64(&mut reader)?;
+    let words_per_channel = cycles
+        .checked_mul(pes as u64)
+        .filter(|&w| w <= (1 << 34))
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "artifact list length overflows")
+        })?;
+    let mut lists = Vec::with_capacity(channels);
+    for _ in 0..channels {
+        let mut list = Vec::with_capacity(words_per_channel as usize);
+        for _ in 0..words_per_channel {
+            list.push(read_u64(&mut reader)?);
+        }
+        lists.push(list);
+    }
+    Ok(ScheduleArtifact { config, rows, cols, nnz, cycles, lists })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::SparseElement;
+    use crate::schedule::{Crhcs, Scheduler};
+    use chason_sparse::generators::power_law;
+
+    fn sample() -> ScheduledMatrix {
+        let m = power_law(256, 256, 1500, 1.7, 4);
+        Crhcs::new().schedule(&m, &SchedulerConfig::paper())
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let schedule = sample();
+        let mut buf = Vec::new();
+        write_schedule(&mut buf, &schedule).unwrap();
+        let artifact = read_schedule(buf.as_slice()).unwrap();
+        assert_eq!(artifact.config.channels, 16);
+        assert_eq!(artifact.rows, 256);
+        assert_eq!(artifact.nnz, 1500);
+        assert_eq!(artifact.cycles as usize, schedule.stream_cycles());
+        assert_eq!(artifact.lists, schedule.data_lists_padded());
+        // Eq. 4 computed on the artifact matches the schedule's metric.
+        assert!((artifact.underutilization() - schedule.underutilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn artifact_words_decode_to_elements() {
+        let schedule = sample();
+        let mut buf = Vec::new();
+        write_schedule(&mut buf, &schedule).unwrap();
+        let artifact = read_schedule(buf.as_slice()).unwrap();
+        let decoded: usize = artifact
+            .lists
+            .iter()
+            .flatten()
+            .filter_map(|&w| SparseElement::unpack(w))
+            .count();
+        assert_eq!(decoded as u64, artifact.nnz);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_schedule(&b"NOPE1234"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let schedule = sample();
+        let mut buf = Vec::new();
+        write_schedule(&mut buf, &schedule).unwrap();
+        buf.truncate(buf.len() - 9);
+        assert!(read_schedule(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let schedule = sample();
+        let mut buf = Vec::new();
+        write_schedule(&mut buf, &schedule).unwrap();
+        buf[4] = 99;
+        let err = read_schedule(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn implausible_geometry_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CHSN");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&5000u32.to_le_bytes()); // channels
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 32]);
+        assert!(read_schedule(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,580 @@
+//! Non-zero schedulers and the shared schedule representation.
+//!
+//! A schedule is a per-channel grid of *slots*: `grid[cycle][pe]` holds
+//! either a scheduled non-zero ([`NzSlot`]) or a stall (`None`). One cycle of
+//! a channel corresponds to one 512-bit HBM beat delivering
+//! `pes_per_channel` elements to the channel's PEG.
+
+mod crhcs;
+mod pe_aware;
+mod row_based;
+mod row_split;
+
+pub use crhcs::{Crhcs, MigrationReport};
+pub use pe_aware::PeAware;
+pub use row_based::RowBased;
+pub use row_split::HybridRowSplit;
+
+use crate::element::{self, SparseElement};
+use chason_sparse::CooMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Architectural parameters the schedulers target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// HBM channels carrying sparse-matrix data (16 in the paper).
+    pub channels: usize,
+    /// PEs per channel / PEG (8 in the paper — one per 64-bit lane of the
+    /// 512-bit port).
+    pub pes_per_channel: usize,
+    /// RAW dependency distance in cycles: the FP accumulator depth
+    /// (10 on the Alveo U55c, §2.2).
+    pub dependency_distance: usize,
+    /// How many migration candidates CrHCS examines per stall slot before
+    /// giving up on it (bounds preprocessing cost; §3.3 reports the search
+    /// practically never fails).
+    pub migration_scan_limit: usize,
+    /// How many ring neighbours CrHCS may migrate from (§3.1 and §6.1).
+    ///
+    /// The paper deploys 1 (the immediate next channel) because each extra
+    /// hop costs another set of `URAM_sh` banks per PE; §6.1 projects that
+    /// 2–3 hops would reduce the residual underutilization further on a
+    /// larger FPGA. Values above 1 also require widening the wire format's
+    /// metadata (the 3-bit `PE_src` tag must grow a hop field), which this
+    /// model accounts for in the resource estimate, not the 64-bit codec.
+    pub migration_hops: usize,
+}
+
+impl SchedulerConfig {
+    /// The paper's configuration: 16 channels × 8 PEs, distance 10.
+    pub fn paper() -> Self {
+        SchedulerConfig {
+            channels: 16,
+            pes_per_channel: 8,
+            dependency_distance: 10,
+            migration_scan_limit: 256,
+            migration_hops: 1,
+        }
+    }
+
+    /// A reduced configuration handy for unit tests and worked examples
+    /// (Fig. 2/4/5 use 4 PEs per channel).
+    pub fn toy(channels: usize, pes_per_channel: usize, dependency_distance: usize) -> Self {
+        SchedulerConfig {
+            channels,
+            pes_per_channel,
+            dependency_distance,
+            migration_scan_limit: 256,
+            migration_hops: 1,
+        }
+    }
+
+    /// Total PEs across all channels.
+    pub fn total_pes(&self) -> usize {
+        self.channels * self.pes_per_channel
+    }
+
+    /// Global PE index a row maps to (Eq. 1: `PE_id = row_id % TotalPEs`).
+    pub fn pe_for_row(&self, row: usize) -> usize {
+        row % self.total_pes()
+    }
+
+    /// Channel a row maps to (consecutive PEs are grouped into PEGs).
+    pub fn channel_for_row(&self, row: usize) -> usize {
+        self.pe_for_row(row) / self.pes_per_channel
+    }
+
+    /// PE index *within its channel* a row maps to.
+    pub fn lane_for_row(&self, row: usize) -> usize {
+        self.pe_for_row(row) % self.pes_per_channel
+    }
+
+    /// Per-PE URAM address of a row (the 15-bit `row` field of §3.2).
+    pub fn local_row(&self, row: usize) -> usize {
+        row / self.total_pes()
+    }
+
+    /// Validates the configuration against the wire format's bit budgets.
+    pub fn is_valid(&self) -> bool {
+        self.channels > 0
+            && self.pes_per_channel > 0
+            && self.pes_per_channel <= (1 << element::PE_SRC_BITS)
+            && self.dependency_distance > 0
+            && self.migration_hops >= 1
+            && self.migration_hops < self.channels.max(2)
+    }
+
+    /// Ring distance from a migrated element's home channel to the channel
+    /// that streams it (`0` for private elements).
+    pub fn hop_for(&self, streaming_channel: usize, home_channel: usize) -> usize {
+        (home_channel + self.channels - streaming_channel) % self.channels
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig::paper()
+    }
+}
+
+/// One scheduled non-zero occupying a slot of a channel's data list.
+///
+/// `row` and `col` are *global* matrix coordinates; the wire format's local
+/// encodings are derived when packing (see [`ChannelSchedule::data_list`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NzSlot {
+    /// The non-zero value.
+    pub value: f32,
+    /// Global row index.
+    pub row: usize,
+    /// Global column index.
+    pub col: usize,
+    /// `true` if the element is streamed by the channel that owns its row.
+    pub pvt: bool,
+    /// For migrated elements: the lane the element was originally scheduled
+    /// for in its home channel. 0 for private elements.
+    pub pe_src: u8,
+}
+
+impl NzSlot {
+    /// Creates a private slot for a row owned by the streaming channel.
+    pub fn private(value: f32, row: usize, col: usize) -> Self {
+        NzSlot { value, row, col, pvt: true, pe_src: 0 }
+    }
+}
+
+/// The scheduled data list of one HBM channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSchedule {
+    /// Channel index.
+    pub channel: usize,
+    /// `grid[cycle][pe]`: the slot streamed to PE `pe` at cycle `cycle`.
+    pub grid: Vec<Vec<Option<NzSlot>>>,
+}
+
+impl ChannelSchedule {
+    /// Creates an empty schedule for a channel.
+    pub fn new(channel: usize, pes: usize) -> Self {
+        let _ = pes;
+        ChannelSchedule { channel, grid: Vec::new() }
+    }
+
+    /// Number of scheduled cycles (beats).
+    pub fn cycles(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Number of stall slots.
+    pub fn stalls(&self) -> usize {
+        self.grid.iter().flatten().filter(|s| s.is_none()).count()
+    }
+
+    /// Number of scheduled non-zeros.
+    pub fn nonzeros(&self) -> usize {
+        self.grid.iter().flatten().filter(|s| s.is_some()).count()
+    }
+
+    /// Stall slots per lane (PE), `lane -> count`.
+    pub fn stalls_per_lane(&self, pes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; pes];
+        for cycle in &self.grid {
+            for (lane, slot) in cycle.iter().enumerate() {
+                if slot.is_none() && lane < pes {
+                    counts[lane] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Removes trailing cycles that contain only stalls.
+    pub fn trim_trailing_stalls(&mut self) {
+        while self
+            .grid
+            .last()
+            .is_some_and(|cycle| cycle.iter().all(|s| s.is_none()))
+        {
+            self.grid.pop();
+        }
+    }
+
+    /// Pads the schedule with all-stall cycles up to `cycles` total.
+    pub fn pad_to(&mut self, cycles: usize, pes: usize) {
+        while self.grid.len() < cycles {
+            self.grid.push(vec![None; pes]);
+        }
+    }
+
+    /// Packs the schedule into the channel's 64-bit data list (row-major:
+    /// cycle 0 lanes 0..P, cycle 1 lanes 0..P, ...), the exact stream the
+    /// architecture consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot's local row or column overflows the wire format —
+    /// callers must schedule one [`crate::window`] at a time for matrices
+    /// wider than `W = 8192`.
+    pub fn data_list(&self, config: &SchedulerConfig) -> Vec<u64> {
+        let mut words = Vec::with_capacity(self.grid.len() * config.pes_per_channel);
+        for cycle in &self.grid {
+            for slot in cycle {
+                match slot {
+                    None => words.push(element::STALL_WORD),
+                    Some(nz) => {
+                        let e = SparseElement {
+                            value: nz.value,
+                            local_row: config.local_row(nz.row) as u16,
+                            pvt: nz.pvt,
+                            pe_src: nz.pe_src,
+                            local_col: nz.col as u16,
+                        };
+                        words.push(e.pack());
+                    }
+                }
+            }
+        }
+        words
+    }
+}
+
+/// A complete schedule: one [`ChannelSchedule`] per channel.
+///
+/// Channel grids are stored *trimmed*: trailing all-stall cycles are
+/// implicit. The synchronized-finish rule of §3.1 — every list padded to
+/// the longest channel — is applied **virtually**: [`ScheduledMatrix::stalls`]
+/// and the underutilization metrics count the implicit padding, and
+/// [`ScheduledMatrix::data_lists_padded`] materializes it for the hardware
+/// stream. Keeping the padding virtual matters: a single RAW-chain-bound
+/// channel can be orders of magnitude longer than its siblings, and
+/// physically padding all 16 grids to match would cost gigabytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledMatrix {
+    /// The configuration the schedule was built for.
+    pub config: SchedulerConfig,
+    /// Per-channel data lists.
+    pub channels: Vec<ChannelSchedule>,
+    /// Rows of the source matrix.
+    pub rows: usize,
+    /// Columns of the source matrix.
+    pub cols: usize,
+    /// Non-zeros of the source matrix.
+    pub nnz: usize,
+}
+
+impl ScheduledMatrix {
+    /// Total stall slots across all channels, *including* the virtual
+    /// padding that equalizes every list to the longest channel (§3.1):
+    /// `Σ_c (stream_cycles × PEs − nonzeros_c)`.
+    pub fn stalls(&self) -> usize {
+        let cycles = self.stream_cycles();
+        let pes = self.config.pes_per_channel;
+        self.channels
+            .iter()
+            .map(|ch| cycles * pes - ch.nonzeros())
+            .sum()
+    }
+
+    /// Total scheduled non-zeros across all channels (equals `nnz` for a
+    /// conserving scheduler).
+    pub fn scheduled_nonzeros(&self) -> usize {
+        self.channels.iter().map(ChannelSchedule::nonzeros).sum()
+    }
+
+    /// PE underutilization per Eq. 4: `stalls / (nnz + stalls)`, in `[0, 1]`.
+    pub fn underutilization(&self) -> f64 {
+        let stalls = self.stalls() as f64;
+        let nnz = self.scheduled_nonzeros() as f64;
+        if stalls + nnz == 0.0 {
+            0.0
+        } else {
+            stalls / (nnz + stalls)
+        }
+    }
+
+    /// Underutilization of each channel's PEG, including the virtual
+    /// padding to the longest channel.
+    pub fn per_channel_underutilization(&self) -> Vec<f64> {
+        let cycles = self.stream_cycles();
+        let pes = self.config.pes_per_channel;
+        self.channels
+            .iter()
+            .map(|ch| {
+                let slots = cycles * pes;
+                if slots == 0 {
+                    0.0
+                } else {
+                    (slots - ch.nonzeros()) as f64 / slots as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Length of the (equalized) channel lists in cycles.
+    pub fn stream_cycles(&self) -> usize {
+        self.channels.iter().map(ChannelSchedule::cycles).max().unwrap_or(0)
+    }
+
+    /// Packs every channel into its 64-bit data list, padded with stall
+    /// words to the longest channel — the exact streams the hardware
+    /// consumes (§3.1's synchronized finish).
+    pub fn data_lists_padded(&self) -> Vec<Vec<u64>> {
+        let cycles = self.stream_cycles();
+        let pes = self.config.pes_per_channel;
+        self.channels
+            .iter()
+            .map(|ch| {
+                let mut words = ch.data_list(&self.config);
+                words.resize(cycles * pes, crate::element::STALL_WORD);
+                words
+            })
+            .collect()
+    }
+
+    /// Physically pads every channel grid to the longest channel (§3.1).
+    ///
+    /// The metrics already account for this padding virtually; call this
+    /// only when downstream code needs uniform physical grids. Beware the
+    /// memory cost on RAW-chain-bound schedules.
+    pub fn equalize(&mut self) {
+        let max = self.stream_cycles();
+        let pes = self.config.pes_per_channel;
+        for ch in &mut self.channels {
+            ch.pad_to(max, pes);
+        }
+    }
+
+    /// Checks the structural invariants every scheduler must uphold; returns
+    /// a description of the first violation, if any.
+    ///
+    /// * every source non-zero appears exactly once;
+    /// * two slots of the same row never land in the same destination PE
+    ///   within the RAW dependency distance.
+    pub fn check_invariants(&self, source: &CooMatrix) -> Result<(), String> {
+        use std::collections::HashMap;
+        // Conservation.
+        let mut scheduled: HashMap<(usize, usize), f32> = HashMap::new();
+        for ch in &self.channels {
+            for cycle in &ch.grid {
+                for slot in cycle.iter().flatten() {
+                    if scheduled.insert((slot.row, slot.col), slot.value).is_some() {
+                        return Err(format!(
+                            "entry ({}, {}) scheduled more than once",
+                            slot.row, slot.col
+                        ));
+                    }
+                }
+            }
+        }
+        if scheduled.len() != source.nnz() {
+            return Err(format!(
+                "scheduled {} of {} source non-zeros",
+                scheduled.len(),
+                source.nnz()
+            ));
+        }
+        for &(r, c, v) in source.iter() {
+            match scheduled.get(&(r, c)) {
+                Some(&sv) if sv == v => {}
+                Some(&sv) => {
+                    return Err(format!("entry ({r}, {c}) value {sv} != source {v}"))
+                }
+                None => return Err(format!("entry ({r}, {c}) missing from schedule")),
+            }
+        }
+        // RAW distance within each destination PE.
+        let d = self.config.dependency_distance;
+        for ch in &self.channels {
+            let pes = ch.grid.first().map_or(0, Vec::len);
+            for lane in 0..pes {
+                let mut last: HashMap<usize, usize> = HashMap::new();
+                for (cycle, slots) in ch.grid.iter().enumerate() {
+                    if let Some(slot) = slots[lane] {
+                        if let Some(&prev) = last.get(&slot.row) {
+                            if cycle - prev < d {
+                                return Err(format!(
+                                    "RAW violation: row {} at cycles {} and {} in channel {} lane {} (distance {})",
+                                    slot.row, prev, cycle, ch.channel, lane, d
+                                ));
+                            }
+                        }
+                        last.insert(slot.row, cycle);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A non-zero scheduling policy.
+///
+/// Implementations must conserve non-zeros and respect the RAW dependency
+/// distance within every destination PE — see
+/// [`ScheduledMatrix::check_invariants`].
+pub trait Scheduler {
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Schedules every non-zero of `matrix` onto the channels of `config`.
+    fn schedule(&self, matrix: &CooMatrix, config: &SchedulerConfig) -> ScheduledMatrix;
+}
+
+/// Groups a matrix's non-zeros by owning (channel, lane, row), the shared
+/// front-end of all three schedulers.
+///
+/// Returns `rows_by_pe[channel][lane]` = list of `(row, Vec<(col, value)>)`
+/// in ascending row order, each row's entries in ascending column order.
+pub(crate) fn partition_rows(
+    matrix: &CooMatrix,
+    config: &SchedulerConfig,
+) -> Vec<Vec<Vec<(usize, Vec<(usize, f32)>)>>> {
+    let mut by_pe: Vec<Vec<Vec<(usize, Vec<(usize, f32)>)>>> =
+        vec![vec![Vec::new(); config.pes_per_channel]; config.channels];
+    // COO iteration is (row, col)-sorted, so rows arrive grouped and in
+    // ascending order per PE.
+    for &(r, c, v) in matrix.iter() {
+        let ch = config.channel_for_row(r);
+        let lane = config.lane_for_row(r);
+        let rows = &mut by_pe[ch][lane];
+        match rows.last_mut() {
+            Some((last_row, entries)) if *last_row == r => entries.push((c, v)),
+            _ => rows.push((r, vec![(c, v)])),
+        }
+    }
+    by_pe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_row_mapping_matches_eq1() {
+        let cfg = SchedulerConfig::paper();
+        assert_eq!(cfg.total_pes(), 128);
+        assert_eq!(cfg.pe_for_row(0), 0);
+        assert_eq!(cfg.pe_for_row(129), 1);
+        assert_eq!(cfg.channel_for_row(0), 0);
+        assert_eq!(cfg.channel_for_row(8), 1);
+        assert_eq!(cfg.lane_for_row(9), 1);
+        assert_eq!(cfg.local_row(128), 1);
+        assert!(cfg.is_valid());
+    }
+
+    #[test]
+    fn config_rejects_too_many_lanes_for_pe_src_bits() {
+        let cfg = SchedulerConfig::toy(2, 9, 10);
+        assert!(!cfg.is_valid(), "9 lanes cannot be tagged in 3 bits");
+    }
+
+    #[test]
+    fn channel_schedule_counts() {
+        let mut ch = ChannelSchedule::new(0, 2);
+        ch.grid.push(vec![Some(NzSlot::private(1.0, 0, 0)), None]);
+        ch.grid.push(vec![None, None]);
+        assert_eq!(ch.cycles(), 2);
+        assert_eq!(ch.stalls(), 3);
+        assert_eq!(ch.nonzeros(), 1);
+        assert_eq!(ch.stalls_per_lane(2), vec![1, 2]);
+    }
+
+    #[test]
+    fn trim_removes_only_trailing_stall_cycles() {
+        let mut ch = ChannelSchedule::new(0, 1);
+        ch.grid.push(vec![None]);
+        ch.grid.push(vec![Some(NzSlot::private(1.0, 0, 0))]);
+        ch.grid.push(vec![None]);
+        ch.grid.push(vec![None]);
+        ch.trim_trailing_stalls();
+        assert_eq!(ch.cycles(), 2);
+        // Leading stall cycle survives.
+        assert_eq!(ch.stalls(), 1);
+    }
+
+    #[test]
+    fn data_list_round_trips_through_wire_format() {
+        let cfg = SchedulerConfig::toy(1, 2, 10);
+        let mut ch = ChannelSchedule::new(0, 2);
+        ch.grid.push(vec![Some(NzSlot::private(2.5, 0, 3)), None]);
+        let words = ch.data_list(&cfg);
+        assert_eq!(words.len(), 2);
+        let e = SparseElement::unpack(words[0]).unwrap();
+        assert_eq!(e.value, 2.5);
+        assert_eq!(e.local_col, 3);
+        assert!(SparseElement::is_stall(words[1]));
+    }
+
+    #[test]
+    fn underutilization_matches_eq4() {
+        let cfg = SchedulerConfig::toy(1, 1, 10);
+        let mut ch = ChannelSchedule::new(0, 1);
+        ch.grid.push(vec![Some(NzSlot::private(1.0, 0, 0))]);
+        ch.grid.push(vec![None]);
+        ch.grid.push(vec![None]);
+        let s = ScheduledMatrix { config: cfg, channels: vec![ch], rows: 1, cols: 1, nnz: 1 };
+        assert!((s.underutilization() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_underutilization() {
+        let s = ScheduledMatrix {
+            config: SchedulerConfig::paper(),
+            channels: Vec::new(),
+            rows: 0,
+            cols: 0,
+            nnz: 0,
+        };
+        assert_eq!(s.underutilization(), 0.0);
+        assert_eq!(s.stream_cycles(), 0);
+    }
+
+    #[test]
+    fn partition_rows_groups_by_owner() {
+        let cfg = SchedulerConfig::toy(2, 2, 10);
+        // total_pes = 4: row 0 -> (0,0), row 1 -> (0,1), row 2 -> (1,0),
+        // row 5 -> (0,1).
+        let m = chason_sparse::CooMatrix::from_triplets(
+            6,
+            6,
+            vec![(0, 1, 1.0), (1, 0, 2.0), (2, 2, 3.0), (5, 5, 4.0), (1, 3, 5.0)],
+        )
+        .unwrap();
+        let parts = partition_rows(&m, &cfg);
+        assert_eq!(parts[0][0].len(), 1); // row 0
+        assert_eq!(parts[0][1].len(), 2); // rows 1 and 5
+        assert_eq!(parts[1][0].len(), 1); // row 2
+        assert_eq!(parts[0][1][0].1.len(), 2); // row 1 has 2 entries
+        assert_eq!(parts[0][1][1].0, 5);
+    }
+
+    #[test]
+    fn check_invariants_detects_missing_entry() {
+        let cfg = SchedulerConfig::toy(1, 1, 2);
+        let m = chason_sparse::CooMatrix::from_triplets(1, 1, vec![(0, 0, 1.0)]).unwrap();
+        let s = ScheduledMatrix {
+            config: cfg,
+            channels: vec![ChannelSchedule::new(0, 1)],
+            rows: 1,
+            cols: 1,
+            nnz: 1,
+        };
+        assert!(s.check_invariants(&m).is_err());
+    }
+
+    #[test]
+    fn check_invariants_detects_raw_violation() {
+        let cfg = SchedulerConfig::toy(1, 1, 5);
+        let m = chason_sparse::CooMatrix::from_triplets(
+            1,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 2.0)],
+        )
+        .unwrap();
+        let mut ch = ChannelSchedule::new(0, 1);
+        ch.grid.push(vec![Some(NzSlot::private(1.0, 0, 0))]);
+        ch.grid.push(vec![Some(NzSlot::private(2.0, 0, 1))]); // 1 cycle apart < 5
+        let s = ScheduledMatrix { config: cfg, channels: vec![ch], rows: 1, cols: 2, nnz: 2 };
+        let err = s.check_invariants(&m).unwrap_err();
+        assert!(err.contains("RAW"), "unexpected error: {err}");
+    }
+}

@@ -1,0 +1,277 @@
+//! Column-window partitioning (§4.1).
+//!
+//! The dense vector `x` does not fit on chip, and the wire format carries
+//! only 13 column bits, so the accelerator processes a matrix in segments of
+//! `W = 8192` columns. Each window is scheduled independently; the engine
+//! streams them back-to-back, reloading the on-chip `x` buffer between
+//! windows.
+
+use crate::element::WINDOW;
+use chason_sparse::{CooMatrix, CscMatrix};
+use serde::{Deserialize, Serialize};
+
+/// One column window of a matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnWindow {
+    /// Index of this window (0-based).
+    pub index: usize,
+    /// First source column covered (inclusive).
+    pub col_start: usize,
+    /// One past the last source column covered.
+    pub col_end: usize,
+    /// The window's entries as a matrix with columns rebased to
+    /// `0..(col_end - col_start)`.
+    pub matrix: CooMatrix,
+}
+
+impl ColumnWindow {
+    /// Width of the window in columns.
+    pub fn width(&self) -> usize {
+        self.col_end - self.col_start
+    }
+}
+
+/// Splits `matrix` into windows of at most `window` columns.
+///
+/// Rows are preserved; columns are rebased per window. Every source entry
+/// appears in exactly one window.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+///
+/// # Example
+///
+/// ```
+/// use chason_core::window::partition_columns;
+/// use chason_sparse::CooMatrix;
+///
+/// # fn main() -> Result<(), chason_sparse::SparseError> {
+/// let m = CooMatrix::from_triplets(2, 10, vec![(0, 1, 1.0), (1, 9, 2.0)])?;
+/// let windows = partition_columns(&m, 4);
+/// assert_eq!(windows.len(), 3);
+/// assert_eq!(windows[2].matrix.triplets(), &[(1, 1, 2.0)]); // col 9 -> 1
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition_columns(matrix: &CooMatrix, window: usize) -> Vec<ColumnWindow> {
+    assert!(window > 0, "window width must be positive");
+    let cols = matrix.cols();
+    if cols == 0 {
+        return Vec::new();
+    }
+    let csc = CscMatrix::from(matrix);
+    let mut windows = Vec::with_capacity(cols.div_ceil(window));
+    let mut start = 0usize;
+    let mut index = 0usize;
+    while start < cols {
+        let end = (start + window).min(cols);
+        let triplets = csc.column_window(start, end);
+        let m = CooMatrix::from_triplets(matrix.rows(), end - start, triplets)
+            .expect("window triplets are in range by construction");
+        windows.push(ColumnWindow { index, col_start: start, col_end: end, matrix: m });
+        start = end;
+        index += 1;
+    }
+    windows
+}
+
+/// Splits `matrix` into the paper's `W = 8192` column windows.
+pub fn partition_paper_windows(matrix: &CooMatrix) -> Vec<ColumnWindow> {
+    partition_columns(matrix, WINDOW)
+}
+
+/// Number of `W`-wide windows a matrix of `cols` columns needs.
+pub fn window_count(cols: usize, window: usize) -> usize {
+    if window == 0 {
+        0
+    } else {
+        cols.div_ceil(window)
+    }
+}
+
+/// One row partition of a matrix (§4.5: matrices whose per-PE row count
+/// exceeds the partial-sum URAM capacity are split and fed in passes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowPartition {
+    /// Index of this partition (0-based).
+    pub index: usize,
+    /// First source row covered (inclusive).
+    pub row_start: usize,
+    /// One past the last source row covered.
+    pub row_end: usize,
+    /// The partition's entries with rows rebased to `0..(row_end - row_start)`.
+    ///
+    /// The rebase offset is a multiple of the total PE count, so every row
+    /// keeps its PE assignment (`row % total_PEs` is invariant) while its
+    /// per-PE URAM address shrinks to fit.
+    pub matrix: CooMatrix,
+}
+
+/// Splits `matrix` into row partitions of at most `max_rows_per_pe` rows
+/// per PE for a machine with `total_pes` processing elements.
+///
+/// Every source entry appears in exactly one partition; results can be
+/// computed per partition and concatenated.
+///
+/// # Panics
+///
+/// Panics if `max_rows_per_pe == 0` or `total_pes == 0`.
+///
+/// # Example
+///
+/// ```
+/// use chason_core::window::partition_rows_capacity;
+/// use chason_sparse::CooMatrix;
+///
+/// # fn main() -> Result<(), chason_sparse::SparseError> {
+/// let m = CooMatrix::from_triplets(10, 2, vec![(0, 0, 1.0), (9, 1, 2.0)])?;
+/// // 2 PEs, at most 2 rows per PE -> passes of 4 rows.
+/// let parts = partition_rows_capacity(&m, 2, 2);
+/// assert_eq!(parts.len(), 3);
+/// assert_eq!(parts[2].matrix.triplets(), &[(1, 1, 2.0)]); // row 9 -> 1
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition_rows_capacity(
+    matrix: &CooMatrix,
+    max_rows_per_pe: usize,
+    total_pes: usize,
+) -> Vec<RowPartition> {
+    assert!(max_rows_per_pe > 0, "per-PE row capacity must be positive");
+    assert!(total_pes > 0, "total PE count must be positive");
+    let span = max_rows_per_pe * total_pes;
+    let rows = matrix.rows();
+    if rows == 0 {
+        return Vec::new();
+    }
+    let parts = rows.div_ceil(span);
+    let mut buckets: Vec<Vec<chason_sparse::Triplet>> = vec![Vec::new(); parts];
+    for &(r, c, v) in matrix.iter() {
+        let p = r / span;
+        buckets[p].push((r - p * span, c, v));
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(index, triplets)| {
+            let row_start = index * span;
+            let row_end = ((index + 1) * span).min(rows);
+            let m = CooMatrix::from_triplets(row_end - row_start, matrix.cols(), triplets)
+                .expect("partition triplets are in range by construction");
+            RowPartition { index, row_start, row_end, matrix: m }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chason_sparse::generators::uniform_random;
+
+    #[test]
+    fn windows_cover_every_entry_once() {
+        let m = uniform_random(50, 100, 400, 5);
+        let windows = partition_columns(&m, 16);
+        let total: usize = windows.iter().map(|w| w.matrix.nnz()).sum();
+        assert_eq!(total, 400);
+        // Reconstituting global coordinates recovers the source.
+        let mut rebuilt = Vec::new();
+        for w in &windows {
+            for &(r, c, v) in w.matrix.iter() {
+                rebuilt.push((r, c + w.col_start, v));
+            }
+        }
+        rebuilt.sort_by_key(|&(r, c, _)| (r, c));
+        assert_eq!(rebuilt, m.triplets());
+    }
+
+    #[test]
+    fn window_boundaries_are_contiguous() {
+        let m = uniform_random(10, 100, 50, 1);
+        let windows = partition_columns(&m, 30);
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[0].col_start, 0);
+        assert_eq!(windows[3].col_end, 100);
+        for pair in windows.windows(2) {
+            assert_eq!(pair[0].col_end, pair[1].col_start);
+        }
+        assert_eq!(windows[3].width(), 10); // trailing partial window
+    }
+
+    #[test]
+    fn narrow_matrix_is_a_single_window() {
+        let m = uniform_random(10, 10, 20, 2);
+        let windows = partition_paper_windows(&m);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].matrix, m);
+    }
+
+    #[test]
+    fn zero_column_matrix_has_no_windows() {
+        let m = chason_sparse::CooMatrix::new(5, 0);
+        assert!(partition_columns(&m, 8).is_empty());
+    }
+
+    #[test]
+    fn window_count_math() {
+        assert_eq!(window_count(8192, 8192), 1);
+        assert_eq!(window_count(8193, 8192), 2);
+        assert_eq!(window_count(0, 8192), 0);
+        assert_eq!(window_count(10, 0), 0);
+    }
+
+    #[test]
+    fn row_partitions_cover_every_entry_once() {
+        let m = uniform_random(100, 20, 300, 4);
+        let parts = partition_rows_capacity(&m, 3, 8); // spans of 24 rows
+        assert_eq!(parts.len(), 100usize.div_ceil(24));
+        let total: usize = parts.iter().map(|p| p.matrix.nnz()).sum();
+        assert_eq!(total, 300);
+        let mut rebuilt = Vec::new();
+        for p in &parts {
+            for &(r, c, v) in p.matrix.iter() {
+                rebuilt.push((r + p.row_start, c, v));
+            }
+        }
+        rebuilt.sort_by_key(|&(r, c, _)| (r, c));
+        assert_eq!(rebuilt, m.triplets());
+    }
+
+    #[test]
+    fn row_partitions_preserve_pe_assignment() {
+        let m = uniform_random(64, 8, 120, 9);
+        let total_pes = 8;
+        for p in partition_rows_capacity(&m, 2, total_pes) {
+            for &(r, _, _) in p.matrix.iter() {
+                assert_eq!(
+                    (r + p.row_start) % total_pes,
+                    r % total_pes,
+                    "rebase must not change the PE a row maps to"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_when_capacity_suffices() {
+        let m = uniform_random(16, 16, 40, 2);
+        let parts = partition_rows_capacity(&m, 8, 4);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].matrix, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let m = chason_sparse::CooMatrix::new(4, 4);
+        let _ = partition_rows_capacity(&m, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width must be positive")]
+    fn zero_window_width_is_rejected() {
+        let m = chason_sparse::CooMatrix::new(1, 1);
+        let _ = partition_columns(&m, 0);
+    }
+}

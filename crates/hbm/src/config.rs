@@ -1,0 +1,130 @@
+use serde::{Deserialize, Serialize};
+
+/// Geometry and bandwidth of an HBM subsystem.
+///
+/// The default values describe the AMD Xilinx Alveo U55c used in the paper:
+/// 32 channels at 14.37 GB/s each (460 GB/s aggregate), 512-bit pseudo-channel
+/// ports, 16 GB capacity. §3.2 notes that 512 bits is the ideal read/write
+/// width, so each beat carries eight 64-bit sparse elements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmConfig {
+    /// Number of independent channels on the device.
+    pub channels: usize,
+    /// Width of a channel's read/write port in bits.
+    pub port_width_bits: usize,
+    /// Sustained per-channel bandwidth in GB/s.
+    pub channel_bandwidth_gbps: f64,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Size of one sparse element in bits (32-bit value + 32-bit metadata).
+    pub element_bits: usize,
+}
+
+impl HbmConfig {
+    /// The Alveo U55c HBM2 configuration used throughout the paper.
+    pub fn alveo_u55c() -> Self {
+        HbmConfig {
+            channels: 32,
+            port_width_bits: 512,
+            channel_bandwidth_gbps: 14.37,
+            capacity_bytes: 16 * (1 << 30),
+            element_bits: 64,
+        }
+    }
+
+    /// The Alveo U280 configuration (Serpens' original platform): same
+    /// geometry, lower sustained bandwidth (460 GB/s peak is not reached;
+    /// the paper quotes 273 GB/s usable on U280).
+    pub fn alveo_u280() -> Self {
+        HbmConfig { channel_bandwidth_gbps: 8.53, ..HbmConfig::alveo_u55c() }
+    }
+
+    /// Sparse elements carried by one beat (`port_width / element_bits`).
+    ///
+    /// For the paper's 64-bit elements this is 8 — which is why a PEG holds
+    /// 8 PEs, and why 64-bit precision (§5.5) would drop it to 5.
+    pub fn elements_per_beat(&self) -> usize {
+        self.port_width_bits / self.element_bits
+    }
+
+    /// Bytes carried by one beat.
+    pub fn bytes_per_beat(&self) -> usize {
+        self.port_width_bits / 8
+    }
+
+    /// Aggregate bandwidth of `n` active channels in GB/s.
+    pub fn aggregate_bandwidth_gbps(&self, active_channels: usize) -> f64 {
+        self.channel_bandwidth_gbps * active_channels.min(self.channels) as f64
+    }
+
+    /// Time to stream `bytes` through one channel, in seconds.
+    pub fn channel_stream_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.channel_bandwidth_gbps * 1e9)
+    }
+
+    /// Validates the configuration (non-zero geometry, element width divides
+    /// the port width).
+    pub fn is_valid(&self) -> bool {
+        self.channels > 0
+            && self.port_width_bits > 0
+            && self.element_bits > 0
+            && self.port_width_bits % self.element_bits == 0
+            && self.channel_bandwidth_gbps > 0.0
+    }
+}
+
+impl Default for HbmConfig {
+    fn default() -> Self {
+        HbmConfig::alveo_u55c()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u55c_matches_paper_numbers() {
+        let cfg = HbmConfig::alveo_u55c();
+        assert_eq!(cfg.channels, 32);
+        assert_eq!(cfg.elements_per_beat(), 8);
+        assert_eq!(cfg.bytes_per_beat(), 64);
+        // 32 channels at 14.37 GB/s is the quoted 460 GB/s peak.
+        let peak = cfg.aggregate_bandwidth_gbps(32);
+        assert!((peak - 459.84).abs() < 0.1, "peak {peak}");
+        // 19 channels is the paper's Chasoň allocation: 273 GB/s.
+        let used = cfg.aggregate_bandwidth_gbps(19);
+        assert!((used - 273.0).abs() < 0.1, "used {used}");
+    }
+
+    #[test]
+    fn aggregate_clamps_to_channel_count() {
+        let cfg = HbmConfig::alveo_u55c();
+        assert_eq!(cfg.aggregate_bandwidth_gbps(64), cfg.aggregate_bandwidth_gbps(32));
+    }
+
+    #[test]
+    fn sixty_four_bit_precision_drops_elements_per_beat() {
+        // §5.5: FP64 value + 32-bit metadata = 96 bits -> 5 elements/beat.
+        let cfg = HbmConfig { element_bits: 96, port_width_bits: 480, ..Default::default() };
+        assert_eq!(cfg.elements_per_beat(), 5);
+    }
+
+    #[test]
+    fn stream_time_scales_linearly() {
+        let cfg = HbmConfig::alveo_u55c();
+        let t1 = cfg.channel_stream_seconds(1_000_000);
+        let t2 = cfg.channel_stream_seconds(2_000_000);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(HbmConfig::alveo_u55c().is_valid());
+        assert!(HbmConfig::alveo_u280().is_valid());
+        let bad = HbmConfig { element_bits: 60, ..Default::default() };
+        assert!(!bad.is_valid(), "60 does not divide 512");
+        let bad = HbmConfig { channels: 0, ..Default::default() };
+        assert!(!bad.is_valid());
+    }
+}

@@ -1,0 +1,39 @@
+//! High-bandwidth-memory (HBM) channel model for the Chasoň simulation.
+//!
+//! The paper's accelerators are *streaming* designs: scheduled data lists are
+//! read sequentially from independent HBM channels at the channel's peak
+//! bandwidth (14.37 GB/s on the Alveo U55c), 512 bits per clock beat, eight
+//! 64-bit sparse elements per beat. Because the stream never stalls, the
+//! memory system's contribution to performance reduces to *how many beats
+//! each channel must transfer* — which is exactly what this crate models.
+//!
+//! * [`HbmConfig`] — stack geometry and per-channel bandwidth, with an
+//!   [`HbmConfig::alveo_u55c`] preset;
+//! * [`Channel`] / [`BeatStream`] — a channel holding a data list and the
+//!   512-bit beat iterator over it;
+//! * [`traffic`] — transfer accounting across channels, used by the paper's
+//!   "data transfer reduction" figure (Fig. 15).
+//!
+//! # Example
+//!
+//! ```
+//! use chason_hbm::{Channel, HbmConfig};
+//!
+//! let cfg = HbmConfig::alveo_u55c();
+//! let channel = Channel::with_data(0, (0..20u64).collect());
+//! // 20 elements, 8 per 512-bit beat -> 3 beats (last one padded).
+//! assert_eq!(channel.beats(&cfg), 3);
+//! assert_eq!(channel.bytes(&cfg), 3 * 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+pub mod timing;
+mod config;
+pub mod traffic;
+
+pub use channel::{BeatStream, Channel};
+pub use config::HbmConfig;
+pub use timing::StreamTiming;

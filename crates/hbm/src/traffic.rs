@@ -1,0 +1,136 @@
+//! Transfer accounting across a set of channels.
+//!
+//! Fig. 15 of the paper reports "data transfer reduction": Chasoň moves ~7×
+//! fewer bytes than Serpens for the same matrix because CrHCS removes the
+//! explicit zero padding from the channel lists. These helpers compute the
+//! byte totals and the derived efficiency metrics (Eq. 7).
+
+use crate::{Channel, HbmConfig};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate traffic of one streamed pass over a set of channels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSummary {
+    /// Channels that carried at least one beat.
+    pub active_channels: usize,
+    /// Total beats across all channels.
+    pub beats: u64,
+    /// Total bytes across all channels.
+    pub bytes: u64,
+    /// Beats on the longest channel (streaming makes this the time-critical
+    /// channel: all channels finish together after this many beats).
+    pub max_channel_beats: u64,
+}
+
+impl TrafficSummary {
+    /// Measures the traffic of streaming every channel once.
+    pub fn measure(channels: &[Channel], config: &HbmConfig) -> Self {
+        let mut beats = 0u64;
+        let mut active = 0usize;
+        let mut max_beats = 0u64;
+        for ch in channels {
+            let b = ch.beats(config);
+            beats += b;
+            max_beats = max_beats.max(b);
+            if b > 0 {
+                active += 1;
+            }
+        }
+        TrafficSummary {
+            active_channels: active,
+            beats,
+            bytes: beats * config.bytes_per_beat() as u64,
+            max_channel_beats: max_beats,
+        }
+    }
+
+    /// Wall-clock time of the streamed pass in seconds: the longest channel's
+    /// bytes over one channel's bandwidth (channels stream concurrently).
+    pub fn stream_seconds(&self, config: &HbmConfig) -> f64 {
+        config.channel_stream_seconds(self.max_channel_beats * config.bytes_per_beat() as u64)
+    }
+
+    /// Ratio of this pass's bytes to another pass's bytes.
+    ///
+    /// `other.transfer_reduction_vs(self)` > 1 means `self` moves less data.
+    /// Returns `f64::INFINITY` when `self` moves no bytes but `other` does,
+    /// and `1.0` when both are empty.
+    pub fn transfer_reduction_vs(&self, other: &TrafficSummary) -> f64 {
+        if self.bytes == 0 {
+            if other.bytes == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            other.bytes as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// Bandwidth efficiency (Eq. 7): throughput harnessed per GB/s of bandwidth.
+///
+/// Returns 0 when no bandwidth is used.
+pub fn bandwidth_efficiency(throughput_gflops: f64, bandwidth_gbps: f64) -> f64 {
+    if bandwidth_gbps <= 0.0 {
+        0.0
+    } else {
+        throughput_gflops / bandwidth_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HbmConfig {
+        HbmConfig::alveo_u55c()
+    }
+
+    fn channels(lengths: &[usize]) -> Vec<Channel> {
+        lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Channel::with_data(i, vec![1u64; n]))
+            .collect()
+    }
+
+    #[test]
+    fn measure_counts_beats_and_active_channels() {
+        let chs = channels(&[16, 8, 0, 3]);
+        let t = TrafficSummary::measure(&chs, &cfg());
+        assert_eq!(t.beats, 2 + 1 + 0 + 1);
+        assert_eq!(t.bytes, 4 * 64);
+        assert_eq!(t.active_channels, 3);
+        assert_eq!(t.max_channel_beats, 2);
+    }
+
+    #[test]
+    fn stream_time_is_set_by_longest_channel() {
+        let t = TrafficSummary::measure(&channels(&[80, 8]), &cfg());
+        let expected = cfg().channel_stream_seconds(10 * 64);
+        assert!((t.stream_seconds(&cfg()) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn transfer_reduction_ratio() {
+        let small = TrafficSummary::measure(&channels(&[8]), &cfg());
+        let large = TrafficSummary::measure(&channels(&[56]), &cfg());
+        assert!((small.transfer_reduction_vs(&large) - 7.0).abs() < 1e-12);
+        assert!((large.transfer_reduction_vs(&small) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_reduction_edge_cases() {
+        let empty = TrafficSummary::measure(&[], &cfg());
+        let some = TrafficSummary::measure(&channels(&[8]), &cfg());
+        assert_eq!(empty.transfer_reduction_vs(&empty), 1.0);
+        assert_eq!(empty.transfer_reduction_vs(&some), f64::INFINITY);
+    }
+
+    #[test]
+    fn bandwidth_efficiency_matches_eq7() {
+        assert!((bandwidth_efficiency(30.0, 273.0) - 0.1099).abs() < 1e-3);
+        assert_eq!(bandwidth_efficiency(30.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! The Chasoň accelerator engine (§4).
+
+use crate::config::{AcceleratorConfig, Execution};
+use crate::engine::execute;
+use crate::SimError;
+use chason_core::schedule::Crhcs;
+use chason_sparse::CooMatrix;
+
+/// The Chasoň streaming SpMV accelerator.
+///
+/// Chasoň schedules each column window with [`Crhcs`] (cross-channel data
+/// migration) and executes it on PEGs whose PEs carry a full ScUG (one
+/// `URAM_sh` per neighbour-channel PE), a Reduction Unit, and the extended
+/// Rearrange/Arbiter/Merger path. Runs at 301 MHz post-route on the Alveo
+/// U55c.
+///
+/// # Example
+///
+/// ```
+/// use chason_sim::{AcceleratorConfig, ChasonEngine};
+/// use chason_sparse::generators::uniform_random;
+///
+/// # fn main() -> Result<(), chason_sim::SimError> {
+/// let m = uniform_random(256, 256, 1000, 1);
+/// let x = vec![1.0f32; 256];
+/// let exec = ChasonEngine::new(AcceleratorConfig::chason()).run(&m, &x)?;
+/// assert_eq!(exec.mac_ops, 1000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChasonEngine {
+    config: AcceleratorConfig,
+    scheduler: Crhcs,
+}
+
+impl ChasonEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        ChasonEngine { config, scheduler: Crhcs::new() }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Executes `y = A·x`, returning the result vector and the cycle/traffic
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::VectorLengthMismatch`] if `x.len() != matrix.cols()`;
+    /// * [`SimError::RowCapacityExceeded`] if the matrix needs more
+    ///   partial-sum rows per PE than a URAM holds (row-partition first);
+    /// * [`SimError::InvalidConfig`] for inconsistent configurations.
+    pub fn run(&self, matrix: &CooMatrix, x: &[f32]) -> Result<Execution, SimError> {
+        execute(
+            "chason",
+            &self.scheduler,
+            &self.config,
+            self.config.sched.pes_per_channel * self.config.sched.migration_hops,
+            true,
+            matrix,
+            x,
+        )
+    }
+}
+
+impl Default for ChasonEngine {
+    fn default() -> Self {
+        ChasonEngine::new(AcceleratorConfig::chason())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chason_sparse::generators::{power_law, uniform_random};
+
+    fn reference(m: &CooMatrix, x: &[f32]) -> Vec<f32> {
+        m.spmv(x)
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            assert!(
+                (x - y).abs() / scale < 1e-4,
+                "row {i}: {x} vs {y} differ beyond FP reassociation tolerance"
+            );
+        }
+    }
+
+    #[test]
+    fn result_matches_reference_on_random_matrix() {
+        let m = uniform_random(300, 300, 2500, 11);
+        let x: Vec<f32> = (0..300).map(|i| (i as f32 * 0.37).sin()).collect();
+        let exec = ChasonEngine::default().run(&m, &x).unwrap();
+        assert_close(&exec.y, &reference(&m, &x));
+        assert_eq!(exec.mac_ops, 2500);
+        assert_eq!(exec.engine, "chason");
+    }
+
+    #[test]
+    fn result_matches_reference_on_skewed_matrix() {
+        let m = power_law(500, 500, 4000, 1.9, 23);
+        let x: Vec<f32> = (0..500).map(|i| 1.0 + (i % 7) as f32).collect();
+        let exec = ChasonEngine::default().run(&m, &x).unwrap();
+        assert_close(&exec.y, &reference(&m, &x));
+    }
+
+    #[test]
+    fn wide_matrix_spans_multiple_windows() {
+        // 20_000 columns -> 3 windows of W = 8192.
+        let m = uniform_random(64, 20_000, 5_000, 3);
+        let x = vec![0.5f32; 20_000];
+        let exec = ChasonEngine::default().run(&m, &x).unwrap();
+        assert_eq!(exec.windows, 3);
+        assert_close(&exec.y, &reference(&m, &x));
+        assert!(exec.cycles.x_reload >= 3);
+    }
+
+    #[test]
+    fn vector_length_is_validated() {
+        let m = uniform_random(10, 10, 10, 1);
+        let err = ChasonEngine::default().run(&m, &[1.0; 9]).unwrap_err();
+        assert!(matches!(err, SimError::VectorLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn oversized_matrix_reports_capacity() {
+        // 128 PEs * 8192 rows/PE = 1_048_576 rows max; exceed it.
+        let m = CooMatrix::new(1_100_000, 4);
+        let err = ChasonEngine::default().run(&m, &[0.0; 4]).unwrap_err();
+        assert!(matches!(err, SimError::RowCapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn empty_matrix_executes_cleanly() {
+        let m = CooMatrix::new(16, 16);
+        let exec = ChasonEngine::default().run(&m, &[1.0; 16]).unwrap();
+        assert_eq!(exec.y, vec![0.0; 16]);
+        assert_eq!(exec.cycles.stream, 0);
+    }
+
+    #[test]
+    fn reduction_cycles_are_charged() {
+        let m = uniform_random(256, 256, 500, 2);
+        let exec = ChasonEngine::default().run(&m, &vec![1.0; 256]).unwrap();
+        // 256 rows / 128 PEs = 2 rows per PE + tree depth 3, derated by the
+        // memory-path initiation interval.
+        let ii = AcceleratorConfig::chason().stream_ii;
+        assert_eq!(exec.cycles.reduction, ((2.0 + 3.0) * ii).ceil() as u64);
+    }
+}

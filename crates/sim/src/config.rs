@@ -1,0 +1,232 @@
+use chason_core::schedule::SchedulerConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a simulated accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Scheduling parameters (channels, PEs, dependency distance).
+    pub sched: SchedulerConfig,
+    /// Implemented clock frequency in MHz (301 for Chasoň, 223 for Serpens
+    /// — both post-place-and-route on the Alveo U55c, §4.5/§5.2).
+    pub clock_mhz: f64,
+    /// Column-window width (`W = 8192`, §4.1).
+    pub window: usize,
+    /// FP32 values the final merged output stream carries per cycle
+    /// (16, §4.3).
+    pub merge_width: usize,
+    /// FP32 words per cycle when reloading the on-chip `x` buffers between
+    /// windows (one 512-bit HBM channel feeds the broadcast).
+    pub x_reload_lanes: usize,
+    /// Effective initiation-interval inflation of the memory-path loops
+    /// (matrix stream, x reload, reduction sweep, output merge).
+    ///
+    /// The schedule model assumes one beat per clock; the real U55c
+    /// pipeline loses throughput to DRAM burst boundaries, refresh, AXI
+    /// handshaking and HLS II hiccups. This factor is calibrated so the
+    /// simulated absolute latencies land on Table 3's measurements (both
+    /// engines show the same ≈2.8× inflation over the ideal stream, so
+    /// speedup ratios are unaffected).
+    pub stream_ii: f64,
+    /// Fixed per-invocation cycles (kernel control, FIFO flush, XRT kick)
+    /// — the latency floor visible in the paper's smallest measurements
+    /// (CollegeMsg: 3 µs ≈ 900 cycles end to end).
+    pub invocation_overhead_cycles: u64,
+    /// Record per-stream-cycle PE occupancy into
+    /// [`Execution::occupancy`] (costs memory proportional to the stream
+    /// length; off by default).
+    pub record_occupancy: bool,
+}
+
+impl AcceleratorConfig {
+    /// The Chasoň implementation point: paper scheduling config at 301 MHz.
+    pub fn chason() -> Self {
+        AcceleratorConfig {
+            sched: SchedulerConfig::paper(),
+            clock_mhz: 301.0,
+            window: chason_core::element::WINDOW,
+            merge_width: 16,
+            x_reload_lanes: 16,
+            stream_ii: 2.8,
+            invocation_overhead_cycles: 500,
+            record_occupancy: false,
+        }
+    }
+
+    /// The Serpens baseline point: same parallelism at 223 MHz (§5.2).
+    pub fn serpens() -> Self {
+        AcceleratorConfig { clock_mhz: 223.0, ..AcceleratorConfig::chason() }
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / (self.clock_mhz * 1e6)
+    }
+
+    /// Validates the configuration.
+    pub fn is_valid(&self) -> bool {
+        self.sched.is_valid()
+            && self.clock_mhz > 0.0
+            && self.window > 0
+            && self.window <= chason_core::element::WINDOW
+            && self.merge_width > 0
+            && self.x_reload_lanes > 0
+            && self.stream_ii >= 1.0
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        AcceleratorConfig::chason()
+    }
+}
+
+/// Cycle accounting of one SpMV execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Cycles spent streaming the scheduled data lists (one beat per cycle
+    /// per channel, channels in lockstep).
+    pub stream: u64,
+    /// Pipeline fill/drain cycles (the accumulator depth, once per window).
+    pub fill_drain: u64,
+    /// Cycles reloading the dense-vector BRAMs between column windows.
+    pub x_reload: u64,
+    /// Reduction Unit sweep cycles (Chasoň only: adder tree over the ScUGs,
+    /// §4.2.2).
+    pub reduction: u64,
+    /// Arbiter/Merger output cycles (§4.3).
+    pub merge: u64,
+    /// Fixed kernel-invocation overhead cycles.
+    pub invocation: u64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles of the execution.
+    pub fn total(&self) -> u64 {
+        self.stream + self.fill_drain + self.x_reload + self.reduction + self.merge
+            + self.invocation
+    }
+}
+
+/// The result of one simulated SpMV execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Execution {
+    /// Engine name (`"chason"` or `"serpens"`).
+    pub engine: &'static str,
+    /// The computed output vector `y = A·x`.
+    pub y: Vec<f32>,
+    /// Cycle accounting.
+    pub cycles: CycleBreakdown,
+    /// Clock frequency the cycles run at (MHz).
+    pub clock_mhz: f64,
+    /// Source-matrix non-zeros.
+    pub nnz: usize,
+    /// Source-matrix rows.
+    pub rows: usize,
+    /// Source-matrix columns.
+    pub cols: usize,
+    /// Stall slots across all windows' schedules.
+    pub stalls: usize,
+    /// PE underutilization over the whole run (Eq. 4), in `[0, 1]`.
+    pub underutilization: f64,
+    /// Bytes streamed from the sparse-matrix HBM channels.
+    pub bytes_streamed: u64,
+    /// Bytes moved on the auxiliary channels: dense-vector `x` reloads and
+    /// the `y` writeback (the paper's 17th-19th channels).
+    pub bytes_auxiliary: u64,
+    /// Column windows processed.
+    pub windows: usize,
+    /// Multiply-accumulate operations performed (sanity: equals `nnz`).
+    pub mac_ops: u64,
+    /// Busy PEs per stream cycle across all channels (empty unless
+    /// [`AcceleratorConfig::record_occupancy`] is set). Windows are
+    /// concatenated in order.
+    pub occupancy: Vec<u16>,
+}
+
+impl Execution {
+    /// Wall-clock latency in seconds.
+    pub fn latency_seconds(&self) -> f64 {
+        self.cycles.total() as f64 / (self.clock_mhz * 1e6)
+    }
+
+    /// Wall-clock latency in milliseconds (the unit of Table 3).
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_seconds() * 1e3
+    }
+
+    /// Throughput in GFLOPS per Eq. 5: `2 (NNZ + K) / latency_ns`, where
+    /// `K` is the dense-vector length.
+    pub fn throughput_gflops(&self) -> f64 {
+        let latency_ns = self.latency_seconds() * 1e9;
+        if latency_ns == 0.0 {
+            0.0
+        } else {
+            2.0 * (self.nnz + self.cols) as f64 / latency_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_clocks() {
+        assert_eq!(AcceleratorConfig::chason().clock_mhz, 301.0);
+        assert_eq!(AcceleratorConfig::serpens().clock_mhz, 223.0);
+        assert!(AcceleratorConfig::chason().is_valid());
+        assert!(AcceleratorConfig::serpens().is_valid());
+        assert_eq!(AcceleratorConfig::default(), AcceleratorConfig::chason());
+    }
+
+    #[test]
+    fn cycle_seconds_inverts_frequency() {
+        let cfg = AcceleratorConfig::chason();
+        assert!((cfg.cycle_seconds() * 301e6 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_wider_than_wire_format_is_invalid() {
+        let cfg = AcceleratorConfig { window: 8193, ..AcceleratorConfig::chason() };
+        assert!(!cfg.is_valid());
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = CycleBreakdown {
+            stream: 10,
+            fill_drain: 2,
+            x_reload: 3,
+            reduction: 4,
+            merge: 5,
+            invocation: 6,
+        };
+        assert_eq!(b.total(), 30);
+        assert_eq!(CycleBreakdown::default().total(), 0);
+    }
+
+    #[test]
+    fn execution_metrics() {
+        let e = Execution {
+            engine: "test",
+            y: vec![],
+            cycles: CycleBreakdown { stream: 1000, ..Default::default() },
+            clock_mhz: 100.0,
+            nnz: 4000,
+            rows: 10,
+            cols: 1000,
+            stalls: 0,
+            underutilization: 0.0,
+            bytes_streamed: 0,
+            bytes_auxiliary: 0,
+            windows: 1,
+            mac_ops: 4000,
+            occupancy: Vec::new(),
+        };
+        // 1000 cycles at 100 MHz = 10 us = 10_000 ns.
+        assert!((e.latency_seconds() - 1e-5).abs() < 1e-15);
+        // Eq. 5: 2 * (4000 + 1000) / 10_000 ns = 1 GFLOPS.
+        assert!((e.throughput_gflops() - 1.0).abs() < 1e-12);
+        assert!((e.latency_ms() - 0.01).abs() < 1e-12);
+    }
+}

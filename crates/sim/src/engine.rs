@@ -1,0 +1,141 @@
+//! Shared execution core of the two accelerator engines.
+
+use crate::config::{AcceleratorConfig, CycleBreakdown, Execution};
+use crate::peg::Peg;
+use crate::rearrange::merge_outputs;
+use crate::SimError;
+use chason_core::schedule::Scheduler;
+use chason_core::window::partition_columns;
+use chason_sparse::CooMatrix;
+
+/// Runs one SpMV on the architecture described by `config`, scheduling each
+/// column window with `scheduler`.
+///
+/// `scug_size` selects the architecture family: `pes_per_channel` for
+/// Chasoň (one `URAM_sh` per neighbour PE), 0 for Serpens. When
+/// `has_reduction` is set the Reduction Unit sweep is charged to the cycle
+/// budget (§4.2.2); Serpens has no such unit.
+pub(crate) fn execute<S: Scheduler>(
+    engine: &'static str,
+    scheduler: &S,
+    config: &AcceleratorConfig,
+    scug_size: usize,
+    has_reduction: bool,
+    matrix: &CooMatrix,
+    x: &[f32],
+) -> Result<Execution, SimError> {
+    if !config.is_valid() {
+        return Err(SimError::InvalidConfig(
+            "accelerator configuration failed validation".to_string(),
+        ));
+    }
+    if x.len() != matrix.cols() {
+        return Err(SimError::VectorLengthMismatch {
+            got: x.len(),
+            expected: matrix.cols(),
+        });
+    }
+    let sched = &config.sched;
+    let rows_per_pe = matrix.rows().div_ceil(sched.total_pes().max(1));
+
+    // Build one PEG per channel.
+    let mut pegs = (0..sched.channels)
+        .map(|c| Peg::new(c, sched.pes_per_channel, config.window, rows_per_pe, scug_size))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let windows = partition_columns(matrix, config.window);
+    let mut cycles = CycleBreakdown::default();
+    let mut stalls = 0usize;
+    let mut bytes_streamed = 0u64;
+    let mut stamp_base = 0u64;
+    let mut bytes_auxiliary = 0u64;
+    let mut occupancy: Vec<u16> = Vec::new();
+
+    for window in &windows {
+        let schedule = scheduler.schedule(&window.matrix, sched);
+        // Reload every PEG's x buffer with this window's slice; the reload
+        // is broadcast from one HBM channel at `x_reload_lanes` words/cycle.
+        let x_slice = &x[window.col_start..window.col_end];
+        for peg in &mut pegs {
+            peg.load_x(x_slice);
+        }
+        cycles.x_reload += (x_slice.len().div_ceil(config.x_reload_lanes) as f64
+            * config.stream_ii)
+            .ceil() as u64;
+
+        // Stream: all channels advance in lockstep, one beat per cycle,
+        // derated by the calibrated initiation-interval inflation.
+        let stream_cycles = schedule.stream_cycles();
+        cycles.stream += (stream_cycles as f64 * config.stream_ii).ceil() as u64;
+        cycles.fill_drain += sched.dependency_distance as u64;
+        stalls += schedule.stalls();
+        // Every channel streams its (equalized) list: one 64-bit word per
+        // lane per cycle.
+        bytes_streamed +=
+            (stream_cycles * sched.channels * sched.pes_per_channel * 8) as u64;
+        bytes_auxiliary += (x_slice.len() * 4) as u64; // x reload
+
+        let occupancy_base = occupancy.len();
+        if config.record_occupancy {
+            occupancy.resize(occupancy_base + stream_cycles, 0);
+        }
+        for (c, channel) in schedule.channels.iter().enumerate() {
+            for (cycle, slots) in channel.grid.iter().enumerate() {
+                // Stamp the global cycle so the PEs' hazard detectors can
+                // verify the schedule is executable at II = 1; the base
+                // advances across windows (the reload gap separates them).
+                pegs[c].consume_cycle_at(slots, sched, Some(stamp_base + cycle as u64))?;
+                if config.record_occupancy {
+                    let busy = slots.iter().flatten().count() as u16;
+                    occupancy[occupancy_base + cycle] += busy;
+                }
+            }
+        }
+        stamp_base += (stream_cycles + sched.dependency_distance
+            + config.window.div_ceil(config.x_reload_lanes)) as u64;
+    }
+
+    // Reduction Unit sweep (Chasoň only): the adder tree visits every
+    // partial-sum address once per source lane's consolidated URAM, plus the
+    // tree's own depth (§4.2.2).
+    if has_reduction && scug_size > 0 {
+        let tree_depth = (sched.pes_per_channel as f64).log2().ceil() as u64;
+        cycles.reduction +=
+            ((rows_per_pe as u64 + tree_depth) as f64 * config.stream_ii).ceil() as u64;
+    }
+    // Arbiter/Merger drain: 16 FP32 output values per cycle (§4.3).
+    cycles.merge += (matrix.rows().div_ceil(config.merge_width) as f64 * config.stream_ii)
+        .ceil() as u64;
+    cycles.invocation += config.invocation_overhead_cycles;
+
+    let outputs: Vec<_> = pegs.iter().map(Peg::reduce).collect();
+    let y = merge_outputs(&outputs, sched, matrix.rows());
+    let mac_ops: u64 = pegs.iter().map(Peg::mac_ops).sum();
+    let hazards: u64 = pegs.iter().map(Peg::hazards).sum();
+    debug_assert_eq!(hazards, 0, "scheduler emitted a stream with RAW hazards");
+
+    let nnz = matrix.nnz();
+    let underutilization = if nnz + stalls == 0 {
+        0.0
+    } else {
+        stalls as f64 / (nnz + stalls) as f64
+    };
+
+    bytes_auxiliary += (matrix.rows() * 4) as u64; // y writeback
+    Ok(Execution {
+        engine,
+        y,
+        cycles,
+        clock_mhz: config.clock_mhz,
+        nnz,
+        rows: matrix.rows(),
+        cols: matrix.cols(),
+        stalls,
+        underutilization,
+        bytes_streamed,
+        bytes_auxiliary,
+        windows: windows.len(),
+        mac_ops,
+        occupancy,
+    })
+}

@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type of the architecture simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The matrix has more rows per PE than a partial-sum URAM can hold; the
+    /// problem must be row-partitioned before simulation (§4.5).
+    RowCapacityExceeded {
+        /// Rows the busiest PE would need to track.
+        rows_per_pe: usize,
+        /// URAM capacity in rows per PE.
+        capacity: usize,
+    },
+    /// The dense input vector length does not match the matrix columns.
+    VectorLengthMismatch {
+        /// Supplied vector length.
+        got: usize,
+        /// Matrix column count.
+        expected: usize,
+    },
+    /// The accelerator configuration is inconsistent.
+    InvalidConfig(String),
+    /// A scheduled slot was routed to hardware that cannot process it (e.g.
+    /// a migrated element reaching a Serpens PE, which has no ScUG).
+    RoutingViolation(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RowCapacityExceeded { rows_per_pe, capacity } => write!(
+                f,
+                "matrix needs {rows_per_pe} partial-sum rows per PE but URAMs hold {capacity}; row-partition the matrix"
+            ),
+            SimError::VectorLengthMismatch { got, expected } => {
+                write!(f, "dense vector length {got} does not match {expected} matrix columns")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid accelerator config: {msg}"),
+            SimError::RoutingViolation(msg) => write!(f, "routing violation: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::RowCapacityExceeded { rows_per_pe: 99999, capacity: 8192 };
+        assert!(e.to_string().contains("99999"));
+        let e = SimError::VectorLengthMismatch { got: 3, expected: 4 };
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

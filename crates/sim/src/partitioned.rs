@@ -1,0 +1,180 @@
+//! Row-partitioned execution (§4.5).
+//!
+//! Reducing the deployed ScUG size trades partial-sum capacity for URAMs:
+//! "it results in decreasing the size of the input sparse matrix A that can
+//! be processed in a single pass. In such a situation, we partition the
+//! bigger sparse matrix A and feed the partitions into Chasoň." This module
+//! implements that pass loop: the matrix is split on per-PE URAM capacity
+//! boundaries, each partition runs as an independent pass (paying its own
+//! invocation and reload overheads), and the output vector is concatenated.
+
+use crate::config::{CycleBreakdown, Execution};
+use crate::{ChasonEngine, SerpensEngine, SimError};
+use chason_core::window::partition_rows_capacity;
+use chason_sparse::CooMatrix;
+
+fn combine(engine: &'static str, parts: Vec<Execution>, cols: usize) -> Execution {
+    let mut y = Vec::new();
+    let mut cycles = CycleBreakdown::default();
+    let mut stalls = 0usize;
+    let mut nnz = 0usize;
+    let mut bytes = 0u64;
+    let mut bytes_aux = 0u64;
+    let mut windows = 0usize;
+    let mut mac_ops = 0u64;
+    let mut occupancy = Vec::new();
+    let clock_mhz = parts.first().map_or(1.0, |e| e.clock_mhz);
+    for e in parts {
+        y.extend_from_slice(&e.y);
+        occupancy.extend_from_slice(&e.occupancy);
+        cycles.stream += e.cycles.stream;
+        cycles.fill_drain += e.cycles.fill_drain;
+        cycles.x_reload += e.cycles.x_reload;
+        cycles.reduction += e.cycles.reduction;
+        cycles.merge += e.cycles.merge;
+        cycles.invocation += e.cycles.invocation;
+        stalls += e.stalls;
+        nnz += e.nnz;
+        bytes += e.bytes_streamed;
+        bytes_aux += e.bytes_auxiliary;
+        windows += e.windows;
+        mac_ops += e.mac_ops;
+    }
+    let underutilization =
+        if nnz + stalls == 0 { 0.0 } else { stalls as f64 / (nnz + stalls) as f64 };
+    Execution {
+        engine,
+        rows: y.len(),
+        y,
+        cycles,
+        clock_mhz,
+        nnz,
+        cols,
+        stalls,
+        underutilization,
+        bytes_streamed: bytes,
+        bytes_auxiliary: bytes_aux,
+        windows,
+        mac_ops,
+        occupancy,
+    }
+}
+
+macro_rules! impl_run_partitioned {
+    ($engine:ty, $name:literal) => {
+        impl $engine {
+            /// Executes `y = A·x`, automatically row-partitioning matrices
+            /// whose per-PE row count exceeds the partial-sum URAM capacity
+            /// (§4.5). Each pass pays its own invocation and x-reload
+            /// overheads, exactly as the hardware would.
+            ///
+            /// # Errors
+            ///
+            /// Same conditions as `run`, except that
+            /// [`SimError::RowCapacityExceeded`] can no longer occur.
+            pub fn run_partitioned(
+                &self,
+                matrix: &CooMatrix,
+                x: &[f32],
+            ) -> Result<Execution, SimError> {
+                if x.len() != matrix.cols() {
+                    return Err(SimError::VectorLengthMismatch {
+                        got: x.len(),
+                        expected: matrix.cols(),
+                    });
+                }
+                let total_pes = self.config().sched.total_pes();
+                let capacity = crate::memory::URAM_PARTIALS;
+                if matrix.rows().div_ceil(total_pes.max(1)) <= capacity {
+                    return self.run(matrix, x);
+                }
+                let parts = partition_rows_capacity(matrix, capacity, total_pes)
+                    .iter()
+                    .map(|p| self.run(&p.matrix, x))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(combine($name, parts, matrix.cols()))
+            }
+        }
+    };
+}
+
+impl_run_partitioned!(ChasonEngine, "chason");
+impl_run_partitioned!(SerpensEngine, "serpens");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AcceleratorConfig;
+    use chason_core::schedule::SchedulerConfig;
+    use chason_sparse::generators::uniform_random;
+
+    /// A tiny machine (4 PEs) makes partitioning kick in at small sizes
+    /// without allocating million-row URAM mirrors.
+    fn tiny_engine() -> ChasonEngine {
+        ChasonEngine::new(AcceleratorConfig {
+            sched: SchedulerConfig::toy(2, 2, 4),
+            ..AcceleratorConfig::chason()
+        })
+    }
+
+    #[test]
+    fn small_matrices_take_the_single_pass_path() {
+        let m = uniform_random(128, 64, 400, 3);
+        let x = vec![1.0f32; 64];
+        let direct = ChasonEngine::default().run(&m, &x).unwrap();
+        let auto = ChasonEngine::default().run_partitioned(&m, &x).unwrap();
+        assert_eq!(direct, auto);
+    }
+
+    #[test]
+    fn oversized_matrix_is_partitioned_and_correct() {
+        // 4 PEs x 8192 rows/PE = 32_768 rows per pass; use 70_000 rows.
+        let m = uniform_random(70_000, 128, 30_000, 5);
+        let x: Vec<f32> = (0..128).map(|i| 0.25 + (i % 3) as f32).collect();
+        let engine = tiny_engine();
+        assert!(matches!(engine.run(&m, &x), Err(SimError::RowCapacityExceeded { .. })));
+        let exec = engine.run_partitioned(&m, &x).unwrap();
+        assert_eq!(exec.y.len(), 70_000);
+        assert_eq!(exec.mac_ops, 30_000);
+        let oracle = m.spmv(&x);
+        for (i, (a, b)) in exec.y.iter().zip(&oracle).enumerate() {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            assert!((a - b).abs() / scale < 1e-4, "row {i}: {a} vs {b}");
+        }
+        // Three passes, each paying an invocation overhead.
+        let passes = 70_000usize.div_ceil(32_768) as u64;
+        assert_eq!(
+            exec.cycles.invocation,
+            passes * engine.config().invocation_overhead_cycles
+        );
+    }
+
+    #[test]
+    fn serpens_partitions_too() {
+        let m = uniform_random(40_000, 64, 10_000, 7);
+        let x = vec![0.5f32; 64];
+        let engine = SerpensEngine::new(AcceleratorConfig {
+            sched: SchedulerConfig::toy(2, 2, 4),
+            clock_mhz: 223.0,
+            ..AcceleratorConfig::serpens()
+        });
+        let exec = engine.run_partitioned(&m, &x).unwrap();
+        assert_eq!(exec.engine, "serpens");
+        assert_eq!(exec.y.len(), 40_000);
+        let oracle = m.spmv(&x);
+        let err: f32 = exec
+            .y
+            .iter()
+            .zip(&oracle)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(err < 1e-2, "max abs err {err}");
+    }
+
+    #[test]
+    fn vector_mismatch_is_still_detected() {
+        let m = uniform_random(10, 10, 10, 1);
+        let err = ChasonEngine::default().run_partitioned(&m, &[1.0; 3]).unwrap_err();
+        assert!(matches!(err, SimError::VectorLengthMismatch { .. }));
+    }
+}

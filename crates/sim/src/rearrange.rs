@@ -1,0 +1,129 @@
+//! The Rearrange Unit: Re-order, Arbiter and Merger (§4.3, Fig. 8).
+//!
+//! After streaming, each PEG holds two groups of final partial sums: the
+//! private sums of its own channel's rows and the consolidated shared sums
+//! that belong to the rows of the *next* channel in the ring. The Re-order
+//! Unit aligns the shared streams with the channel they belong to, and the
+//! Merger adds the private and shared streams so every output row is
+//! complete before it leaves the accelerator.
+
+use crate::peg::PegOutputs;
+use chason_core::schedule::SchedulerConfig;
+
+/// Merges per-PEG outputs into the dense result vector `y`.
+///
+/// For the row owned by `(channel c, lane l)` at local address `r`:
+///
+/// ```text
+/// y[row] = pvt[c][l][r] + Σ_hop shared[(c + C − hop) % C][(hop−1)·P + l][r]
+/// ```
+///
+/// — channel `d`'s hop-`h` ScUG banks hold partial sums for channel
+/// `(d + h) % C`, so the shared contributions of channel `c`'s rows live in
+/// its ring predecessors (one per migration hop; the deployed design has
+/// one). PEGs without shared outputs (Serpens) contribute private sums
+/// only.
+pub(crate) fn merge_outputs(
+    outputs: &[PegOutputs],
+    sched: &SchedulerConfig,
+    rows: usize,
+) -> Vec<f32> {
+    let channels = sched.channels;
+    let pes = sched.pes_per_channel;
+    let mut y = vec![0.0f32; rows];
+    for (row, out) in y.iter_mut().enumerate() {
+        let c = sched.channel_for_row(row);
+        let l = sched.lane_for_row(row);
+        let r = sched.local_row(row);
+        let mut acc = 0.0f32;
+        if let Some(pvt) = outputs.get(c).and_then(|o| o.pvt.get(l)) {
+            if let Some(&v) = pvt.get(r) {
+                acc += v;
+            }
+        }
+        if channels >= 2 {
+            for hop in 1..=sched.migration_hops.min(channels - 1) {
+                let holder = (c + channels - hop) % channels;
+                let bank = (hop - 1) * pes + l;
+                if let Some(sh) = outputs.get(holder).and_then(|o| o.shared.get(bank)) {
+                    if let Some(&v) = sh.get(r) {
+                        acc += v;
+                    }
+                }
+            }
+        }
+        *out = acc;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outputs_2ch() -> Vec<PegOutputs> {
+        // 2 channels x 2 lanes, 2 local rows each (rows 0..8).
+        vec![
+            PegOutputs {
+                // channel 0 private: rows 0 (l0,r0), 4 (l0,r1), 1 (l1,r0), 5 (l1,r1)
+                pvt: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+                // channel 0 shared: rows of channel 1 -> rows 2, 6 (lane 0), 3, 7 (lane 1)
+                shared: vec![vec![10.0, 20.0], vec![30.0, 40.0]],
+            },
+            PegOutputs {
+                // channel 1 private: rows 2, 6, 3, 7
+                pvt: vec![vec![100.0, 200.0], vec![300.0, 400.0]],
+                // channel 1 shared: rows of channel 0
+                shared: vec![vec![0.5, 0.25], vec![0.125, 0.0625]],
+            },
+        ]
+    }
+
+    #[test]
+    fn merge_adds_private_and_ring_predecessor_shared() {
+        let sched = SchedulerConfig::toy(2, 2, 4);
+        let y = merge_outputs(&outputs_2ch(), &sched, 8);
+        // Row 0: pvt ch0 lane0 r0 = 1.0, shared held by ch1 lane0 r0 = 0.5.
+        assert_eq!(y[0], 1.5);
+        // Row 2 (owned by ch1 lane0 r0): pvt 100.0 + ch0 shared 10.0.
+        assert_eq!(y[2], 110.0);
+        // Row 7 (ch1 lane1 r1): 400.0 + 40.0.
+        assert_eq!(y[7], 440.0);
+        // Row 4 (ch0 lane0 r1): 2.0 + 0.25.
+        assert_eq!(y[4], 2.25);
+    }
+
+    #[test]
+    fn serpens_outputs_use_private_only() {
+        let sched = SchedulerConfig::toy(2, 2, 4);
+        let outputs = vec![
+            PegOutputs { pvt: vec![vec![1.0], vec![2.0]], shared: vec![] },
+            PegOutputs { pvt: vec![vec![3.0], vec![4.0]], shared: vec![] },
+        ];
+        let y = merge_outputs(&outputs, &sched, 4);
+        assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn single_channel_skips_shared_lookup() {
+        let sched = SchedulerConfig::toy(1, 2, 4);
+        let outputs = vec![PegOutputs {
+            pvt: vec![vec![5.0], vec![6.0]],
+            shared: vec![vec![99.0], vec![99.0]],
+        }];
+        let y = merge_outputs(&outputs, &sched, 2);
+        // With one channel there is no neighbour; shared is ignored.
+        assert_eq!(y, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn rows_beyond_outputs_default_to_zero() {
+        let sched = SchedulerConfig::toy(2, 2, 4);
+        let outputs = vec![
+            PegOutputs { pvt: vec![vec![], vec![]], shared: vec![] },
+            PegOutputs { pvt: vec![vec![], vec![]], shared: vec![] },
+        ];
+        let y = merge_outputs(&outputs, &sched, 4);
+        assert_eq!(y, vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Evaluation metrics (Eqs. 5–7) bundled per execution — the columns of
+//! Table 3.
+
+use crate::config::Execution;
+use crate::power::MeasuredPower;
+use serde::{Deserialize, Serialize};
+
+/// One row of a Table 3-style report: the derived metrics of a single
+/// accelerator execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceReport {
+    /// Engine that produced the execution.
+    pub engine: String,
+    /// Latency in milliseconds.
+    pub latency_ms: f64,
+    /// Throughput in GFLOPS (Eq. 5).
+    pub throughput_gflops: f64,
+    /// Bandwidth efficiency in GFLOPS per GB/s (Eq. 7).
+    pub bandwidth_efficiency: f64,
+    /// Energy efficiency in GFLOPS/W (Eq. 6).
+    pub energy_efficiency: f64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// PE underutilization in percent (Eq. 4).
+    pub underutilization_pct: f64,
+    /// Bytes streamed from the sparse-matrix channels.
+    pub bytes_streamed: u64,
+}
+
+impl PerformanceReport {
+    /// Builds a report from an execution, the aggregate sparse-matrix
+    /// bandwidth in GB/s (Eq. 7's denominator), and the measured power
+    /// (Eq. 6's denominator).
+    pub fn from_execution(
+        exec: &Execution,
+        bandwidth_gbps: f64,
+        power: MeasuredPower,
+    ) -> Self {
+        let gflops = exec.throughput_gflops();
+        PerformanceReport {
+            engine: exec.engine.to_string(),
+            latency_ms: exec.latency_ms(),
+            throughput_gflops: gflops,
+            bandwidth_efficiency: if bandwidth_gbps > 0.0 {
+                gflops / bandwidth_gbps
+            } else {
+                0.0
+            },
+            energy_efficiency: power.energy_efficiency(gflops),
+            cycles: exec.cycles.total(),
+            underutilization_pct: exec.underutilization * 100.0,
+            bytes_streamed: exec.bytes_streamed,
+        }
+    }
+
+    /// Latency speedup of `self` over `other` (>1 means `self` is faster).
+    pub fn speedup_over(&self, other: &PerformanceReport) -> f64 {
+        if self.latency_ms == 0.0 {
+            return if other.latency_ms == 0.0 { 1.0 } else { f64::INFINITY };
+        }
+        other.latency_ms / self.latency_ms
+    }
+
+    /// Energy-efficiency gain of `self` over `other`.
+    pub fn energy_gain_over(&self, other: &PerformanceReport) -> f64 {
+        if other.energy_efficiency == 0.0 {
+            return if self.energy_efficiency == 0.0 { 1.0 } else { f64::INFINITY };
+        }
+        self.energy_efficiency / other.energy_efficiency
+    }
+
+    /// Data-transfer reduction of `self` relative to `other` (>1 means
+    /// `self` moves less data) — the Fig. 15 metric.
+    pub fn transfer_reduction_over(&self, other: &PerformanceReport) -> f64 {
+        if self.bytes_streamed == 0 {
+            return if other.bytes_streamed == 0 { 1.0 } else { f64::INFINITY };
+        }
+        other.bytes_streamed as f64 / self.bytes_streamed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CycleBreakdown;
+
+    fn exec(engine: &'static str, cycles: u64, mhz: f64, bytes: u64) -> Execution {
+        Execution {
+            engine,
+            y: vec![],
+            cycles: CycleBreakdown { stream: cycles, ..Default::default() },
+            clock_mhz: mhz,
+            nnz: 100_000,
+            rows: 1000,
+            cols: 1000,
+            stalls: 100_000,
+            underutilization: 0.5,
+            bytes_streamed: bytes,
+            bytes_auxiliary: 0,
+            windows: 1,
+            mac_ops: 100_000,
+            occupancy: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn report_derives_all_metrics() {
+        let e = exec("chason", 301_000, 301.0, 4096); // exactly 1 ms
+        let r = PerformanceReport::from_execution(&e, 273.0, MeasuredPower::chason());
+        assert!((r.latency_ms - 1.0).abs() < 1e-9);
+        // Eq. 5: 2 * 101_000 / 1e6 ns = 0.202 GFLOPS.
+        assert!((r.throughput_gflops - 0.202).abs() < 1e-9);
+        assert!((r.bandwidth_efficiency - 0.202 / 273.0).abs() < 1e-12);
+        assert!((r.energy_efficiency - 0.202 / 39.0).abs() < 1e-12);
+        assert!((r.underutilization_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_and_gains_compare_correctly() {
+        let fast = PerformanceReport::from_execution(
+            &exec("chason", 301_000, 301.0, 1000),
+            273.0,
+            MeasuredPower::chason(),
+        );
+        let slow = PerformanceReport::from_execution(
+            &exec("serpens", 892_000, 223.0, 7000), // 4 ms
+            273.0,
+            MeasuredPower::serpens(),
+        );
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
+        assert!((fast.transfer_reduction_over(&slow) - 7.0).abs() < 1e-12);
+        assert!(fast.energy_gain_over(&slow) > 1.0);
+    }
+
+    #[test]
+    fn zero_denominators_are_graceful() {
+        let r = PerformanceReport::from_execution(
+            &exec("chason", 0, 301.0, 0),
+            0.0,
+            MeasuredPower { watts: 0.0 },
+        );
+        assert_eq!(r.bandwidth_efficiency, 0.0);
+        assert_eq!(r.energy_efficiency, 0.0);
+        assert_eq!(r.speedup_over(&r), 1.0);
+        assert_eq!(r.transfer_reduction_over(&r), 1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! FPGA resource model (Table 1 and Eq. 3 of §4.5).
+//!
+//! Resource consumption is a static function of the architecture
+//! parameters: PEG count, PEs per PEG, and the ScUG size. The per-unit
+//! coefficients below are calibrated so the two paper operating points
+//! reproduce Table 1 exactly:
+//!
+//! | | Serpens | Chasoň |
+//! |---|---|---|
+//! | LUT | 219 K (16%) | 346 K (26%) |
+//! | FF | 252 K (9.6%) | 418 K (16%) |
+//! | DSP | 798 (9.6%) | 1254 (13%) |
+//! | BRAM18K | 1024 (28%) | 1024 (28%) |
+//! | URAM | 384 (40%) | 512 (52%) |
+//!
+//! URAM counts follow §4.5's accounting: each PE owns `scug_urams` shared
+//! banks plus one private bank, so `URAMs = PEG × PE × (ScUG + pvt)`. The
+//! three sizes the section discusses — the full design (1024), the deployed
+//! design (512) and the theoretical minimum (256) — correspond to 7, 3 and
+//! 1 shared URAMs per PE respectively.
+
+use serde::{Deserialize, Serialize};
+
+/// Device totals of the AMD Xilinx Alveo U55c (XCU55C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceCapacity {
+    /// Lookup tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP slices.
+    pub dsp: u64,
+    /// 18 Kb block RAMs.
+    pub bram18k: u64,
+    /// UltraRAM blocks.
+    pub uram: u64,
+}
+
+impl DeviceCapacity {
+    /// The Alveo U55c totals (960 URAMs, as §4.5 states).
+    pub fn alveo_u55c() -> Self {
+        DeviceCapacity {
+            lut: 1_303_680,
+            ff: 2_607_360,
+            dsp: 9024,
+            bram18k: 4032,
+            uram: 960,
+        }
+    }
+}
+
+/// Architecture parameters the resource algebra consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceConfig {
+    /// Number of PEGs (= sparse-matrix HBM channels).
+    pub pegs: u64,
+    /// PEs per PEG.
+    pub pes_per_peg: u64,
+    /// Shared URAMs per PE's ScUG (0 for Serpens).
+    pub scug_urams: u64,
+    /// Whether the design has the CrHCS support units (Reduction Unit,
+    /// Re-order Unit, per-PE Router).
+    pub crhcs_support: bool,
+}
+
+impl ResourceConfig {
+    /// Chasoň as deployed: 16 PEGs × 8 PEs, 3 shared + 1 private URAM per
+    /// PE (512 total).
+    pub fn chason() -> Self {
+        ResourceConfig { pegs: 16, pes_per_peg: 8, scug_urams: 3, crhcs_support: true }
+    }
+
+    /// Serpens baseline: same parallelism, no CrHCS units; its partial-sum
+    /// store occupies 3 URAMs per PE (384 total, Table 1).
+    pub fn serpens() -> Self {
+        ResourceConfig { pegs: 16, pes_per_peg: 8, scug_urams: 0, crhcs_support: false }
+    }
+
+    /// Total PEs.
+    pub fn total_pes(&self) -> u64 {
+        self.pegs * self.pes_per_peg
+    }
+}
+
+/// A resource utilization estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Lookup tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP slices.
+    pub dsp: u64,
+    /// 18 Kb block RAMs.
+    pub bram18k: u64,
+    /// UltraRAM blocks.
+    pub uram: u64,
+}
+
+impl ResourceUsage {
+    /// Estimates usage for an architecture configuration.
+    ///
+    /// Coefficients are calibrated against Table 1 (see module docs): the
+    /// baseline datapath costs are per-PE; CrHCS support adds per-PE Router
+    /// and per-PEG Reduction/Re-order costs.
+    pub fn estimate(config: &ResourceConfig) -> Self {
+        let pes = config.total_pes();
+        // Baseline Serpens datapath (per PE): multiplier + adder + control.
+        let mut lut = pes * 1711; // 128 × 1711 ≈ 219 K
+        let mut ff = pes * 1969; // 128 × 1969 ≈ 252 K
+        let mut dsp = pes * 6 + 30; // 128 × 6 + 30 = 798
+        let bram18k = config.pegs * 32 + 512; // x buffers + I/O FIFOs = 1024
+        // Partial-sum URAMs: Serpens banks its store over 3 URAMs per PE;
+        // Chasoň replaces it with 1 private + `scug_urams` shared banks.
+        let uram_per_pe =
+            if config.crhcs_support { 1 + config.scug_urams } else { 3 };
+        let uram = pes * uram_per_pe;
+        if config.crhcs_support {
+            // Router muxes per PE, Reduction + Re-order units per PEG.
+            lut += pes * 727 + config.pegs * 2122; // ≈ +127 K
+            ff += pes * 1000 + config.pegs * 2375; // ≈ +166 K
+            dsp += pes * 3 + config.pegs * 4 + 8; // adder tree + re-order: +456
+        }
+        ResourceUsage { lut, ff, dsp, bram18k, uram }
+    }
+
+    /// Utilization percentages against a device.
+    pub fn utilization_pct(&self, device: &DeviceCapacity) -> [(&'static str, f64); 5] {
+        let pct = |used: u64, avail: u64| 100.0 * used as f64 / avail as f64;
+        [
+            ("LUT", pct(self.lut, device.lut)),
+            ("FF", pct(self.ff, device.ff)),
+            ("DSP", pct(self.dsp, device.dsp)),
+            ("BRAM18K", pct(self.bram18k, device.bram18k)),
+            ("URAM", pct(self.uram, device.uram)),
+        ]
+    }
+
+    /// Whether the design fits the device.
+    pub fn fits(&self, device: &DeviceCapacity) -> bool {
+        self.lut <= device.lut
+            && self.ff <= device.ff
+            && self.dsp <= device.dsp
+            && self.bram18k <= device.bram18k
+            && self.uram <= device.uram
+    }
+}
+
+/// §4.5's URAM accounting (Eq. 3, as deployed): total URAMs for a design
+/// with `pegs × pes` PEs and `scug_urams` shared banks plus one private
+/// bank per PE.
+pub fn uram_count(pegs: u64, pes_per_peg: u64, scug_urams: u64) -> u64 {
+    pegs * pes_per_peg * (scug_urams + 1)
+}
+
+/// On-chip memory the URAMs provide, in bytes (36 KB each on the U55c).
+pub fn uram_bytes(urams: u64) -> u64 {
+    urams * 36 * 1024
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chason_matches_table1() {
+        let u = ResourceUsage::estimate(&ResourceConfig::chason());
+        assert_eq!(u.uram, 512);
+        assert_eq!(u.bram18k, 1024);
+        assert!((u.lut as f64 - 346_000.0).abs() < 4_000.0, "lut {}", u.lut);
+        assert!((u.ff as f64 - 418_000.0).abs() < 4_000.0, "ff {}", u.ff);
+        assert_eq!(u.dsp, 1254);
+    }
+
+    #[test]
+    fn serpens_matches_table1() {
+        let u = ResourceUsage::estimate(&ResourceConfig::serpens());
+        assert_eq!(u.uram, 384);
+        assert_eq!(u.bram18k, 1024);
+        assert!((u.lut as f64 - 219_000.0).abs() < 1_000.0, "lut {}", u.lut);
+        assert!((u.ff as f64 - 252_000.0).abs() < 1_000.0, "ff {}", u.ff);
+        assert_eq!(u.dsp, 798);
+    }
+
+    #[test]
+    fn utilization_percentages_match_table1() {
+        let dev = DeviceCapacity::alveo_u55c();
+        let chason = ResourceUsage::estimate(&ResourceConfig::chason());
+        let pct: Vec<f64> = chason.utilization_pct(&dev).iter().map(|&(_, p)| p).collect();
+        assert!((pct[0] - 26.0).abs() < 1.5, "LUT% {}", pct[0]); // 26%
+        assert!((pct[4] - 52.0).abs() < 2.0, "URAM% {}", pct[4]); // 52%
+        assert!(chason.fits(&dev));
+    }
+
+    #[test]
+    fn full_scug_design_exceeds_the_device() {
+        // §4.5: the full design (7 shared + 1 private per PE = 1024 URAMs)
+        // exceeds the 960 available.
+        let full = ResourceConfig { scug_urams: 7, ..ResourceConfig::chason() };
+        let u = ResourceUsage::estimate(&full);
+        assert_eq!(u.uram, 1024);
+        assert!(!u.fits(&DeviceCapacity::alveo_u55c()));
+    }
+
+    #[test]
+    fn eq3_operating_points() {
+        assert_eq!(uram_count(16, 8, 7), 1024); // full design
+        assert_eq!(uram_count(16, 8, 3), 512); // as deployed
+        assert_eq!(uram_count(16, 8, 1), 256); // theoretical minimum
+    }
+
+    #[test]
+    fn deployed_uram_capacity_is_18_mb() {
+        // §4.5: 512 URAMs → 18 MB of partial-sum storage.
+        assert_eq!(uram_bytes(512), 18 * 1024 * 1024);
+        // Serpens: 384 URAMs → 13.5 MB.
+        assert_eq!(uram_bytes(384), (13.5 * 1024.0 * 1024.0) as u64);
+    }
+}

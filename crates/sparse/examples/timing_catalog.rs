@@ -1,0 +1,16 @@
+//! Prints per-matrix generation time and structure stats for the catalogs.
+fn main() {
+    for spec in chason_sparse::datasets::corpus(24, 1) {
+        let m = spec.generate();
+        let st = chason_sparse::stats::row_stats(&m);
+        println!(
+            "{:2} {:?} n={} nnz={} maxrow={} rho~{:.1}",
+            spec.index,
+            spec.recipe,
+            spec.dimension,
+            m.nnz(),
+            st.max_row_nnz,
+            1280.0 * st.max_row_nnz as f64 / m.nnz().max(1) as f64
+        );
+    }
+}

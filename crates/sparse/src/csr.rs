@@ -1,0 +1,332 @@
+use crate::{CooMatrix, SparseError, Triplet};
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in compressed sparse row (CSR) form.
+///
+/// CSR is the processing-friendly format: row-major iteration is O(nnz), and
+/// it is the layout every SpMV baseline in `chason-baselines` consumes. The
+/// row-pointer / column-index / value arrays follow the textbook layout:
+/// row `r`'s entries live at `values[row_ptr[r]..row_ptr[r + 1]]`.
+///
+/// # Example
+///
+/// ```
+/// use chason_sparse::{CooMatrix, CsrMatrix};
+///
+/// # fn main() -> Result<(), chason_sparse::SparseError> {
+/// let coo = CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 1, 2.0)])?;
+/// let csr = CsrMatrix::from(&coo);
+/// assert_eq!(csr.row(1), (&[1][..], &[2.0][..]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from its raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::MalformedStructure`] when the arrays are
+    /// inconsistent (wrong `row_ptr` length, non-monotonic pointers,
+    /// mismatched index/value lengths) and
+    /// [`SparseError::ColOutOfBounds`] for an out-of-range column index.
+    /// Column indices within a row must be strictly increasing.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Result<Self, SparseError> {
+        if row_ptr.len() != rows + 1 {
+            return Err(SparseError::MalformedStructure(format!(
+                "row_ptr length {} must be rows + 1 = {}",
+                row_ptr.len(),
+                rows + 1
+            )));
+        }
+        if row_ptr.first() != Some(&0) {
+            return Err(SparseError::MalformedStructure(
+                "row_ptr must start at 0".to_string(),
+            ));
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::MalformedStructure(format!(
+                "col_idx length {} must equal values length {}",
+                col_idx.len(),
+                values.len()
+            )));
+        }
+        if *row_ptr.last().expect("row_ptr is non-empty") != col_idx.len() {
+            return Err(SparseError::MalformedStructure(format!(
+                "row_ptr must end at nnz = {}",
+                col_idx.len()
+            )));
+        }
+        for w in row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(SparseError::MalformedStructure(
+                    "row_ptr must be non-decreasing".to_string(),
+                ));
+            }
+        }
+        for r in 0..rows {
+            let slice = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for (i, &c) in slice.iter().enumerate() {
+                if c >= cols {
+                    return Err(SparseError::ColOutOfBounds { col: c, cols });
+                }
+                if i > 0 && slice[i - 1] >= c {
+                    return Err(SparseError::MalformedStructure(format!(
+                        "column indices in row {r} must be strictly increasing"
+                    )));
+                }
+            }
+        }
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of explicit entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of cells that hold an explicit entry, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows as f64 * self.cols as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.values.len() as f64 / cells
+        }
+    }
+
+    /// The row-pointer array (`rows + 1` entries, starting at 0).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array, row-major.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The value array, row-major.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The column indices and values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> (&[usize], &[f32]) {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// Number of explicit entries in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Iterates over all entries as `(row, col, value)` triplets in row-major
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = Triplet> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Computes `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "dense vector length must equal matrix columns");
+        let mut y = vec![0.0f32; self.rows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// Computes `y = A·x` into a caller-provided buffer (overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "dense vector length must equal matrix columns");
+        assert_eq!(y.len(), self.rows, "output length must equal matrix rows");
+        for r in 0..self.rows {
+            let mut acc = 0.0f32;
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[i] * x[self.col_idx[i]];
+            }
+            y[r] = acc;
+        }
+    }
+}
+
+impl From<&CooMatrix> for CsrMatrix {
+    fn from(coo: &CooMatrix) -> Self {
+        let rows = coo.rows();
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in coo.iter() {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let nnz = coo.nnz();
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        // COO entries are already sorted by (row, col).
+        for &(_, c, v) in coo.iter() {
+            col_idx.push(c);
+            values.push(v);
+        }
+        CsrMatrix { rows, cols: coo.cols(), row_ptr, col_idx, values }
+    }
+}
+
+impl From<&CsrMatrix> for CooMatrix {
+    fn from(csr: &CsrMatrix) -> Self {
+        CooMatrix::from_triplets(csr.rows(), csr.cols(), csr.iter().collect())
+            .expect("a valid CSR matrix always yields valid triplets")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [0 3 4]
+        CsrMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 1, 2],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_parts_accepts_valid_structure() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_row_ptr_length() {
+        let err = CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedStructure(_)));
+    }
+
+    #[test]
+    fn from_parts_rejects_nonzero_start() {
+        let err =
+            CsrMatrix::from_parts(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedStructure(_)));
+    }
+
+    #[test]
+    fn from_parts_rejects_decreasing_row_ptr() {
+        let err = CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0])
+            .unwrap_err();
+        assert!(matches!(err, SparseError::MalformedStructure(_)));
+    }
+
+    #[test]
+    fn from_parts_rejects_wrong_tail() {
+        let err = CsrMatrix::from_parts(1, 2, vec![0, 3], vec![0, 1], vec![1.0, 2.0])
+            .unwrap_err();
+        assert!(matches!(err, SparseError::MalformedStructure(_)));
+    }
+
+    #[test]
+    fn from_parts_rejects_col_out_of_bounds() {
+        let err =
+            CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert_eq!(err, SparseError::ColOutOfBounds { col: 5, cols: 2 });
+    }
+
+    #[test]
+    fn from_parts_rejects_unsorted_columns_within_row() {
+        let err = CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0])
+            .unwrap_err();
+        assert!(matches!(err, SparseError::MalformedStructure(_)));
+    }
+
+    #[test]
+    fn conversion_from_coo_round_trips() {
+        let coo = CooMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 2, 4.0)],
+        )
+        .unwrap();
+        let csr = CsrMatrix::from(&coo);
+        let back = CooMatrix::from(&csr);
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn spmv_matches_coo_spmv() {
+        let m = sample();
+        let coo = CooMatrix::from(&m);
+        let x = [1.0, -1.0, 2.0];
+        assert_eq!(m.spmv(&x), coo.spmv(&x));
+    }
+
+    #[test]
+    fn spmv_handles_empty_rows() {
+        let m = sample();
+        let y = m.spmv(&[1.0, 1.0, 1.0]);
+        assert_eq!(y[1], 0.0);
+    }
+
+    #[test]
+    fn spmv_into_overwrites_stale_output() {
+        let m = sample();
+        let mut y = vec![99.0; 3];
+        m.spmv_into(&[0.0, 0.0, 0.0], &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn iter_yields_row_major_triplets() {
+        let m = sample();
+        let t: Vec<_> = m.iter().collect();
+        assert_eq!(t, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 2, 4.0)]);
+    }
+}

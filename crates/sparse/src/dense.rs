@@ -1,0 +1,205 @@
+use crate::SparseError;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major FP32 matrix.
+///
+/// Used as the `B` and `C` operands of the SpMM extension (§7.2 of the
+/// paper: `C = αAB + βC`) and as a convenience for building test oracles.
+///
+/// # Example
+///
+/// ```
+/// use chason_sparse::DenseMatrix;
+///
+/// # fn main() -> Result<(), chason_sparse::SparseError> {
+/// let mut m = DenseMatrix::zeros(2, 3);
+/// m.set(1, 2, 5.0);
+/// assert_eq!(m.get(1, 2), 5.0);
+/// assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::MalformedStructure`] when `data.len() !=
+    /// rows * cols`.
+    pub fn from_row_major(
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+    ) -> Result<Self, SparseError> {
+        if data.len() != rows * cols {
+            return Err(SparseError::MalformedStructure(format!(
+                "dense data length {} != {rows} x {cols}",
+                data.len()
+            )));
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every cell.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "dense index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Writes one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "dense index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row(&self, row: usize) -> &[f32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutably borrows one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copies one column into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= cols`.
+    pub fn column(&self, col: usize) -> Vec<f32> {
+        assert!(col < self.cols, "dense index out of bounds");
+        (0..self.rows).map(|r| self.data[r * self.cols + col]).collect()
+    }
+
+    /// The raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Scales every cell by `factor`.
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Largest absolute cell-wise difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch in dense comparison"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut m = DenseMatrix::zeros(3, 2);
+        assert_eq!(m.get(2, 1), 0.0);
+        m.set(2, 1, 7.5);
+        assert_eq!(m.get(2, 1), 7.5);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    fn from_row_major_validates_length() {
+        assert!(DenseMatrix::from_row_major(2, 2, vec![1.0; 3]).is_err());
+        let m = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn from_fn_fills_row_major() {
+        let m = DenseMatrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+        assert_eq!(m.column(2), vec![2.0, 12.0]);
+    }
+
+    #[test]
+    fn row_mut_edits_in_place() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0]);
+        assert_eq!(m.data(), &[1.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_and_diff() {
+        let mut a = DenseMatrix::from_row_major(1, 3, vec![1.0, -2.0, 3.0]).unwrap();
+        let b = a.clone();
+        a.scale(2.0);
+        assert_eq!(a.data(), &[2.0, -4.0, 6.0]);
+        assert_eq!(a.max_abs_diff(&b), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_panics_out_of_bounds() {
+        let m = DenseMatrix::zeros(1, 1);
+        let _ = m.get(0, 1);
+    }
+}

@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type returned by fallible operations in this crate.
+///
+/// All variants carry enough context to point at the offending entry, so a
+/// failed construction from a malformed MatrixMarket file or a bad triplet
+/// list can be reported precisely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// An entry's row index is outside `0..rows`.
+    RowOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+    },
+    /// An entry's column index is outside `0..cols`.
+    ColOutOfBounds {
+        /// Offending column index.
+        col: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// Two explicit entries share the same `(row, col)` coordinate.
+    DuplicateEntry {
+        /// Row of the duplicated coordinate.
+        row: usize,
+        /// Column of the duplicated coordinate.
+        col: usize,
+    },
+    /// A structural array (e.g. a CSR row-pointer array) is inconsistent.
+    MalformedStructure(String),
+    /// A MatrixMarket stream could not be parsed.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An I/O error occurred while reading or writing a matrix file.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::RowOutOfBounds { row, rows } => {
+                write!(f, "row index {row} out of bounds for matrix with {rows} rows")
+            }
+            SparseError::ColOutOfBounds { col, cols } => {
+                write!(f, "column index {col} out of bounds for matrix with {cols} columns")
+            }
+            SparseError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate explicit entry at ({row}, {col})")
+            }
+            SparseError::MalformedStructure(msg) => {
+                write!(f, "malformed sparse structure: {msg}")
+            }
+            SparseError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(err: std::io::Error) -> Self {
+        SparseError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let err = SparseError::RowOutOfBounds { row: 7, rows: 4 };
+        let msg = err.to_string();
+        assert!(msg.contains("7"));
+        assert!(msg.contains("4"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err = SparseError::from(io);
+        assert!(matches!(err, SparseError::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

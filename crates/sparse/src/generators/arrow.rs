@@ -1,0 +1,157 @@
+use super::rng_for;
+use crate::CooMatrix;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Generates an `n × n` "arrow" matrix with *exactly* `nnz` entries: a
+/// diagonal band of half-width `bandwidth` plus `dense_rows` heavy boundary
+/// rows (and matching boundary columns) that each touch a large fraction of
+/// the matrix.
+///
+/// This is the structure of direct-transcription optimal-control KKT
+/// systems (`dynamicSoaringProblem`, `lowThrust`, `hangGlider`,
+/// `reorientation`, `TSC_OPF`): per-stage locality in the band plus a few
+/// global-constraint rows that are nearly full. The heavy rows are what
+/// cripples intra-channel scheduling — a row with `h` non-zeros needs
+/// `h × D` cycles on its single PE under PE-aware scheduling, which is why
+/// Serpens shows 80–100% PE underutilization on these matrices (Fig. 12)
+/// and why CrHCS's cross-channel migration helps most.
+///
+/// Approximately 60% of `nnz` lands in the heavy boundary rows/columns and
+/// 40% in the band; `nnz` is clamped to the structure's capacity.
+///
+/// # Panics
+///
+/// Panics if `dense_rows > n`.
+///
+/// # Example
+///
+/// ```
+/// use chason_sparse::{generators::arrow_with_nnz, stats::row_stats};
+///
+/// let m = arrow_with_nnz(2000, 4, 4, 30_000, 7);
+/// assert_eq!(m.nnz(), 30_000);
+/// // The boundary rows are orders of magnitude heavier than band rows.
+/// assert!(row_stats(&m).max_row_nnz > 1_000);
+/// ```
+pub fn arrow_with_nnz(
+    n: usize,
+    bandwidth: usize,
+    dense_rows: usize,
+    nnz: usize,
+    seed: u64,
+) -> CooMatrix {
+    assert!(dense_rows <= n, "dense_rows cannot exceed the matrix dimension");
+    let mut rng = rng_for(seed);
+    if n == 0 {
+        return CooMatrix::new(0, 0);
+    }
+    let mut coords: HashSet<(usize, usize)> = HashSet::with_capacity(nnz);
+    // The boundary block occupies the last `dense_rows` rows and columns.
+    let boundary_start = n - dense_rows;
+    let band_cells: usize = (0..n)
+        .map(|r| {
+            let lo = r.saturating_sub(bandwidth);
+            let hi = (r + bandwidth).min(n - 1);
+            hi - lo + 1
+        })
+        .sum();
+    let boundary_distinct = 2 * dense_rows * n - dense_rows * dense_rows;
+    let target = nnz.min(band_cells + boundary_distinct);
+
+    // Heavy boundary rows: ~30% of the mass split *exactly evenly* across
+    // the dense rows, so the maximum row population — the quantity that
+    // sets the RAW-chain length and hence the scheduling behaviour — is
+    // deterministic, not subject to sampling variance.
+    if dense_rows > 0 {
+        let per_row = ((target * 3 / 10) / dense_rows).min(n);
+        for i in 0..dense_rows {
+            let r = boundary_start + i;
+            let mut cols_used = HashSet::with_capacity(per_row);
+            while cols_used.len() < per_row {
+                cols_used.insert(rng.gen_range(0..n));
+            }
+            for c in cols_used {
+                coords.insert((r, c));
+            }
+        }
+        // Heavy boundary columns: another ~30%, sampled uniformly (their
+        // entries spread across all rows, so they do not move the maximum).
+        let col_target = (coords.len() + target * 3 / 10).min(target);
+        let mut guard = 0usize;
+        while coords.len() < col_target && guard < 64 * target.max(1) {
+            guard += 1;
+            let r = rng.gen_range(0..n);
+            let c = boundary_start + rng.gen_range(0..dense_rows);
+            coords.insert((r, c));
+        }
+    }
+    // Fill the remainder from the band.
+    let mut guard = 0usize;
+    while coords.len() < target && guard < 64 * target.max(1) {
+        guard += 1;
+        let r = rng.gen_range(0..n);
+        let lo = r.saturating_sub(bandwidth);
+        let hi = (r + bandwidth).min(n - 1);
+        coords.insert((r, rng.gen_range(lo..=hi)));
+    }
+    // Saturated structures (tiny bands): top up anywhere to honour `nnz`.
+    while coords.len() < nnz.min(n * n) {
+        coords.insert((rng.gen_range(0..n), rng.gen_range(0..n)));
+    }
+    super::matrix_from_coords(n, n, coords, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{row_degrees, row_stats};
+
+    #[test]
+    fn exact_nnz_is_produced() {
+        let m = arrow_with_nnz(1000, 3, 2, 8000, 3);
+        assert_eq!(m.nnz(), 8000);
+    }
+
+    #[test]
+    fn boundary_rows_are_the_heaviest() {
+        let m = arrow_with_nnz(1000, 3, 3, 9000, 5);
+        let deg = row_degrees(&m);
+        let max_boundary = deg[997..].iter().max().copied().unwrap();
+        let max_interior = deg[..997].iter().max().copied().unwrap();
+        assert!(
+            max_boundary > 4 * max_interior,
+            "boundary {max_boundary} vs interior {max_interior}"
+        );
+    }
+
+    #[test]
+    fn interior_entries_stay_in_band_or_boundary_columns() {
+        let m = arrow_with_nnz(500, 2, 2, 3000, 9);
+        for &(r, c, _) in m.iter() {
+            let in_band = r.abs_diff(c) <= 2;
+            let in_boundary = r >= 498 || c >= 498;
+            assert!(in_band || in_boundary, "stray entry ({r}, {c})");
+        }
+    }
+
+    #[test]
+    fn no_dense_rows_degenerates_to_a_band() {
+        let m = arrow_with_nnz(300, 2, 0, 1000, 1);
+        assert_eq!(m.nnz(), 1000);
+        let s = row_stats(&m);
+        assert!(s.max_row_nnz <= 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(arrow_with_nnz(200, 2, 2, 900, 4), arrow_with_nnz(200, 2, 2, 900, 4));
+        assert_ne!(arrow_with_nnz(200, 2, 2, 900, 4), arrow_with_nnz(200, 2, 2, 900, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn rejects_too_many_dense_rows() {
+        let _ = arrow_with_nnz(10, 1, 11, 10, 0);
+    }
+}

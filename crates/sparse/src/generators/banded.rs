@@ -1,0 +1,146 @@
+use super::{rng_for, sample_value};
+use crate::CooMatrix;
+use rand::Rng;
+
+/// Generates an `n × n` banded matrix: cells within `bandwidth` of the
+/// diagonal are populated independently with probability `fill`.
+///
+/// Banded structure is the discretised-PDE / circuit regime of SuiteSparse
+/// matrices (`ckt11752_dc_1`, `trans5`): rows are near-uniformly populated,
+/// so stalls come from RAW dependencies rather than load imbalance.
+///
+/// # Panics
+///
+/// Panics if `fill` is not within `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use chason_sparse::generators::banded;
+///
+/// let m = banded(100, 2, 1.0, 0);
+/// // Full tridiagonal-plus band: every |r - c| <= 2 cell present.
+/// assert_eq!(m.nnz(), 100 + 2 * 99 + 2 * 98);
+/// ```
+pub fn banded(n: usize, bandwidth: usize, fill: f64, seed: u64) -> CooMatrix {
+    assert!((0.0..=1.0).contains(&fill), "fill must be within [0, 1]");
+    let mut rng = rng_for(seed);
+    let mut triplets = Vec::new();
+    for r in 0..n {
+        let lo = r.saturating_sub(bandwidth);
+        let hi = (r + bandwidth).min(n.saturating_sub(1));
+        for c in lo..=hi {
+            if n == 0 {
+                break;
+            }
+            if fill >= 1.0 || rng.gen::<f64>() < fill {
+                triplets.push((r, c, sample_value(&mut rng)));
+            }
+        }
+    }
+    CooMatrix::from_triplets(n, n, triplets)
+        .expect("band coordinates are unique by construction")
+}
+
+/// Generates an `n × n` banded matrix with *exactly* `nnz` entries sampled
+/// uniformly from the band of half-width `bandwidth`.
+///
+/// Used by the dataset catalog to hit Table 2's per-matrix non-zero counts
+/// precisely. `nnz` is clamped to the number of cells in the band.
+///
+/// # Example
+///
+/// ```
+/// use chason_sparse::generators::banded_with_nnz;
+///
+/// let m = banded_with_nnz(1000, 8, 5000, 1);
+/// assert_eq!(m.nnz(), 5000);
+/// ```
+pub fn banded_with_nnz(n: usize, bandwidth: usize, nnz: usize, seed: u64) -> CooMatrix {
+    let mut rng = rng_for(seed);
+    if n == 0 {
+        return CooMatrix::new(0, 0);
+    }
+    // Count the band cells exactly (edge rows have truncated bands).
+    let band_cells: usize = (0..n)
+        .map(|r| {
+            let lo = r.saturating_sub(bandwidth);
+            let hi = (r + bandwidth).min(n - 1);
+            hi - lo + 1
+        })
+        .sum();
+    let target = nnz.min(band_cells);
+    let mut coords = std::collections::HashSet::with_capacity(target);
+    while coords.len() < target {
+        let r = rng.gen_range(0..n);
+        let lo = r.saturating_sub(bandwidth);
+        let hi = (r + bandwidth).min(n - 1);
+        let c = rng.gen_range(lo..=hi);
+        coords.insert((r, c));
+    }
+    super::matrix_from_coords(n, n, coords, &mut rng)
+}
+
+/// Generates an `n × n` diagonal matrix with random non-zero values.
+///
+/// The degenerate one-entry-per-row case: every PE gets exactly one value per
+/// owned row, maximising RAW-dependency stalls under row-based scheduling.
+pub fn diagonal(n: usize, seed: u64) -> CooMatrix {
+    let mut rng = rng_for(seed);
+    let triplets = (0..n).map(|i| (i, i, sample_value(&mut rng))).collect();
+    CooMatrix::from_triplets(n, n, triplets)
+        .expect("diagonal coordinates are unique by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_band_has_expected_count() {
+        // bandwidth 1 tridiagonal: n + 2(n-1) entries.
+        let m = banded(10, 1, 1.0, 0);
+        assert_eq!(m.nnz(), 10 + 2 * 9);
+    }
+
+    #[test]
+    fn entries_stay_within_band() {
+        let m = banded(50, 3, 0.7, 4);
+        for &(r, c, _) in m.iter() {
+            assert!(r.abs_diff(c) <= 3, "entry ({r},{c}) escapes bandwidth 3");
+        }
+    }
+
+    #[test]
+    fn fill_zero_is_empty() {
+        assert_eq!(banded(20, 2, 0.0, 4).nnz(), 0);
+    }
+
+    #[test]
+    fn partial_fill_is_between_bounds() {
+        let m = banded(200, 1, 0.5, 4);
+        let max = 200 + 2 * 199;
+        assert!(m.nnz() > max / 4 && m.nnz() < 3 * max / 4);
+    }
+
+    #[test]
+    fn zero_size_is_empty() {
+        assert_eq!(banded(0, 5, 1.0, 0).nnz(), 0);
+        assert_eq!(diagonal(0, 0).nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn rejects_bad_fill() {
+        let _ = banded(4, 1, 1.5, 0);
+    }
+
+    #[test]
+    fn diagonal_has_one_entry_per_row() {
+        let m = diagonal(17, 3);
+        assert_eq!(m.nnz(), 17);
+        for &(r, c, _) in m.iter() {
+            assert_eq!(r, c);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+use super::{rng_for, sample_value};
+use crate::CooMatrix;
+use rand::Rng;
+
+/// Generates an `n × n` block-diagonal matrix: `n / block` dense-ish blocks
+/// along the diagonal, each cell populated with probability `fill`.
+///
+/// Block-diagonal structure models decoupled sub-problems (multi-scenario
+/// optimization, partitioned circuits). Rows inside a block are heavy while
+/// rows between blocks may be empty when `fill < 1`, giving a bimodal degree
+/// distribution distinct from both [`super::banded`] and
+/// [`super::power_law`].
+///
+/// The trailing partial block (when `block` does not divide `n`) is
+/// generated too.
+///
+/// # Panics
+///
+/// Panics if `block == 0` or `fill` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use chason_sparse::generators::block_diagonal;
+///
+/// let m = block_diagonal(8, 4, 1.0, 0);
+/// assert_eq!(m.nnz(), 2 * 16); // two full 4x4 blocks
+/// ```
+pub fn block_diagonal(n: usize, block: usize, fill: f64, seed: u64) -> CooMatrix {
+    assert!(block > 0, "block size must be positive");
+    assert!((0.0..=1.0).contains(&fill), "fill must be within [0, 1]");
+    let mut rng = rng_for(seed);
+    let mut triplets = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + block).min(n);
+        for r in start..end {
+            for c in start..end {
+                if fill >= 1.0 || rng.gen::<f64>() < fill {
+                    triplets.push((r, c, sample_value(&mut rng)));
+                }
+            }
+        }
+        start = end;
+    }
+    CooMatrix::from_triplets(n, n, triplets)
+        .expect("block coordinates are unique by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_blocks_have_expected_count() {
+        let m = block_diagonal(12, 3, 1.0, 0);
+        assert_eq!(m.nnz(), 4 * 9);
+    }
+
+    #[test]
+    fn partial_trailing_block_is_generated() {
+        let m = block_diagonal(10, 4, 1.0, 0);
+        // blocks: 4x4, 4x4, 2x2
+        assert_eq!(m.nnz(), 16 + 16 + 4);
+    }
+
+    #[test]
+    fn entries_stay_within_their_block() {
+        let m = block_diagonal(20, 5, 0.8, 2);
+        for &(r, c, _) in m.iter() {
+            assert_eq!(r / 5, c / 5, "entry ({r},{c}) crosses a block boundary");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn rejects_zero_block() {
+        let _ = block_diagonal(4, 0, 1.0, 0);
+    }
+
+    #[test]
+    fn zero_size_is_empty() {
+        assert_eq!(block_diagonal(0, 4, 1.0, 0).nnz(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic synthetic sparse-matrix generators.
+//!
+//! These generators stand in for the SuiteSparse and SNAP collections used in
+//! the paper (see `DESIGN.md` §2). Each one is seeded and fully
+//! deterministic: the same parameters always produce the same matrix, so
+//! every experiment in `chason-bench` is reproducible bit-for-bit.
+//!
+//! The generators cover the structural regimes the paper's matrices fall in:
+//!
+//! * [`uniform_random`] — Erdős–Rényi fill, the balanced baseline;
+//! * [`power_law`] — skewed row degrees, the SNAP social/web-graph regime;
+//! * [`rmat`] — recursive-matrix graphs with community structure;
+//! * [`banded`] — discretised-PDE / circuit bands;
+//! * [`block_diagonal`] — decoupled subproblem structure;
+//! * [`mycielskian`] — the exact Mycielski graph construction
+//!   (SuiteSparse's `mycielskian12` *is* this graph);
+//! * [`optimal_control`] — stage-structured trajectory-optimization KKT
+//!   patterns (`dynamicSoaringProblem`, `lowThrust`, `hangGlider`, ...).
+
+mod arrow;
+mod banded;
+mod block;
+mod kron;
+mod optimal_control;
+mod powerlaw;
+mod random;
+mod rmat;
+
+pub use arrow::arrow_with_nnz;
+pub use banded::{banded, banded_with_nnz, diagonal};
+pub use block::block_diagonal;
+pub use kron::mycielskian;
+pub use optimal_control::{config_for_target, optimal_control, OptimalControlConfig};
+pub use powerlaw::power_law;
+pub use random::uniform_random;
+pub use rmat::{rmat, RmatProbabilities};
+
+use crate::CooMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Creates the deterministic RNG used by every generator.
+pub(crate) fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws a non-zero value in `[-1, 1] \ {0}` (uniform, never exactly zero so
+/// an explicit entry is never confused with a scheduling stall).
+pub(crate) fn sample_value(rng: &mut StdRng) -> f32 {
+    loop {
+        let v: f32 = rng.gen_range(-1.0..=1.0);
+        if v != 0.0 {
+            return v;
+        }
+    }
+}
+
+/// Builds a matrix from a coordinate set, assigning each coordinate a random
+/// non-zero value.
+pub(crate) fn matrix_from_coords(
+    rows: usize,
+    cols: usize,
+    coords: HashSet<(usize, usize)>,
+    rng: &mut StdRng,
+) -> CooMatrix {
+    // Sort the coordinates *before* drawing values: HashSet iteration order
+    // is randomized per process, and tying RNG consumption to it would make
+    // the generators non-deterministic.
+    let mut sorted: Vec<(usize, usize)> = coords.into_iter().collect();
+    sorted.sort_unstable();
+    let triplets: Vec<(usize, usize, f32)> =
+        sorted.into_iter().map(|(r, c)| (r, c, sample_value(rng))).collect();
+    CooMatrix::from_triplets(rows, cols, triplets)
+        .expect("generator coordinates are validated by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_value_is_never_zero() {
+        let mut rng = rng_for(1);
+        for _ in 0..10_000 {
+            assert_ne!(sample_value(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_matrix_across_generators() {
+        assert_eq!(uniform_random(50, 50, 200, 7), uniform_random(50, 50, 200, 7));
+        assert_eq!(power_law(50, 50, 200, 1.5, 7), power_law(50, 50, 200, 1.5, 7));
+        assert_eq!(banded(64, 3, 0.8, 7), banded(64, 3, 0.8, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(uniform_random(50, 50, 200, 1), uniform_random(50, 50, 200, 2));
+    }
+}

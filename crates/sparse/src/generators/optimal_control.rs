@@ -1,0 +1,201 @@
+use super::rng_for;
+use crate::CooMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Parameters of the stage-structured optimal-control KKT generator.
+///
+/// Trajectory-optimization matrices in SuiteSparse (`dynamicSoaringProblem`,
+/// `lowThrust`, `hangGlider`, `reorientation`, `TSC_OPF`) come from direct
+/// transcription: the decision variables of `stages` time steps are chained,
+/// so the KKT system is block tri-diagonal (each stage couples only to its
+/// neighbours) with a small set of dense boundary rows/columns from global
+/// constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimalControlConfig {
+    /// Number of transcription stages (time steps).
+    pub stages: usize,
+    /// Decision variables per stage (states + controls).
+    pub vars_per_stage: usize,
+    /// Fill probability within the diagonal stage blocks.
+    pub diag_fill: f64,
+    /// Fill probability within the off-diagonal (stage-coupling) blocks.
+    pub coupling_fill: f64,
+    /// Number of dense global-constraint rows and columns appended at the end.
+    pub boundary_rows: usize,
+    /// Fill probability of the boundary rows/columns.
+    pub boundary_fill: f64,
+}
+
+impl OptimalControlConfig {
+    /// A small config for unit tests and doc examples.
+    pub fn small() -> Self {
+        OptimalControlConfig {
+            stages: 8,
+            vars_per_stage: 6,
+            diag_fill: 0.6,
+            coupling_fill: 0.3,
+            boundary_rows: 2,
+            boundary_fill: 0.5,
+        }
+    }
+
+    /// Total matrix dimension implied by the config.
+    pub fn dimension(&self) -> usize {
+        self.stages * self.vars_per_stage + self.boundary_rows
+    }
+}
+
+/// Generates a stage-structured optimal-control KKT-style matrix.
+///
+/// # Panics
+///
+/// Panics if any fill probability is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use chason_sparse::generators::{optimal_control, OptimalControlConfig};
+///
+/// let cfg = OptimalControlConfig::small();
+/// let m = optimal_control(cfg, 42);
+/// assert_eq!(m.rows(), cfg.dimension());
+/// assert!(m.nnz() > 0);
+/// ```
+pub fn optimal_control(config: OptimalControlConfig, seed: u64) -> CooMatrix {
+    for (name, f) in [
+        ("diag_fill", config.diag_fill),
+        ("coupling_fill", config.coupling_fill),
+        ("boundary_fill", config.boundary_fill),
+    ] {
+        assert!((0.0..=1.0).contains(&f), "{name} must be within [0, 1]");
+    }
+    let n = config.dimension();
+    let b = config.vars_per_stage;
+    let mut rng = rng_for(seed);
+    let mut coords: HashSet<(usize, usize)> = HashSet::new();
+
+    let fill_block = |coords: &mut HashSet<(usize, usize)>,
+                          rng: &mut rand::rngs::StdRng,
+                          r0: usize,
+                          c0: usize,
+                          rows: usize,
+                          cols: usize,
+                          p: f64| {
+        for r in r0..r0 + rows {
+            for c in c0..c0 + cols {
+                if p >= 1.0 || rng.gen::<f64>() < p {
+                    coords.insert((r, c));
+                }
+            }
+        }
+    };
+
+    for s in 0..config.stages {
+        let base = s * b;
+        fill_block(&mut coords, &mut rng, base, base, b, b, config.diag_fill);
+        if s + 1 < config.stages {
+            // Stage-coupling blocks (dynamics constraints), both directions.
+            fill_block(&mut coords, &mut rng, base, base + b, b, b, config.coupling_fill);
+            fill_block(&mut coords, &mut rng, base + b, base, b, b, config.coupling_fill);
+        }
+    }
+    // Dense boundary rows & columns (global constraints, e.g. endpoint
+    // conditions), which create the heavy rows these matrices are known for.
+    let boundary_base = config.stages * b;
+    for i in 0..config.boundary_rows {
+        let br = boundary_base + i;
+        for c in 0..n {
+            if config.boundary_fill >= 1.0 || rng.gen::<f64>() < config.boundary_fill {
+                coords.insert((br, c));
+            }
+        }
+        for r in 0..n {
+            if config.boundary_fill >= 1.0 || rng.gen::<f64>() < config.boundary_fill {
+                coords.insert((r, br));
+            }
+        }
+    }
+
+    super::matrix_from_coords(n, n, coords, &mut rng)
+}
+
+/// Scales [`OptimalControlConfig`] so the generated matrix lands near a
+/// target non-zero count and density (used by the dataset catalog).
+///
+/// The per-block fills are set from the target density of the banded region;
+/// dimension comes from `sqrt(nnz / density)`.
+pub fn config_for_target(nnz: usize, density: f64) -> OptimalControlConfig {
+    let density = density.clamp(1e-9, 1.0);
+    let n = ((nnz as f64 / density).sqrt().round() as usize).max(16);
+    let vars_per_stage = 16usize.min(n / 4).max(2);
+    let stages = (n / vars_per_stage).max(1);
+    // Banded region cells: stages * (3 * b^2) roughly; pick fill to hit nnz.
+    let band_cells = (stages * 3 * vars_per_stage * vars_per_stage) as f64;
+    let fill = (nnz as f64 / band_cells).clamp(0.01, 1.0);
+    OptimalControlConfig {
+        stages,
+        vars_per_stage,
+        diag_fill: fill.min(1.0),
+        coupling_fill: (fill * 0.6).min(1.0),
+        boundary_rows: 2,
+        boundary_fill: 0.4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::row_stats;
+
+    #[test]
+    fn dimension_matches_config() {
+        let cfg = OptimalControlConfig::small();
+        let m = optimal_control(cfg, 1);
+        assert_eq!(m.rows(), cfg.dimension());
+        assert_eq!(m.cols(), cfg.dimension());
+    }
+
+    #[test]
+    fn interior_entries_stay_near_diagonal() {
+        let cfg = OptimalControlConfig { boundary_rows: 0, ..OptimalControlConfig::small() };
+        let m = optimal_control(cfg, 2);
+        let b = cfg.vars_per_stage;
+        for &(r, c, _) in m.iter() {
+            let (sr, sc) = (r / b, c / b);
+            assert!(sr.abs_diff(sc) <= 1, "entry ({r},{c}) couples non-adjacent stages");
+        }
+    }
+
+    #[test]
+    fn boundary_rows_are_heavy() {
+        let cfg = OptimalControlConfig {
+            boundary_fill: 1.0,
+            ..OptimalControlConfig::small()
+        };
+        let m = optimal_control(cfg, 3);
+        let s = row_stats(&m);
+        // Boundary rows touch all n columns; interior rows touch <= 3b.
+        assert!(s.max_row_nnz >= cfg.dimension());
+    }
+
+    #[test]
+    fn config_for_target_hits_order_of_magnitude() {
+        let cfg = config_for_target(38_136, 0.00303);
+        let m = optimal_control(cfg, 4);
+        let ratio = m.nnz() as f64 / 38_136.0;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "generated nnz {} too far from target 38136",
+            m.nnz()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn rejects_bad_fill() {
+        let cfg = OptimalControlConfig { diag_fill: 2.0, ..OptimalControlConfig::small() };
+        let _ = optimal_control(cfg, 0);
+    }
+}

@@ -1,0 +1,90 @@
+use super::{matrix_from_coords, rng_for};
+use crate::CooMatrix;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Generates an Erdős–Rényi-style matrix with exactly `nnz` entries placed
+/// uniformly at random (without replacement).
+///
+/// This is the *balanced* regime: row populations are approximately Poisson,
+/// so PE-aware scheduling already does reasonably well and CrHCS's advantage
+/// is modest — the low end of the paper's improvement range.
+///
+/// `nnz` is clamped to `rows * cols`.
+///
+/// # Example
+///
+/// ```
+/// use chason_sparse::generators::uniform_random;
+///
+/// let m = uniform_random(100, 100, 500, 42);
+/// assert_eq!(m.nnz(), 500);
+/// ```
+pub fn uniform_random(rows: usize, cols: usize, nnz: usize, seed: u64) -> CooMatrix {
+    let mut rng = rng_for(seed);
+    let cells = rows.saturating_mul(cols);
+    let target = nnz.min(cells);
+    if rows == 0 || cols == 0 {
+        return CooMatrix::new(rows, cols);
+    }
+    let mut coords: HashSet<(usize, usize)> = HashSet::with_capacity(target);
+    if target > cells / 2 {
+        // Dense regime: enumerate and reject instead of rejection-sampling.
+        let mut all: Vec<(usize, usize)> = (0..rows)
+            .flat_map(|r| (0..cols).map(move |c| (r, c)))
+            .collect();
+        // Fisher-Yates partial shuffle of the first `target` positions.
+        for i in 0..target {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+        }
+        coords.extend(all.into_iter().take(target));
+    } else {
+        while coords.len() < target {
+            let r = rng.gen_range(0..rows);
+            let c = rng.gen_range(0..cols);
+            coords.insert((r, c));
+        }
+    }
+    matrix_from_coords(rows, cols, coords, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::row_stats;
+
+    #[test]
+    fn exact_nnz_is_produced() {
+        for &n in &[0usize, 1, 17, 250] {
+            assert_eq!(uniform_random(40, 40, n, 3).nnz(), n);
+        }
+    }
+
+    #[test]
+    fn nnz_clamped_to_cell_count() {
+        let m = uniform_random(4, 4, 1000, 3);
+        assert_eq!(m.nnz(), 16);
+    }
+
+    #[test]
+    fn zero_dimension_yields_empty_matrix() {
+        let m = uniform_random(0, 10, 5, 3);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn dense_regime_uses_exact_fill() {
+        let m = uniform_random(10, 10, 90, 3);
+        assert_eq!(m.nnz(), 90);
+    }
+
+    #[test]
+    fn rows_are_roughly_balanced() {
+        let m = uniform_random(200, 200, 8000, 9);
+        let s = row_stats(&m);
+        // Poisson(40) rows: stddev should be near sqrt(40), far below mean.
+        assert!(s.stddev_row_nnz < s.mean_row_nnz);
+        assert!(s.gini < 0.3, "uniform fill should be balanced, gini = {}", s.gini);
+    }
+}

@@ -1,0 +1,151 @@
+use super::{matrix_from_coords, rng_for};
+use crate::CooMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Quadrant probabilities for the R-MAT recursive generator.
+///
+/// The four probabilities correspond to the top-left, top-right, bottom-left
+/// and bottom-right quadrants at every recursion level and must sum to 1.
+/// The classic Graph500 setting is `(0.57, 0.19, 0.19, 0.05)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RmatProbabilities {
+    /// Top-left quadrant probability (`a`).
+    pub a: f64,
+    /// Top-right quadrant probability (`b`).
+    pub b: f64,
+    /// Bottom-left quadrant probability (`c`).
+    pub c: f64,
+    /// Bottom-right quadrant probability (`d`).
+    pub d: f64,
+}
+
+impl RmatProbabilities {
+    /// The Graph500 reference setting `(0.57, 0.19, 0.19, 0.05)`.
+    pub const GRAPH500: RmatProbabilities =
+        RmatProbabilities { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+    /// Validates that the probabilities are non-negative and sum to ~1.
+    pub fn is_valid(&self) -> bool {
+        let parts = [self.a, self.b, self.c, self.d];
+        parts.iter().all(|p| p.is_finite() && *p >= 0.0)
+            && (parts.iter().sum::<f64>() - 1.0).abs() < 1e-9
+    }
+}
+
+impl Default for RmatProbabilities {
+    fn default() -> Self {
+        RmatProbabilities::GRAPH500
+    }
+}
+
+/// Generates a `2^scale × 2^scale` R-MAT matrix with `nnz` distinct entries.
+///
+/// R-MAT recursively subdivides the adjacency matrix, biasing entries toward
+/// one quadrant. It produces the community structure plus degree skew of
+/// autonomous-system graphs (`as-caida`, `Oregon-2`, `as-735`).
+///
+/// # Panics
+///
+/// Panics if `probs` is invalid (see [`RmatProbabilities::is_valid`]) or if
+/// `scale >= usize::BITS`.
+///
+/// # Example
+///
+/// ```
+/// use chason_sparse::generators::{rmat, RmatProbabilities};
+///
+/// let m = rmat(8, 1000, RmatProbabilities::GRAPH500, 42);
+/// assert_eq!(m.rows(), 256);
+/// assert_eq!(m.nnz(), 1000);
+/// ```
+pub fn rmat(scale: u32, nnz: usize, probs: RmatProbabilities, seed: u64) -> CooMatrix {
+    assert!(probs.is_valid(), "R-MAT probabilities must be non-negative and sum to 1");
+    assert!(scale < usize::BITS, "scale too large for usize");
+    let n = 1usize << scale;
+    let cells = n.saturating_mul(n);
+    let target = nnz.min(cells);
+    let mut rng = rng_for(seed);
+    let mut coords: HashSet<(usize, usize)> = HashSet::with_capacity(target);
+    let mut misses = 0usize;
+    while coords.len() < target {
+        let mut r = 0usize;
+        let mut c = 0usize;
+        for _ in 0..scale {
+            let x: f64 = rng.gen();
+            let (dr, dc) = if x < probs.a {
+                (0, 0)
+            } else if x < probs.a + probs.b {
+                (0, 1)
+            } else if x < probs.a + probs.b + probs.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r = (r << 1) | dr;
+            c = (c << 1) | dc;
+        }
+        if !coords.insert((r, c)) {
+            misses += 1;
+            // Heavily duplicated region: the remaining mass may be tiny; bail
+            // out to uniform fill to guarantee termination at exactly target.
+            if misses > 64 * target.max(1) {
+                while coords.len() < target {
+                    coords.insert((rng.gen_range(0..n), rng.gen_range(0..n)));
+                }
+                break;
+            }
+        }
+    }
+    matrix_from_coords(n, n, coords, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::row_stats;
+
+    #[test]
+    fn shape_is_power_of_two() {
+        let m = rmat(6, 100, RmatProbabilities::GRAPH500, 1);
+        assert_eq!(m.rows(), 64);
+        assert_eq!(m.cols(), 64);
+    }
+
+    #[test]
+    fn exact_nnz() {
+        let m = rmat(8, 2000, RmatProbabilities::GRAPH500, 1);
+        assert_eq!(m.nnz(), 2000);
+    }
+
+    #[test]
+    fn skew_exceeds_uniform() {
+        let uniform =
+            RmatProbabilities { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let g_uniform = row_stats(&rmat(9, 4000, uniform, 3)).gini;
+        let g_rmat = row_stats(&rmat(9, 4000, RmatProbabilities::GRAPH500, 3)).gini;
+        assert!(g_rmat > g_uniform);
+    }
+
+    #[test]
+    fn saturated_region_terminates() {
+        // scale 2 → 16 cells; ask for all of them with extreme skew.
+        let probs = RmatProbabilities { a: 0.97, b: 0.01, c: 0.01, d: 0.01 };
+        let m = rmat(2, 16, probs, 3);
+        assert_eq!(m.nnz(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_invalid_probabilities() {
+        let bad = RmatProbabilities { a: 0.9, b: 0.9, c: 0.0, d: 0.0 };
+        let _ = rmat(4, 10, bad, 0);
+    }
+
+    #[test]
+    fn graph500_constant_is_valid() {
+        assert!(RmatProbabilities::GRAPH500.is_valid());
+        assert!(RmatProbabilities::default().is_valid());
+    }
+}

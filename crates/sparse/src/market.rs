@@ -1,0 +1,294 @@
+//! MatrixMarket coordinate-format reader and writer.
+//!
+//! The paper evaluates on SuiteSparse and SNAP matrices, which are
+//! distributed as MatrixMarket (`.mtx`) files. This module lets the
+//! experiment harness consume real files when they exist on disk; the
+//! synthetic [`crate::datasets`] catalog is used otherwise.
+//!
+//! Supported header: `%%MatrixMarket matrix coordinate <real|integer|pattern>
+//! <general|symmetric>`. Pattern entries get value `1.0`; symmetric files are
+//! expanded to general form (off-diagonal entries mirrored). Duplicate
+//! coordinates are summed, following the usual MatrixMarket convention.
+
+use crate::{CooMatrix, SparseError, Triplet};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Value field declared by a MatrixMarket header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry declared by a MatrixMarket header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Reads a MatrixMarket coordinate stream into a [`CooMatrix`].
+///
+/// A `&mut` reference may be passed for `reader` (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Returns [`SparseError::Parse`] for malformed content (with 1-based line
+/// numbers), [`SparseError::Io`] for read failures, and the usual bound
+/// errors for indices outside the declared shape.
+///
+/// # Example
+///
+/// ```
+/// use chason_sparse::market::read_matrix_market;
+///
+/// # fn main() -> Result<(), chason_sparse::SparseError> {
+/// let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.5\n2 2 -1\n";
+/// let m = read_matrix_market(text.as_bytes())?;
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.triplets()[0], (0, 0, 3.5));
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    let (field, symmetry) = loop {
+        let (idx, line) = lines
+            .next()
+            .ok_or_else(|| SparseError::Parse { line: 1, message: "empty stream".into() })?;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix("%%MatrixMarket") {
+            break parse_header(header, idx + 1)?;
+        }
+        return Err(SparseError::Parse {
+            line: idx + 1,
+            message: "expected %%MatrixMarket header".into(),
+        });
+    };
+
+    // Size line: first non-comment, non-empty line after the header.
+    let (size_line_no, size_line) = loop {
+        let (idx, line) = lines.next().ok_or_else(|| SparseError::Parse {
+            line: 0,
+            message: "missing size line".into(),
+        })?;
+        let line = line?;
+        let trimmed = line.trim().to_string();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        break (idx + 1, trimmed);
+    };
+
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: size_line_no,
+            message: format!("size line must have 3 fields, got {}", dims.len()),
+        });
+    }
+    let rows: usize = parse_num(dims[0], size_line_no)?;
+    let cols: usize = parse_num(dims[1], size_line_no)?;
+    let declared_nnz: usize = parse_num(dims[2], size_line_no)?;
+
+    let mut triplets: Vec<Triplet> = Vec::with_capacity(declared_nnz);
+    let mut seen = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = trimmed.split_whitespace().collect();
+        let expected = match field {
+            Field::Pattern => 2,
+            _ => 3,
+        };
+        if parts.len() < expected {
+            return Err(SparseError::Parse {
+                line: idx + 1,
+                message: format!("entry line must have {expected} fields"),
+            });
+        }
+        let r: usize = parse_num(parts[0], idx + 1)?;
+        let c: usize = parse_num(parts[1], idx + 1)?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse {
+                line: idx + 1,
+                message: "MatrixMarket indices are 1-based".into(),
+            });
+        }
+        let v: f32 = match field {
+            Field::Pattern => 1.0,
+            _ => parts[2].parse().map_err(|_| SparseError::Parse {
+                line: idx + 1,
+                message: format!("invalid value '{}'", parts[2]),
+            })?,
+        };
+        let (r0, c0) = (r - 1, c - 1);
+        triplets.push((r0, c0, v));
+        if symmetry == Symmetry::Symmetric && r0 != c0 {
+            triplets.push((c0, r0, v));
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::Parse {
+            line: size_line_no,
+            message: format!("declared {declared_nnz} entries but found {seen}"),
+        });
+    }
+    CooMatrix::from_triplets_summing(rows, cols, triplets)
+}
+
+/// Writes a matrix as MatrixMarket `coordinate real general`.
+///
+/// A `&mut` reference may be passed for `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`SparseError::Io`].
+pub fn write_matrix_market<W: Write>(
+    mut writer: W,
+    matrix: &CooMatrix,
+) -> Result<(), SparseError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    for &(r, c, v) in matrix.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+fn parse_header(rest: &str, line: usize) -> Result<(Field, Symmetry), SparseError> {
+    let tokens: Vec<String> =
+        rest.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if tokens.len() < 4 || tokens[0] != "matrix" || tokens[1] != "coordinate" {
+        return Err(SparseError::Parse {
+            line,
+            message: "only 'matrix coordinate' MatrixMarket files are supported".into(),
+        });
+    }
+    let field = match tokens[2].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line,
+                message: format!("unsupported value field '{other}'"),
+            })
+        }
+    };
+    let symmetry = match tokens[3].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line,
+                message: format!("unsupported symmetry '{other}'"),
+            })
+        }
+    };
+    Ok((field, symmetry))
+}
+
+fn parse_num(token: &str, line: usize) -> Result<usize, SparseError> {
+    token.parse().map_err(|_| SparseError::Parse {
+        line,
+        message: format!("invalid integer '{token}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_general_real_file() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment line\n\
+                    3 3 3\n\
+                    1 1 1.5\n\
+                    2 3 -2\n\
+                    3 2 4e-1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.triplets()[1], (1, 2, -2.0));
+        assert!((m.triplets()[2].2 - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reads_pattern_file_with_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.triplets(), &[(0, 1, 1.0), (1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn expands_symmetric_files() {
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 7\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        // (1,0) mirrored to (0,1); diagonal not duplicated.
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.triplets(), &[(0, 1, 5.0), (1, 0, 5.0), (2, 2, 7.0)]);
+    }
+
+    #[test]
+    fn sums_duplicate_coordinates() {
+        let text = "%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 2\n1 1 3\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.triplets(), &[(0, 0, 5.0)]);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let text = "3 3 0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, SparseError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, SparseError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, SparseError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, SparseError::Parse { .. }));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let m = CooMatrix::from_triplets(
+            4,
+            3,
+            vec![(0, 0, 1.25), (1, 2, -3.0), (3, 1, 0.5)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+}

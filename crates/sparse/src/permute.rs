@@ -1,0 +1,241 @@
+//! Row/column permutation utilities.
+//!
+//! Row order matters to the accelerator: rows are striped across PEs as
+//! `row % total_PEs` (Eq. 1), so permuting rows redistributes work across
+//! channels — the software-only alternative to CrHCS that prior work
+//! explored (§7.1 cites reordering-based SpMV optimizations). The
+//! `ablation_row_order` experiment uses these helpers to quantify how much
+//! of CrHCS's benefit a static reorder can and cannot recover.
+
+use crate::{CooMatrix, SparseError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A permutation of `0..len` with its inverse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<usize>,
+    inverse: Vec<usize>,
+}
+
+impl Permutation {
+    /// Builds a permutation from a forward map (`new_index = forward[old]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::MalformedStructure`] if `forward` is not a
+    /// permutation of `0..forward.len()`.
+    pub fn from_forward(forward: Vec<usize>) -> Result<Self, SparseError> {
+        let n = forward.len();
+        let mut inverse = vec![usize::MAX; n];
+        for (old, &new) in forward.iter().enumerate() {
+            if new >= n || inverse[new] != usize::MAX {
+                return Err(SparseError::MalformedStructure(format!(
+                    "forward map is not a permutation (index {old} -> {new})"
+                )));
+            }
+            inverse[new] = old;
+        }
+        Ok(Permutation { forward, inverse })
+    }
+
+    /// The identity permutation of `0..len`.
+    pub fn identity(len: usize) -> Self {
+        let forward: Vec<usize> = (0..len).collect();
+        Permutation { inverse: forward.clone(), forward }
+    }
+
+    /// A uniformly random permutation (Fisher–Yates, seeded).
+    pub fn random(len: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut forward: Vec<usize> = (0..len).collect();
+        for i in (1..len).rev() {
+            let j = rng.gen_range(0..=i);
+            forward.swap(i, j);
+        }
+        Permutation::from_forward(forward).expect("shuffle yields a permutation")
+    }
+
+    /// Number of elements permuted.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Maps an old index to its new position.
+    pub fn apply(&self, old: usize) -> usize {
+        self.forward[old]
+    }
+
+    /// Maps a new position back to the old index.
+    pub fn invert(&self, new: usize) -> usize {
+        self.inverse[new]
+    }
+}
+
+/// Builds the degree-interleaving row permutation: rows sorted by
+/// population, then dealt round-robin across the PE stripes so each PE
+/// receives a balanced mix of heavy and light rows.
+///
+/// This is the strongest *static* load-balancing reorder available to a
+/// Serpens-style design without hardware changes; the ablation compares it
+/// against CrHCS's dynamic migration. Note what it cannot fix: a single
+/// RAW-chained hub row still serializes on one PE no matter where it lands.
+pub fn degree_interleave(matrix: &CooMatrix, total_pes: usize) -> Permutation {
+    let mut degrees = vec![0usize; matrix.rows()];
+    for &(r, _, _) in matrix.iter() {
+        degrees[r] += 1;
+    }
+    // Sort rows by descending degree (stable on index for determinism).
+    let mut order: Vec<usize> = (0..matrix.rows()).collect();
+    order.sort_by_key(|&r| (std::cmp::Reverse(degrees[r]), r));
+    // Deal them out: the k-th heaviest row goes to stripe k % total_pes,
+    // position k / total_pes within the stripe.
+    let rows = matrix.rows();
+    let mut forward = vec![0usize; rows];
+    let pes = total_pes.max(1);
+    for (k, &old) in order.iter().enumerate() {
+        let stripe = k % pes;
+        let depth = k / pes;
+        let new = depth * pes + stripe;
+        forward[old] = new.min(rows.saturating_sub(1));
+    }
+    // The construction above can exceed `rows` when rows % pes != 0 for the
+    // deepest positions; repair by compacting collisions.
+    repair(&mut forward);
+    Permutation::from_forward(forward).expect("repair yields a permutation")
+}
+
+/// Repairs an almost-permutation by reassigning duplicate / out-of-range
+/// targets to the unused slots in ascending order (stable for the rest).
+fn repair(forward: &mut [usize]) {
+    let n = forward.len();
+    let mut used = vec![false; n];
+    let mut needs_fix = Vec::new();
+    for (i, f) in forward.iter().enumerate() {
+        if *f < n && !used[*f] {
+            used[*f] = true;
+        } else {
+            needs_fix.push(i);
+        }
+    }
+    let mut free = (0..n).filter(|&s| !used[s]);
+    for i in needs_fix {
+        forward[i] = free.next().expect("free slots match broken entries");
+    }
+}
+
+/// Applies a row permutation to a matrix (`new_row = perm.apply(old_row)`).
+///
+/// # Panics
+///
+/// Panics if `perm.len() != matrix.rows()`.
+pub fn permute_rows(matrix: &CooMatrix, perm: &Permutation) -> CooMatrix {
+    assert_eq!(perm.len(), matrix.rows(), "permutation length must match rows");
+    let triplets = matrix.iter().map(|&(r, c, v)| (perm.apply(r), c, v)).collect();
+    CooMatrix::from_triplets(matrix.rows(), matrix.cols(), triplets)
+        .expect("permutation preserves coordinate validity")
+}
+
+/// Applies a row permutation to a dense vector indexed by row.
+///
+/// # Panics
+///
+/// Panics if `perm.len() != values.len()`.
+pub fn permute_vector(values: &[f32], perm: &Permutation) -> Vec<f32> {
+    assert_eq!(perm.len(), values.len(), "permutation length must match vector");
+    let mut out = vec![0.0f32; values.len()];
+    for (old, &v) in values.iter().enumerate() {
+        out[perm.apply(old)] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{arrow_with_nnz, uniform_random};
+    use crate::stats::row_degrees;
+
+    #[test]
+    fn from_forward_validates() {
+        assert!(Permutation::from_forward(vec![0, 2, 1]).is_ok());
+        assert!(Permutation::from_forward(vec![0, 0, 1]).is_err());
+        assert!(Permutation::from_forward(vec![0, 3, 1]).is_err());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let p = Permutation::random(50, 9);
+        for i in 0..50 {
+            assert_eq!(p.invert(p.apply(i)), i);
+        }
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let p = Permutation::identity(10);
+        assert!((0..10).all(|i| p.apply(i) == i));
+    }
+
+    #[test]
+    fn permute_rows_preserves_spmv_up_to_reorder() {
+        let m = uniform_random(40, 30, 200, 4);
+        let p = Permutation::random(40, 7);
+        let pm = permute_rows(&m, &p);
+        let x: Vec<f32> = (0..30).map(|i| i as f32 * 0.1).collect();
+        let y = m.spmv(&x);
+        let py = pm.spmv(&x);
+        for old in 0..40 {
+            assert_eq!(py[p.apply(old)], y[old], "row {old} moved incorrectly");
+        }
+        // And the helper agrees.
+        assert_eq!(permute_vector(&y, &p), py);
+    }
+
+    #[test]
+    fn degree_interleave_balances_stripes() {
+        let m = arrow_with_nnz(512, 2, 8, 8_000, 3);
+        let pes = 16;
+        let p = degree_interleave(&m, pes);
+        let pm = permute_rows(&m, &p);
+        let deg = row_degrees(&pm);
+        // Per-stripe totals should be close to each other.
+        let mut stripe_load = vec![0usize; pes];
+        for (r, &d) in deg.iter().enumerate() {
+            stripe_load[r % pes] += d;
+        }
+        let max = *stripe_load.iter().max().unwrap();
+        let min = *stripe_load.iter().min().unwrap();
+        assert!(
+            max <= min * 2 + 16,
+            "interleave should balance stripes: {stripe_load:?}"
+        );
+    }
+
+    #[test]
+    fn degree_interleave_handles_ragged_row_counts() {
+        // rows % pes != 0 exercises the repair path.
+        let m = uniform_random(37, 37, 150, 2);
+        let p = degree_interleave(&m, 8);
+        assert_eq!(p.len(), 37);
+        // Must still be a valid permutation (from_forward validated it).
+        let mut seen = vec![false; 37];
+        for i in 0..37 {
+            assert!(!seen[p.apply(i)]);
+            seen[p.apply(i)] = true;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match rows")]
+    fn permute_rows_length_mismatch_panics() {
+        let m = uniform_random(10, 10, 20, 1);
+        let p = Permutation::identity(9);
+        let _ = permute_rows(&m, &p);
+    }
+}

@@ -1,0 +1,238 @@
+//! Row/column population statistics used to characterise workload imbalance.
+//!
+//! The paper's central claim is that PE underutilization is driven by the
+//! *distribution* of non-zeros across rows (empty rows and skewed rows starve
+//! the PEs they map to). These helpers quantify that distribution so the
+//! dataset generators can be checked against the regimes the paper evaluates.
+
+use crate::CooMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a matrix's row-degree distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of explicit entries.
+    pub nnz: usize,
+    /// Rows with no explicit entries.
+    pub empty_rows: usize,
+    /// Smallest row population.
+    pub min_row_nnz: usize,
+    /// Largest row population.
+    pub max_row_nnz: usize,
+    /// Mean entries per row.
+    pub mean_row_nnz: f64,
+    /// Population standard deviation of entries per row.
+    pub stddev_row_nnz: f64,
+    /// Gini coefficient of the row populations in `[0, 1]`
+    /// (0 = perfectly balanced, →1 = all entries in one row).
+    pub gini: f64,
+}
+
+/// Computes the number of explicit entries in each row.
+pub fn row_degrees(matrix: &CooMatrix) -> Vec<usize> {
+    let mut deg = vec![0usize; matrix.rows()];
+    for &(r, _, _) in matrix.iter() {
+        deg[r] += 1;
+    }
+    deg
+}
+
+/// Computes the number of explicit entries in each column.
+pub fn col_degrees(matrix: &CooMatrix) -> Vec<usize> {
+    let mut deg = vec![0usize; matrix.cols()];
+    for &(_, c, _) in matrix.iter() {
+        deg[c] += 1;
+    }
+    deg
+}
+
+/// Computes [`RowStats`] for a matrix.
+///
+/// # Example
+///
+/// ```
+/// use chason_sparse::{CooMatrix, stats::row_stats};
+///
+/// # fn main() -> Result<(), chason_sparse::SparseError> {
+/// let m = CooMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (2, 2, 1.0)])?;
+/// let s = row_stats(&m);
+/// assert_eq!(s.empty_rows, 1);
+/// assert_eq!(s.max_row_nnz, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn row_stats(matrix: &CooMatrix) -> RowStats {
+    let degrees = row_degrees(matrix);
+    let rows = degrees.len();
+    let nnz = matrix.nnz();
+    if rows == 0 {
+        return RowStats {
+            rows: 0,
+            nnz,
+            empty_rows: 0,
+            min_row_nnz: 0,
+            max_row_nnz: 0,
+            mean_row_nnz: 0.0,
+            stddev_row_nnz: 0.0,
+            gini: 0.0,
+        };
+    }
+    let empty_rows = degrees.iter().filter(|&&d| d == 0).count();
+    let min = *degrees.iter().min().expect("rows > 0");
+    let max = *degrees.iter().max().expect("rows > 0");
+    let mean = nnz as f64 / rows as f64;
+    let variance = degrees
+        .iter()
+        .map(|&d| {
+            let diff = d as f64 - mean;
+            diff * diff
+        })
+        .sum::<f64>()
+        / rows as f64;
+    RowStats {
+        rows,
+        nnz,
+        empty_rows,
+        min_row_nnz: min,
+        max_row_nnz: max,
+        mean_row_nnz: mean,
+        stddev_row_nnz: variance.sqrt(),
+        gini: gini_coefficient(&degrees),
+    }
+}
+
+/// Computes the Gini coefficient of a set of non-negative counts.
+///
+/// Returns `0.0` when the input is empty or sums to zero.
+pub fn gini_coefficient(counts: &[usize]) -> f64 {
+    let n = counts.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = counts.iter().map(|&c| c as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+    // G = (2 * sum_i i*x_i) / (n * sum_i x_i) - (n + 1) / n, with 1-based i.
+    let weighted: f64 =
+        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// Histogram of values into `bins` equal-width buckets over `[lo, hi)`.
+///
+/// Values outside the range are clamped into the terminal buckets, so the
+/// returned counts always sum to `values.len()`. Used by the figure binaries
+/// that print probability-density curves.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `lo >= hi`.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(lo < hi, "histogram range must be non-empty");
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let idx = ((v - lo) / width).floor();
+        let idx = idx.clamp(0.0, bins as f64 - 1.0) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Converts a histogram into a probability-density estimate (area sums to 1).
+pub fn histogram_to_pdf(counts: &[usize], lo: f64, hi: f64) -> Vec<f64> {
+    let total: usize = counts.iter().sum();
+    if total == 0 || counts.is_empty() {
+        return vec![0.0; counts.len()];
+    }
+    let width = (hi - lo) / counts.len() as f64;
+    counts.iter().map(|&c| c as f64 / (total as f64 * width)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed() -> CooMatrix {
+        // Row 0 holds 4 entries, rows 1..4 are empty except row 3 (1 entry).
+        CooMatrix::from_triplets(
+            4,
+            4,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (3, 0, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn row_degrees_counts_correctly() {
+        assert_eq!(row_degrees(&skewed()), vec![4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn col_degrees_counts_correctly() {
+        assert_eq!(col_degrees(&skewed()), vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn row_stats_of_skewed_matrix() {
+        let s = row_stats(&skewed());
+        assert_eq!(s.empty_rows, 2);
+        assert_eq!(s.min_row_nnz, 0);
+        assert_eq!(s.max_row_nnz, 4);
+        assert!((s.mean_row_nnz - 1.25).abs() < 1e-12);
+        assert!(s.gini > 0.4, "skewed matrix should have high gini, got {}", s.gini);
+    }
+
+    #[test]
+    fn row_stats_of_empty_matrix() {
+        let s = row_stats(&CooMatrix::new(0, 0));
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn gini_of_uniform_counts_is_zero() {
+        assert!(gini_coefficient(&[3, 3, 3, 3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_concentrated_counts_approaches_one() {
+        let mut counts = vec![0usize; 100];
+        counts[0] = 1000;
+        assert!(gini_coefficient(&counts) > 0.98);
+    }
+
+    #[test]
+    fn gini_of_empty_or_zero_is_zero() {
+        assert_eq!(gini_coefficient(&[]), 0.0);
+        assert_eq!(gini_coefficient(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let counts = histogram(&[-5.0, 0.5, 1.5, 99.0], 0.0, 2.0, 2);
+        assert_eq!(counts, vec![2, 2]);
+        assert_eq!(counts.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let counts = histogram(&[0.1, 0.2, 0.6, 0.9], 0.0, 1.0, 4);
+        let pdf = histogram_to_pdf(&counts, 0.0, 1.0);
+        let width = 0.25;
+        let area: f64 = pdf.iter().map(|p| p * width).sum();
+        assert!((area - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = histogram(&[1.0], 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Scheduler deep-dive: row-based vs PE-aware vs CrHCS across matrix
+//! structures, reproducing the qualitative story of Figures 2–5.
+//!
+//! For each structural regime (balanced, banded, power-law, arrow) the
+//! example prints stream length, stall counts, PE underutilization, and
+//! the CrHCS migration statistics.
+//!
+//! ```sh
+//! cargo run --example scheduler_comparison
+//! ```
+
+use chason::core::metrics::ScheduleMetrics;
+use chason::core::schedule::{Crhcs, PeAware, RowBased, Scheduler, SchedulerConfig};
+use chason::sparse::generators::{arrow_with_nnz, banded_with_nnz, power_law, uniform_random};
+use chason::sparse::CooMatrix;
+
+fn describe(name: &str, matrix: &CooMatrix, config: &SchedulerConfig) {
+    println!("\n=== {name}: {}x{}, {} nnz ===", matrix.rows(), matrix.cols(), matrix.nnz());
+    let row_based = RowBased::new().schedule(matrix, config);
+    let pe_aware = PeAware::new().schedule(matrix, config);
+    let (crhcs, migration) = Crhcs::new().schedule_with_report(matrix, config);
+    for (label, schedule) in [
+        ("row-based", &row_based),
+        ("pe-aware ", &pe_aware),
+        ("crhcs    ", &crhcs),
+    ] {
+        let m = ScheduleMetrics::from_schedule(label, schedule);
+        println!(
+            "  {label}: {:7} cycles | {:8} stalls | {:5.1}% idle | {:.3} nz/cycle/PE",
+            m.cycles, m.stalls, m.underutilization_pct, m.nz_per_cycle_per_pe
+        );
+    }
+    println!(
+        "  migration: {} values moved, {} RAW skips, stream {} -> {} cycles",
+        migration.migrated,
+        migration.raw_skips,
+        migration.cycles_before,
+        migration.cycles_after
+    );
+    // Safety net: the schedules must all be valid.
+    row_based.check_invariants(matrix).expect("row-based invariants");
+    pe_aware.check_invariants(matrix).expect("pe-aware invariants");
+    crhcs.check_invariants(matrix).expect("crhcs invariants");
+}
+
+fn main() {
+    let config = SchedulerConfig::paper();
+    println!(
+        "configuration: {} channels x {} PEs, dependency distance {}",
+        config.channels, config.pes_per_channel, config.dependency_distance
+    );
+
+    describe("balanced (uniform)", &uniform_random(4096, 4096, 60_000, 3), &config);
+    describe("banded (circuit-like)", &banded_with_nnz(4096, 8, 60_000, 3), &config);
+    describe("power-law (social graph)", &power_law(4096, 4096, 60_000, 1.7, 3), &config);
+    describe("arrow (optimal control)", &arrow_with_nnz(4096, 6, 4, 60_000, 3), &config);
+
+    println!(
+        "\nTakeaway: the more skewed the row populations, the more stalls the\n\
+         intra-channel schemes leave and the more CrHCS's cross-channel\n\
+         migration recovers — the central claim of the paper."
+    );
+}

@@ -1,0 +1,109 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use chason::baselines::reference;
+use chason::core::element::SparseElement;
+use chason::core::schedule::{Crhcs, PeAware, RowBased, Scheduler, SchedulerConfig};
+use chason::sim::{AcceleratorConfig, ChasonEngine, SerpensEngine};
+use chason::sparse::CooMatrix;
+use proptest::prelude::*;
+
+/// Strategy: a small random sparse matrix with unique coordinates and
+/// non-zero values.
+fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    (2usize..=max_dim, 2usize..=max_dim).prop_flat_map(move |(rows, cols)| {
+        let coord = (0..rows, 0..cols, -100i32..=100i32);
+        proptest::collection::vec(coord, 0..=max_nnz).prop_map(move |entries| {
+            let triplets: Vec<(usize, usize, f32)> = entries
+                .into_iter()
+                .map(|(r, c, v)| (r, c, if v == 0 { 1.0 } else { v as f32 * 0.25 }))
+                .collect();
+            CooMatrix::from_triplets_summing(rows, cols, triplets)
+                .expect("coordinates are in range")
+        })
+    })
+}
+
+/// Strategy: a valid small scheduler configuration.
+fn config() -> impl Strategy<Value = SchedulerConfig> {
+    (1usize..=4, 1usize..=8, 1usize..=12).prop_map(|(ch, pes, d)| {
+        SchedulerConfig::toy(ch, pes, d)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The wire codec round-trips every representable element.
+    #[test]
+    fn element_codec_round_trips(
+        bits in any::<u32>().prop_filter("value must not collide with the stall word", |b| *b != 0),
+        row in 0u16..32_768,
+        pvt in any::<bool>(),
+        pe_src in 0u8..8,
+        col in 0u16..8_192,
+    ) {
+        let e = SparseElement { value: f32::from_bits(bits), local_row: row, pvt, pe_src, local_col: col };
+        let unpacked = SparseElement::unpack(e.pack()).expect("non-stall word");
+        prop_assert_eq!(unpacked.value.to_bits(), e.value.to_bits());
+        prop_assert_eq!(unpacked.local_row, e.local_row);
+        prop_assert_eq!(unpacked.pvt, e.pvt);
+        prop_assert_eq!(unpacked.pe_src, e.pe_src);
+        prop_assert_eq!(unpacked.local_col, e.local_col);
+    }
+
+    /// Every scheduler conserves non-zeros and respects RAW distances.
+    #[test]
+    fn schedulers_uphold_invariants(m in sparse_matrix(48, 160), cfg in config()) {
+        for scheduler in [&RowBased::new() as &dyn Scheduler, &PeAware::new(), &Crhcs::new()] {
+            let s = scheduler.schedule(&m, &cfg);
+            prop_assert_eq!(s.scheduled_nonzeros(), m.nnz());
+            if let Err(e) = s.check_invariants(&m) {
+                prop_assert!(false, "{} violated: {}", scheduler.name(), e);
+            }
+        }
+    }
+
+    /// CrHCS never increases underutilization or stream length relative to
+    /// the PE-aware baseline it starts from.
+    #[test]
+    fn crhcs_never_regresses(m in sparse_matrix(48, 160), cfg in config()) {
+        let base = PeAware::new().schedule(&m, &cfg);
+        let improved = Crhcs::new().schedule(&m, &cfg);
+        prop_assert!(improved.stream_cycles() <= base.stream_cycles());
+        prop_assert!(improved.underutilization() <= base.underutilization() + 1e-12);
+    }
+
+    /// Both simulated engines agree with the CPU reference on arbitrary
+    /// inputs (FP32 reassociation tolerance).
+    #[test]
+    fn engines_match_reference(m in sparse_matrix(40, 120), xs in proptest::collection::vec(-4.0f32..4.0, 40)) {
+        let x: Vec<f32> = (0..m.cols()).map(|i| xs[i % xs.len()]).collect();
+        let oracle = reference::spmv(&m, &x);
+        let chason = ChasonEngine::new(AcceleratorConfig::chason()).run(&m, &x).expect("chason runs");
+        let serpens = SerpensEngine::new(AcceleratorConfig::serpens()).run(&m, &x).expect("serpens runs");
+        prop_assert!(reference::max_relative_error(&chason.y, &oracle) < 1e-3);
+        prop_assert!(reference::max_relative_error(&serpens.y, &oracle) < 1e-3);
+    }
+
+    /// The threaded SpMV kernels agree exactly with the serial kernel
+    /// (identical per-row accumulation order).
+    #[test]
+    fn parallel_spmv_matches_serial(m in sparse_matrix(64, 300), threads in 1usize..6) {
+        let csr = chason::sparse::CsrMatrix::from(&m);
+        let x: Vec<f32> = (0..m.cols()).map(|i| (i as f32 * 0.37).sin()).collect();
+        let serial = csr.spmv(&x);
+        prop_assert_eq!(chason::baselines::parallel::spmv_static(&csr, &x, threads), serial.clone());
+        prop_assert_eq!(chason::baselines::parallel::spmv_dynamic(&csr, &x, threads, 7), serial);
+    }
+
+    /// Windowing covers every entry exactly once for arbitrary widths.
+    #[test]
+    fn windows_partition_entries(m in sparse_matrix(40, 150), width in 1usize..64) {
+        let windows = chason::core::window::partition_columns(&m, width);
+        let total: usize = windows.iter().map(|w| w.matrix.nnz()).sum();
+        prop_assert_eq!(total, m.nnz());
+        for w in &windows {
+            prop_assert!(w.width() <= width);
+        }
+    }
+}
