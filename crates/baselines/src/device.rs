@@ -78,7 +78,11 @@ impl DeviceModel {
         DevicePrediction {
             latency_s,
             throughput_gflops: gflops,
-            energy_efficiency: if self.power_w > 0.0 { gflops / self.power_w } else { 0.0 },
+            energy_efficiency: if self.power_w > 0.0 {
+                gflops / self.power_w
+            } else {
+                0.0
+            },
             cache_resident,
         }
     }
@@ -111,7 +115,11 @@ mod tests {
         let m = model();
         let p = m.predict(64, 64, 256);
         // Transfer time is tiny; latency ~ overhead.
-        assert!((p.latency_s - 10e-6).abs() / 10e-6 < 0.05, "latency {}", p.latency_s);
+        assert!(
+            (p.latency_s - 10e-6).abs() / 10e-6 < 0.05,
+            "latency {}",
+            p.latency_s
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! the shared state in the dynamic kernel is just the chunk cursor.
 
 use chason_sparse::CsrMatrix;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Computes `y = A·x` with one contiguous row chunk per thread.
 ///
@@ -23,7 +24,11 @@ use parking_lot::Mutex;
 ///
 /// Panics if `x.len() != matrix.cols()`.
 pub fn spmv_static(matrix: &CsrMatrix, x: &[f32], threads: usize) -> Vec<f32> {
-    assert_eq!(x.len(), matrix.cols(), "dense vector length must equal matrix columns");
+    assert_eq!(
+        x.len(),
+        matrix.cols(),
+        "dense vector length must equal matrix columns"
+    );
     let rows = matrix.rows();
     let threads = threads.clamp(1, rows.max(1));
     let mut y = vec![0.0f32; rows];
@@ -58,13 +63,12 @@ pub fn spmv_static(matrix: &CsrMatrix, x: &[f32], threads: usize) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics if `x.len() != matrix.cols()` or `chunk_rows == 0`.
-pub fn spmv_dynamic(
-    matrix: &CsrMatrix,
-    x: &[f32],
-    threads: usize,
-    chunk_rows: usize,
-) -> Vec<f32> {
-    assert_eq!(x.len(), matrix.cols(), "dense vector length must equal matrix columns");
+pub fn spmv_dynamic(matrix: &CsrMatrix, x: &[f32], threads: usize, chunk_rows: usize) -> Vec<f32> {
+    assert_eq!(
+        x.len(),
+        matrix.cols(),
+        "dense vector length must equal matrix columns"
+    );
     assert!(chunk_rows > 0, "chunk size must be positive");
     let rows = matrix.rows();
     let threads = threads.clamp(1, rows.max(1));
@@ -72,28 +76,27 @@ pub fn spmv_dynamic(
     if rows == 0 {
         return y;
     }
-    let cursor = Mutex::new(0usize);
-    // Hand each worker a raw view of disjoint rows via chunk claims: we
-    // split `y` into per-row cells using a Vec of Mutex-free disjoint
-    // slices. Because claims are disjoint row ranges, it is safe to share
-    // `y` through a Mutex-protected split instead: collect results per
-    // chunk and write after the scope.
-    let results: Mutex<Vec<(usize, Vec<f32>)>> = Mutex::new(Vec::new());
+    // Pre-split `y` into the same fixed-size chunks the cursor hands out,
+    // so each claimed chunk index maps to exactly one disjoint output slice
+    // and workers write results in place — no funnel lock on a shared
+    // result vector and no post-scope copy. Each chunk's Mutex is locked
+    // exactly once (claims are unique), so it is never contended; it exists
+    // only to make the shared `&Vec` write access safe.
+    let chunks: Vec<Mutex<&mut [f32]>> = y.chunks_mut(chunk_rows).map(Mutex::new).collect();
+    let n_chunks = chunks.len();
+    let cursor = AtomicUsize::new(0);
     crossbeam::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let start = {
-                    let mut c = cursor.lock();
-                    let s = *c;
-                    if s >= rows {
-                        break;
-                    }
-                    *c = s + chunk_rows;
-                    s
-                };
-                let end = (start + chunk_rows).min(rows);
-                let mut local = vec![0.0f32; end - start];
-                for (i, out) in local.iter_mut().enumerate() {
+            let chunks = &chunks;
+            let cursor = &cursor;
+            scope.spawn(move |_| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n_chunks {
+                    break;
+                }
+                let start = idx * chunk_rows;
+                let mut out_chunk = chunks[idx].lock().expect("chunk lock is never poisoned");
+                for (i, out) in out_chunk.iter_mut().enumerate() {
                     let (cols, vals) = matrix.row(start + i);
                     let mut acc = 0.0f32;
                     for (&c, &v) in cols.iter().zip(vals) {
@@ -101,14 +104,11 @@ pub fn spmv_dynamic(
                     }
                     *out = acc;
                 }
-                results.lock().push((start, local));
             });
         }
     })
     .expect("spmv worker threads do not panic");
-    for (start, local) in results.into_inner() {
-        y[start..start + local.len()].copy_from_slice(&local);
-    }
+    drop(chunks);
     y
 }
 
@@ -137,6 +137,21 @@ mod tests {
         let x: Vec<f32> = (0..300).map(|i| 1.0 / (1.0 + i as f32)).collect();
         for (threads, chunk) in [(1, 16), (4, 8), (8, 1), (3, 100)] {
             assert_eq!(spmv_dynamic(&m, &x, threads, chunk), m.spmv(&x));
+        }
+    }
+
+    #[test]
+    fn skewed_power_law_agrees_across_all_kernels() {
+        // Heavy-tailed row weights are the case dynamic scheduling exists
+        // for; all three kernels must agree bit-for-bit there.
+        let m = CsrMatrix::from(&power_law(512, 512, 8000, 2.2, 11));
+        let x: Vec<f32> = (0..512).map(|i| ((i * 7 + 3) % 13) as f32 * 0.25).collect();
+        let serial = m.spmv(&x);
+        for threads in [2, 4, 8] {
+            assert_eq!(spmv_static(&m, &x, threads), serial);
+            for chunk in [1, 32, 600] {
+                assert_eq!(spmv_dynamic(&m, &x, threads, chunk), serial);
+            }
         }
     }
 

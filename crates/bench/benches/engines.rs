@@ -17,10 +17,22 @@ fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engines");
     group.throughput(Throughput::Elements(matrix.nnz() as u64));
     group.bench_function("chason", |b| {
-        b.iter(|| chason.run(&matrix, &x).expect("run succeeds").cycles.total())
+        b.iter(|| {
+            chason
+                .run(&matrix, &x)
+                .expect("run succeeds")
+                .cycles
+                .total()
+        })
     });
     group.bench_function("serpens", |b| {
-        b.iter(|| serpens.run(&matrix, &x).expect("run succeeds").cycles.total())
+        b.iter(|| {
+            serpens
+                .run(&matrix, &x)
+                .expect("run succeeds")
+                .cycles
+                .total()
+        })
     });
     group.finish();
 }
@@ -33,7 +45,9 @@ fn bench_cpu_baselines(c: &mut Criterion) {
     group.throughput(Throughput::Elements(matrix.nnz() as u64));
     group.bench_function("serial", |b| b.iter(|| spmv_csr(&matrix, &x)));
     group.bench_function("static-4t", |b| b.iter(|| spmv_static(&matrix, &x, 4)));
-    group.bench_function("dynamic-4t", |b| b.iter(|| spmv_dynamic(&matrix, &x, 4, 256)));
+    group.bench_function("dynamic-4t", |b| {
+        b.iter(|| spmv_dynamic(&matrix, &x, 4, 256))
+    });
     group.finish();
 }
 
@@ -47,7 +61,12 @@ fn bench_spmm(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements((a.nnz() * 16) as u64));
     group.bench_function("chason-16col", |bch| {
-        bch.iter(|| chason.run_spmm(&a, &b, 1.0, 0.0, &c0).expect("runs").mac_ops)
+        bch.iter(|| {
+            chason
+                .run_spmm(&a, &b, 1.0, 0.0, &c0)
+                .expect("runs")
+                .mac_ops
+        })
     });
     group.finish();
 }

@@ -40,7 +40,11 @@ fn bench_market_io(c: &mut Criterion) {
         })
     });
     group.bench_function("read-50k", |b| {
-        b.iter(|| read_matrix_market(buf.as_slice()).expect("read succeeds").nnz())
+        b.iter(|| {
+            read_matrix_market(buf.as_slice())
+                .expect("read succeeds")
+                .nnz()
+        })
     });
     group.finish();
 }

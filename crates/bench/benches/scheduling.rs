@@ -1,9 +1,12 @@
 //! Criterion benchmarks of the three non-zero schedulers.
 //!
 //! These measure *scheduling* (offline preprocessing) throughput, the cost
-//! CrHCS adds over PE-aware scheduling.
+//! CrHCS adds over PE-aware scheduling — plus the plan/execute split:
+//! how much a cached plan saves per SpMV and what parallel window
+//! scheduling buys at plan-build time.
 
 use chason_core::schedule::{Crhcs, PeAware, RowBased, Scheduler, SchedulerConfig};
+use chason_sim::ChasonEngine;
 use chason_sparse::generators::{power_law, uniform_random};
 use chason_sparse::CooMatrix;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -33,5 +36,55 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers);
+fn bench_planning(c: &mut Criterion) {
+    // Wide matrix -> many independent column windows for the planner.
+    let matrix = uniform_random(2048, 65_536, 120_000, 11);
+    let x = vec![1.0f32; matrix.cols()];
+    let engine = ChasonEngine::default();
+    let plan = engine.plan(&matrix).expect("plan succeeds");
+
+    let mut group = c.benchmark_group("planning");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(matrix.nnz() as u64));
+    // The cost an iterative solver pays per SpMV without/with a plan cache.
+    group.bench_function("spmv-unplanned", |b| {
+        b.iter(|| {
+            engine
+                .run(&matrix, &x)
+                .expect("run succeeds")
+                .cycles
+                .total()
+        })
+    });
+    group.bench_function("spmv-planned", |b| {
+        b.iter(|| {
+            engine
+                .run_planned(&plan, &x)
+                .expect("run succeeds")
+                .cycles
+                .total()
+        })
+    });
+    // Plan construction: serial vs fan-out over the window list.
+    group.bench_function("plan-serial", |b| {
+        b.iter(|| {
+            engine
+                .plan_with_threads(&matrix, 1)
+                .expect("plan succeeds")
+                .window_count()
+        })
+    });
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    group.bench_function(format!("plan-parallel-{threads}t"), |b| {
+        b.iter(|| {
+            engine
+                .plan_with_threads(&matrix, threads)
+                .expect("plan succeeds")
+                .window_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_planning);
 criterion_main!(benches);

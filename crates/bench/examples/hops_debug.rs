@@ -4,7 +4,10 @@ use chason_core::schedule::{Crhcs, PeAware, Scheduler, SchedulerConfig};
 fn main() {
     let m = chason_bench::experiments::ablation::workload(5);
     for hops in 1..=3 {
-        let cfg = SchedulerConfig { migration_hops: hops, ..SchedulerConfig::paper() };
+        let cfg = SchedulerConfig {
+            migration_hops: hops,
+            ..SchedulerConfig::paper()
+        };
         let s = Crhcs::new().schedule(&m, &cfg);
         let lens: Vec<usize> = s.channels.iter().map(|c| c.cycles()).collect();
         let nz: Vec<usize> = s.channels.iter().map(|c| c.nonzeros()).collect();

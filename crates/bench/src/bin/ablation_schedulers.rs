@@ -16,7 +16,10 @@ fn main() {
         ("hub rows (arrow)", arrow_with_nnz(4096, 4, 16, 80_000, 3)),
     ];
     println!("Ablation — scheduler family (PE underutilization %, lower is better)\n");
-    println!("{:22} {:>10} {:>10} {:>10} {:>10}", "workload", "row-based", "pe-aware", "row-split", "crhcs");
+    println!(
+        "{:22} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "row-based", "pe-aware", "row-split", "crhcs"
+    );
     for (name, m) in &workloads {
         let rb = windowed_metrics(&RowBased::new(), m, &config, window).underutilization_pct();
         let pa = windowed_metrics(&PeAware::new(), m, &config, window).underutilization_pct();

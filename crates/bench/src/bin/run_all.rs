@@ -18,7 +18,9 @@ fn write(dir: &Path, name: &str, contents: String) {
 }
 
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_string());
     let dir = Path::new(&dir);
     fs::create_dir_all(dir).expect("cannot create results directory");
     let n = corpus_size();
@@ -31,11 +33,19 @@ fn main() {
     write(dir, "fig12.txt", exp::fig12::report(&exp::fig12::run(20)));
     write(dir, "fig13.txt", exp::fig13::report(&exp::fig13::run(20)));
     write(dir, "fig15.txt", exp::fig15::report(&exp::fig15::run(20)));
-    write(dir, "table3.txt", exp::table3::report(&exp::table3::run(20)));
+    write(
+        dir,
+        "table3.txt",
+        exp::table3::report(&exp::table3::run(20)),
+    );
     write(dir, "fig03.txt", exp::fig03::report(&exp::fig03::run(n, 1)));
     write(dir, "fig11.txt", exp::fig11::report(&exp::fig11::run(n, 1)));
     write(dir, "fig14.txt", exp::fig14::report(&exp::fig14::run(n, 1)));
-    write(dir, "ablation_hops.txt", exp::ablation::report(&exp::ablation::hops(3, 1)));
+    write(
+        dir,
+        "ablation_hops.txt",
+        exp::ablation::report(&exp::ablation::hops(3, 1)),
+    );
     write(
         dir,
         "ablation_distance.txt",
@@ -46,8 +56,16 @@ fn main() {
         "ablation_scan_limit.txt",
         exp::ablation::report(&exp::ablation::scan_limit(&[1, 4, 16, 64, 256, 1024], 1)),
     );
-    write(dir, "ablation_precision.txt", exp::ablation::report(&exp::ablation::precision(1)));
-    write(dir, "ablation_row_order.txt", exp::ablation::report(&exp::ablation::row_order(1)));
+    write(
+        dir,
+        "ablation_precision.txt",
+        exp::ablation::report(&exp::ablation::precision(1)),
+    );
+    write(
+        dir,
+        "ablation_row_order.txt",
+        exp::ablation::report(&exp::ablation::row_order(1)),
+    );
     // Scheduler-family and SpMM sweeps print directly; regenerate via
     // `cargo run -p chason-bench --bin ablation_schedulers` / `ablation_spmm`.
     println!("\nall experiments written to {dir:?} (corpus size {n})");

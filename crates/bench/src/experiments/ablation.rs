@@ -54,8 +54,7 @@ fn measure(matrix: &CooMatrix, config: &SchedulerConfig) -> (f64, f64, usize, u6
     let window = chason_core::element::WINDOW;
     let s = windowed_metrics(&PeAware::new(), matrix, config, window);
     let c = windowed_metrics(&Crhcs::new(), matrix, config, window);
-    let (schedule, report) =
-        Crhcs::new().schedule_with_report(matrix, config);
+    let (schedule, report) = Crhcs::new().schedule_with_report(matrix, config);
     let _ = schedule;
     (
         s.underutilization_pct(),
@@ -70,7 +69,10 @@ pub fn hops(max_hops: usize, seed: u64) -> AblationResult {
     let matrix = workload(seed);
     let rows = (1..=max_hops)
         .map(|h| {
-            let config = SchedulerConfig { migration_hops: h, ..SchedulerConfig::paper() };
+            let config = SchedulerConfig {
+                migration_hops: h,
+                ..SchedulerConfig::paper()
+            };
             let (serpens_pct, chason_pct, chason_cycles, _) = measure(&matrix, &config);
             AblationRow {
                 parameter: h,
@@ -82,7 +84,10 @@ pub fn hops(max_hops: usize, seed: u64) -> AblationResult {
             }
         })
         .collect();
-    AblationResult { parameter_name: "migration hops", rows }
+    AblationResult {
+        parameter_name: "migration hops",
+        rows,
+    }
 }
 
 /// §2.2: sweep the accumulator dependency distance `D`.
@@ -91,13 +96,24 @@ pub fn dependency_distance(values: &[usize], seed: u64) -> AblationResult {
     let rows = values
         .iter()
         .map(|&d| {
-            let config =
-                SchedulerConfig { dependency_distance: d, ..SchedulerConfig::paper() };
+            let config = SchedulerConfig {
+                dependency_distance: d,
+                ..SchedulerConfig::paper()
+            };
             let (serpens_pct, chason_pct, chason_cycles, _) = measure(&matrix, &config);
-            AblationRow { parameter: d, serpens_pct, chason_pct, chason_cycles, cost: 0 }
+            AblationRow {
+                parameter: d,
+                serpens_pct,
+                chason_pct,
+                chason_cycles,
+                cost: 0,
+            }
         })
         .collect();
-    AblationResult { parameter_name: "dependency distance D", rows }
+    AblationResult {
+        parameter_name: "dependency distance D",
+        rows,
+    }
 }
 
 /// §3.3: sweep CrHCS's candidate scan limit.
@@ -106,10 +122,11 @@ pub fn scan_limit(values: &[usize], seed: u64) -> AblationResult {
     let rows = values
         .iter()
         .map(|&limit| {
-            let config =
-                SchedulerConfig { migration_scan_limit: limit, ..SchedulerConfig::paper() };
-            let (serpens_pct, chason_pct, chason_cycles, migrated) =
-                measure(&matrix, &config);
+            let config = SchedulerConfig {
+                migration_scan_limit: limit,
+                ..SchedulerConfig::paper()
+            };
+            let (serpens_pct, chason_pct, chason_cycles, migrated) = measure(&matrix, &config);
             AblationRow {
                 parameter: limit,
                 serpens_pct,
@@ -119,7 +136,10 @@ pub fn scan_limit(values: &[usize], seed: u64) -> AblationResult {
             }
         })
         .collect();
-    AblationResult { parameter_name: "migration scan limit", rows }
+    AblationResult {
+        parameter_name: "migration scan limit",
+        rows,
+    }
 }
 
 /// §5.5: data precision — FP32 (8 elements/beat, 8 PEs) vs FP64 + 32-bit
@@ -129,8 +149,10 @@ pub fn precision(seed: u64) -> AblationResult {
     let rows = [(8usize, "fp32"), (5, "fp64")]
         .iter()
         .map(|&(pes, _)| {
-            let config =
-                SchedulerConfig { pes_per_channel: pes, ..SchedulerConfig::paper() };
+            let config = SchedulerConfig {
+                pes_per_channel: pes,
+                ..SchedulerConfig::paper()
+            };
             let (serpens_pct, chason_pct, chason_cycles, _) = measure(&matrix, &config);
             AblationRow {
                 parameter: pes,
@@ -141,7 +163,10 @@ pub fn precision(seed: u64) -> AblationResult {
             }
         })
         .collect();
-    AblationResult { parameter_name: "PEs per PEG (precision)", rows }
+    AblationResult {
+        parameter_name: "PEs per PEG (precision)",
+        rows,
+    }
 }
 
 /// Software-only alternative: static row reordering vs CrHCS.
@@ -182,7 +207,10 @@ pub fn row_order(seed: u64) -> AblationResult {
             }
         })
         .collect();
-    AblationResult { parameter_name: "row order (0 natural, 1 shuffled, 2 interleaved)", rows }
+    AblationResult {
+        parameter_name: "row order (0 natural, 1 shuffled, 2 interleaved)",
+        rows,
+    }
 }
 
 /// Renders a sweep table.
@@ -288,6 +316,6 @@ mod tests {
     #[test]
     fn report_renders_all_rows() {
         let s = report(&dependency_distance(&[1, 5, 10], 2));
-        assert_eq!(s.lines().count() >= 6, true, "{s}");
+        assert!(s.lines().count() >= 6, "{s}");
     }
 }

@@ -7,7 +7,9 @@
 //! reproduction must preserve the ordering and rough magnitudes.
 
 use chason_core::metrics::ScheduleMetrics;
-use chason_core::schedule::{Crhcs, PeAware, RowBased, ScheduledMatrix, Scheduler, SchedulerConfig};
+use chason_core::schedule::{
+    Crhcs, PeAware, RowBased, ScheduledMatrix, Scheduler, SchedulerConfig,
+};
 use chason_sparse::CooMatrix;
 use serde::{Deserialize, Serialize};
 
@@ -37,19 +39,20 @@ pub struct SchemeResult {
 /// 0 owns a RAW-chained row plus a few singleton rows; channel 1 is rich in
 /// migratable values.
 pub fn example_matrix() -> CooMatrix {
-    let mut t: Vec<(usize, usize, f32)> = Vec::new();
-    // PE0 of channel 0 owns rows ≡ 0 (mod 8).
-    // Row 0 carries a 3-deep RAW chain (the paper's r0_op1..op3).
-    t.push((0, 0, 1.0));
-    t.push((0, 1, 2.0));
-    t.push((0, 2, 3.0));
-    // Rows 8 and 16 add two more single values (r8, r16 in the figure).
-    t.push((8, 0, 11.0));
-    t.push((16, 1, 21.0));
-    // The other PEs of channel 0 (rows 1, 2, 3) hold one value each.
-    t.push((1, 0, 5.0));
-    t.push((2, 0, 6.0));
-    t.push((3, 0, 7.0));
+    let mut t: Vec<(usize, usize, f32)> = vec![
+        // PE0 of channel 0 owns rows ≡ 0 (mod 8).
+        // Row 0 carries a 3-deep RAW chain (the paper's r0_op1..op3).
+        (0, 0, 1.0),
+        (0, 1, 2.0),
+        (0, 2, 3.0),
+        // Rows 8 and 16 add two more single values (r8, r16 in the figure).
+        (8, 0, 11.0),
+        (16, 1, 21.0),
+        // The other PEs of channel 0 (rows 1, 2, 3) hold one value each.
+        (1, 0, 5.0),
+        (2, 0, 6.0),
+        (3, 0, 7.0),
+    ];
     // Channel 1 (rows ≡ 4..7 mod 8) is densely populated: 16 singleton
     // rows, four per PE — the migration donor pool.
     for k in 0..16usize {
@@ -73,8 +76,16 @@ fn pe0_timeline(s: &ScheduledMatrix) -> (Vec<String>, f64, f64) {
             None => tokens.push(".".to_string()),
         }
     }
-    let nz_per_cycle = if cycles == 0 { 0.0 } else { busy as f64 / cycles as f64 };
-    let under = if cycles == 0 { 0.0 } else { 100.0 * (1.0 - nz_per_cycle) };
+    let nz_per_cycle = if cycles == 0 {
+        0.0
+    } else {
+        busy as f64 / cycles as f64
+    };
+    let under = if cycles == 0 {
+        0.0
+    } else {
+        100.0 * (1.0 - nz_per_cycle)
+    };
     (tokens, nz_per_cycle, under)
 }
 
@@ -83,14 +94,25 @@ pub fn run() -> Fig02Result {
     let config = SchedulerConfig::toy(2, 4, 10);
     let matrix = example_matrix();
     let mut schemes = Vec::new();
-    let schedulers: Vec<(&str, Box<dyn Fn() -> ScheduledMatrix>)> = vec![
-        ("row-based (fig 2a)", Box::new(|| RowBased::new().schedule(&matrix, &config))),
-        ("pe-aware (fig 2b)", Box::new(|| PeAware::new().schedule(&matrix, &config))),
-        ("crhcs (fig 2c)", Box::new(|| Crhcs::new().schedule(&matrix, &config))),
+    type ScheduleFn<'a> = Box<dyn Fn() -> ScheduledMatrix + 'a>;
+    let schedulers: Vec<(&str, ScheduleFn)> = vec![
+        (
+            "row-based (fig 2a)",
+            Box::new(|| RowBased::new().schedule(&matrix, &config)),
+        ),
+        (
+            "pe-aware (fig 2b)",
+            Box::new(|| PeAware::new().schedule(&matrix, &config)),
+        ),
+        (
+            "crhcs (fig 2c)",
+            Box::new(|| Crhcs::new().schedule(&matrix, &config)),
+        ),
     ];
     for (name, schedule) in schedulers {
         let s = schedule();
-        s.check_invariants(&matrix).expect("scheduler invariants hold");
+        s.check_invariants(&matrix)
+            .expect("scheduler invariants hold");
         let (pe0_timeline, pe0_nz_per_cycle, pe0_underutilization_pct) = pe0_timeline(&s);
         schemes.push(SchemeResult {
             name: name.to_string(),
@@ -107,7 +129,9 @@ pub fn run() -> Fig02Result {
 pub fn report(result: &Fig02Result) -> String {
     let mut out = String::new();
     out.push_str("Fig. 2 — PE0 timelines under the three scheduling schemes\n");
-    out.push_str("(paper asymptotes: 0.10 / 0.60 / 1.0 nz/cycle; 90% / 40% / 0% underutilization)\n\n");
+    out.push_str(
+        "(paper asymptotes: 0.10 / 0.60 / 1.0 nz/cycle; 90% / 40% / 0% underutilization)\n\n",
+    );
     for s in &result.schemes {
         out.push_str(&format!(
             "{:22}  stream {:3} cycles | global underutil {:5.1}% | PE0: {:.2} nz/cycle, {:5.1}% idle\n",
@@ -129,7 +153,9 @@ mod tests {
     #[test]
     fn ordering_matches_the_paper() {
         let r = run();
-        let [a, b, c] = &r.schemes[..] else { panic!("expected 3 schemes") };
+        let [a, b, c] = &r.schemes[..] else {
+            panic!("expected 3 schemes")
+        };
         // Row-based is the slowest; CrHCS the fastest.
         assert!(a.metrics.cycles >= b.metrics.cycles);
         assert!(b.metrics.cycles >= c.metrics.cycles);

@@ -40,8 +40,7 @@ pub fn run_specs(specs: &[chason_sparse::datasets::CorpusSpec]) -> Fig03Result {
     let mut values = Vec::with_capacity(specs.len());
     for spec in specs {
         let matrix = spec.generate();
-        let metrics =
-            windowed_metrics(&scheduler, &matrix, &config, chason_core::element::WINDOW);
+        let metrics = windowed_metrics(&scheduler, &matrix, &config, chason_core::element::WINDOW);
         values.push(metrics.underutilization_pct());
     }
     summarize(values)
@@ -95,8 +94,10 @@ mod tests {
 
     #[test]
     fn small_corpus_shows_heavy_stalling() {
-        let specs: Vec<_> =
-            corpus(12, 7).into_iter().filter(|s| s.nnz <= 60_000).collect();
+        let specs: Vec<_> = corpus(12, 7)
+            .into_iter()
+            .filter(|s| s.nnz <= 60_000)
+            .collect();
         let n = specs.len();
         let r = run_specs(&specs);
         assert_eq!(r.matrices, n);

@@ -60,7 +60,9 @@ pub fn run() -> Fig05Result {
     let config = config();
     let matrix = example_matrix();
     let before = PeAware::new().schedule(&matrix, &config);
-    before.check_invariants(&matrix).expect("pe-aware invariants");
+    before
+        .check_invariants(&matrix)
+        .expect("pe-aware invariants");
     let (after, report) = Crhcs::new().schedule_with_report(&matrix, &config);
     after.check_invariants(&matrix).expect("crhcs invariants");
     Fig05Result {

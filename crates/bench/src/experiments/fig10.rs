@@ -37,15 +37,16 @@ pub fn report(r: &Fig10Result) -> String {
     let rows: Vec<Vec<String>> = r
         .components
         .iter()
-        .map(|(name, w, pct)| {
-            vec![name.clone(), format!("{w:.3}"), format!("{pct:.1}%")]
-        })
+        .map(|(name, w, pct)| vec![name.clone(), format!("{w:.3}"), format!("{pct:.1}%")])
         .collect();
     let mut out = String::from(
         "Fig. 10 — power distribution of Chason on the Alveo U55c\n\
          (paper: ~48.7 W estimated total; HBM dominant; logic ~8%)\n\n",
     );
-    out.push_str(&crate::util::format_table(&["component", "watts", "share"], &rows));
+    out.push_str(&crate::util::format_table(
+        &["component", "watts", "share"],
+        &rows,
+    ));
     out.push_str(&format!(
         "\nestimated total: {:.3} W | measured while running: chason {:.0} W, serpens {:.0} W\n",
         r.total_w, r.measured_chason_w, r.measured_serpens_w
@@ -80,7 +81,9 @@ mod tests {
     #[test]
     fn report_lists_all_nine_components() {
         let s = report(&run());
-        for name in ["Static", "Clocks", "Signals", "Logic", "BRAM", "URAM", "DSP", "GTY", "HBM"] {
+        for name in [
+            "Static", "Clocks", "Signals", "Logic", "BRAM", "URAM", "DSP", "GTY", "HBM",
+        ] {
             assert!(s.contains(name), "missing {name}");
         }
     }

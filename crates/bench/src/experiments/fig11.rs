@@ -34,8 +34,12 @@ impl Distribution {
     pub fn from_values(name: &str, mut values: Vec<f64>) -> Self {
         let counts = histogram(&values, 0.0, 100.0, 20);
         let pdf = histogram_to_pdf(&counts, 0.0, 100.0);
-        let mode_bin =
-            counts.iter().enumerate().max_by_key(|&(_, c)| *c).map(|(i, _)| i).unwrap_or(0);
+        let mode_bin = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
         values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let median = if values.is_empty() {
             0.0
@@ -79,8 +83,9 @@ pub fn run_specs(specs: &[chason_sparse::datasets::CorpusSpec]) -> Fig11Result {
     let mut chason = Vec::with_capacity(specs.len());
     for spec in specs {
         let matrix = spec.generate();
-        serpens
-            .push(windowed_metrics(&PeAware::new(), &matrix, &config, window).underutilization_pct());
+        serpens.push(
+            windowed_metrics(&PeAware::new(), &matrix, &config, window).underutilization_pct(),
+        );
         chason
             .push(windowed_metrics(&Crhcs::new(), &matrix, &config, window).underutilization_pct());
     }
@@ -113,7 +118,10 @@ mod tests {
     use super::*;
 
     fn small_specs(count: usize, seed: u64) -> Vec<chason_sparse::datasets::CorpusSpec> {
-        corpus(count, seed).into_iter().filter(|s| s.nnz <= 60_000).collect()
+        corpus(count, seed)
+            .into_iter()
+            .filter(|s| s.nnz <= 60_000)
+            .collect()
     }
 
     #[test]
@@ -136,7 +144,11 @@ mod tests {
             let m = spec.generate();
             let s = windowed_metrics(&PeAware::new(), &m, &config, window).underutilization_pct();
             let c = windowed_metrics(&Crhcs::new(), &m, &config, window).underutilization_pct();
-            assert!(c <= s + 1e-9, "matrix {}: chason {c} vs serpens {s}", spec.index);
+            assert!(
+                c <= s + 1e-9,
+                "matrix {}: chason {c} vs serpens {s}",
+                spec.index
+            );
         }
     }
 

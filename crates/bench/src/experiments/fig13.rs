@@ -61,15 +61,16 @@ pub fn report(r: &Fig13Result) -> String {
         .iter()
         .zip(&r.chason_avg_pct)
         .enumerate()
-        .map(|(peg, (&s, &c))| {
-            vec![format!("PEG {peg}"), format!("{s:.1}%"), format!("{c:.1}%")]
-        })
+        .map(|(peg, (&s, &c))| vec![format!("PEG {peg}"), format!("{s:.1}%"), format!("{c:.1}%")])
         .collect();
     let mut out = String::from(
         "Fig. 13 — average PE underutilization per PEG (Table 2 matrices)\n\
          (paper: serpens up to ~95%; chason 60-65%, even across PEGs)\n\n",
     );
-    out.push_str(&crate::util::format_table(&["PEG", "serpens", "chason"], &rows));
+    out.push_str(&crate::util::format_table(
+        &["PEG", "serpens", "chason"],
+        &rows,
+    ));
     out.push_str(&format!(
         "\nspread (max - min): serpens {:.1} pts, chason {:.1} pts\n",
         r.serpens_spread, r.chason_spread
@@ -79,8 +80,8 @@ pub fn report(r: &Fig13Result) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::fig12::MatrixPegs;
+    use super::*;
 
     fn synthetic() -> Fig12Result {
         Fig12Result {
@@ -122,6 +123,11 @@ mod tests {
     #[test]
     fn report_has_sixteen_peg_rows() {
         let s = report(&run(2));
-        assert_eq!(s.lines().filter(|l| l.starts_with("PEG ") && l.contains('%')).count(), 16);
+        assert_eq!(
+            s.lines()
+                .filter(|l| l.starts_with("PEG ") && l.contains('%'))
+                .count(),
+            16
+        );
     }
 }

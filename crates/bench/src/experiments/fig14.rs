@@ -94,7 +94,11 @@ pub fn run_specs(specs: &[chason_sparse::datasets::CorpusSpec]) -> Fig14Result {
         })
         .collect();
 
-    Fig14Result { matrices: evaluated, peak_chason_gflops: peak_chason, devices }
+    Fig14Result {
+        matrices: evaluated,
+        peak_chason_gflops: peak_chason,
+        devices,
+    }
 }
 
 /// Renders the comparison table.
@@ -120,10 +124,20 @@ pub fn report(r: &Fig14Result) -> String {
         r.matrices
     );
     out.push_str(&crate::util::format_table(
-        &["baseline", "gm speedup", "peak", "gm energy", "peak", "peak GFLOPS"],
+        &[
+            "baseline",
+            "gm speedup",
+            "peak",
+            "gm energy",
+            "peak",
+            "peak GFLOPS",
+        ],
         &rows,
     ));
-    out.push_str(&format!("\npeak Chason throughput: {:.2} GFLOPS (paper: 30.23)\n", r.peak_chason_gflops));
+    out.push_str(&format!(
+        "\npeak Chason throughput: {:.2} GFLOPS (paper: 30.23)\n",
+        r.peak_chason_gflops
+    ));
     out
 }
 
@@ -132,7 +146,10 @@ mod tests {
     use super::*;
 
     fn small_specs(count: usize, seed: u64) -> Vec<chason_sparse::datasets::CorpusSpec> {
-        corpus(count, seed).into_iter().filter(|s| s.nnz <= 60_000).collect()
+        corpus(count, seed)
+            .into_iter()
+            .filter(|s| s.nnz <= 60_000)
+            .collect()
     }
 
     #[test]
@@ -154,7 +171,12 @@ mod tests {
         assert!(g4090.geomean_speedup > 1.0);
         // Energy efficiency gains are large everywhere (39 W vs 65-132 W).
         for d in &r.devices {
-            assert!(d.geomean_energy_gain > 1.0, "{}: {}", d.device, d.geomean_energy_gain);
+            assert!(
+                d.geomean_energy_gain > 1.0,
+                "{}: {}",
+                d.device,
+                d.geomean_energy_gain
+            );
         }
     }
 

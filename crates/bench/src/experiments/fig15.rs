@@ -50,8 +50,12 @@ pub fn run(limit: usize) -> Fig15Result {
     for spec in table2().into_iter().take(limit) {
         let matrix = spec.generate();
         let x = vec![1.0f32; matrix.cols()];
-        let ce = chason.run(&matrix, &x).expect("catalog matrices fit the accelerator");
-        let se = serpens.run(&matrix, &x).expect("catalog matrices fit the accelerator");
+        let ce = chason
+            .run(&matrix, &x)
+            .expect("catalog matrices fit the accelerator");
+        let se = serpens
+            .run(&matrix, &x)
+            .expect("catalog matrices fit the accelerator");
         rows.push(Fig15Row {
             id: spec.id.to_string(),
             name: spec.name.to_string(),
@@ -66,7 +70,10 @@ pub fn run(limit: usize) -> Fig15Result {
 /// Aggregates per-matrix rows into the figure's summary statistics.
 pub fn summarize(rows: Vec<Fig15Row>) -> Fig15Result {
     let of = |collection: &str, f: fn(&Fig15Row) -> f64| -> Vec<f64> {
-        rows.iter().filter(|r| r.collection == collection).map(f).collect()
+        rows.iter()
+            .filter(|r| r.collection == collection)
+            .map(f)
+            .collect()
     };
     let ss = Collection::SuiteSparse.to_string();
     let snap = Collection::Snap.to_string();

@@ -46,7 +46,10 @@ pub fn report(r: &Table1Result) -> String {
         "Table 1 — Alveo U55c resource consumption\n\
          (paper: Serpens 219K LUT/384 URAM; Chason 346K LUT/512 URAM)\n\n",
     );
-    out.push_str(&crate::util::format_table(&["resource", "Serpens", "Chason"], &rows));
+    out.push_str(&crate::util::format_table(
+        &["resource", "Serpens", "Chason"],
+        &rows,
+    ));
     out
 }
 

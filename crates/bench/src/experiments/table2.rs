@@ -75,7 +75,15 @@ pub fn report(r: &Table2Result) -> String {
     let mut out =
         String::from("Table 2 — evaluated matrices (synthetic stand-ins vs paper targets)\n\n");
     out.push_str(&crate::util::format_table(
-        &["dataset", "collection", "n", "NNZ*", "NNZ", "dens%*", "dens%"],
+        &[
+            "dataset",
+            "collection",
+            "n",
+            "NNZ*",
+            "NNZ",
+            "dens%*",
+            "dens%",
+        ],
         &rows,
     ));
     out.push_str("\n(* = paper-reported target)\n");
@@ -84,7 +92,10 @@ pub fn report(r: &Table2Result) -> String {
 
 /// Returns the catalog entries of one collection (used by Fig. 15).
 pub fn by_collection(collection: Collection) -> Vec<chason_sparse::datasets::DatasetSpec> {
-    table2().into_iter().filter(|s| s.collection == collection).collect()
+    table2()
+        .into_iter()
+        .filter(|s| s.collection == collection)
+        .collect()
 }
 
 #[cfg(test)]

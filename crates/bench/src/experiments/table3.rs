@@ -104,9 +104,17 @@ pub fn report(r: &Table3Result) -> String {
         ],
         &rows,
     ));
-    let mean_c: f64 =
-        r.rows.iter().map(|x| x.chason.energy_efficiency).sum::<f64>() / r.rows.len().max(1) as f64;
-    let mean_s: f64 = r.rows.iter().map(|x| x.serpens.energy_efficiency).sum::<f64>()
+    let mean_c: f64 = r
+        .rows
+        .iter()
+        .map(|x| x.chason.energy_efficiency)
+        .sum::<f64>()
+        / r.rows.len().max(1) as f64;
+    let mean_s: f64 = r
+        .rows
+        .iter()
+        .map(|x| x.serpens.energy_efficiency)
+        .sum::<f64>()
         / r.rows.len().max(1) as f64;
     out.push_str(&format!(
         "\nmean energy efficiency: chason {mean_c:.3} GFLOPS/W, serpens {mean_s:.3} GFLOPS/W\n"
@@ -122,7 +130,11 @@ mod tests {
     fn chason_dominates_on_catalog_prefix() {
         let r = run(2);
         for row in &r.rows {
-            assert!(row.chason.latency_ms < row.serpens.latency_ms, "{}", row.name);
+            assert!(
+                row.chason.latency_ms < row.serpens.latency_ms,
+                "{}",
+                row.name
+            );
             assert!(row.chason.throughput_gflops > row.serpens.throughput_gflops);
             assert!(row.energy_improvement > 1.0);
         }

@@ -18,7 +18,11 @@ pub fn corpus_size() -> usize {
 /// Panics if any row's length differs from the header's.
 pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     for row in rows {
-        assert_eq!(row.len(), headers.len(), "table rows must match header width");
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "table rows must match header width"
+        );
     }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -58,7 +62,11 @@ pub fn render_pdf(bin_lo: f64, bin_hi: f64, pdf: &[f64]) -> String {
     let mut out = String::new();
     for (i, &p) in pdf.iter().enumerate() {
         let centre = bin_lo + (i as f64 + 0.5) * width;
-        let bar_len = if max > 0.0 { (p / max * 50.0).round() as usize } else { 0 };
+        let bar_len = if max > 0.0 {
+            (p / max * 50.0).round() as usize
+        } else {
+            0
+        };
         out.push_str(&format!("{centre:7.1}  {} {p:.4}\n", "#".repeat(bar_len)));
     }
     out
@@ -115,7 +123,7 @@ mod tests {
     fn fmt_precision_bands() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.1234), "0.123");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(4.14159), "4.14");
         assert_eq!(fmt(301.0), "301");
     }
 

@@ -47,7 +47,10 @@ impl Args {
 
     /// Returns an option value, if present and non-empty.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(String::as_str).filter(|v| !v.is_empty())
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .filter(|v| !v.is_empty())
     }
 
     /// Returns an option parsed to `T`, or `default` when absent.

@@ -1,6 +1,9 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use chason::solvers::{
+    conjugate_gradient, jacobi, CgOptions, CpuBackend, EngineBackend, SpmvBackend,
+};
 use chason_core::metrics::{schedule_insights, windowed_metrics, WindowedMetrics};
 use chason_core::schedule::{Crhcs, PeAware, RowBased, Scheduler, SchedulerConfig};
 use chason_hbm::HbmConfig;
@@ -11,9 +14,6 @@ use chason_sparse::generators::{arrow_with_nnz, banded_with_nnz, power_law, unif
 use chason_sparse::market::{read_matrix_market, write_matrix_market};
 use chason_sparse::stats::row_stats;
 use chason_sparse::CooMatrix;
-use chason::solvers::{
-    conjugate_gradient, jacobi, CgOptions, CpuBackend, EngineBackend, SpmvBackend,
-};
 use std::fs::File;
 use std::io::BufWriter;
 
@@ -89,8 +89,14 @@ pub fn schedule(args: &Args) -> Result<(), String> {
         };
         let insights = schedule_insights(&schedule);
         println!("longest idle run : {} cycles", insights.longest_stall_run);
-        println!("migrated values  : {} ({:?} per hop)", insights.migrated, insights.migrated_per_hop);
-        println!("mean fill point  : {:.2} of the stream", insights.mean_fill_position);
+        println!(
+            "migrated values  : {} ({:?} per hop)",
+            insights.migrated, insights.migrated_per_hop
+        );
+        println!(
+            "mean fill point  : {:.2} of the stream",
+            insights.mean_fill_position
+        );
     }
     Ok(())
 }
@@ -105,9 +111,18 @@ fn print_execution(exec: &Execution) {
     let report = PerformanceReport::from_execution(exec, bandwidth, power);
     println!("engine               : {}", exec.engine);
     println!("latency              : {:.4} ms", report.latency_ms);
-    println!("throughput           : {:.3} GFLOPS", report.throughput_gflops);
-    println!("bandwidth efficiency : {:.4} GFLOPS/(GB/s)", report.bandwidth_efficiency);
-    println!("energy efficiency    : {:.4} GFLOPS/W", report.energy_efficiency);
+    println!(
+        "throughput           : {:.3} GFLOPS",
+        report.throughput_gflops
+    );
+    println!(
+        "bandwidth efficiency : {:.4} GFLOPS/(GB/s)",
+        report.bandwidth_efficiency
+    );
+    println!(
+        "energy efficiency    : {:.4} GFLOPS/W",
+        report.energy_efficiency
+    );
     println!("PE underutilization  : {:.2}%", report.underutilization_pct);
     println!("cycles               : {} total", exec.cycles.total());
     println!(
@@ -119,24 +134,35 @@ fn print_execution(exec: &Execution) {
         exec.cycles.merge,
         exec.cycles.invocation
     );
-    println!("data streamed        : {:.3} MB", exec.bytes_streamed as f64 / 1e6);
+    println!(
+        "data streamed        : {:.3} MB",
+        exec.bytes_streamed as f64 / 1e6
+    );
 }
 
-fn execute(
-    args: &Args,
-    matrix: &CooMatrix,
-    engine_name: &str,
-) -> Result<Execution, String> {
+fn execute(args: &Args, matrix: &CooMatrix, engine_name: &str) -> Result<Execution, String> {
     let sched = scheduler_config(args)?;
     let x = vec![1.0f32; matrix.cols()];
+    // Plan first (windows scheduled in parallel), then execute the plan —
+    // the same artifact a solver would cache across iterations.
     match engine_name {
         "chason" => {
-            let config = AcceleratorConfig { sched, ..AcceleratorConfig::chason() };
-            ChasonEngine::new(config).run_partitioned(matrix, &x).map_err(|e| e.to_string())
+            let config = AcceleratorConfig {
+                sched,
+                ..AcceleratorConfig::chason()
+            };
+            let engine = ChasonEngine::new(config);
+            let plan = engine.plan(matrix).map_err(|e| e.to_string())?;
+            engine.run_planned(&plan, &x).map_err(|e| e.to_string())
         }
         "serpens" => {
-            let config = AcceleratorConfig { sched, ..AcceleratorConfig::serpens() };
-            SerpensEngine::new(config).run_partitioned(matrix, &x).map_err(|e| e.to_string())
+            let config = AcceleratorConfig {
+                sched,
+                ..AcceleratorConfig::serpens()
+            };
+            let engine = SerpensEngine::new(config);
+            let plan = engine.plan(matrix).map_err(|e| e.to_string())?;
+            engine.run_planned(&plan, &x).map_err(|e| e.to_string())
         }
         other => Err(format!("unknown engine '{other}'")),
     }
@@ -228,12 +254,17 @@ pub fn solve(args: &Args) -> Result<(), String> {
     let solver = args.get("solver").unwrap_or("jacobi").to_string();
     let sched = scheduler_config(args)?;
     let mut backend: Box<dyn SpmvBackend> = match args.get("engine").unwrap_or("chason") {
-        "chason" => Box::new(EngineBackend::chason(ChasonEngine::new(AcceleratorConfig {
-            sched,
-            ..AcceleratorConfig::chason()
-        }))),
+        "chason" => Box::new(EngineBackend::chason(ChasonEngine::new(
+            AcceleratorConfig {
+                sched,
+                ..AcceleratorConfig::chason()
+            },
+        ))),
         "serpens" => Box::new(EngineBackend::serpens(SerpensEngine::new(
-            AcceleratorConfig { sched, ..AcceleratorConfig::serpens() },
+            AcceleratorConfig {
+                sched,
+                ..AcceleratorConfig::serpens()
+            },
         ))),
         "cpu" => Box::new(CpuBackend::default()),
         other => return Err(format!("unknown engine '{other}'")),
@@ -254,7 +285,10 @@ pub fn solve(args: &Args) -> Result<(), String> {
     println!("relative residual : {:.3e}", result.residual);
     println!("converged         : {}", result.converged);
     println!("max |x - 1|       : {max_err:.3e}");
-    println!("SpMV time         : {:.4} ms (simulated for engines)", result.spmv_seconds * 1e3);
+    println!(
+        "SpMV time         : {:.4} ms (simulated for engines)",
+        result.spmv_seconds * 1e3
+    );
     Ok(())
 }
 
@@ -273,7 +307,11 @@ pub fn export(args: &Args) -> Result<(), String> {
     let multi = windows.len() > 1;
     for w in &windows {
         let schedule = Crhcs::new().schedule(&w.matrix, &config);
-        let path = if multi { format!("{out}.w{}", w.index) } else { out.clone() };
+        let path = if multi {
+            format!("{out}.w{}", w.index)
+        } else {
+            out.clone()
+        };
         let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
         chason_core::export::write_schedule(BufWriter::new(file), &schedule)
             .map_err(|e| e.to_string())?;
@@ -307,16 +345,25 @@ pub fn inspect(args: &Args) -> Result<(), String> {
         artifact.config.dependency_distance,
         artifact.config.migration_hops
     );
-    println!("matrix            : {} x {}, {} nnz", artifact.rows, artifact.cols, artifact.nnz);
+    println!(
+        "matrix            : {} x {}, {} nnz",
+        artifact.rows, artifact.cols, artifact.nnz
+    );
     println!("stream length     : {} cycles per channel", artifact.cycles);
     println!("stall words       : {}", artifact.stalls());
-    println!("underutilization  : {:.2}%", artifact.underutilization() * 100.0);
+    println!(
+        "underutilization  : {:.2}%",
+        artifact.underutilization() * 100.0
+    );
     Ok(())
 }
 
 /// `chason catalog` — the Table 2 evaluation matrices.
 pub fn catalog() -> Result<(), String> {
-    println!("{:<4} {:<26} {:<12} {:>9} {:>9}", "ID", "name", "collection", "NNZ", "dens%");
+    println!(
+        "{:<4} {:<26} {:<12} {:>9} {:>9}",
+        "ID", "name", "collection", "NNZ", "dens%"
+    );
     for spec in chason_sparse::datasets::table2() {
         println!(
             "{:<4} {:<26} {:<12} {:>9} {:>9.4}",
@@ -376,9 +423,11 @@ mod tests {
         assert!(generate(&args("generate uniform /tmp/x.mtx")).is_err());
         let path = write_temp_matrix();
         assert!(run(&args(&format!("run {} --engine gpu", path.display()))).is_err());
-        assert!(
-            schedule(&args(&format!("schedule {} --scheduler foo", path.display()))).is_err()
-        );
+        assert!(schedule(&args(&format!(
+            "schedule {} --scheduler foo",
+            path.display()
+        )))
+        .is_err());
         assert!(schedule(&args(&format!("schedule {} --pes 9", path.display()))).is_err());
     }
 
@@ -392,7 +441,12 @@ mod tests {
         let path = write_temp_matrix();
         let dir = std::env::temp_dir().join("chason-cli-tests");
         let out = dir.join(format!("sched{}.chsn", std::process::id()));
-        export(&args(&format!("export {} {}", path.display(), out.display()))).unwrap();
+        export(&args(&format!(
+            "export {} {}",
+            path.display(),
+            out.display()
+        )))
+        .unwrap();
         inspect(&args(&format!("inspect {}", out.display()))).unwrap();
         assert!(inspect(&args(&format!("inspect {}", path.display()))).is_err());
     }
@@ -416,9 +470,16 @@ mod tests {
         let m = CooMatrix::from_triplets(96, 96, t).unwrap();
         let file = File::create(&path).unwrap();
         write_matrix_market(BufWriter::new(file), &m).unwrap();
-        solve(&args(&format!("solve {} --solver jacobi --engine chason", path.display())))
-            .unwrap();
-        solve(&args(&format!("solve {} --solver cg --engine cpu", path.display()))).unwrap();
+        solve(&args(&format!(
+            "solve {} --solver jacobi --engine chason",
+            path.display()
+        )))
+        .unwrap();
+        solve(&args(&format!(
+            "solve {} --solver cg --engine cpu",
+            path.display()
+        )))
+        .unwrap();
         assert!(solve(&args(&format!("solve {} --solver qr", path.display()))).is_err());
     }
 }

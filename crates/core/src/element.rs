@@ -77,7 +77,13 @@ impl SparseElement {
     ///
     /// Panics on field overflow or a zero value (see [`SparseElement::pack`]).
     pub fn private(value: f32, local_row: u16, local_col: u16) -> Self {
-        let e = SparseElement { value, local_row, pvt: true, pe_src: 0, local_col };
+        let e = SparseElement {
+            value,
+            local_row,
+            pvt: true,
+            pe_src: 0,
+            local_col,
+        };
         e.validate();
         e
     }
@@ -88,7 +94,13 @@ impl SparseElement {
     ///
     /// Panics on field overflow or a zero value (see [`SparseElement::pack`]).
     pub fn migrated(value: f32, local_row: u16, pe_src: u8, local_col: u16) -> Self {
-        let e = SparseElement { value, local_row, pvt: false, pe_src, local_col };
+        let e = SparseElement {
+            value,
+            local_row,
+            pvt: false,
+            pe_src,
+            local_col,
+        };
         e.validate();
         e
     }
@@ -190,7 +202,10 @@ mod tests {
     fn negative_zero_value_is_distinguishable_from_stall() {
         let e = SparseElement::private(-0.0, 0, 0);
         assert_ne!(e.pack(), STALL_WORD);
-        assert_eq!(SparseElement::unpack(e.pack()).unwrap().value.to_bits(), (-0.0f32).to_bits());
+        assert_eq!(
+            SparseElement::unpack(e.pack()).unwrap().value.to_bits(),
+            (-0.0f32).to_bits()
+        );
     }
 
     #[test]

@@ -74,10 +74,7 @@ impl ScheduleArtifact {
 ///
 /// Panics if a slot overflows the 64-bit wire format (schedule one
 /// [`crate::window`] at a time for wide matrices).
-pub fn write_schedule<W: Write>(
-    mut writer: W,
-    schedule: &ScheduledMatrix,
-) -> io::Result<()> {
+pub fn write_schedule<W: Write>(mut writer: W, schedule: &ScheduledMatrix) -> io::Result<()> {
     let cfg = &schedule.config;
     writer.write_all(MAGIC)?;
     for v in [
@@ -130,7 +127,10 @@ pub fn read_schedule<R: Read>(mut reader: R) -> io::Result<ScheduleArtifact> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a CHSN artifact"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a CHSN artifact",
+        ));
     }
     let version = read_u32(&mut reader)?;
     if version != VERSION {
@@ -174,7 +174,14 @@ pub fn read_schedule<R: Read>(mut reader: R) -> io::Result<ScheduleArtifact> {
         }
         lists.push(list);
     }
-    Ok(ScheduleArtifact { config, rows, cols, nnz, cycles, lists })
+    Ok(ScheduleArtifact {
+        config,
+        rows,
+        cols,
+        nnz,
+        cycles,
+        lists,
+    })
 }
 
 #[cfg(test)]

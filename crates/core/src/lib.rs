@@ -40,12 +40,14 @@
 pub mod element;
 pub mod export;
 pub mod metrics;
+pub mod plan;
 pub mod schedule;
 pub mod viz;
 pub mod window;
 
 pub use element::SparseElement;
+pub use plan::{matrix_fingerprint, PassPlan, PlanKey, PlanWindow, SpmvPlan};
 pub use schedule::{
-    ChannelSchedule, Crhcs, HybridRowSplit, NzSlot, PeAware, RowBased, ScheduledMatrix,
-    Scheduler, SchedulerConfig,
+    ChannelSchedule, Crhcs, HybridRowSplit, NzSlot, PeAware, RowBased, ScheduledMatrix, Scheduler,
+    SchedulerConfig,
 };

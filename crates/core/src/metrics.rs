@@ -52,7 +52,11 @@ impl ScheduleMetrics {
                 .iter()
                 .map(|u| u * 100.0)
                 .collect(),
-            nz_per_cycle_per_pe: if slots == 0 { 0.0 } else { nnz as f64 / slots as f64 },
+            nz_per_cycle_per_pe: if slots == 0 {
+                0.0
+            } else {
+                nnz as f64 / slots as f64
+            },
         }
     }
 }
@@ -236,8 +240,7 @@ pub fn schedule_insights(schedule: &ScheduledMatrix) -> ScheduleInsights {
                         }
                         if !nz.pvt {
                             migrated += 1;
-                            let hop =
-                                config.hop_for(ch.channel, config.channel_for_row(nz.row));
+                            let hop = config.hop_for(ch.channel, config.channel_for_row(nz.row));
                             if hop >= 1 {
                                 migrated_per_hop[hop - 1] += 1;
                             }
@@ -273,8 +276,12 @@ pub fn schedule_insights(schedule: &ScheduledMatrix) -> ScheduleInsights {
 /// Values `<= 0` are skipped (they would poison the log sum); returns 0 when
 /// no valid values remain.
 pub fn geometric_mean(values: &[f64]) -> f64 {
-    let logs: Vec<f64> =
-        values.iter().copied().filter(|v| *v > 0.0).map(f64::ln).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0)
+        .map(f64::ln)
+        .collect();
     if logs.is_empty() {
         0.0
     } else {
@@ -307,9 +314,7 @@ mod tests {
         let cmp = compare(&PeAware::new(), &Crhcs::new(), &m, &config);
         assert!(cmp.cycle_reduction >= 1.0);
         assert!(cmp.stalls_removed >= 0);
-        assert!(
-            cmp.improved.underutilization_pct <= cmp.baseline.underutilization_pct
-        );
+        assert!(cmp.improved.underutilization_pct <= cmp.baseline.underutilization_pct);
     }
 
     #[test]
@@ -349,8 +354,9 @@ mod tests {
     fn insights_count_stall_runs_and_migrations() {
         let config = SchedulerConfig::toy(2, 2, 4);
         // Channel 1 rich, channel 0 poor: migration guaranteed.
-        let triplets: Vec<_> =
-            (0..20).map(|i| (2 + (i % 2) + 4 * (i / 2), i % 8, 1.0 + i as f32)).collect();
+        let triplets: Vec<_> = (0..20)
+            .map(|i| (2 + (i % 2) + 4 * (i / 2), i % 8, 1.0 + i as f32))
+            .collect();
         let m = chason_sparse::CooMatrix::from_triplets(64, 8, triplets).unwrap();
         let serpens = PeAware::new().schedule(&m, &config);
         let chason = Crhcs::new().schedule(&m, &config);

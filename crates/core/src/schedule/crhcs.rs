@@ -90,8 +90,7 @@ impl Crhcs {
                         .filter(|nz| nz.pvt)
                         .count();
                     let quota = available.div_ceil(hop);
-                    let (m, s) =
-                        migrate_channel(&mut scheduled, dest, src, config, quota);
+                    let (m, s) = migrate_channel(&mut scheduled, dest, src, config, quota);
                     migrated_total += m;
                     raw_skips += s;
                 }
@@ -280,7 +279,10 @@ mod tests {
         let serpens = PeAware::new().schedule(&m, &config);
         let (chason, report) = Crhcs::new().schedule_with_report(&m, &config);
         assert!(chason.underutilization() <= serpens.underutilization());
-        assert!(report.migrated > 0, "skewed matrix should trigger migration");
+        assert!(
+            report.migrated > 0,
+            "skewed matrix should trigger migration"
+        );
         assert!(report.stalls_after <= report.stalls_before);
         chason.check_invariants(&m).unwrap();
     }
@@ -300,15 +302,12 @@ mod tests {
         // Channel 0 owns rows {0,1} mod 4; channel 1 owns rows {2,3} mod 4.
         // Give channel 0 nothing and channel 1 plenty: all of channel 0's
         // slots must be filled by migrated (pvt = 0) values.
-        let triplets: Vec<_> = (0..12).map(|i| (2 + 4 * (i % 3), i, 1.0 + i as f32)).collect();
+        let triplets: Vec<_> = (0..12)
+            .map(|i| (2 + 4 * (i % 3), i, 1.0 + i as f32))
+            .collect();
         let m = CooMatrix::from_triplets(16, 16, triplets).unwrap();
         let s = Crhcs::new().schedule(&m, &config);
-        let migrated: Vec<_> = s.channels[0]
-            .grid
-            .iter()
-            .flatten()
-            .flatten()
-            .collect();
+        let migrated: Vec<_> = s.channels[0].grid.iter().flatten().flatten().collect();
         assert!(!migrated.is_empty(), "channel 0 should receive migrants");
         for nz in &migrated {
             assert!(!nz.pvt);

@@ -20,7 +20,7 @@ use chason_sparse::CooMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Architectural parameters the schedulers target.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SchedulerConfig {
     /// HBM channels carrying sparse-matrix data (16 in the paper).
     pub channels: usize,
@@ -139,7 +139,13 @@ pub struct NzSlot {
 impl NzSlot {
     /// Creates a private slot for a row owned by the streaming channel.
     pub fn private(value: f32, row: usize, col: usize) -> Self {
-        NzSlot { value, row, col, pvt: true, pe_src: 0 }
+        NzSlot {
+            value,
+            row,
+            col,
+            pvt: true,
+            pe_src: 0,
+        }
     }
 }
 
@@ -156,7 +162,10 @@ impl ChannelSchedule {
     /// Creates an empty schedule for a channel.
     pub fn new(channel: usize, pes: usize) -> Self {
         let _ = pes;
-        ChannelSchedule { channel, grid: Vec::new() }
+        ChannelSchedule {
+            channel,
+            grid: Vec::new(),
+        }
     }
 
     /// Number of scheduled cycles (beats).
@@ -311,7 +320,11 @@ impl ScheduledMatrix {
 
     /// Length of the (equalized) channel lists in cycles.
     pub fn stream_cycles(&self) -> usize {
-        self.channels.iter().map(ChannelSchedule::cycles).max().unwrap_or(0)
+        self.channels
+            .iter()
+            .map(ChannelSchedule::cycles)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Packs every channel into its 64-bit data list, padded with stall
@@ -375,9 +388,7 @@ impl ScheduledMatrix {
         for &(r, c, v) in source.iter() {
             match scheduled.get(&(r, c)) {
                 Some(&sv) if sv == v => {}
-                Some(&sv) => {
-                    return Err(format!("entry ({r}, {c}) value {sv} != source {v}"))
-                }
+                Some(&sv) => return Err(format!("entry ({r}, {c}) value {sv} != source {v}")),
                 None => return Err(format!("entry ({r}, {c}) missing from schedule")),
             }
         }
@@ -419,16 +430,16 @@ pub trait Scheduler {
     fn schedule(&self, matrix: &CooMatrix, config: &SchedulerConfig) -> ScheduledMatrix;
 }
 
+/// The rows owned by one PE lane: `(row, Vec<(col, value)>)` in ascending
+/// row order, each row's entries in ascending column order.
+pub(crate) type LaneRows = Vec<(usize, Vec<(usize, f32)>)>;
+
 /// Groups a matrix's non-zeros by owning (channel, lane, row), the shared
 /// front-end of all three schedulers.
 ///
-/// Returns `rows_by_pe[channel][lane]` = list of `(row, Vec<(col, value)>)`
-/// in ascending row order, each row's entries in ascending column order.
-pub(crate) fn partition_rows(
-    matrix: &CooMatrix,
-    config: &SchedulerConfig,
-) -> Vec<Vec<Vec<(usize, Vec<(usize, f32)>)>>> {
-    let mut by_pe: Vec<Vec<Vec<(usize, Vec<(usize, f32)>)>>> =
+/// Returns `rows_by_pe[channel][lane]` as [`LaneRows`].
+pub(crate) fn partition_rows(matrix: &CooMatrix, config: &SchedulerConfig) -> Vec<Vec<LaneRows>> {
+    let mut by_pe: Vec<Vec<LaneRows>> =
         vec![vec![Vec::new(); config.pes_per_channel]; config.channels];
     // COO iteration is (row, col)-sorted, so rows arrive grouped and in
     // ascending order per PE.
@@ -511,7 +522,13 @@ mod tests {
         ch.grid.push(vec![Some(NzSlot::private(1.0, 0, 0))]);
         ch.grid.push(vec![None]);
         ch.grid.push(vec![None]);
-        let s = ScheduledMatrix { config: cfg, channels: vec![ch], rows: 1, cols: 1, nnz: 1 };
+        let s = ScheduledMatrix {
+            config: cfg,
+            channels: vec![ch],
+            rows: 1,
+            cols: 1,
+            nnz: 1,
+        };
         assert!((s.underutilization() - 2.0 / 3.0).abs() < 1e-12);
     }
 
@@ -536,7 +553,13 @@ mod tests {
         let m = chason_sparse::CooMatrix::from_triplets(
             6,
             6,
-            vec![(0, 1, 1.0), (1, 0, 2.0), (2, 2, 3.0), (5, 5, 4.0), (1, 3, 5.0)],
+            vec![
+                (0, 1, 1.0),
+                (1, 0, 2.0),
+                (2, 2, 3.0),
+                (5, 5, 4.0),
+                (1, 3, 5.0),
+            ],
         )
         .unwrap();
         let parts = partition_rows(&m, &cfg);
@@ -564,16 +587,18 @@ mod tests {
     #[test]
     fn check_invariants_detects_raw_violation() {
         let cfg = SchedulerConfig::toy(1, 1, 5);
-        let m = chason_sparse::CooMatrix::from_triplets(
-            1,
-            2,
-            vec![(0, 0, 1.0), (0, 1, 2.0)],
-        )
-        .unwrap();
+        let m =
+            chason_sparse::CooMatrix::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 2.0)]).unwrap();
         let mut ch = ChannelSchedule::new(0, 1);
         ch.grid.push(vec![Some(NzSlot::private(1.0, 0, 0))]);
         ch.grid.push(vec![Some(NzSlot::private(2.0, 0, 1))]); // 1 cycle apart < 5
-        let s = ScheduledMatrix { config: cfg, channels: vec![ch], rows: 1, cols: 2, nnz: 2 };
+        let s = ScheduledMatrix {
+            config: cfg,
+            channels: vec![ch],
+            rows: 1,
+            cols: 2,
+            nnz: 2,
+        };
         let err = s.check_invariants(&m).unwrap_err();
         assert!(err.contains("RAW"), "unexpected error: {err}");
     }

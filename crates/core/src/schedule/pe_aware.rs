@@ -92,16 +92,18 @@ impl Scheduler for PeAware {
                         .collect(),
                 );
             }
-            channels.push(ChannelSchedule { channel: ch_idx, grid });
+            channels.push(ChannelSchedule {
+                channel: ch_idx,
+                grid,
+            });
         }
-        let scheduled = ScheduledMatrix {
+        ScheduledMatrix {
             config: *config,
             channels,
             rows: matrix.rows(),
             cols: matrix.cols(),
             nnz: matrix.nnz(),
-        };
-        scheduled
+        }
     }
 }
 
@@ -141,12 +143,8 @@ mod tests {
     #[test]
     fn single_row_degrades_to_row_based_behaviour() {
         let config = SchedulerConfig::toy(1, 1, 10);
-        let m = CooMatrix::from_triplets(
-            1,
-            3,
-            vec![(0, 0, 1.0), (0, 1, 2.0), (0, 2, 3.0)],
-        )
-        .unwrap();
+        let m =
+            CooMatrix::from_triplets(1, 3, vec![(0, 0, 1.0), (0, 1, 2.0), (0, 2, 3.0)]).unwrap();
         let s = PeAware::new().schedule(&m, &config);
         assert_eq!(s.stream_cycles(), 21);
         s.check_invariants(&m).unwrap();
@@ -192,7 +190,9 @@ mod tests {
         let config = SchedulerConfig::paper();
         let balanced = uniform_random(2048, 2048, 40_000, 5);
         let skewed = power_law(2048, 2048, 40_000, 1.9, 5);
-        let ub = PeAware::new().schedule(&balanced, &config).underutilization();
+        let ub = PeAware::new()
+            .schedule(&balanced, &config)
+            .underutilization();
         let us = PeAware::new().schedule(&skewed, &config).underutilization();
         assert!(ub < us, "balanced {ub} should stall less than skewed {us}");
     }

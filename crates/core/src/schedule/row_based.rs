@@ -59,16 +59,18 @@ impl Scheduler for RowBased {
                     .collect();
                 grid.push(slots);
             }
-            channels.push(ChannelSchedule { channel: ch_idx, grid });
+            channels.push(ChannelSchedule {
+                channel: ch_idx,
+                grid,
+            });
         }
-        let scheduled = ScheduledMatrix {
+        ScheduledMatrix {
             config: *config,
             channels,
             rows: matrix.rows(),
             cols: matrix.cols(),
             nnz: matrix.nnz(),
-        };
-        scheduled
+        }
     }
 }
 
@@ -81,12 +83,8 @@ mod tests {
     #[test]
     fn dense_row_leaves_d_minus_one_stalls() {
         let config = SchedulerConfig::toy(1, 1, 10);
-        let m = CooMatrix::from_triplets(
-            1,
-            3,
-            vec![(0, 0, 1.0), (0, 1, 2.0), (0, 2, 3.0)],
-        )
-        .unwrap();
+        let m =
+            CooMatrix::from_triplets(1, 3, vec![(0, 0, 1.0), (0, 1, 2.0), (0, 2, 3.0)]).unwrap();
         let s = RowBased::new().schedule(&m, &config);
         // 3 values with two 9-stall gaps: 21 cycles.
         assert_eq!(s.stream_cycles(), 21);
@@ -98,12 +96,8 @@ mod tests {
     fn independent_rows_on_same_pe_still_serialize() {
         // Rows 0 and 4 both map to PE 0 of a 1-channel/4-PE config.
         let config = SchedulerConfig::toy(1, 4, 10);
-        let m = CooMatrix::from_triplets(
-            8,
-            2,
-            vec![(0, 0, 1.0), (0, 1, 2.0), (4, 0, 3.0)],
-        )
-        .unwrap();
+        let m =
+            CooMatrix::from_triplets(8, 2, vec![(0, 0, 1.0), (0, 1, 2.0), (4, 0, 3.0)]).unwrap();
         let s = RowBased::new().schedule(&m, &config);
         // Row 0: cycles 0 and 10; row 4 immediately after at cycle 11.
         let lane0: Vec<usize> = s.channels[0]

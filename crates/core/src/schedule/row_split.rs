@@ -1,4 +1,7 @@
-use super::{partition_rows, ChannelSchedule, NzSlot, PeAware, ScheduledMatrix, Scheduler, SchedulerConfig};
+use super::{
+    partition_rows, ChannelSchedule, LaneRows, NzSlot, PeAware, ScheduledMatrix, Scheduler,
+    SchedulerConfig,
+};
 use chason_sparse::CooMatrix;
 
 /// Hybrid row-split scheduling — the HiSpMV-style alternative (§2.1).
@@ -42,13 +45,17 @@ impl HybridRowSplit {
     pub fn auto(matrix: &CooMatrix, config: &SchedulerConfig) -> Self {
         let mean_per_pe = matrix.nnz() / config.total_pes().max(1);
         let chain_dominates = (2 * mean_per_pe) / config.dependency_distance.max(1);
-        HybridRowSplit { split_threshold: chain_dominates.max(16) }
+        HybridRowSplit {
+            split_threshold: chain_dominates.max(16),
+        }
     }
 }
 
 impl Default for HybridRowSplit {
     fn default() -> Self {
-        HybridRowSplit { split_threshold: 256 }
+        HybridRowSplit {
+            split_threshold: 256,
+        }
     }
 }
 
@@ -70,7 +77,7 @@ impl Scheduler for HybridRowSplit {
             // joins the lane's ordinary round-robin schedule, so sub-rows
             // of different hubs interleave and hide each other's RAW gaps
             // exactly like independent rows do.
-            let mut lane_rows: Vec<Vec<(usize, Vec<(usize, f32)>)>> = vec![Vec::new(); pes];
+            let mut lane_rows: Vec<LaneRows> = vec![Vec::new(); pes];
             for (lane, rows) in lanes.into_iter().enumerate() {
                 for (row, entries) in rows {
                     if entries.len() >= self.split_threshold.max(2) {
@@ -102,7 +109,10 @@ impl Scheduler for HybridRowSplit {
                         .collect(),
                 );
             }
-            channels.push(ChannelSchedule { channel: ch_idx, grid });
+            channels.push(ChannelSchedule {
+                channel: ch_idx,
+                grid,
+            });
         }
         ScheduledMatrix {
             config: *config,

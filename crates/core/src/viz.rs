@@ -81,7 +81,10 @@ mod tests {
         for k in 0..6 {
             t.push((2 + 4 * k, k % 3, 2.0 + k as f32));
         }
-        (CooMatrix::from_triplets(32, 3, t).unwrap(), SchedulerConfig::toy(2, 2, 3))
+        (
+            CooMatrix::from_triplets(32, 3, t).unwrap(),
+            SchedulerConfig::toy(2, 2, 3),
+        )
     }
 
     #[test]
@@ -92,7 +95,13 @@ mod tests {
         assert!(art.contains("channel 0"));
         assert!(art.contains("channel 1"));
         assert!(art.contains('·'), "stalls should render");
-        if s.channels[0].grid.iter().flatten().flatten().any(|nz| !nz.pvt) {
+        if s.channels[0]
+            .grid
+            .iter()
+            .flatten()
+            .flatten()
+            .any(|nz| !nz.pvt)
+        {
             assert!(art.contains('\''), "migrated values should be marked");
         }
         assert!(art.contains("legend:"));

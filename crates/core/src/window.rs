@@ -69,7 +69,12 @@ pub fn partition_columns(matrix: &CooMatrix, window: usize) -> Vec<ColumnWindow>
         let triplets = csc.column_window(start, end);
         let m = CooMatrix::from_triplets(matrix.rows(), end - start, triplets)
             .expect("window triplets are in range by construction");
-        windows.push(ColumnWindow { index, col_start: start, col_end: end, matrix: m });
+        windows.push(ColumnWindow {
+            index,
+            col_start: start,
+            col_end: end,
+            matrix: m,
+        });
         start = end;
         index += 1;
     }
@@ -159,7 +164,12 @@ pub fn partition_rows_capacity(
             let row_end = ((index + 1) * span).min(rows);
             let m = CooMatrix::from_triplets(row_end - row_start, matrix.cols(), triplets)
                 .expect("partition triplets are in range by construction");
-            RowPartition { index, row_start, row_end, matrix: m }
+            RowPartition {
+                index,
+                row_start,
+                row_end,
+                matrix: m,
+            }
         })
         .collect()
 }

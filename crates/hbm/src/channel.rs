@@ -17,7 +17,10 @@ pub struct Channel {
 impl Channel {
     /// Creates an empty channel with the given ID.
     pub fn new(id: usize) -> Self {
-        Channel { id, data: Vec::new() }
+        Channel {
+            id,
+            data: Vec::new(),
+        }
     }
 
     /// Creates a channel pre-loaded with a data list.
@@ -168,7 +171,10 @@ mod tests {
         let mut stream = ch.beat_stream(&cfg());
         let bytes = stream.next_beat_bytes().unwrap();
         assert_eq!(bytes.len(), 64);
-        assert_eq!(&bytes[..8], &[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(
+            &bytes[..8],
+            &[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]
+        );
         assert!(stream.next_beat_bytes().is_none());
     }
 
@@ -185,7 +191,11 @@ mod tests {
     #[test]
     fn narrower_elements_pack_more_per_beat() {
         // Hypothetical 128-bit port with 32-bit elements: 4 per beat.
-        let cfg = HbmConfig { port_width_bits: 128, element_bits: 32, ..cfg() };
+        let cfg = HbmConfig {
+            port_width_bits: 128,
+            element_bits: 32,
+            ..cfg()
+        };
         let ch = Channel::with_data(0, (0..5u64).collect());
         assert_eq!(ch.beats(&cfg), 2);
     }

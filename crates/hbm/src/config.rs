@@ -36,7 +36,10 @@ impl HbmConfig {
     /// geometry, lower sustained bandwidth (460 GB/s peak is not reached;
     /// the paper quotes 273 GB/s usable on U280).
     pub fn alveo_u280() -> Self {
-        HbmConfig { channel_bandwidth_gbps: 8.53, ..HbmConfig::alveo_u55c() }
+        HbmConfig {
+            channel_bandwidth_gbps: 8.53,
+            ..HbmConfig::alveo_u55c()
+        }
     }
 
     /// Sparse elements carried by one beat (`port_width / element_bits`).
@@ -68,7 +71,7 @@ impl HbmConfig {
         self.channels > 0
             && self.port_width_bits > 0
             && self.element_bits > 0
-            && self.port_width_bits % self.element_bits == 0
+            && self.port_width_bits.is_multiple_of(self.element_bits)
             && self.channel_bandwidth_gbps > 0.0
     }
 }
@@ -100,13 +103,20 @@ mod tests {
     #[test]
     fn aggregate_clamps_to_channel_count() {
         let cfg = HbmConfig::alveo_u55c();
-        assert_eq!(cfg.aggregate_bandwidth_gbps(64), cfg.aggregate_bandwidth_gbps(32));
+        assert_eq!(
+            cfg.aggregate_bandwidth_gbps(64),
+            cfg.aggregate_bandwidth_gbps(32)
+        );
     }
 
     #[test]
     fn sixty_four_bit_precision_drops_elements_per_beat() {
         // §5.5: FP64 value + 32-bit metadata = 96 bits -> 5 elements/beat.
-        let cfg = HbmConfig { element_bits: 96, port_width_bits: 480, ..Default::default() };
+        let cfg = HbmConfig {
+            element_bits: 96,
+            port_width_bits: 480,
+            ..Default::default()
+        };
         assert_eq!(cfg.elements_per_beat(), 5);
     }
 
@@ -122,9 +132,15 @@ mod tests {
     fn validity_checks() {
         assert!(HbmConfig::alveo_u55c().is_valid());
         assert!(HbmConfig::alveo_u280().is_valid());
-        let bad = HbmConfig { element_bits: 60, ..Default::default() };
+        let bad = HbmConfig {
+            element_bits: 60,
+            ..Default::default()
+        };
         assert!(!bad.is_valid(), "60 does not divide 512");
-        let bad = HbmConfig { channels: 0, ..Default::default() };
+        let bad = HbmConfig {
+            channels: 0,
+            ..Default::default()
+        };
         assert!(!bad.is_valid());
     }
 }

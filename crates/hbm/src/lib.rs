@@ -30,8 +30,8 @@
 #![warn(missing_docs)]
 
 mod channel;
-pub mod timing;
 mod config;
+pub mod timing;
 pub mod traffic;
 
 pub use channel::{BeatStream, Channel};

@@ -136,10 +136,21 @@ mod tests {
     #[test]
     fn each_effect_adds_cycles() {
         let base = StreamTiming::ideal();
-        let burst = StreamTiming { beats_per_burst: 2, inter_burst_gap: 3, ..base };
-        let rows = StreamTiming { beats_per_row: 16, row_miss_penalty: 14, ..burst };
-        let refresh =
-            StreamTiming { refresh_interval: 1000, refresh_penalty: 78, ..rows };
+        let burst = StreamTiming {
+            beats_per_burst: 2,
+            inter_burst_gap: 3,
+            ..base
+        };
+        let rows = StreamTiming {
+            beats_per_row: 16,
+            row_miss_penalty: 14,
+            ..burst
+        };
+        let refresh = StreamTiming {
+            refresh_interval: 1000,
+            refresh_penalty: 78,
+            ..rows
+        };
         let beats = 10_000;
         let a = base.stream_cycles(beats);
         let b = burst.stream_cycles(beats);
@@ -152,7 +163,10 @@ mod tests {
     fn short_streams_pay_no_refresh() {
         let t = StreamTiming::u55c();
         // A stream shorter than the refresh interval sees no refresh tax.
-        let no_refresh = StreamTiming { refresh_interval: u64::MAX, ..t };
+        let no_refresh = StreamTiming {
+            refresh_interval: u64::MAX,
+            ..t
+        };
         assert_eq!(t.stream_cycles(64), no_refresh.stream_cycles(64));
     }
 }

@@ -99,7 +99,7 @@ mod tests {
     fn measure_counts_beats_and_active_channels() {
         let chs = channels(&[16, 8, 0, 3]);
         let t = TrafficSummary::measure(&chs, &cfg());
-        assert_eq!(t.beats, 2 + 1 + 0 + 1);
+        assert_eq!(t.beats, [2, 1, 0, 1].iter().sum::<u64>());
         assert_eq!(t.bytes, 4 * 64);
         assert_eq!(t.active_channels, 3);
         assert_eq!(t.max_channel_beats, 2);

@@ -37,12 +37,33 @@ pub struct ChasonEngine {
 impl ChasonEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: AcceleratorConfig) -> Self {
-        ChasonEngine { config, scheduler: Crhcs::new() }
+        ChasonEngine {
+            config,
+            scheduler: Crhcs::new(),
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &AcceleratorConfig {
         &self.config
+    }
+
+    pub(crate) fn scheduler(&self) -> &Crhcs {
+        &self.scheduler
+    }
+
+    /// Deployed ScUG size: `URAM_sh` banks per PE.
+    ///
+    /// Scales *linearly* with the migration-hop count: accepting elements
+    /// from `h` ring neighbours requires segregated partial-sum storage for
+    /// each neighbour channel's `pes_per_channel` source PEs, i.e.
+    /// `h × pes_per_channel` banks. This is exactly the cost §6.1 cites for
+    /// deploying only one hop on the U55c ("each extra hop costs another
+    /// set of `URAM_sh` banks per PE"); no sharing across hops is modelled
+    /// because partial sums from different home channels can never merge
+    /// before the Reduction Unit.
+    pub(crate) fn scug_size(&self) -> usize {
+        self.config.sched.pes_per_channel * self.config.sched.migration_hops
     }
 
     /// Executes `y = A·x`, returning the result vector and the cycle/traffic
@@ -59,7 +80,7 @@ impl ChasonEngine {
             "chason",
             &self.scheduler,
             &self.config,
-            self.config.sched.pes_per_channel * self.config.sched.migration_hops,
+            self.scug_size(),
             true,
             matrix,
             x,
@@ -143,6 +164,29 @@ mod tests {
         let exec = ChasonEngine::default().run(&m, &[1.0; 16]).unwrap();
         assert_eq!(exec.y, vec![0.0; 16]);
         assert_eq!(exec.cycles.stream, 0);
+    }
+
+    #[test]
+    fn multi_hop_deploys_a_linearly_larger_scug() {
+        // scug_size is the per-PE partial-sum group count the PEGs deploy;
+        // it must scale linearly with the hop count (§6.1's cost model,
+        // mirrored by `ResourceConfig::chason_with_hops`).
+        let mut config = AcceleratorConfig::chason();
+        config.sched.migration_hops = 2;
+        let engine = ChasonEngine::new(config);
+        assert_eq!(engine.scug_size(), 2 * config.sched.pes_per_channel);
+        assert_eq!(
+            ChasonEngine::default().scug_size(),
+            config.sched.pes_per_channel
+        );
+        // A two-hop machine still executes correctly end to end.
+        let m = power_law(400, 400, 3000, 1.9, 7);
+        let x: Vec<f32> = (0..400).map(|i| 0.5 + (i % 5) as f32).collect();
+        let exec = engine.run(&m, &x).unwrap();
+        assert_close(&exec.y, &reference(&m, &x));
+        // More migration reach can only help utilization.
+        let one_hop = ChasonEngine::default().run(&m, &x).unwrap();
+        assert!(exec.underutilization <= one_hop.underutilization + 1e-12);
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl AcceleratorConfig {
 
     /// The Serpens baseline point: same parallelism at 223 MHz (§5.2).
     pub fn serpens() -> Self {
-        AcceleratorConfig { clock_mhz: 223.0, ..AcceleratorConfig::chason() }
+        AcceleratorConfig {
+            clock_mhz: 223.0,
+            ..AcceleratorConfig::chason()
+        }
     }
 
     /// Seconds per clock cycle.
@@ -102,7 +105,11 @@ pub struct CycleBreakdown {
 impl CycleBreakdown {
     /// Total cycles of the execution.
     pub fn total(&self) -> u64 {
-        self.stream + self.fill_drain + self.x_reload + self.reduction + self.merge
+        self.stream
+            + self.fill_drain
+            + self.x_reload
+            + self.reduction
+            + self.merge
             + self.invocation
     }
 }
@@ -187,7 +194,10 @@ mod tests {
 
     #[test]
     fn window_wider_than_wire_format_is_invalid() {
-        let cfg = AcceleratorConfig { window: 8193, ..AcceleratorConfig::chason() };
+        let cfg = AcceleratorConfig {
+            window: 8193,
+            ..AcceleratorConfig::chason()
+        };
         assert!(!cfg.is_valid());
     }
 
@@ -210,7 +220,10 @@ mod tests {
         let e = Execution {
             engine: "test",
             y: vec![],
-            cycles: CycleBreakdown { stream: 1000, ..Default::default() },
+            cycles: CycleBreakdown {
+                stream: 1000,
+                ..Default::default()
+            },
             clock_mhz: 100.0,
             nnz: 4000,
             rows: 10,

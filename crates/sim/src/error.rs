@@ -25,6 +25,9 @@ pub enum SimError {
     /// A scheduled slot was routed to hardware that cannot process it (e.g.
     /// a migrated element reaching a Serpens PE, which has no ScUG).
     RoutingViolation(String),
+    /// A schedule plan was handed to an engine whose configuration (or
+    /// family) differs from the one that produced it.
+    PlanMismatch(String),
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +42,7 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidConfig(msg) => write!(f, "invalid accelerator config: {msg}"),
             SimError::RoutingViolation(msg) => write!(f, "routing violation: {msg}"),
+            SimError::PlanMismatch(msg) => write!(f, "plan mismatch: {msg}"),
         }
     }
 }
@@ -51,9 +55,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::RowCapacityExceeded { rows_per_pe: 99999, capacity: 8192 };
+        let e = SimError::RowCapacityExceeded {
+            rows_per_pe: 99999,
+            capacity: 8192,
+        };
         assert!(e.to_string().contains("99999"));
-        let e = SimError::VectorLengthMismatch { got: 3, expected: 4 };
+        let e = SimError::VectorLengthMismatch {
+            got: 3,
+            expected: 4,
+        };
         assert!(e.to_string().contains("3"));
     }
 

@@ -46,15 +46,16 @@ mod config;
 mod engine;
 mod error;
 mod memory;
+mod partitioned;
 mod pe;
 mod peg;
-mod partitioned;
-mod rearrange;
-mod serpens;
+mod plan;
 pub mod power;
-pub mod spmm;
+mod rearrange;
 pub mod report;
 pub mod resources;
+mod serpens;
+pub mod spmm;
 
 pub use chason::ChasonEngine;
 pub use config::{AcceleratorConfig, CycleBreakdown, Execution};
@@ -62,5 +63,6 @@ pub use error::SimError;
 pub use memory::{Bram, Uram, BRAM18K_WORDS, URAM_PARTIALS};
 pub use pe::Pe;
 pub use peg::Peg;
+pub use plan::PlanningEngine;
 pub use serpens::SerpensEngine;
 pub use spmm::SpmmExecution;

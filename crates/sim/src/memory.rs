@@ -31,8 +31,15 @@ impl Bram {
     /// Panics if `words` exceeds [`BRAM18K_WORDS`] — compose multiple BRAMs
     /// (see [`Peg`](crate::Peg)) for larger buffers.
     pub fn new(words: usize) -> Self {
-        assert!(words <= BRAM18K_WORDS, "one BRAM18K holds at most {BRAM18K_WORDS} words");
-        Bram { words: vec![0.0; words], reads: 0, writes: 0 }
+        assert!(
+            words <= BRAM18K_WORDS,
+            "one BRAM18K holds at most {BRAM18K_WORDS} words"
+        );
+        Bram {
+            words: vec![0.0; words],
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// Number of FP32 words the buffer holds.
@@ -98,7 +105,11 @@ impl Uram {
                 capacity: URAM_PARTIALS,
             });
         }
-        Ok(Uram { partials: vec![0.0; rows], reads: 0, writes: 0 })
+        Ok(Uram {
+            partials: vec![0.0; rows],
+            reads: 0,
+            writes: 0,
+        })
     }
 
     /// Number of partial-sum rows.

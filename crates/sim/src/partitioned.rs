@@ -13,7 +13,7 @@ use crate::{ChasonEngine, SerpensEngine, SimError};
 use chason_core::window::partition_rows_capacity;
 use chason_sparse::CooMatrix;
 
-fn combine(engine: &'static str, parts: Vec<Execution>, cols: usize) -> Execution {
+pub(crate) fn combine(engine: &'static str, parts: Vec<Execution>, cols: usize) -> Execution {
     let mut y = Vec::new();
     let mut cycles = CycleBreakdown::default();
     let mut stalls = 0usize;
@@ -40,8 +40,11 @@ fn combine(engine: &'static str, parts: Vec<Execution>, cols: usize) -> Executio
         windows += e.windows;
         mac_ops += e.mac_ops;
     }
-    let underutilization =
-        if nnz + stalls == 0 { 0.0 } else { stalls as f64 / (nnz + stalls) as f64 };
+    let underutilization = if nnz + stalls == 0 {
+        0.0
+    } else {
+        stalls as f64 / (nnz + stalls) as f64
+    };
     Execution {
         engine,
         rows: y.len(),
@@ -132,7 +135,10 @@ mod tests {
         let m = uniform_random(70_000, 128, 30_000, 5);
         let x: Vec<f32> = (0..128).map(|i| 0.25 + (i % 3) as f32).collect();
         let engine = tiny_engine();
-        assert!(matches!(engine.run(&m, &x), Err(SimError::RowCapacityExceeded { .. })));
+        assert!(matches!(
+            engine.run(&m, &x),
+            Err(SimError::RowCapacityExceeded { .. })
+        ));
         let exec = engine.run_partitioned(&m, &x).unwrap();
         assert_eq!(exec.y.len(), 70_000);
         assert_eq!(exec.mac_ops, 30_000);
@@ -174,7 +180,9 @@ mod tests {
     #[test]
     fn vector_mismatch_is_still_detected() {
         let m = uniform_random(10, 10, 10, 1);
-        let err = ChasonEngine::default().run_partitioned(&m, &[1.0; 3]).unwrap_err();
+        let err = ChasonEngine::default()
+            .run_partitioned(&m, &[1.0; 3])
+            .unwrap_err();
         assert!(matches!(err, SimError::VectorLengthMismatch { .. }));
     }
 }

@@ -151,9 +151,9 @@ impl Pe {
                 Some(uram) => uram.accumulate(local_row, product),
                 None => {
                     return Err(SimError::RoutingViolation(format!(
-                        "migrated element (hop {}, PE_src {}) reached PE ({}, {}) with ScUG size {}",
-                        hop, slot.pe_src, self.channel, self.lane, scug_len
-                    )))
+                    "migrated element (hop {}, PE_src {}) reached PE ({}, {}) with ScUG size {}",
+                    hop, slot.pe_src, self.channel, self.lane, scug_len
+                )))
                 }
             }
         }
@@ -224,7 +224,13 @@ mod tests {
         let cfg = sched();
         // Row 2 belongs to channel 1 lane 0; it migrates into channel 0.
         let mut pe = Pe::new(0, 1, 4, 2).unwrap();
-        let slot = NzSlot { value: 2.0, row: 2, col: 0, pvt: false, pe_src: 0 };
+        let slot = NzSlot {
+            value: 2.0,
+            row: 2,
+            col: 0,
+            pvt: false,
+            pe_src: 0,
+        };
         pe.process(&slot, 5.0, &cfg).unwrap();
         assert_eq!(pe.shared_partials(0)[0], 10.0);
         assert_eq!(pe.shared_partials(1)[0], 0.0);
@@ -236,7 +242,9 @@ mod tests {
         let cfg = sched();
         let mut pe = Pe::new(0, 0, 4, 2).unwrap();
         // Row 1 belongs to lane 1, not lane 0.
-        let err = pe.process(&NzSlot::private(1.0, 1, 0), 1.0, &cfg).unwrap_err();
+        let err = pe
+            .process(&NzSlot::private(1.0, 1, 0), 1.0, &cfg)
+            .unwrap_err();
         assert!(matches!(err, SimError::RoutingViolation(_)));
     }
 
@@ -244,7 +252,13 @@ mod tests {
     fn migrated_element_without_scug_is_rejected() {
         let cfg = sched();
         let mut pe = Pe::new(0, 0, 4, 0).unwrap(); // Serpens-style PE
-        let slot = NzSlot { value: 1.0, row: 2, col: 0, pvt: false, pe_src: 0 };
+        let slot = NzSlot {
+            value: 1.0,
+            row: 2,
+            col: 0,
+            pvt: false,
+            pe_src: 0,
+        };
         let err = pe.process(&slot, 1.0, &cfg).unwrap_err();
         assert!(matches!(err, SimError::RoutingViolation(_)));
     }

@@ -58,7 +58,12 @@ impl Peg {
                 Bram::new(remaining.min(BRAM18K_WORDS))
             })
             .collect();
-        Ok(Peg { channel, pes, x_banks, x_len: 0 })
+        Ok(Peg {
+            channel,
+            pes,
+            x_banks,
+            x_len: 0,
+        })
     }
 
     /// Channel this PEG serves.
@@ -141,8 +146,11 @@ impl Peg {
     /// For each source lane `k`, the adder tree sums `URAM_sh[k]` across all
     /// PEs (Fig. 7c); private URAMs are passed through unchanged.
     pub fn reduce(&self) -> PegOutputs {
-        let pvt: Vec<Vec<f32>> =
-            self.pes.iter().map(|pe| pe.private_partials().to_vec()).collect();
+        let pvt: Vec<Vec<f32>> = self
+            .pes
+            .iter()
+            .map(|pe| pe.private_partials().to_vec())
+            .collect();
         let scug_size = self.pes.first().map_or(0, Pe::scug_size);
         let rows = pvt.first().map_or(0, Vec::len);
         let mut shared = Vec::with_capacity(scug_size);
@@ -211,8 +219,20 @@ mod tests {
         peg.load_x(&[1.0; 8]);
         // Two migrated values of the same source row (row 2 of channel 1,
         // lane 0, local row 0) processed by *different* PEs of channel 0.
-        let m0 = NzSlot { value: 5.0, row: 2, col: 0, pvt: false, pe_src: 0 };
-        let m1 = NzSlot { value: 7.0, row: 2, col: 0, pvt: false, pe_src: 0 };
+        let m0 = NzSlot {
+            value: 5.0,
+            row: 2,
+            col: 0,
+            pvt: false,
+            pe_src: 0,
+        };
+        let m1 = NzSlot {
+            value: 7.0,
+            row: 2,
+            col: 0,
+            pvt: false,
+            pe_src: 0,
+        };
         peg.consume_cycle(&[Some(m0), Some(m1)], &cfg).unwrap();
         let out = peg.reduce();
         // The adder tree must merge both PEs' URAM_sh[0] banks.

@@ -1,0 +1,252 @@
+//! The plan/execute split: build an [`SpmvPlan`] once, run it many times.
+//!
+//! `plan` schedules every column window of a matrix (row-partitioning first
+//! when it exceeds the partial-sum URAM capacity, exactly as
+//! `run_partitioned` would) and packages the result with the matrix
+//! fingerprint and scheduler configuration. `run_planned` replays the plan
+//! against a dense vector without touching a scheduler, producing an
+//! [`Execution`] bit-identical to `run` / `run_partitioned` on the source
+//! matrix. Window scheduling is fanned out across threads — windows are
+//! independent — with results reassembled in window order, so the plan is
+//! the same at every thread count.
+
+use crate::engine::{execute_pass, plan_pass};
+use crate::memory::URAM_PARTIALS;
+use crate::partitioned::combine;
+use crate::{ChasonEngine, Execution, SerpensEngine, SimError};
+use chason_core::plan::{PlanKey, SpmvPlan};
+use chason_core::window::partition_rows_capacity;
+use chason_sparse::CooMatrix;
+
+/// Threads used by `plan` when the caller does not choose a count.
+fn default_planning_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Engines supporting the plan/execute split, for callers generic over the
+/// accelerator family (e.g. solver backends caching plans per matrix).
+pub trait PlanningEngine {
+    /// Schedules `matrix` into a reusable plan. See `ChasonEngine::plan`.
+    fn plan(&self, matrix: &CooMatrix) -> Result<SpmvPlan, SimError>;
+
+    /// Executes a previously built plan against `x`. See
+    /// `ChasonEngine::run_planned`.
+    fn run_planned(&self, plan: &SpmvPlan, x: &[f32]) -> Result<Execution, SimError>;
+
+    /// The cache key identifying `matrix` scheduled under this engine's
+    /// configuration.
+    fn plan_key(&self, matrix: &CooMatrix) -> PlanKey;
+}
+
+macro_rules! impl_planning {
+    ($engine:ty, $name:literal, $has_reduction:expr) => {
+        impl $engine {
+            /// Schedules `matrix` into a reusable [`SpmvPlan`] without
+            /// executing it.
+            ///
+            /// The plan captures every column window's schedule (grouped
+            /// into row-partition passes when the matrix exceeds the
+            /// per-PE partial-sum capacity, mirroring `run_partitioned`),
+            /// keyed by the matrix fingerprint and scheduler
+            /// configuration. Windows are scheduled in parallel across all
+            /// available cores; the result is independent of the thread
+            /// count.
+            ///
+            /// # Errors
+            ///
+            /// [`SimError::InvalidConfig`] for inconsistent configurations.
+            pub fn plan(&self, matrix: &CooMatrix) -> Result<SpmvPlan, SimError> {
+                self.plan_with_threads(matrix, default_planning_threads())
+            }
+
+            /// [`plan`](Self::plan) with an explicit window-scheduling
+            /// thread count (`1` forces serial planning).
+            pub fn plan_with_threads(
+                &self,
+                matrix: &CooMatrix,
+                threads: usize,
+            ) -> Result<SpmvPlan, SimError> {
+                let config = self.config();
+                let total_pes = config.sched.total_pes();
+                let single_pass = matrix.rows().div_ceil(total_pes.max(1)) <= URAM_PARTIALS;
+                let passes = if single_pass {
+                    vec![plan_pass(self.scheduler(), config, matrix, 0, threads)?]
+                } else {
+                    partition_rows_capacity(matrix, URAM_PARTIALS, total_pes)
+                        .iter()
+                        .map(|p| {
+                            plan_pass(self.scheduler(), config, &p.matrix, p.row_start, threads)
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                };
+                Ok(SpmvPlan {
+                    key: PlanKey::new(matrix, config.sched),
+                    engine: $name.to_string(),
+                    window: config.window,
+                    rows: matrix.rows(),
+                    cols: matrix.cols(),
+                    nnz: matrix.nnz(),
+                    passes,
+                })
+            }
+
+            /// Executes `y = A·x` from a plan built by
+            /// [`plan`](Self::plan), without rescheduling. The result is
+            /// bit-identical to `run` (or `run_partitioned` for matrices
+            /// that needed row partitioning) on the plan's source matrix.
+            ///
+            /// # Errors
+            ///
+            /// * [`SimError::PlanMismatch`] if the plan was built by a
+            ///   different engine family or under a different scheduler
+            ///   configuration or window width;
+            /// * [`SimError::VectorLengthMismatch`] if
+            ///   `x.len() != plan.cols`;
+            /// * [`SimError::InvalidConfig`] for inconsistent
+            ///   configurations.
+            pub fn run_planned(&self, plan: &SpmvPlan, x: &[f32]) -> Result<Execution, SimError> {
+                let config = self.config();
+                if plan.engine != $name {
+                    return Err(SimError::PlanMismatch(format!(
+                        "plan built by the {} engine cannot run on {}",
+                        plan.engine, $name
+                    )));
+                }
+                if plan.key.config != config.sched || plan.window != config.window {
+                    return Err(SimError::PlanMismatch(
+                        "plan was built under a different configuration".to_string(),
+                    ));
+                }
+                if x.len() != plan.cols {
+                    return Err(SimError::VectorLengthMismatch {
+                        got: x.len(),
+                        expected: plan.cols,
+                    });
+                }
+                let scug = self.scug_size();
+                let mut parts = plan
+                    .passes
+                    .iter()
+                    .map(|pass| {
+                        execute_pass($name, config, scug, $has_reduction, pass, plan.cols, x)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if parts.len() == 1 {
+                    Ok(parts.pop().expect("one pass"))
+                } else {
+                    Ok(combine($name, parts, plan.cols))
+                }
+            }
+        }
+
+        impl PlanningEngine for $engine {
+            fn plan(&self, matrix: &CooMatrix) -> Result<SpmvPlan, SimError> {
+                <$engine>::plan(self, matrix)
+            }
+
+            fn run_planned(&self, plan: &SpmvPlan, x: &[f32]) -> Result<Execution, SimError> {
+                <$engine>::run_planned(self, plan, x)
+            }
+
+            fn plan_key(&self, matrix: &CooMatrix) -> PlanKey {
+                PlanKey::new(matrix, self.config().sched)
+            }
+        }
+    };
+}
+
+impl_planning!(ChasonEngine, "chason", true);
+impl_planning!(SerpensEngine, "serpens", false);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AcceleratorConfig;
+    use chason_core::schedule::SchedulerConfig;
+    use chason_sparse::generators::{power_law, uniform_random};
+
+    #[test]
+    fn planned_run_is_bit_identical_to_direct_run() {
+        let m = power_law(400, 400, 3000, 1.8, 17);
+        let x: Vec<f32> = (0..400).map(|i| (i as f32 * 0.21).cos()).collect();
+        for threads in [1, 4] {
+            let engine = ChasonEngine::default();
+            let plan = engine.plan_with_threads(&m, threads).unwrap();
+            assert_eq!(
+                engine.run_planned(&plan, &x).unwrap(),
+                engine.run(&m, &x).unwrap()
+            );
+        }
+        let serpens = SerpensEngine::default();
+        let plan = serpens.plan(&m).unwrap();
+        assert_eq!(
+            serpens.run_planned(&plan, &x).unwrap(),
+            serpens.run(&m, &x).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_planning_matches_serial() {
+        let m = uniform_random(64, 60_000, 20_000, 3); // 8 windows of W = 8192
+        let engine = ChasonEngine::default();
+        let serial = engine.plan_with_threads(&m, 1).unwrap();
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(engine.plan_with_threads(&m, threads).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn oversized_matrix_plans_in_passes_matching_run_partitioned() {
+        let engine = ChasonEngine::new(AcceleratorConfig {
+            sched: SchedulerConfig::toy(2, 2, 4),
+            ..AcceleratorConfig::chason()
+        });
+        // 4 PEs x 8192 rows/PE = 32_768 rows per pass.
+        let m = uniform_random(70_000, 128, 30_000, 5);
+        let x: Vec<f32> = (0..128).map(|i| 0.25 + (i % 3) as f32).collect();
+        let plan = engine.plan(&m).unwrap();
+        assert_eq!(plan.passes.len(), 3);
+        assert_eq!(plan.passes.iter().map(|p| p.nnz).sum::<usize>(), 30_000);
+        let planned = engine.run_planned(&plan, &x).unwrap();
+        assert_eq!(planned, engine.run_partitioned(&m, &x).unwrap());
+    }
+
+    #[test]
+    fn plan_records_key_and_stats() {
+        let m = uniform_random(128, 20_000, 5_000, 3);
+        let engine = ChasonEngine::default();
+        let plan = engine.plan(&m).unwrap();
+        assert_eq!(
+            plan.key,
+            chason_core::plan::PlanKey::new(&m, engine.config().sched)
+        );
+        assert_eq!(plan.window_count(), 3); // 20_000 cols / W = 8192
+        assert_eq!(plan.nnz, 5_000);
+        let exec = engine.run_planned(&plan, &vec![1.0; 20_000]).unwrap();
+        assert_eq!(plan.stalls(), exec.stalls);
+    }
+
+    #[test]
+    fn mismatched_plan_is_rejected() {
+        let m = uniform_random(64, 64, 300, 1);
+        let chason = ChasonEngine::default();
+        let serpens = SerpensEngine::default();
+        let plan = chason.plan(&m).unwrap();
+        assert!(matches!(
+            serpens.run_planned(&plan, &[0.0; 64]),
+            Err(SimError::PlanMismatch(_))
+        ));
+        let toy = ChasonEngine::new(AcceleratorConfig {
+            sched: SchedulerConfig::toy(2, 2, 4),
+            ..AcceleratorConfig::chason()
+        });
+        assert!(matches!(
+            toy.run_planned(&plan, &[0.0; 64]),
+            Err(SimError::PlanMismatch(_))
+        ));
+        assert!(matches!(
+            chason.run_planned(&plan, &[0.0; 63]),
+            Err(SimError::VectorLengthMismatch { .. })
+        ));
+    }
+}

@@ -91,7 +91,10 @@ impl PowerBreakdown {
     ///
     /// Panics if `activity` is outside `[0, 1]`.
     pub fn at_activity(&self, activity: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&activity), "activity must be within [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity must be within [0, 1]"
+        );
         self.static_w + self.dynamic() * activity
     }
 
@@ -211,8 +214,14 @@ mod tests {
         // plausible band, with Chasoň busier than Serpens.
         let a_chason = p.activity_for(MeasuredPower::chason().watts);
         let a_serpens = p.activity_for(MeasuredPower::serpens().watts);
-        assert!((0.6..0.85).contains(&a_chason), "chason activity {a_chason}");
-        assert!((0.55..0.75).contains(&a_serpens), "serpens activity {a_serpens}");
+        assert!(
+            (0.6..0.85).contains(&a_chason),
+            "chason activity {a_chason}"
+        );
+        assert!(
+            (0.55..0.75).contains(&a_serpens),
+            "serpens activity {a_serpens}"
+        );
         assert!(a_chason > a_serpens);
         // Round trip.
         assert!((p.at_activity(a_chason) - 39.0).abs() < 1e-9);

@@ -97,8 +97,14 @@ mod tests {
     fn serpens_outputs_use_private_only() {
         let sched = SchedulerConfig::toy(2, 2, 4);
         let outputs = vec![
-            PegOutputs { pvt: vec![vec![1.0], vec![2.0]], shared: vec![] },
-            PegOutputs { pvt: vec![vec![3.0], vec![4.0]], shared: vec![] },
+            PegOutputs {
+                pvt: vec![vec![1.0], vec![2.0]],
+                shared: vec![],
+            },
+            PegOutputs {
+                pvt: vec![vec![3.0], vec![4.0]],
+                shared: vec![],
+            },
         ];
         let y = merge_outputs(&outputs, &sched, 4);
         assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]);
@@ -120,8 +126,14 @@ mod tests {
     fn rows_beyond_outputs_default_to_zero() {
         let sched = SchedulerConfig::toy(2, 2, 4);
         let outputs = vec![
-            PegOutputs { pvt: vec![vec![], vec![]], shared: vec![] },
-            PegOutputs { pvt: vec![vec![], vec![]], shared: vec![] },
+            PegOutputs {
+                pvt: vec![vec![], vec![]],
+                shared: vec![],
+            },
+            PegOutputs {
+                pvt: vec![vec![], vec![]],
+                shared: vec![],
+            },
         ];
         let y = merge_outputs(&outputs, &sched, 4);
         assert_eq!(y, vec![0.0; 4]);

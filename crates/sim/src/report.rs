@@ -31,11 +31,7 @@ impl PerformanceReport {
     /// Builds a report from an execution, the aggregate sparse-matrix
     /// bandwidth in GB/s (Eq. 7's denominator), and the measured power
     /// (Eq. 6's denominator).
-    pub fn from_execution(
-        exec: &Execution,
-        bandwidth_gbps: f64,
-        power: MeasuredPower,
-    ) -> Self {
+    pub fn from_execution(exec: &Execution, bandwidth_gbps: f64, power: MeasuredPower) -> Self {
         let gflops = exec.throughput_gflops();
         PerformanceReport {
             engine: exec.engine.to_string(),
@@ -56,7 +52,11 @@ impl PerformanceReport {
     /// Latency speedup of `self` over `other` (>1 means `self` is faster).
     pub fn speedup_over(&self, other: &PerformanceReport) -> f64 {
         if self.latency_ms == 0.0 {
-            return if other.latency_ms == 0.0 { 1.0 } else { f64::INFINITY };
+            return if other.latency_ms == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         other.latency_ms / self.latency_ms
     }
@@ -64,7 +64,11 @@ impl PerformanceReport {
     /// Energy-efficiency gain of `self` over `other`.
     pub fn energy_gain_over(&self, other: &PerformanceReport) -> f64 {
         if other.energy_efficiency == 0.0 {
-            return if self.energy_efficiency == 0.0 { 1.0 } else { f64::INFINITY };
+            return if self.energy_efficiency == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.energy_efficiency / other.energy_efficiency
     }
@@ -73,7 +77,11 @@ impl PerformanceReport {
     /// `self` moves less data) — the Fig. 15 metric.
     pub fn transfer_reduction_over(&self, other: &PerformanceReport) -> f64 {
         if self.bytes_streamed == 0 {
-            return if other.bytes_streamed == 0 { 1.0 } else { f64::INFINITY };
+            return if other.bytes_streamed == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         other.bytes_streamed as f64 / self.bytes_streamed as f64
     }
@@ -88,7 +96,10 @@ mod tests {
         Execution {
             engine,
             y: vec![],
-            cycles: CycleBreakdown { stream: cycles, ..Default::default() },
+            cycles: CycleBreakdown {
+                stream: cycles,
+                ..Default::default()
+            },
             clock_mhz: mhz,
             nnz: 100_000,
             rows: 1000,

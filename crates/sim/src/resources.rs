@@ -67,18 +67,50 @@ impl ResourceConfig {
     /// Chasoň as deployed: 16 PEGs × 8 PEs, 3 shared + 1 private URAM per
     /// PE (512 total).
     pub fn chason() -> Self {
-        ResourceConfig { pegs: 16, pes_per_peg: 8, scug_urams: 3, crhcs_support: true }
+        ResourceConfig {
+            pegs: 16,
+            pes_per_peg: 8,
+            scug_urams: 3,
+            crhcs_support: true,
+        }
     }
 
     /// Serpens baseline: same parallelism, no CrHCS units; its partial-sum
     /// store occupies 3 URAMs per PE (384 total, Table 1).
     pub fn serpens() -> Self {
-        ResourceConfig { pegs: 16, pes_per_peg: 8, scug_urams: 0, crhcs_support: false }
+        ResourceConfig {
+            pegs: 16,
+            pes_per_peg: 8,
+            scug_urams: 0,
+            crhcs_support: false,
+        }
     }
 
     /// Total PEs.
     pub fn total_pes(&self) -> u64 {
         self.pegs * self.pes_per_peg
+    }
+
+    /// Chasoň accepting migrations from `hops` ring neighbours.
+    ///
+    /// ScUG storage scales *linearly* with the hop count: every neighbour
+    /// channel contributes its own set of source PEs whose partial sums
+    /// must stay segregated until the Reduction Unit, so each extra hop
+    /// costs another full set of shared URAM banks per PE (the §6.1 cost
+    /// argument for deploying only one hop on the U55c). The same linear
+    /// model drives the engine's deployed ScUG size
+    /// (`pes_per_channel × migration_hops` partial-sum groups per PE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops == 0`.
+    pub fn chason_with_hops(hops: u64) -> Self {
+        assert!(hops >= 1, "chason needs at least one migration hop");
+        let deployed = ResourceConfig::chason();
+        ResourceConfig {
+            scug_urams: deployed.scug_urams * hops,
+            ..deployed
+        }
     }
 }
 
@@ -110,10 +142,13 @@ impl ResourceUsage {
         let mut ff = pes * 1969; // 128 × 1969 ≈ 252 K
         let mut dsp = pes * 6 + 30; // 128 × 6 + 30 = 798
         let bram18k = config.pegs * 32 + 512; // x buffers + I/O FIFOs = 1024
-        // Partial-sum URAMs: Serpens banks its store over 3 URAMs per PE;
-        // Chasoň replaces it with 1 private + `scug_urams` shared banks.
-        let uram_per_pe =
-            if config.crhcs_support { 1 + config.scug_urams } else { 3 };
+                                              // Partial-sum URAMs: Serpens banks its store over 3 URAMs per PE;
+                                              // Chasoň replaces it with 1 private + `scug_urams` shared banks.
+        let uram_per_pe = if config.crhcs_support {
+            1 + config.scug_urams
+        } else {
+            3
+        };
         let uram = pes * uram_per_pe;
         if config.crhcs_support {
             // Router muxes per PE, Reduction + Re-order units per PEG.
@@ -121,7 +156,13 @@ impl ResourceUsage {
             ff += pes * 1000 + config.pegs * 2375; // ≈ +166 K
             dsp += pes * 3 + config.pegs * 4 + 8; // adder tree + re-order: +456
         }
-        ResourceUsage { lut, ff, dsp, bram18k, uram }
+        ResourceUsage {
+            lut,
+            ff,
+            dsp,
+            bram18k,
+            uram,
+        }
     }
 
     /// Utilization percentages against a device.
@@ -186,7 +227,11 @@ mod tests {
     fn utilization_percentages_match_table1() {
         let dev = DeviceCapacity::alveo_u55c();
         let chason = ResourceUsage::estimate(&ResourceConfig::chason());
-        let pct: Vec<f64> = chason.utilization_pct(&dev).iter().map(|&(_, p)| p).collect();
+        let pct: Vec<f64> = chason
+            .utilization_pct(&dev)
+            .iter()
+            .map(|&(_, p)| p)
+            .collect();
         assert!((pct[0] - 26.0).abs() < 1.5, "LUT% {}", pct[0]); // 26%
         assert!((pct[4] - 52.0).abs() < 2.0, "URAM% {}", pct[4]); // 52%
         assert!(chason.fits(&dev));
@@ -196,10 +241,33 @@ mod tests {
     fn full_scug_design_exceeds_the_device() {
         // §4.5: the full design (7 shared + 1 private per PE = 1024 URAMs)
         // exceeds the 960 available.
-        let full = ResourceConfig { scug_urams: 7, ..ResourceConfig::chason() };
+        let full = ResourceConfig {
+            scug_urams: 7,
+            ..ResourceConfig::chason()
+        };
         let u = ResourceUsage::estimate(&full);
         assert_eq!(u.uram, 1024);
         assert!(!u.fits(&DeviceCapacity::alveo_u55c()));
+    }
+
+    #[test]
+    fn uram_cost_scales_linearly_with_migration_hops() {
+        // One hop is the deployed design (512 URAMs, 52% of the U55c).
+        let dev = DeviceCapacity::alveo_u55c();
+        let one = ResourceUsage::estimate(&ResourceConfig::chason_with_hops(1));
+        assert_eq!(one, ResourceUsage::estimate(&ResourceConfig::chason()));
+        assert_eq!(one.uram, 512);
+        // Each extra hop adds another full set of shared banks: +3 URAMs
+        // per PE, +384 total.
+        let two = ResourceUsage::estimate(&ResourceConfig::chason_with_hops(2));
+        assert_eq!(two.uram, 896); // 16 × 8 × (1 + 6)
+        assert_eq!(two.uram - one.uram, 384);
+        // Two hops still squeezes onto the device (93% of its URAMs);
+        // three hops is the point §6.1 defers to a larger FPGA.
+        assert!(two.fits(&dev));
+        let three = ResourceUsage::estimate(&ResourceConfig::chason_with_hops(3));
+        assert_eq!(three.uram, 1280);
+        assert!(!three.fits(&dev));
     }
 
     #[test]

@@ -24,12 +24,24 @@ pub struct SerpensEngine {
 impl SerpensEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: AcceleratorConfig) -> Self {
-        SerpensEngine { config, scheduler: PeAware::new() }
+        SerpensEngine {
+            config,
+            scheduler: PeAware::new(),
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &AcceleratorConfig {
         &self.config
+    }
+
+    pub(crate) fn scheduler(&self) -> &PeAware {
+        &self.scheduler
+    }
+
+    /// Serpens PEs carry no ScUG.
+    pub(crate) fn scug_size(&self) -> usize {
+        0
     }
 
     /// Executes `y = A·x`.
@@ -38,7 +50,15 @@ impl SerpensEngine {
     ///
     /// Same conditions as [`crate::ChasonEngine::run`].
     pub fn run(&self, matrix: &CooMatrix, x: &[f32]) -> Result<Execution, SimError> {
-        execute("serpens", &self.scheduler, &self.config, 0, false, matrix, x)
+        execute(
+            "serpens",
+            &self.scheduler,
+            &self.config,
+            0,
+            false,
+            matrix,
+            x,
+        )
     }
 }
 

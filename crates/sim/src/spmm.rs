@@ -86,7 +86,10 @@ pub(crate) fn execute_spmm<S: Scheduler>(
         ));
     }
     if b.rows() != a.cols() {
-        return Err(SimError::VectorLengthMismatch { got: b.rows(), expected: a.cols() });
+        return Err(SimError::VectorLengthMismatch {
+            got: b.rows(),
+            expected: a.cols(),
+        });
     }
     if c0.rows() != a.rows() || c0.cols() != b.cols() {
         return Err(SimError::InvalidConfig(format!(
@@ -105,15 +108,16 @@ pub(crate) fn execute_spmm<S: Scheduler>(
     // Schedule every window of A exactly once; the schedule is shared by
     // all tiles (§7.2: the non-zero stream is independent of B).
     let windows = partition_columns(a, config.window);
-    let schedules: Vec<ScheduledMatrix> =
-        windows.iter().map(|w| scheduler.schedule(&w.matrix, sched)).collect();
+    let schedules: Vec<ScheduledMatrix> = windows
+        .iter()
+        .map(|w| scheduler.schedule(&w.matrix, sched))
+        .collect();
 
     let mut cycles = CycleBreakdown::default();
     let mut bytes_streamed = 0u64;
     for s in &schedules {
         let stream = s.stream_cycles() as u64;
-        cycles.stream +=
-            ((stream * tiles as u64) as f64 * config.stream_ii).ceil() as u64;
+        cycles.stream += ((stream * tiles as u64) as f64 * config.stream_ii).ceil() as u64;
         cycles.fill_drain += (sched.dependency_distance * tiles.max(1)) as u64;
         bytes_streamed +=
             stream * (sched.channels * sched.pes_per_channel * 8) as u64 * tiles as u64;
@@ -128,7 +132,13 @@ pub(crate) fn execute_spmm<S: Scheduler>(
     for j in 0..n {
         let mut pegs = (0..sched.channels)
             .map(|ch| {
-                Peg::new(ch, sched.pes_per_channel, config.window, rows_per_pe, scug_size)
+                Peg::new(
+                    ch,
+                    sched.pes_per_channel,
+                    config.window,
+                    rows_per_pe,
+                    scug_size,
+                )
             })
             .collect::<Result<Vec<_>, _>>()?;
         let b_col = b.column(j);
@@ -163,8 +173,8 @@ pub(crate) fn execute_spmm<S: Scheduler>(
             .ceil() as u64;
     }
     // C read-modify-write through the 8 output channels (§7.2).
-    cycles.merge += (((a.rows() * n).div_ceil(config.merge_width)) as f64 * config.stream_ii)
-        .ceil() as u64;
+    cycles.merge +=
+        (((a.rows() * n).div_ceil(config.merge_width)) as f64 * config.stream_ii).ceil() as u64;
     cycles.invocation += config.invocation_overhead_cycles;
 
     Ok(SpmmExecution {
@@ -226,7 +236,18 @@ impl crate::SerpensEngine {
         c: &DenseMatrix,
     ) -> Result<SpmmExecution, SimError> {
         let config = *self.config();
-        execute_spmm("serpens", &PeAware::new(), &config, 0, false, a, b, alpha, beta, c)
+        execute_spmm(
+            "serpens",
+            &PeAware::new(),
+            &config,
+            0,
+            false,
+            a,
+            b,
+            alpha,
+            beta,
+            c,
+        )
     }
 }
 
@@ -275,7 +296,9 @@ mod tests {
     fn chason_spmm_matches_reference() {
         let (a, b, c0) = operands(12);
         let oracle = reference_spmm(&a, &b, 1.5, 0.5, &c0);
-        let exec = ChasonEngine::default().run_spmm(&a, &b, 1.5, 0.5, &c0).unwrap();
+        let exec = ChasonEngine::default()
+            .run_spmm(&a, &b, 1.5, 0.5, &c0)
+            .unwrap();
         assert_close(&exec.c, &oracle, 1e-2);
         assert_eq!(exec.mac_ops, 2200 * 12);
         assert_eq!(exec.tiles, 2);
@@ -285,8 +308,12 @@ mod tests {
     fn serpens_spmm_matches_reference_and_is_slower() {
         let (a, b, c0) = operands(8);
         let oracle = reference_spmm(&a, &b, 1.0, 0.0, &c0);
-        let serpens = SerpensEngine::default().run_spmm(&a, &b, 1.0, 0.0, &c0).unwrap();
-        let chason = ChasonEngine::default().run_spmm(&a, &b, 1.0, 0.0, &c0).unwrap();
+        let serpens = SerpensEngine::default()
+            .run_spmm(&a, &b, 1.0, 0.0, &c0)
+            .unwrap();
+        let chason = ChasonEngine::default()
+            .run_spmm(&a, &b, 1.0, 0.0, &c0)
+            .unwrap();
         assert_close(&serpens.c, &oracle, 1e-2);
         assert_close(&chason.c, &serpens.c, 1e-2);
         assert!(chason.latency_seconds() <= serpens.latency_seconds());
@@ -296,8 +323,12 @@ mod tests {
     fn stream_cycles_scale_with_tiles() {
         let (a, b1, c1) = operands(8);
         let (_, b3, c3) = operands(24);
-        let e1 = ChasonEngine::default().run_spmm(&a, &b1, 1.0, 0.0, &c1).unwrap();
-        let e3 = ChasonEngine::default().run_spmm(&a, &b3, 1.0, 0.0, &c3).unwrap();
+        let e1 = ChasonEngine::default()
+            .run_spmm(&a, &b1, 1.0, 0.0, &c1)
+            .unwrap();
+        let e3 = ChasonEngine::default()
+            .run_spmm(&a, &b3, 1.0, 0.0, &c3)
+            .unwrap();
         assert_eq!(e1.tiles, 1);
         assert_eq!(e3.tiles, 3);
         // Up to a cycle of II rounding per window.
@@ -315,7 +346,9 @@ mod tests {
         let (a, b, _) = operands(4);
         let garbage = DenseMatrix::from_fn(300, 4, |_, _| f32::from_bits(0x7f7fffff));
         let oracle = reference_spmm(&a, &b, 2.0, 0.0, &DenseMatrix::zeros(300, 4));
-        let exec = ChasonEngine::default().run_spmm(&a, &b, 2.0, 0.0, &garbage).unwrap();
+        let exec = ChasonEngine::default()
+            .run_spmm(&a, &b, 2.0, 0.0, &garbage)
+            .unwrap();
         assert_close(&exec.c, &oracle, 1e-2);
     }
 
@@ -340,7 +373,9 @@ mod tests {
         let (a, _, _) = operands(4);
         let b = DenseMatrix::zeros(300, 0);
         let c0 = DenseMatrix::zeros(300, 0);
-        let exec = ChasonEngine::default().run_spmm(&a, &b, 1.0, 1.0, &c0).unwrap();
+        let exec = ChasonEngine::default()
+            .run_spmm(&a, &b, 1.0, 1.0, &c0)
+            .unwrap();
         assert_eq!(exec.mac_ops, 0);
         assert_eq!(exec.c.cols(), 0);
     }

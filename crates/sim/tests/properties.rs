@@ -7,15 +7,13 @@ use proptest::prelude::*;
 
 fn matrix_strategy() -> impl Strategy<Value = CooMatrix> {
     (4usize..48, 4usize..48).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec((0..rows, 0..cols, 1i32..50), 0..120).prop_map(
-            move |entries| {
-                let t: Vec<(usize, usize, f32)> = entries
-                    .into_iter()
-                    .map(|(r, c, v)| (r, c, v as f32 * 0.5))
-                    .collect();
-                CooMatrix::from_triplets_summing(rows, cols, t).expect("in range")
-            },
-        )
+        proptest::collection::vec((0..rows, 0..cols, 1i32..50), 0..120).prop_map(move |entries| {
+            let t: Vec<(usize, usize, f32)> = entries
+                .into_iter()
+                .map(|(r, c, v)| (r, c, v as f32 * 0.5))
+                .collect();
+            CooMatrix::from_triplets_summing(rows, cols, t).expect("in range")
+        })
     })
 }
 
@@ -69,8 +67,16 @@ fn corrupted_pvt_flag_is_caught() {
     let mut peg = Peg::new(0, 2, 16, 8, 2).unwrap();
     peg.load_x(&[1.0; 16]);
     // Row 2 belongs to channel 1; claim it is private to channel 0.
-    let corrupted = NzSlot { value: 1.0, row: 2, col: 0, pvt: true, pe_src: 0 };
-    let err = peg.consume_cycle(&[Some(corrupted), None], &sched).unwrap_err();
+    let corrupted = NzSlot {
+        value: 1.0,
+        row: 2,
+        col: 0,
+        pvt: true,
+        pe_src: 0,
+    };
+    let err = peg
+        .consume_cycle(&[Some(corrupted), None], &sched)
+        .unwrap_err();
     assert!(err.to_string().contains("routing violation"), "{err}");
 }
 
@@ -82,8 +88,16 @@ fn migrated_flag_inside_home_channel_is_caught() {
     let mut peg = Peg::new(0, 2, 16, 8, 2).unwrap();
     peg.load_x(&[1.0; 16]);
     // Row 0 belongs to channel 0, but the slot claims it migrated.
-    let corrupted = NzSlot { value: 1.0, row: 0, col: 0, pvt: false, pe_src: 0 };
-    let err = peg.consume_cycle(&[Some(corrupted), None], &sched).unwrap_err();
+    let corrupted = NzSlot {
+        value: 1.0,
+        row: 0,
+        col: 0,
+        pvt: false,
+        pe_src: 0,
+    };
+    let err = peg
+        .consume_cycle(&[Some(corrupted), None], &sched)
+        .unwrap_err();
     assert!(err.to_string().contains("home channel"), "{err}");
 }
 
@@ -130,7 +144,11 @@ fn raw_violating_schedule_trips_the_hazard_detector() {
     let v2 = NzSlot::private(2.0, 0, 1);
     peg.consume_cycle_at(&[Some(v1)], &sched, Some(0)).unwrap();
     peg.consume_cycle_at(&[Some(v2)], &sched, Some(1)).unwrap();
-    assert_eq!(peg.hazards(), 1, "back-to-back same-row values must be flagged");
+    assert_eq!(
+        peg.hazards(),
+        1,
+        "back-to-back same-row values must be flagged"
+    );
     // A third value at the full distance is fine.
     let v3 = NzSlot::private(3.0, 0, 2);
     peg.consume_cycle_at(&[Some(v3)], &sched, Some(11)).unwrap();
@@ -147,14 +165,17 @@ fn real_schedules_are_hazard_free() {
         PeAware::new().schedule(&m, &sched),
         Crhcs::new().schedule(&m, &sched),
     ] {
-        let mut pegs: Vec<Peg> =
-            (0..2).map(|c| Peg::new(c, 4, 512, 64, 8).unwrap()).collect();
+        let mut pegs: Vec<Peg> = (0..2)
+            .map(|c| Peg::new(c, 4, 512, 64, 8).unwrap())
+            .collect();
         for peg in &mut pegs {
             peg.load_x(&vec![1.0; 512]);
         }
         for (c, channel) in schedule.channels.iter().enumerate() {
             for (cycle, slots) in channel.grid.iter().enumerate() {
-                pegs[c].consume_cycle_at(slots, &sched, Some(cycle as u64)).unwrap();
+                pegs[c]
+                    .consume_cycle_at(slots, &sched, Some(cycle as u64))
+                    .unwrap();
             }
         }
         let hazards: u64 = pegs.iter().map(Peg::hazards).sum();
@@ -173,7 +194,8 @@ fn pe_aware_schedule_on_serpens_hardware_is_accepted() {
         let mut peg = Peg::new(ch, 2, 32, 16, 0).unwrap();
         peg.load_x(&[1.0; 8]);
         for slots in &channel.grid {
-            peg.consume_cycle(slots, &sched).expect("private-only schedule runs");
+            peg.consume_cycle(slots, &sched)
+                .expect("private-only schedule runs");
         }
     }
 }

@@ -34,7 +34,11 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty matrix of the given shape with no explicit entries.
     pub fn new(rows: usize, cols: usize) -> Self {
-        CooMatrix { rows, cols, entries: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Builds a matrix from a list of `(row, col, value)` triplets.
@@ -64,7 +68,11 @@ impl CooMatrix {
             }
         }
         triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
-        Ok(CooMatrix { rows, cols, entries: triplets })
+        Ok(CooMatrix {
+            rows,
+            cols,
+            entries: triplets,
+        })
     }
 
     /// Builds a matrix from triplets, summing values of duplicate coordinates
@@ -94,7 +102,11 @@ impl CooMatrix {
                 _ => merged.push((r, c, v)),
             }
         }
-        Ok(CooMatrix { rows, cols, entries: merged })
+        Ok(CooMatrix {
+            rows,
+            cols,
+            entries: merged,
+        })
     }
 
     /// Inserts a single entry.
@@ -104,12 +116,21 @@ impl CooMatrix {
     /// Same conditions as [`CooMatrix::from_triplets`].
     pub fn insert(&mut self, row: usize, col: usize, value: f32) -> Result<(), SparseError> {
         if row >= self.rows {
-            return Err(SparseError::RowOutOfBounds { row, rows: self.rows });
+            return Err(SparseError::RowOutOfBounds {
+                row,
+                rows: self.rows,
+            });
         }
         if col >= self.cols {
-            return Err(SparseError::ColOutOfBounds { col, cols: self.cols });
+            return Err(SparseError::ColOutOfBounds {
+                col,
+                cols: self.cols,
+            });
         }
-        match self.entries.binary_search_by_key(&(row, col), |&(r, c, _)| (r, c)) {
+        match self
+            .entries
+            .binary_search_by_key(&(row, col), |&(r, c, _)| (r, c))
+        {
             Ok(_) => Err(SparseError::DuplicateEntry { row, col }),
             Err(pos) => {
                 self.entries.insert(pos, (row, col, value));
@@ -162,10 +183,13 @@ impl CooMatrix {
 
     /// Returns the transpose (entries mirrored across the diagonal).
     pub fn transpose(&self) -> CooMatrix {
-        let mut t: Vec<Triplet> =
-            self.entries.iter().map(|&(r, c, v)| (c, r, v)).collect();
+        let mut t: Vec<Triplet> = self.entries.iter().map(|&(r, c, v)| (c, r, v)).collect();
         t.sort_unstable_by_key(|&(r, c, _)| (r, c));
-        CooMatrix { rows: self.cols, cols: self.rows, entries: t }
+        CooMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            entries: t,
+        }
     }
 
     /// Computes `y = A·x` directly on the triplet representation.
@@ -174,7 +198,11 @@ impl CooMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "dense vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "dense vector length must equal matrix columns"
+        );
         let mut y = vec![0.0f32; self.rows];
         for &(r, c, v) in &self.entries {
             y[r] += v * x[c];
@@ -217,8 +245,8 @@ mod tests {
 
     #[test]
     fn from_triplets_sorts_entries() {
-        let m = CooMatrix::from_triplets(3, 3, vec![(2, 0, 1.0), (0, 1, 2.0), (0, 0, 3.0)])
-            .unwrap();
+        let m =
+            CooMatrix::from_triplets(3, 3, vec![(2, 0, 1.0), (0, 1, 2.0), (0, 0, 3.0)]).unwrap();
         let coords: Vec<_> = m.iter().map(|&(r, c, _)| (r, c)).collect();
         assert_eq!(coords, vec![(0, 0), (0, 1), (2, 0)]);
     }
@@ -237,19 +265,14 @@ mod tests {
 
     #[test]
     fn from_triplets_rejects_duplicates() {
-        let err =
-            CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap_err();
+        let err = CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap_err();
         assert_eq!(err, SparseError::DuplicateEntry { row: 0, col: 0 });
     }
 
     #[test]
     fn from_triplets_summing_merges_duplicates() {
-        let m = CooMatrix::from_triplets_summing(
-            2,
-            2,
-            vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 3.0)],
-        )
-        .unwrap();
+        let m = CooMatrix::from_triplets_summing(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 3.0)])
+            .unwrap();
         assert_eq!(m.nnz(), 2);
         assert_eq!(m.triplets()[0], (0, 0, 3.0));
     }
@@ -285,8 +308,7 @@ mod tests {
         // [1 0 2]   [1]   [7]
         // [0 3 0] * [2] = [6]
         let m =
-            CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])
-                .unwrap();
+            CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
         assert_eq!(m.spmv(&[1.0, 2.0, 3.0]), vec![7.0, 6.0]);
     }
 

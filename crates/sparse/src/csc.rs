@@ -75,7 +75,13 @@ impl CscMatrix {
                 }
             }
         }
-        Ok(CscMatrix { rows, cols, col_ptr, row_idx, values })
+        Ok(CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -126,7 +132,10 @@ impl CscMatrix {
     ///
     /// Panics if `col_start > col_end` or `col_end > self.cols()`.
     pub fn column_window(&self, col_start: usize, col_end: usize) -> Vec<Triplet> {
-        assert!(col_start <= col_end && col_end <= self.cols, "invalid column window");
+        assert!(
+            col_start <= col_end && col_end <= self.cols,
+            "invalid column window"
+        );
         let mut out = Vec::new();
         for c in col_start..col_end {
             let (rows, vals) = self.col(c);
@@ -143,10 +152,13 @@ impl CscMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "dense vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "dense vector length must equal matrix columns"
+        );
         let mut y = vec![0.0f32; self.rows];
-        for c in 0..self.cols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc == 0.0 {
                 continue;
             }
@@ -180,7 +192,13 @@ impl From<&CooMatrix> for CscMatrix {
             values[slot] = v;
             cursor[c] += 1;
         }
-        CscMatrix { rows: coo.rows(), cols, col_ptr, row_idx, values }
+        CscMatrix {
+            rows: coo.rows(),
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 }
 
@@ -250,8 +268,7 @@ mod tests {
 
     #[test]
     fn from_parts_validates_sorted_rows() {
-        let err = CscMatrix::from_parts(3, 1, vec![0, 2], vec![2, 1], vec![1.0, 2.0])
-            .unwrap_err();
+        let err = CscMatrix::from_parts(3, 1, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SparseError::MalformedStructure(_)));
     }
 

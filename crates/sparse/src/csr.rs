@@ -91,7 +91,13 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -168,7 +174,11 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "dense vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "dense vector length must equal matrix columns"
+        );
         let mut y = vec![0.0f32; self.rows];
         self.spmv_into(x, &mut y);
         y
@@ -180,14 +190,18 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
     pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) {
-        assert_eq!(x.len(), self.cols, "dense vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "dense vector length must equal matrix columns"
+        );
         assert_eq!(y.len(), self.rows, "output length must equal matrix rows");
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for i in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[i] * x[self.col_idx[i]];
             }
-            y[r] = acc;
+            *out = acc;
         }
     }
 }
@@ -210,7 +224,13 @@ impl From<&CooMatrix> for CsrMatrix {
             col_idx.push(c);
             values.push(v);
         }
-        CsrMatrix { rows, cols: coo.cols(), row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols: coo.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -254,36 +274,32 @@ mod tests {
 
     #[test]
     fn from_parts_rejects_nonzero_start() {
-        let err =
-            CsrMatrix::from_parts(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
+        let err = CsrMatrix::from_parts(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
         assert!(matches!(err, SparseError::MalformedStructure(_)));
     }
 
     #[test]
     fn from_parts_rejects_decreasing_row_ptr() {
-        let err = CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0])
-            .unwrap_err();
+        let err =
+            CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SparseError::MalformedStructure(_)));
     }
 
     #[test]
     fn from_parts_rejects_wrong_tail() {
-        let err = CsrMatrix::from_parts(1, 2, vec![0, 3], vec![0, 1], vec![1.0, 2.0])
-            .unwrap_err();
+        let err = CsrMatrix::from_parts(1, 2, vec![0, 3], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SparseError::MalformedStructure(_)));
     }
 
     #[test]
     fn from_parts_rejects_col_out_of_bounds() {
-        let err =
-            CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        let err = CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
         assert_eq!(err, SparseError::ColOutOfBounds { col: 5, cols: 2 });
     }
 
     #[test]
     fn from_parts_rejects_unsorted_columns_within_row() {
-        let err = CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0])
-            .unwrap_err();
+        let err = CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SparseError::MalformedStructure(_)));
     }
 

@@ -127,13 +127,12 @@ impl DatasetSpec {
         match self.recipe {
             Recipe::Uniform => uniform_random(n, n, self.nnz, self.seed),
             Recipe::PowerLaw { alpha } => power_law(n, n, self.nnz, alpha, self.seed),
-            Recipe::Rmat { scale } => {
-                rmat(scale, self.nnz, RmatProbabilities::GRAPH500, self.seed)
-            }
+            Recipe::Rmat { scale } => rmat(scale, self.nnz, RmatProbabilities::GRAPH500, self.seed),
             Recipe::Banded { bandwidth } => banded_with_nnz(n, bandwidth, self.nnz, self.seed),
-            Recipe::Arrow { bandwidth, dense_rows } => {
-                arrow_with_nnz(n, bandwidth, dense_rows, self.nnz, self.seed)
-            }
+            Recipe::Arrow {
+                bandwidth,
+                dense_rows,
+            } => arrow_with_nnz(n, bandwidth, dense_rows, self.nnz, self.seed),
             Recipe::Mycielskian { k } => mycielskian(k, self.seed),
         }
     }
@@ -165,7 +164,10 @@ pub fn table2() -> Vec<DatasetSpec> {
             collection: SuiteSparse,
             nnz: 38_136,
             density_pct: 0.303,
-            recipe: Recipe::Arrow { bandwidth: band_for(38_136, 3548), dense_rows: 13 },
+            recipe: Recipe::Arrow {
+                bandwidth: band_for(38_136, 3548),
+                dense_rows: 13,
+            },
             seed: 0xD1,
         },
         DatasetSpec {
@@ -174,7 +176,10 @@ pub fn table2() -> Vec<DatasetSpec> {
             collection: SuiteSparse,
             nnz: 33_630,
             density_pct: 0.455,
-            recipe: Recipe::Arrow { bandwidth: band_for(33_630, 2719), dense_rows: 7 },
+            recipe: Recipe::Arrow {
+                bandwidth: band_for(33_630, 2719),
+                dense_rows: 7,
+            },
             seed: 0xD2,
         },
         DatasetSpec {
@@ -183,7 +188,10 @@ pub fn table2() -> Vec<DatasetSpec> {
             collection: SuiteSparse,
             nnz: 20_278,
             density_pct: 0.000_35,
-            recipe: Recipe::Arrow { bandwidth: 1, dense_rows: 2 },
+            recipe: Recipe::Arrow {
+                bandwidth: 1,
+                dense_rows: 2,
+            },
             seed: 0xD3,
         },
         DatasetSpec {
@@ -210,7 +218,10 @@ pub fn table2() -> Vec<DatasetSpec> {
             collection: SuiteSparse,
             nnz: 820_783,
             density_pct: 0.859,
-            recipe: Recipe::Arrow { bandwidth: band_for(820_783, 9775), dense_rows: 12 },
+            recipe: Recipe::Arrow {
+                bandwidth: band_for(820_783, 9775),
+                dense_rows: 12,
+            },
             seed: 0xD6,
         },
         DatasetSpec {
@@ -219,7 +230,10 @@ pub fn table2() -> Vec<DatasetSpec> {
             collection: SuiteSparse,
             nnz: 211_561,
             density_pct: 0.070,
-            recipe: Recipe::Arrow { bandwidth: band_for(211_561, 17_385), dense_rows: 31 },
+            recipe: Recipe::Arrow {
+                bandwidth: band_for(211_561, 17_385),
+                dense_rows: 31,
+            },
             seed: 0xD7,
         },
         DatasetSpec {
@@ -228,7 +242,10 @@ pub fn table2() -> Vec<DatasetSpec> {
             collection: SuiteSparse,
             nnz: 92_703,
             density_pct: 0.088,
-            recipe: Recipe::Arrow { bandwidth: band_for(92_703, 10_264), dense_rows: 14 },
+            recipe: Recipe::Arrow {
+                bandwidth: band_for(92_703, 10_264),
+                dense_rows: 14,
+            },
             seed: 0xD8,
         },
         DatasetSpec {
@@ -237,7 +254,10 @@ pub fn table2() -> Vec<DatasetSpec> {
             collection: SuiteSparse,
             nnz: 749_800,
             density_pct: 0.005_41,
-            recipe: Recipe::Arrow { bandwidth: band_for(749_800, 117_726), dense_rows: 12 },
+            recipe: Recipe::Arrow {
+                bandwidth: band_for(749_800, 117_726),
+                dense_rows: 12,
+            },
             seed: 0xD9,
         },
         DatasetSpec {
@@ -246,7 +266,10 @@ pub fn table2() -> Vec<DatasetSpec> {
             collection: SuiteSparse,
             nnz: 333_029,
             density_pct: 0.013_8,
-            recipe: Recipe::Arrow { bandwidth: band_for(333_029, 49_125), dense_rows: 53 },
+            recipe: Recipe::Arrow {
+                bandwidth: band_for(333_029, 49_125),
+                dense_rows: 53,
+            },
             seed: 0xDA,
         },
         DatasetSpec {
@@ -364,15 +387,12 @@ impl CorpusSpec {
         match self.recipe {
             Recipe::Uniform => uniform_random(n, n, self.nnz, self.seed),
             Recipe::PowerLaw { alpha } => power_law(n, n, self.nnz, alpha, self.seed),
-            Recipe::Rmat { scale } => {
-                rmat(scale, self.nnz, RmatProbabilities::GRAPH500, self.seed)
-            }
-            Recipe::Banded { bandwidth } => {
-                banded_with_nnz(n, bandwidth, self.nnz, self.seed)
-            }
-            Recipe::Arrow { bandwidth, dense_rows } => {
-                arrow_with_nnz(n, bandwidth, dense_rows, self.nnz, self.seed)
-            }
+            Recipe::Rmat { scale } => rmat(scale, self.nnz, RmatProbabilities::GRAPH500, self.seed),
+            Recipe::Banded { bandwidth } => banded_with_nnz(n, bandwidth, self.nnz, self.seed),
+            Recipe::Arrow {
+                bandwidth,
+                dense_rows,
+            } => arrow_with_nnz(n, bandwidth, dense_rows, self.nnz, self.seed),
             Recipe::Mycielskian { k } => mycielskian(k, self.seed),
         }
     }
@@ -394,7 +414,11 @@ impl CorpusSpec {
 pub fn corpus(count: usize, seed: u64) -> Vec<CorpusSpec> {
     let mut specs = Vec::with_capacity(count);
     for i in 0..count {
-        let t = if count > 1 { i as f64 / (count - 1) as f64 } else { 0.0 };
+        let t = if count > 1 {
+            i as f64 / (count - 1) as f64
+        } else {
+            0.0
+        };
         // Log-space nnz from 1e3 to 1e6, mass-weighted toward the upper
         // decades (the SuiteSparse population in this range is dominated by
         // 1e5-1e6-nnz matrices; a uniform log spacing would make a third of
@@ -423,8 +447,12 @@ pub fn corpus(count: usize, seed: u64) -> Vec<CorpusSpec> {
             1 | 4 => arrow(1.2 + 0.9 * phase), // ~55-70% pre-migration stalls
             2 => arrow(1.4 + 0.8 * phase),     // ~60-72% pre-migration stalls
             3 | 6 => arrow(1.8 + 2.4 * phase), // ~68-88% pre-migration stalls
-            5 => Recipe::PowerLaw { alpha: 1.4 + 0.5 * t },
-            _ => Recipe::Rmat { scale: (n as f64).log2().ceil().clamp(6.0, 17.0) as u32 },
+            5 => Recipe::PowerLaw {
+                alpha: 1.4 + 0.5 * t,
+            },
+            _ => Recipe::Rmat {
+                scale: (n as f64).log2().ceil().clamp(6.0, 17.0) as u32,
+            },
         };
         let dimension = match recipe {
             Recipe::Rmat { scale } => 1usize << scale,
@@ -435,7 +463,9 @@ pub fn corpus(count: usize, seed: u64) -> Vec<CorpusSpec> {
             recipe,
             nnz: nnz.min(dimension * dimension),
             dimension,
-            seed: seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            seed: seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
         });
     }
     specs
@@ -453,7 +483,9 @@ mod tests {
         assert_eq!(t[9].id, "CK");
         assert_eq!(t[10].id, "WI");
         assert_eq!(t[19].name, "Reuters911");
-        assert!(t[..10].iter().all(|s| s.collection == Collection::SuiteSparse));
+        assert!(t[..10]
+            .iter()
+            .all(|s| s.collection == Collection::SuiteSparse));
         assert!(t[10..].iter().all(|s| s.collection == Collection::Snap));
     }
 

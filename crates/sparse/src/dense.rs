@@ -29,7 +29,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from row-major data.
@@ -38,11 +42,7 @@ impl DenseMatrix {
     ///
     /// Returns [`SparseError::MalformedStructure`] when `data.len() !=
     /// rows * cols`.
-    pub fn from_row_major(
-        rows: usize,
-        cols: usize,
-        data: Vec<f32>,
-    ) -> Result<Self, SparseError> {
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, SparseError> {
         if data.len() != rows * cols {
             return Err(SparseError::MalformedStructure(format!(
                 "dense data length {} != {rows} x {cols}",
@@ -79,7 +79,10 @@ impl DenseMatrix {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn get(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.rows && col < self.cols, "dense index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "dense index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -89,7 +92,10 @@ impl DenseMatrix {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f32) {
-        assert!(row < self.rows && col < self.cols, "dense index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "dense index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -118,7 +124,9 @@ impl DenseMatrix {
     /// Panics if `col >= cols`.
     pub fn column(&self, col: usize) -> Vec<f32> {
         assert!(col < self.cols, "dense index out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + col]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + col])
+            .collect()
     }
 
     /// The raw row-major data.

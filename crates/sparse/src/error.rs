@@ -47,10 +47,16 @@ impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SparseError::RowOutOfBounds { row, rows } => {
-                write!(f, "row index {row} out of bounds for matrix with {rows} rows")
+                write!(
+                    f,
+                    "row index {row} out of bounds for matrix with {rows} rows"
+                )
             }
             SparseError::ColOutOfBounds { col, cols } => {
-                write!(f, "column index {col} out of bounds for matrix with {cols} columns")
+                write!(
+                    f,
+                    "column index {col} out of bounds for matrix with {cols} columns"
+                )
             }
             SparseError::DuplicateEntry { row, col } => {
                 write!(f, "duplicate explicit entry at ({row}, {col})")

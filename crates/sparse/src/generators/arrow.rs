@@ -41,7 +41,10 @@ pub fn arrow_with_nnz(
     nnz: usize,
     seed: u64,
 ) -> CooMatrix {
-    assert!(dense_rows <= n, "dense_rows cannot exceed the matrix dimension");
+    assert!(
+        dense_rows <= n,
+        "dense_rows cannot exceed the matrix dimension"
+    );
     let mut rng = rng_for(seed);
     if n == 0 {
         return CooMatrix::new(0, 0);
@@ -63,8 +66,8 @@ pub fn arrow_with_nnz(
     // the dense rows, so the maximum row population — the quantity that
     // sets the RAW-chain length and hence the scheduling behaviour — is
     // deterministic, not subject to sampling variance.
-    if dense_rows > 0 {
-        let per_row = ((target * 3 / 10) / dense_rows).min(n);
+    if let Some(per_row) = (target * 3 / 10).checked_div(dense_rows) {
+        let per_row = per_row.min(n);
         for i in 0..dense_rows {
             let r = boundary_start + i;
             let mut cols_used = HashSet::with_capacity(per_row);
@@ -145,8 +148,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(arrow_with_nnz(200, 2, 2, 900, 4), arrow_with_nnz(200, 2, 2, 900, 4));
-        assert_ne!(arrow_with_nnz(200, 2, 2, 900, 4), arrow_with_nnz(200, 2, 2, 900, 5));
+        assert_eq!(
+            arrow_with_nnz(200, 2, 2, 900, 4),
+            arrow_with_nnz(200, 2, 2, 900, 4)
+        );
+        assert_ne!(
+            arrow_with_nnz(200, 2, 2, 900, 4),
+            arrow_with_nnz(200, 2, 2, 900, 5)
+        );
     }
 
     #[test]

@@ -38,8 +38,7 @@ pub fn banded(n: usize, bandwidth: usize, fill: f64, seed: u64) -> CooMatrix {
             }
         }
     }
-    CooMatrix::from_triplets(n, n, triplets)
-        .expect("band coordinates are unique by construction")
+    CooMatrix::from_triplets(n, n, triplets).expect("band coordinates are unique by construction")
 }
 
 /// Generates an `n × n` banded matrix with *exactly* `nnz` entries sampled

@@ -43,8 +43,7 @@ pub fn block_diagonal(n: usize, block: usize, fill: f64, seed: u64) -> CooMatrix
         }
         start = end;
     }
-    CooMatrix::from_triplets(n, n, triplets)
-        .expect("block coordinates are unique by construction")
+    CooMatrix::from_triplets(n, n, triplets).expect("block coordinates are unique by construction")
 }
 
 #[cfg(test)]

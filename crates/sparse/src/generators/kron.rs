@@ -54,8 +54,7 @@ pub fn mycielskian(k: u32, seed: u64) -> CooMatrix {
         triplets.push((a, b, v));
         triplets.push((b, a, v));
     }
-    CooMatrix::from_triplets(n, n, triplets)
-        .expect("mycielskian edges are unique by construction")
+    CooMatrix::from_triplets(n, n, triplets).expect("mycielskian edges are unique by construction")
 }
 
 #[cfg(test)]
@@ -83,7 +82,10 @@ mod tests {
         assert_eq!(m.cols(), 3071);
         assert_eq!(m.nnz(), 407_200);
         let density_pct = m.density() * 100.0;
-        assert!((density_pct - 4.31).abs() < 0.01, "density {density_pct}% != 4.31%");
+        assert!(
+            (density_pct - 4.31).abs() < 0.01,
+            "density {density_pct}% != 4.31%"
+        );
     }
 
     #[test]

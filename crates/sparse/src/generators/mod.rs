@@ -69,8 +69,10 @@ pub(crate) fn matrix_from_coords(
     // the generators non-deterministic.
     let mut sorted: Vec<(usize, usize)> = coords.into_iter().collect();
     sorted.sort_unstable();
-    let triplets: Vec<(usize, usize, f32)> =
-        sorted.into_iter().map(|(r, c)| (r, c, sample_value(rng))).collect();
+    let triplets: Vec<(usize, usize, f32)> = sorted
+        .into_iter()
+        .map(|(r, c)| (r, c, sample_value(rng)))
+        .collect();
     CooMatrix::from_triplets(rows, cols, triplets)
         .expect("generator coordinates are validated by construction")
 }
@@ -89,13 +91,22 @@ mod tests {
 
     #[test]
     fn same_seed_same_matrix_across_generators() {
-        assert_eq!(uniform_random(50, 50, 200, 7), uniform_random(50, 50, 200, 7));
-        assert_eq!(power_law(50, 50, 200, 1.5, 7), power_law(50, 50, 200, 1.5, 7));
+        assert_eq!(
+            uniform_random(50, 50, 200, 7),
+            uniform_random(50, 50, 200, 7)
+        );
+        assert_eq!(
+            power_law(50, 50, 200, 1.5, 7),
+            power_law(50, 50, 200, 1.5, 7)
+        );
         assert_eq!(banded(64, 3, 0.8, 7), banded(64, 3, 0.8, 7));
     }
 
     #[test]
     fn different_seeds_differ() {
-        assert_ne!(uniform_random(50, 50, 200, 1), uniform_random(50, 50, 200, 2));
+        assert_ne!(
+            uniform_random(50, 50, 200, 1),
+            uniform_random(50, 50, 200, 2)
+        );
     }
 }

@@ -77,12 +77,12 @@ pub fn optimal_control(config: OptimalControlConfig, seed: u64) -> CooMatrix {
     let mut coords: HashSet<(usize, usize)> = HashSet::new();
 
     let fill_block = |coords: &mut HashSet<(usize, usize)>,
-                          rng: &mut rand::rngs::StdRng,
-                          r0: usize,
-                          c0: usize,
-                          rows: usize,
-                          cols: usize,
-                          p: f64| {
+                      rng: &mut rand::rngs::StdRng,
+                      r0: usize,
+                      c0: usize,
+                      rows: usize,
+                      cols: usize,
+                      p: f64| {
         for r in r0..r0 + rows {
             for c in c0..c0 + cols {
                 if p >= 1.0 || rng.gen::<f64>() < p {
@@ -97,8 +97,24 @@ pub fn optimal_control(config: OptimalControlConfig, seed: u64) -> CooMatrix {
         fill_block(&mut coords, &mut rng, base, base, b, b, config.diag_fill);
         if s + 1 < config.stages {
             // Stage-coupling blocks (dynamics constraints), both directions.
-            fill_block(&mut coords, &mut rng, base, base + b, b, b, config.coupling_fill);
-            fill_block(&mut coords, &mut rng, base + b, base, b, b, config.coupling_fill);
+            fill_block(
+                &mut coords,
+                &mut rng,
+                base,
+                base + b,
+                b,
+                b,
+                config.coupling_fill,
+            );
+            fill_block(
+                &mut coords,
+                &mut rng,
+                base + b,
+                base,
+                b,
+                b,
+                config.coupling_fill,
+            );
         }
     }
     // Dense boundary rows & columns (global constraints, e.g. endpoint
@@ -159,12 +175,18 @@ mod tests {
 
     #[test]
     fn interior_entries_stay_near_diagonal() {
-        let cfg = OptimalControlConfig { boundary_rows: 0, ..OptimalControlConfig::small() };
+        let cfg = OptimalControlConfig {
+            boundary_rows: 0,
+            ..OptimalControlConfig::small()
+        };
         let m = optimal_control(cfg, 2);
         let b = cfg.vars_per_stage;
         for &(r, c, _) in m.iter() {
             let (sr, sc) = (r / b, c / b);
-            assert!(sr.abs_diff(sc) <= 1, "entry ({r},{c}) couples non-adjacent stages");
+            assert!(
+                sr.abs_diff(sc) <= 1,
+                "entry ({r},{c}) couples non-adjacent stages"
+            );
         }
     }
 
@@ -195,7 +217,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "within [0, 1]")]
     fn rejects_bad_fill() {
-        let cfg = OptimalControlConfig { diag_fill: 2.0, ..OptimalControlConfig::small() };
+        let cfg = OptimalControlConfig {
+            diag_fill: 2.0,
+            ..OptimalControlConfig::small()
+        };
         let _ = optimal_control(cfg, 0);
     }
 }

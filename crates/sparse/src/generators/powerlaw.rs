@@ -33,7 +33,10 @@ use std::collections::HashSet;
 /// assert!(row_stats(&m).gini > 0.45); // heavily skewed
 /// ```
 pub fn power_law(rows: usize, cols: usize, nnz: usize, alpha: f64, seed: u64) -> CooMatrix {
-    assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and non-negative");
+    assert!(
+        alpha.is_finite() && alpha >= 0.0,
+        "alpha must be finite and non-negative"
+    );
     if rows == 0 || cols == 0 {
         return CooMatrix::new(rows, cols);
     }
@@ -43,12 +46,11 @@ pub fn power_law(rows: usize, cols: usize, nnz: usize, alpha: f64, seed: u64) ->
     // Realistic maximum degree (see the type-level docs). The mean-based
     // floor keeps tiny matrices generable.
     let mean = target.div_ceil(rows.max(1));
-    let degree_cap = cols
-        .min(((2.5 * (target as f64).sqrt()).ceil() as usize).max(8 * mean.max(1)));
+    let degree_cap =
+        cols.min(((2.5 * (target as f64).sqrt()).ceil() as usize).max(8 * mean.max(1)));
 
     // Zipf weights over the rows, shuffled so heavy rows land anywhere.
-    let mut weights: Vec<f64> =
-        (0..rows).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let mut weights: Vec<f64> = (0..rows).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
     let total: f64 = weights.iter().sum();
     for w in &mut weights {
         *w /= total;
@@ -140,20 +142,31 @@ mod tests {
     fn alpha_zero_is_roughly_uniform() {
         let m = power_law(100, 100, 2000, 0.0, 11);
         let s = row_stats(&m);
-        assert!(s.gini < 0.15, "alpha = 0 should be balanced, gini = {}", s.gini);
+        assert!(
+            s.gini < 0.15,
+            "alpha = 0 should be balanced, gini = {}",
+            s.gini
+        );
     }
 
     #[test]
     fn higher_alpha_is_more_skewed() {
         let lo = row_stats(&power_law(400, 400, 3000, 0.5, 5)).gini;
         let hi = row_stats(&power_law(400, 400, 3000, 2.0, 5)).gini;
-        assert!(hi > lo, "gini(alpha=2) = {hi} should exceed gini(alpha=0.5) = {lo}");
+        assert!(
+            hi > lo,
+            "gini(alpha=2) = {hi} should exceed gini(alpha=0.5) = {lo}"
+        );
     }
 
     #[test]
     fn skewed_matrices_have_empty_rows() {
         let s = row_stats(&power_law(500, 500, 2000, 2.0, 5));
-        assert!(s.empty_rows > 100, "expected many empty rows, got {}", s.empty_rows);
+        assert!(
+            s.empty_rows > 100,
+            "expected many empty rows, got {}",
+            s.empty_rows
+        );
     }
 
     #[test]

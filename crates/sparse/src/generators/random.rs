@@ -85,6 +85,10 @@ mod tests {
         let s = row_stats(&m);
         // Poisson(40) rows: stddev should be near sqrt(40), far below mean.
         assert!(s.stddev_row_nnz < s.mean_row_nnz);
-        assert!(s.gini < 0.3, "uniform fill should be balanced, gini = {}", s.gini);
+        assert!(
+            s.gini < 0.3,
+            "uniform fill should be balanced, gini = {}",
+            s.gini
+        );
     }
 }

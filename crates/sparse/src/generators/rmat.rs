@@ -23,8 +23,12 @@ pub struct RmatProbabilities {
 
 impl RmatProbabilities {
     /// The Graph500 reference setting `(0.57, 0.19, 0.19, 0.05)`.
-    pub const GRAPH500: RmatProbabilities =
-        RmatProbabilities { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+    pub const GRAPH500: RmatProbabilities = RmatProbabilities {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
 
     /// Validates that the probabilities are non-negative and sum to ~1.
     pub fn is_valid(&self) -> bool {
@@ -61,7 +65,10 @@ impl Default for RmatProbabilities {
 /// assert_eq!(m.nnz(), 1000);
 /// ```
 pub fn rmat(scale: u32, nnz: usize, probs: RmatProbabilities, seed: u64) -> CooMatrix {
-    assert!(probs.is_valid(), "R-MAT probabilities must be non-negative and sum to 1");
+    assert!(
+        probs.is_valid(),
+        "R-MAT probabilities must be non-negative and sum to 1"
+    );
     assert!(scale < usize::BITS, "scale too large for usize");
     let n = 1usize << scale;
     let cells = n.saturating_mul(n);
@@ -121,8 +128,12 @@ mod tests {
 
     #[test]
     fn skew_exceeds_uniform() {
-        let uniform =
-            RmatProbabilities { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let uniform = RmatProbabilities {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        };
         let g_uniform = row_stats(&rmat(9, 4000, uniform, 3)).gini;
         let g_rmat = row_stats(&rmat(9, 4000, RmatProbabilities::GRAPH500, 3)).gini;
         assert!(g_rmat > g_uniform);
@@ -131,7 +142,12 @@ mod tests {
     #[test]
     fn saturated_region_terminates() {
         // scale 2 → 16 cells; ask for all of them with extreme skew.
-        let probs = RmatProbabilities { a: 0.97, b: 0.01, c: 0.01, d: 0.01 };
+        let probs = RmatProbabilities {
+            a: 0.97,
+            b: 0.01,
+            c: 0.01,
+            d: 0.01,
+        };
         let m = rmat(2, 16, probs, 3);
         assert_eq!(m.nnz(), 16);
     }
@@ -139,7 +155,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rejects_invalid_probabilities() {
-        let bad = RmatProbabilities { a: 0.9, b: 0.9, c: 0.0, d: 0.0 };
+        let bad = RmatProbabilities {
+            a: 0.9,
+            b: 0.9,
+            c: 0.0,
+            d: 0.0,
+        };
         let _ = rmat(4, 10, bad, 0);
     }
 

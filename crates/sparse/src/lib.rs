@@ -35,9 +35,9 @@
 mod coo;
 mod csc;
 mod csr;
+pub mod datasets;
 mod dense;
 mod error;
-pub mod datasets;
 pub mod generators;
 pub mod market;
 pub mod permute;

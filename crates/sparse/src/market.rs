@@ -56,9 +56,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> 
     let mut lines = reader.lines().enumerate();
 
     let (field, symmetry) = loop {
-        let (idx, line) = lines
-            .next()
-            .ok_or_else(|| SparseError::Parse { line: 1, message: "empty stream".into() })?;
+        let (idx, line) = lines.next().ok_or_else(|| SparseError::Parse {
+            line: 1,
+            message: "empty stream".into(),
+        })?;
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -155,12 +156,15 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> 
 /// # Errors
 ///
 /// Propagates I/O failures as [`SparseError::Io`].
-pub fn write_matrix_market<W: Write>(
-    mut writer: W,
-    matrix: &CooMatrix,
-) -> Result<(), SparseError> {
+pub fn write_matrix_market<W: Write>(mut writer: W, matrix: &CooMatrix) -> Result<(), SparseError> {
     writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
-    writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz()
+    )?;
     for &(r, c, v) in matrix.iter() {
         writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
     }
@@ -168,8 +172,10 @@ pub fn write_matrix_market<W: Write>(
 }
 
 fn parse_header(rest: &str, line: usize) -> Result<(Field, Symmetry), SparseError> {
-    let tokens: Vec<String> =
-        rest.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let tokens: Vec<String> = rest
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if tokens.len() < 4 || tokens[0] != "matrix" || tokens[1] != "coordinate" {
         return Err(SparseError::Parse {
             line,
@@ -235,8 +241,7 @@ mod tests {
 
     #[test]
     fn expands_symmetric_files() {
-        let text =
-            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 7\n";
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 7\n";
         let m = read_matrix_market(text.as_bytes()).unwrap();
         // (1,0) mirrored to (0,1); diagonal not duplicated.
         assert_eq!(m.nnz(), 3);
@@ -280,12 +285,8 @@ mod tests {
 
     #[test]
     fn write_then_read_round_trips() {
-        let m = CooMatrix::from_triplets(
-            4,
-            3,
-            vec![(0, 0, 1.25), (1, 2, -3.0), (3, 1, 0.5)],
-        )
-        .unwrap();
+        let m =
+            CooMatrix::from_triplets(4, 3, vec![(0, 0, 1.25), (1, 2, -3.0), (3, 1, 0.5)]).unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&mut buf, &m).unwrap();
         let back = read_matrix_market(buf.as_slice()).unwrap();

@@ -42,7 +42,10 @@ impl Permutation {
     /// The identity permutation of `0..len`.
     pub fn identity(len: usize) -> Self {
         let forward: Vec<usize> = (0..len).collect();
-        Permutation { inverse: forward.clone(), forward }
+        Permutation {
+            inverse: forward.clone(),
+            forward,
+        }
     }
 
     /// A uniformly random permutation (Fisher–Yates, seeded).
@@ -135,8 +138,15 @@ fn repair(forward: &mut [usize]) {
 ///
 /// Panics if `perm.len() != matrix.rows()`.
 pub fn permute_rows(matrix: &CooMatrix, perm: &Permutation) -> CooMatrix {
-    assert_eq!(perm.len(), matrix.rows(), "permutation length must match rows");
-    let triplets = matrix.iter().map(|&(r, c, v)| (perm.apply(r), c, v)).collect();
+    assert_eq!(
+        perm.len(),
+        matrix.rows(),
+        "permutation length must match rows"
+    );
+    let triplets = matrix
+        .iter()
+        .map(|&(r, c, v)| (perm.apply(r), c, v))
+        .collect();
     CooMatrix::from_triplets(matrix.rows(), matrix.cols(), triplets)
         .expect("permutation preserves coordinate validity")
 }
@@ -147,7 +157,11 @@ pub fn permute_rows(matrix: &CooMatrix, perm: &Permutation) -> CooMatrix {
 ///
 /// Panics if `perm.len() != values.len()`.
 pub fn permute_vector(values: &[f32], perm: &Permutation) -> Vec<f32> {
-    assert_eq!(perm.len(), values.len(), "permutation length must match vector");
+    assert_eq!(
+        perm.len(),
+        values.len(),
+        "permutation length must match vector"
+    );
     let mut out = vec![0.0f32; values.len()];
     for (old, &v) in values.iter().enumerate() {
         out[perm.apply(old)] = v;
@@ -224,7 +238,7 @@ mod tests {
         let p = degree_interleave(&m, 8);
         assert_eq!(p.len(), 37);
         // Must still be a valid permutation (from_forward validated it).
-        let mut seen = vec![false; 37];
+        let mut seen = [false; 37];
         for i in 0..37 {
             assert!(!seen[p.apply(i)]);
             seen[p.apply(i)] = true;

@@ -118,8 +118,11 @@ pub fn gini_coefficient(counts: &[usize]) -> f64 {
     let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
     // G = (2 * sum_i i*x_i) / (n * sum_i x_i) - (n + 1) / n, with 1-based i.
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
     (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
 }
 
@@ -152,7 +155,10 @@ pub fn histogram_to_pdf(counts: &[usize], lo: f64, hi: f64) -> Vec<f64> {
         return vec![0.0; counts.len()];
     }
     let width = (hi - lo) / counts.len() as f64;
-    counts.iter().map(|&c| c as f64 / (total as f64 * width)).collect()
+    counts
+        .iter()
+        .map(|&c| c as f64 / (total as f64 * width))
+        .collect()
 }
 
 #[cfg(test)]
@@ -164,7 +170,13 @@ mod tests {
         CooMatrix::from_triplets(
             4,
             4,
-            vec![(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (3, 0, 1.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (3, 0, 1.0),
+            ],
         )
         .unwrap()
     }
@@ -186,7 +198,11 @@ mod tests {
         assert_eq!(s.min_row_nnz, 0);
         assert_eq!(s.max_row_nnz, 4);
         assert!((s.mean_row_nnz - 1.25).abs() < 1e-12);
-        assert!(s.gini > 0.4, "skewed matrix should have high gini, got {}", s.gini);
+        assert!(
+            s.gini > 0.4,
+            "skewed matrix should have high gini, got {}",
+            s.gini
+        );
     }
 
     #[test]

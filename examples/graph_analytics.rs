@@ -61,8 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         serpens_time += serpens.run(&matrix, &rank)?.latency_seconds();
 
         let next: Vec<f32> = exec.y.iter().map(|&v| damping * v + teleport).collect();
-        let delta: f32 =
-            next.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f32 = next.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
         rank = next;
         if iteration % 5 == 0 || delta < 1e-7 {
             println!("iteration {iteration:2}: L1 delta {delta:.3e}");

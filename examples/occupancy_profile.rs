@@ -40,15 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg
     };
 
-    let serpens =
-        SerpensEngine::new(record(AcceleratorConfig::serpens())).run(&matrix, &x)?;
+    let serpens = SerpensEngine::new(record(AcceleratorConfig::serpens())).run(&matrix, &x)?;
     let chason = ChasonEngine::new(record(AcceleratorConfig::chason())).run(&matrix, &x)?;
     let total_pes = 128.0;
 
-    println!(
-        "matrix: 4096 x 4096, {} nnz (12 hub rows)\n",
-        matrix.nnz()
-    );
+    println!("matrix: 4096 x 4096, {} nnz (12 hub rows)\n", matrix.nnz());
     for exec in [&serpens, &chason] {
         let p = profile(&exec.occupancy, total_pes, 64);
         let mean = p.iter().sum::<f64>() / p.len() as f64;

@@ -14,7 +14,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A skewed 2048x2048 matrix with 30k non-zeros — the regime where
     // intra-channel scheduling starves PEs.
     let matrix = power_law(2048, 2048, 30_000, 1.7, 42);
-    let x: Vec<f32> = (0..matrix.cols()).map(|i| 1.0 + (i % 10) as f32 * 0.1).collect();
+    let x: Vec<f32> = (0..matrix.cols())
+        .map(|i| 1.0 + (i % 10) as f32 * 0.1)
+        .collect();
 
     // 1. Offline scheduling: PE-aware (Serpens) vs CrHCS (Chasoň).
     let config = SchedulerConfig::paper();
@@ -59,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let err_c = reference::max_relative_error(&chason.y, &reference);
     let err_s = reference::max_relative_error(&serpens.y, &reference);
     println!("max relative error vs reference: chason {err_c:.2e}, serpens {err_s:.2e}");
-    assert!(err_c < 1e-4 && err_s < 1e-4, "engines disagree with the reference");
+    assert!(
+        err_c < 1e-4 && err_s < 1e-4,
+        "engines disagree with the reference"
+    );
     Ok(())
 }

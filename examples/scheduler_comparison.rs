@@ -15,7 +15,12 @@ use chason::sparse::generators::{arrow_with_nnz, banded_with_nnz, power_law, uni
 use chason::sparse::CooMatrix;
 
 fn describe(name: &str, matrix: &CooMatrix, config: &SchedulerConfig) {
-    println!("\n=== {name}: {}x{}, {} nnz ===", matrix.rows(), matrix.cols(), matrix.nnz());
+    println!(
+        "\n=== {name}: {}x{}, {} nnz ===",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz()
+    );
     let row_based = RowBased::new().schedule(matrix, config);
     let pe_aware = PeAware::new().schedule(matrix, config);
     let (crhcs, migration) = Crhcs::new().schedule_with_report(matrix, config);
@@ -32,14 +37,15 @@ fn describe(name: &str, matrix: &CooMatrix, config: &SchedulerConfig) {
     }
     println!(
         "  migration: {} values moved, {} RAW skips, stream {} -> {} cycles",
-        migration.migrated,
-        migration.raw_skips,
-        migration.cycles_before,
-        migration.cycles_after
+        migration.migrated, migration.raw_skips, migration.cycles_before, migration.cycles_after
     );
     // Safety net: the schedules must all be valid.
-    row_based.check_invariants(matrix).expect("row-based invariants");
-    pe_aware.check_invariants(matrix).expect("pe-aware invariants");
+    row_based
+        .check_invariants(matrix)
+        .expect("row-based invariants");
+    pe_aware
+        .check_invariants(matrix)
+        .expect("pe-aware invariants");
     crhcs.check_invariants(matrix).expect("crhcs invariants");
 }
 
@@ -50,10 +56,26 @@ fn main() {
         config.channels, config.pes_per_channel, config.dependency_distance
     );
 
-    describe("balanced (uniform)", &uniform_random(4096, 4096, 60_000, 3), &config);
-    describe("banded (circuit-like)", &banded_with_nnz(4096, 8, 60_000, 3), &config);
-    describe("power-law (social graph)", &power_law(4096, 4096, 60_000, 1.7, 3), &config);
-    describe("arrow (optimal control)", &arrow_with_nnz(4096, 6, 4, 60_000, 3), &config);
+    describe(
+        "balanced (uniform)",
+        &uniform_random(4096, 4096, 60_000, 3),
+        &config,
+    );
+    describe(
+        "banded (circuit-like)",
+        &banded_with_nnz(4096, 8, 60_000, 3),
+        &config,
+    );
+    describe(
+        "power-law (social graph)",
+        &power_law(4096, 4096, 60_000, 1.7, 3),
+        &config,
+    );
+    describe(
+        "arrow (optimal control)",
+        &arrow_with_nnz(4096, 6, 4, 60_000, 3),
+        &config,
+    );
 
     println!(
         "\nTakeaway: the more skewed the row populations, the more stalls the\n\

@@ -27,8 +27,8 @@ fn diagonally_dominant(base: &CooMatrix) -> CooMatrix {
     }
     let mut triplets: Vec<(usize, usize, f32)> =
         base.iter().filter(|&&(r, c, _)| r != c).copied().collect();
-    for r in 0..n {
-        triplets.push((r, r, row_norm[r] + 1.0));
+    for (r, &norm) in row_norm.iter().enumerate() {
+        triplets.push((r, r, norm + 1.0));
     }
     CooMatrix::from_triplets(n, n, triplets).expect("coordinates stay valid")
 }
@@ -55,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = ChasonEngine::new(AcceleratorConfig::chason());
     let mut u = vec![0.0f32; n];
     let mut simulated_time = 0.0f64;
-    let b_norm: f64 = b.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+    let b_norm: f64 = b
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt();
 
     for iteration in 1..=60 {
         let exec = engine.run(&a, &u)?;
@@ -86,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         num.sqrt() / b_norm
     };
     println!("\nfinal CPU-verified relative residual: {final_residual:.3e}");
-    println!("total simulated accelerator time: {:.3} ms", simulated_time * 1e3);
+    println!(
+        "total simulated accelerator time: {:.3} ms",
+        simulated_time * 1e3
+    );
     assert!(final_residual < 1e-4, "Jacobi failed to converge");
     Ok(())
 }

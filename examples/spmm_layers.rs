@@ -30,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for layer in 1..=3 {
         let exec = chason.run_spmm(&adjacency, &h, 0.5, 0.0, &zero)?;
         chason_time += exec.latency_seconds();
-        serpens_time += serpens.run_spmm(&adjacency, &h, 0.5, 0.0, &zero)?.latency_seconds();
+        serpens_time += serpens
+            .run_spmm(&adjacency, &h, 0.5, 0.0, &zero)?
+            .latency_seconds();
 
         // Verify the layer against the dense oracle before proceeding.
         let oracle = reference_spmm(&adjacency, &h, 0.5, 0.0, &zero);

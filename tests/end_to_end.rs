@@ -14,11 +14,17 @@ fn table2_small_matrices_execute_correctly_on_both_engines() {
     let serpens = SerpensEngine::new(AcceleratorConfig::serpens());
     for spec in table2().into_iter().filter(|s| s.nnz < 120_000) {
         let matrix = spec.generate();
-        let x: Vec<f32> = (0..matrix.cols()).map(|i| 0.5 + (i % 5) as f32 * 0.25).collect();
+        let x: Vec<f32> = (0..matrix.cols())
+            .map(|i| 0.5 + (i % 5) as f32 * 0.25)
+            .collect();
         let oracle = reference::spmv(&matrix, &x);
 
-        let ce = chason.run(&matrix, &x).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-        let se = serpens.run(&matrix, &x).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let ce = chason
+            .run(&matrix, &x)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let se = serpens
+            .run(&matrix, &x)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         let err_c = reference::max_relative_error(&ce.y, &oracle);
         let err_s = reference::max_relative_error(&se.y, &oracle);
         assert!(err_c < 1e-3, "{}: chason error {err_c}", spec.name);
@@ -93,7 +99,9 @@ fn crhcs_data_lists_round_trip_the_wire_format() {
 fn multi_window_execution_is_correct() {
     let matrix = chason::sparse::generators::uniform_random(256, 30_000, 20_000, 8);
     let x: Vec<f32> = (0..30_000).map(|i| ((i % 97) as f32) * 0.01).collect();
-    let exec = ChasonEngine::new(AcceleratorConfig::chason()).run(&matrix, &x).unwrap();
+    let exec = ChasonEngine::new(AcceleratorConfig::chason())
+        .run(&matrix, &x)
+        .unwrap();
     assert_eq!(exec.windows, 4);
     let oracle = reference::spmv(&matrix, &x);
     assert!(reference::max_relative_error(&exec.y, &oracle) < 1e-3);
@@ -116,6 +124,8 @@ fn traffic_accounting_is_consistent() {
     let hbm = HbmConfig::alveo_u55c();
     let summary = TrafficSummary::measure(&channels, &hbm);
     // Engine accounting: stream_cycles beats per channel (8 words = 1 beat).
-    let exec = SerpensEngine::new(AcceleratorConfig::serpens()).run(&matrix, &vec![1.0; 2048]).unwrap();
+    let exec = SerpensEngine::new(AcceleratorConfig::serpens())
+        .run(&matrix, &vec![1.0; 2048])
+        .unwrap();
     assert_eq!(summary.bytes, exec.bytes_streamed, "bytes must agree");
 }

@@ -9,7 +9,10 @@ use chason::sparse::generators::{arrow_with_nnz, power_law};
 use chason::sparse::DenseMatrix;
 
 fn hops_config(hops: usize) -> SchedulerConfig {
-    SchedulerConfig { migration_hops: hops, ..SchedulerConfig::paper() }
+    SchedulerConfig {
+        migration_hops: hops,
+        ..SchedulerConfig::paper()
+    }
 }
 
 /// Multi-hop migration preserves every scheduler invariant and keeps
@@ -59,8 +62,12 @@ fn spmm_extension_end_to_end() {
     let c0 = DenseMatrix::from_fn(400, 20, |r, c| ((r ^ c) % 4) as f32);
     let oracle = reference_spmm(&a, &b, 1.25, -0.5, &c0);
 
-    let chason = ChasonEngine::default().run_spmm(&a, &b, 1.25, -0.5, &c0).unwrap();
-    let serpens = SerpensEngine::default().run_spmm(&a, &b, 1.25, -0.5, &c0).unwrap();
+    let chason = ChasonEngine::default()
+        .run_spmm(&a, &b, 1.25, -0.5, &c0)
+        .unwrap();
+    let serpens = SerpensEngine::default()
+        .run_spmm(&a, &b, 1.25, -0.5, &c0)
+        .unwrap();
     assert!(chason.c.max_abs_diff(&oracle) < 1e-2);
     assert!(serpens.c.max_abs_diff(&oracle) < 1e-2);
     assert_eq!(chason.tiles, 3);
@@ -82,9 +89,15 @@ fn partitioned_and_windowed_execution_composes() {
     };
     let matrix = uniform_random(70_000, 20_000, 40_000, 17);
     let x: Vec<f32> = (0..20_000).map(|i| ((i % 13) as f32) * 0.2).collect();
-    let exec = ChasonEngine::new(config).run_partitioned(&matrix, &x).unwrap();
+    let exec = ChasonEngine::new(config)
+        .run_partitioned(&matrix, &x)
+        .unwrap();
     let oracle = reference::spmv(&matrix, &x);
     let err = reference::max_relative_error(&exec.y, &oracle);
     assert!(err < 1e-3, "error {err}");
-    assert!(exec.windows >= 9, "expected >= 3 passes x 3 windows, got {}", exec.windows);
+    assert!(
+        exec.windows >= 9,
+        "expected >= 3 passes x 3 windows, got {}",
+        exec.windows
+    );
 }

@@ -5,7 +5,7 @@
 //! are the fast invariant forms.
 
 use chason::core::metrics::windowed_metrics;
-use chason::core::schedule::{Crhcs, PeAware, Scheduler, SchedulerConfig};
+use chason::core::schedule::{Crhcs, PeAware, SchedulerConfig};
 use chason::sim::power::MeasuredPower;
 use chason::sim::resources::{DeviceCapacity, ResourceConfig, ResourceUsage};
 use chason::sim::{AcceleratorConfig, ChasonEngine, SerpensEngine};
@@ -22,8 +22,7 @@ fn claim_pe_aware_leaves_most_pes_idle() {
         .into_iter()
         .filter(|s| s.nnz <= 60_000)
         .map(|s| {
-            windowed_metrics(&PeAware::new(), &s.generate(), &config, WINDOW)
-                .underutilization_pct()
+            windowed_metrics(&PeAware::new(), &s.generate(), &config, WINDOW).underutilization_pct()
         })
         .collect();
     values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -104,7 +103,10 @@ fn claim_frequency_and_energy() {
     let se = SerpensEngine::default().run(&m, &x).unwrap();
     let ee_c = MeasuredPower::chason().energy_efficiency(ce.throughput_gflops());
     let ee_s = MeasuredPower::serpens().energy_efficiency(se.throughput_gflops());
-    assert!(ee_c > ee_s, "chason {ee_c} GFLOPS/W must beat serpens {ee_s}");
+    assert!(
+        ee_c > ee_s,
+        "chason {ee_c} GFLOPS/W must beat serpens {ee_s}"
+    );
 }
 
 /// "The total number of URAMs is 1024, which is more than the available

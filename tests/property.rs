@@ -25,9 +25,7 @@ fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CooMat
 
 /// Strategy: a valid small scheduler configuration.
 fn config() -> impl Strategy<Value = SchedulerConfig> {
-    (1usize..=4, 1usize..=8, 1usize..=12).prop_map(|(ch, pes, d)| {
-        SchedulerConfig::toy(ch, pes, d)
-    })
+    (1usize..=4, 1usize..=8, 1usize..=12).prop_map(|(ch, pes, d)| SchedulerConfig::toy(ch, pes, d))
 }
 
 proptest! {
@@ -94,6 +92,41 @@ proptest! {
         let serial = csr.spmv(&x);
         prop_assert_eq!(chason::baselines::parallel::spmv_static(&csr, &x, threads), serial.clone());
         prop_assert_eq!(chason::baselines::parallel::spmv_dynamic(&csr, &x, threads, 7), serial);
+    }
+
+    /// Planning then executing reproduces direct execution *bit for bit* —
+    /// result vector, cycle breakdown, traffic, and stall accounting alike —
+    /// for both engine families.
+    #[test]
+    fn planned_execution_is_bit_identical(m in sparse_matrix(48, 200), xs in proptest::collection::vec(-4.0f32..4.0, 48)) {
+        let x: Vec<f32> = (0..m.cols()).map(|i| xs[i % xs.len()]).collect();
+        let chason = ChasonEngine::new(AcceleratorConfig::chason());
+        let direct = chason.run(&m, &x).expect("chason runs");
+        let planned = chason
+            .run_planned(&chason.plan(&m).expect("chason plans"), &x)
+            .expect("chason replays");
+        prop_assert_eq!(direct, planned);
+        let serpens = SerpensEngine::new(AcceleratorConfig::serpens());
+        let direct = serpens.run(&m, &x).expect("serpens runs");
+        let planned = serpens
+            .run_planned(&serpens.plan(&m).expect("serpens plans"), &x)
+            .expect("serpens replays");
+        prop_assert_eq!(direct, planned);
+    }
+
+    /// Parallel window planning produces the same plan as serial planning
+    /// for any thread count: workers own disjoint contiguous window chunks
+    /// and results are reassembled in window order.
+    #[test]
+    fn parallel_planning_matches_serial(m in sparse_matrix(48, 200), threads in 2usize..9) {
+        // A small window width forces several windows even on small inputs.
+        let engine = ChasonEngine::new(AcceleratorConfig {
+            window: 16,
+            ..AcceleratorConfig::chason()
+        });
+        let serial = engine.plan_with_threads(&m, 1).expect("serial plan");
+        let parallel = engine.plan_with_threads(&m, threads).expect("parallel plan");
+        prop_assert_eq!(serial, parallel);
     }
 
     /// Windowing covers every entry exactly once for arbitrary widths.

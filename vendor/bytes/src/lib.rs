@@ -1,0 +1,148 @@
+//! Offline shim of the `bytes` API surface this workspace uses.
+//!
+//! [`BytesMut`] is a growable buffer filled through [`BufMut`] put-calls and
+//! frozen into an immutable, cheaply clonable [`Bytes`]. Unlike upstream
+//! there is no refcounted zero-copy splitting — the HBM channel model only
+//! builds beat-sized buffers and reads them back.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer (shim of `bytes::Bytes`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// The length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v.into())
+    }
+}
+
+/// A mutable, growable byte buffer (shim of `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.buf.into())
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Write access to a byte buffer (shim of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn build_freeze_read_back() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        buf.put_u64_le(u64::MAX);
+        assert_eq!(buf.len(), 16);
+        let bytes = buf.freeze();
+        assert_eq!(&bytes[..8], &[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            u64::MAX
+        );
+        let alias = bytes.clone();
+        assert_eq!(alias.len(), 16);
+        assert_eq!(&*alias, &*bytes);
+    }
+
+    #[test]
+    fn empty_and_from_vec() {
+        assert!(BytesMut::with_capacity(0).is_empty());
+        let b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(b.as_ref(), &[1, 2, 3]);
+        assert!(!b.is_empty());
+    }
+}

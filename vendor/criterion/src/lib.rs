@@ -1,0 +1,219 @@
+//! Offline shim of the `criterion` benchmark API this workspace uses.
+//!
+//! Benchmarks compile and run with the same source as under real criterion,
+//! but measurement is deliberately lightweight: each benchmark warms up
+//! once, then times a short batch of iterations and prints mean time plus
+//! derived throughput. When invoked with `--test` (as `cargo test` does for
+//! `harness = false` targets) every routine runs exactly one iteration so
+//! the suite stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much work one iteration of a benchmark processes; used to report
+/// throughput next to mean time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark name, `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Names a benchmark `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Times closures handed to it by a benchmark routine.
+pub struct Bencher {
+    test_mode: bool,
+    measured: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its mean execution time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up; also the only run in test mode
+        if self.test_mode {
+            self.measured = Duration::ZERO;
+            self.iters = 1;
+            return;
+        }
+        let mut iters = 0u64;
+        let budget = Duration::from_millis(50);
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget || iters >= 1000 {
+                break;
+            }
+        }
+        self.measured = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration used for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for source compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut routine: R,
+    ) {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            measured: Duration::ZERO,
+            iters: 1,
+        };
+        routine(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+    }
+
+    /// Benchmarks `routine` against a borrowed `input` under `id`.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) {
+        self.bench_function(id, |b| routine(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        if self.criterion.test_mode {
+            println!("{}/{}: ok (test mode, 1 iter)", self.name, id);
+            return;
+        }
+        let mean = bencher.measured.as_secs_f64() / bencher.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / mean / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.3} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.3} ms/iter ({} iters){}",
+            self.name,
+            id,
+            mean * 1e3,
+            bencher.iters,
+            rate
+        );
+    }
+}
+
+/// The benchmark harness entry point (shim of `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench targets with `--test`;
+        // libtest-style flags such as `--bench` can also appear.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a benchmark group function (shim of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (shim of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(10);
+        let mut runs = 0;
+        group.bench_function("counted", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with-input", 7), &21, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert_eq!(runs, 1, "test mode runs each routine exactly once");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+    }
+}

@@ -1,0 +1,86 @@
+//! Offline shim of the `crossbeam` scoped-thread API this workspace uses.
+//!
+//! Backed by `std::thread::scope` (stable since 1.63), which provides the
+//! same borrow-stack-data guarantee crossbeam's scoped threads pioneered.
+//! Only `crossbeam::scope` / `Scope::spawn` are provided — the surface the
+//! workspace's parallel SpMV baselines and window planner actually call.
+
+#![deny(unsafe_code)]
+
+pub use thread::scope;
+
+/// Scoped threads (shim of `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The result of [`scope`]: `Err` carries the payload of the first
+    /// panicking child thread, matching crossbeam's contract.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A handle for spawning threads that may borrow from the enclosing
+    /// stack frame (shim of `crossbeam::thread::Scope`).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; it is joined before [`scope`] returns.
+        pub fn spawn<F, T>(self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; all spawned threads are joined before this
+    /// returns. Returns `Err` if `f` or any spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_handle() {
+        let n = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = super::scope(|s| {
+            s.spawn(|_| panic!("boom")).join().unwrap();
+        });
+        assert!(result.is_err());
+    }
+}

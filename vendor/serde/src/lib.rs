@@ -1,0 +1,54 @@
+//! Offline shim of the serde trait facade.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the minimal `serde` surface the workspace compiles against:
+//! `Serialize`/`Deserialize` as *marker* traits plus the derive macros. The
+//! workspace deliberately ships no serde format crate, so nothing ever calls
+//! a serializer — the traits only assert that the public data structures are
+//! plain data a real serde could handle (C-SERDE). Swapping this shim for
+//! the real `serde` is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types whose data can be serialized (shim of `serde::Serialize`).
+pub trait Serialize {}
+
+/// Marker for types whose data can be deserialized for lifetime `'de`
+/// (shim of `serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {}
+
+/// Deserializer-side traits (shim of `serde::de`).
+pub mod de {
+    /// Types deserializable without borrowing from the input
+    /// (shim of `serde::de::DeserializeOwned`).
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+extern crate self as serde; // lets the derive's `::serde::` paths resolve in our own tests
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Plain {
+        _a: u32,
+    }
+
+    #[derive(super::Serialize, super::Deserialize)]
+    enum Either {
+        _Left(f64),
+        _Right { _b: Vec<u8> },
+    }
+
+    fn assert_serde<T: super::Serialize + super::de::DeserializeOwned>() {}
+
+    #[test]
+    fn derives_produce_marker_impls() {
+        assert_serde::<Plain>();
+        assert_serde::<Either>();
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline shim of `serde_derive`.
+//!
+//! The workspace deliberately carries no serde *format* crate: types only
+//! need to *implement* the `Serialize`/`Deserialize` marker traits of the
+//! vendored `serde` facade so downstream users can plug in a real serde at
+//! integration time. The derives therefore emit empty marker impls. No
+//! `syn`/`quote` dependency: the input item header is parsed by hand.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts the type name and raw generic parameter tokens from a
+/// `struct`/`enum`/`union` item.
+fn parse_item(input: TokenStream) -> (String, Vec<TokenTree>) {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            // Skip outer attributes: `#` followed by a bracketed group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "pub" {
+                    // Skip a possible `pub(...)` restriction.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = iter.next();
+                        }
+                    }
+                } else if matches!(word.as_str(), "struct" | "enum" | "union") {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => panic!("serde shim: expected a type name, found {other:?}"),
+                    };
+                    let mut generics = Vec::new();
+                    if let Some(TokenTree::Punct(p)) = iter.peek() {
+                        if p.as_char() == '<' {
+                            let mut depth = 0usize;
+                            for tt in iter.by_ref() {
+                                if let TokenTree::Punct(ref q) = tt {
+                                    match q.as_char() {
+                                        '<' => depth += 1,
+                                        '>' => depth -= 1,
+                                        _ => {}
+                                    }
+                                }
+                                generics.push(tt);
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    return (name, generics);
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde shim: no struct/enum item found in derive input"),
+        }
+    }
+}
+
+/// Splits the raw generic tokens into parameter names (`'a`, `T`, ...)
+/// without bounds or defaults. Only simple parameter lists are supported —
+/// enough for this workspace, which derives serde on non-generic types.
+fn generic_params(generics: &[TokenTree]) -> Vec<String> {
+    // Drop the surrounding `<` `>`.
+    let inner = &generics[1..generics.len().saturating_sub(1)];
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut expect_param = true;
+    let mut pending_lifetime = false;
+    for tt in inner {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => expect_param = true,
+                '\'' if depth == 0 && expect_param => pending_lifetime = true,
+                ':' if depth == 0 => expect_param = false,
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 0 && expect_param => {
+                if pending_lifetime {
+                    params.push(format!("'{id}"));
+                    pending_lifetime = false;
+                } else if id.to_string() != "const" {
+                    params.push(id.to_string());
+                }
+                expect_param = false;
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+fn marker_impl(input: TokenStream, deserialize: bool) -> TokenStream {
+    let (name, generics) = parse_item(input);
+    let params = if generics.is_empty() {
+        Vec::new()
+    } else {
+        generic_params(&generics)
+    };
+    let ty_args = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let code = if deserialize {
+        let mut impl_params = vec!["'de".to_string()];
+        impl_params.extend(params.iter().cloned());
+        format!(
+            "impl<{}> ::serde::Deserialize<'de> for {name}{ty_args} {{}}",
+            impl_params.join(", ")
+        )
+    } else if params.is_empty() {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    } else {
+        format!(
+            "impl<{}> ::serde::Serialize for {name}{ty_args} {{}}",
+            params.join(", ")
+        )
+    };
+    code.parse().expect("serde shim: generated impl parses")
+}
+
+/// Derives the `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, false)
+}
+
+/// Derives the `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, true)
+}
