@@ -111,8 +111,7 @@ pub fn run() -> Fig02Result {
     ];
     for (name, schedule) in schedulers {
         let s = schedule();
-        s.check_invariants(&matrix)
-            .expect("scheduler invariants hold");
+        s.validate(&matrix).expect("scheduler invariants hold");
         let (pe0_timeline, pe0_nz_per_cycle, pe0_underutilization_pct) = pe0_timeline(&s);
         schemes.push(SchemeResult {
             name: name.to_string(),

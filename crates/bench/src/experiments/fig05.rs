@@ -60,11 +60,9 @@ pub fn run() -> Fig05Result {
     let config = config();
     let matrix = example_matrix();
     let before = PeAware::new().schedule(&matrix, &config);
-    before
-        .check_invariants(&matrix)
-        .expect("pe-aware invariants");
+    before.validate(&matrix).expect("pe-aware invariants");
     let (after, report) = Crhcs::new().schedule_with_report(&matrix, &config);
-    after.check_invariants(&matrix).expect("crhcs invariants");
+    after.validate(&matrix).expect("crhcs invariants");
     Fig05Result {
         cycles_before: before.stream_cycles(),
         stalls_before: before.stalls(),

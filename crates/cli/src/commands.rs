@@ -14,6 +14,7 @@ use chason_sparse::generators::{arrow_with_nnz, banded_with_nnz, power_law, unif
 use chason_sparse::market::{read_matrix_market, write_matrix_market};
 use chason_sparse::stats::row_stats;
 use chason_sparse::CooMatrix;
+use chason_verify::mutate::Corruption;
 use std::fs::File;
 use std::io::BufWriter;
 
@@ -358,6 +359,72 @@ pub fn inspect(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `chason verify <matrix.mtx>` — schedule every column window and run the
+/// `chason-verify` static checker over each, printing a `rustc`-style
+/// report of **all** rule violations (S001–S006, P001, R001).
+///
+/// `--corrupt KIND` applies one targeted corruption from the mutation
+/// library to window 0 before checking — a self-demonstration that the
+/// analyzer catches that class of bug. Exits non-zero when any
+/// error-severity diagnostic is found.
+pub fn verify(args: &Args) -> Result<(), String> {
+    let matrix = load_matrix(args)?;
+    let config = scheduler_config(args)?;
+    let name = args.get("scheduler").unwrap_or("crhcs").to_string();
+    let scheduler: Box<dyn Scheduler> = match name.as_str() {
+        "crhcs" => Box::new(Crhcs::new()),
+        "pe-aware" => Box::new(PeAware::new()),
+        "row-based" => Box::new(RowBased::new()),
+        other => return Err(format!("unknown scheduler '{other}'")),
+    };
+    let corruption = match args.get("corrupt") {
+        None => None,
+        Some(kind) => Some(Corruption::from_name(kind).ok_or_else(|| {
+            let known: Vec<&str> = Corruption::ALL.iter().map(|c| c.name()).collect();
+            format!("unknown corruption '{kind}' (one of: {})", known.join(", "))
+        })?),
+    };
+    let windows = chason_core::window::partition_paper_windows(&matrix);
+    let mut combined = chason_verify::Report::new();
+    for w in &windows {
+        let mut schedule = scheduler.schedule(&w.matrix, &config);
+        if w.index == 0 {
+            if let Some(c) = corruption {
+                if !c.apply(&mut schedule) {
+                    return Err(format!(
+                        "corruption '{}' found no site in window 0",
+                        c.name()
+                    ));
+                }
+                println!(
+                    "applied corruption '{}' to window 0 (targets rule {})\n",
+                    c.name(),
+                    c.expected_rule()
+                );
+            }
+        }
+        combined.merge_window(
+            chason_verify::verify_schedule(&schedule, Some(&w.matrix)),
+            w.index,
+        );
+    }
+    combined.sort();
+    println!(
+        "verified {} window(s) of {} under {} ({} channels x {} PEs)\n",
+        windows.len(),
+        args.positional.first().map_or("<matrix>", String::as_str),
+        name,
+        config.channels,
+        config.pes_per_channel
+    );
+    println!("{combined}");
+    if combined.has_errors() {
+        Err(combined.summary())
+    } else {
+        Ok(())
+    }
+}
+
 /// `chason catalog` — the Table 2 evaluation matrices.
 pub fn catalog() -> Result<(), String> {
     println!(
@@ -434,6 +501,39 @@ mod tests {
     #[test]
     fn catalog_prints() {
         catalog().unwrap();
+    }
+
+    #[test]
+    fn verify_passes_on_honest_schedules() {
+        let path = write_temp_matrix();
+        verify(&args(&format!("verify {}", path.display()))).unwrap();
+        verify(&args(&format!(
+            "verify {} --scheduler pe-aware --channels 4 --pes 4",
+            path.display()
+        )))
+        .unwrap();
+    }
+
+    #[test]
+    fn verify_reports_injected_corruptions() {
+        let path = write_temp_matrix();
+        let err = verify(&args(&format!("verify {} --corrupt drop", path.display()))).unwrap_err();
+        assert!(err.contains("S002"), "{err}");
+        let err = verify(&args(&format!(
+            "verify {} --corrupt tag-flip --scheduler pe-aware",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("S005"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_bad_flags() {
+        let path = write_temp_matrix();
+        let err = verify(&args(&format!("verify {} --corrupt bogus", path.display()))).unwrap_err();
+        assert!(err.contains("unknown corruption"), "{err}");
+        assert!(err.contains("zero-value"), "{err}");
+        assert!(verify(&args(&format!("verify {} --scheduler foo", path.display()))).is_err());
     }
 
     #[test]

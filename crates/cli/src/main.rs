@@ -30,6 +30,10 @@ USAGE:
                                [--max-iterations N] [--tolerance T]
   chason export <matrix.mtx> <out.chsn>   # offline CrHCS -> binary artifact
   chason inspect <file.chsn>
+  chason verify <matrix.mtx>   [--scheduler crhcs|pe-aware|row-based]
+                               [--channels N] [--pes N] [--distance D] [--hops H]
+                               [--corrupt KIND]   # static rule checker (S001-S006,
+                               P001, R001); exits non-zero on violations
   chason generate <recipe> <out.mtx> --n N --nnz NNZ
                                [--alpha A] [--bandwidth W] [--dense-rows D] [--seed S]
                                (recipes: uniform, powerlaw, banded, arrow)
@@ -53,6 +57,7 @@ fn main() -> ExitCode {
         "solve" => commands::solve(&args),
         "export" => commands::export(&args),
         "inspect" => commands::inspect(&args),
+        "verify" => commands::verify(&args),
         "generate" => commands::generate(&args),
         "catalog" => commands::catalog(),
         "help" | "--help" => {

@@ -243,6 +243,50 @@ mod tests {
     }
 
     #[test]
+    fn max_fields_round_trip_for_a_migrated_element() {
+        // Every metadata field saturated with pvt = 0: row 32767, PE_src 7,
+        // col 8191 — the word's metadata half is all-ones except bit 16.
+        let e = SparseElement {
+            value: -2.5,
+            local_row: (MAX_LOCAL_ROWS - 1) as u16,
+            pvt: false,
+            pe_src: 7,
+            local_col: (WINDOW - 1) as u16,
+        };
+        let word = e.pack();
+        assert_eq!(word & 0xFFFF_FFFF, 0xFFFE_FFFF);
+        assert_eq!(SparseElement::unpack(word), Some(e));
+    }
+
+    #[test]
+    fn pvt_zero_with_max_pe_src_keeps_its_tags() {
+        let e = SparseElement::migrated(1.0, 0, 7, 0);
+        let back = SparseElement::unpack(e.pack()).unwrap();
+        assert!(!back.pvt);
+        assert_eq!(back.pe_src, 7);
+    }
+
+    #[test]
+    fn metadata_only_words_are_not_stalls() {
+        // A word whose value bits are zero but whose metadata is not (a
+        // corrupted +0.0 payload) must NOT read back as a stall — only the
+        // all-zero word is reserved. This is why the schedule-level checker
+        // (rule S001) rejects +0.0 values before packing.
+        let word = 1u64; // col = 1, value bits = 0
+        assert!(!SparseElement::is_stall(word));
+        let back = SparseElement::unpack(word).unwrap();
+        assert_eq!(back.value.to_bits(), 0);
+        assert_eq!(back.local_col, 1);
+    }
+
+    #[test]
+    fn subnormal_values_round_trip_bit_exactly() {
+        let e = SparseElement::private(f32::from_bits(1), 7, 3);
+        let back = SparseElement::unpack(e.pack()).unwrap();
+        assert_eq!(back.value.to_bits(), 1);
+    }
+
+    #[test]
     fn distinct_fields_map_to_distinct_words() {
         let base = SparseElement::private(1.0, 5, 9);
         let words = [

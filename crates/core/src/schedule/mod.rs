@@ -15,6 +15,7 @@ pub use pe_aware::PeAware;
 pub use row_based::RowBased;
 pub use row_split::HybridRowSplit;
 
+use crate::diag::{Location, RuleId, ScheduleError};
 use crate::element::{self, SparseElement};
 use chason_sparse::CooMatrix;
 use serde::{Deserialize, Serialize};
@@ -356,55 +357,98 @@ impl ScheduledMatrix {
         }
     }
 
-    /// Checks the structural invariants every scheduler must uphold; returns
-    /// a description of the first violation, if any.
+    /// Checks the structural invariants every scheduler must uphold,
+    /// returning the first violation as a typed [`ScheduleError`] carrying a
+    /// stable [`RuleId`]:
     ///
-    /// * every source non-zero appears exactly once;
-    /// * two slots of the same row never land in the same destination PE
-    ///   within the RAW dependency distance.
-    pub fn check_invariants(&self, source: &CooMatrix) -> Result<(), String> {
+    /// * **S002** — every source non-zero appears exactly once (duplicates
+    ///   are reported even when the two copies live in *different* channels
+    ///   with identical values);
+    /// * **S003** — two slots of the same row never land in the same
+    ///   destination PE within the RAW dependency distance.
+    ///
+    /// This is the fast first-error check schedulers assert against. The
+    /// `chason-verify` crate runs the full rule set (S001–S006) and collects
+    /// *all* violations instead of stopping at the first.
+    pub fn validate(&self, source: &CooMatrix) -> Result<(), ScheduleError> {
         use std::collections::HashMap;
-        // Conservation.
-        let mut scheduled: HashMap<(usize, usize), f32> = HashMap::new();
+        // Conservation (S002). Key on (row, col) but remember where the
+        // first copy was scheduled, so a duplicate — even one carrying the
+        // identical value in another channel's lane — is reported with both
+        // locations instead of silently colliding in the map.
+        let mut scheduled: HashMap<(usize, usize), (f32, Location)> = HashMap::new();
         for ch in &self.channels {
-            for cycle in &ch.grid {
-                for slot in cycle.iter().flatten() {
-                    if scheduled.insert((slot.row, slot.col), slot.value).is_some() {
-                        return Err(format!(
-                            "entry ({}, {}) scheduled more than once",
-                            slot.row, slot.col
+            for (cycle, slots) in ch.grid.iter().enumerate() {
+                for (lane, slot) in slots.iter().enumerate() {
+                    let Some(nz) = slot else { continue };
+                    let here = Location::slot(ch.channel, cycle, lane);
+                    if let Some((prev_value, prev_loc)) =
+                        scheduled.insert((nz.row, nz.col), (nz.value, here))
+                    {
+                        let same = if prev_value == nz.value {
+                            " with an identical value"
+                        } else {
+                            ""
+                        };
+                        return Err(ScheduleError::new(
+                            RuleId::S002,
+                            here,
+                            format!(
+                                "entry ({}, {}) scheduled more than once{same}: first at {prev_loc}",
+                                nz.row, nz.col
+                            ),
                         ));
                     }
                 }
             }
         }
         if scheduled.len() != source.nnz() {
-            return Err(format!(
-                "scheduled {} of {} source non-zeros",
-                scheduled.len(),
-                source.nnz()
+            return Err(ScheduleError::new(
+                RuleId::S002,
+                Location::whole_artifact(),
+                format!(
+                    "scheduled {} of {} source non-zeros",
+                    scheduled.len(),
+                    source.nnz()
+                ),
             ));
         }
         for &(r, c, v) in source.iter() {
             match scheduled.get(&(r, c)) {
-                Some(&sv) if sv == v => {}
-                Some(&sv) => return Err(format!("entry ({r}, {c}) value {sv} != source {v}")),
-                None => return Err(format!("entry ({r}, {c}) missing from schedule")),
+                Some(&(sv, _)) if sv == v => {}
+                Some(&(sv, loc)) => {
+                    return Err(ScheduleError::new(
+                        RuleId::S002,
+                        loc,
+                        format!("entry ({r}, {c}) value {sv} != source {v}"),
+                    ))
+                }
+                None => {
+                    return Err(ScheduleError::new(
+                        RuleId::S002,
+                        Location::whole_artifact(),
+                        format!("entry ({r}, {c}) missing from schedule"),
+                    ))
+                }
             }
         }
-        // RAW distance within each destination PE.
+        // RAW distance within each destination PE (S003).
         let d = self.config.dependency_distance;
         for ch in &self.channels {
             let pes = ch.grid.first().map_or(0, Vec::len);
             for lane in 0..pes {
                 let mut last: HashMap<usize, usize> = HashMap::new();
                 for (cycle, slots) in ch.grid.iter().enumerate() {
-                    if let Some(slot) = slots[lane] {
+                    if let Some(slot) = slots.get(lane).copied().flatten() {
                         if let Some(&prev) = last.get(&slot.row) {
                             if cycle - prev < d {
-                                return Err(format!(
-                                    "RAW violation: row {} at cycles {} and {} in channel {} lane {} (distance {})",
-                                    slot.row, prev, cycle, ch.channel, lane, d
+                                return Err(ScheduleError::new(
+                                    RuleId::S003,
+                                    Location::slot(ch.channel, cycle, lane),
+                                    format!(
+                                        "RAW violation: row {} at cycles {} and {} (distance {})",
+                                        slot.row, prev, cycle, d
+                                    ),
                                 ));
                             }
                         }
@@ -415,13 +459,23 @@ impl ScheduledMatrix {
         }
         Ok(())
     }
+
+    /// The pre-`chason-verify` string-typed checker.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `validate` for a typed first error, or `chason_verify::verify_schedule` \
+                for the full collect-everything rule set"
+    )]
+    pub fn check_invariants(&self, source: &CooMatrix) -> Result<(), String> {
+        self.validate(source).map_err(|e| e.to_string())
+    }
 }
 
 /// A non-zero scheduling policy.
 ///
 /// Implementations must conserve non-zeros and respect the RAW dependency
 /// distance within every destination PE — see
-/// [`ScheduledMatrix::check_invariants`].
+/// [`ScheduledMatrix::validate`].
 pub trait Scheduler {
     /// Human-readable name used in reports.
     fn name(&self) -> &'static str;
@@ -571,7 +625,7 @@ mod tests {
     }
 
     #[test]
-    fn check_invariants_detects_missing_entry() {
+    fn validate_detects_missing_entry() {
         let cfg = SchedulerConfig::toy(1, 1, 2);
         let m = chason_sparse::CooMatrix::from_triplets(1, 1, vec![(0, 0, 1.0)]).unwrap();
         let s = ScheduledMatrix {
@@ -581,11 +635,12 @@ mod tests {
             cols: 1,
             nnz: 1,
         };
-        assert!(s.check_invariants(&m).is_err());
+        let err = s.validate(&m).unwrap_err();
+        assert_eq!(err.rule, RuleId::S002);
     }
 
     #[test]
-    fn check_invariants_detects_raw_violation() {
+    fn validate_detects_raw_violation_with_typed_rule() {
         let cfg = SchedulerConfig::toy(1, 1, 5);
         let m =
             chason_sparse::CooMatrix::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 2.0)]).unwrap();
@@ -599,7 +654,61 @@ mod tests {
             cols: 2,
             nnz: 2,
         };
+        let err = s.validate(&m).unwrap_err();
+        assert_eq!(err.rule, RuleId::S003, "unexpected error: {err}");
+        assert_eq!(err.location, Location::slot(0, 1, 0));
+    }
+
+    /// A value duplicated into *another channel* with the identical payload
+    /// must still be flagged — the old checker's `(row, col)`-keyed map is
+    /// retained but the error now names both scheduled locations.
+    #[test]
+    fn validate_detects_identical_duplicate_across_channels() {
+        let cfg = SchedulerConfig::toy(2, 1, 2);
+        // Row 0 is owned by channel 0; duplicate its sole entry into
+        // channel 1 as a (tag-consistent-looking) migrated copy.
+        let m = chason_sparse::CooMatrix::from_triplets(1, 1, vec![(0, 0, 3.5)]).unwrap();
+        let mut ch0 = ChannelSchedule::new(0, 1);
+        ch0.grid.push(vec![Some(NzSlot::private(3.5, 0, 0))]);
+        let mut ch1 = ChannelSchedule::new(1, 1);
+        ch1.grid.push(vec![Some(NzSlot {
+            value: 3.5,
+            row: 0,
+            col: 0,
+            pvt: false,
+            pe_src: 0,
+        })]);
+        let s = ScheduledMatrix {
+            config: cfg,
+            channels: vec![ch0, ch1],
+            rows: 1,
+            cols: 1,
+            nnz: 1,
+        };
+        let err = s.validate(&m).unwrap_err();
+        assert_eq!(err.rule, RuleId::S002);
+        assert!(
+            err.message.contains("identical value"),
+            "unexpected message: {}",
+            err.message
+        );
+        assert!(err.message.contains("channel 0"), "{}", err.message);
+        assert_eq!(err.location.channel, Some(1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_check_invariants_shim_still_reports_strings() {
+        let cfg = SchedulerConfig::toy(1, 1, 2);
+        let m = chason_sparse::CooMatrix::from_triplets(1, 1, vec![(0, 0, 1.0)]).unwrap();
+        let s = ScheduledMatrix {
+            config: cfg,
+            channels: vec![ChannelSchedule::new(0, 1)],
+            rows: 1,
+            cols: 1,
+            nnz: 1,
+        };
         let err = s.check_invariants(&m).unwrap_err();
-        assert!(err.contains("RAW"), "unexpected error: {err}");
+        assert!(err.contains("S002"), "shim keeps the rule code: {err}");
     }
 }

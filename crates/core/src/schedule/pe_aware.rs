@@ -137,7 +137,7 @@ mod tests {
         assert_eq!(lane0[1], (1, 4));
         assert_eq!(lane0[2], (10, 0));
         assert_eq!(lane0[3], (11, 4));
-        s.check_invariants(&m).unwrap();
+        s.validate(&m).unwrap();
     }
 
     #[test]
@@ -147,7 +147,7 @@ mod tests {
             CooMatrix::from_triplets(1, 3, vec![(0, 0, 1.0), (0, 1, 2.0), (0, 2, 3.0)]).unwrap();
         let s = PeAware::new().schedule(&m, &config);
         assert_eq!(s.stream_cycles(), 21);
-        s.check_invariants(&m).unwrap();
+        s.validate(&m).unwrap();
     }
 
     #[test]
@@ -159,7 +159,7 @@ mod tests {
         let s = PeAware::new().schedule(&m, &config);
         assert_eq!(s.stream_cycles(), 10);
         assert_eq!(s.stalls(), 0);
-        s.check_invariants(&m).unwrap();
+        s.validate(&m).unwrap();
     }
 
     #[test]
@@ -169,7 +169,7 @@ mod tests {
         let s = PeAware::new().schedule(&m, &config);
         assert_eq!(s.scheduled_nonzeros(), 300);
         assert!(s.stream_cycles() * config.total_pes() >= 300);
-        s.check_invariants(&m).unwrap();
+        s.validate(&m).unwrap();
     }
 
     #[test]
@@ -182,7 +182,7 @@ mod tests {
             "expected heavy stalling on a skewed matrix, got {}",
             s.underutilization()
         );
-        s.check_invariants(&m).unwrap();
+        s.validate(&m).unwrap();
     }
 
     #[test]

@@ -89,7 +89,7 @@ mod tests {
         // 3 values with two 9-stall gaps: 21 cycles.
         assert_eq!(s.stream_cycles(), 21);
         assert_eq!(s.stalls(), 18);
-        s.check_invariants(&m).unwrap();
+        s.validate(&m).unwrap();
     }
 
     #[test]
@@ -107,7 +107,7 @@ mod tests {
             .filter_map(|(c, slots)| slots[0].map(|_| c))
             .collect();
         assert_eq!(lane0, vec![0, 10, 11]);
-        s.check_invariants(&m).unwrap();
+        s.validate(&m).unwrap();
     }
 
     #[test]
@@ -123,7 +123,7 @@ mod tests {
         let s = RowBased::new().schedule(&m, &config);
         // Lane 0 owns rows 0,2,4 (3 values), lane 1 owns row 1 (1 value).
         assert_eq!(s.stream_cycles(), 3);
-        s.check_invariants(&m).unwrap();
+        s.validate(&m).unwrap();
     }
 
     #[test]
@@ -133,7 +133,7 @@ mod tests {
         let s = RowBased::new().schedule(&m, &config);
         assert_eq!(s.stream_cycles(), 0);
         assert_eq!(s.underutilization(), 0.0);
-        s.check_invariants(&m).unwrap();
+        s.validate(&m).unwrap();
     }
 
     #[test]
@@ -154,7 +154,7 @@ mod tests {
         // Padded data lists materialize the synchronized-finish rule.
         let lists = s.data_lists_padded();
         assert_eq!(lists[0].len(), lists[1].len());
-        s.check_invariants(&m).unwrap();
+        s.validate(&m).unwrap();
     }
 
     #[test]

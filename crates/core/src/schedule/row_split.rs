@@ -136,7 +136,7 @@ mod tests {
         let m = arrow_with_nnz(256, 3, 2, 3_000, 7);
         let s = HybridRowSplit::auto(&m, &config).schedule(&m, &config);
         assert_eq!(s.scheduled_nonzeros(), 3_000);
-        s.check_invariants(&m).unwrap();
+        s.validate(&m).unwrap();
     }
 
     #[test]
@@ -147,7 +147,7 @@ mod tests {
         let m = CooMatrix::from_triplets(8, 400, t).unwrap();
         let pe_aware = PeAware::new().schedule(&m, &config);
         let split = HybridRowSplit::new(16).schedule(&m, &config);
-        split.check_invariants(&m).unwrap();
+        split.validate(&m).unwrap();
         assert!(
             split.stream_cycles() < pe_aware.stream_cycles() / 2,
             "split {} vs pe-aware {}",
@@ -164,7 +164,7 @@ mod tests {
         let m = arrow_with_nnz(2048, 3, 8, 40_000, 3);
         let split = HybridRowSplit::auto(&m, &config).schedule(&m, &config);
         let crhcs = Crhcs::new().schedule(&m, &config);
-        split.check_invariants(&m).unwrap();
+        split.validate(&m).unwrap();
         assert!(
             crhcs.underutilization() < split.underutilization(),
             "crhcs {} should beat row-splitting {} on cross-channel imbalance",

@@ -67,6 +67,9 @@ pub fn partition_columns(matrix: &CooMatrix, window: usize) -> Vec<ColumnWindow>
     while start < cols {
         let end = (start + window).min(cols);
         let triplets = csc.column_window(start, end);
+        // `column_window` rebases columns into `0..end-start` and keeps rows
+        // untouched, so the triplets cannot be out of range.
+        #[allow(clippy::expect_used)] // xtask: invariant documented above
         let m = CooMatrix::from_triplets(matrix.rows(), end - start, triplets)
             .expect("window triplets are in range by construction");
         windows.push(ColumnWindow {
@@ -162,6 +165,9 @@ pub fn partition_rows_capacity(
         .map(|(index, triplets)| {
             let row_start = index * span;
             let row_end = ((index + 1) * span).min(rows);
+            // Rows were rebased by a multiple of the span, so every triplet
+            // fits `0..row_end-row_start` by construction.
+            #[allow(clippy::expect_used)] // xtask: invariant documented above
             let m = CooMatrix::from_triplets(row_end - row_start, matrix.cols(), triplets)
                 .expect("partition triplets are in range by construction");
             RowPartition {

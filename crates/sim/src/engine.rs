@@ -52,17 +52,24 @@ pub(crate) fn plan_pass<S: Scheduler + Sync>(
         windows.iter().map(plan_one).collect()
     } else {
         let chunk = windows.len().div_ceil(threads);
-        let chunks: Vec<Vec<PlanWindow>> = crossbeam::scope(|scope| {
+        let chunks = crossbeam::scope(|scope| {
             let handles: Vec<_> = windows
                 .chunks(chunk)
                 .map(|ws| scope.spawn(move |_| ws.iter().map(plan_one).collect::<Vec<_>>()))
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("window planner threads do not panic"))
+                .map(|h| {
+                    // A panic in a worker can only come from a scheduler bug;
+                    // propagating it (rather than discarding the plan) is the
+                    // correct surface for that failure.
+                    #[allow(clippy::expect_used)] // xtask: propagates worker panics
+                    h.join().expect("window planner threads do not panic")
+                })
                 .collect()
-        })
-        .expect("window planner scope does not panic");
+        });
+        #[allow(clippy::expect_used)] // xtask: scope only errs if a child panicked
+        let chunks: Vec<Vec<PlanWindow>> = chunks.expect("window planner scope does not panic");
         chunks.into_iter().flatten().collect()
     };
 
@@ -76,6 +83,11 @@ pub(crate) fn plan_pass<S: Scheduler + Sync>(
 
 /// Executes one planned pass against `x`, replaying each window's stored
 /// schedule on the PEG models and charging the cycle/traffic accounting.
+///
+/// In debug builds (and under the `strict-verify` feature) the pass is
+/// first run through the `chason-verify` static checker; a pass with rule
+/// violations is rejected with [`SimError::InvalidSchedule`] instead of
+/// executing and producing silently wrong numbers.
 pub(crate) fn execute_pass(
     engine: &'static str,
     config: &AcceleratorConfig,
@@ -95,6 +107,13 @@ pub(crate) fn execute_pass(
             got: x.len(),
             expected: cols,
         });
+    }
+    #[cfg(any(debug_assertions, feature = "strict-verify"))]
+    {
+        let report = chason_verify::verify_pass(pass, &config.sched, config.window);
+        if report.has_errors() {
+            return Err(SimError::InvalidSchedule(report.to_string()));
+        }
     }
     let sched = &config.sched;
     let rows = pass.rows();

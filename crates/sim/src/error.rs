@@ -28,6 +28,10 @@ pub enum SimError {
     /// A schedule plan was handed to an engine whose configuration (or
     /// family) differs from the one that produced it.
     PlanMismatch(String),
+    /// The pre-execution static checker (`chason-verify`, run in debug
+    /// builds and under the `strict-verify` feature) found rule violations
+    /// in the pass about to execute. Carries the rendered diagnostic report.
+    InvalidSchedule(String),
 }
 
 impl fmt::Display for SimError {
@@ -43,6 +47,9 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig(msg) => write!(f, "invalid accelerator config: {msg}"),
             SimError::RoutingViolation(msg) => write!(f, "routing violation: {msg}"),
             SimError::PlanMismatch(msg) => write!(f, "plan mismatch: {msg}"),
+            SimError::InvalidSchedule(report) => {
+                write!(f, "schedule failed verification:\n{report}")
+            }
         }
     }
 }

@@ -131,10 +131,15 @@ macro_rules! impl_planning {
                         execute_pass($name, config, scug, $has_reduction, pass, plan.cols, x)
                     })
                     .collect::<Result<Vec<_>, _>>()?;
-                if parts.len() == 1 {
-                    Ok(parts.pop().expect("one pass"))
-                } else {
-                    Ok(combine($name, parts, plan.cols))
+                match parts.pop() {
+                    Some(single) if parts.is_empty() => Ok(single),
+                    Some(last) => {
+                        parts.push(last);
+                        Ok(combine($name, parts, plan.cols))
+                    }
+                    None => Err(SimError::PlanMismatch(
+                        "plan contains no passes".to_string(),
+                    )),
                 }
             }
         }
@@ -224,6 +229,26 @@ mod tests {
         assert_eq!(plan.nnz, 5_000);
         let exec = engine.run_planned(&plan, &vec![1.0; 20_000]).unwrap();
         assert_eq!(plan.stalls(), exec.stalls);
+    }
+
+    /// Debug builds (and `strict-verify` release builds) run the static
+    /// checker before executing a pass; a corrupted schedule is rejected
+    /// with the rendered diagnostic report instead of mis-executing.
+    #[test]
+    #[cfg(any(debug_assertions, feature = "strict-verify"))]
+    fn corrupted_plan_is_rejected_before_execution() {
+        let m = uniform_random(64, 64, 300, 1);
+        let engine = ChasonEngine::default();
+        let mut plan = engine.plan(&m).unwrap();
+        let schedule = &mut plan.passes[0].windows[0].schedule;
+        assert!(chason_verify::mutate::Corruption::TagFlip.apply(schedule));
+        match engine.run_planned(&plan, &vec![1.0; 64]) {
+            Err(SimError::InvalidSchedule(report)) => {
+                assert!(report.contains("S005"), "{report}");
+                assert!(report.contains("verification failed"), "{report}");
+            }
+            other => panic!("expected InvalidSchedule, got {other:?}"),
+        }
     }
 
     #[test]

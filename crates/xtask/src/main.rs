@@ -1,0 +1,49 @@
+//! `cargo xtask` — workspace automation, pure `std`.
+//!
+//! ```text
+//! cargo xtask lint   # source-hygiene rules L001-L003; exits 1 on findings
+//! ```
+
+mod lint;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cargo xtask — workspace automation
+
+USAGE:
+  cargo xtask lint   # L001 un-annotated unwrap/expect (chason-core, chason-sim)
+                     # L002 todo!/unimplemented! stubs (workspace-wide)
+                     # L003 undocumented pub items (chason-core)";
+
+fn main() -> ExitCode {
+    let task = std::env::args().nth(1).unwrap_or_default();
+    match task.as_str() {
+        "lint" => {
+            let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .and_then(Path::parent)
+                .unwrap_or_else(|| Path::new("."));
+            let violations = lint::run(root);
+            for v in &violations {
+                println!("{v}\n");
+            }
+            if violations.is_empty() {
+                println!("xtask lint: workspace clean (L001, L002, L003)");
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        "help" | "--help" | "" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown task '{other}'\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

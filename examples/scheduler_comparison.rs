@@ -40,13 +40,9 @@ fn describe(name: &str, matrix: &CooMatrix, config: &SchedulerConfig) {
         migration.migrated, migration.raw_skips, migration.cycles_before, migration.cycles_after
     );
     // Safety net: the schedules must all be valid.
-    row_based
-        .check_invariants(matrix)
-        .expect("row-based invariants");
-    pe_aware
-        .check_invariants(matrix)
-        .expect("pe-aware invariants");
-    crhcs.check_invariants(matrix).expect("crhcs invariants");
+    row_based.validate(matrix).expect("row-based invariants");
+    pe_aware.validate(matrix).expect("pe-aware invariants");
+    crhcs.validate(matrix).expect("crhcs invariants");
 }
 
 fn main() {

@@ -59,10 +59,10 @@ fn corpus_sample_upholds_scheduler_invariants() {
             continue;
         }
         let s = PeAware::new().schedule(&matrix, &config);
-        s.check_invariants(&matrix)
+        s.validate(&matrix)
             .unwrap_or_else(|e| panic!("pe-aware on corpus {}: {e}", spec.index));
         let c = Crhcs::new().schedule(&matrix, &config);
-        c.check_invariants(&matrix)
+        c.validate(&matrix)
             .unwrap_or_else(|e| panic!("crhcs on corpus {}: {e}", spec.index));
     }
 }

@@ -25,7 +25,7 @@ fn multi_hop_scheduling_is_sound_and_monotone() {
     for hops in 1..=3 {
         let config = hops_config(hops);
         let s = Crhcs::new().schedule(&matrix, &config);
-        s.check_invariants(&matrix)
+        s.validate(&matrix)
             .unwrap_or_else(|e| panic!("hops = {hops}: {e}"));
         let u = s.underutilization();
         assert!(u <= prev + 1e-12, "hops {hops} regressed: {u} > {prev}");
