@@ -425,6 +425,74 @@ pub fn verify(args: &Args) -> Result<(), String> {
     }
 }
 
+/// `chason conformance` — the differential cross-engine harness plus the
+/// deterministic schedule fuzzer.
+pub fn conformance(args: &Args) -> Result<(), String> {
+    use chason_conformance::{fuzz, CorpusSize, HarnessOptions};
+
+    let corpus_name = args.get("corpus").unwrap_or("small");
+    let size = CorpusSize::from_name(corpus_name)
+        .ok_or_else(|| format!("unknown corpus '{corpus_name}' (small or extended)"))?;
+    let mut cases = chason_conformance::corpus(size);
+    if let Some(dir) = args.get("fixtures") {
+        let extra = chason_conformance::load_fixtures(std::path::Path::new(dir))
+            .map_err(|e| format!("cannot load fixtures from {dir}: {e}"))?;
+        println!("loaded {} fixture(s) from {dir}", extra.len());
+        cases.extend(extra);
+    }
+
+    let options = HarnessOptions::default();
+    let report = chason_conformance::run_cases(&cases, &options);
+    for v in &report.violations {
+        println!("VIOLATION {v}");
+    }
+    println!("{}", report.summary());
+
+    let iterations = args.get_or("fuzz", 40u64)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let outcome = fuzz(seed, iterations);
+    println!(
+        "\nfuzz: {} iteration(s), seed {seed}, {} skipped (no site)\n",
+        outcome.iterations, outcome.skipped
+    );
+    println!("{}", outcome.detection_table());
+    if !outcome.escapes.is_empty() {
+        if let Some(dir) = args.get("artifacts") {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+            for e in &outcome.escapes {
+                let path = dir.join(format!(
+                    "escape-{}-{}.mtx",
+                    e.iteration,
+                    e.corruption.name()
+                ));
+                let file =
+                    File::create(&path).map_err(|err| format!("cannot write {path:?}: {err}"))?;
+                write_matrix_market(BufWriter::new(file), &e.source)
+                    .map_err(|err| format!("cannot write {path:?}: {err}"))?;
+                println!(
+                    "escape artifact: {path:?} ({} on {}, {} channels x {} PEs)",
+                    e.corruption.name(),
+                    e.matrix,
+                    e.config.channels,
+                    e.config.pes_per_channel
+                );
+            }
+        }
+        return Err(format!(
+            "{} fuzz escape(s): corruptions evaded both the static checker and every dynamic oracle",
+            outcome.escapes.len()
+        ));
+    }
+    if iterations >= 10 && !outcome.covered_all_corruptions() {
+        return Err("fuzz run did not apply every corruption at least once".to_string());
+    }
+    if !report.is_clean() {
+        return Err(report.summary());
+    }
+    Ok(())
+}
+
 /// `chason catalog` — the Table 2 evaluation matrices.
 pub fn catalog() -> Result<(), String> {
     println!(
@@ -534,6 +602,17 @@ mod tests {
         assert!(err.contains("unknown corruption"), "{err}");
         assert!(err.contains("zero-value"), "{err}");
         assert!(verify(&args(&format!("verify {} --scheduler foo", path.display()))).is_err());
+    }
+
+    #[test]
+    fn conformance_subcommand_is_clean_on_the_small_corpus() {
+        conformance(&args("conformance --corpus small --fuzz 40 --seed 3")).unwrap();
+    }
+
+    #[test]
+    fn conformance_rejects_unknown_corpus_names() {
+        let err = conformance(&args("conformance --corpus bogus")).unwrap_err();
+        assert!(err.contains("unknown corpus"), "{err}");
     }
 
     #[test]

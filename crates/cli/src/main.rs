@@ -34,6 +34,10 @@ USAGE:
                                [--channels N] [--pes N] [--distance D] [--hops H]
                                [--corrupt KIND]   # static rule checker (S001-S006,
                                P001, R001); exits non-zero on violations
+  chason conformance           [--corpus small|extended] [--fuzz N] [--seed S]
+                               [--fixtures DIR] [--artifacts DIR]
+                               # differential cross-engine harness + schedule
+                               fuzzer; exits non-zero on violations or escapes
   chason generate <recipe> <out.mtx> --n N --nnz NNZ
                                [--alpha A] [--bandwidth W] [--dense-rows D] [--seed S]
                                (recipes: uniform, powerlaw, banded, arrow)
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
         "export" => commands::export(&args),
         "inspect" => commands::inspect(&args),
         "verify" => commands::verify(&args),
+        "conformance" => commands::conformance(&args),
         "generate" => commands::generate(&args),
         "catalog" => commands::catalog(),
         "help" | "--help" => {

@@ -1,0 +1,172 @@
+//! The seeded conformance corpus: every `chason-sparse` generator family
+//! crossed with a size grid, plus on-disk `.mtx` fixtures.
+//!
+//! Cases are built from explicit seeds, so the corpus is identical on
+//! every machine and every run — a prerequisite for the golden cycle
+//! traces, which snapshot the exact cycle accounting of these matrices.
+
+use chason_sparse::generators::{
+    arrow_with_nnz, banded_with_nnz, block_diagonal, diagonal, mycielskian, optimal_control,
+    power_law, rmat, uniform_random, OptimalControlConfig, RmatProbabilities,
+};
+use chason_sparse::market::read_matrix_market;
+use chason_sparse::CooMatrix;
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// Which slice of the corpus to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusSize {
+    /// One modest matrix per generator family — fast enough for every
+    /// push (and for `cargo test` on one core).
+    Small,
+    /// The small grid plus a larger size per family; the scheduled CI job
+    /// runs this tier.
+    Extended,
+}
+
+impl CorpusSize {
+    /// Parses `"small"` / `"extended"`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "small" => Some(CorpusSize::Small),
+            "extended" => Some(CorpusSize::Extended),
+            _ => None,
+        }
+    }
+}
+
+/// One named matrix of the corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// Stable case name (`family/rowsxcols`), used in reports and golden
+    /// trace lines.
+    pub name: String,
+    /// The matrix itself.
+    pub matrix: CooMatrix,
+}
+
+impl CorpusCase {
+    fn new(family: &str, matrix: CooMatrix) -> Self {
+        CorpusCase {
+            name: format!("{family}/{}x{}", matrix.rows(), matrix.cols()),
+            matrix,
+        }
+    }
+}
+
+/// Builds the seeded corpus: every generator family × the size grid.
+pub fn corpus(size: CorpusSize) -> Vec<CorpusCase> {
+    let mut cases = vec![
+        CorpusCase::new("uniform", uniform_random(96, 96, 700, 101)),
+        CorpusCase::new("uniform-rect", uniform_random(64, 160, 500, 102)),
+        CorpusCase::new("power-law", power_law(96, 96, 800, 1.8, 103)),
+        CorpusCase::new("rmat", rmat(7, 600, RmatProbabilities::GRAPH500, 104)),
+        CorpusCase::new("banded", banded_with_nnz(128, 6, 700, 105)),
+        CorpusCase::new("diagonal", diagonal(80, 106)),
+        CorpusCase::new("block-diagonal", block_diagonal(96, 12, 0.5, 107)),
+        CorpusCase::new("mycielskian", mycielskian(6, 108)),
+        CorpusCase::new(
+            "optimal-control",
+            optimal_control(OptimalControlConfig::small(), 109),
+        ),
+        CorpusCase::new("arrow", arrow_with_nnz(120, 4, 3, 800, 110)),
+    ];
+    if size == CorpusSize::Extended {
+        cases.extend([
+            CorpusCase::new("uniform", uniform_random(512, 512, 8_000, 201)),
+            CorpusCase::new("power-law", power_law(512, 512, 10_000, 1.8, 202)),
+            CorpusCase::new("rmat", rmat(9, 6_000, RmatProbabilities::GRAPH500, 203)),
+            CorpusCase::new("banded", banded_with_nnz(768, 8, 9_000, 204)),
+            CorpusCase::new("diagonal", diagonal(600, 205)),
+            CorpusCase::new("block-diagonal", block_diagonal(512, 32, 0.4, 206)),
+            CorpusCase::new("mycielskian", mycielskian(8, 207)),
+            CorpusCase::new(
+                "optimal-control",
+                optimal_control(
+                    OptimalControlConfig {
+                        stages: 48,
+                        vars_per_stage: 10,
+                        ..OptimalControlConfig::small()
+                    },
+                    208,
+                ),
+            ),
+            CorpusCase::new("arrow", arrow_with_nnz(640, 6, 4, 10_000, 209)),
+        ]);
+    }
+    cases
+}
+
+/// Loads every `.mtx` file under `dir` (non-recursive) as extra corpus
+/// cases, named after the file stem. Returns an empty list when the
+/// directory does not exist.
+///
+/// # Errors
+///
+/// Propagates I/O and MatrixMarket parse failures for files that do exist.
+pub fn load_fixtures(dir: &Path) -> io::Result<Vec<CorpusCase>> {
+    let mut cases = Vec::new();
+    if !dir.is_dir() {
+        return Ok(cases);
+    }
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "mtx"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let matrix = read_matrix_market(File::open(&path)?)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "fixture".to_string());
+        cases.push(CorpusCase {
+            name: format!("fixture/{stem}"),
+            matrix,
+        });
+    }
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_covers_every_family_deterministically() {
+        let a = corpus(CorpusSize::Small);
+        let b = corpus(CorpusSize::Small);
+        assert_eq!(a.len(), 10);
+        for (ca, cb) in a.iter().zip(b.iter()) {
+            assert_eq!(ca.name, cb.name);
+            assert_eq!(ca.matrix, cb.matrix);
+            assert!(ca.matrix.nnz() > 0, "{} is empty", ca.name);
+        }
+        let families: std::collections::BTreeSet<_> = a
+            .iter()
+            .map(|c| c.name.split('/').next().unwrap_or(""))
+            .collect();
+        assert!(families.len() >= 9, "{families:?}");
+    }
+
+    #[test]
+    fn extended_corpus_is_a_superset() {
+        let small = corpus(CorpusSize::Small);
+        let extended = corpus(CorpusSize::Extended);
+        assert!(extended.len() > small.len());
+        for (s, e) in small.iter().zip(extended.iter()) {
+            assert_eq!(s.name, e.name);
+        }
+    }
+
+    #[test]
+    fn missing_fixture_dir_is_empty_not_an_error() {
+        let cases = load_fixtures(Path::new("/nonexistent/fixtures")).unwrap();
+        assert!(cases.is_empty());
+    }
+}

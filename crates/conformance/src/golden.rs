@@ -1,0 +1,110 @@
+//! Golden snapshot files with a blessed-update flow.
+//!
+//! A golden check compares freshly rendered content byte-for-byte against
+//! a file committed under `tests/golden/`. Setting `UPDATE_GOLDEN=1`
+//! regenerates the file instead of comparing — the *bless* flow — after
+//! which `git diff` shows exactly what changed and CI's dirty-tree check
+//! rejects any drift that was not blessed and committed.
+
+use std::fs;
+use std::path::Path;
+
+/// Whether the current process was asked to bless (regenerate) goldens.
+pub fn blessing() -> bool {
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Checks `content` against the golden file at `path`, or rewrites the
+/// file when `UPDATE_GOLDEN=1`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the golden is missing, stale, or
+/// unwritable. A mismatch names the first differing line.
+pub fn check_or_bless(path: &Path, content: &str) -> Result<(), String> {
+    check_or_bless_bytes(path, content.as_bytes())
+}
+
+/// Byte-level variant of [`check_or_bless`] for binary goldens.
+///
+/// # Errors
+///
+/// As [`check_or_bless`].
+pub fn check_or_bless_bytes(path: &Path, content: &[u8]) -> Result<(), String> {
+    if blessing() {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| format!("cannot create {parent:?}: {e}"))?;
+        }
+        return fs::write(path, content).map_err(|e| format!("cannot bless {path:?}: {e}"));
+    }
+    let existing = fs::read(path).map_err(|e| {
+        format!("missing golden {path:?} ({e}); run with UPDATE_GOLDEN=1 to bless it")
+    })?;
+    if existing == content {
+        return Ok(());
+    }
+    // Locate the first differing line for text goldens; fall back to a
+    // byte offset for binary content.
+    let detail = match (std::str::from_utf8(&existing), std::str::from_utf8(content)) {
+        (Ok(old), Ok(new)) => {
+            let line = old
+                .lines()
+                .zip(new.lines())
+                .position(|(a, b)| a != b)
+                .map_or_else(
+                    || old.lines().count().min(new.lines().count()) + 1,
+                    |i| i + 1,
+                );
+            format!("first difference at line {line}")
+        }
+        _ => {
+            let offset = existing
+                .iter()
+                .zip(content.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| existing.len().min(content.len()));
+            format!("first difference at byte {offset}")
+        }
+    };
+    Err(format!(
+        "golden {path:?} is stale ({detail}); if the change is intended, re-bless with \
+         UPDATE_GOLDEN=1 and commit the diff"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("chason-golden-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn matching_golden_passes_and_stale_golden_names_the_line() {
+        let path = temp("text.golden");
+        fs::write(&path, "a\nb\nc\n").unwrap();
+        assert!(check_or_bless(&path, "a\nb\nc\n").is_ok());
+        let err = check_or_bless(&path, "a\nX\nc\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("UPDATE_GOLDEN"), "{err}");
+    }
+
+    #[test]
+    fn missing_golden_mentions_the_bless_flow() {
+        let path = temp("missing.golden");
+        let _ = fs::remove_file(&path);
+        let err = check_or_bless(&path, "x").unwrap_err();
+        assert!(err.contains("UPDATE_GOLDEN=1"), "{err}");
+    }
+
+    #[test]
+    fn binary_mismatch_reports_a_byte_offset() {
+        let path = temp("bin.golden");
+        fs::write(&path, [0u8, 1, 2, 255]).unwrap();
+        let err = check_or_bless_bytes(&path, &[0u8, 1, 9, 255]).unwrap_err();
+        assert!(err.contains("byte 2"), "{err}");
+    }
+}

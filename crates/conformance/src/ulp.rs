@@ -1,0 +1,157 @@
+//! Units-in-the-last-place comparison for FP32 vectors.
+//!
+//! The engines and the CPU reference accumulate the same products in
+//! different orders, so their outputs differ only by FP32 reassociation.
+//! For well-conditioned sums that divergence is a handful of ULPs; when a
+//! row's terms nearly cancel, the *relative* error of the tiny result can
+//! be arbitrarily large even though every path is correct. The tolerance
+//! therefore accepts a value when it is within `max_ulps` of the reference
+//! **or** within an absolute bound proportional to the row's condition
+//! scale `Σ |a_ij · x_j|` (the classic backward-error bound for
+//! reassociated summation).
+
+/// Tolerance for comparing two FP32 results of the same reassociated sum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UlpTolerance {
+    /// Maximum acceptable distance in units-in-the-last-place.
+    pub max_ulps: u32,
+    /// Relative factor applied to the row's condition scale for the
+    /// cancellation fallback (`|a - b| ≤ rel_scale · Σ|terms|`).
+    pub rel_scale: f32,
+}
+
+impl Default for UlpTolerance {
+    fn default() -> Self {
+        // 256 ULPs ≈ a relative error of 3e-5 — generous for reassociation
+        // over the ≤ few-hundred-term rows the corpus produces, and far
+        // below what any dropped or duplicated element causes.
+        UlpTolerance {
+            max_ulps: 256,
+            rel_scale: 1e-4,
+        }
+    }
+}
+
+impl UlpTolerance {
+    /// Whether `got` is acceptably close to `want`, given the row's
+    /// condition scale `Σ |a_ij · x_j|`.
+    pub fn accepts(&self, want: f32, got: f32, scale: f32) -> bool {
+        if !want.is_finite() || !got.is_finite() {
+            return false;
+        }
+        if want.to_bits() == got.to_bits() {
+            return true;
+        }
+        ulp_distance(want, got) <= self.max_ulps || (want - got).abs() <= self.rel_scale * scale
+    }
+}
+
+/// Distance between two finite `f32`s in units-in-the-last-place.
+///
+/// Uses the standard order-preserving mapping of IEEE-754 bit patterns to
+/// a signed integer line, so the distance is well defined across zero
+/// (`-0.0` and `+0.0` are 0 apart). Returns `u32::MAX` when either value
+/// is NaN.
+pub fn ulp_distance(a: f32, b: f32) -> u32 {
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    let to_ordered = |f: f32| {
+        let bits = f.to_bits();
+        if bits & 0x8000_0000 != 0 {
+            -i64::from(bits & 0x7fff_ffff)
+        } else {
+            i64::from(bits)
+        }
+    };
+    let d = (to_ordered(a) - to_ordered(b)).unsigned_abs();
+    u32::try_from(d).unwrap_or(u32::MAX)
+}
+
+/// The per-row condition scales `Σ_j |a_ij · x_j|` of one SpMV — the
+/// denominators of the cancellation-aware fallback bound.
+pub fn row_scales(matrix: &chason_sparse::CooMatrix, x: &[f32]) -> Vec<f32> {
+    let mut scales = vec![0.0f32; matrix.rows()];
+    for &(r, c, v) in matrix.iter() {
+        scales[r] += (v * x[c]).abs();
+    }
+    scales
+}
+
+/// Compares a computed vector against the reference, returning the indices
+/// (with values) the tolerance rejects.
+pub fn compare(
+    want: &[f32],
+    got: &[f32],
+    scales: &[f32],
+    tol: &UlpTolerance,
+) -> Vec<(usize, f32, f32)> {
+    if want.len() != got.len() {
+        // A length mismatch is reported as a rejection of index 0 with the
+        // lengths encoded as values; callers check lengths first in
+        // practice.
+        return vec![(usize::MAX, want.len() as f32, got.len() as f32)];
+    }
+    want.iter()
+        .zip(got.iter())
+        .enumerate()
+        .filter(|&(i, (&w, &g))| !tol.accepts(w, g, scales.get(i).copied().unwrap_or(0.0)))
+        .map(|(i, (&w, &g))| (i, w, g))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_bits_are_zero_apart() {
+        assert_eq!(ulp_distance(1.5, 1.5), 0);
+        assert_eq!(ulp_distance(-0.0, 0.0), 0);
+    }
+
+    #[test]
+    fn adjacent_floats_are_one_apart() {
+        let a = 1.0f32;
+        let b = f32::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_distance(a, b), 1);
+        let na = -1.0f32;
+        let nb = f32::from_bits(na.to_bits() + 1); // toward -inf
+        assert_eq!(ulp_distance(na, nb), 1);
+    }
+
+    #[test]
+    fn distance_crosses_zero_smoothly() {
+        let tiny = f32::from_bits(1); // smallest subnormal
+        assert_eq!(ulp_distance(tiny, -tiny), 2);
+    }
+
+    #[test]
+    fn nan_is_never_accepted() {
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u32::MAX);
+        assert!(!UlpTolerance::default().accepts(f32::NAN, f32::NAN, 1.0));
+    }
+
+    #[test]
+    fn cancellation_fallback_uses_the_row_scale() {
+        let tol = UlpTolerance {
+            max_ulps: 0,
+            rel_scale: 1e-4,
+        };
+        // 1e-3 apart: far in ULPs of the tiny result, but small against a
+        // row whose terms sum to ~100 in magnitude.
+        assert!(tol.accepts(1e-4, 1e-4 + 1e-3, 100.0));
+        assert!(!tol.accepts(1e-4, 1e-4 + 1e-3, 0.1));
+    }
+
+    #[test]
+    fn compare_reports_offending_indices() {
+        let want = [1.0f32, 2.0, 3.0];
+        let mut got = want;
+        got[1] = 2.5;
+        let scales = [1.0f32, 2.0, 3.0];
+        let bad = compare(&want, &got, &scales, &UlpTolerance::default());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, 1);
+    }
+}

@@ -16,12 +16,20 @@
 //! then per channel: cycles × pes × u64 data words
 //! ```
 
+//!
+//! A second container, `CHPL`, serializes a full reusable [`SpmvPlan`]
+//! (every pass, window, and scheduled slot) so iterative solvers can ship
+//! the plan artifact across processes; see [`write_plan`] / [`read_plan`].
+
 use crate::element::STALL_WORD;
-use crate::schedule::{ScheduledMatrix, SchedulerConfig};
+use crate::plan::{PassPlan, PlanKey, PlanWindow, SpmvPlan};
+use crate::schedule::{ChannelSchedule, NzSlot, ScheduledMatrix, SchedulerConfig};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"CHSN";
 const VERSION: u32 = 1;
+const PLAN_MAGIC: &[u8; 4] = b"CHPL";
+const PLAN_VERSION: u32 = 1;
 
 /// A deserialized schedule artifact: configuration, shape, and the padded
 /// per-channel data lists.
@@ -184,6 +192,261 @@ pub fn read_schedule<R: Read>(mut reader: R) -> io::Result<ScheduleArtifact> {
     })
 }
 
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_config<W: Write>(writer: &mut W, cfg: &SchedulerConfig) -> io::Result<()> {
+    for v in [
+        cfg.channels as u32,
+        cfg.pes_per_channel as u32,
+        cfg.dependency_distance as u32,
+        cfg.migration_scan_limit as u32,
+        cfg.migration_hops as u32,
+    ] {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_config<R: Read>(reader: &mut R) -> io::Result<SchedulerConfig> {
+    let config = SchedulerConfig {
+        channels: read_u32(reader)? as usize,
+        pes_per_channel: read_u32(reader)? as usize,
+        dependency_distance: read_u32(reader)? as usize,
+        migration_scan_limit: read_u32(reader)? as usize,
+        migration_hops: read_u32(reader)? as usize,
+    };
+    if !config.is_valid() || config.channels > 1024 || config.pes_per_channel > 64 {
+        return Err(invalid("implausible scheduler geometry in plan"));
+    }
+    Ok(config)
+}
+
+/// Reads a count field and rejects implausibly large values, so a corrupt
+/// or adversarial stream cannot request a huge allocation up front.
+fn read_count<R: Read>(reader: &mut R, what: &str, cap: u64) -> io::Result<usize> {
+    let v = read_u64(reader)?;
+    if v > cap {
+        return Err(invalid(format!("implausible {what} count {v}")));
+    }
+    Ok(v as usize)
+}
+
+fn write_schedule_grid<W: Write>(writer: &mut W, s: &ScheduledMatrix) -> io::Result<()> {
+    write_config(writer, &s.config)?;
+    for v in [
+        s.rows as u64,
+        s.cols as u64,
+        s.nnz as u64,
+        s.channels.len() as u64,
+    ] {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    for ch in &s.channels {
+        writer.write_all(&(ch.channel as u64).to_le_bytes())?;
+        writer.write_all(&(ch.grid.len() as u64).to_le_bytes())?;
+        for cycle in &ch.grid {
+            writer.write_all(&(cycle.len() as u64).to_le_bytes())?;
+            for slot in cycle {
+                match slot {
+                    None => writer.write_all(&[0u8])?,
+                    Some(nz) => {
+                        writer.write_all(&[1u8])?;
+                        writer.write_all(&nz.value.to_bits().to_le_bytes())?;
+                        writer.write_all(&(nz.row as u64).to_le_bytes())?;
+                        writer.write_all(&(nz.col as u64).to_le_bytes())?;
+                        writer.write_all(&[u8::from(nz.pvt), nz.pe_src])?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_schedule_grid<R: Read>(reader: &mut R) -> io::Result<ScheduledMatrix> {
+    let config = read_config(reader)?;
+    let rows = read_u64(reader)? as usize;
+    let cols = read_u64(reader)? as usize;
+    let nnz = read_u64(reader)? as usize;
+    let channel_count = read_count(reader, "channel", 1024)?;
+    let mut channels = Vec::with_capacity(channel_count);
+    for _ in 0..channel_count {
+        let channel = read_u64(reader)? as usize;
+        let cycles = read_count(reader, "cycle", 1 << 34)?;
+        let mut grid = Vec::with_capacity(cycles);
+        for _ in 0..cycles {
+            let lanes = read_count(reader, "lane", 4096)?;
+            let mut row = Vec::with_capacity(lanes);
+            for _ in 0..lanes {
+                let mut tag = [0u8; 1];
+                reader.read_exact(&mut tag)?;
+                row.push(match tag[0] {
+                    0 => None,
+                    1 => {
+                        let value = f32::from_bits(read_u32(reader)?);
+                        let nz_row = read_u64(reader)? as usize;
+                        let nz_col = read_u64(reader)? as usize;
+                        let mut flags = [0u8; 2];
+                        reader.read_exact(&mut flags)?;
+                        if flags[0] > 1 {
+                            return Err(invalid(format!("bad pvt flag {}", flags[0])));
+                        }
+                        Some(NzSlot {
+                            value,
+                            row: nz_row,
+                            col: nz_col,
+                            pvt: flags[0] == 1,
+                            pe_src: flags[1],
+                        })
+                    }
+                    t => return Err(invalid(format!("bad slot tag {t}"))),
+                });
+            }
+            grid.push(row);
+        }
+        channels.push(ChannelSchedule { channel, grid });
+    }
+    Ok(ScheduledMatrix {
+        config,
+        channels,
+        rows,
+        cols,
+        nnz,
+    })
+}
+
+/// Serializes a full [`SpmvPlan`] — the `CHPL` artifact. Unlike the `CHSN`
+/// data-list artifact, the plan keeps the structured per-slot grids, so
+/// `read_plan(write_plan(p)) == p` exactly and engines can `run_planned`
+/// the artifact without rescheduling.
+///
+/// A `&mut` reference may be passed for `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_plan<W: Write>(mut writer: W, plan: &SpmvPlan) -> io::Result<()> {
+    writer.write_all(PLAN_MAGIC)?;
+    writer.write_all(&PLAN_VERSION.to_le_bytes())?;
+    writer.write_all(&plan.key.fingerprint.to_le_bytes())?;
+    write_config(&mut writer, &plan.key.config)?;
+    let engine = plan.engine.as_bytes();
+    writer.write_all(&(engine.len() as u32).to_le_bytes())?;
+    writer.write_all(engine)?;
+    for v in [
+        plan.window as u64,
+        plan.rows as u64,
+        plan.cols as u64,
+        plan.nnz as u64,
+        plan.passes.len() as u64,
+    ] {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    for pass in &plan.passes {
+        for v in [
+            pass.row_start as u64,
+            pass.row_end as u64,
+            pass.nnz as u64,
+            pass.windows.len() as u64,
+        ] {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+        for w in &pass.windows {
+            for v in [
+                w.col_start as u64,
+                w.col_end as u64,
+                w.nnz as u64,
+                w.stalls as u64,
+                w.stream_cycles as u64,
+            ] {
+                writer.write_all(&v.to_le_bytes())?;
+            }
+            write_schedule_grid(&mut writer, &w.schedule)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a `CHPL` plan artifact written by [`write_plan`].
+///
+/// A `&mut` reference may be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic/version, implausible geometry or
+/// counts, or malformed slot encodings; propagates I/O failures (including
+/// truncation).
+pub fn read_plan<R: Read>(mut reader: R) -> io::Result<SpmvPlan> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != PLAN_MAGIC {
+        return Err(invalid("not a CHPL plan artifact"));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != PLAN_VERSION {
+        return Err(invalid(format!("unsupported plan version {version}")));
+    }
+    let fingerprint = read_u64(&mut reader)?;
+    let config = read_config(&mut reader)?;
+    let engine_len = read_u32(&mut reader)? as usize;
+    if engine_len > 64 {
+        return Err(invalid(format!(
+            "implausible engine name length {engine_len}"
+        )));
+    }
+    let mut engine = vec![0u8; engine_len];
+    reader.read_exact(&mut engine)?;
+    let engine = String::from_utf8(engine).map_err(|_| invalid("engine name is not UTF-8"))?;
+    let window = read_u64(&mut reader)? as usize;
+    let rows = read_u64(&mut reader)? as usize;
+    let cols = read_u64(&mut reader)? as usize;
+    let nnz = read_u64(&mut reader)? as usize;
+    let pass_count = read_count(&mut reader, "pass", 1 << 20)?;
+    let mut passes = Vec::with_capacity(pass_count);
+    for _ in 0..pass_count {
+        let row_start = read_u64(&mut reader)? as usize;
+        let row_end = read_u64(&mut reader)? as usize;
+        let pass_nnz = read_u64(&mut reader)? as usize;
+        let window_count = read_count(&mut reader, "window", 1 << 20)?;
+        let mut windows = Vec::with_capacity(window_count);
+        for _ in 0..window_count {
+            let col_start = read_u64(&mut reader)? as usize;
+            let col_end = read_u64(&mut reader)? as usize;
+            let w_nnz = read_u64(&mut reader)? as usize;
+            let stalls = read_u64(&mut reader)? as usize;
+            let stream_cycles = read_u64(&mut reader)? as usize;
+            windows.push(PlanWindow {
+                col_start,
+                col_end,
+                nnz: w_nnz,
+                stalls,
+                stream_cycles,
+                schedule: read_schedule_grid(&mut reader)?,
+            });
+        }
+        passes.push(PassPlan {
+            row_start,
+            row_end,
+            nnz: pass_nnz,
+            windows,
+        });
+    }
+    Ok(SpmvPlan {
+        key: PlanKey {
+            fingerprint,
+            config,
+        },
+        engine,
+        window,
+        rows,
+        cols,
+        nnz,
+        passes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +512,79 @@ mod tests {
         buf[4] = 99;
         let err = read_schedule(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("version"));
+    }
+
+    fn sample_plan() -> SpmvPlan {
+        let m = power_law(96, 96, 500, 1.7, 8);
+        let config = SchedulerConfig::toy(4, 4, 6);
+        let schedule = Crhcs::new().schedule(&m, &config);
+        let stalls = schedule.stalls();
+        let stream_cycles = schedule.stream_cycles();
+        SpmvPlan {
+            key: PlanKey::new(&m, config),
+            engine: "chason".to_string(),
+            window: 8192,
+            rows: 96,
+            cols: 96,
+            nnz: 500,
+            passes: vec![PassPlan {
+                row_start: 0,
+                row_end: 96,
+                nnz: 500,
+                windows: vec![PlanWindow {
+                    col_start: 0,
+                    col_end: 96,
+                    nnz: 500,
+                    stalls,
+                    stream_cycles,
+                    schedule,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn plan_round_trip_is_exact() {
+        let plan = sample_plan();
+        let mut buf = Vec::new();
+        write_plan(&mut buf, &plan).unwrap();
+        let parsed = read_plan(buf.as_slice()).unwrap();
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn plan_rejects_wrong_magic_and_version() {
+        let plan = sample_plan();
+        let mut buf = Vec::new();
+        write_plan(&mut buf, &plan).unwrap();
+        let mut wrong_magic = buf.clone();
+        wrong_magic[..4].copy_from_slice(b"CHSN");
+        assert!(read_plan(wrong_magic.as_slice()).is_err());
+        let mut wrong_version = buf;
+        wrong_version[4] = 99;
+        let err = read_plan(wrong_version.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncated_plan_is_rejected() {
+        let plan = sample_plan();
+        let mut buf = Vec::new();
+        write_plan(&mut buf, &plan).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_plan(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn plan_with_implausible_counts_is_rejected() {
+        let plan = sample_plan();
+        let mut buf = Vec::new();
+        write_plan(&mut buf, &plan).unwrap();
+        // The engine-name length sits at a fixed offset: magic (4) +
+        // version (4) + fingerprint (8) + config (5 × 4).
+        buf[36..40].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_plan(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("engine name"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Integration tests of the HBM timing and traffic models: exact burst /
+//! refresh accounting, monotonicity under load, and channel contention
+//! (skew) behaviour.
+
+use chason_hbm::traffic::TrafficSummary;
+use chason_hbm::{Channel, HbmConfig, StreamTiming};
+use proptest::prelude::*;
+
+fn cfg() -> HbmConfig {
+    HbmConfig::alveo_u55c()
+}
+
+fn channels(lengths: &[usize]) -> Vec<Channel> {
+    lengths
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| Channel::with_data(i, vec![1u64; n]))
+        .collect()
+}
+
+/// Burst accounting is exact, not approximate: hand-computed cycle counts
+/// for a small stream with every effect isolated.
+#[test]
+fn burst_and_row_accounting_is_exact() {
+    let t = StreamTiming {
+        beats_per_burst: 2,
+        inter_burst_gap: 3,
+        row_miss_penalty: 10,
+        beats_per_row: 4,
+        refresh_interval: u64::MAX,
+        refresh_penalty: 0,
+    };
+    // 8 beats = 4 bursts -> 3 gaps; 2 rows -> 1 row crossing.
+    assert_eq!(t.stream_cycles(8), 8 + 3 * 3 + 10);
+    // 1 beat: a single burst, no gaps, no crossings.
+    assert_eq!(t.stream_cycles(1), 1);
+    // 2 beats: still one burst and one row.
+    assert_eq!(t.stream_cycles(2), 2);
+    // 3 beats: second burst opens -> one gap.
+    assert_eq!(t.stream_cycles(3), 3 + 3);
+    // 5 beats: 3 bursts (2 gaps), second row (1 crossing).
+    assert_eq!(t.stream_cycles(5), 5 + 2 * 3 + 10);
+}
+
+/// Refresh windows tax exactly the cycles that cross a tREFI boundary.
+#[test]
+fn refresh_accounting_is_exact() {
+    let t = StreamTiming {
+        beats_per_burst: u64::MAX,
+        inter_burst_gap: 0,
+        row_miss_penalty: 0,
+        beats_per_row: u64::MAX,
+        refresh_interval: 100,
+        refresh_penalty: 7,
+    };
+    assert_eq!(t.stream_cycles(99), 99);
+    assert_eq!(t.stream_cycles(100), 100 + 7);
+    assert_eq!(t.stream_cycles(250), 250 + 2 * 7);
+}
+
+/// A skewed channel load (all data on one channel) streams slower than the
+/// same bytes balanced across channels — the contention the schedulers
+/// exist to avoid.
+#[test]
+fn skewed_channel_load_streams_slower_than_balanced() {
+    let config = cfg();
+    let total = 32 * 16; // words
+    let skewed = TrafficSummary::measure(&channels(&[total, 0, 0, 0]), &config);
+    let balanced = TrafficSummary::measure(
+        &channels(&[total / 4, total / 4, total / 4, total / 4]),
+        &config,
+    );
+    assert_eq!(skewed.bytes, balanced.bytes, "same payload");
+    assert!(skewed.max_channel_beats > balanced.max_channel_beats);
+    assert!(skewed.stream_seconds(&config) > balanced.stream_seconds(&config));
+    // Perfect 4-way balance is exactly 4x faster.
+    assert!(
+        (skewed.stream_seconds(&config) / balanced.stream_seconds(&config) - 4.0).abs() < 1e-12
+    );
+}
+
+/// Partial beats round up: a channel pays a full beat for its last ragged
+/// word (the §3.2 padding in hardware terms).
+#[test]
+fn ragged_tail_words_cost_a_full_beat() {
+    let config = cfg();
+    let wpb = config.elements_per_beat();
+    for extra in 1..wpb {
+        let t = TrafficSummary::measure(&channels(&[wpb + extra]), &config);
+        assert_eq!(t.beats, 2, "{extra} extra words must round to 2 beats");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// More beats never stream faster, under any plausible timing.
+    #[test]
+    fn stream_cycles_are_monotone_in_beats(
+        beats in 0u64..5_000,
+        delta in 1u64..500,
+        gap in 0u64..8,
+        miss in 0u64..32,
+        refresh in 64u64..4096,
+    ) {
+        let t = StreamTiming {
+            beats_per_burst: 2,
+            inter_burst_gap: gap,
+            row_miss_penalty: miss,
+            beats_per_row: 16,
+            refresh_interval: refresh,
+            refresh_penalty: 78,
+            };
+        prop_assert!(t.stream_cycles(beats) <= t.stream_cycles(beats + delta));
+    }
+
+    /// Real timing never beats the ideal memory, and the effective
+    /// initiation interval is always >= 1 cycle/beat.
+    #[test]
+    fn real_timing_never_beats_ideal(beats in 1u64..100_000) {
+        let real = StreamTiming::u55c();
+        let ideal = StreamTiming::ideal();
+        prop_assert!(real.stream_cycles(beats) >= ideal.stream_cycles(beats));
+        prop_assert!(real.effective_ii() >= 1.0);
+    }
+
+    /// Traffic measurement is additive: bytes across channels equal the sum
+    /// of per-channel bytes, and the longest channel bounds the average.
+    #[test]
+    fn traffic_summary_invariants(lengths in proptest::collection::vec(0usize..400, 1..8)) {
+        let config = cfg();
+        let chs = channels(&lengths);
+        let t = TrafficSummary::measure(&chs, &config);
+        let per_channel: u64 = chs.iter().map(|c| c.beats(&config)).sum();
+        prop_assert_eq!(t.beats, per_channel);
+        prop_assert_eq!(t.bytes, t.beats * config.bytes_per_beat() as u64);
+        prop_assert_eq!(t.active_channels, lengths.iter().filter(|&&n| n > 0).count());
+        if t.active_channels > 0 {
+            let avg = t.beats as f64 / t.active_channels as f64;
+            prop_assert!(t.max_channel_beats as f64 >= avg - 1e-9);
+        }
+        // Streaming time depends only on the longest channel.
+        let longest_only = TrafficSummary::measure(
+            &channels(&[t.max_channel_beats as usize * config.elements_per_beat()]),
+            &config,
+        );
+        prop_assert!((t.stream_seconds(&config) - longest_only.stream_seconds(&config)).abs() < 1e-15);
+    }
+}

@@ -3,18 +3,11 @@
 use chason_core::schedule::{Crhcs, NzSlot, PeAware, Scheduler, SchedulerConfig};
 use chason_sim::{AcceleratorConfig, ChasonEngine, Peg, SerpensEngine};
 use chason_sparse::CooMatrix;
+use chason_testutil::sparse_matrix;
 use proptest::prelude::*;
 
 fn matrix_strategy() -> impl Strategy<Value = CooMatrix> {
-    (4usize..48, 4usize..48).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec((0..rows, 0..cols, 1i32..50), 0..120).prop_map(move |entries| {
-            let t: Vec<(usize, usize, f32)> = entries
-                .into_iter()
-                .map(|(r, c, v)| (r, c, v as f32 * 0.5))
-                .collect();
-            CooMatrix::from_triplets_summing(rows, cols, t).expect("in range")
-        })
-    })
+    sparse_matrix(48, 120)
 }
 
 proptest! {

@@ -1,0 +1,181 @@
+//! `chason-testutil`: shared fixtures for the workspace's test suites.
+//!
+//! Every integration suite needs the same raw material — seeded sparse
+//! matrices spanning the paper's sparsity archetypes, proptest strategies
+//! that respect the §3.2 wire format's reserved stall word, grids of
+//! scheduler configurations, and small linear systems for the solver tests.
+//! Before this crate each suite carried its own copy; they drifted in small
+//! ways (value scales, nnz bounds) without meaning to. This crate is the
+//! single source of those helpers, pulled in as a dev-dependency.
+//!
+//! Everything here is deterministic: matrices are derived from explicit
+//! seeds and proptest strategies draw from the shim's per-case seeded RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use chason_core::schedule::{Crhcs, PeAware, Scheduler, SchedulerConfig};
+use chason_sparse::generators::{arrow_with_nnz, banded_with_nnz, power_law, uniform_random};
+use chason_sparse::CooMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The deterministic RNG used by helpers that need raw randomness — the
+/// same generator family the `chason-sparse` generators use internally.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Strategy: a small random sparse matrix with strictly positive values,
+/// possibly empty.
+///
+/// Positive (rather than merely non-zero) values keep duplicates from
+/// summing to exactly `+0.0` under `from_triplets_summing`: the §3.2 wire
+/// format reserves the all-zero word for stalls, so a `+0.0` entry is
+/// unschedulable and would be (correctly) rejected by the static checker
+/// the engines run in debug builds.
+pub fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    sparse_matrix_with_min(max_dim, 0, max_nnz)
+}
+
+/// [`sparse_matrix`] guaranteed non-empty (at least one explicit entry
+/// before duplicate summing).
+pub fn sparse_matrix_nonempty(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    sparse_matrix_with_min(max_dim, 1, max_nnz)
+}
+
+fn sparse_matrix_with_min(
+    max_dim: usize,
+    min_nnz: usize,
+    max_nnz: usize,
+) -> impl Strategy<Value = CooMatrix> {
+    (2usize..=max_dim, 2usize..=max_dim).prop_flat_map(move |(rows, cols)| {
+        let coord = (0..rows, 0..cols, 1i32..=100i32);
+        proptest::collection::vec(coord, min_nnz..=max_nnz).prop_map(move |entries| {
+            let triplets: Vec<(usize, usize, f32)> = entries
+                .into_iter()
+                .map(|(r, c, v)| (r, c, v as f32 * 0.25))
+                .collect();
+            #[allow(clippy::expect_used)]
+            CooMatrix::from_triplets_summing(rows, cols, triplets)
+                .expect("coordinates are in range")
+        })
+    })
+}
+
+/// Strategy: a valid small (toy) scheduler configuration.
+pub fn toy_config() -> impl Strategy<Value = SchedulerConfig> {
+    (1usize..=4, 1usize..=8, 1usize..=12).prop_map(|(ch, pes, d)| SchedulerConfig::toy(ch, pes, d))
+}
+
+/// The generator corpus: one matrix per sparsity archetype the paper
+/// evaluates (power-law skew, banded locality, uniform, arrow boundary).
+pub fn archetype_corpus() -> Vec<(&'static str, CooMatrix)> {
+    vec![
+        ("power-law", power_law(120, 120, 900, 1.8, 11)),
+        ("banded", banded_with_nnz(150, 6, 800, 12)),
+        ("uniform", uniform_random(100, 100, 600, 13)),
+        ("arrow", arrow_with_nnz(150, 4, 3, 900, 14)),
+    ]
+}
+
+/// The scheduler-configuration grid the mutation and conformance suites
+/// sweep: two toy geometries plus the paper's deployed 16 × 8 point.
+pub fn config_grid() -> Vec<SchedulerConfig> {
+    vec![
+        SchedulerConfig::toy(2, 2, 4),
+        SchedulerConfig::toy(4, 4, 6),
+        SchedulerConfig::paper(),
+    ]
+}
+
+/// Both production schedulers (the PE-aware Serpens baseline and CrHCS).
+pub fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![Box::new(PeAware::new()), Box::new(Crhcs::new())]
+}
+
+/// A deterministic dense vector of length `n` with entries in `[-4, 4]` —
+/// the right-hand-side shape the differential tests feed every engine.
+pub fn dense_x(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i as f32) * 0.37).sin() * 4.0).collect()
+}
+
+/// A symmetric positive-definite system `(A, b)` for solver tests:
+/// a banded symmetric matrix made diagonally dominant, with a small
+/// structured right-hand side.
+#[allow(clippy::expect_used)]
+pub fn spd_system(n: usize, seed: u64) -> (CooMatrix, Vec<f32>) {
+    let base = banded_with_nnz(n, 3, n * 4, seed);
+    let mut sym = std::collections::HashMap::new();
+    for &(r, c, v) in base.iter() {
+        if r != c {
+            let key = (r.min(c), r.max(c));
+            sym.entry(key).or_insert(v.abs() * 0.1);
+        }
+    }
+    let mut row_sum = vec![0.0f32; n];
+    let mut t = Vec::new();
+    for (&(r, c), &v) in &sym {
+        t.push((r, c, v));
+        t.push((c, r, v));
+        row_sum[r] += v;
+        row_sum[c] += v;
+    }
+    for (i, &sum) in row_sum.iter().enumerate() {
+        t.push((i, i, sum + 1.0));
+    }
+    let a = CooMatrix::from_triplets(n, n, t).expect("coordinates are in range");
+    let b: Vec<f32> = (0..n).map(|i| ((i % 7) as f32 - 3.0) * 0.5).collect();
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_and_grids_are_deterministic() {
+        let a = archetype_corpus();
+        let b = archetype_corpus();
+        for ((na, ma), (nb, mb)) in a.iter().zip(b.iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(ma, mb);
+        }
+        assert_eq!(config_grid().len(), 3);
+        assert_eq!(schedulers().len(), 2);
+        assert_eq!(dense_x(16), dense_x(16));
+    }
+
+    #[test]
+    fn spd_system_is_symmetric_and_diagonally_dominant() {
+        let (a, b) = spd_system(64, 9);
+        assert_eq!(a.rows(), 64);
+        assert_eq!(b.len(), 64);
+        let mut dense = vec![vec![0.0f32; 64]; 64];
+        for &(r, c, v) in a.iter() {
+            dense[r][c] += v;
+        }
+        for (r, row) in dense.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                assert_eq!(*v, dense[c][r]);
+            }
+            let off: f32 = (0..64).filter(|&c| c != r).map(|c| row[c].abs()).sum();
+            assert!(row[r] > off, "row {r} not dominant");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn strategies_respect_bounds(m in sparse_matrix(32, 64), n in sparse_matrix_nonempty(16, 20)) {
+            prop_assert!(m.rows() <= 32 && m.cols() <= 32);
+            prop_assert!(m.nnz() <= 64);
+            prop_assert!(n.nnz() >= 1);
+            for &(_, _, v) in m.iter() {
+                prop_assert!(v > 0.0);
+            }
+        }
+    }
+}

@@ -128,6 +128,22 @@ impl Corruption {
     }
 }
 
+impl Corruption {
+    /// Applies the corruption to the first corruptible window of a plan.
+    ///
+    /// Plans embed full [`ScheduledMatrix`] grids per window, so every
+    /// schedule-level corruption applies unchanged; `verify_plan` must then
+    /// report the same [`expected rule`](Corruption::expected_rule) the
+    /// schedule-level checker would. Returns `false` when no window offers
+    /// a site.
+    pub fn apply_to_plan(self, plan: &mut chason_core::plan::SpmvPlan) -> bool {
+        plan.passes
+            .iter_mut()
+            .flat_map(|p| &mut p.windows)
+            .any(|w| self.apply(&mut w.schedule))
+    }
+}
+
 /// Position of the first scheduled non-zero, as (channel, cycle, lane).
 fn first_nz(s: &ScheduledMatrix) -> Option<(usize, usize, usize)> {
     s.channels.iter().enumerate().find_map(|(c, ch)| {
@@ -308,6 +324,52 @@ mod tests {
         for c in Corruption::ALL {
             let code = c.expected_rule().code();
             assert!(code.starts_with('S'), "{code} is not a schedule rule");
+        }
+    }
+
+    #[test]
+    fn plan_level_corruption_is_caught_by_verify_plan() {
+        use chason_core::plan::{PassPlan, PlanKey, PlanWindow, SpmvPlan};
+        use chason_core::schedule::{Crhcs, Scheduler, SchedulerConfig};
+        use chason_sparse::generators::uniform_random;
+
+        let m = uniform_random(48, 48, 260, 21);
+        let config = SchedulerConfig::toy(3, 3, 4);
+        let schedule = Crhcs::new().schedule(&m, &config);
+        let clean = SpmvPlan {
+            key: PlanKey::new(&m, config),
+            engine: "chason".to_string(),
+            window: 8192,
+            rows: 48,
+            cols: 48,
+            nnz: m.nnz(),
+            passes: vec![PassPlan {
+                row_start: 0,
+                row_end: 48,
+                nnz: m.nnz(),
+                windows: vec![PlanWindow {
+                    col_start: 0,
+                    col_end: 48,
+                    nnz: m.nnz(),
+                    stalls: schedule.stalls(),
+                    stream_cycles: schedule.stream_cycles(),
+                    schedule,
+                }],
+            }],
+        };
+        assert!(crate::verify_plan(&clean, Some(&m)).is_clean());
+        for c in Corruption::ALL {
+            let mut plan = clean.clone();
+            if !c.apply_to_plan(&mut plan) {
+                continue;
+            }
+            let report = crate::verify_plan(&plan, Some(&m));
+            assert!(
+                report.rules_fired().contains(&c.expected_rule()),
+                "{} did not fire {:?} at plan level",
+                c.name(),
+                c.expected_rule()
+            );
         }
     }
 }

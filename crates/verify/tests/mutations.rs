@@ -2,36 +2,14 @@
 //! verify silently; targeted corruptions must each trip their rule.
 
 use chason_core::plan::{PassPlan, PlanKey, PlanWindow, SpmvPlan};
-use chason_core::schedule::{Crhcs, PeAware, Scheduler, SchedulerConfig};
+use chason_core::schedule::{Crhcs, Scheduler, SchedulerConfig};
 use chason_core::window::partition_columns;
-use chason_sparse::generators::{arrow_with_nnz, banded_with_nnz, power_law, uniform_random};
+use chason_sparse::generators::{power_law, uniform_random};
 use chason_sparse::CooMatrix;
+use chason_testutil::{archetype_corpus as corpus, config_grid as configs, schedulers};
 use chason_verify::mutate::Corruption;
 use chason_verify::{verify_config, verify_pass, verify_plan, verify_schedule, RuleId};
 use proptest::prelude::*;
-
-/// The generator corpus: one matrix per sparsity archetype the paper
-/// evaluates (power-law skew, banded locality, uniform, arrow boundary).
-fn corpus() -> Vec<(&'static str, CooMatrix)> {
-    vec![
-        ("power-law", power_law(120, 120, 900, 1.8, 11)),
-        ("banded", banded_with_nnz(150, 6, 800, 12)),
-        ("uniform", uniform_random(100, 100, 600, 13)),
-        ("arrow", arrow_with_nnz(150, 4, 3, 900, 14)),
-    ]
-}
-
-fn configs() -> Vec<SchedulerConfig> {
-    vec![
-        SchedulerConfig::toy(2, 2, 4),
-        SchedulerConfig::toy(4, 4, 6),
-        SchedulerConfig::paper(),
-    ]
-}
-
-fn schedulers() -> Vec<Box<dyn Scheduler>> {
-    vec![Box::new(PeAware::new()), Box::new(Crhcs::new())]
-}
 
 /// Every clean schedule across the corpus verifies with zero diagnostics —
 /// the analyzer does not cry wolf on either the Serpens baseline or CrHCS.
@@ -274,30 +252,13 @@ fn pass_verifier_checks_window_stats() {
     assert!(r.has_rule(RuleId::P001));
 }
 
-/// Strategy: a small random sparse matrix with strictly positive values
-/// (duplicate coordinates sum, so signed values could cancel to the
-/// reserved +0.0 and trip S001 on an honestly-built schedule).
-fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
-    (2usize..=max_dim, 2usize..=max_dim).prop_flat_map(move |(rows, cols)| {
-        let coord = (0..rows, 0..cols, 1i32..=100i32);
-        proptest::collection::vec(coord, 1..=max_nnz).prop_map(move |entries| {
-            let triplets: Vec<(usize, usize, f32)> = entries
-                .into_iter()
-                .map(|(r, c, v)| (r, c, v as f32 * 0.25))
-                .collect();
-            CooMatrix::from_triplets_summing(rows, cols, triplets)
-                .expect("coordinates are in range")
-        })
-    })
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Arbitrary clean schedules stay silent under the full rule set.
     #[test]
     fn random_clean_schedules_verify_silently(
-        m in sparse_matrix(40, 120),
+        m in chason_testutil::sparse_matrix_nonempty(40, 120),
         channels in 1usize..=4,
         pes in 1usize..=8,
         d in 2usize..=10,
@@ -313,7 +274,7 @@ proptest! {
     /// Random corruption draws always trip their targeted rule.
     #[test]
     fn random_corruptions_are_caught(
-        m in sparse_matrix(40, 120),
+        m in chason_testutil::sparse_matrix_nonempty(40, 120),
         which in 0usize..10,
         channels in 2usize..=4,
         pes in 2usize..=4,

@@ -371,33 +371,7 @@ pub fn power_iteration(
 mod tests {
     use super::*;
     use chason_sim::AcceleratorConfig;
-    use chason_sparse::generators::banded_with_nnz;
-
-    /// Builds a symmetric diagonally dominant (hence SPD) system.
-    fn spd_system(n: usize, seed: u64) -> (CooMatrix, Vec<f32>) {
-        let base = banded_with_nnz(n, 3, n * 4, seed);
-        let mut sym = std::collections::HashMap::new();
-        for &(r, c, v) in base.iter() {
-            if r != c {
-                let key = (r.min(c), r.max(c));
-                sym.entry(key).or_insert(v.abs() * 0.1);
-            }
-        }
-        let mut row_sum = vec![0.0f32; n];
-        let mut t = Vec::new();
-        for (&(r, c), &v) in &sym {
-            t.push((r, c, v));
-            t.push((c, r, v));
-            row_sum[r] += v;
-            row_sum[c] += v;
-        }
-        for (i, &sum) in row_sum.iter().enumerate() {
-            t.push((i, i, sum + 1.0));
-        }
-        let a = CooMatrix::from_triplets(n, n, t).unwrap();
-        let b: Vec<f32> = (0..n).map(|i| ((i % 7) as f32 - 3.0) * 0.5).collect();
-        (a, b)
-    }
+    use chason_testutil::spd_system;
 
     fn check_solution(a: &CooMatrix, x: &[f32], b: &[f32], tol: f64) {
         let ax = a.spmv(x);

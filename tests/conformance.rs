@@ -1,0 +1,108 @@
+//! Root integration tests driving the `chason-conformance` harness: the
+//! full small-corpus differential run, the committed golden cycle traces
+//! (with the `UPDATE_GOLDEN=1` bless flow), and the schedule fuzzer's
+//! no-escapes guarantee.
+
+use chason_conformance::{corpus, fuzz, golden, run_case, run_corpus, CorpusSize, HarnessOptions};
+use chason_sim::report::CycleTrace;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Every execution path agrees on every small-corpus matrix: the CPU
+/// kernels bit-for-bit, the engines within ULP tolerance, and the
+/// metamorphic cycle invariants hold throughout.
+#[test]
+fn small_corpus_is_conformant_across_all_paths() {
+    let report = run_corpus(CorpusSize::Small, &HarnessOptions::default());
+    assert_eq!(report.cases, 10);
+    assert!(report.paths >= 100, "only {} paths compared", report.paths);
+    assert!(
+        report.is_clean(),
+        "{}\n{}",
+        report.summary(),
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Renders one golden line per small-corpus case and engine, under the
+/// given planner thread counts.
+fn render_traces(thread_counts: Vec<usize>) -> String {
+    let options = HarnessOptions {
+        thread_counts,
+        ..HarnessOptions::default()
+    };
+    let mut out = String::new();
+    for case in corpus(CorpusSize::Small) {
+        let outcome = run_case(&case, &options);
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+        for exec in [outcome.serpens, outcome.chason].into_iter().flatten() {
+            out.push_str(&format!(
+                "{} {}\n",
+                case.name,
+                CycleTrace::from_execution(&exec)
+            ));
+        }
+    }
+    out
+}
+
+/// The committed cycle traces are byte-identical across runs and planner
+/// thread counts, every line parses back losslessly, and the golden file
+/// under `tests/golden/` matches (bless with `UPDATE_GOLDEN=1`).
+#[test]
+fn golden_cycle_traces_are_stable_and_thread_count_independent() {
+    let traces = render_traces(vec![1, 2, 5]);
+    let reordered = render_traces(vec![1, 3, 8]);
+    assert_eq!(
+        traces, reordered,
+        "cycle traces must not depend on planner thread counts"
+    );
+    for line in traces.lines() {
+        let (case, trace) = line.split_once(' ').expect("case-prefixed line");
+        let parsed: CycleTrace = trace.parse().unwrap_or_else(|e| panic!("{case}: {e}"));
+        assert_eq!(parsed.to_string(), trace, "{case} round trip");
+    }
+    golden::check_or_bless(&golden_path("cycle_traces_small.txt"), &traces)
+        .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// The schedule fuzzer injects all ten corruption kinds and every one is
+/// caught by the static checker or a dynamic oracle — no escapes.
+#[test]
+fn fuzzer_catches_every_injected_corruption() {
+    let outcome = fuzz(1, 40);
+    assert!(outcome.iterations > outcome.skipped);
+    assert!(
+        outcome.covered_all_corruptions(),
+        "not all ten corruptions were applied: {:?}",
+        outcome.detections.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        outcome.is_clean(),
+        "escapes:\n{}",
+        outcome
+            .escapes
+            .iter()
+            .map(|e| format!(
+                "iter {} {} on {}",
+                e.iteration,
+                e.corruption.name(),
+                e.matrix
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The table names each corruption and at least one catching layer.
+    let table = outcome.detection_table();
+    assert_eq!(table.lines().count(), 12, "header + divider + ten rows");
+}

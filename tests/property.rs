@@ -2,36 +2,10 @@
 
 use chason::baselines::reference;
 use chason::core::element::SparseElement;
-use chason::core::schedule::{Crhcs, PeAware, RowBased, Scheduler, SchedulerConfig};
+use chason::core::schedule::{Crhcs, PeAware, RowBased, Scheduler};
 use chason::sim::{AcceleratorConfig, ChasonEngine, SerpensEngine};
-use chason::sparse::CooMatrix;
+use chason_testutil::{sparse_matrix, toy_config};
 use proptest::prelude::*;
-
-/// Strategy: a small random sparse matrix with strictly positive values.
-///
-/// Positive (rather than merely non-zero) values keep duplicates from
-/// summing to exactly `+0.0` under `from_triplets_summing`: the §3.2 wire
-/// format reserves the all-zero word for stalls, so a `+0.0` entry is
-/// unschedulable and would be (correctly) rejected by the static checker
-/// the engines run in debug builds.
-fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
-    (2usize..=max_dim, 2usize..=max_dim).prop_flat_map(move |(rows, cols)| {
-        let coord = (0..rows, 0..cols, 1i32..=100i32);
-        proptest::collection::vec(coord, 0..=max_nnz).prop_map(move |entries| {
-            let triplets: Vec<(usize, usize, f32)> = entries
-                .into_iter()
-                .map(|(r, c, v)| (r, c, v as f32 * 0.25))
-                .collect();
-            CooMatrix::from_triplets_summing(rows, cols, triplets)
-                .expect("coordinates are in range")
-        })
-    })
-}
-
-/// Strategy: a valid small scheduler configuration.
-fn config() -> impl Strategy<Value = SchedulerConfig> {
-    (1usize..=4, 1usize..=8, 1usize..=12).prop_map(|(ch, pes, d)| SchedulerConfig::toy(ch, pes, d))
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -56,7 +30,7 @@ proptest! {
 
     /// Every scheduler conserves non-zeros and respects RAW distances.
     #[test]
-    fn schedulers_uphold_invariants(m in sparse_matrix(48, 160), cfg in config()) {
+    fn schedulers_uphold_invariants(m in sparse_matrix(48, 160), cfg in toy_config()) {
         for scheduler in [&RowBased::new() as &dyn Scheduler, &PeAware::new(), &Crhcs::new()] {
             let s = scheduler.schedule(&m, &cfg);
             prop_assert_eq!(s.scheduled_nonzeros(), m.nnz());
@@ -69,7 +43,7 @@ proptest! {
     /// CrHCS never increases underutilization or stream length relative to
     /// the PE-aware baseline it starts from.
     #[test]
-    fn crhcs_never_regresses(m in sparse_matrix(48, 160), cfg in config()) {
+    fn crhcs_never_regresses(m in sparse_matrix(48, 160), cfg in toy_config()) {
         let base = PeAware::new().schedule(&m, &cfg);
         let improved = Crhcs::new().schedule(&m, &cfg);
         prop_assert!(improved.stream_cycles() <= base.stream_cycles());

@@ -7,6 +7,16 @@
 //! flat-mapped / filtered strategies, and `collection::vec`). A failing
 //! case panics with the standard assertion message; seeds are fixed per
 //! case index, so failures reproduce exactly.
+//!
+//! Determinism controls (all optional):
+//!
+//! * `PROPTEST_CASES=N` overrides every property's declared case count —
+//!   CI pins it so each push tests the same budget.
+//! * `PROPTEST_SEED=S` (decimal or `0x…`) overrides the base seed case
+//!   seeds are derived from.
+//! * On failure the runner prints the failing case's seed and the exact
+//!   `PROPTEST_SEED=… PROPTEST_CASES=1` invocation that replays it (the
+//!   shim does not shrink, so the seed is the regression artifact).
 
 #![forbid(unsafe_code)]
 
@@ -18,6 +28,9 @@ pub use rand as __rand;
 pub mod test_runner {
     /// The RNG driving value generation.
     pub type TestRng = rand::rngs::StdRng;
+
+    /// The default base seed mixed into every per-case seed (`"prop"`).
+    pub const DEFAULT_BASE_SEED: u64 = 0x7072_6f70;
 
     /// Configuration accepted by `#![proptest_config(..)]`.
     #[derive(Debug, Clone)]
@@ -36,6 +49,59 @@ pub mod test_runner {
     impl Default for ProptestConfig {
         fn default() -> Self {
             ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The case count to run: `PROPTEST_CASES` when set (decimal), else the
+    /// count the property declared. Lets CI pin a uniform budget and lets a
+    /// developer replay one case with `PROPTEST_CASES=1`.
+    pub fn cases_from_env(declared: u32) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.trim().parse().unwrap_or(declared),
+            Err(_) => declared,
+        }
+    }
+
+    /// The base seed: `PROPTEST_SEED` when set (decimal or `0x…` hex), else
+    /// [`DEFAULT_BASE_SEED`]. Case `i` runs with
+    /// `base ^ (i * 0x9e37_79b9_7f4a_7c15)`, so with `PROPTEST_CASES=1` the
+    /// base seed *is* the seed of the single case — exactly the value a
+    /// failure report prints.
+    pub fn base_seed_from_env() -> u64 {
+        let parse = |v: &str| {
+            let v = v.trim();
+            match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => v.parse().ok(),
+            }
+        };
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| parse(&v))
+            .unwrap_or(DEFAULT_BASE_SEED)
+    }
+
+    /// The seed of case `case` under `base` — the value to export as
+    /// `PROPTEST_SEED` (with `PROPTEST_CASES=1`) to replay that case alone.
+    pub fn case_seed(base: u64, case: u32) -> u64 {
+        base ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Runs one property case, printing a reproduction line naming the
+    /// failing seed before propagating any panic. The shim has no input
+    /// shrinking, so the seed *is* the regression artifact: rerunning with
+    /// `PROPTEST_SEED=<seed> PROPTEST_CASES=1` regenerates the same inputs.
+    pub fn run_case<F: FnOnce(&mut TestRng)>(property: &str, case: u32, seed: u64, body: F) {
+        use rand::SeedableRng;
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(&mut rng)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest: property `{property}` failed at case {case} (seed {seed:#018x}); \
+                 reproduce with PROPTEST_SEED={seed:#x} PROPTEST_CASES=1"
+            );
+            std::panic::resume_unwind(panic);
         }
     }
 }
@@ -379,16 +445,14 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
-            for case in 0..config.cases {
-                let mut rng =
-                    <$crate::test_runner::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(
-                        0x70_726f_70u64 ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                    );
-                let mut one_case = || {
-                    $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+            let cases = $crate::test_runner::cases_from_env(config.cases);
+            let base = $crate::test_runner::base_seed_from_env();
+            for case in 0..cases {
+                let seed = $crate::test_runner::case_seed(base, case);
+                $crate::test_runner::run_case(stringify!($name), case, seed, |rng| {
+                    $(let $pat = $crate::strategy::Strategy::new_value(&($strat), rng);)+
                     $body
-                };
-                one_case();
+                });
             }
         }
     )*};
@@ -426,5 +490,40 @@ mod tests {
             prop_assume!(n % 2 == 0);
             prop_assert_eq!(n % 2, 0);
         }
+    }
+
+    #[test]
+    fn case_zero_seed_is_the_base_seed() {
+        // With PROPTEST_CASES=1, exporting PROPTEST_SEED=<failing seed>
+        // replays exactly the failing case: case 0 mixes nothing in.
+        assert_eq!(crate::test_runner::case_seed(0xdead_beef, 0), 0xdead_beef);
+        assert_ne!(
+            crate::test_runner::case_seed(0xdead_beef, 1),
+            crate::test_runner::case_seed(0xdead_beef, 2)
+        );
+    }
+
+    #[test]
+    fn env_fallbacks_use_declared_values() {
+        // The test environment does not set the variables; the declared
+        // values must win. (Positive parses are covered by CI, which pins
+        // both variables for every test job.)
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(crate::test_runner::cases_from_env(17), 17);
+        }
+        if std::env::var("PROPTEST_SEED").is_err() {
+            assert_eq!(
+                crate::test_runner::base_seed_from_env(),
+                crate::test_runner::DEFAULT_BASE_SEED
+            );
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_seed_and_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_case("demo", 3, 42, |_rng| panic!("boom"));
+        });
+        assert!(result.is_err());
     }
 }
