@@ -27,7 +27,7 @@ fn load_matrix(args: &Args) -> Result<CooMatrix, String> {
     read_matrix_market(file).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn scheduler_config(args: &Args) -> Result<SchedulerConfig, String> {
+pub(crate) fn scheduler_config(args: &Args) -> Result<SchedulerConfig, String> {
     let config = SchedulerConfig {
         channels: args.get_or("channels", 16usize)?,
         pes_per_channel: args.get_or("pes", 8usize)?,

@@ -14,6 +14,7 @@
 
 mod args;
 mod commands;
+mod service;
 
 use args::Args;
 use std::process::ExitCode;
@@ -42,6 +43,16 @@ USAGE:
                                [--alpha A] [--bandwidth W] [--dense-rows D] [--seed S]
                                (recipes: uniform, powerlaw, banded, arrow)
   chason catalog
+  chason serve                 [--addr HOST:PORT] [--workers N] [--queue N]
+                               [--plan-cache N] [--matrix-cache N] [--batch-max N]
+                               [--retry-after-ms MS] [--channels N] [--pes N]
+                               # CHSP daemon; runs until a Shutdown request
+  chason client <op>           stats | load <m.mtx> | spmv <m.mtx> | solve <m.mtx>
+                               | plan <m.mtx> [--out FILE] | shutdown
+                               [--addr HOST:PORT] [--engine E] [--solver S]
+  chason loadgen               [--addr HOST:PORT] [--connections N] [--requests M]
+                               [--seed S] [--report FILE] [--require-hits]
+                               # deterministic closed-loop load generator
 
 Matrices are MatrixMarket coordinate files (real/integer/pattern,
 general/symmetric).";
@@ -65,6 +76,9 @@ fn main() -> ExitCode {
         "conformance" => commands::conformance(&args),
         "generate" => commands::generate(&args),
         "catalog" => commands::catalog(),
+        "serve" => service::serve(&args),
+        "client" => service::client(&args),
+        "loadgen" => service::run_loadgen(&args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())

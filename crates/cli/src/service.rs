@@ -1,0 +1,163 @@
+//! `chason serve` / `chason client` / `chason loadgen` — the CHSP service
+//! front ends.
+
+use crate::args::Args;
+use crate::commands::scheduler_config;
+use chason_serve::client::Client;
+use chason_serve::loadgen::{self, LoadgenOptions};
+use chason_serve::proto::{Engine, SolverKind};
+use chason_serve::server::{ServeConfig, Server};
+use chason_sparse::market::read_matrix_market;
+use chason_sparse::CooMatrix;
+use std::fs::File;
+use std::io::Write;
+use std::time::Duration;
+
+fn parse_engine(args: &Args) -> Result<Engine, String> {
+    let name = args.get("engine").unwrap_or("chason");
+    Engine::from_name(name).ok_or_else(|| format!("unknown engine '{name}'"))
+}
+
+fn read_positional_matrix(args: &Args, index: usize) -> Result<CooMatrix, String> {
+    let path = args
+        .positional
+        .get(index)
+        .ok_or_else(|| "expected a MatrixMarket file path".to_string())?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_matrix_market(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// `chason serve` — run the CHSP daemon until a `Shutdown` request
+/// arrives.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let config = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7477").to_string(),
+        workers: args.get_or("workers", 4usize)?,
+        queue_capacity: args.get_or("queue", 64usize)?,
+        plan_cache_capacity: args.get_or("plan-cache", 64usize)?,
+        matrix_cache_capacity: args.get_or("matrix-cache", 32usize)?,
+        idle_timeout: Duration::from_secs(args.get_or("idle-timeout-secs", 30u64)?),
+        batch_max: args.get_or("batch-max", 8usize)?,
+        retry_after_ms: args.get_or("retry-after-ms", 20u32)?,
+        sched: scheduler_config(args)?,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("chason serve listening on {}", server.local_addr());
+    // The line above is how scripts discover an ephemeral port; make sure
+    // it is visible before we block.
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout: {e}"))?;
+    server.join();
+    println!("chason serve drained and exited");
+    Ok(())
+}
+
+fn connect(args: &Args) -> Result<Client, String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7477");
+    Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+/// `chason client <op>` — one-shot CHSP requests against a running
+/// server.
+pub fn client(args: &Args) -> Result<(), String> {
+    let op = args.positional.first().map(String::as_str).ok_or_else(|| {
+        "expected an operation: stats | load | spmv | solve | plan | shutdown".to_string()
+    })?;
+    let mut client = connect(args)?;
+    match op {
+        "stats" => {
+            let snapshot = client.stats().map_err(|e| e.to_string())?;
+            print!("{}", snapshot.render_table());
+        }
+        "load" => {
+            let matrix = read_positional_matrix(args, 1)?;
+            let (handle, fresh) = client.load_matrix(&matrix).map_err(|e| e.to_string())?;
+            println!(
+                "handle {handle:#018x} ({}, {} x {}, {} nnz)",
+                if fresh { "fresh" } else { "already resident" },
+                matrix.rows(),
+                matrix.cols(),
+                matrix.nnz()
+            );
+        }
+        "spmv" => {
+            let matrix = read_positional_matrix(args, 1)?;
+            let engine = parse_engine(args)?;
+            let (handle, _) = client.load_matrix(&matrix).map_err(|e| e.to_string())?;
+            let x = vec![1.0f32; matrix.cols()];
+            let (y, service_micros, simulated_nanos) =
+                client.spmv(handle, engine, x).map_err(|e| e.to_string())?;
+            let checksum: f64 = y.iter().map(|&v| v as f64).sum();
+            println!("engine        : {}", engine.name());
+            println!("y checksum    : {checksum:.6}");
+            println!("service time  : {service_micros} us");
+            println!("modeled time  : {simulated_nanos} ns");
+        }
+        "solve" => {
+            let matrix = read_positional_matrix(args, 1)?;
+            let engine = parse_engine(args)?;
+            let solver_name = args.get("solver").unwrap_or("cg");
+            let solver = SolverKind::from_name(solver_name)
+                .ok_or_else(|| format!("unknown solver '{solver_name}'"))?;
+            let max_iterations = args.get_or("max-iterations", 500u32)?;
+            let tolerance = args.get_or("tolerance", 1e-6f64)?;
+            let (handle, _) = client.load_matrix(&matrix).map_err(|e| e.to_string())?;
+            let b = vec![1.0f32; matrix.rows()];
+            let outcome = client
+                .solve(handle, engine, solver, max_iterations, tolerance, b)
+                .map_err(|e| e.to_string())?;
+            println!("solver        : {} on {}", solver.name(), engine.name());
+            println!(
+                "converged     : {} after {} iterations (residual {:.3e})",
+                outcome.converged, outcome.iterations, outcome.residual
+            );
+            println!("service time  : {} us", outcome.service_micros);
+            println!("modeled time  : {} ns", outcome.simulated_nanos);
+        }
+        "plan" => {
+            let matrix = read_positional_matrix(args, 1)?;
+            let engine = parse_engine(args)?;
+            let (handle, _) = client.load_matrix(&matrix).map_err(|e| e.to_string())?;
+            let bytes = client.plan(handle, engine).map_err(|e| e.to_string())?;
+            match args.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &bytes)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("wrote {} CHPL bytes to {path}", bytes.len());
+                }
+                None => println!(
+                    "plan artifact: {} CHPL bytes (use --out FILE to save)",
+                    bytes.len()
+                ),
+            }
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server acknowledged shutdown");
+        }
+        other => return Err(format!("unknown client operation '{other}'")),
+    }
+    Ok(())
+}
+
+/// `chason loadgen` — deterministic closed-loop load against a CHSP
+/// server (or an in-process one when `--addr` is omitted).
+pub fn run_loadgen(args: &Args) -> Result<(), String> {
+    let options = LoadgenOptions {
+        connections: args.get_or("connections", 4usize)?,
+        requests: args.get_or("requests", 1000usize)?,
+        seed: args.get_or("seed", 7u64)?,
+        addr: args.get("addr").map(str::to_string),
+        require_hits: args.has_flag("require-hits"),
+    };
+    let report = loadgen::run(&options)?;
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(path) = args.get("report") {
+        std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    Ok(())
+}

@@ -24,12 +24,101 @@
 use crate::element::STALL_WORD;
 use crate::plan::{PassPlan, PlanKey, PlanWindow, SpmvPlan};
 use crate::schedule::{ChannelSchedule, NzSlot, ScheduledMatrix, SchedulerConfig};
+use std::fmt;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"CHSN";
 const VERSION: u32 = 1;
 const PLAN_MAGIC: &[u8; 4] = b"CHPL";
 const PLAN_VERSION: u32 = 1;
+
+/// Pre-allocation ceiling for length-prefixed collections: a corrupt or
+/// adversarial count can at most reserve this many elements up front; the
+/// rest of the capacity is grown only as bytes actually arrive, so a huge
+/// declared count fails with a clean truncation error instead of an
+/// allocation abort.
+const PREALLOC_LIMIT: usize = 4096;
+
+/// Typed failure of the binary readers ([`read_schedule`], [`read_plan`]).
+///
+/// The readers consume untrusted bytes — the `chason-serve` daemon feeds
+/// them network payloads — so every malformed input must surface here
+/// rather than as a panic or an unbounded allocation.
+#[derive(Debug)]
+pub enum ExportError {
+    /// The underlying reader failed; truncated streams surface as
+    /// [`io::ErrorKind::UnexpectedEof`].
+    Io(io::Error),
+    /// The stream does not start with the expected container magic.
+    BadMagic {
+        /// The container that was expected (`"CHSN"` or `"CHPL"`).
+        expected: &'static str,
+    },
+    /// The container version is not supported by this build.
+    UnsupportedVersion {
+        /// Version found in the header.
+        got: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// A structurally invalid encoding (bad tag, bad flag, non-UTF-8
+    /// name, implausible geometry).
+    Malformed(String),
+    /// A count or length field exceeds the format's plausibility cap.
+    Oversized {
+        /// Which field overflowed.
+        what: &'static str,
+        /// The declared value.
+        got: u64,
+        /// The cap it violated.
+        cap: u64,
+    },
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Io(e) => write!(f, "artifact I/O failed: {e}"),
+            ExportError::BadMagic { expected } => {
+                write!(f, "not a {expected} artifact (bad magic)")
+            }
+            ExportError::UnsupportedVersion { got, expected } => {
+                write!(
+                    f,
+                    "unsupported artifact version {got} (expected {expected})"
+                )
+            }
+            ExportError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            ExportError::Oversized { what, got, cap } => {
+                write!(f, "implausible {what} count {got} (cap {cap})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ExportError {
+    fn from(e: io::Error) -> Self {
+        ExportError::Io(e)
+    }
+}
+
+impl From<ExportError> for io::Error {
+    fn from(e: ExportError) -> Self {
+        match e {
+            ExportError::Io(inner) => inner,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
 
 /// A deserialized schedule artifact: configuration, shape, and the padded
 /// per-channel data lists.
@@ -129,23 +218,23 @@ fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` for a bad magic/version or implausible geometry,
-/// and propagates I/O failures (including truncation).
-pub fn read_schedule<R: Read>(mut reader: R) -> io::Result<ScheduleArtifact> {
+/// [`ExportError::BadMagic`] / [`ExportError::UnsupportedVersion`] for the
+/// wrong container, [`ExportError::Malformed`] / [`ExportError::Oversized`]
+/// for implausible geometry or counts, and [`ExportError::Io`] for I/O
+/// failures (truncation included). Allocation is proportional to the bytes
+/// actually read, never to a declared count alone.
+pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduleArtifact, ExportError> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a CHSN artifact",
-        ));
+        return Err(ExportError::BadMagic { expected: "CHSN" });
     }
     let version = read_u32(&mut reader)?;
     if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported artifact version {version}"),
-        ));
+        return Err(ExportError::UnsupportedVersion {
+            got: version,
+            expected: VERSION,
+        });
     }
     let channels = read_u32(&mut reader)? as usize;
     let pes = read_u32(&mut reader)? as usize;
@@ -159,9 +248,8 @@ pub fn read_schedule<R: Read>(mut reader: R) -> io::Result<ScheduleArtifact> {
         migration_hops: hops.max(1),
     };
     if !config.is_valid() || channels > 1024 || pes > 64 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "implausible scheduler geometry in artifact header",
+        return Err(ExportError::Malformed(
+            "implausible scheduler geometry in artifact header".to_string(),
         ));
     }
     let rows = read_u64(&mut reader)?;
@@ -171,12 +259,14 @@ pub fn read_schedule<R: Read>(mut reader: R) -> io::Result<ScheduleArtifact> {
     let words_per_channel = cycles
         .checked_mul(pes as u64)
         .filter(|&w| w <= (1 << 34))
-        .ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "artifact list length overflows")
+        .ok_or(ExportError::Oversized {
+            what: "channel list word",
+            got: cycles,
+            cap: 1 << 34,
         })?;
-    let mut lists = Vec::with_capacity(channels);
+    let mut lists = Vec::with_capacity(channels.min(PREALLOC_LIMIT));
     for _ in 0..channels {
-        let mut list = Vec::with_capacity(words_per_channel as usize);
+        let mut list = Vec::with_capacity((words_per_channel as usize).min(PREALLOC_LIMIT));
         for _ in 0..words_per_channel {
             list.push(read_u64(&mut reader)?);
         }
@@ -192,8 +282,8 @@ pub fn read_schedule<R: Read>(mut reader: R) -> io::Result<ScheduleArtifact> {
     })
 }
 
-fn invalid(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+fn invalid(msg: impl Into<String>) -> ExportError {
+    ExportError::Malformed(msg.into())
 }
 
 fn write_config<W: Write>(writer: &mut W, cfg: &SchedulerConfig) -> io::Result<()> {
@@ -209,7 +299,7 @@ fn write_config<W: Write>(writer: &mut W, cfg: &SchedulerConfig) -> io::Result<(
     Ok(())
 }
 
-fn read_config<R: Read>(reader: &mut R) -> io::Result<SchedulerConfig> {
+fn read_config<R: Read>(reader: &mut R) -> Result<SchedulerConfig, ExportError> {
     let config = SchedulerConfig {
         channels: read_u32(reader)? as usize,
         pes_per_channel: read_u32(reader)? as usize,
@@ -225,10 +315,10 @@ fn read_config<R: Read>(reader: &mut R) -> io::Result<SchedulerConfig> {
 
 /// Reads a count field and rejects implausibly large values, so a corrupt
 /// or adversarial stream cannot request a huge allocation up front.
-fn read_count<R: Read>(reader: &mut R, what: &str, cap: u64) -> io::Result<usize> {
+fn read_count<R: Read>(reader: &mut R, what: &'static str, cap: u64) -> Result<usize, ExportError> {
     let v = read_u64(reader)?;
     if v > cap {
-        return Err(invalid(format!("implausible {what} count {v}")));
+        return Err(ExportError::Oversized { what, got: v, cap });
     }
     Ok(v as usize)
 }
@@ -265,17 +355,17 @@ fn write_schedule_grid<W: Write>(writer: &mut W, s: &ScheduledMatrix) -> io::Res
     Ok(())
 }
 
-fn read_schedule_grid<R: Read>(reader: &mut R) -> io::Result<ScheduledMatrix> {
+fn read_schedule_grid<R: Read>(reader: &mut R) -> Result<ScheduledMatrix, ExportError> {
     let config = read_config(reader)?;
     let rows = read_u64(reader)? as usize;
     let cols = read_u64(reader)? as usize;
     let nnz = read_u64(reader)? as usize;
     let channel_count = read_count(reader, "channel", 1024)?;
-    let mut channels = Vec::with_capacity(channel_count);
+    let mut channels = Vec::with_capacity(channel_count.min(PREALLOC_LIMIT));
     for _ in 0..channel_count {
         let channel = read_u64(reader)? as usize;
         let cycles = read_count(reader, "cycle", 1 << 34)?;
-        let mut grid = Vec::with_capacity(cycles);
+        let mut grid = Vec::with_capacity(cycles.min(PREALLOC_LIMIT));
         for _ in 0..cycles {
             let lanes = read_count(reader, "lane", 4096)?;
             let mut row = Vec::with_capacity(lanes);
@@ -375,18 +465,25 @@ pub fn write_plan<W: Write>(mut writer: W, plan: &SpmvPlan) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` for a bad magic/version, implausible geometry or
-/// counts, or malformed slot encodings; propagates I/O failures (including
-/// truncation).
-pub fn read_plan<R: Read>(mut reader: R) -> io::Result<SpmvPlan> {
+/// [`ExportError::BadMagic`] / [`ExportError::UnsupportedVersion`] for the
+/// wrong container, [`ExportError::Malformed`] / [`ExportError::Oversized`]
+/// for implausible geometry, counts, or slot encodings, and
+/// [`ExportError::Io`] for I/O failures (truncation included). The reader
+/// is safe on untrusted bytes: no input can trigger a panic, and
+/// allocation is proportional to the bytes actually read, never to a
+/// declared count alone.
+pub fn read_plan<R: Read>(mut reader: R) -> Result<SpmvPlan, ExportError> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if &magic != PLAN_MAGIC {
-        return Err(invalid("not a CHPL plan artifact"));
+        return Err(ExportError::BadMagic { expected: "CHPL" });
     }
     let version = read_u32(&mut reader)?;
     if version != PLAN_VERSION {
-        return Err(invalid(format!("unsupported plan version {version}")));
+        return Err(ExportError::UnsupportedVersion {
+            got: version,
+            expected: PLAN_VERSION,
+        });
     }
     let fingerprint = read_u64(&mut reader)?;
     let config = read_config(&mut reader)?;
@@ -404,13 +501,13 @@ pub fn read_plan<R: Read>(mut reader: R) -> io::Result<SpmvPlan> {
     let cols = read_u64(&mut reader)? as usize;
     let nnz = read_u64(&mut reader)? as usize;
     let pass_count = read_count(&mut reader, "pass", 1 << 20)?;
-    let mut passes = Vec::with_capacity(pass_count);
+    let mut passes = Vec::with_capacity(pass_count.min(PREALLOC_LIMIT));
     for _ in 0..pass_count {
         let row_start = read_u64(&mut reader)? as usize;
         let row_end = read_u64(&mut reader)? as usize;
         let pass_nnz = read_u64(&mut reader)? as usize;
         let window_count = read_count(&mut reader, "window", 1 << 20)?;
-        let mut windows = Vec::with_capacity(window_count);
+        let mut windows = Vec::with_capacity(window_count.min(PREALLOC_LIMIT));
         for _ in 0..window_count {
             let col_start = read_u64(&mut reader)? as usize;
             let col_end = read_u64(&mut reader)? as usize;
@@ -492,7 +589,9 @@ mod tests {
     #[test]
     fn bad_magic_is_rejected() {
         let err = read_schedule(&b"NOPE1234"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, ExportError::BadMagic { expected: "CHSN" }));
+        // The io::Error conversion keeps it an InvalidData failure.
+        assert_eq!(io::Error::from(err).kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
@@ -501,7 +600,8 @@ mod tests {
         let mut buf = Vec::new();
         write_schedule(&mut buf, &schedule).unwrap();
         buf.truncate(buf.len() - 9);
-        assert!(read_schedule(buf.as_slice()).is_err());
+        let err = read_schedule(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ExportError::Io(_)), "{err}");
     }
 
     #[test]

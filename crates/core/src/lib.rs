@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod diag;
 pub mod element;
 pub mod export;
@@ -46,6 +47,7 @@ pub mod schedule;
 pub mod viz;
 pub mod window;
 
+pub use cache::{CacheStats, LruCache};
 pub use diag::{Location, RuleId, ScheduleError, Severity};
 pub use element::SparseElement;
 pub use plan::{matrix_fingerprint, PassPlan, PlanKey, PlanWindow, SpmvPlan};

@@ -1,0 +1,257 @@
+//! Blocking CHSP client used by `chason client`, the load generator, and
+//! the integration tests.
+
+use crate::proto::{
+    decode_reply, encode_request, load_request, read_frame_blocking, write_frame, Engine,
+    ErrorCode, ProtoError, Reply, Request, SolverKind, StatsSnapshot, DEFAULT_MAX_FRAME,
+};
+use chason_sparse::CooMatrix;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-visible failure of one request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed.
+    Io(io::Error),
+    /// The server's bytes did not decode as a CHSP reply.
+    Proto(ProtoError),
+    /// The server shed the request; retry after the hinted delay.
+    Busy {
+        /// Server's suggested back-off.
+        retry_after_ms: u32,
+    },
+    /// The server answered with a typed error.
+    Server {
+        /// Failure class.
+        code: ErrorCode,
+        /// Server-rendered detail.
+        message: String,
+    },
+    /// The server answered with a reply of the wrong type for the
+    /// request.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy; retry after {retry_after_ms} ms")
+            }
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// Outcome of [`Client::solve`].
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Final iterate.
+    pub solution: Vec<f32>,
+    /// Iterations performed.
+    pub iterations: u64,
+    /// Final relative residual.
+    pub residual: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+    /// Server-side service time in microseconds.
+    pub service_micros: u64,
+    /// Modeled accelerator time in nanoseconds.
+    pub simulated_nanos: u64,
+}
+
+/// A blocking CHSP connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects and configures socket timeouts.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures connecting.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends one request and reads its raw reply ([`Reply::Busy`] and
+    /// [`Reply::Error`] included — the typed helpers map them to
+    /// [`ClientError`]).
+    ///
+    /// # Errors
+    ///
+    /// Connection and decode failures.
+    pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        write_frame(&mut self.stream, &encode_request(request))?;
+        let payload = read_frame_blocking(&mut self.stream, self.max_frame)?;
+        Ok(decode_reply(&payload)?)
+    }
+
+    fn expect(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        match self.request(request)? {
+            Reply::Busy { retry_after_ms } => Err(ClientError::Busy { retry_after_ms }),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            reply => Ok(reply),
+        }
+    }
+
+    /// Uploads a matrix; returns `(handle, fresh)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] variants as for every typed helper.
+    pub fn load_matrix(&mut self, matrix: &CooMatrix) -> Result<(u64, bool), ClientError> {
+        match self.expect(&load_request(matrix))? {
+            Reply::Loaded { handle, fresh, .. } => Ok((handle, fresh)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Computes `y = A·x`; returns `(y, service_micros, simulated_nanos)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] variants as for every typed helper.
+    pub fn spmv(
+        &mut self,
+        handle: u64,
+        engine: Engine,
+        x: Vec<f32>,
+    ) -> Result<(Vec<f32>, u64, u64), ClientError> {
+        match self.expect(&Request::Spmv { handle, engine, x })? {
+            Reply::Vector {
+                y,
+                service_micros,
+                simulated_nanos,
+            } => Ok((y, service_micros, simulated_nanos)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Runs an iterative solve of `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] variants as for every typed helper.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve(
+        &mut self,
+        handle: u64,
+        engine: Engine,
+        solver: SolverKind,
+        max_iterations: u32,
+        tolerance: f64,
+        b: Vec<f32>,
+    ) -> Result<SolveOutcome, ClientError> {
+        let request = Request::Solve {
+            handle,
+            engine,
+            solver,
+            max_iterations,
+            tolerance,
+            b,
+        };
+        match self.expect(&request)? {
+            Reply::Solved {
+                solution,
+                iterations,
+                residual,
+                converged,
+                service_micros,
+                simulated_nanos,
+            } => Ok(SolveOutcome {
+                solution,
+                iterations,
+                residual,
+                converged,
+                service_micros,
+                simulated_nanos,
+            }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the CHPL plan artifact for a resident matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] variants as for every typed helper.
+    pub fn plan(&mut self, handle: u64, engine: Engine) -> Result<Vec<u8>, ClientError> {
+        match self.expect(&Request::Plan { handle, engine })? {
+            Reply::PlanArtifact { bytes } => Ok(bytes),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] variants as for every typed helper.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.expect(&Request::Stats)? {
+            Reply::Stats(snapshot) => Ok(snapshot),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] variants as for every typed helper.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Shutdown)? {
+            Reply::Done => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Occupies a worker for `millis` (diagnostic; see
+    /// [`Request::Sleep`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] variants as for every typed helper.
+    pub fn sleep(&mut self, millis: u32) -> Result<(), ClientError> {
+        match self.expect(&Request::Sleep { millis })? {
+            Reply::Done => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

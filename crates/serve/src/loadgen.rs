@@ -1,0 +1,406 @@
+//! Deterministic closed-loop load generator for a CHSP server.
+//!
+//! `chason loadgen` drives a mixed workload — roughly 60% SpMV across all
+//! three backends, 20% iterative solves, 10% plan fetches, 10% stats
+//! polls — from N concurrent connections, each a closed loop (next
+//! request only after the previous reply). The request schedule is a pure
+//! function of `(seed, connection index)`, so a run is reproducible
+//! end-to-end; the only nondeterminism is timing. `Busy` replies are
+//! retried after the server's hint and counted, never treated as errors:
+//! shedding is the server behaving as specified.
+
+use crate::client::{Client, ClientError};
+use crate::proto::{Engine, SolverKind, StatsSnapshot};
+use crate::server::{ServeConfig, Server};
+use crate::stats::percentiles;
+use chason_sparse::CooMatrix;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Knobs of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Total requests across all connections (setup `LoadMatrix` uploads
+    /// are extra).
+    pub requests: usize,
+    /// Workload seed; same seed, same request schedule.
+    pub seed: u64,
+    /// Server to drive; `None` starts an in-process server on an
+    /// ephemeral port and shuts it down afterwards.
+    pub addr: Option<String>,
+    /// Fail the run unless the server reports at least one plan-cache
+    /// hit.
+    pub require_hits: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            connections: 4,
+            requests: 1000,
+            seed: 7,
+            addr: None,
+            require_hits: false,
+        }
+    }
+}
+
+/// Outcome of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests that completed with the expected reply type.
+    pub completed: u64,
+    /// Requests that failed at the protocol level (decode failures,
+    /// unexpected reply types, typed server errors, dropped
+    /// connections).
+    pub protocol_errors: u64,
+    /// `Busy` replies absorbed by retrying.
+    pub busy_retries: u64,
+    /// Completed requests by type: `[spmv, solve, plan, stats]`.
+    pub by_type: [u64; 4],
+    /// Wall-clock of the whole run in seconds.
+    pub elapsed_seconds: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Client-observed request latency percentiles `(p50, p90, p99,
+    /// max)`, in microseconds.
+    pub latency_micros: (u64, u64, u64, u64),
+    /// The server's own counters, fetched after the run.
+    pub server_stats: StatsSnapshot,
+}
+
+impl LoadgenReport {
+    /// Renders the human-readable report `chason loadgen` prints (and the
+    /// CI job uploads).
+    pub fn render(&self) -> String {
+        let (p50, p90, p99, max) = self.latency_micros;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "completed            : {} ({} spmv, {} solve, {} plan, {} stats)\n",
+            self.completed, self.by_type[0], self.by_type[1], self.by_type[2], self.by_type[3]
+        ));
+        out.push_str(&format!(
+            "protocol errors      : {}\n",
+            self.protocol_errors
+        ));
+        out.push_str(&format!("busy retries         : {}\n", self.busy_retries));
+        out.push_str(&format!(
+            "throughput           : {:.1} req/s over {:.2} s\n",
+            self.throughput_rps, self.elapsed_seconds
+        ));
+        out.push_str(&format!(
+            "latency (client)     : p50 {p50} us, p90 {p90} us, p99 {p99} us, max {max} us\n"
+        ));
+        out.push_str("--- server stats ---\n");
+        out.push_str(&self.server_stats.render_table());
+        out
+    }
+}
+
+struct ConnOutcome {
+    completed: u64,
+    protocol_errors: u64,
+    busy_retries: u64,
+    by_type: [u64; 4],
+    latencies: Vec<u64>,
+}
+
+/// SplitMix64: tiny, seedable, and good enough to shuffle a workload.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A symmetric, strictly diagonally dominant system (hence SPD), so both
+/// CG and Jacobi converge on it. Deterministic in `(n, seed)`.
+fn workload_matrix(n: usize, seed: u64) -> CooMatrix {
+    let mut rng = seed;
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+    let mut row_sum = vec![0.0f32; n];
+    for i in 0..n {
+        for _ in 0..3 {
+            let j = (splitmix64(&mut rng) as usize) % n;
+            if i == j {
+                continue;
+            }
+            let v = 0.05 + (splitmix64(&mut rng) % 400) as f32 / 1000.0;
+            triplets.push((i, j, v));
+            triplets.push((j, i, v));
+            row_sum[i] += v;
+            row_sum[j] += v;
+        }
+    }
+    for (i, &sum) in row_sum.iter().enumerate() {
+        triplets.push((i, i, sum + 1.0));
+    }
+    #[allow(clippy::expect_used)] // coordinates are in-bounds by construction
+    CooMatrix::from_triplets_summing(n, n, triplets).expect("workload matrix is well-formed")
+}
+
+/// The shared matrices every connection uploads and then works against.
+fn workload_matrices(seed: u64) -> Vec<CooMatrix> {
+    vec![
+        workload_matrix(48, seed ^ 0x11),
+        workload_matrix(72, seed ^ 0x22),
+        workload_matrix(96, seed ^ 0x33),
+    ]
+}
+
+const ENGINES: [Engine; 3] = [Engine::Cpu, Engine::Chason, Engine::Serpens];
+
+fn run_connection(
+    addr: &str,
+    matrices: &[CooMatrix],
+    requests: usize,
+    mut rng: u64,
+) -> Result<ConnOutcome, ClientError> {
+    let mut client = Client::connect(addr)?;
+    let mut handles = Vec::with_capacity(matrices.len());
+    for matrix in matrices {
+        let (handle, _fresh) = client.load_matrix(matrix)?;
+        handles.push(handle);
+    }
+    let mut outcome = ConnOutcome {
+        completed: 0,
+        protocol_errors: 0,
+        busy_retries: 0,
+        by_type: [0; 4],
+        latencies: Vec::with_capacity(requests),
+    };
+    for _ in 0..requests {
+        let which = (splitmix64(&mut rng) as usize) % matrices.len();
+        let (matrix, handle) = (&matrices[which], handles[which]);
+        let n = matrix.rows();
+        let kind = splitmix64(&mut rng) % 10;
+        // Retry loop: Busy is shedding, not failure.
+        loop {
+            let start = Instant::now();
+            let result: Result<usize, ClientError> = match kind {
+                0..=5 => {
+                    let phase = (splitmix64(&mut rng) % 1000) as f32 / 1000.0;
+                    let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37 + phase).sin()).collect();
+                    let engine = ENGINES[(splitmix64(&mut rng) as usize) % ENGINES.len()];
+                    client.spmv(handle, engine, x).and_then(|(y, _, _)| {
+                        if y.len() == n {
+                            Ok(0)
+                        } else {
+                            Err(ClientError::Unexpected(format!(
+                                "spmv returned {} values for {n} rows",
+                                y.len()
+                            )))
+                        }
+                    })
+                }
+                6 | 7 => {
+                    let b: Vec<f32> = (0..n).map(|i| 1.0 + (i % 5) as f32 * 0.25).collect();
+                    let engine = ENGINES[1 + (splitmix64(&mut rng) as usize) % 2];
+                    let solver = if splitmix64(&mut rng).is_multiple_of(2) {
+                        SolverKind::Jacobi
+                    } else {
+                        SolverKind::Cg
+                    };
+                    client.solve(handle, engine, solver, 8, 1e-4, b).map(|_| 1)
+                }
+                8 => {
+                    let engine = ENGINES[1 + (splitmix64(&mut rng) as usize) % 2];
+                    client.plan(handle, engine).and_then(|bytes| {
+                        if bytes.starts_with(b"CHPL") {
+                            Ok(2)
+                        } else {
+                            Err(ClientError::Unexpected(
+                                "plan artifact missing CHPL magic".to_string(),
+                            ))
+                        }
+                    })
+                }
+                _ => client.stats().map(|_| 3),
+            };
+            match result {
+                Ok(slot) => {
+                    outcome.latencies.push(start.elapsed().as_micros() as u64);
+                    outcome.completed += 1;
+                    outcome.by_type[slot] += 1;
+                    break;
+                }
+                Err(ClientError::Busy { retry_after_ms }) => {
+                    outcome.busy_retries += 1;
+                    thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
+                }
+                Err(ClientError::Io(e)) => return Err(ClientError::Io(e)), // connection gone
+                Err(_) => {
+                    outcome.protocol_errors += 1;
+                    break;
+                }
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// Runs the load generator.
+///
+/// # Errors
+///
+/// A human-readable message when the run cannot start, a connection dies,
+/// or (`require_hits`) the server reports zero plan-cache hits.
+pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
+    let connections = options.connections.max(1);
+    let local_server = match &options.addr {
+        Some(_) => None,
+        None => Some(Server::start(ServeConfig::default()).map_err(|e| e.to_string())?),
+    };
+    let addr = match (&options.addr, &local_server) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(server)) => server.local_addr().to_string(),
+        (None, None) => unreachable!("local server started above"),
+    };
+    let matrices = workload_matrices(options.seed);
+    let started = Instant::now();
+    let outcomes: Vec<Result<ConnOutcome, ClientError>> = thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(connections);
+        for conn in 0..connections {
+            // Spread the total request budget across connections.
+            let share =
+                options.requests / connections + usize::from(conn < options.requests % connections);
+            let rng = options
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(conn as u64 + 1);
+            let addr = addr.clone();
+            let matrices = &matrices;
+            joins.push(scope.spawn(move || run_connection(&addr, matrices, share, rng)));
+        }
+        joins
+            .into_iter()
+            .map(|j| match j.join() {
+                Ok(outcome) => outcome,
+                Err(_) => Err(ClientError::Unexpected(
+                    "loadgen connection thread panicked".to_string(),
+                )),
+            })
+            .collect()
+    });
+    let elapsed_seconds = started.elapsed().as_secs_f64();
+
+    let mut completed = 0u64;
+    let mut protocol_errors = 0u64;
+    let mut busy_retries = 0u64;
+    let mut by_type = [0u64; 4];
+    let mut latencies = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(o) => {
+                completed += o.completed;
+                protocol_errors += o.protocol_errors;
+                busy_retries += o.busy_retries;
+                for (total, n) in by_type.iter_mut().zip(o.by_type) {
+                    *total += n;
+                }
+                latencies.extend(o.latencies);
+            }
+            Err(e) => return Err(format!("connection failed: {e}")),
+        }
+    }
+
+    let mut final_client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    let server_stats = final_client
+        .stats()
+        .map_err(|e| format!("final stats fetch failed: {e}"))?;
+    if let Some(server) = local_server {
+        final_client
+            .shutdown()
+            .map_err(|e| format!("shutdown failed: {e}"))?;
+        server.join();
+    }
+
+    let (p50, _p99, max) = percentiles(&latencies);
+    let p90 = percentile_at(&latencies, 90);
+    let p99 = percentile_at(&latencies, 99);
+    let report = LoadgenReport {
+        completed,
+        protocol_errors,
+        busy_retries,
+        by_type,
+        elapsed_seconds,
+        throughput_rps: completed as f64 / elapsed_seconds.max(1e-9),
+        latency_micros: (p50, p90, p99, max),
+        server_stats,
+    };
+    if report.protocol_errors > 0 {
+        return Err(format!(
+            "{} protocol errors\n{}",
+            report.protocol_errors,
+            report.render()
+        ));
+    }
+    if options.require_hits && server_stats.plan_cache_hits == 0 {
+        return Err(format!(
+            "server reported zero plan-cache hits\n{}",
+            report.render()
+        ));
+    }
+    Ok(report)
+}
+
+fn percentile_at(samples: &[u64], p: usize) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_matrices_are_deterministic_and_solvable() {
+        let a = workload_matrices(7);
+        let b = workload_matrices(7);
+        for (m1, m2) in a.iter().zip(&b) {
+            assert_eq!(m1.triplets(), m2.triplets());
+        }
+        let c = workload_matrices(8);
+        assert_ne!(a[0].triplets(), c[0].triplets());
+        for m in &a {
+            assert_eq!(m.rows(), m.cols());
+            // Strict diagonal dominance: diag exceeds the off-diag row sum.
+            let n = m.rows();
+            let mut diag = vec![0.0f32; n];
+            let mut off = vec![0.0f32; n];
+            for &(r, c, v) in m.iter() {
+                if r == c {
+                    diag[r] = v;
+                } else {
+                    off[r] += v.abs();
+                }
+            }
+            for i in 0..n {
+                assert!(diag[i] > off[i], "row {i}: {} <= {}", diag[i], off[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn small_end_to_end_run_is_clean() {
+        let report = run(&LoadgenOptions {
+            connections: 2,
+            requests: 40,
+            seed: 3,
+            addr: None,
+            require_hits: true,
+        })
+        .expect("loadgen run");
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.protocol_errors, 0);
+        assert!(report.server_stats.plan_cache_hits > 0);
+        assert!(report.render().contains("protocol errors      : 0"));
+    }
+}

@@ -1,0 +1,1209 @@
+//! CHSP v1 — the Chasoň service wire protocol.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by the payload. The payload's first byte is an opcode; the
+//! rest is the fixed field layout documented on each variant. Frames are
+//! symmetric (requests and replies share the framing), length-capped, and
+//! self-contained — a reader never needs lookahead beyond the declared
+//! length, and a malformed payload poisons only its own frame, not the
+//! connection.
+//!
+//! Large payloads (matrices, plans) reuse the repo's existing binary
+//! vocabulary: a `Plan` reply carries a verbatim `CHPL` artifact
+//! ([`chason_core::export::write_plan`]), so a client can persist it or
+//! feed it back to any offline tool that already speaks CHPL.
+
+use chason_sparse::CooMatrix;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Default ceiling on a frame's payload length (64 MiB) — enough for a
+/// ~3M-non-zero matrix upload, small enough that a hostile length prefix
+/// cannot make the server allocate without bound.
+pub const DEFAULT_MAX_FRAME: usize = 64 << 20;
+
+/// Pre-allocation ceiling for declared element counts: capacity beyond
+/// this grows only as bytes are actually decoded.
+const PREALLOC_LIMIT: usize = 4096;
+
+/// Failure while framing or decoding a CHSP message.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying socket/stream failed.
+    Io(io::Error),
+    /// A frame declared a payload longer than the negotiated cap.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: u64,
+        /// The cap it violated.
+        cap: u64,
+    },
+    /// The payload bytes do not decode as the declared message.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "CHSP I/O failed: {e}"),
+            ProtoError::FrameTooLarge { len, cap } => {
+                write!(f, "frame payload of {len} bytes exceeds the {cap}-byte cap")
+            }
+            ProtoError::Malformed(msg) => write!(f, "malformed CHSP payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Which execution backend a request targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Serial CSR on the host CPU (no plan cache involvement).
+    Cpu,
+    /// The simulated Chasoň accelerator (CrHCS scheduling).
+    Chason,
+    /// The simulated Serpens baseline (PE-aware scheduling).
+    Serpens,
+}
+
+impl Engine {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Engine::Cpu => 0,
+            Engine::Chason => 1,
+            Engine::Serpens => 2,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<Engine> {
+        match code {
+            0 => Some(Engine::Cpu),
+            1 => Some(Engine::Chason),
+            2 => Some(Engine::Serpens),
+            _ => None,
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Engine> {
+        match name {
+            "cpu" => Some(Engine::Cpu),
+            "chason" => Some(Engine::Chason),
+            "serpens" => Some(Engine::Serpens),
+            _ => None,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Cpu => "cpu",
+            Engine::Chason => "chason",
+            Engine::Serpens => "serpens",
+        }
+    }
+}
+
+/// Which iterative solver a [`Request::Solve`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Conjugate gradient (SPD systems).
+    Cg,
+    /// Jacobi iteration (diagonally dominant systems).
+    Jacobi,
+}
+
+impl SolverKind {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            SolverKind::Cg => 0,
+            SolverKind::Jacobi => 1,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<SolverKind> {
+        match code {
+            0 => Some(SolverKind::Cg),
+            1 => Some(SolverKind::Jacobi),
+            _ => None,
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<SolverKind> {
+        match name {
+            "cg" => Some(SolverKind::Cg),
+            "jacobi" => Some(SolverKind::Jacobi),
+            _ => None,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Cg => "cg",
+            SolverKind::Jacobi => "jacobi",
+        }
+    }
+}
+
+/// Typed failure codes carried by [`Reply::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The payload did not decode; the frame is discarded, the connection
+    /// survives.
+    MalformedFrame,
+    /// The opcode byte is not a CHSP v1 request.
+    UnknownOpcode,
+    /// No matrix with the given handle is resident (it may have been
+    /// evicted — re-send `LoadMatrix`).
+    UnknownHandle,
+    /// The request is well-formed but semantically invalid (dimension
+    /// mismatch, unsolvable system, unschedulable values).
+    BadRequest,
+    /// The server failed internally while executing the request.
+    Internal,
+    /// The frame's declared length exceeds the server's cap; the server
+    /// cannot resynchronize, so it closes the connection after this reply.
+    FrameTooLarge,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorCode::MalformedFrame => 1,
+            ErrorCode::UnknownOpcode => 2,
+            ErrorCode::UnknownHandle => 3,
+            ErrorCode::BadRequest => 4,
+            ErrorCode::Internal => 5,
+            ErrorCode::FrameTooLarge => 6,
+            ErrorCode::ShuttingDown => 7,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<ErrorCode> {
+        match code {
+            1 => Some(ErrorCode::MalformedFrame),
+            2 => Some(ErrorCode::UnknownOpcode),
+            3 => Some(ErrorCode::UnknownHandle),
+            4 => Some(ErrorCode::BadRequest),
+            5 => Some(ErrorCode::Internal),
+            6 => Some(ErrorCode::FrameTooLarge),
+            7 => Some(ErrorCode::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+/// A client-to-server CHSP message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Uploads a matrix; the reply's handle (the structural fingerprint)
+    /// names it in subsequent requests. Layout: `rows u64, cols u64,
+    /// nnz u64, nnz × (row u64, col u64, value f32)`.
+    LoadMatrix {
+        /// Row count.
+        rows: u64,
+        /// Column count.
+        cols: u64,
+        /// Explicit triplets.
+        triplets: Vec<(u64, u64, f32)>,
+    },
+    /// Computes `y = A·x` on a resident matrix. Layout: `handle u64,
+    /// engine u8, n u64, n × f32`.
+    Spmv {
+        /// Matrix handle from a `Loaded` reply.
+        handle: u64,
+        /// Execution backend.
+        engine: Engine,
+        /// Dense input vector.
+        x: Vec<f32>,
+    },
+    /// Runs an iterative solve of `A·x = b`. Layout: `handle u64,
+    /// engine u8, solver u8, max_iterations u32, tolerance f64, n u64,
+    /// n × f32`.
+    Solve {
+        /// Matrix handle from a `Loaded` reply.
+        handle: u64,
+        /// Execution backend for the inner SpMV products.
+        engine: Engine,
+        /// Which solver to run.
+        solver: SolverKind,
+        /// Iteration cap.
+        max_iterations: u32,
+        /// Relative-residual convergence tolerance.
+        tolerance: f64,
+        /// Right-hand side.
+        b: Vec<f32>,
+    },
+    /// Requests the `CHPL` plan artifact for a resident matrix under the
+    /// given engine. Layout: `handle u64, engine u8`.
+    Plan {
+        /// Matrix handle from a `Loaded` reply.
+        handle: u64,
+        /// Engine family the plan targets (`Cpu` is invalid here).
+        engine: Engine,
+    },
+    /// Requests the server's counters. Served inline (never queued, never
+    /// shed), so observability survives overload.
+    Stats,
+    /// Asks the server to drain in-flight work and exit.
+    Shutdown,
+    /// Diagnostic: occupies a worker for the given duration. Used by the
+    /// integration tests and load generator to provoke queue-full
+    /// shedding deterministically. Layout: `millis u32`.
+    Sleep {
+        /// How long the worker sleeps.
+        millis: u32,
+    },
+}
+
+/// A server-to-client CHSP message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// A matrix is resident under `handle`.
+    Loaded {
+        /// Structural fingerprint; the matrix's name in later requests.
+        handle: u64,
+        /// Row count as parsed.
+        rows: u64,
+        /// Column count as parsed.
+        cols: u64,
+        /// Non-zero count as parsed.
+        nnz: u64,
+        /// Whether this upload inserted the matrix (`false`: it was
+        /// already resident and the upload was a no-op).
+        fresh: bool,
+    },
+    /// The result vector of a `Spmv`.
+    Vector {
+        /// `y = A·x`.
+        y: Vec<f32>,
+        /// Wall-clock queue-wait + execution time on the server.
+        service_micros: u64,
+        /// Modeled accelerator latency (0 for the CPU backend).
+        simulated_nanos: u64,
+    },
+    /// The outcome of a `Solve`.
+    Solved {
+        /// Final iterate.
+        solution: Vec<f32>,
+        /// Iterations performed.
+        iterations: u64,
+        /// Final relative residual.
+        residual: f64,
+        /// Whether the tolerance was reached.
+        converged: bool,
+        /// Wall-clock queue-wait + execution time on the server.
+        service_micros: u64,
+        /// Accumulated modeled SpMV latency (0 for the CPU backend).
+        simulated_nanos: u64,
+    },
+    /// A verbatim `CHPL` plan artifact.
+    PlanArtifact {
+        /// The artifact bytes ([`chason_core::export::read_plan`] decodes
+        /// them).
+        bytes: Vec<u8>,
+    },
+    /// The server's counters.
+    Stats(StatsSnapshot),
+    /// Acknowledges `Shutdown` / `Sleep`.
+    Done,
+    /// The request was shed: the worker queue is full. The connection
+    /// survives; retry after the hinted delay.
+    Busy {
+        /// Suggested client back-off.
+        retry_after_ms: u32,
+    },
+    /// The request failed.
+    Error {
+        /// Typed failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A point-in-time copy of every server counter, as carried by
+/// [`Reply::Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Milliseconds since the server started.
+    pub uptime_millis: u64,
+    /// `LoadMatrix` requests accepted into the queue.
+    pub requests_load: u64,
+    /// `Spmv` requests accepted into the queue.
+    pub requests_spmv: u64,
+    /// `Solve` requests accepted into the queue.
+    pub requests_solve: u64,
+    /// `Plan` requests accepted into the queue.
+    pub requests_plan: u64,
+    /// `Stats` requests served (inline).
+    pub requests_stats: u64,
+    /// `Sleep` requests accepted into the queue.
+    pub requests_sleep: u64,
+    /// Requests rejected with `Busy` because the queue was full.
+    pub shed: u64,
+    /// Extra SpMV requests executed by piggybacking on another request's
+    /// plan resolution (same-matrix batching).
+    pub batched: u64,
+    /// Highest queue depth observed.
+    pub queue_depth_hwm: u64,
+    /// Plan-cache lookups served from cache.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that had to schedule.
+    pub plan_cache_misses: u64,
+    /// Plans displaced by inserts into a full cache.
+    pub plan_cache_evictions: u64,
+    /// Plans currently resident.
+    pub plan_cache_len: u64,
+    /// Plan-cache capacity.
+    pub plan_cache_capacity: u64,
+    /// Matrices currently resident.
+    pub matrices_resident: u64,
+    /// Matrices displaced by inserts into a full cache.
+    pub matrix_evictions: u64,
+    /// Median service time (queue wait + execution) over the recent
+    /// window, in microseconds.
+    pub service_p50_micros: u64,
+    /// 99th-percentile service time over the recent window.
+    pub service_p99_micros: u64,
+    /// Worst service time over the recent window.
+    pub service_max_micros: u64,
+    /// Service-time samples recorded since start.
+    pub service_samples: u64,
+}
+
+impl StatsSnapshot {
+    /// Fraction of plan lookups served from cache.
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total requests accepted for execution (shed and inline stats
+    /// excluded).
+    pub fn requests_executed(&self) -> u64 {
+        self.requests_load
+            + self.requests_spmv
+            + self.requests_solve
+            + self.requests_plan
+            + self.requests_sleep
+    }
+
+    const FIELDS: usize = 21;
+
+    fn to_words(self) -> [u64; Self::FIELDS] {
+        [
+            self.uptime_millis,
+            self.requests_load,
+            self.requests_spmv,
+            self.requests_solve,
+            self.requests_plan,
+            self.requests_stats,
+            self.requests_sleep,
+            self.shed,
+            self.batched,
+            self.queue_depth_hwm,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_cache_evictions,
+            self.plan_cache_len,
+            self.plan_cache_capacity,
+            self.matrices_resident,
+            self.matrix_evictions,
+            self.service_p50_micros,
+            self.service_p99_micros,
+            self.service_max_micros,
+            self.service_samples,
+        ]
+    }
+
+    fn from_words(w: [u64; Self::FIELDS]) -> StatsSnapshot {
+        StatsSnapshot {
+            uptime_millis: w[0],
+            requests_load: w[1],
+            requests_spmv: w[2],
+            requests_solve: w[3],
+            requests_plan: w[4],
+            requests_stats: w[5],
+            requests_sleep: w[6],
+            shed: w[7],
+            batched: w[8],
+            queue_depth_hwm: w[9],
+            plan_cache_hits: w[10],
+            plan_cache_misses: w[11],
+            plan_cache_evictions: w[12],
+            plan_cache_len: w[13],
+            plan_cache_capacity: w[14],
+            matrices_resident: w[15],
+            matrix_evictions: w[16],
+            service_p50_micros: w[17],
+            service_p99_micros: w[18],
+            service_max_micros: w[19],
+            service_samples: w[20],
+        }
+    }
+
+    /// Renders the snapshot as the aligned table `chason client stats`
+    /// prints.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: String| {
+            out.push_str(&format!("{k:<22}: {v}\n"));
+        };
+        line(
+            "uptime",
+            format!("{:.1} s", self.uptime_millis as f64 / 1e3),
+        );
+        line(
+            "requests executed",
+            format!(
+                "{} (load {}, spmv {}, solve {}, plan {}, sleep {})",
+                self.requests_executed(),
+                self.requests_load,
+                self.requests_spmv,
+                self.requests_solve,
+                self.requests_plan,
+                self.requests_sleep
+            ),
+        );
+        line("stats served inline", self.requests_stats.to_string());
+        line("shed (queue full)", self.shed.to_string());
+        line("batched spmv", self.batched.to_string());
+        line("queue depth hwm", self.queue_depth_hwm.to_string());
+        line(
+            "plan cache",
+            format!(
+                "{} hits / {} misses ({:.1}% hit rate), {} evictions, {}/{} resident",
+                self.plan_cache_hits,
+                self.plan_cache_misses,
+                self.plan_hit_rate() * 100.0,
+                self.plan_cache_evictions,
+                self.plan_cache_len,
+                self.plan_cache_capacity
+            ),
+        );
+        line(
+            "matrices resident",
+            format!(
+                "{} ({} evictions)",
+                self.matrices_resident, self.matrix_evictions
+            ),
+        );
+        line(
+            "service time",
+            format!(
+                "p50 {} us, p99 {} us, max {} us over {} samples",
+                self.service_p50_micros,
+                self.service_p99_micros,
+                self.service_max_micros,
+                self.service_samples
+            ),
+        );
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------------
+
+const OP_LOAD: u8 = 0x01;
+const OP_SPMV: u8 = 0x02;
+const OP_SOLVE: u8 = 0x03;
+const OP_PLAN: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
+const OP_SHUTDOWN: u8 = 0x06;
+const OP_SLEEP: u8 = 0x07;
+
+const RP_LOADED: u8 = 0x81;
+const RP_VECTOR: u8 = 0x82;
+const RP_SOLVED: u8 = 0x83;
+const RP_PLAN: u8 = 0x84;
+const RP_STATS: u8 = 0x85;
+const RP_DONE: u8 = 0x86;
+const RP_BUSY: u8 = 0x87;
+const RP_ERROR: u8 = 0x88;
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(ProtoError::Malformed(format!(
+                "payload underrun: wanted {n} more bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProtoError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f32_vec(&mut self, what: &str) -> Result<Vec<f32>, ProtoError> {
+        let n = self.u64()? as usize;
+        if self.remaining() != n.saturating_mul(4) {
+            return Err(ProtoError::Malformed(format!(
+                "{what}: declared {n} f32 values but {} payload bytes remain",
+                self.remaining()
+            )));
+        }
+        let mut v = Vec::with_capacity(n.min(PREALLOC_LIMIT));
+        for _ in 0..n {
+            v.push(self.f32()?);
+        }
+        Ok(v)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.remaining() != 0 {
+            return Err(ProtoError::Malformed(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32_vec(buf: &mut Vec<u8>, v: &[f32]) {
+    put_u64(buf, v.len() as u64);
+    for &x in v {
+        put_u32(buf, x.to_bits());
+    }
+}
+
+/// Encodes a request payload (framing is [`write_frame`]'s job).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match req {
+        Request::LoadMatrix {
+            rows,
+            cols,
+            triplets,
+        } => {
+            buf.push(OP_LOAD);
+            put_u64(&mut buf, *rows);
+            put_u64(&mut buf, *cols);
+            put_u64(&mut buf, triplets.len() as u64);
+            for &(r, c, v) in triplets {
+                put_u64(&mut buf, r);
+                put_u64(&mut buf, c);
+                put_u32(&mut buf, v.to_bits());
+            }
+        }
+        Request::Spmv { handle, engine, x } => {
+            buf.push(OP_SPMV);
+            put_u64(&mut buf, *handle);
+            buf.push(engine.code());
+            put_f32_vec(&mut buf, x);
+        }
+        Request::Solve {
+            handle,
+            engine,
+            solver,
+            max_iterations,
+            tolerance,
+            b,
+        } => {
+            buf.push(OP_SOLVE);
+            put_u64(&mut buf, *handle);
+            buf.push(engine.code());
+            buf.push(solver.code());
+            put_u32(&mut buf, *max_iterations);
+            put_u64(&mut buf, tolerance.to_bits());
+            put_f32_vec(&mut buf, b);
+        }
+        Request::Plan { handle, engine } => {
+            buf.push(OP_PLAN);
+            put_u64(&mut buf, *handle);
+            buf.push(engine.code());
+        }
+        Request::Stats => buf.push(OP_STATS),
+        Request::Shutdown => buf.push(OP_SHUTDOWN),
+        Request::Sleep { millis } => {
+            buf.push(OP_SLEEP);
+            put_u32(&mut buf, *millis);
+        }
+    }
+    buf
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// [`ProtoError::Malformed`] when the bytes do not decode as exactly one
+/// request.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    let req = match op {
+        OP_LOAD => {
+            let rows = c.u64()?;
+            let cols = c.u64()?;
+            let nnz = c.u64()? as usize;
+            if c.remaining() != nnz.saturating_mul(20) {
+                return Err(ProtoError::Malformed(format!(
+                    "LoadMatrix: declared {nnz} triplets but {} payload bytes remain",
+                    c.remaining()
+                )));
+            }
+            let mut triplets = Vec::with_capacity(nnz.min(PREALLOC_LIMIT));
+            for _ in 0..nnz {
+                let r = c.u64()?;
+                let col = c.u64()?;
+                let v = c.f32()?;
+                triplets.push((r, col, v));
+            }
+            Request::LoadMatrix {
+                rows,
+                cols,
+                triplets,
+            }
+        }
+        OP_SPMV => {
+            let handle = c.u64()?;
+            let engine = Engine::from_code(c.u8()?)
+                .ok_or_else(|| ProtoError::Malformed("bad engine code".to_string()))?;
+            let x = c.f32_vec("Spmv")?;
+            Request::Spmv { handle, engine, x }
+        }
+        OP_SOLVE => {
+            let handle = c.u64()?;
+            let engine = Engine::from_code(c.u8()?)
+                .ok_or_else(|| ProtoError::Malformed("bad engine code".to_string()))?;
+            let solver = SolverKind::from_code(c.u8()?)
+                .ok_or_else(|| ProtoError::Malformed("bad solver code".to_string()))?;
+            let max_iterations = c.u32()?;
+            let tolerance = c.f64()?;
+            let b = c.f32_vec("Solve")?;
+            Request::Solve {
+                handle,
+                engine,
+                solver,
+                max_iterations,
+                tolerance,
+                b,
+            }
+        }
+        OP_PLAN => {
+            let handle = c.u64()?;
+            let engine = Engine::from_code(c.u8()?)
+                .ok_or_else(|| ProtoError::Malformed("bad engine code".to_string()))?;
+            Request::Plan { handle, engine }
+        }
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        OP_SLEEP => Request::Sleep { millis: c.u32()? },
+        other => {
+            return Err(ProtoError::Malformed(format!(
+                "unknown request opcode {other:#04x}"
+            )))
+        }
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Encodes a reply payload (framing is [`write_frame`]'s job).
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match reply {
+        Reply::Loaded {
+            handle,
+            rows,
+            cols,
+            nnz,
+            fresh,
+        } => {
+            buf.push(RP_LOADED);
+            put_u64(&mut buf, *handle);
+            put_u64(&mut buf, *rows);
+            put_u64(&mut buf, *cols);
+            put_u64(&mut buf, *nnz);
+            buf.push(u8::from(*fresh));
+        }
+        Reply::Vector {
+            y,
+            service_micros,
+            simulated_nanos,
+        } => {
+            buf.push(RP_VECTOR);
+            put_u64(&mut buf, *service_micros);
+            put_u64(&mut buf, *simulated_nanos);
+            put_f32_vec(&mut buf, y);
+        }
+        Reply::Solved {
+            solution,
+            iterations,
+            residual,
+            converged,
+            service_micros,
+            simulated_nanos,
+        } => {
+            buf.push(RP_SOLVED);
+            put_u64(&mut buf, *iterations);
+            put_u64(&mut buf, residual.to_bits());
+            buf.push(u8::from(*converged));
+            put_u64(&mut buf, *service_micros);
+            put_u64(&mut buf, *simulated_nanos);
+            put_f32_vec(&mut buf, solution);
+        }
+        Reply::PlanArtifact { bytes } => {
+            buf.push(RP_PLAN);
+            put_u64(&mut buf, bytes.len() as u64);
+            buf.extend_from_slice(bytes);
+        }
+        Reply::Stats(snapshot) => {
+            buf.push(RP_STATS);
+            for word in snapshot.to_words() {
+                put_u64(&mut buf, word);
+            }
+        }
+        Reply::Done => buf.push(RP_DONE),
+        Reply::Busy { retry_after_ms } => {
+            buf.push(RP_BUSY);
+            put_u32(&mut buf, *retry_after_ms);
+        }
+        Reply::Error { code, message } => {
+            buf.push(RP_ERROR);
+            buf.push(code.code());
+            let bytes = message.as_bytes();
+            put_u32(&mut buf, bytes.len() as u32);
+            buf.extend_from_slice(bytes);
+        }
+    }
+    buf
+}
+
+/// Decodes a reply payload.
+///
+/// # Errors
+///
+/// [`ProtoError::Malformed`] when the bytes do not decode as exactly one
+/// reply.
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    let reply = match op {
+        RP_LOADED => {
+            let handle = c.u64()?;
+            let rows = c.u64()?;
+            let cols = c.u64()?;
+            let nnz = c.u64()?;
+            let fresh = match c.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(ProtoError::Malformed(format!("bad fresh flag {other}")));
+                }
+            };
+            Reply::Loaded {
+                handle,
+                rows,
+                cols,
+                nnz,
+                fresh,
+            }
+        }
+        RP_VECTOR => {
+            let service_micros = c.u64()?;
+            let simulated_nanos = c.u64()?;
+            let y = c.f32_vec("Vector")?;
+            Reply::Vector {
+                y,
+                service_micros,
+                simulated_nanos,
+            }
+        }
+        RP_SOLVED => {
+            let iterations = c.u64()?;
+            let residual = c.f64()?;
+            let converged = match c.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(ProtoError::Malformed(format!("bad converged flag {other}")));
+                }
+            };
+            let service_micros = c.u64()?;
+            let simulated_nanos = c.u64()?;
+            let solution = c.f32_vec("Solved")?;
+            Reply::Solved {
+                solution,
+                iterations,
+                residual,
+                converged,
+                service_micros,
+                simulated_nanos,
+            }
+        }
+        RP_PLAN => {
+            let len = c.u64()? as usize;
+            if c.remaining() != len {
+                return Err(ProtoError::Malformed(format!(
+                    "PlanArtifact: declared {len} bytes but {} remain",
+                    c.remaining()
+                )));
+            }
+            let bytes = c.take(len)?.to_vec();
+            Reply::PlanArtifact { bytes }
+        }
+        RP_STATS => {
+            let mut words = [0u64; StatsSnapshot::FIELDS];
+            for word in &mut words {
+                *word = c.u64()?;
+            }
+            Reply::Stats(StatsSnapshot::from_words(words))
+        }
+        RP_DONE => Reply::Done,
+        RP_BUSY => Reply::Busy {
+            retry_after_ms: c.u32()?,
+        },
+        RP_ERROR => {
+            let code = ErrorCode::from_code(c.u8()?)
+                .ok_or_else(|| ProtoError::Malformed("bad error code".to_string()))?;
+            let len = c.u32()? as usize;
+            let bytes = c.take(len)?.to_vec();
+            let message = String::from_utf8(bytes)
+                .map_err(|_| ProtoError::Malformed("error message is not UTF-8".to_string()))?;
+            Reply::Error { code, message }
+        }
+        other => {
+            return Err(ProtoError::Malformed(format!(
+                "unknown reply opcode {other:#04x}"
+            )))
+        }
+    };
+    c.finish()?;
+    Ok(reply)
+}
+
+/// Builds a [`Request::LoadMatrix`] from a COO matrix.
+pub fn load_request(matrix: &CooMatrix) -> Request {
+    Request::LoadMatrix {
+        rows: matrix.rows() as u64,
+        cols: matrix.cols() as u64,
+        triplets: matrix
+            .iter()
+            .map(|&(r, c, v)| (r as u64, c as u64, v))
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one frame: `u32` little-endian payload length, then the payload.
+///
+/// # Errors
+///
+/// Propagates I/O failures (including write timeouts).
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame, blocking until it is complete.
+///
+/// # Errors
+///
+/// [`ProtoError::FrameTooLarge`] when the declared length exceeds
+/// `max_len`; [`ProtoError::Io`] for I/O failures (a clean EOF before the
+/// first header byte surfaces as `UnexpectedEof`).
+pub fn read_frame_blocking<R: Read>(reader: &mut R, max_len: usize) -> Result<Vec<u8>, ProtoError> {
+    let mut header = [0u8; 4];
+    reader.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_len {
+        return Err(ProtoError::FrameTooLarge {
+            len: len as u64,
+            cap: max_len as u64,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// What one [`FrameReader::poll`] call produced.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly (EOF at a frame boundary).
+    Eof,
+    /// The socket's read timeout elapsed; partial progress is retained
+    /// and the next `poll` resumes where this one stopped.
+    Timeout,
+}
+
+/// Incremental frame reader for sockets with a read timeout.
+///
+/// A timeout mid-frame must not lose the bytes already read — the server
+/// polls in short ticks so it can notice shutdown — so this reader keeps
+/// partial header/payload progress across calls.
+#[derive(Debug)]
+pub struct FrameReader {
+    max_len: usize,
+    header: [u8; 4],
+    filled: usize,
+    payload: Vec<u8>,
+    payload_len: Option<usize>,
+}
+
+impl FrameReader {
+    /// Creates a reader enforcing `max_len` on every frame.
+    pub fn new(max_len: usize) -> Self {
+        FrameReader {
+            max_len,
+            header: [0; 4],
+            filled: 0,
+            payload: Vec::new(),
+            payload_len: None,
+        }
+    }
+
+    /// Whether a frame is partially read (EOF here is a mid-frame
+    /// disconnect, not a clean close).
+    pub fn mid_frame(&self) -> bool {
+        self.filled > 0 || self.payload_len.is_some()
+    }
+
+    /// Advances the read state machine by at most one socket read
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::FrameTooLarge`] for an over-cap declared length
+    /// (unrecoverable: the stream cannot be resynchronized);
+    /// [`ProtoError::Io`] for I/O failures other than timeouts, including
+    /// mid-frame EOF.
+    pub fn poll<R: Read>(&mut self, reader: &mut R) -> Result<FrameEvent, ProtoError> {
+        loop {
+            if let Some(len) = self.payload_len {
+                // Reading the payload.
+                let have = self.payload.len();
+                if have == len {
+                    let frame = std::mem::take(&mut self.payload);
+                    self.payload_len = None;
+                    self.filled = 0;
+                    return Ok(FrameEvent::Frame(frame));
+                }
+                let mut chunk = [0u8; 16 * 1024];
+                let want = (len - have).min(chunk.len());
+                match reader.read(&mut chunk[..want]) {
+                    Ok(0) => {
+                        return Err(ProtoError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        )))
+                    }
+                    Ok(n) => self.payload.extend_from_slice(&chunk[..n]),
+                    Err(e) if is_timeout(&e) => return Ok(FrameEvent::Timeout),
+                    Err(e) => return Err(ProtoError::Io(e)),
+                }
+            } else {
+                // Reading the 4-byte length header.
+                match reader.read(&mut self.header[self.filled..]) {
+                    Ok(0) => {
+                        if self.filled == 0 {
+                            return Ok(FrameEvent::Eof);
+                        }
+                        return Err(ProtoError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-header",
+                        )));
+                    }
+                    Ok(n) => {
+                        self.filled += n;
+                        if self.filled == 4 {
+                            let len = u32::from_le_bytes(self.header) as usize;
+                            if len > self.max_len {
+                                return Err(ProtoError::FrameTooLarge {
+                                    len: len as u64,
+                                    cap: self.max_len as u64,
+                                });
+                            }
+                            self.payload = Vec::with_capacity(len.min(1 << 20));
+                            self.payload_len = Some(len);
+                        }
+                    }
+                    Err(e) if is_timeout(&e) => return Ok(FrameEvent::Timeout),
+                    Err(e) => return Err(ProtoError::Io(e)),
+                }
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(buf.len(), 9);
+        let payload = read_frame_blocking(&mut buf.as_slice(), 64).unwrap();
+        assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_by_both_readers() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        assert!(matches!(
+            read_frame_blocking(&mut buf.as_slice(), 50).unwrap_err(),
+            ProtoError::FrameTooLarge { len: 100, cap: 50 }
+        ));
+        let mut reader = FrameReader::new(50);
+        assert!(matches!(
+            reader.poll(&mut buf.as_slice()).unwrap_err(),
+            ProtoError::FrameTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn incremental_reader_survives_byte_at_a_time_delivery() {
+        struct OneByte<'a>(&'a [u8]);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abc").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut reader = FrameReader::new(16);
+        let mut src = OneByte(&wire);
+        match reader.poll(&mut src).unwrap() {
+            FrameEvent::Frame(f) => assert_eq!(f, b"abc"),
+            other => panic!("{other:?}"),
+        }
+        match reader.poll(&mut src).unwrap() {
+            FrameEvent::Frame(f) => assert!(f.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(reader.poll(&mut src).unwrap(), FrameEvent::Eof));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef").unwrap();
+        wire.truncate(6);
+        let mut reader = FrameReader::new(16);
+        let err = reader.poll(&mut wire.as_slice()).unwrap_err();
+        assert!(matches!(err, ProtoError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_request(&Request::Stats);
+        payload.push(0);
+        assert!(decode_request(&payload).is_err());
+        let mut payload = encode_reply(&Reply::Done);
+        payload.push(7);
+        assert!(decode_reply(&payload).is_err());
+    }
+
+    #[test]
+    fn declared_count_must_match_payload_length() {
+        // A Spmv declaring 1M floats with a 4-byte body must be rejected
+        // before any allocation proportional to the declared count.
+        let mut payload = vec![OP_SPMV];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.push(1);
+        payload.extend_from_slice(&1_000_000u64.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 4]);
+        let err = decode_request(&payload).unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        assert!(decode_request(&[0x42]).is_err());
+        assert!(decode_reply(&[0x42]).is_err());
+        assert!(decode_request(&[]).is_err());
+    }
+}

@@ -1,0 +1,743 @@
+//! The `chason serve` daemon: listener, connection threads, worker pool.
+//!
+//! # Threading model
+//!
+//! One listener thread accepts connections and spawns a thread per
+//! connection. Connection threads parse frames and answer `Stats` and
+//! `Shutdown` inline; everything else is pushed onto one bounded MPMC
+//! queue feeding a fixed pool of worker threads. The queue is the
+//! backpressure boundary: when it is full, the connection thread replies
+//! [`Reply::Busy`] immediately (load-shedding) instead of blocking, so a
+//! saturated server stays responsive and observable — `Stats` never
+//! queues.
+//!
+//! A connection handles one request at a time (it waits for the worker's
+//! reply before reading the next frame), so queue depth is bounded by the
+//! number of concurrent connections as well as by the queue capacity.
+//!
+//! # Shutdown
+//!
+//! `Shutdown` (or [`Server::shutdown`]) flips a flag and nudges the
+//! listener awake. The listener stops accepting and joins the connection
+//! threads, which notice the flag within one read-timeout tick, finish
+//! their in-flight request, and hang up. Once every connection thread has
+//! dropped its queue handle the workers drain what remains and exit:
+//! accepted work is always answered, new work is refused with
+//! [`ErrorCode::ShuttingDown`].
+
+use crate::proto::{
+    decode_request, encode_reply, write_frame, Engine, ErrorCode, FrameEvent, FrameReader,
+    ProtoError, Reply, Request, SolverKind, StatsSnapshot, DEFAULT_MAX_FRAME,
+};
+use crate::stats::{lock_unpoisoned, ServerStats};
+use chason::solvers::{conjugate_gradient, jacobi, CgOptions, SpmvBackend};
+use chason_core::cache::LruCache;
+use chason_core::plan::{matrix_fingerprint, PlanKey, SpmvPlan};
+use chason_core::schedule::SchedulerConfig;
+use chason_sim::{AcceleratorConfig, ChasonEngine, PlanningEngine, SerpensEngine, SimError};
+use chason_sparse::{CooMatrix, CsrMatrix};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tunable knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing queued requests.
+    pub workers: usize,
+    /// Bounded queue capacity between connections and workers; the
+    /// load-shedding threshold.
+    pub queue_capacity: usize,
+    /// Plan-cache capacity (entries are `(engine, plan key)` pairs).
+    pub plan_cache_capacity: usize,
+    /// Resident-matrix cache capacity.
+    pub matrix_cache_capacity: usize,
+    /// How long a connection may sit idle (no frame progress) before the
+    /// server hangs up.
+    pub idle_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Largest accepted frame payload.
+    pub max_frame_len: usize,
+    /// Most same-matrix SpMV requests one worker dequeue may batch.
+    pub batch_max: usize,
+    /// Back-off hint carried by [`Reply::Busy`].
+    pub retry_after_ms: u32,
+    /// Scheduler configuration both simulated engines run under.
+    pub sched: SchedulerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            plan_cache_capacity: 64,
+            matrix_cache_capacity: 32,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame_len: DEFAULT_MAX_FRAME,
+            batch_max: 8,
+            retry_after_ms: 20,
+            sched: SchedulerConfig::paper(),
+        }
+    }
+}
+
+/// How often a blocked connection read wakes up to re-check the shutdown
+/// flag and idle deadline.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// A unit of queued work: the decoded request plus the channel its reply
+/// travels back on.
+struct Job {
+    request: Request,
+    reply_tx: mpsc::Sender<Reply>,
+    received: Instant,
+}
+
+/// State shared by every connection and worker thread.
+struct Shared {
+    chason: ChasonEngine,
+    serpens: SerpensEngine,
+    /// Resident matrices keyed by structural fingerprint.
+    matrices: Mutex<LruCache<u64, Arc<CooMatrix>>>,
+    /// Plans keyed by engine family plus `(fingerprint, scheduler
+    /// config)`. The engine tag matters: both engines share one scheduler
+    /// configuration here, so `PlanKey` alone would collide across
+    /// families.
+    plans: Mutex<LruCache<(Engine, PlanKey), Arc<SpmvPlan>>>,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    config: ServeConfig,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        let plan_stats = lock_unpoisoned(&self.plans).stats();
+        let matrices = lock_unpoisoned(&self.matrices);
+        let m = matrices.stats();
+        drop(matrices);
+        self.stats.snapshot(plan_stats, m.len as u64, m.evictions)
+    }
+
+    fn matrix(&self, handle: u64) -> Option<Arc<CooMatrix>> {
+        lock_unpoisoned(&self.matrices).get(&handle).cloned()
+    }
+
+    /// Returns the cached plan for (`engine`, `matrix`), scheduling and
+    /// inserting it on a miss. Scheduling runs outside the cache lock, so
+    /// concurrent misses on the same key may schedule twice; the loser's
+    /// insert is a harmless replace.
+    fn resolve_plan<E: PlanningEngine>(
+        &self,
+        wire: Engine,
+        planner: &E,
+        matrix: &CooMatrix,
+    ) -> Result<Arc<SpmvPlan>, SimError> {
+        let key = (wire, planner.plan_key(matrix));
+        if let Some(plan) = lock_unpoisoned(&self.plans).get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(planner.plan(matrix)?);
+        lock_unpoisoned(&self.plans).insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+}
+
+/// A running `chason serve` instance.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and listener, and returns
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures binding the listener.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            chason: ChasonEngine::new(AcceleratorConfig {
+                sched: config.sched,
+                ..AcceleratorConfig::chason()
+            }),
+            serpens: SerpensEngine::new(AcceleratorConfig {
+                sched: config.sched,
+                ..AcceleratorConfig::serpens()
+            }),
+            matrices: Mutex::new(LruCache::new(config.matrix_cache_capacity)),
+            plans: Mutex::new(LruCache::new(config.plan_cache_capacity)),
+            stats: ServerStats::new(),
+            shutdown: AtomicBool::new(false),
+            config: config.clone(),
+        });
+        let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity);
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = job_rx.clone();
+                thread::Builder::new()
+                    .name(format!("chason-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        drop(job_rx);
+        let listener_shared = Arc::clone(&shared);
+        let listener_thread = thread::Builder::new()
+            .name("chason-listener".to_string())
+            .spawn(move || listener_loop(&listener, &listener_shared, &job_tx))?;
+        Ok(Server {
+            local_addr,
+            shared,
+            listener_thread: Some(listener_thread),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time copy of the server's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Initiates the same graceful drain a `Shutdown` request does.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the listener out of `accept`.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Blocks until the listener, every connection, and every worker have
+    /// exited. Call [`shutdown`](Self::shutdown) first (or send a
+    /// `Shutdown` request) or this blocks forever.
+    pub fn join(mut self) {
+        if let Some(listener) = self.listener_thread.take() {
+            let _ = listener.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn listener_loop(listener: &TcpListener, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let job_tx = job_tx.clone();
+        let spawned = thread::Builder::new()
+            .name("chason-conn".to_string())
+            .spawn(move || {
+                let _ = serve_connection(stream, &shared, &job_tx);
+            });
+        if let Ok(handle) = spawned {
+            connections.push(handle);
+        }
+        // Reap finished connection threads so a long-lived server does not
+        // accumulate handles.
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn send_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
+    write_frame(stream, &encode_reply(reply))
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    job_tx: &Sender<Job>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = FrameReader::new(shared.config.max_frame_len);
+    let mut last_activity = Instant::now();
+    loop {
+        let event = match reader.poll(&mut stream) {
+            Ok(event) => event,
+            Err(ProtoError::FrameTooLarge { len, cap }) => {
+                // The stream cannot be resynchronized past an oversized
+                // frame; reply, then hang up.
+                let _ = send_reply(
+                    &mut stream,
+                    &Reply::Error {
+                        code: ErrorCode::FrameTooLarge,
+                        message: format!("frame of {len} bytes exceeds the {cap}-byte cap"),
+                    },
+                );
+                return Ok(());
+            }
+            Err(_) => return Ok(()), // disconnect (mid-frame EOF included)
+        };
+        let payload = match event {
+            FrameEvent::Frame(payload) => payload,
+            FrameEvent::Eof => return Ok(()),
+            FrameEvent::Timeout => {
+                if shared.shutdown.load(Ordering::SeqCst) && !reader.mid_frame() {
+                    return Ok(());
+                }
+                if last_activity.elapsed() > shared.config.idle_timeout {
+                    return Ok(()); // idle connection reclaimed
+                }
+                continue;
+            }
+        };
+        last_activity = Instant::now();
+        let request = match decode_request(&payload) {
+            Ok(request) => request,
+            Err(err) => {
+                // A malformed payload poisons only itself; the connection
+                // continues at the next frame boundary.
+                send_reply(
+                    &mut stream,
+                    &Reply::Error {
+                        code: ErrorCode::MalformedFrame,
+                        message: err.to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match request {
+            Request::Stats => {
+                shared.stats.requests.stats.fetch_add(1, Ordering::Relaxed);
+                send_reply(&mut stream, &Reply::Stats(shared.snapshot()))?;
+            }
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let local = stream.local_addr()?;
+                send_reply(&mut stream, &Reply::Done)?;
+                // Nudge the listener out of `accept` so it can join.
+                let _ = TcpStream::connect(local);
+                return Ok(());
+            }
+            request => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    send_reply(
+                        &mut stream,
+                        &Reply::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "server is draining".to_string(),
+                        },
+                    )?;
+                    return Ok(());
+                }
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let job = Job {
+                    request,
+                    reply_tx,
+                    received: Instant::now(),
+                };
+                match job_tx.try_send(job) {
+                    Ok(()) => {
+                        shared.stats.observe_queue_depth(job_tx.len() as u64);
+                        let reply = reply_rx.recv().unwrap_or(Reply::Error {
+                            code: ErrorCode::Internal,
+                            message: "worker dropped the request".to_string(),
+                        });
+                        send_reply(&mut stream, &reply)?;
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        send_reply(
+                            &mut stream,
+                            &Reply::Busy {
+                                retry_after_ms: shared.config.retry_after_ms,
+                            },
+                        )?;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        send_reply(
+                            &mut stream,
+                            &Reply::Error {
+                                code: ErrorCode::ShuttingDown,
+                                message: "worker pool has stopped".to_string(),
+                            },
+                        )?;
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn record_accepted_kind(shared: &Shared, request: &Request) {
+    let counter = match request {
+        Request::LoadMatrix { .. } => &shared.stats.requests.load,
+        Request::Spmv { .. } => &shared.stats.requests.spmv,
+        Request::Solve { .. } => &shared.stats.requests.solve,
+        Request::Plan { .. } => &shared.stats.requests.plan,
+        Request::Sleep { .. } => &shared.stats.requests.sleep,
+        Request::Stats | Request::Shutdown => return, // served inline, counted there
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        // Same-matrix SpMV batching: one dequeue resolves the matrix and
+        // plan once, then drains queued twins (front-of-queue only, so
+        // FIFO fairness holds for everything else).
+        if let Request::Spmv { handle, engine, .. } = job.request {
+            let mut batch = vec![job];
+            while batch.len() < shared.config.batch_max {
+                let twin = rx.try_recv_if(|next| {
+                    matches!(
+                        next.request,
+                        Request::Spmv {
+                            handle: h,
+                            engine: e,
+                            ..
+                        } if h == handle && e == engine
+                    )
+                });
+                match twin {
+                    Some(next) => batch.push(next),
+                    None => break,
+                }
+            }
+            if batch.len() > 1 {
+                shared
+                    .stats
+                    .batched
+                    .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
+            }
+            for job in batch {
+                run_job(shared, job);
+            }
+        } else {
+            run_job(shared, job);
+        }
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, job: Job) {
+    record_accepted_kind(shared, &job.request);
+    let received = job.received;
+    // The executors validate their inputs, but a panic in a worker must
+    // not take the pool down: surface it as an Internal error instead.
+    let reply =
+        catch_unwind(AssertUnwindSafe(|| execute(shared, job.request))).unwrap_or_else(|_| {
+            Reply::Error {
+                code: ErrorCode::Internal,
+                message: "request execution panicked".to_string(),
+            }
+        });
+    shared
+        .stats
+        .record_service_micros(received.elapsed().as_micros() as u64);
+    let _ = job.reply_tx.send(reply); // receiver gone = client disconnected
+}
+
+fn bad_request(message: impl Into<String>) -> Reply {
+    Reply::Error {
+        code: ErrorCode::BadRequest,
+        message: message.into(),
+    }
+}
+
+fn unknown_handle(handle: u64) -> Reply {
+    Reply::Error {
+        code: ErrorCode::UnknownHandle,
+        message: format!("no resident matrix with handle {handle:#018x}; send LoadMatrix first"),
+    }
+}
+
+fn sim_error_reply(err: &SimError) -> Reply {
+    Reply::Error {
+        code: ErrorCode::BadRequest,
+        message: err.to_string(),
+    }
+}
+
+fn execute(shared: &Shared, request: Request) -> Reply {
+    match request {
+        Request::LoadMatrix {
+            rows,
+            cols,
+            triplets,
+        } => execute_load(shared, rows, cols, &triplets),
+        Request::Spmv { handle, engine, x } => execute_spmv(shared, handle, engine, &x),
+        Request::Solve {
+            handle,
+            engine,
+            solver,
+            max_iterations,
+            tolerance,
+            b,
+        } => execute_solve(
+            shared,
+            handle,
+            engine,
+            solver,
+            max_iterations,
+            tolerance,
+            &b,
+        ),
+        Request::Plan { handle, engine } => execute_plan(shared, handle, engine),
+        Request::Sleep { millis } => {
+            thread::sleep(Duration::from_millis(u64::from(millis.min(10_000))));
+            Reply::Done
+        }
+        Request::Stats | Request::Shutdown => Reply::Error {
+            code: ErrorCode::Internal,
+            message: "inline request reached the worker pool".to_string(),
+        },
+    }
+}
+
+fn execute_load(shared: &Shared, rows: u64, cols: u64, triplets: &[(u64, u64, f32)]) -> Reply {
+    const MAX_DIM: u64 = 1 << 32;
+    if rows == 0 || cols == 0 || rows > MAX_DIM || cols > MAX_DIM {
+        return bad_request(format!("matrix dimensions {rows}x{cols} out of range"));
+    }
+    for &(r, c, v) in triplets {
+        if !v.is_finite() || v == 0.0 {
+            // §3.2 reserves the all-zero word for stalls, so an explicit
+            // zero (or non-finite) value is unschedulable.
+            return bad_request(format!(
+                "unschedulable value {v} at ({r}, {c}): values must be finite and non-zero"
+            ));
+        }
+    }
+    let converted: Vec<(usize, usize, f32)> = triplets
+        .iter()
+        .map(|&(r, c, v)| (r as usize, c as usize, v))
+        .collect();
+    let matrix = match CooMatrix::from_triplets(rows as usize, cols as usize, converted) {
+        Ok(matrix) => matrix,
+        Err(err) => return bad_request(err.to_string()),
+    };
+    let handle = matrix_fingerprint(&matrix);
+    let mut matrices = lock_unpoisoned(&shared.matrices);
+    let fresh = !matrices.contains(&handle);
+    if fresh {
+        matrices.insert(handle, Arc::new(matrix));
+    }
+    Reply::Loaded {
+        handle,
+        rows,
+        cols,
+        nnz: triplets.len() as u64,
+        fresh,
+    }
+}
+
+fn execute_spmv(shared: &Shared, handle: u64, engine: Engine, x: &[f32]) -> Reply {
+    let Some(matrix) = shared.matrix(handle) else {
+        return unknown_handle(handle);
+    };
+    if x.len() != matrix.cols() {
+        return bad_request(format!(
+            "x has {} entries, matrix has {} columns",
+            x.len(),
+            matrix.cols()
+        ));
+    }
+    let start = Instant::now();
+    let (y, simulated_nanos) = match engine {
+        Engine::Cpu => (CsrMatrix::from(matrix.as_ref()).spmv(x), 0),
+        Engine::Chason => match run_engine_spmv(shared, engine, &shared.chason, &matrix, x) {
+            Ok(out) => out,
+            Err(err) => return sim_error_reply(&err),
+        },
+        Engine::Serpens => match run_engine_spmv(shared, engine, &shared.serpens, &matrix, x) {
+            Ok(out) => out,
+            Err(err) => return sim_error_reply(&err),
+        },
+    };
+    Reply::Vector {
+        y,
+        service_micros: start.elapsed().as_micros() as u64,
+        simulated_nanos,
+    }
+}
+
+fn run_engine_spmv<E: PlanningEngine>(
+    shared: &Shared,
+    wire: Engine,
+    planner: &E,
+    matrix: &CooMatrix,
+    x: &[f32],
+) -> Result<(Vec<f32>, u64), SimError> {
+    let plan = shared.resolve_plan(wire, planner, matrix)?;
+    let exec = planner.run_planned(&plan, x)?;
+    let nanos = (exec.latency_seconds() * 1e9) as u64;
+    Ok((exec.y, nanos))
+}
+
+/// A solver backend that routes every product through the server's shared
+/// plan cache, so a solve warms the same cache later `Spmv` requests hit.
+struct SharedPlanBackend<'a, E: PlanningEngine> {
+    shared: &'a Shared,
+    wire: Engine,
+    planner: &'a E,
+    elapsed: f64,
+}
+
+impl<E: PlanningEngine> SpmvBackend for SharedPlanBackend<'_, E> {
+    fn spmv(&mut self, matrix: &CooMatrix, x: &[f32]) -> Result<Vec<f32>, SimError> {
+        let plan = self.shared.resolve_plan(self.wire, self.planner, matrix)?;
+        let exec = self.planner.run_planned(&plan, x)?;
+        self.elapsed += exec.latency_seconds();
+        Ok(exec.y)
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        self.elapsed
+    }
+
+    fn name(&self) -> &'static str {
+        self.wire.name()
+    }
+}
+
+fn execute_solve(
+    shared: &Shared,
+    handle: u64,
+    engine: Engine,
+    solver: SolverKind,
+    max_iterations: u32,
+    tolerance: f64,
+    b: &[f32],
+) -> Reply {
+    let Some(matrix) = shared.matrix(handle) else {
+        return unknown_handle(handle);
+    };
+    // The solvers assert on these; validate ahead so a bad request cannot
+    // panic a worker.
+    if matrix.rows() != matrix.cols() {
+        return bad_request(format!(
+            "solver requires a square system, matrix is {}x{}",
+            matrix.rows(),
+            matrix.cols()
+        ));
+    }
+    if b.len() != matrix.rows() {
+        return bad_request(format!(
+            "b has {} entries, system has {} rows",
+            b.len(),
+            matrix.rows()
+        ));
+    }
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return bad_request(format!(
+            "tolerance {tolerance} must be finite and non-negative"
+        ));
+    }
+    if solver == SolverKind::Jacobi {
+        let mut diag = vec![false; matrix.rows()];
+        for &(r, c, v) in matrix.iter() {
+            if r == c && v != 0.0 {
+                diag[r] = true;
+            }
+        }
+        if let Some(row) = diag.iter().position(|&set| !set) {
+            return bad_request(format!(
+                "Jacobi requires a non-zero diagonal; row {row} has none"
+            ));
+        }
+    }
+    let options = CgOptions {
+        max_iterations: max_iterations as usize,
+        tolerance,
+    };
+    let start = Instant::now();
+    let run = |backend: &mut dyn SpmvBackend| match solver {
+        SolverKind::Cg => conjugate_gradient(backend, &matrix, b, options),
+        SolverKind::Jacobi => jacobi(backend, &matrix, b, options),
+    };
+    let (result, simulated_nanos) = match engine {
+        Engine::Cpu => {
+            let mut backend = chason::solvers::CpuBackend::default();
+            (run(&mut backend), 0)
+        }
+        Engine::Chason => {
+            let mut backend = SharedPlanBackend {
+                shared,
+                wire: engine,
+                planner: &shared.chason,
+                elapsed: 0.0,
+            };
+            let result = run(&mut backend);
+            (result, (backend.elapsed * 1e9) as u64)
+        }
+        Engine::Serpens => {
+            let mut backend = SharedPlanBackend {
+                shared,
+                wire: engine,
+                planner: &shared.serpens,
+                elapsed: 0.0,
+            };
+            let result = run(&mut backend);
+            (result, (backend.elapsed * 1e9) as u64)
+        }
+    };
+    match result {
+        Ok(result) => Reply::Solved {
+            solution: result.solution,
+            iterations: result.iterations as u64,
+            residual: result.residual,
+            converged: result.converged,
+            service_micros: start.elapsed().as_micros() as u64,
+            simulated_nanos,
+        },
+        Err(err) => sim_error_reply(&err),
+    }
+}
+
+fn execute_plan(shared: &Shared, handle: u64, engine: Engine) -> Reply {
+    let Some(matrix) = shared.matrix(handle) else {
+        return unknown_handle(handle);
+    };
+    let plan = match engine {
+        Engine::Cpu => return bad_request("the cpu backend has no schedule plan"),
+        Engine::Chason => shared.resolve_plan(engine, &shared.chason, &matrix),
+        Engine::Serpens => shared.resolve_plan(engine, &shared.serpens, &matrix),
+    };
+    match plan {
+        Ok(plan) => {
+            let mut bytes = Vec::new();
+            match chason_core::export::write_plan(&mut bytes, &plan) {
+                Ok(()) => Reply::PlanArtifact { bytes },
+                Err(err) => Reply::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("plan serialization failed: {err}"),
+                },
+            }
+        }
+        Err(err) => sim_error_reply(&err),
+    }
+}

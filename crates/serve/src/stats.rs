@@ -1,0 +1,222 @@
+//! Server-side counters behind [`Reply::Stats`](crate::proto::Reply).
+//!
+//! Counters are lock-free atomics so the request hot path never contends;
+//! the only lock guards a fixed-size ring of recent service times, touched
+//! once per completed request and once per `Stats` snapshot. Percentiles
+//! are computed over the ring (the last [`SERVICE_WINDOW`] requests), not
+//! the full history — a daemon's tail latency should reflect current
+//! behaviour, not its first hour.
+
+use crate::proto::StatsSnapshot;
+use chason_core::cache::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many recent service-time samples feed the percentile estimates.
+pub const SERVICE_WINDOW: usize = 4096;
+
+/// Request-type counters a connection thread bumps when it accepts work.
+#[derive(Debug, Default)]
+pub struct RequestCounters {
+    /// `LoadMatrix` accepted.
+    pub load: AtomicU64,
+    /// `Spmv` accepted.
+    pub spmv: AtomicU64,
+    /// `Solve` accepted.
+    pub solve: AtomicU64,
+    /// `Plan` accepted.
+    pub plan: AtomicU64,
+    /// `Stats` served inline.
+    pub stats: AtomicU64,
+    /// `Sleep` accepted.
+    pub sleep: AtomicU64,
+}
+
+#[derive(Debug)]
+struct ServiceRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+/// All mutable server telemetry; shared by every connection and worker
+/// thread.
+#[derive(Debug)]
+pub struct ServerStats {
+    started: Instant,
+    /// Per-opcode acceptance counters.
+    pub requests: RequestCounters,
+    /// Requests rejected with `Busy`.
+    pub shed: AtomicU64,
+    /// Extra same-matrix SpMVs executed by piggybacking on a dequeued
+    /// request.
+    pub batched: AtomicU64,
+    /// Highest queue depth observed at enqueue time.
+    pub queue_depth_hwm: AtomicU64,
+    /// Service-time samples recorded since start.
+    pub service_samples: AtomicU64,
+    ring: Mutex<ServiceRing>,
+}
+
+impl ServerStats {
+    /// Creates zeroed counters with the clock starting now.
+    pub fn new() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            requests: RequestCounters::default(),
+            shed: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
+            queue_depth_hwm: AtomicU64::new(0),
+            service_samples: AtomicU64::new(0),
+            ring: Mutex::new(ServiceRing {
+                samples: Vec::with_capacity(SERVICE_WINDOW),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Records one completed request's service time (queue wait +
+    /// execution).
+    pub fn record_service_micros(&self, micros: u64) {
+        self.service_samples.fetch_add(1, Ordering::Relaxed);
+        let mut ring = lock_unpoisoned(&self.ring);
+        if ring.samples.len() < SERVICE_WINDOW {
+            ring.samples.push(micros);
+        } else {
+            let slot = ring.next;
+            ring.samples[slot] = micros;
+        }
+        ring.next = (ring.next + 1) % SERVICE_WINDOW;
+    }
+
+    /// Raises the queue-depth high-water mark to `depth` if it is higher.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Assembles the wire snapshot from these counters plus the two
+    /// caches' state (sampled by the caller under the cache locks).
+    pub fn snapshot(
+        &self,
+        plan_cache: CacheStats,
+        matrices_resident: u64,
+        matrix_evictions: u64,
+    ) -> StatsSnapshot {
+        let (p50, p99, max) = self.service_percentiles();
+        StatsSnapshot {
+            uptime_millis: self.started.elapsed().as_millis() as u64,
+            requests_load: self.requests.load.load(Ordering::Relaxed),
+            requests_spmv: self.requests.spmv.load(Ordering::Relaxed),
+            requests_solve: self.requests.solve.load(Ordering::Relaxed),
+            requests_plan: self.requests.plan.load(Ordering::Relaxed),
+            requests_stats: self.requests.stats.load(Ordering::Relaxed),
+            requests_sleep: self.requests.sleep.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            batched: self.batched.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            plan_cache_hits: plan_cache.hits,
+            plan_cache_misses: plan_cache.misses,
+            plan_cache_evictions: plan_cache.evictions,
+            plan_cache_len: plan_cache.len as u64,
+            plan_cache_capacity: plan_cache.capacity as u64,
+            matrices_resident,
+            matrix_evictions,
+            service_p50_micros: p50,
+            service_p99_micros: p99,
+            service_max_micros: max,
+            service_samples: self.service_samples.load(Ordering::Relaxed),
+        }
+    }
+
+    fn service_percentiles(&self) -> (u64, u64, u64) {
+        let ring = lock_unpoisoned(&self.ring);
+        percentiles(&ring.samples)
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats::new()
+    }
+}
+
+/// (p50, p99, max) of `samples` in their own unit; zeros when empty.
+pub fn percentiles(samples: &[u64]) -> (u64, u64, u64) {
+    if samples.is_empty() {
+        return (0, 0, 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let at = |p: usize| sorted[(sorted.len() - 1) * p / 100];
+    (at(50), at(99), sorted[sorted.len() - 1])
+}
+
+/// Locks a mutex, continuing through poisoning: these are telemetry
+/// structures, and a panicking worker must not take observability down
+/// with it.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let (p50, p99, max) = percentiles(&samples);
+        assert_eq!((p50, p99, max), (50, 99, 100));
+        assert_eq!(percentiles(&[]), (0, 0, 0));
+        assert_eq!(percentiles(&[7]), (7, 7, 7));
+    }
+
+    #[test]
+    fn ring_keeps_only_the_recent_window() {
+        let stats = ServerStats::new();
+        // Fill the window with large values, then overwrite with small ones.
+        for _ in 0..SERVICE_WINDOW {
+            stats.record_service_micros(1_000_000);
+        }
+        for _ in 0..SERVICE_WINDOW {
+            stats.record_service_micros(10);
+        }
+        let (p50, p99, max) = stats.service_percentiles();
+        assert_eq!((p50, p99, max), (10, 10, 10), "old samples must age out");
+        assert_eq!(
+            stats.service_samples.load(Ordering::Relaxed),
+            2 * SERVICE_WINDOW as u64
+        );
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let stats = ServerStats::new();
+        stats.requests.spmv.fetch_add(3, Ordering::Relaxed);
+        stats.shed.fetch_add(2, Ordering::Relaxed);
+        stats.observe_queue_depth(5);
+        stats.observe_queue_depth(3); // lower: must not regress the HWM
+        stats.record_service_micros(40);
+        let snap = stats.snapshot(
+            CacheStats {
+                hits: 8,
+                misses: 2,
+                evictions: 1,
+                len: 1,
+                capacity: 4,
+            },
+            6,
+            1,
+        );
+        assert_eq!(snap.requests_spmv, 3);
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.queue_depth_hwm, 5);
+        assert_eq!(snap.plan_cache_hits, 8);
+        assert!((snap.plan_hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(snap.matrices_resident, 6);
+        assert_eq!(snap.service_p50_micros, 40);
+        assert_eq!(snap.requests_executed(), 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests: every CHSP frame type survives an encode/decode round
+//! trip.
+//!
+//! The round-trip law is stated on the wire bytes —
+//! `encode(decode(encode(m))) == encode(m)` — rather than on the decoded
+//! values, so NaN float payloads (where `PartialEq` would lie) are covered
+//! bit-exactly.
+
+use chason_serve::proto::{
+    decode_reply, decode_request, encode_reply, encode_request, read_frame_blocking, write_frame,
+    Engine, ErrorCode, Reply, Request, SolverKind, StatsSnapshot,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn floats(bits: &[u32]) -> Vec<f32> {
+    bits.iter().map(|&b| f32::from_bits(b)).collect()
+}
+
+fn snapshot_from(words: &[u64]) -> StatsSnapshot {
+    StatsSnapshot {
+        uptime_millis: words[0],
+        requests_load: words[1],
+        requests_spmv: words[2],
+        requests_solve: words[3],
+        requests_plan: words[4],
+        requests_stats: words[5],
+        requests_sleep: words[6],
+        shed: words[7],
+        batched: words[8],
+        queue_depth_hwm: words[9],
+        plan_cache_hits: words[10],
+        plan_cache_misses: words[11],
+        plan_cache_evictions: words[12],
+        plan_cache_len: words[13],
+        plan_cache_capacity: words[14],
+        matrices_resident: words[15],
+        matrix_evictions: words[16],
+        service_p50_micros: words[17],
+        service_p99_micros: words[18],
+        service_max_micros: words[19],
+        service_samples: words[20],
+    }
+}
+
+const MESSAGES: [&str; 4] = ["", "queue full", "no such matrix", "Ω non-ascii detail ✓"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_request_variant_round_trips(
+        selector in 0usize..7,
+        handle in any::<u64>(),
+        dims in (1u64..5000, 1u64..5000),
+        engine_code in 0u8..3,
+        solver_code in 0u8..2,
+        max_iterations in any::<u32>(),
+        tolerance_bits in any::<u64>(),
+        value_bits in vec(any::<u32>(), 0..12),
+        coords in vec((0u64..5000, 0u64..5000, any::<u32>()), 0..12),
+        millis in any::<u32>(),
+    ) {
+        let engine = Engine::from_code(engine_code).unwrap();
+        let request = match selector {
+            0 => Request::LoadMatrix {
+                rows: dims.0,
+                cols: dims.1,
+                triplets: coords
+                    .iter()
+                    .map(|&(r, c, v)| (r, c, f32::from_bits(v)))
+                    .collect(),
+            },
+            1 => Request::Spmv { handle, engine, x: floats(&value_bits) },
+            2 => Request::Solve {
+                handle,
+                engine,
+                solver: SolverKind::from_code(solver_code).unwrap(),
+                max_iterations,
+                tolerance: f64::from_bits(tolerance_bits),
+                b: floats(&value_bits),
+            },
+            3 => Request::Plan { handle, engine },
+            4 => Request::Stats,
+            5 => Request::Shutdown,
+            _ => Request::Sleep { millis },
+        };
+        let wire = encode_request(&request);
+        let decoded = decode_request(&wire).expect("encoded request must decode");
+        prop_assert_eq!(encode_request(&decoded), wire);
+    }
+
+    #[test]
+    fn every_reply_variant_round_trips(
+        selector in 0usize..8,
+        words in vec(any::<u64>(), 21),
+        flag in any::<bool>(),
+        value_bits in vec(any::<u32>(), 0..12),
+        artifact in vec(any::<u8>(), 0..64),
+        residual_bits in any::<u64>(),
+        retry_after_ms in any::<u32>(),
+        error_code in 1u8..8,
+        message_index in 0usize..4,
+    ) {
+        let reply = match selector {
+            0 => Reply::Loaded {
+                handle: words[0],
+                rows: words[1],
+                cols: words[2],
+                nnz: words[3],
+                fresh: flag,
+            },
+            1 => Reply::Vector {
+                y: floats(&value_bits),
+                service_micros: words[4],
+                simulated_nanos: words[5],
+            },
+            2 => Reply::Solved {
+                solution: floats(&value_bits),
+                iterations: words[6],
+                residual: f64::from_bits(residual_bits),
+                converged: flag,
+                service_micros: words[7],
+                simulated_nanos: words[8],
+            },
+            3 => Reply::PlanArtifact { bytes: artifact },
+            4 => Reply::Stats(snapshot_from(&words)),
+            5 => Reply::Done,
+            6 => Reply::Busy { retry_after_ms },
+            _ => Reply::Error {
+                code: ErrorCode::from_code(error_code).unwrap(),
+                message: MESSAGES[message_index].to_string(),
+            },
+        };
+        let wire = encode_reply(&reply);
+        let decoded = decode_reply(&wire).expect("encoded reply must decode");
+        prop_assert_eq!(encode_reply(&decoded), wire);
+    }
+
+    #[test]
+    fn framing_round_trips_and_truncations_fail(
+        payload in vec(any::<u8>(), 0..300),
+        cut in any::<u64>(),
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        prop_assert_eq!(wire.len(), payload.len() + 4);
+        let read = read_frame_blocking(&mut wire.as_slice(), 4096).expect("frame must read back");
+        prop_assert_eq!(read, payload);
+        // Any strict prefix must fail to read as a complete frame.
+        let cut = (cut as usize) % wire.len();
+        let truncated = &wire[..cut];
+        prop_assert!(read_frame_blocking(&mut &truncated[..], 4096).is_err());
+    }
+
+    #[test]
+    fn random_payload_bytes_never_panic_the_decoders(
+        payload in vec(any::<u8>(), 0..200),
+    ) {
+        // Result is irrelevant; the property is "no panic, no unbounded
+        // allocation" on arbitrary input.
+        let _ = decode_request(&payload);
+        let _ = decode_reply(&payload);
+    }
+
+    #[test]
+    fn corrupted_encodings_never_panic(
+        selector in 0usize..3,
+        flip_at in any::<u64>(),
+        flip_to in any::<u8>(),
+        value_bits in vec(any::<u32>(), 1..8),
+    ) {
+        let wire = match selector {
+            0 => encode_request(&Request::Spmv {
+                handle: 9,
+                engine: Engine::Chason,
+                x: floats(&value_bits),
+            }),
+            1 => encode_reply(&Reply::Error {
+                code: ErrorCode::BadRequest,
+                message: "detail".to_string(),
+            }),
+            _ => encode_reply(&Reply::Stats(StatsSnapshot::default())),
+        };
+        let mut corrupted = wire;
+        let at = (flip_at as usize) % corrupted.len();
+        corrupted[at] = flip_to;
+        let _ = decode_request(&corrupted);
+        let _ = decode_reply(&corrupted);
+    }
+}

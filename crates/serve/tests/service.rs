@@ -1,0 +1,341 @@
+//! End-to-end tests of the CHSP service over real sockets on ephemeral
+//! ports: happy path, malformed and oversized frames, queue-full
+//! shedding, mid-request disconnects, and graceful shutdown draining.
+
+use chason_serve::client::Client;
+use chason_serve::proto::{
+    decode_reply, encode_request, read_frame_blocking, write_frame, Engine, ErrorCode, Reply,
+    Request, SolverKind, DEFAULT_MAX_FRAME,
+};
+use chason_serve::server::{ServeConfig, Server};
+use chason_testutil::spd_system;
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+fn start(config: ServeConfig) -> Server {
+    Server::start(config).expect("server binds an ephemeral port")
+}
+
+fn small_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    }
+}
+
+/// Sends one raw frame and reads one raw reply on a bare socket.
+fn raw_round_trip(stream: &mut TcpStream, payload: &[u8]) -> Reply {
+    write_frame(stream, payload).expect("write frame");
+    let reply = read_frame_blocking(stream, DEFAULT_MAX_FRAME).expect("read reply frame");
+    decode_reply(&reply).expect("decode reply")
+}
+
+#[test]
+fn happy_path_load_spmv_solve_plan_stats_over_concurrent_clients() {
+    let server = start(small_config());
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            thread::spawn(move || {
+                let (a, b) = spd_system(64 + 8 * i, 40 + i as u64);
+                let mut client = Client::connect(addr).expect("connect");
+                let (handle, _) = client.load_matrix(&a).expect("load");
+
+                // SpMV on every backend matches the local reference.
+                let expected = a.spmv(&b);
+                for engine in [Engine::Cpu, Engine::Chason, Engine::Serpens] {
+                    let (y, _, simulated) = client.spmv(handle, engine, b.clone()).expect("spmv");
+                    assert_eq!(y.len(), expected.len());
+                    for (got, want) in y.iter().zip(&expected) {
+                        assert!((got - want).abs() <= 1e-3 * want.abs().max(1.0));
+                    }
+                    if engine == Engine::Cpu {
+                        assert_eq!(simulated, 0);
+                    } else {
+                        assert!(simulated > 0, "{engine:?} must report modeled time");
+                    }
+                }
+
+                // Both solvers converge on the SPD system.
+                for solver in [SolverKind::Cg, SolverKind::Jacobi] {
+                    let outcome = client
+                        .solve(handle, Engine::Chason, solver, 200, 1e-4, b.clone())
+                        .expect("solve");
+                    assert!(
+                        outcome.converged,
+                        "{solver:?} residual {}",
+                        outcome.residual
+                    );
+                    assert!(outcome.simulated_nanos > 0);
+                }
+
+                // The plan artifact is a valid CHPL container for this matrix.
+                let bytes = client.plan(handle, Engine::Chason).expect("plan");
+                let plan = chason_core::export::read_plan(&bytes[..]).expect("artifact decodes");
+                assert_eq!(plan.nnz, a.nnz());
+                handle
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.requests_spmv, 9);
+    assert_eq!(stats.requests_solve, 6);
+    assert_eq!(stats.requests_plan, 3);
+    assert_eq!(stats.matrices_resident, 3);
+    assert!(
+        stats.plan_cache_hits > 0,
+        "solve iterations and repeat spmv must hit the shared plan cache: {stats:?}"
+    );
+    assert_eq!(stats.shed, 0);
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn repeat_loads_are_idempotent_and_unknown_handles_are_typed_errors() {
+    let server = start(small_config());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (a, _) = spd_system(32, 5);
+    let (h1, fresh1) = client.load_matrix(&a).expect("load");
+    let (h2, fresh2) = client.load_matrix(&a).expect("reload");
+    assert_eq!(h1, h2);
+    assert!(fresh1 && !fresh2);
+
+    let err = client
+        .spmv(0xdead_beef, Engine::Cpu, vec![1.0; 32])
+        .unwrap_err();
+    match err {
+        chason_serve::client::ClientError::Server { code, .. } => {
+            assert_eq!(code, ErrorCode::UnknownHandle)
+        }
+        other => panic!("expected UnknownHandle, got {other}"),
+    }
+
+    // An explicit zero value is unschedulable (§3.2 reserves the zero word).
+    let reply = client
+        .request(&Request::LoadMatrix {
+            rows: 2,
+            cols: 2,
+            triplets: vec![(0, 0, 1.0), (1, 1, 0.0)],
+        })
+        .expect("request");
+    assert!(
+        matches!(&reply, Reply::Error { code: ErrorCode::BadRequest, message }
+            if message.contains("unschedulable")),
+        "{reply:?}"
+    );
+
+    // A rectangular solve is rejected up front instead of panicking a worker.
+    let reply = client
+        .request(&Request::LoadMatrix {
+            rows: 2,
+            cols: 3,
+            triplets: vec![(0, 0, 1.0), (1, 2, 2.0)],
+        })
+        .expect("request");
+    let Reply::Loaded { handle, .. } = reply else {
+        panic!("{reply:?}")
+    };
+    let err = client
+        .solve(handle, Engine::Cpu, SolverKind::Cg, 5, 1e-3, vec![1.0, 1.0])
+        .unwrap_err();
+    match err {
+        chason_serve::client::ClientError::Server { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("square"), "{message}");
+        }
+        other => panic!("expected BadRequest, got {other}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn malformed_frame_gets_a_typed_error_and_the_connection_survives() {
+    let server = start(small_config());
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    // Garbage opcode.
+    match raw_round_trip(&mut stream, &[0x6f, 1, 2, 3]) {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::MalformedFrame),
+        other => panic!("{other:?}"),
+    }
+    // Truncated body: Spmv opcode with nothing after it.
+    match raw_round_trip(&mut stream, &[0x02]) {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::MalformedFrame),
+        other => panic!("{other:?}"),
+    }
+    // The same connection still serves valid requests.
+    match raw_round_trip(&mut stream, &encode_request(&Request::Stats)) {
+        Reply::Stats(snapshot) => assert_eq!(snapshot.requests_stats, 1),
+        other => panic!("{other:?}"),
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_frame_is_refused_and_the_connection_closed() {
+    let server = start(ServeConfig {
+        max_frame_len: 1024,
+        ..small_config()
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // Declare a 1 MiB payload against a 1 KiB cap; the reply must arrive
+    // before any payload bytes are sent.
+    stream
+        .write_all(&(1_048_576u32).to_le_bytes())
+        .expect("send header");
+    let reply = read_frame_blocking(&mut stream, DEFAULT_MAX_FRAME).expect("read reply");
+    match decode_reply(&reply).expect("decode") {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::FrameTooLarge),
+        other => panic!("{other:?}"),
+    }
+    // The server cannot resynchronize, so it hangs up: the next read sees
+    // EOF.
+    assert!(read_frame_blocking(&mut stream, DEFAULT_MAX_FRAME).is_err());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn full_queue_sheds_with_busy_and_keeps_the_connection() {
+    let server = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_ms: 7,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Occupy the single worker…
+    let w1 = thread::spawn(move || {
+        Client::connect(addr)
+            .expect("connect")
+            .sleep(600)
+            .expect("sleep 1")
+    });
+    thread::sleep(Duration::from_millis(150));
+    // …and fill the single queue slot.
+    let w2 = thread::spawn(move || {
+        Client::connect(addr)
+            .expect("connect")
+            .sleep(600)
+            .expect("sleep 2")
+    });
+    thread::sleep(Duration::from_millis(150));
+
+    let mut probe = Client::connect(addr).expect("connect");
+    match probe
+        .request(&Request::Sleep { millis: 1 })
+        .expect("request")
+    {
+        Reply::Busy { retry_after_ms } => assert_eq!(retry_after_ms, 7),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // Shedding must not cost the connection: stats still works inline, and
+    // records the shed.
+    let stats = probe.stats().expect("stats after Busy");
+    assert!(stats.shed >= 1, "{stats:?}");
+    assert!(stats.queue_depth_hwm >= 1, "{stats:?}");
+
+    // Once the backlog drains, the same connection's work is accepted.
+    w1.join().expect("sleeper 1");
+    w2.join().expect("sleeper 2");
+    probe.sleep(1).expect("accepted after drain");
+
+    probe.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn mid_request_disconnects_leave_the_server_healthy() {
+    let server = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Disconnect mid-frame: header promises 100 bytes, only 10 arrive.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&100u32.to_le_bytes()).expect("header");
+        stream.write_all(&[0u8; 10]).expect("partial payload");
+    } // dropped here
+
+    // Disconnect while a request is in flight: the worker's reply goes
+    // nowhere, which must not hurt the pool.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write_frame(
+            &mut stream,
+            &encode_request(&Request::Sleep { millis: 200 }),
+        )
+        .expect("send sleep");
+    } // dropped before the reply
+
+    thread::sleep(Duration::from_millis(400));
+    let mut client = Client::connect(addr).expect("connect");
+    client.sleep(1).expect("worker pool still alive");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests_sleep, 2);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_before_exiting() {
+    let server = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // A slow request in flight…
+    let in_flight = thread::spawn(move || {
+        Client::connect(addr)
+            .expect("connect")
+            .sleep(500)
+            .expect("in-flight request must be answered during drain")
+    });
+    thread::sleep(Duration::from_millis(100));
+
+    // …while another connection asks for shutdown.
+    let mut closer = Client::connect(addr).expect("connect");
+    closer.shutdown().expect("shutdown acknowledged");
+
+    // The in-flight request completes (drain), then everything exits.
+    in_flight.join().expect("drained request");
+    server.join();
+
+    // The listener is gone: new connections are refused or reset.
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut stream) => raw_is_dead(&mut stream),
+    };
+    assert!(refused, "server must stop accepting after drain");
+}
+
+/// After shutdown the OS may still complete a TCP handshake on the dead
+/// listener's backlog; a request on such a socket must fail.
+fn raw_is_dead(stream: &mut TcpStream) -> bool {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .expect("set timeout");
+    if write_frame(stream, &encode_request(&Request::Stats)).is_err() {
+        return true;
+    }
+    read_frame_blocking(stream, DEFAULT_MAX_FRAME).is_err()
+}

@@ -24,10 +24,10 @@
 //! # }
 //! ```
 
+use chason_core::cache::{CacheStats, LruCache};
 use chason_core::plan::{PlanKey, SpmvPlan};
 use chason_sim::{ChasonEngine, PlanningEngine, SerpensEngine, SimError};
 use chason_sparse::{CooMatrix, CsrMatrix};
-use std::collections::HashMap;
 
 /// Anything that can compute `y = A·x` and account for the time it took.
 ///
@@ -75,19 +75,30 @@ impl SpmvBackend for CpuBackend {
     }
 }
 
+/// Default bound on an [`EngineBackend`]'s plan cache: far more systems
+/// than one solver run touches, small enough that a long-lived process
+/// cannot grow without limit.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
 /// Simulated-accelerator backend; accumulates the engine's modeled latency.
 ///
 /// Each distinct (matrix, scheduler configuration) pair is scheduled into
-/// an [`SpmvPlan`] exactly once — on first use — and every subsequent
-/// `spmv` call replays the cached plan. An iterative solve therefore pays
-/// one scheduling pass regardless of iteration count;
-/// [`schedules_built`](Self::schedules_built) exposes the pass counter.
+/// an [`SpmvPlan`] once and every subsequent `spmv` call replays the
+/// cached plan, so an iterative solve pays one scheduling pass regardless
+/// of iteration count; [`schedules_built`](Self::schedules_built) exposes
+/// the pass counter. Plans live in a bounded
+/// [`LruCache`] ([`DEFAULT_PLAN_CACHE_CAPACITY`] entries unless
+/// [`with_plan_capacity`](Self::with_plan_capacity) overrides it), so a
+/// long-lived process cycling through many systems re-schedules evicted
+/// ones instead of growing without bound;
+/// [`plan_cache_stats`](Self::plan_cache_stats) exposes hit/miss/eviction
+/// counters.
 #[derive(Debug)]
 pub struct EngineBackend<E> {
     engine: E,
     elapsed: f64,
     name: &'static str,
-    plans: HashMap<PlanKey, SpmvPlan>,
+    plans: LruCache<PlanKey, SpmvPlan>,
     schedules_built: u64,
 }
 
@@ -111,13 +122,21 @@ impl<E> EngineBackend<E> {
             engine,
             elapsed: 0.0,
             name,
-            plans: HashMap::new(),
+            plans: LruCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
             schedules_built: 0,
         }
     }
 
+    /// Rebounds the plan cache to hold at most `capacity` plans (existing
+    /// entries are dropped).
+    pub fn with_plan_capacity(mut self, capacity: usize) -> Self {
+        self.plans = LruCache::new(capacity);
+        self
+    }
+
     /// How many scheduling passes the backend has run: one per distinct
-    /// (matrix, configuration) it has been asked to multiply with.
+    /// (matrix, configuration) it has been asked to multiply with, plus
+    /// one per re-schedule of an evicted plan.
     pub fn schedules_built(&self) -> u64 {
         self.schedules_built
     }
@@ -125,6 +144,11 @@ impl<E> EngineBackend<E> {
     /// Number of schedule plans currently cached.
     pub fn cached_plans(&self) -> usize {
         self.plans.len()
+    }
+
+    /// Hit/miss/eviction counters of the plan cache.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plans.stats()
     }
 
     /// Drops every cached plan (e.g. between unrelated workloads).
@@ -136,12 +160,13 @@ impl<E> EngineBackend<E> {
 impl<E: PlanningEngine> SpmvBackend for EngineBackend<E> {
     fn spmv(&mut self, matrix: &CooMatrix, x: &[f32]) -> Result<Vec<f32>, SimError> {
         let key = self.engine.plan_key(matrix);
-        if !self.plans.contains_key(&key) {
+        if self.plans.get(&key).is_none() {
             let plan = self.engine.plan(matrix)?;
             self.schedules_built += 1;
             self.plans.insert(key, plan);
         }
-        let plan = &self.plans[&key];
+        #[allow(clippy::expect_used)] // inserted above on miss
+        let plan = self.plans.peek(&key).expect("plan resident after insert");
         let exec = self.engine.run_planned(plan, x)?;
         self.elapsed += exec.latency_seconds();
         Ok(exec.y)
@@ -478,6 +503,27 @@ mod tests {
 
         acc.clear_plan_cache();
         assert_eq!(acc.cached_plans(), 0);
+    }
+
+    #[test]
+    fn plan_cache_is_bounded_and_observably_lru() {
+        let (a1, b1) = spd_system(128, 31);
+        let (a2, _) = spd_system(130, 32);
+        let mut acc = EngineBackend::chason(ChasonEngine::new(AcceleratorConfig::chason()))
+            .with_plan_capacity(1);
+        acc.spmv(&a1, &b1).unwrap();
+        acc.spmv(&a1, &b1).unwrap(); // hit
+        assert_eq!(acc.schedules_built(), 1);
+        acc.spmv(&a2, &vec![0.5; 130]).unwrap(); // evicts a1's plan
+        assert_eq!(acc.cached_plans(), 1);
+        acc.spmv(&a1, &b1).unwrap(); // must re-schedule after eviction
+        assert_eq!(acc.schedules_built(), 3);
+        let stats = acc.plan_cache_stats();
+        assert_eq!(stats.capacity, 1);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert!(stats.hit_rate() > 0.0);
     }
 
     #[test]

@@ -1,13 +1,322 @@
-//! Offline shim of the `crossbeam` scoped-thread API this workspace uses.
+//! Offline shim of the `crossbeam` APIs this workspace uses.
 //!
-//! Backed by `std::thread::scope` (stable since 1.63), which provides the
-//! same borrow-stack-data guarantee crossbeam's scoped threads pioneered.
-//! Only `crossbeam::scope` / `Scope::spawn` are provided — the surface the
-//! workspace's parallel SpMV baselines and window planner actually call.
+//! Scoped threads are backed by `std::thread::scope` (stable since 1.63),
+//! which provides the same borrow-stack-data guarantee crossbeam's scoped
+//! threads pioneered. The [`channel`] module shims
+//! `crossbeam::channel::bounded` — a blocking bounded MPMC queue — on a
+//! `Mutex<VecDeque>` plus two condvars. Only the surface the workspace
+//! actually calls is provided: `crossbeam::scope` / `Scope::spawn` for the
+//! parallel SpMV baselines and window planner, and the bounded channel for
+//! the `chason-serve` worker pool (including one documented extension,
+//! [`channel::Receiver::try_recv_if`], used for same-matrix request
+//! batching).
 
 #![deny(unsafe_code)]
 
 pub use thread::scope;
+
+/// Bounded MPMC channels (shim of `crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error for [`Sender::try_send`]: the value is handed back.
+    pub enum TrySendError<T> {
+        /// The queue is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the value that failed to send.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a full queue (backpressure) rather than
+        /// a disconnect.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error for [`Sender::send`]: every receiver was dropped.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Error for [`Receiver::recv`]: the queue is empty and every sender
+    /// was dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty.
+        Empty,
+        /// The queue is empty and every sender was dropped.
+        Disconnected,
+    }
+
+    /// Error for [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived within the timeout.
+        Timeout,
+        /// The queue is empty and every sender was dropped.
+        Disconnected,
+    }
+
+    /// The producer half of a bounded channel. Cloneable.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The consumer half of a bounded channel. Cloneable.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Creates a bounded MPMC channel with room for `capacity` queued
+    /// values (`capacity` is clamped to at least 1).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                capacity: capacity.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    #[allow(clippy::expect_used)] // a poisoned queue mutex means a consumer
+                                  // panicked while holding it; every API here would misbehave silently, so
+                                  // propagating the panic is the only sound option.
+    fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, Inner<T>> {
+        shared.inner.lock().expect("channel mutex poisoned")
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues without blocking; fails with [`TrySendError::Full`]
+        /// when the queue is at capacity (the load-shedding signal).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = lock(&self.0);
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if inner.queue.len() >= inner.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues, blocking while the queue is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = lock(&self.0);
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if inner.queue.len() < inner.capacity {
+                    inner.queue.push_back(value);
+                    drop(inner);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                #[allow(clippy::expect_used)] // see `lock`
+                {
+                    inner = self.0.not_full.wait(inner).expect("channel mutex poisoned");
+                }
+            }
+        }
+
+        /// Queued values right now (racy; for metrics only).
+        pub fn len(&self) -> usize {
+            lock(&self.0).queue.len()
+        }
+
+        /// Whether the queue is empty right now (racy; for metrics only).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues, blocking until a value arrives or every sender is
+        /// dropped and the queue has drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = lock(&self.0);
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                #[allow(clippy::expect_used)] // see `lock`
+                {
+                    inner = self
+                        .0
+                        .not_empty
+                        .wait(inner)
+                        .expect("channel mutex poisoned");
+                }
+            }
+        }
+
+        /// [`recv`](Self::recv) bounded by a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = lock(&self.0);
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                #[allow(clippy::expect_used)] // see `lock`
+                {
+                    let (guard, result) = self
+                        .0
+                        .not_empty
+                        .wait_timeout(inner, deadline - now)
+                        .expect("channel mutex poisoned");
+                    inner = guard;
+                    if result.timed_out() && inner.queue.is_empty() {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                }
+            }
+        }
+
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = lock(&self.0);
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Dequeues the front value only if `pred` accepts it; otherwise
+        /// leaves the queue untouched.
+        ///
+        /// **Local extension** (not in upstream crossbeam): `chason-serve`
+        /// workers use it to opportunistically batch queued SpMV requests
+        /// that target the matrix they already resolved, without stealing
+        /// unrelated work out of FIFO order.
+        pub fn try_recv_if(&self, pred: impl FnOnce(&T) -> bool) -> Option<T> {
+            let mut inner = lock(&self.0);
+            if inner.queue.front().is_some_and(pred) {
+                let v = inner.queue.pop_front();
+                drop(inner);
+                self.0.not_full.notify_one();
+                v
+            } else {
+                None
+            }
+        }
+
+        /// Queued values right now (racy; for metrics only).
+        pub fn len(&self) -> usize {
+            lock(&self.0).queue.len()
+        }
+
+        /// Whether the queue is empty right now (racy; for metrics only).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.0).senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.0).receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut inner = lock(&self.0);
+                inner.senders -= 1;
+                inner.senders
+            };
+            if remaining == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut inner = lock(&self.0);
+                inner.receivers -= 1;
+                inner.receivers
+            };
+            if remaining == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+}
 
 /// Scoped threads (shim of `crossbeam::thread`).
 pub mod thread {
@@ -82,5 +391,102 @@ mod tests {
             s.spawn(|_| panic!("boom")).join().unwrap();
         });
         assert!(result.is_err());
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::channel::{bounded, RecvTimeoutError, TryRecvError, TrySendError};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        let err = tx.try_send(3).unwrap_err();
+        assert!(err.is_full());
+        assert!(matches!(err, TrySendError::Full(3)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Empty);
+    }
+
+    #[test]
+    fn recv_drains_then_disconnects() {
+        let (tx, rx) = bounded(4);
+        tx.try_send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Disconnected);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+    }
+
+    #[test]
+    fn try_recv_if_only_takes_matching_front() {
+        let (tx, rx) = bounded(4);
+        tx.try_send(10).unwrap();
+        tx.try_send(11).unwrap();
+        assert_eq!(rx.try_recv_if(|&v| v == 99), None);
+        assert_eq!(rx.len(), 2, "non-matching front is left in place");
+        assert_eq!(rx.try_recv_if(|&v| v == 10), Some(10));
+        assert_eq!(rx.try_recv_if(|&v| v == 11), Some(11));
+        assert_eq!(rx.try_recv_if(|_| true), None, "empty queue yields None");
+    }
+
+    #[test]
+    fn send_blocks_until_room_and_mpmc_sums() {
+        let (tx, rx) = bounded(1);
+        let total: u64 = super::scope(|s| {
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| {
+                        let mut sum = 0u64;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            for producer in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..25u64 {
+                        tx.send(producer * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx); // let consumers disconnect once producers finish
+            drop(rx);
+            consumers.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        let expected: u64 = (0..4u64)
+            .flat_map(|p| (0..25u64).map(move |i| p * 100 + i))
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn send_errors_when_receivers_gone() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        assert!(matches!(
+            tx.try_send(2).unwrap_err(),
+            TrySendError::Disconnected(2)
+        ));
+        assert_eq!(TrySendError::Disconnected(5).into_inner(), 5);
     }
 }
