@@ -13,8 +13,35 @@
 //! the shared state in the dynamic kernel is just the chunk cursor.
 
 use chason_sparse::CsrMatrix;
+use chason_telemetry::metrics::HistogramShard;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Records one processed chunk into a thread-private shard: the sample is
+/// the chunk's non-zero count, read from the CSR row extents *after* the
+/// hot loop, so the multiply-accumulate path itself is untouched. Under
+/// `telemetry-off` the `enabled()` branch is constant-false and the whole
+/// body folds away.
+#[inline]
+fn record_chunk(shard: &mut HistogramShard, matrix: &CsrMatrix, start: usize, len: usize) {
+    if chason_telemetry::enabled() {
+        let nnz: usize = (start..start + len).map(|r| matrix.row(r).0.len()).sum();
+        shard.record(nnz as u64);
+    }
+}
+
+/// Publishes a worker's shard into the global registry once per kernel
+/// call (`baseline_chunk_nnz` histogram, `baseline_spmv_chunks_total`
+/// counter).
+fn publish_shard(shard: &HistogramShard) {
+    if chason_telemetry::enabled() && shard.count() > 0 {
+        let registry = chason_telemetry::global().registry();
+        shard.merge_into(&registry.histogram("baseline_chunk_nnz"));
+        registry
+            .counter("baseline_spmv_chunks_total")
+            .add(shard.count());
+    }
+}
 
 /// Computes `y = A·x` with one contiguous row chunk per thread.
 ///
@@ -40,6 +67,7 @@ pub fn spmv_static(matrix: &CsrMatrix, x: &[f32], threads: usize) -> Vec<f32> {
         for (t, y_chunk) in y.chunks_mut(chunk).enumerate() {
             let start = t * chunk;
             scope.spawn(move |_| {
+                let len = y_chunk.len();
                 for (i, out) in y_chunk.iter_mut().enumerate() {
                     let r = start + i;
                     let (cols, vals) = matrix.row(r);
@@ -49,6 +77,9 @@ pub fn spmv_static(matrix: &CsrMatrix, x: &[f32], threads: usize) -> Vec<f32> {
                     }
                     *out = acc;
                 }
+                let mut shard = HistogramShard::new();
+                record_chunk(&mut shard, matrix, start, len);
+                publish_shard(&shard);
             });
         }
     })
@@ -89,21 +120,26 @@ pub fn spmv_dynamic(matrix: &CsrMatrix, x: &[f32], threads: usize, chunk_rows: u
         for _ in 0..threads {
             let chunks = &chunks;
             let cursor = &cursor;
-            scope.spawn(move |_| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= n_chunks {
-                    break;
-                }
-                let start = idx * chunk_rows;
-                let mut out_chunk = chunks[idx].lock().expect("chunk lock is never poisoned");
-                for (i, out) in out_chunk.iter_mut().enumerate() {
-                    let (cols, vals) = matrix.row(start + i);
-                    let mut acc = 0.0f32;
-                    for (&c, &v) in cols.iter().zip(vals) {
-                        acc += v * x[c];
+            scope.spawn(move |_| {
+                let mut shard = HistogramShard::new();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n_chunks {
+                        break;
                     }
-                    *out = acc;
+                    let start = idx * chunk_rows;
+                    let mut out_chunk = chunks[idx].lock().expect("chunk lock is never poisoned");
+                    for (i, out) in out_chunk.iter_mut().enumerate() {
+                        let (cols, vals) = matrix.row(start + i);
+                        let mut acc = 0.0f32;
+                        for (&c, &v) in cols.iter().zip(vals) {
+                            acc += v * x[c];
+                        }
+                        *out = acc;
+                    }
+                    record_chunk(&mut shard, matrix, start, out_chunk.len());
                 }
+                publish_shard(&shard);
             });
         }
     })
@@ -153,6 +189,27 @@ mod tests {
                 assert_eq!(spmv_dynamic(&m, &x, threads, chunk), serial);
             }
         }
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn chunk_telemetry_lands_in_the_global_registry() {
+        let registry = chason_telemetry::global().registry();
+        let histogram = registry.histogram("baseline_chunk_nnz");
+        let counter = registry.counter("baseline_spmv_chunks_total");
+        let (count_before, sum_before, chunks_before) =
+            (histogram.count(), histogram.sum(), counter.get());
+        let m = csr(200, 150, 1500, 3);
+        let x = vec![1.0f32; 150];
+        let _ = spmv_static(&m, &x, 4); // 4 chunks of 50 rows
+        let _ = spmv_dynamic(&m, &x, 4, 16); // 13 chunks
+
+        // Other tests share the global registry, so deltas are lower
+        // bounds, not equalities.
+        assert!(histogram.count() >= count_before + 17);
+        assert!(counter.get() >= chunks_before + 17);
+        // Every non-zero of both runs was attributed to some chunk.
+        assert!(histogram.sum() >= sum_before + 2 * 1500);
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Zero-cost guard: with the `telemetry-off` feature, the instrumented
+//! SpMV kernels must run within 2% of a hand-stripped copy with no
+//! instrumentation at all.
+//!
+//! The guard only means something in an optimized build with the
+//! instrumentation compiled out, so it is gated to
+//! `--release --features telemetry-off` (CI's profile-smoke job runs it
+//! that way); in any other configuration the file compiles to nothing.
+
+#![cfg(all(feature = "telemetry-off", not(debug_assertions)))]
+
+use chason_baselines::parallel::spmv_dynamic;
+use chason_sparse::generators::power_law;
+use chason_sparse::CsrMatrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// `spmv_dynamic` exactly as it was before instrumentation: the reference
+/// the guard compares against.
+fn spmv_dynamic_uninstrumented(
+    matrix: &CsrMatrix,
+    x: &[f32],
+    threads: usize,
+    chunk_rows: usize,
+) -> Vec<f32> {
+    let rows = matrix.rows();
+    let threads = threads.clamp(1, rows.max(1));
+    let mut y = vec![0.0f32; rows];
+    if rows == 0 {
+        return y;
+    }
+    let chunks: Vec<Mutex<&mut [f32]>> = y.chunks_mut(chunk_rows).map(Mutex::new).collect();
+    let n_chunks = chunks.len();
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let chunks = &chunks;
+            let cursor = &cursor;
+            scope.spawn(move |_| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n_chunks {
+                    break;
+                }
+                let start = idx * chunk_rows;
+                let mut out_chunk = chunks[idx].lock().expect("chunk lock is never poisoned");
+                for (i, out) in out_chunk.iter_mut().enumerate() {
+                    let (cols, vals) = matrix.row(start + i);
+                    let mut acc = 0.0f32;
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        acc += v * x[c];
+                    }
+                    *out = acc;
+                }
+            });
+        }
+    })
+    .expect("spmv worker threads do not panic");
+    drop(chunks);
+    y
+}
+
+/// Best-of-N wall time of one kernel invocation. The minimum over many
+/// trials discards scheduler noise, which is what makes a ratio assertion
+/// usable in CI.
+fn best_of<F: FnMut() -> Vec<f32>>(trials: usize, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let started = Instant::now();
+        let y = run();
+        best = best.min(started.elapsed().as_secs_f64());
+        assert!(!y.is_empty());
+    }
+    best
+}
+
+#[test]
+fn disabled_instrumentation_costs_at_most_two_percent() {
+    let matrix = CsrMatrix::from(&power_law(20_000, 20_000, 400_000, 1.8, 42));
+    let x: Vec<f32> = (0..20_000).map(|i| 1.0 + (i % 7) as f32 * 0.125).collect();
+    let (threads, chunk_rows) = (4, 256);
+
+    // Warm both paths (page-in, branch predictors) before timing.
+    let a = spmv_dynamic(&matrix, &x, threads, chunk_rows);
+    let b = spmv_dynamic_uninstrumented(&matrix, &x, threads, chunk_rows);
+    assert_eq!(a, b, "telemetry must never change results");
+
+    let trials = 15;
+    let instrumented = best_of(trials, || spmv_dynamic(&matrix, &x, threads, chunk_rows));
+    let reference = best_of(trials, || {
+        spmv_dynamic_uninstrumented(&matrix, &x, threads, chunk_rows)
+    });
+    let ratio = instrumented / reference;
+    assert!(
+        ratio <= 1.02,
+        "telemetry-off overhead {:.2}% exceeds the 2% budget \
+         (instrumented {instrumented:.6}s vs reference {reference:.6}s)",
+        (ratio - 1.0) * 100.0
+    );
+}

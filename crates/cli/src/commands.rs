@@ -493,6 +493,100 @@ pub fn conformance(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `chason profile <matrix.mtx>` — cycle-attribution profiler: per-unit
+/// cycle table and stream-slot classification, Chasoň and Serpens side by
+/// side.
+///
+/// `--trace FILE` writes both engines' deterministic window spans as
+/// JSONL. `--assert-reclaim` exits non-zero unless Chasoň's residual
+/// stall slots are at most Serpens's (the CrHCS reclaim guarantee CI
+/// checks on migration-friendly matrices).
+pub fn profile(args: &Args) -> Result<(), String> {
+    use chason_sim::profile::{profile_planned, window_spans};
+    use chason_telemetry::trace::to_jsonl;
+
+    let matrix = load_matrix(args)?;
+    let sched = scheduler_config(args)?;
+    let x = vec![1.0f32; matrix.cols()];
+
+    let chason_engine = ChasonEngine::new(AcceleratorConfig {
+        sched,
+        ..AcceleratorConfig::chason()
+    });
+    let serpens_engine = SerpensEngine::new(AcceleratorConfig {
+        sched,
+        ..AcceleratorConfig::serpens()
+    });
+    let chason_plan = chason_engine.plan(&matrix).map_err(|e| e.to_string())?;
+    let serpens_plan = serpens_engine.plan(&matrix).map_err(|e| e.to_string())?;
+    let chason = profile_planned(&chason_engine, &chason_plan, &x).map_err(|e| e.to_string())?;
+    let serpens = profile_planned(&serpens_engine, &serpens_plan, &x).map_err(|e| e.to_string())?;
+    let (c, s) = (&chason.attribution, &serpens.attribution);
+
+    println!(
+        "matrix: {} x {}, {} nnz, {} column window(s)\n",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz(),
+        c.windows
+    );
+    println!("{:<22} {:>14} {:>14}", "unit", "serpens", "chason");
+    for ((unit, chason_cycles), (_, serpens_cycles)) in c.unit_rows().iter().zip(s.unit_rows()) {
+        println!("{unit:<22} {serpens_cycles:>14} {chason_cycles:>14}");
+    }
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "total cycles", s.total_cycles, c.total_cycles
+    );
+    println!();
+    println!("{:<22} {:>14} {:>14}", "stream slots", "serpens", "chason");
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "URAM_pvt fill", s.pvt_slots, c.pvt_slots
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "ScUG (migrated) fill", s.migrated_slots, c.migrated_slots
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "stall", s.stall_slots, c.stall_slots
+    );
+    println!(
+        "{:<22} {:>13.1}% {:>13.1}%",
+        "PE occupancy",
+        s.occupancy() * 100.0,
+        c.occupancy() * 100.0
+    );
+    let reclaimed = s.stall_slots.saturating_sub(c.stall_slots);
+    println!(
+        "\nCrHCS reclaimed {reclaimed} of {} Serpens stall slots ({:.1}%)",
+        s.stall_slots,
+        if s.stall_slots == 0 {
+            0.0
+        } else {
+            reclaimed as f64 / s.stall_slots as f64 * 100.0
+        }
+    );
+
+    if let Some(path) = args.get("trace") {
+        let mut jsonl = to_jsonl(&window_spans(&serpens_plan, serpens_engine.config()));
+        jsonl.push_str(&to_jsonl(&window_spans(
+            &chason_plan,
+            chason_engine.config(),
+        )));
+        std::fs::write(path, &jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    if args.has_flag("assert-reclaim") && c.stall_slots > s.stall_slots {
+        return Err(format!(
+            "reclaim assertion failed: chason has {} stall slots, serpens {}",
+            c.stall_slots, s.stall_slots
+        ));
+    }
+    Ok(())
+}
+
 /// `chason catalog` — the Table 2 evaluation matrices.
 pub fn catalog() -> Result<(), String> {
     println!(
@@ -535,6 +629,34 @@ mod tests {
         run(&args(&line)).unwrap();
         let line = format!("compare {}", path.display());
         compare(&args(&line)).unwrap();
+    }
+
+    #[test]
+    fn profile_runs_writes_a_trace_and_asserts_reclaim_on_skewed_input() {
+        let dir = std::env::temp_dir().join("chason-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("profile{}.mtx", std::process::id()));
+        // Skewed power-law input: the regime where CrHCS reclaims stalls.
+        let m = power_law(256, 256, 2200, 2.2, 11);
+        let file = File::create(&path).unwrap();
+        write_matrix_market(BufWriter::new(file), &m).unwrap();
+        let trace = dir.join(format!("profile{}.jsonl", std::process::id()));
+        profile(&args(&format!(
+            "profile {} --channels 4 --pes 4 --distance 6 --trace {} --assert-reclaim",
+            path.display(),
+            trace.display()
+        )))
+        .unwrap();
+        // The trace is valid span JSONL covering both engines.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let spans = chason_telemetry::trace::parse_jsonl(&text).unwrap();
+        assert!(!spans.is_empty());
+        for engine in ["chason", "serpens"] {
+            assert!(
+                text.contains(&format!("\"engine\":\"{engine}\"")),
+                "trace must carry {engine} spans"
+            );
+        }
     }
 
     #[test]

@@ -27,6 +27,8 @@ USAGE:
                                [--channels N] [--pes N] [--distance D] [--hops H] [--insights]
   chason run <matrix.mtx>      [--engine chason|serpens]
   chason compare <matrix.mtx>
+  chason profile <matrix.mtx>  [--trace FILE] [--assert-reclaim]
+                               # per-unit cycle attribution, Chason vs Serpens
   chason solve <matrix.mtx>      [--solver cg|jacobi] [--engine chason|serpens|cpu]
                                [--max-iterations N] [--tolerance T]
   chason export <matrix.mtx> <out.chsn>   # offline CrHCS -> binary artifact
@@ -47,11 +49,12 @@ USAGE:
                                [--plan-cache N] [--matrix-cache N] [--batch-max N]
                                [--retry-after-ms MS] [--channels N] [--pes N]
                                # CHSP daemon; runs until a Shutdown request
-  chason client <op>           stats | load <m.mtx> | spmv <m.mtx> | solve <m.mtx>
-                               | plan <m.mtx> [--out FILE] | shutdown
+  chason client <op>           stats | metrics | load <m.mtx> | spmv <m.mtx>
+                               | solve <m.mtx> | plan <m.mtx> [--out FILE] | shutdown
                                [--addr HOST:PORT] [--engine E] [--solver S]
   chason loadgen               [--addr HOST:PORT] [--connections N] [--requests M]
-                               [--seed S] [--report FILE] [--require-hits]
+                               [--seed S] [--format text|json] [--report FILE]
+                               [--require-hits]
                                # deterministic closed-loop load generator
 
 Matrices are MatrixMarket coordinate files (real/integer/pattern,
@@ -69,6 +72,7 @@ fn main() -> ExitCode {
         "schedule" => commands::schedule(&args),
         "run" => commands::run(&args),
         "compare" => commands::compare(&args),
+        "profile" => commands::profile(&args),
         "solve" => commands::solve(&args),
         "export" => commands::export(&args),
         "inspect" => commands::inspect(&args),

@@ -63,13 +63,17 @@ fn connect(args: &Args) -> Result<Client, String> {
 /// server.
 pub fn client(args: &Args) -> Result<(), String> {
     let op = args.positional.first().map(String::as_str).ok_or_else(|| {
-        "expected an operation: stats | load | spmv | solve | plan | shutdown".to_string()
+        "expected an operation: stats | metrics | load | spmv | solve | plan | shutdown".to_string()
     })?;
     let mut client = connect(args)?;
     match op {
         "stats" => {
             let snapshot = client.stats().map_err(|e| e.to_string())?;
             print!("{}", snapshot.render_table());
+        }
+        "metrics" => {
+            let text = client.metrics().map_err(|e| e.to_string())?;
+            print!("{text}");
         }
         "load" => {
             let matrix = read_positional_matrix(args, 1)?;
@@ -153,7 +157,15 @@ pub fn run_loadgen(args: &Args) -> Result<(), String> {
         require_hits: args.has_flag("require-hits"),
     };
     let report = loadgen::run(&options)?;
-    let rendered = report.render();
+    let rendered = match args.get("format").unwrap_or("text") {
+        "text" => report.render(),
+        "json" => {
+            let mut json = report.render_json();
+            json.push('\n');
+            json
+        }
+        other => return Err(format!("unknown format '{other}' (expected text or json)")),
+    };
     print!("{rendered}");
     if let Some(path) = args.get("report") {
         std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;

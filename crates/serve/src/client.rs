@@ -230,6 +230,18 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metrics registry as Prometheus-style text.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] variants as for every typed helper.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.expect(&Request::Metrics)? {
+            Reply::MetricsText { text } => Ok(text),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     /// Asks the server to drain and exit.
     ///
     /// # Errors

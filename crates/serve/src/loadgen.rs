@@ -12,7 +12,6 @@
 use crate::client::{Client, ClientError};
 use crate::proto::{Engine, SolverKind, StatsSnapshot};
 use crate::server::{ServeConfig, Server};
-use crate::stats::percentiles;
 use chason_sparse::CooMatrix;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -95,6 +94,76 @@ impl LoadgenReport {
         ));
         out.push_str("--- server stats ---\n");
         out.push_str(&self.server_stats.render_table());
+        out
+    }
+
+    /// Renders the report as one JSON object (`chason loadgen --format
+    /// json`), so CI and scripts can assert on fields instead of grepping
+    /// the human text.
+    pub fn render_json(&self) -> String {
+        let (p50, p90, p99, max) = self.latency_micros;
+        let s = &self.server_stats;
+        let mut out = String::from("{");
+        let mut first = true;
+        let mut field = |key: &str, value: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{key}\":{value}"));
+        };
+        field("completed", self.completed.to_string());
+        field("protocol_errors", self.protocol_errors.to_string());
+        field("busy_retries", self.busy_retries.to_string());
+        field(
+            "by_type",
+            format!(
+                "{{\"spmv\":{},\"solve\":{},\"plan\":{},\"stats\":{}}}",
+                self.by_type[0], self.by_type[1], self.by_type[2], self.by_type[3]
+            ),
+        );
+        field("elapsed_seconds", format!("{:.6}", self.elapsed_seconds));
+        field("throughput_rps", format!("{:.3}", self.throughput_rps));
+        field(
+            "latency_micros",
+            format!("{{\"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max}}}"),
+        );
+        field(
+            "server_stats",
+            format!(
+                concat!(
+                    "{{\"uptime_millis\":{},\"requests_load\":{},\"requests_spmv\":{},",
+                    "\"requests_solve\":{},\"requests_plan\":{},\"requests_stats\":{},",
+                    "\"requests_sleep\":{},\"shed\":{},\"batched\":{},\"queue_depth_hwm\":{},",
+                    "\"plan_cache_hits\":{},\"plan_cache_misses\":{},\"plan_cache_evictions\":{},",
+                    "\"plan_cache_len\":{},\"plan_cache_capacity\":{},\"matrices_resident\":{},",
+                    "\"matrix_evictions\":{},\"service_p50_micros\":{},\"service_p99_micros\":{},",
+                    "\"service_max_micros\":{},\"service_samples\":{}}}"
+                ),
+                s.uptime_millis,
+                s.requests_load,
+                s.requests_spmv,
+                s.requests_solve,
+                s.requests_plan,
+                s.requests_stats,
+                s.requests_sleep,
+                s.shed,
+                s.batched,
+                s.queue_depth_hwm,
+                s.plan_cache_hits,
+                s.plan_cache_misses,
+                s.plan_cache_evictions,
+                s.plan_cache_len,
+                s.plan_cache_capacity,
+                s.matrices_resident,
+                s.matrix_evictions,
+                s.service_p50_micros,
+                s.service_p99_micros,
+                s.service_max_micros,
+                s.service_samples
+            ),
+        );
+        out.push('}');
         out
     }
 }
@@ -318,9 +387,10 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
         server.join();
     }
 
-    let (p50, _p99, max) = percentiles(&latencies);
+    let p50 = percentile_at(&latencies, 50);
     let p90 = percentile_at(&latencies, 90);
     let p99 = percentile_at(&latencies, 99);
+    let max = latencies.iter().copied().max().unwrap_or(0);
     let report = LoadgenReport {
         completed,
         protocol_errors,
@@ -402,5 +472,10 @@ mod tests {
         assert_eq!(report.protocol_errors, 0);
         assert!(report.server_stats.plan_cache_hits > 0);
         assert!(report.render().contains("protocol errors      : 0"));
+        let json = report.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"completed\":40"), "{json}");
+        assert!(json.contains("\"protocol_errors\":0"), "{json}");
+        assert!(json.contains("\"server_stats\":{"), "{json}");
     }
 }

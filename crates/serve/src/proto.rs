@@ -262,6 +262,9 @@ pub enum Request {
     /// Requests the server's counters. Served inline (never queued, never
     /// shed), so observability survives overload.
     Stats,
+    /// Requests the full metrics registry as Prometheus-style text
+    /// exposition. Served inline, like `Stats`.
+    Metrics,
     /// Asks the server to drain in-flight work and exit.
     Shutdown,
     /// Diagnostic: occupies a worker for the given duration. Used by the
@@ -322,6 +325,12 @@ pub enum Reply {
     },
     /// The server's counters.
     Stats(StatsSnapshot),
+    /// The metrics registry rendered as Prometheus-style text exposition.
+    /// Layout: `len u32, len × UTF-8 bytes`.
+    MetricsText {
+        /// The exposition text ([`chason_telemetry::metrics::Registry::render_prometheus`]).
+        text: String,
+    },
     /// Acknowledges `Shutdown` / `Sleep`.
     Done,
     /// The request was shed: the worker queue is full. The connection
@@ -535,6 +544,7 @@ const OP_PLAN: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
 const OP_SLEEP: u8 = 0x07;
+const OP_METRICS: u8 = 0x08;
 
 const RP_LOADED: u8 = 0x81;
 const RP_VECTOR: u8 = 0x82;
@@ -544,6 +554,7 @@ const RP_STATS: u8 = 0x85;
 const RP_DONE: u8 = 0x86;
 const RP_BUSY: u8 = 0x87;
 const RP_ERROR: u8 = 0x88;
+const RP_METRICS: u8 = 0x89;
 
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -683,6 +694,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             buf.push(engine.code());
         }
         Request::Stats => buf.push(OP_STATS),
+        Request::Metrics => buf.push(OP_METRICS),
         Request::Shutdown => buf.push(OP_SHUTDOWN),
         Request::Sleep { millis } => {
             buf.push(OP_SLEEP);
@@ -757,6 +769,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             Request::Plan { handle, engine }
         }
         OP_STATS => Request::Stats,
+        OP_METRICS => Request::Metrics,
         OP_SHUTDOWN => Request::Shutdown,
         OP_SLEEP => Request::Sleep { millis: c.u32()? },
         other => {
@@ -823,6 +836,12 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             for word in snapshot.to_words() {
                 put_u64(&mut buf, word);
             }
+        }
+        Reply::MetricsText { text } => {
+            buf.push(RP_METRICS);
+            let bytes = text.as_bytes();
+            put_u32(&mut buf, bytes.len() as u32);
+            buf.extend_from_slice(bytes);
         }
         Reply::Done => buf.push(RP_DONE),
         Reply::Busy { retry_after_ms } => {
@@ -919,6 +938,13 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtoError> {
                 *word = c.u64()?;
             }
             Reply::Stats(StatsSnapshot::from_words(words))
+        }
+        RP_METRICS => {
+            let len = c.u32()? as usize;
+            let bytes = c.take(len)?.to_vec();
+            let text = String::from_utf8(bytes)
+                .map_err(|_| ProtoError::Malformed("metrics text is not UTF-8".to_string()))?;
+            Reply::MetricsText { text }
         }
         RP_DONE => Reply::Done,
         RP_BUSY => Reply::Busy {

@@ -128,6 +128,15 @@ impl Shared {
         self.stats.snapshot(plan_stats, m.len as u64, m.evictions)
     }
 
+    fn exposition(&self) -> String {
+        let plan_stats = lock_unpoisoned(&self.plans).stats();
+        let matrices = lock_unpoisoned(&self.matrices);
+        let m = matrices.stats();
+        drop(matrices);
+        self.stats
+            .render_exposition(plan_stats, m.len as u64, m.evictions)
+    }
+
     fn matrix(&self, handle: u64) -> Option<Arc<CooMatrix>> {
         lock_unpoisoned(&self.matrices).get(&handle).cloned()
     }
@@ -327,8 +336,17 @@ fn serve_connection(
         };
         match request {
             Request::Stats => {
-                shared.stats.requests.stats.fetch_add(1, Ordering::Relaxed);
+                shared.stats.requests.stats.add(1);
                 send_reply(&mut stream, &Reply::Stats(shared.snapshot()))?;
+            }
+            Request::Metrics => {
+                shared.stats.requests.metrics.add(1);
+                send_reply(
+                    &mut stream,
+                    &Reply::MetricsText {
+                        text: shared.exposition(),
+                    },
+                )?;
             }
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
@@ -365,7 +383,7 @@ fn serve_connection(
                         send_reply(&mut stream, &reply)?;
                     }
                     Err(TrySendError::Full(_)) => {
-                        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.shed.add(1);
                         send_reply(
                             &mut stream,
                             &Reply::Busy {
@@ -396,9 +414,10 @@ fn record_accepted_kind(shared: &Shared, request: &Request) {
         Request::Solve { .. } => &shared.stats.requests.solve,
         Request::Plan { .. } => &shared.stats.requests.plan,
         Request::Sleep { .. } => &shared.stats.requests.sleep,
-        Request::Stats | Request::Shutdown => return, // served inline, counted there
+        // Served inline, counted there.
+        Request::Stats | Request::Metrics | Request::Shutdown => return,
     };
-    counter.fetch_add(1, Ordering::Relaxed);
+    counter.add(1);
 }
 
 // ---------------------------------------------------------------------------
@@ -429,10 +448,7 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<Job>) {
                 }
             }
             if batch.len() > 1 {
-                shared
-                    .stats
-                    .batched
-                    .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
+                shared.stats.batched.add(batch.len() as u64 - 1);
             }
             for job in batch {
                 run_job(shared, job);
@@ -511,7 +527,7 @@ fn execute(shared: &Shared, request: Request) -> Reply {
             thread::sleep(Duration::from_millis(u64::from(millis.min(10_000))));
             Reply::Done
         }
-        Request::Stats | Request::Shutdown => Reply::Error {
+        Request::Stats | Request::Metrics | Request::Shutdown => Reply::Error {
             code: ErrorCode::Internal,
             message: "inline request reached the worker pool".to_string(),
         },

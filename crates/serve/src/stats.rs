@@ -1,42 +1,54 @@
-//! Server-side counters behind [`Reply::Stats`](crate::proto::Reply).
+//! Server-side metrics behind [`Reply::Stats`](crate::proto::Reply) and
+//! the Prometheus-style exposition behind
+//! [`Reply::MetricsText`](crate::proto::Reply).
 //!
-//! Counters are lock-free atomics so the request hot path never contends;
-//! the only lock guards a fixed-size ring of recent service times, touched
-//! once per completed request and once per `Stats` snapshot. Percentiles
-//! are computed over the ring (the last [`SERVICE_WINDOW`] requests), not
-//! the full history — a daemon's tail latency should reflect current
-//! behaviour, not its first hour.
+//! All counters live in a [`chason_telemetry`] [`Registry`] under the
+//! `chsp_*` namespace (DESIGN.md §10); the struct fields here are `Arc`
+//! handles resolved once at startup, so the request hot path is a relaxed
+//! atomic op with no name lookup and no lock. Service times feed a
+//! fixed-bucket [`Histogram`] — quantiles are power-of-two upper-bound
+//! estimates clamped to the exact observed maximum, over the full history
+//! rather than a sliding window.
 
 use crate::proto::StatsSnapshot;
 use chason_core::cache::CacheStats;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use chason_telemetry::metrics::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// How many recent service-time samples feed the percentile estimates.
-pub const SERVICE_WINDOW: usize = 4096;
+pub use chason_telemetry::lock_unpoisoned;
 
 /// Request-type counters a connection thread bumps when it accepts work.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RequestCounters {
-    /// `LoadMatrix` accepted.
-    pub load: AtomicU64,
-    /// `Spmv` accepted.
-    pub spmv: AtomicU64,
-    /// `Solve` accepted.
-    pub solve: AtomicU64,
-    /// `Plan` accepted.
-    pub plan: AtomicU64,
-    /// `Stats` served inline.
-    pub stats: AtomicU64,
-    /// `Sleep` accepted.
-    pub sleep: AtomicU64,
+    /// `LoadMatrix` accepted (`chsp_requests_load_total`).
+    pub load: Arc<Counter>,
+    /// `Spmv` accepted (`chsp_requests_spmv_total`).
+    pub spmv: Arc<Counter>,
+    /// `Solve` accepted (`chsp_requests_solve_total`).
+    pub solve: Arc<Counter>,
+    /// `Plan` accepted (`chsp_requests_plan_total`).
+    pub plan: Arc<Counter>,
+    /// `Stats` served inline (`chsp_requests_stats_total`).
+    pub stats: Arc<Counter>,
+    /// `Sleep` accepted (`chsp_requests_sleep_total`).
+    pub sleep: Arc<Counter>,
+    /// `Metrics` served inline (`chsp_requests_metrics_total`).
+    pub metrics: Arc<Counter>,
 }
 
-#[derive(Debug)]
-struct ServiceRing {
-    samples: Vec<u64>,
-    next: usize,
+impl RequestCounters {
+    fn new(registry: &Registry) -> Self {
+        RequestCounters {
+            load: registry.counter("chsp_requests_load_total"),
+            spmv: registry.counter("chsp_requests_spmv_total"),
+            solve: registry.counter("chsp_requests_solve_total"),
+            plan: registry.counter("chsp_requests_plan_total"),
+            stats: registry.counter("chsp_requests_stats_total"),
+            sleep: registry.counter("chsp_requests_sleep_total"),
+            metrics: registry.counter("chsp_requests_metrics_total"),
+        }
+    }
 }
 
 /// All mutable server telemetry; shared by every connection and worker
@@ -44,54 +56,47 @@ struct ServiceRing {
 #[derive(Debug)]
 pub struct ServerStats {
     started: Instant,
+    registry: Registry,
     /// Per-opcode acceptance counters.
     pub requests: RequestCounters,
-    /// Requests rejected with `Busy`.
-    pub shed: AtomicU64,
+    /// Requests rejected with `Busy` (`chsp_shed_total`).
+    pub shed: Arc<Counter>,
     /// Extra same-matrix SpMVs executed by piggybacking on a dequeued
-    /// request.
-    pub batched: AtomicU64,
-    /// Highest queue depth observed at enqueue time.
-    pub queue_depth_hwm: AtomicU64,
-    /// Service-time samples recorded since start.
-    pub service_samples: AtomicU64,
-    ring: Mutex<ServiceRing>,
+    /// request (`chsp_batched_total`).
+    pub batched: Arc<Counter>,
+    queue_depth_hwm: Arc<Gauge>,
+    service: Arc<Histogram>,
 }
 
 impl ServerStats {
     /// Creates zeroed counters with the clock starting now.
     pub fn new() -> Self {
+        let registry = Registry::new();
+        let requests = RequestCounters::new(&registry);
+        let shed = registry.counter("chsp_shed_total");
+        let batched = registry.counter("chsp_batched_total");
+        let queue_depth_hwm = registry.gauge("chsp_queue_depth_hwm");
+        let service = registry.histogram("chsp_service_micros");
         ServerStats {
             started: Instant::now(),
-            requests: RequestCounters::default(),
-            shed: AtomicU64::new(0),
-            batched: AtomicU64::new(0),
-            queue_depth_hwm: AtomicU64::new(0),
-            service_samples: AtomicU64::new(0),
-            ring: Mutex::new(ServiceRing {
-                samples: Vec::with_capacity(SERVICE_WINDOW),
-                next: 0,
-            }),
+            registry,
+            requests,
+            shed,
+            batched,
+            queue_depth_hwm,
+            service,
         }
     }
 
     /// Records one completed request's service time (queue wait +
     /// execution).
     pub fn record_service_micros(&self, micros: u64) {
-        self.service_samples.fetch_add(1, Ordering::Relaxed);
-        let mut ring = lock_unpoisoned(&self.ring);
-        if ring.samples.len() < SERVICE_WINDOW {
-            ring.samples.push(micros);
-        } else {
-            let slot = ring.next;
-            ring.samples[slot] = micros;
-        }
-        ring.next = (ring.next + 1) % SERVICE_WINDOW;
+        self.service.record(micros);
     }
 
     /// Raises the queue-depth high-water mark to `depth` if it is higher.
     pub fn observe_queue_depth(&self, depth: u64) {
-        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+        self.queue_depth_hwm.observe_max(depth);
     }
 
     /// Assembles the wire snapshot from these counters plus the two
@@ -102,18 +107,17 @@ impl ServerStats {
         matrices_resident: u64,
         matrix_evictions: u64,
     ) -> StatsSnapshot {
-        let (p50, p99, max) = self.service_percentiles();
         StatsSnapshot {
             uptime_millis: self.started.elapsed().as_millis() as u64,
-            requests_load: self.requests.load.load(Ordering::Relaxed),
-            requests_spmv: self.requests.spmv.load(Ordering::Relaxed),
-            requests_solve: self.requests.solve.load(Ordering::Relaxed),
-            requests_plan: self.requests.plan.load(Ordering::Relaxed),
-            requests_stats: self.requests.stats.load(Ordering::Relaxed),
-            requests_sleep: self.requests.sleep.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            batched: self.batched.load(Ordering::Relaxed),
-            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            requests_load: self.requests.load.get(),
+            requests_spmv: self.requests.spmv.get(),
+            requests_solve: self.requests.solve.get(),
+            requests_plan: self.requests.plan.get(),
+            requests_stats: self.requests.stats.get(),
+            requests_sleep: self.requests.sleep.get(),
+            shed: self.shed.get(),
+            batched: self.batched.get(),
+            queue_depth_hwm: self.queue_depth_hwm.get(),
             plan_cache_hits: plan_cache.hits,
             plan_cache_misses: plan_cache.misses,
             plan_cache_evictions: plan_cache.evictions,
@@ -121,16 +125,35 @@ impl ServerStats {
             plan_cache_capacity: plan_cache.capacity as u64,
             matrices_resident,
             matrix_evictions,
-            service_p50_micros: p50,
-            service_p99_micros: p99,
-            service_max_micros: max,
-            service_samples: self.service_samples.load(Ordering::Relaxed),
+            service_p50_micros: self.service.quantile(0.50),
+            service_p99_micros: self.service.quantile(0.99),
+            service_max_micros: self.service.max(),
+            service_samples: self.service.count(),
         }
     }
 
-    fn service_percentiles(&self) -> (u64, u64, u64) {
-        let ring = lock_unpoisoned(&self.ring);
-        percentiles(&ring.samples)
+    /// Renders the full registry as Prometheus-style text, first copying
+    /// the caller-sampled cache state and uptime into gauges so every
+    /// `Stats` field also appears in the exposition.
+    pub fn render_exposition(
+        &self,
+        plan_cache: CacheStats,
+        matrices_resident: u64,
+        matrix_evictions: u64,
+    ) -> String {
+        let set = |name: &str, value: u64| self.registry.gauge(name).set(value);
+        set(
+            "chsp_uptime_millis",
+            self.started.elapsed().as_millis() as u64,
+        );
+        set("chsp_plan_cache_hits", plan_cache.hits);
+        set("chsp_plan_cache_misses", plan_cache.misses);
+        set("chsp_plan_cache_evictions", plan_cache.evictions);
+        set("chsp_plan_cache_len", plan_cache.len as u64);
+        set("chsp_plan_cache_capacity", plan_cache.capacity as u64);
+        set("chsp_matrices_resident", matrices_resident);
+        set("chsp_matrix_evictions", matrix_evictions);
+        self.registry.render_prometheus()
     }
 }
 
@@ -140,83 +163,79 @@ impl Default for ServerStats {
     }
 }
 
-/// (p50, p99, max) of `samples` in their own unit; zeros when empty.
-pub fn percentiles(samples: &[u64]) -> (u64, u64, u64) {
-    if samples.is_empty() {
-        return (0, 0, 0);
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let at = |p: usize| sorted[(sorted.len() - 1) * p / 100];
-    (at(50), at(99), sorted[sorted.len() - 1])
-}
-
-/// Locks a mutex, continuing through poisoning: these are telemetry
-/// structures, and a panicking worker must not take observability down
-/// with it.
-pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-#[cfg(test)]
+#[cfg(all(test, not(feature = "telemetry-off")))]
 mod tests {
     use super::*;
 
-    #[test]
-    fn percentiles_of_known_distribution() {
-        let samples: Vec<u64> = (1..=100).collect();
-        let (p50, p99, max) = percentiles(&samples);
-        assert_eq!((p50, p99, max), (50, 99, 100));
-        assert_eq!(percentiles(&[]), (0, 0, 0));
-        assert_eq!(percentiles(&[7]), (7, 7, 7));
-    }
-
-    #[test]
-    fn ring_keeps_only_the_recent_window() {
-        let stats = ServerStats::new();
-        // Fill the window with large values, then overwrite with small ones.
-        for _ in 0..SERVICE_WINDOW {
-            stats.record_service_micros(1_000_000);
+    fn cache_stats() -> CacheStats {
+        CacheStats {
+            hits: 8,
+            misses: 2,
+            evictions: 1,
+            len: 1,
+            capacity: 4,
         }
-        for _ in 0..SERVICE_WINDOW {
-            stats.record_service_micros(10);
-        }
-        let (p50, p99, max) = stats.service_percentiles();
-        assert_eq!((p50, p99, max), (10, 10, 10), "old samples must age out");
-        assert_eq!(
-            stats.service_samples.load(Ordering::Relaxed),
-            2 * SERVICE_WINDOW as u64
-        );
     }
 
     #[test]
     fn snapshot_reflects_counters() {
         let stats = ServerStats::new();
-        stats.requests.spmv.fetch_add(3, Ordering::Relaxed);
-        stats.shed.fetch_add(2, Ordering::Relaxed);
+        stats.requests.spmv.add(3);
+        stats.shed.add(2);
         stats.observe_queue_depth(5);
         stats.observe_queue_depth(3); // lower: must not regress the HWM
         stats.record_service_micros(40);
-        let snap = stats.snapshot(
-            CacheStats {
-                hits: 8,
-                misses: 2,
-                evictions: 1,
-                len: 1,
-                capacity: 4,
-            },
-            6,
-            1,
-        );
+        let snap = stats.snapshot(cache_stats(), 6, 1);
         assert_eq!(snap.requests_spmv, 3);
         assert_eq!(snap.shed, 2);
         assert_eq!(snap.queue_depth_hwm, 5);
         assert_eq!(snap.plan_cache_hits, 8);
         assert!((snap.plan_hit_rate() - 0.8).abs() < 1e-12);
         assert_eq!(snap.matrices_resident, 6);
+        // A single sample is exact at every quantile (clamped to the max).
         assert_eq!(snap.service_p50_micros, 40);
+        assert_eq!(snap.service_p99_micros, 40);
+        assert_eq!(snap.service_max_micros, 40);
+        assert_eq!(snap.service_samples, 1);
         assert_eq!(snap.requests_executed(), 3);
+    }
+
+    #[test]
+    fn quantiles_bound_the_distribution() {
+        let stats = ServerStats::new();
+        for micros in 1..=1000u64 {
+            stats.record_service_micros(micros);
+        }
+        let snap = stats.snapshot(cache_stats(), 0, 0);
+        // Estimates are power-of-two upper bounds: at or above the true
+        // quantile, never above the exact maximum.
+        assert!((500..=1000).contains(&snap.service_p50_micros));
+        assert!((990..=1000).contains(&snap.service_p99_micros));
+        assert_eq!(snap.service_max_micros, 1000);
+        assert_eq!(snap.service_samples, 1000);
+    }
+
+    #[test]
+    fn exposition_covers_every_snapshot_field() {
+        let stats = ServerStats::new();
+        stats.requests.load.add(1);
+        stats.requests.metrics.add(2);
+        stats.batched.add(4);
+        stats.observe_queue_depth(7);
+        stats.record_service_micros(100);
+        let text = stats.render_exposition(cache_stats(), 6, 1);
+        for needle in [
+            "chsp_requests_load_total 1",
+            "chsp_requests_metrics_total 2",
+            "chsp_batched_total 4",
+            "chsp_queue_depth_hwm 7",
+            "chsp_plan_cache_hits 8",
+            "chsp_matrices_resident 6",
+            "chsp_service_micros_count 1",
+            "chsp_service_micros_max 100",
+            "# TYPE chsp_service_micros histogram",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
     }
 }

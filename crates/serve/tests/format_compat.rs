@@ -1,0 +1,73 @@
+//! Format-compat fixtures: the CHSP `Stats` reply byte layout is pinned
+//! against a committed golden, so refactors of the server-side stats
+//! plumbing (or a careless field reorder) cannot silently change the wire
+//! format a CHSP v1 client depends on.
+
+use chason_conformance::golden::check_or_bless_bytes;
+use chason_serve::proto::{
+    decode_reply, encode_reply, encode_request, Reply, Request, StatsSnapshot,
+};
+use std::path::Path;
+
+/// Every field gets a distinct value, so any reordering or dropped word
+/// moves at least one byte of the golden.
+fn pinned_snapshot() -> StatsSnapshot {
+    StatsSnapshot {
+        uptime_millis: 101,
+        requests_load: 202,
+        requests_spmv: 303,
+        requests_solve: 404,
+        requests_plan: 505,
+        requests_stats: 606,
+        requests_sleep: 707,
+        shed: 808,
+        batched: 909,
+        queue_depth_hwm: 1_010,
+        plan_cache_hits: 1_111,
+        plan_cache_misses: 1_212,
+        plan_cache_evictions: 1_313,
+        plan_cache_len: 1_414,
+        plan_cache_capacity: 1_515,
+        matrices_resident: 1_616,
+        matrix_evictions: 1_717,
+        service_p50_micros: 1_818,
+        service_p99_micros: 1_919,
+        service_max_micros: 2_020,
+        service_samples: 2_121,
+    }
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../tests/golden/{name}"))
+}
+
+#[test]
+fn stats_reply_bytes_are_pinned() {
+    let wire = encode_reply(&Reply::Stats(pinned_snapshot()));
+    // Structure first: opcode byte plus 21 little-endian u64 words.
+    assert_eq!(wire.len(), 1 + 21 * 8);
+    assert_eq!(wire[0], 0x85);
+    if let Err(err) = check_or_bless_bytes(&golden_path("stats_reply.bin"), &wire) {
+        panic!("{err}");
+    }
+    // And the pinned bytes still decode to the same snapshot.
+    assert_eq!(
+        decode_reply(&wire).expect("pinned reply decodes"),
+        Reply::Stats(pinned_snapshot())
+    );
+}
+
+#[test]
+fn metrics_frames_use_the_reserved_opcodes() {
+    assert_eq!(encode_request(&Request::Metrics), [0x08]);
+    let wire = encode_reply(&Reply::MetricsText {
+        text: "chsp_shed_total 0\n".to_string(),
+    });
+    assert_eq!(wire[0], 0x89);
+    assert_eq!(
+        decode_reply(&wire).expect("metrics reply decodes"),
+        Reply::MetricsText {
+            text: "chsp_shed_total 0\n".to_string()
+        }
+    );
+}

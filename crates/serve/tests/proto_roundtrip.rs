@@ -50,7 +50,7 @@ proptest! {
 
     #[test]
     fn every_request_variant_round_trips(
-        selector in 0usize..7,
+        selector in 0usize..8,
         handle in any::<u64>(),
         dims in (1u64..5000, 1u64..5000),
         engine_code in 0u8..3,
@@ -83,6 +83,7 @@ proptest! {
             3 => Request::Plan { handle, engine },
             4 => Request::Stats,
             5 => Request::Shutdown,
+            6 => Request::Metrics,
             _ => Request::Sleep { millis },
         };
         let wire = encode_request(&request);
@@ -92,7 +93,7 @@ proptest! {
 
     #[test]
     fn every_reply_variant_round_trips(
-        selector in 0usize..8,
+        selector in 0usize..9,
         words in vec(any::<u64>(), 21),
         flag in any::<bool>(),
         value_bits in vec(any::<u32>(), 0..12),
@@ -127,6 +128,9 @@ proptest! {
             4 => Reply::Stats(snapshot_from(&words)),
             5 => Reply::Done,
             6 => Reply::Busy { retry_after_ms },
+            7 => Reply::MetricsText {
+                text: MESSAGES[message_index].to_string(),
+            },
             _ => Reply::Error {
                 code: ErrorCode::from_code(error_code).unwrap(),
                 message: MESSAGES[message_index].to_string(),

@@ -95,6 +95,15 @@ fn happy_path_load_spmv_solve_plan_stats_over_concurrent_clients() {
     assert_eq!(stats.shed, 0);
 
     let mut client = Client::connect(addr).expect("connect");
+    // The Prometheus-style exposition is served inline and agrees with the
+    // Stats counters.
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("chsp_requests_spmv_total 9"),
+        "exposition must carry the spmv counter:\n{metrics}"
+    );
+    assert!(metrics.contains("# TYPE chsp_service_micros histogram"));
+    assert!(metrics.contains("chsp_matrices_resident 3"));
     client.shutdown().expect("shutdown");
     server.join();
 }

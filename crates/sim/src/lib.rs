@@ -51,6 +51,7 @@ mod pe;
 mod peg;
 mod plan;
 pub mod power;
+pub mod profile;
 mod rearrange;
 pub mod report;
 pub mod resources;
@@ -64,5 +65,6 @@ pub use memory::{Bram, Uram, BRAM18K_WORDS, URAM_PARTIALS};
 pub use pe::Pe;
 pub use peg::Peg;
 pub use plan::PlanningEngine;
+pub use profile::{Attribution, LaneSlots, ProfiledExecution};
 pub use serpens::SerpensEngine;
 pub use spmm::SpmmExecution;

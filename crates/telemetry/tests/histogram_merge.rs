@@ -1,0 +1,130 @@
+//! Property tests for concurrent histogram shard merging: any partition of
+//! a sample stream across per-thread shards, merged in any order, is
+//! indistinguishable from recording every sample into one histogram on a
+//! single thread.
+
+#![cfg(not(feature = "telemetry-off"))]
+
+use chason_telemetry::metrics::{Histogram, HistogramShard, HISTOGRAM_BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn merged_equals(direct: &Histogram, merged: &Histogram) {
+    assert_eq!(merged.count(), direct.count());
+    assert_eq!(merged.sum(), direct.sum());
+    assert_eq!(merged.max(), direct.max());
+    assert_eq!(merged.bucket_counts(), direct.bucket_counts());
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(merged.quantile(q), direct.quantile(q));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Sharded recording ≡ single-threaded recording, for every partition
+    /// of the samples and every merge order.
+    #[test]
+    fn sharded_recording_matches_single_threaded(
+        samples in vec(any::<u64>(), 0..400),
+        assignment in vec(0usize..7, 0..400),
+        merge_order_seed in any::<u64>(),
+    ) {
+        let shards_n = 7;
+        let mut shards = vec![HistogramShard::new(); shards_n];
+        let direct = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            let shard = assignment.get(i).copied().unwrap_or(0) % shards_n;
+            shards[shard].record(v);
+            direct.record(v);
+        }
+        prop_assert_eq!(
+            shards.iter().map(HistogramShard::count).sum::<u64>(),
+            samples.len() as u64
+        );
+
+        // Merge in a seed-derived order: order independence is part of the
+        // law.
+        let mut order: Vec<usize> = (0..shards_n).collect();
+        let mut state = merge_order_seed;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let merged = Histogram::new();
+        for &s in &order {
+            shards[s].merge_into(&merged);
+        }
+        merged_equals(&direct, &merged);
+
+        // Folding shards into one another first (absorb), then merging,
+        // changes nothing either.
+        let mut folded = HistogramShard::new();
+        for shard in &shards {
+            folded.absorb(shard);
+        }
+        let via_fold = Histogram::new();
+        folded.merge_into(&via_fold);
+        merged_equals(&direct, &via_fold);
+    }
+
+    /// Real threads, real interleavings: workers record into private
+    /// shards and merge into one shared histogram concurrently.
+    #[test]
+    fn concurrent_shard_merges_lose_nothing(
+        per_thread in vec(vec(any::<u64>(), 0..120), 1..5),
+    ) {
+        let shared = Arc::new(Histogram::new());
+        let direct = Histogram::new();
+        for samples in &per_thread {
+            for &v in samples {
+                direct.record(v);
+            }
+        }
+        let handles: Vec<_> = per_thread
+            .iter()
+            .map(|samples| {
+                let shared = Arc::clone(&shared);
+                let samples = samples.clone();
+                std::thread::spawn(move || {
+                    let mut shard = HistogramShard::new();
+                    for v in samples {
+                        shard.record(v);
+                    }
+                    shard.merge_into(&shared);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker threads do not panic");
+        }
+        merged_equals(&direct, &shared);
+    }
+
+    /// Quantile estimates never under-report: the estimate is an upper
+    /// bound of the true quantile and never exceeds the true maximum.
+    #[test]
+    fn quantile_estimates_bound_the_truth(
+        mut samples in vec(any::<u64>(), 1..300),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let truth = samples[rank - 1];
+        let estimate = h.quantile(q);
+        prop_assert!(estimate >= truth, "estimate {estimate} < true quantile {truth}");
+        prop_assert!(estimate <= *samples.last().expect("non-empty"));
+    }
+}
+
+#[test]
+fn bucket_count_is_stable() {
+    // The exposition format and the shard layout both bake this in; a
+    // change must be deliberate.
+    assert_eq!(HISTOGRAM_BUCKETS, 64);
+}

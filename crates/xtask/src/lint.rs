@@ -1,6 +1,6 @@
 //! The `cargo xtask lint` source-hygiene pass.
 //!
-//! Three rules, pure `std`, no parsing beyond line heuristics — cheap
+//! Four rules, pure `std`, no parsing beyond line heuristics — cheap
 //! enough to run on every CI job and every local commit:
 //!
 //! * **L001** — no un-annotated `.unwrap()` / `.expect(` in *non-test*
@@ -15,6 +15,11 @@
 //! * **L003** — every `pub` item in `chason-core` carries a doc comment.
 //!   `chason-core` is the contribution layer (§3 of the paper); its API
 //!   docs are how schedule semantics are specified.
+//! * **L004** — no `println!` / `eprintln!` in library crates
+//!   (`chason-core`, `chason-sim`, `chason-serve`, `chason-telemetry`,
+//!   and the root crate's solvers). Libraries report through telemetry
+//!   (metrics, spans) or typed return values; stdout/stderr belong to the
+//!   CLI and xtask binaries.
 //!
 //! Violations render in `rustc` style and the binary exits non-zero, so
 //! the pass composes with CI exactly like `cargo clippy -- -D warnings`.
@@ -25,7 +30,7 @@ use std::path::{Path, PathBuf};
 /// One finding of the lint pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Stable rule identifier (`L001`..`L003`).
+    /// Stable rule identifier (`L001`..`L004`).
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -150,6 +155,32 @@ pub fn check_stubs(path: &str, source: &str) -> Vec<Violation> {
                 message: format!("`{}..)` stub in workspace source", &hit[..hit.len() - 1]),
                 note: "implement the body or remove the item; stubs that compile \
                        but abort poison benchmark sweeps",
+            })
+        })
+        .collect()
+}
+
+/// **L004**: `println!` / `eprintln!` in library-crate sources (tests
+/// excluded — asserting on rendered output there is fine).
+pub fn check_prints(path: &str, source: &str) -> Vec<Violation> {
+    // Needles are assembled at runtime so this file does not flag itself;
+    // `eprintln!` is checked first because it contains `println!` as a
+    // suffix.
+    let needles = [["eprint", "ln!("].concat(), ["print", "ln!("].concat()];
+    non_test_lines(source)
+        .into_iter()
+        .filter(|(_, line)| !is_comment(line))
+        .filter_map(|(n, line)| {
+            let hit = needles
+                .iter()
+                .find(|needle| line.contains(needle.as_str()))?;
+            Some(Violation {
+                rule: "L004",
+                path: path.to_string(),
+                line: n,
+                message: format!("`{}..)` in library code", &hit[..hit.len() - 1]),
+                note: "libraries must not write to stdout/stderr; record a \
+                       telemetry metric or span, or return the text to the caller",
             })
         })
         .collect()
@@ -284,6 +315,18 @@ pub fn run(root: &Path) -> Vec<Violation> {
     for file in rust_files(&root.join("crates/core/src")) {
         violations.extend(check_docs(&rel(&file), &read(&file)));
     }
+    // L004: library crates stay silent on stdout/stderr.
+    for dir in [
+        "src",
+        "crates/core/src",
+        "crates/sim/src",
+        "crates/serve/src",
+        "crates/telemetry/src",
+    ] {
+        for file in rust_files(&root.join(dir)) {
+            violations.extend(check_prints(&rel(&file), &read(&file)));
+        }
+    }
     violations
 }
 
@@ -332,6 +375,26 @@ mod tests {
         assert_eq!(v[0].rule, "L002");
         let gated = ["#[cfg(test)]\nmod t { fn g() { unimplemen", "ted!() } }\n"].concat();
         assert_eq!(check_stubs("a.rs", &gated).len(), 1);
+    }
+
+    #[test]
+    fn library_prints_are_flagged_outside_tests() {
+        let bad = ["fn f() { print", "ln!(\"x\"); }\n"].concat();
+        let v = check_prints("a.rs", &bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, v[0].line), ("L004", 1));
+        let err = ["fn f() { eprint", "ln!(\"x\"); }\n"].concat();
+        let v = check_prints("a.rs", &err);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("eprint"), "{}", v[0].message);
+        let gated = [
+            "fn f() {}\n#[cfg(test)]\nmod t { fn g() { print",
+            "ln!(\"ok\"); } }\n",
+        ]
+        .concat();
+        assert!(check_prints("a.rs", &gated).is_empty());
+        let comment = ["// print", "ln!(\"doc\")\nfn f() {}\n"].concat();
+        assert!(check_prints("a.rs", &comment).is_empty());
     }
 
     #[test]

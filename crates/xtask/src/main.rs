@@ -1,7 +1,7 @@
 //! `cargo xtask` — workspace automation, pure `std`.
 //!
 //! ```text
-//! cargo xtask lint   # source-hygiene rules L001-L003; exits 1 on findings
+//! cargo xtask lint   # source-hygiene rules L001-L004; exits 1 on findings
 //! ```
 
 mod lint;
@@ -15,7 +15,8 @@ cargo xtask — workspace automation
 USAGE:
   cargo xtask lint   # L001 un-annotated unwrap/expect (chason-core, chason-sim)
                      # L002 todo!/unimplemented! stubs (workspace-wide)
-                     # L003 undocumented pub items (chason-core)";
+                     # L003 undocumented pub items (chason-core)
+                     # L004 println!/eprintln! in library crates";
 
 fn main() -> ExitCode {
     let task = std::env::args().nth(1).unwrap_or_default();
@@ -30,7 +31,7 @@ fn main() -> ExitCode {
                 println!("{v}\n");
             }
             if violations.is_empty() {
-                println!("xtask lint: workspace clean (L001, L002, L003)");
+                println!("xtask lint: workspace clean (L001, L002, L003, L004)");
                 ExitCode::SUCCESS
             } else {
                 println!("xtask lint: {} violation(s)", violations.len());

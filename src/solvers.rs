@@ -28,6 +28,36 @@ use chason_core::cache::{CacheStats, LruCache};
 use chason_core::plan::{PlanKey, SpmvPlan};
 use chason_sim::{ChasonEngine, PlanningEngine, SerpensEngine, SimError};
 use chason_sparse::{CooMatrix, CsrMatrix};
+use chason_telemetry::trace::SpanEvent;
+
+/// Timestamp for the next solver-iteration span (0 when telemetry is
+/// compiled out, so disabled builds never touch the clock).
+fn iteration_start() -> u64 {
+    if chason_telemetry::enabled() {
+        chason_telemetry::global().clock().now()
+    } else {
+        0
+    }
+}
+
+/// Emits one `solver.iteration` span (DESIGN.md §10) into the
+/// process-global flight recorder and bumps `solver_iterations_total`.
+fn record_iteration(solver: &'static str, iteration: usize, residual: f64, start: u64) {
+    if !chason_telemetry::enabled() {
+        return;
+    }
+    let telemetry = chason_telemetry::global();
+    telemetry
+        .registry()
+        .counter("solver_iterations_total")
+        .add(1);
+    telemetry.recorder().record(
+        SpanEvent::new("solver.iteration", start, telemetry.clock().now())
+            .attr("solver", solver)
+            .attr("iteration", iteration)
+            .attr("residual", residual),
+    );
+}
 
 /// Anything that can compute `y = A·x` and account for the time it took.
 ///
@@ -250,6 +280,7 @@ pub fn conjugate_gradient(
     let mut iterations = 0usize;
     let mut residual = rs_old.sqrt() / b_norm;
     while iterations < options.max_iterations && residual > options.tolerance {
+        let span_start = iteration_start();
         let ap = backend.spmv(matrix, &p)?;
         let denom = dot(&p, &ap);
         if denom.abs() < f64::MIN_POSITIVE {
@@ -268,6 +299,7 @@ pub fn conjugate_gradient(
         rs_old = rs_new;
         residual = rs_new.sqrt() / b_norm;
         iterations += 1;
+        record_iteration("cg", iterations, residual, span_start);
     }
     Ok(SolveResult {
         solution: x,
@@ -317,6 +349,7 @@ pub fn jacobi(
     let mut iterations = 0usize;
     let mut residual = 1.0f64;
     while iterations < options.max_iterations && residual > options.tolerance {
+        let span_start = iteration_start();
         let ax = backend.spmv(matrix, &x)?;
         let mut rr = 0.0f64;
         for i in 0..n {
@@ -326,6 +359,7 @@ pub fn jacobi(
         }
         residual = rr.sqrt() / b_norm;
         iterations += 1;
+        record_iteration("jacobi", iterations, residual, span_start);
     }
     Ok(SolveResult {
         solution: x,
@@ -365,6 +399,7 @@ pub fn power_iteration(
     let mut iterations = 0usize;
     let mut delta = 1.0f64;
     while iterations < options.max_iterations && delta > options.tolerance {
+        let span_start = iteration_start();
         let av = backend.spmv(matrix, &v)?;
         let norm_av = norm(&av);
         if norm_av < f64::MIN_POSITIVE {
@@ -379,6 +414,7 @@ pub fn power_iteration(
             .fold(0.0, f64::max);
         v = next;
         iterations += 1;
+        record_iteration("power", iterations, delta, span_start);
     }
     Ok((
         eigenvalue,
@@ -407,6 +443,35 @@ mod tests {
             .fold(0.0, f64::max)
             / norm(b).max(1.0);
         assert!(rel < tol, "solution residual {rel}");
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn solver_iterations_land_in_the_global_recorder() {
+        let before = chason_telemetry::global()
+            .registry()
+            .counter("solver_iterations_total")
+            .get();
+        let (a, b) = spd_system(64, 9);
+        let mut backend = CpuBackend::default();
+        let r = conjugate_gradient(&mut backend, &a, &b, CgOptions::default()).unwrap();
+        assert!(r.iterations > 0);
+        let telemetry = chason_telemetry::global();
+        let after = telemetry
+            .registry()
+            .counter("solver_iterations_total")
+            .get();
+        assert!(
+            after >= before + r.iterations as u64,
+            "counter moved {before} -> {after} for {} iterations",
+            r.iterations
+        );
+        // The recorder is process-global and shared with parallel tests;
+        // only assert our spans are present and well-formed.
+        let spans = telemetry.recorder().snapshot();
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "solver.iteration" && s.end >= s.start));
     }
 
     #[test]
