@@ -30,3 +30,4 @@
 
 pub mod experiments;
 pub mod util;
+pub mod wallclock;

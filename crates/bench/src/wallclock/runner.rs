@@ -1,0 +1,169 @@
+//! Measurement loop: warmup, per-sample iteration calibration, and a
+//! median + MAD summary per benchmark.
+//!
+//! Each benchmark is warmed up, then one timed calibration iteration sizes
+//! `iters_per_sample` so a sample lasts roughly the profile's target; the
+//! runner then takes `samples` timed batches and summarizes ns/iter with
+//! the median (robust to scheduler hiccups) and the median absolute
+//! deviation (the noise scale the comparator guards with).
+
+use std::time::Instant;
+
+/// Measurement effort. `smoke` keeps CI runs short; `full` is for
+/// committed baselines and optimization before/after evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Profile {
+    /// Profile name as recorded in the report.
+    pub name: &'static str,
+    /// Untimed iterations before calibration.
+    pub warmup_iters: u64,
+    /// Timed samples per benchmark.
+    pub samples: u64,
+    /// Target duration of one timed sample, in nanoseconds.
+    pub target_sample_nanos: u64,
+    /// Upper bound on iterations per sample (guards against free-running
+    /// on sub-microsecond routines).
+    pub max_iters_per_sample: u64,
+}
+
+impl Profile {
+    /// Reduced effort for CI: 2 warmup iterations, 8 samples of ~2 ms.
+    pub fn smoke() -> Self {
+        Profile {
+            name: "smoke",
+            warmup_iters: 2,
+            samples: 8,
+            target_sample_nanos: 2_000_000,
+            max_iters_per_sample: 10_000,
+        }
+    }
+
+    /// Baseline effort: 5 warmup iterations, 30 samples of ~20 ms.
+    pub fn full() -> Self {
+        Profile {
+            name: "full",
+            warmup_iters: 5,
+            samples: 30,
+            target_sample_nanos: 20_000_000,
+            max_iters_per_sample: 100_000,
+        }
+    }
+
+    /// Resolves a profile by name.
+    ///
+    /// # Errors
+    ///
+    /// Lists the known profiles when `name` is not one of them.
+    pub fn by_name(name: &str) -> Result<Self, String> {
+        match name {
+            "smoke" => Ok(Profile::smoke()),
+            "full" => Ok(Profile::full()),
+            other => Err(format!("unknown profile '{other}' (expected smoke|full)")),
+        }
+    }
+}
+
+/// The per-benchmark numbers the runner feeds into a
+/// [`BenchResult`](super::report::BenchResult).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Untimed iterations executed (warmup + calibration).
+    pub warmup_iters: u64,
+    /// Timed samples taken.
+    pub samples: u64,
+    /// Iterations per timed sample after calibration.
+    pub iters_per_sample: u64,
+    /// Median ns/iter across the samples.
+    pub median_ns_per_iter: f64,
+    /// Median absolute deviation of ns/iter across the samples.
+    pub mad_ns_per_iter: f64,
+}
+
+/// Runs `routine` under `profile` and summarizes its ns/iter.
+pub fn measure<F: FnMut()>(profile: &Profile, mut routine: F) -> Measurement {
+    for _ in 0..profile.warmup_iters {
+        routine();
+    }
+    // One timed iteration sizes the sample batches; it also serves as one
+    // more warmup pass.
+    let start = Instant::now();
+    routine();
+    let once_nanos = (start.elapsed().as_nanos() as u64).max(1);
+    let iters_per_sample =
+        (profile.target_sample_nanos / once_nanos).clamp(1, profile.max_iters_per_sample);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(profile.samples as usize);
+    for _ in 0..profile.samples {
+        let start = Instant::now();
+        for _ in 0..iters_per_sample {
+            routine();
+        }
+        per_iter.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+    }
+    let median = median(&mut per_iter);
+    let mut deviations: Vec<f64> = per_iter.iter().map(|&v| (v - median).abs()).collect();
+    let mad = self::median(&mut deviations);
+    Measurement {
+        warmup_iters: profile.warmup_iters + 1,
+        samples: profile.samples,
+        iters_per_sample,
+        median_ns_per_iter: median,
+        mad_ns_per_iter: mad,
+    }
+}
+
+/// Median of `xs` (sorts in place; even counts average the middle pair).
+/// Returns 0 for an empty slice.
+pub fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [3.0]), 3.0);
+        assert_eq!(median(&mut [5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn measure_produces_finite_nonzero_numbers() {
+        let profile = Profile {
+            name: "test",
+            warmup_iters: 1,
+            samples: 3,
+            target_sample_nanos: 50_000,
+            max_iters_per_sample: 100,
+        };
+        let mut acc = 0u64;
+        let m = measure(&profile, || {
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i * i));
+            }
+        });
+        assert!(m.median_ns_per_iter.is_finite());
+        assert!(m.median_ns_per_iter > 0.0);
+        assert!(m.mad_ns_per_iter.is_finite());
+        assert_eq!(m.samples, 3);
+        assert!((1..=100).contains(&m.iters_per_sample));
+    }
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        assert_eq!(Profile::by_name("smoke").unwrap(), Profile::smoke());
+        assert_eq!(Profile::by_name("full").unwrap(), Profile::full());
+        assert!(Profile::by_name("quick").is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! `chason bench` — wall-clock benchmark runs and baseline comparison.
+//!
+//! ```text
+//! chason bench                       # run smoke profile, write BENCH_smoke.json
+//! chason bench --profile full --name baseline --out results/bench
+//! chason bench --baseline BENCH_smoke.json       # run, then gate vs baseline
+//! chason bench --baseline a.json --current b.json  # compare only, no run
+//! ```
+
+use crate::args::Args;
+use chason_bench::wallclock::report::BenchReport;
+use chason_bench::wallclock::runner::Profile;
+use chason_bench::wallclock::{compare, render_table, run_report};
+use std::path::PathBuf;
+
+fn read_report(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Entry point for `chason bench`.
+pub fn bench(args: &Args) -> Result<(), String> {
+    let threshold = args.get_or("threshold", 20.0)? / 100.0;
+    if threshold < 0.0 {
+        return Err("--threshold must be non-negative (percent)".to_string());
+    }
+
+    // Compare-only mode: both sides come from files, nothing runs.
+    if let (Some(baseline_path), Some(current_path)) = (args.get("baseline"), args.get("current")) {
+        let baseline = read_report(baseline_path)?;
+        let current = read_report(current_path)?;
+        return gate(&baseline, &current, threshold);
+    }
+    if args.get("current").is_some() {
+        return Err("--current requires --baseline".to_string());
+    }
+
+    let profile = Profile::by_name(args.get("profile").unwrap_or("smoke"))?;
+    let filter = args.get("filter");
+    let name = args.get("name").unwrap_or(profile.name);
+    let report = run_report(name, &profile, filter);
+    if report.results.is_empty() {
+        return Err(match filter {
+            Some(f) => format!("no registered benchmark matches filter '{f}'"),
+            None => "no benchmarks registered".to_string(),
+        });
+    }
+    print!("{}", render_table(&report));
+
+    let out_dir = PathBuf::from(args.get("out").unwrap_or("."));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let out_path = out_dir.join(report.file_name());
+    std::fs::write(&out_path, report.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+    println!("wrote {}", out_path.display());
+
+    match args.get("baseline") {
+        Some(baseline_path) => gate(&read_report(baseline_path)?, &report, threshold),
+        None => Ok(()),
+    }
+}
+
+fn gate(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Result<(), String> {
+    let cmp = compare::compare(baseline, current, threshold);
+    print!("{}", cmp.render());
+    if cmp.is_failure() {
+        Err(format!(
+            "benchmark gate failed: {} regression(s), {} missing benchmark(s)",
+            cmp.regressions().count(),
+            cmp.missing.len()
+        ))
+    } else {
+        Ok(())
+    }
+}

@@ -13,6 +13,7 @@
 //! ```
 
 mod args;
+mod bench;
 mod commands;
 mod service;
 
@@ -56,6 +57,11 @@ USAGE:
                                [--seed S] [--format text|json] [--report FILE]
                                [--require-hits]
                                # deterministic closed-loop load generator
+  chason bench                 [--profile smoke|full] [--name NAME] [--out DIR]
+                               [--filter SUBSTR] [--baseline FILE] [--current FILE]
+                               [--threshold PCT]
+                               # wall-clock benchmarks -> BENCH_<name>.json;
+                               with --baseline, gates on regressions
 
 Matrices are MatrixMarket coordinate files (real/integer/pattern,
 general/symmetric).";
@@ -80,6 +86,7 @@ fn main() -> ExitCode {
         "conformance" => commands::conformance(&args),
         "generate" => commands::generate(&args),
         "catalog" => commands::catalog(),
+        "bench" => bench::bench(&args),
         "serve" => service::serve(&args),
         "client" => service::client(&args),
         "loadgen" => service::run_loadgen(&args),

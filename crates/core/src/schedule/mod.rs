@@ -484,27 +484,125 @@ pub trait Scheduler {
     fn schedule(&self, matrix: &CooMatrix, config: &SchedulerConfig) -> ScheduledMatrix;
 }
 
-/// The rows owned by one PE lane: `(row, Vec<(col, value)>)` in ascending
-/// row order, each row's entries in ascending column order.
-pub(crate) type LaneRows = Vec<(usize, Vec<(usize, f32)>)>;
+/// The rows owned by one PE lane, stored flat: one shared `(col, value)`
+/// arena plus `(row, start, end)` spans into it, rows ascending, each row's
+/// entries in ascending column order.
+///
+/// The previous layout, `Vec<(row, Vec<(col, value)>)>`, paid one heap
+/// allocation (plus growth reallocations) per matrix row; planning pays
+/// that cost once per column window, so on window-partitioned matrices it
+/// dominated the scheduling profile. The flat arena allocates twice per
+/// lane regardless of row count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct FlatLaneRows {
+    /// `(col, value)` entries of every row of the lane, grouped by row.
+    pub entries: Vec<(usize, f32)>,
+    /// Per row: `(row, start, end)` half-open span into `entries`.
+    pub spans: Vec<(usize, usize, usize)>,
+}
+
+impl FlatLaneRows {
+    /// Appends one entry, extending the current row's span or opening a new
+    /// one. Entries of a row must arrive consecutively.
+    pub fn push_entry(&mut self, row: usize, col: usize, value: f32) {
+        match self.spans.last_mut() {
+            Some((last_row, _, end)) if *last_row == row => *end += 1,
+            _ => {
+                let at = self.entries.len();
+                self.spans.push((row, at, at + 1));
+            }
+        }
+        self.entries.push((col, value));
+    }
+
+    /// Entries of the row behind `spans[idx]`.
+    pub fn row_entries(&self, idx: usize) -> &[(usize, f32)] {
+        let (_, start, end) = self.spans[idx];
+        &self.entries[start..end]
+    }
+}
+
+/// Reusable per-lane scheduling scratch ([`PeAware::schedule_lane`]): the
+/// row cursors and last-emission cycles are cleared and refilled for each
+/// lane instead of reallocated, which matters when planning schedules one
+/// window after another.
+#[derive(Debug, Default)]
+pub(crate) struct LaneScratch {
+    /// Next unconsumed index into `entries` per row span.
+    pub(crate) cursor: Vec<usize>,
+    /// Cycle of the row's previous emission (`usize::MAX` = never).
+    pub(crate) last_cycle: Vec<usize>,
+}
+
+/// Cycle-block size for [`timelines_to_grid`]: 256 cycles × 8 lanes of
+/// 16-byte slots is ~32 KiB of grid rows, small enough that a block's rows
+/// stay cache-resident while every lane's timeline is copied into them.
+const GRID_BLOCK_CYCLES: usize = 256;
+
+/// Transposes per-lane slot timelines into the `grid[cycle][lane]` layout
+/// shared by every scheduler, iterating in cycle blocks: within a block
+/// each timeline is read sequentially and the block's grid rows are reused
+/// while hot, instead of striding each lane across the full schedule.
+pub(crate) fn timelines_to_grid(
+    lane_timelines: &[Vec<Option<NzSlot>>],
+) -> Vec<Vec<Option<NzSlot>>> {
+    let lanes = lane_timelines.len();
+    let cycles = lane_timelines.iter().map(Vec::len).max().unwrap_or(0);
+    let mut grid: Vec<Vec<Option<NzSlot>>> = (0..cycles).map(|_| vec![None; lanes]).collect();
+    for start in (0..cycles).step_by(GRID_BLOCK_CYCLES) {
+        let end = cycles.min(start + GRID_BLOCK_CYCLES);
+        for (lane, timeline) in lane_timelines.iter().enumerate() {
+            if timeline.len() <= start {
+                continue;
+            }
+            let stop = end.min(timeline.len());
+            for (row, slot) in grid[start..stop].iter_mut().zip(&timeline[start..stop]) {
+                row[lane] = *slot;
+            }
+        }
+    }
+    grid
+}
 
 /// Groups a matrix's non-zeros by owning (channel, lane, row), the shared
 /// front-end of all three schedulers.
 ///
-/// Returns `rows_by_pe[channel][lane]` as [`LaneRows`].
-pub(crate) fn partition_rows(matrix: &CooMatrix, config: &SchedulerConfig) -> Vec<Vec<LaneRows>> {
-    let mut by_pe: Vec<Vec<LaneRows>> =
-        vec![vec![Vec::new(); config.pes_per_channel]; config.channels];
+/// Returns `rows_by_pe[channel][lane]` as [`FlatLaneRows`]. A counting
+/// pass sizes each lane's arena exactly, so the fill pass never
+/// reallocates.
+pub(crate) fn partition_rows(
+    matrix: &CooMatrix,
+    config: &SchedulerConfig,
+) -> Vec<Vec<FlatLaneRows>> {
+    let lanes = config.pes_per_channel;
+    let mut nnz_per_pe = vec![0usize; config.total_pes()];
+    let mut rows_per_pe = vec![0usize; config.total_pes()];
+    let mut prev_row = usize::MAX;
     // COO iteration is (row, col)-sorted, so rows arrive grouped and in
     // ascending order per PE.
-    for &(r, c, v) in matrix.iter() {
-        let ch = config.channel_for_row(r);
-        let lane = config.lane_for_row(r);
-        let rows = &mut by_pe[ch][lane];
-        match rows.last_mut() {
-            Some((last_row, entries)) if *last_row == r => entries.push((c, v)),
-            _ => rows.push((r, vec![(c, v)])),
+    for &(r, _, _) in matrix.iter() {
+        let pe = config.pe_for_row(r);
+        nnz_per_pe[pe] += 1;
+        if r != prev_row {
+            rows_per_pe[pe] += 1;
+            prev_row = r;
         }
+    }
+    let mut by_pe: Vec<Vec<FlatLaneRows>> = (0..config.channels)
+        .map(|ch| {
+            (0..lanes)
+                .map(|l| {
+                    let pe = ch * lanes + l;
+                    FlatLaneRows {
+                        entries: Vec::with_capacity(nnz_per_pe[pe]),
+                        spans: Vec::with_capacity(rows_per_pe[pe]),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    for &(r, c, v) in matrix.iter() {
+        by_pe[config.channel_for_row(r)][config.lane_for_row(r)].push_entry(r, c, v);
     }
     by_pe
 }
@@ -617,11 +715,48 @@ mod tests {
         )
         .unwrap();
         let parts = partition_rows(&m, &cfg);
-        assert_eq!(parts[0][0].len(), 1); // row 0
-        assert_eq!(parts[0][1].len(), 2); // rows 1 and 5
-        assert_eq!(parts[1][0].len(), 1); // row 2
-        assert_eq!(parts[0][1][0].1.len(), 2); // row 1 has 2 entries
-        assert_eq!(parts[0][1][1].0, 5);
+        assert_eq!(parts[0][0].spans.len(), 1); // row 0
+        assert_eq!(parts[0][1].spans.len(), 2); // rows 1 and 5
+        assert_eq!(parts[1][0].spans.len(), 1); // row 2
+        assert_eq!(parts[0][1].row_entries(0).len(), 2); // row 1 has 2 entries
+        assert_eq!(parts[0][1].row_entries(0), &[(0, 2.0), (3, 5.0)]);
+        assert_eq!(parts[0][1].spans[1].0, 5);
+        // The counting pass sized each arena exactly.
+        for lane in parts.iter().flatten() {
+            assert_eq!(lane.entries.len(), lane.entries.capacity());
+        }
+    }
+
+    #[test]
+    fn flat_lane_rows_extends_the_current_row_only() {
+        let mut lane = FlatLaneRows::default();
+        lane.push_entry(3, 0, 1.0);
+        lane.push_entry(3, 2, 2.0);
+        lane.push_entry(7, 1, 3.0);
+        assert_eq!(lane.spans, vec![(3, 0, 2), (7, 2, 3)]);
+        assert_eq!(lane.row_entries(0), &[(0, 1.0), (2, 2.0)]);
+        assert_eq!(lane.row_entries(1), &[(1, 3.0)]);
+    }
+
+    #[test]
+    fn timelines_to_grid_handles_uneven_lanes_across_blocks() {
+        // Lane lengths straddle the block size (256) so both the blocked
+        // interior and the ragged tails are exercised.
+        let mk = |len: usize, row: usize| -> Vec<Option<NzSlot>> {
+            (0..len)
+                .map(|c| (c % 3 == 0).then(|| NzSlot::private(c as f32, row, c)))
+                .collect()
+        };
+        let timelines = vec![mk(600, 0), mk(10, 1), mk(257, 2)];
+        let grid = timelines_to_grid(&timelines);
+        assert_eq!(grid.len(), 600);
+        for (cycle, slots) in grid.iter().enumerate() {
+            assert_eq!(slots.len(), 3);
+            for (lane, t) in timelines.iter().enumerate() {
+                assert_eq!(slots[lane], t.get(cycle).copied().flatten());
+            }
+        }
+        assert!(timelines_to_grid(&[]).is_empty());
     }
 
     #[test]

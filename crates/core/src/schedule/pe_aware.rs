@@ -1,6 +1,8 @@
-use super::{partition_rows, ChannelSchedule, NzSlot, ScheduledMatrix, Scheduler, SchedulerConfig};
+use super::{
+    partition_rows, timelines_to_grid, ChannelSchedule, FlatLaneRows, LaneScratch, NzSlot,
+    ScheduledMatrix, Scheduler, SchedulerConfig,
+};
 use chason_sparse::CooMatrix;
-use std::collections::VecDeque;
 
 /// PE-aware out-of-order non-zero scheduling — Serpens' scheme (Fig. 2b).
 ///
@@ -24,39 +26,47 @@ impl PeAware {
     }
 
     /// Schedules one lane's rows round-robin, returning the slot timeline.
+    ///
+    /// Rows are consumed through cursors into the lane's flat entry arena
+    /// — no queues are materialized — and `scratch` is reused across lanes
+    /// (and across windows during planning) instead of reallocated.
     pub(crate) fn schedule_lane(
-        rows: Vec<(usize, Vec<(usize, f32)>)>,
+        lane: &FlatLaneRows,
         dependency_distance: usize,
+        scratch: &mut LaneScratch,
     ) -> Vec<Option<NzSlot>> {
-        let mut queues: Vec<(usize, VecDeque<(usize, f32)>)> = rows
-            .into_iter()
-            .map(|(row, entries)| (row, VecDeque::from(entries)))
-            .collect();
-        let mut last_cycle: Vec<Option<usize>> = vec![None; queues.len()];
-        let mut remaining: usize = queues.iter().map(|(_, q)| q.len()).sum();
+        let n = lane.spans.len();
+        scratch.cursor.clear();
+        scratch
+            .cursor
+            .extend(lane.spans.iter().map(|&(_, start, _)| start));
+        scratch.last_cycle.clear();
+        scratch.last_cycle.resize(n, usize::MAX);
+        let mut remaining = lane.entries.len();
         let mut timeline = Vec::with_capacity(remaining);
         let mut rr = 0usize; // round-robin pointer
         let mut cycle = 0usize;
         while remaining > 0 {
-            let n = queues.len();
             let mut emitted = false;
             for step in 0..n {
                 let idx = (rr + step) % n;
-                let eligible = match last_cycle[idx] {
-                    Some(prev) => cycle >= prev + dependency_distance,
-                    None => true,
-                };
-                if eligible {
-                    if let Some((col, value)) = queues[idx].1.pop_front() {
-                        let row = queues[idx].0;
-                        timeline.push(Some(NzSlot::private(value, row, col)));
-                        last_cycle[idx] = Some(cycle);
-                        remaining -= 1;
-                        rr = (idx + 1) % n;
-                        emitted = true;
-                        break;
-                    }
+                let (row, _, end) = lane.spans[idx];
+                let cur = scratch.cursor[idx];
+                if cur >= end {
+                    continue; // row exhausted
                 }
+                let last = scratch.last_cycle[idx];
+                if last != usize::MAX && cycle < last + dependency_distance {
+                    continue; // RAW-blocked
+                }
+                let (col, value) = lane.entries[cur];
+                timeline.push(Some(NzSlot::private(value, row, col)));
+                scratch.cursor[idx] = cur + 1;
+                scratch.last_cycle[idx] = cycle;
+                remaining -= 1;
+                rr = (idx + 1) % n;
+                emitted = true;
+                break;
             }
             if !emitted {
                 timeline.push(None);
@@ -76,25 +86,16 @@ impl Scheduler for PeAware {
         assert!(config.is_valid(), "invalid scheduler configuration");
         let by_pe = partition_rows(matrix, config);
         let d = config.dependency_distance;
+        let mut scratch = LaneScratch::default();
         let mut channels = Vec::with_capacity(config.channels);
-        for (ch_idx, lanes) in by_pe.into_iter().enumerate() {
+        for (ch_idx, lanes) in by_pe.iter().enumerate() {
             let lane_timelines: Vec<Vec<Option<NzSlot>>> = lanes
-                .into_iter()
-                .map(|rows| Self::schedule_lane(rows, d))
+                .iter()
+                .map(|rows| Self::schedule_lane(rows, d, &mut scratch))
                 .collect();
-            let cycles = lane_timelines.iter().map(Vec::len).max().unwrap_or(0);
-            let mut grid = Vec::with_capacity(cycles);
-            for cycle in 0..cycles {
-                grid.push(
-                    lane_timelines
-                        .iter()
-                        .map(|t| t.get(cycle).copied().flatten())
-                        .collect(),
-                );
-            }
             channels.push(ChannelSchedule {
                 channel: ch_idx,
-                grid,
+                grid: timelines_to_grid(&lane_timelines),
             });
         }
         ScheduledMatrix {

@@ -1,4 +1,7 @@
-use super::{partition_rows, ChannelSchedule, NzSlot, ScheduledMatrix, Scheduler, SchedulerConfig};
+use super::{
+    partition_rows, timelines_to_grid, ChannelSchedule, NzSlot, ScheduledMatrix, Scheduler,
+    SchedulerConfig,
+};
 use chason_sparse::CooMatrix;
 
 /// Row-based (in-order) non-zero scheduling — Fig. 2a.
@@ -34,13 +37,15 @@ impl Scheduler for RowBased {
         let by_pe = partition_rows(matrix, config);
         let d = config.dependency_distance;
         let mut channels = Vec::with_capacity(config.channels);
-        for (ch_idx, lanes) in by_pe.into_iter().enumerate() {
+        for (ch_idx, lanes) in by_pe.iter().enumerate() {
             // Per lane, lay out the slot timeline independently.
-            let mut lane_timelines: Vec<Vec<Option<NzSlot>>> = Vec::new();
-            for rows in lanes {
-                let mut timeline: Vec<Option<NzSlot>> = Vec::new();
-                for (row, entries) in rows {
-                    for (i, (col, value)) in entries.into_iter().enumerate() {
+            let mut lane_timelines: Vec<Vec<Option<NzSlot>>> = Vec::with_capacity(lanes.len());
+            for lane in lanes {
+                // Each in-row step costs a value plus D-1 stalls.
+                let upper = lane.entries.len() * d;
+                let mut timeline: Vec<Option<NzSlot>> = Vec::with_capacity(upper);
+                for (idx, &(row, _, _)) in lane.spans.iter().enumerate() {
+                    for (i, &(col, value)) in lane.row_entries(idx).iter().enumerate() {
                         if i > 0 {
                             // RAW gap to the previous value of the same row.
                             timeline.extend(std::iter::repeat_n(None, d - 1));
@@ -50,18 +55,9 @@ impl Scheduler for RowBased {
                 }
                 lane_timelines.push(timeline);
             }
-            let cycles = lane_timelines.iter().map(Vec::len).max().unwrap_or(0);
-            let mut grid = Vec::with_capacity(cycles);
-            for cycle in 0..cycles {
-                let slots: Vec<Option<NzSlot>> = lane_timelines
-                    .iter()
-                    .map(|t| t.get(cycle).copied().flatten())
-                    .collect();
-                grid.push(slots);
-            }
             channels.push(ChannelSchedule {
                 channel: ch_idx,
-                grid,
+                grid: timelines_to_grid(&lane_timelines),
             });
         }
         ScheduledMatrix {

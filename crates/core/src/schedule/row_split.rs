@@ -1,6 +1,6 @@
 use super::{
-    partition_rows, ChannelSchedule, LaneRows, NzSlot, PeAware, ScheduledMatrix, Scheduler,
-    SchedulerConfig,
+    partition_rows, timelines_to_grid, ChannelSchedule, FlatLaneRows, LaneScratch, NzSlot, PeAware,
+    ScheduledMatrix, Scheduler, SchedulerConfig,
 };
 use chason_sparse::CooMatrix;
 
@@ -69,49 +69,52 @@ impl Scheduler for HybridRowSplit {
         let by_pe = partition_rows(matrix, config);
         let d = config.dependency_distance;
         let pes = config.pes_per_channel;
+        let mut scratch = LaneScratch::default();
+        let mut sub_starts = vec![0usize; pes];
         let mut channels = Vec::with_capacity(config.channels);
-        for (ch_idx, lanes) in by_pe.into_iter().enumerate() {
+        for (ch_idx, lanes) in by_pe.iter().enumerate() {
             // Pull heavy rows out of their home lane and deal their values
             // across all lanes of the PEG round-robin: lane `l` receives
             // the sub-row holding every `P`-th value. Each sub-row then
             // joins the lane's ordinary round-robin schedule, so sub-rows
             // of different hubs interleave and hide each other's RAW gaps
             // exactly like independent rows do.
-            let mut lane_rows: Vec<LaneRows> = vec![Vec::new(); pes];
-            for (lane, rows) in lanes.into_iter().enumerate() {
-                for (row, entries) in rows {
+            let mut lane_rows: Vec<FlatLaneRows> = vec![FlatLaneRows::default(); pes];
+            for (lane, rows) in lanes.iter().enumerate() {
+                for (idx, &(row, _, _)) in rows.spans.iter().enumerate() {
+                    let entries = rows.row_entries(idx);
                     if entries.len() >= self.split_threshold.max(2) {
-                        let mut sub_rows: Vec<Vec<(usize, f32)>> = vec![Vec::new(); pes];
-                        for (k, entry) in entries.into_iter().enumerate() {
-                            sub_rows[(lane + k) % pes].push(entry);
+                        // Rows are dealt one at a time, so each target
+                        // arena receives its sub-row's entries
+                        // consecutively; remembering the arena lengths
+                        // beforehand delimits the new spans without any
+                        // per-sub-row buffer.
+                        for (target, start) in sub_starts.iter_mut().enumerate() {
+                            *start = lane_rows[target].entries.len();
                         }
-                        for (target, sub) in sub_rows.into_iter().enumerate() {
-                            if !sub.is_empty() {
-                                lane_rows[target].push((row, sub));
+                        for (k, &entry) in entries.iter().enumerate() {
+                            lane_rows[(lane + k) % pes].entries.push(entry);
+                        }
+                        for (target, arena) in lane_rows.iter_mut().enumerate() {
+                            let end = arena.entries.len();
+                            if end > sub_starts[target] {
+                                arena.spans.push((row, sub_starts[target], end));
                             }
                         }
                     } else {
-                        lane_rows[lane].push((row, entries));
+                        for &(col, value) in entries {
+                            lane_rows[lane].push_entry(row, col, value);
+                        }
                     }
                 }
             }
             let lane_timelines: Vec<Vec<Option<NzSlot>>> = lane_rows
-                .into_iter()
-                .map(|rows| PeAware::schedule_lane(rows, d))
+                .iter()
+                .map(|rows| PeAware::schedule_lane(rows, d, &mut scratch))
                 .collect();
-            let cycles = lane_timelines.iter().map(Vec::len).max().unwrap_or(0);
-            let mut grid = Vec::with_capacity(cycles);
-            for cycle in 0..cycles {
-                grid.push(
-                    lane_timelines
-                        .iter()
-                        .map(|t| t.get(cycle).copied().flatten())
-                        .collect(),
-                );
-            }
             channels.push(ChannelSchedule {
                 channel: ch_idx,
-                grid,
+                grid: timelines_to_grid(&lane_timelines),
             });
         }
         ScheduledMatrix {

@@ -138,7 +138,8 @@ impl LoadgenReport {
                     "\"plan_cache_hits\":{},\"plan_cache_misses\":{},\"plan_cache_evictions\":{},",
                     "\"plan_cache_len\":{},\"plan_cache_capacity\":{},\"matrices_resident\":{},",
                     "\"matrix_evictions\":{},\"service_p50_micros\":{},\"service_p99_micros\":{},",
-                    "\"service_max_micros\":{},\"service_samples\":{}}}"
+                    "\"service_max_micros\":{},\"service_samples\":{},\"queue_p50_micros\":{},",
+                    "\"queue_p99_micros\":{},\"queue_max_micros\":{}}}"
                 ),
                 s.uptime_millis,
                 s.requests_load,
@@ -160,7 +161,10 @@ impl LoadgenReport {
                 s.service_p50_micros,
                 s.service_p99_micros,
                 s.service_max_micros,
-                s.service_samples
+                s.service_samples,
+                s.queue_p50_micros,
+                s.queue_p99_micros,
+                s.queue_max_micros
             ),
         );
         out.push('}');
@@ -387,10 +391,11 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
         server.join();
     }
 
-    let p50 = percentile_at(&latencies, 50);
-    let p90 = percentile_at(&latencies, 90);
-    let p99 = percentile_at(&latencies, 99);
-    let max = latencies.iter().copied().max().unwrap_or(0);
+    latencies.sort_unstable();
+    let p50 = percentile_sorted(&latencies, 50);
+    let p90 = percentile_sorted(&latencies, 90);
+    let p99 = percentile_sorted(&latencies, 99);
+    let max = latencies.last().copied().unwrap_or(0);
     let report = LoadgenReport {
         completed,
         protocol_errors,
@@ -417,13 +422,16 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
     Ok(report)
 }
 
-fn percentile_at(samples: &[u64], p: usize) -> u64 {
-    if samples.is_empty() {
+/// Ceiling nearest-rank percentile over an already-sorted sample set: the
+/// smallest value v such that at least `p`% of the samples are `<= v`.
+/// The previous floor-biased index (`(len-1)*p/100`) understated tail
+/// latency — for 100 samples its p99 was the 98th-smallest value.
+fn percentile_sorted(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
         return 0;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    sorted[(sorted.len() - 1) * p / 100]
+    let rank = (sorted.len() * p).div_ceil(100).max(1);
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -456,6 +464,27 @@ mod tests {
                 assert!(diag[i] > off[i], "row {i}: {} <= {}", diag[i], off[i]);
             }
         }
+    }
+
+    #[test]
+    fn percentile_uses_ceiling_nearest_rank() {
+        // 100 samples 1..=100: pN is exactly N.
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_sorted(&hundred, 50), 50);
+        assert_eq!(percentile_sorted(&hundred, 90), 90);
+        assert_eq!(percentile_sorted(&hundred, 99), 99);
+        assert_eq!(percentile_sorted(&hundred, 100), 100);
+        // 10 samples: the old floor-biased index reported the 9th-smallest
+        // for p99; nearest-rank must report the maximum.
+        let ten: Vec<u64> = (1..=10).map(|k| k * 10).collect();
+        assert_eq!(percentile_sorted(&ten, 50), 50);
+        assert_eq!(percentile_sorted(&ten, 90), 90);
+        assert_eq!(percentile_sorted(&ten, 91), 100);
+        assert_eq!(percentile_sorted(&ten, 99), 100);
+        // Degenerate inputs.
+        assert_eq!(percentile_sorted(&[42], 1), 42);
+        assert_eq!(percentile_sorted(&[42], 99), 42);
+        assert_eq!(percentile_sorted(&[], 99), 0);
     }
 
     #[test]

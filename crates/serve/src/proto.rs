@@ -297,7 +297,7 @@ pub enum Reply {
     Vector {
         /// `y = A·x`.
         y: Vec<f32>,
-        /// Wall-clock queue-wait + execution time on the server.
+        /// Wall-clock execution time on the server (queue wait excluded).
         service_micros: u64,
         /// Modeled accelerator latency (0 for the CPU backend).
         simulated_nanos: u64,
@@ -312,7 +312,7 @@ pub enum Reply {
         residual: f64,
         /// Whether the tolerance was reached.
         converged: bool,
-        /// Wall-clock queue-wait + execution time on the server.
+        /// Wall-clock execution time on the server (queue wait excluded).
         service_micros: u64,
         /// Accumulated modeled SpMV latency (0 for the CPU backend).
         simulated_nanos: u64,
@@ -387,15 +387,21 @@ pub struct StatsSnapshot {
     pub matrices_resident: u64,
     /// Matrices displaced by inserts into a full cache.
     pub matrix_evictions: u64,
-    /// Median service time (queue wait + execution) over the recent
-    /// window, in microseconds.
+    /// Median execution time (queue wait excluded), in microseconds.
     pub service_p50_micros: u64,
-    /// 99th-percentile service time over the recent window.
+    /// 99th-percentile execution time.
     pub service_p99_micros: u64,
-    /// Worst service time over the recent window.
+    /// Worst execution time.
     pub service_max_micros: u64,
-    /// Service-time samples recorded since start.
+    /// Execution-time samples recorded since start.
     pub service_samples: u64,
+    /// Median time a request waited in the queue before a worker picked
+    /// it up, in microseconds.
+    pub queue_p50_micros: u64,
+    /// 99th-percentile queue wait.
+    pub queue_p99_micros: u64,
+    /// Worst queue wait.
+    pub queue_max_micros: u64,
 }
 
 impl StatsSnapshot {
@@ -419,7 +425,7 @@ impl StatsSnapshot {
             + self.requests_sleep
     }
 
-    const FIELDS: usize = 21;
+    const FIELDS: usize = 24;
 
     fn to_words(self) -> [u64; Self::FIELDS] {
         [
@@ -444,6 +450,9 @@ impl StatsSnapshot {
             self.service_p99_micros,
             self.service_max_micros,
             self.service_samples,
+            self.queue_p50_micros,
+            self.queue_p99_micros,
+            self.queue_max_micros,
         ]
     }
 
@@ -470,6 +479,9 @@ impl StatsSnapshot {
             service_p99_micros: w[18],
             service_max_micros: w[19],
             service_samples: w[20],
+            queue_p50_micros: w[21],
+            queue_p99_micros: w[22],
+            queue_max_micros: w[23],
         }
     }
 
@@ -527,6 +539,13 @@ impl StatsSnapshot {
                 self.service_p99_micros,
                 self.service_max_micros,
                 self.service_samples
+            ),
+        );
+        line(
+            "queue wait",
+            format!(
+                "p50 {} us, p99 {} us, max {} us",
+                self.queue_p50_micros, self.queue_p99_micros, self.queue_max_micros
             ),
         );
         out
@@ -987,13 +1006,44 @@ pub fn load_request(matrix: &CooMatrix) -> Request {
 
 /// Writes one frame: `u32` little-endian payload length, then the payload.
 ///
+/// The header is a `u32`, so a payload longer than `u32::MAX` cannot be
+/// framed at all — casting would silently truncate the declared length and
+/// desynchronize the stream. Such payloads are rejected before any byte is
+/// written.
+///
 /// # Errors
 ///
-/// Propagates I/O failures (including write timeouts).
-pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+/// [`ProtoError::FrameTooLarge`] when the payload cannot be represented in
+/// the `u32` length header; [`ProtoError::Io`] for I/O failures (including
+/// write timeouts).
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), ProtoError> {
+    write_frame_capped(writer, payload, u32::MAX as usize)
+}
+
+/// [`write_frame`] with an explicit payload cap, mirroring the cap
+/// [`read_frame_blocking`] enforces on the read side. Nothing is written
+/// when the payload is over the cap, so the stream stays synchronized.
+///
+/// # Errors
+///
+/// [`ProtoError::FrameTooLarge`] when `payload.len() > max_len`;
+/// [`ProtoError::Io`] for I/O failures.
+pub fn write_frame_capped<W: Write>(
+    writer: &mut W,
+    payload: &[u8],
+    max_len: usize,
+) -> Result<(), ProtoError> {
+    let cap = max_len.min(u32::MAX as usize);
+    if payload.len() > cap {
+        return Err(ProtoError::FrameTooLarge {
+            len: payload.len() as u64,
+            cap: cap as u64,
+        });
+    }
     writer.write_all(&(payload.len() as u32).to_le_bytes())?;
     writer.write_all(payload)?;
-    writer.flush()
+    writer.flush()?;
+    Ok(())
 }
 
 /// Reads one frame, blocking until it is complete.
@@ -1162,6 +1212,30 @@ mod tests {
             reader.poll(&mut buf.as_slice()).unwrap_err(),
             ProtoError::FrameTooLarge { .. }
         ));
+    }
+
+    #[test]
+    fn over_cap_payload_is_rejected_on_the_write_side() {
+        // The cap is enforced before any byte reaches the writer, so an
+        // oversized payload cannot desynchronize the stream.
+        let mut buf = Vec::new();
+        let err = write_frame_capped(&mut buf, &[0u8; 101], 100).unwrap_err();
+        assert!(
+            matches!(err, ProtoError::FrameTooLarge { len: 101, cap: 100 }),
+            "{err}"
+        );
+        assert!(
+            buf.is_empty(),
+            "nothing may be written for a rejected frame"
+        );
+        // At the cap is fine.
+        write_frame_capped(&mut buf, &[0u8; 100], 100).unwrap();
+        assert_eq!(buf.len(), 104);
+        // The uncapped entry point still enforces the u32 header limit;
+        // requesting a larger cap clamps rather than overflows.
+        let mut buf = Vec::new();
+        write_frame_capped(&mut buf, b"ok", usize::MAX).unwrap();
+        assert_eq!(read_frame_blocking(&mut buf.as_slice(), 16).unwrap(), b"ok");
     }
 
     #[test]

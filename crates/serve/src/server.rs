@@ -275,7 +275,16 @@ fn listener_loop(listener: &TcpListener, shared: &Arc<Shared>, job_tx: &Sender<J
 }
 
 fn send_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
-    write_frame(stream, &encode_reply(reply))
+    match write_frame(stream, &encode_reply(reply)) {
+        Ok(()) => Ok(()),
+        Err(ProtoError::Io(e)) => Err(e),
+        // An un-frameable reply (> u32::MAX bytes) cannot reach the peer;
+        // surface it as data corruption so the connection is dropped.
+        Err(other) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            other.to_string(),
+        )),
+    }
 }
 
 fn serve_connection(
@@ -461,7 +470,14 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<Job>) {
 
 fn run_job(shared: &Arc<Shared>, job: Job) {
     record_accepted_kind(shared, &job.request);
-    let received = job.received;
+    // Queue wait (enqueue to dequeue) and execution time feed separate
+    // histograms: summing them into one "service time" conflates queue
+    // pressure with execution cost and made service_p99 track load, not
+    // the kernels.
+    shared
+        .stats
+        .record_queue_wait_micros(job.received.elapsed().as_micros() as u64);
+    let started = Instant::now();
     // The executors validate their inputs, but a panic in a worker must
     // not take the pool down: surface it as an Internal error instead.
     let reply =
@@ -473,7 +489,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         });
     shared
         .stats
-        .record_service_micros(received.elapsed().as_micros() as u64);
+        .record_service_micros(started.elapsed().as_micros() as u64);
     let _ = job.reply_tx.send(reply); // receiver gone = client disconnected
 }
 

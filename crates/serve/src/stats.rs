@@ -66,6 +66,7 @@ pub struct ServerStats {
     pub batched: Arc<Counter>,
     queue_depth_hwm: Arc<Gauge>,
     service: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
 }
 
 impl ServerStats {
@@ -77,6 +78,7 @@ impl ServerStats {
         let batched = registry.counter("chsp_batched_total");
         let queue_depth_hwm = registry.gauge("chsp_queue_depth_hwm");
         let service = registry.histogram("chsp_service_micros");
+        let queue_wait = registry.histogram("chsp_queue_wait_micros");
         ServerStats {
             started: Instant::now(),
             registry,
@@ -85,13 +87,22 @@ impl ServerStats {
             batched,
             queue_depth_hwm,
             service,
+            queue_wait,
         }
     }
 
-    /// Records one completed request's service time (queue wait +
-    /// execution).
+    /// Records one completed request's execution time (queue wait
+    /// excluded — that goes to [`record_queue_wait_micros`]).
+    ///
+    /// [`record_queue_wait_micros`]: ServerStats::record_queue_wait_micros
     pub fn record_service_micros(&self, micros: u64) {
         self.service.record(micros);
+    }
+
+    /// Records how long one request sat in the queue before a worker
+    /// dequeued it.
+    pub fn record_queue_wait_micros(&self, micros: u64) {
+        self.queue_wait.record(micros);
     }
 
     /// Raises the queue-depth high-water mark to `depth` if it is higher.
@@ -129,6 +140,9 @@ impl ServerStats {
             service_p99_micros: self.service.quantile(0.99),
             service_max_micros: self.service.max(),
             service_samples: self.service.count(),
+            queue_p50_micros: self.queue_wait.quantile(0.50),
+            queue_p99_micros: self.queue_wait.quantile(0.99),
+            queue_max_micros: self.queue_wait.max(),
         }
     }
 
@@ -185,6 +199,7 @@ mod tests {
         stats.observe_queue_depth(5);
         stats.observe_queue_depth(3); // lower: must not regress the HWM
         stats.record_service_micros(40);
+        stats.record_queue_wait_micros(7);
         let snap = stats.snapshot(cache_stats(), 6, 1);
         assert_eq!(snap.requests_spmv, 3);
         assert_eq!(snap.shed, 2);
@@ -197,6 +212,9 @@ mod tests {
         assert_eq!(snap.service_p99_micros, 40);
         assert_eq!(snap.service_max_micros, 40);
         assert_eq!(snap.service_samples, 1);
+        // Queue wait is tracked separately, not folded into service time.
+        assert_eq!(snap.queue_p50_micros, 7);
+        assert_eq!(snap.queue_max_micros, 7);
         assert_eq!(snap.requests_executed(), 3);
     }
 
@@ -223,6 +241,7 @@ mod tests {
         stats.batched.add(4);
         stats.observe_queue_depth(7);
         stats.record_service_micros(100);
+        stats.record_queue_wait_micros(9);
         let text = stats.render_exposition(cache_stats(), 6, 1);
         for needle in [
             "chsp_requests_load_total 1",
@@ -234,6 +253,9 @@ mod tests {
             "chsp_service_micros_count 1",
             "chsp_service_micros_max 100",
             "# TYPE chsp_service_micros histogram",
+            "chsp_queue_wait_micros_count 1",
+            "chsp_queue_wait_micros_max 9",
+            "# TYPE chsp_queue_wait_micros histogram",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -34,6 +34,9 @@ fn pinned_snapshot() -> StatsSnapshot {
         service_p99_micros: 1_919,
         service_max_micros: 2_020,
         service_samples: 2_121,
+        queue_p50_micros: 2_222,
+        queue_p99_micros: 2_323,
+        queue_max_micros: 2_424,
     }
 }
 
@@ -44,8 +47,11 @@ fn golden_path(name: &str) -> std::path::PathBuf {
 #[test]
 fn stats_reply_bytes_are_pinned() {
     let wire = encode_reply(&Reply::Stats(pinned_snapshot()));
-    // Structure first: opcode byte plus 21 little-endian u64 words.
-    assert_eq!(wire.len(), 1 + 21 * 8);
+    // Structure first: opcode byte plus 24 little-endian u64 words. The
+    // 2026-08 golden re-bless appended three queue-wait words (p50, p99,
+    // max) when queue wait was split out of service time; the first 21
+    // words are byte-identical to the previous fixture.
+    assert_eq!(wire.len(), 1 + 24 * 8);
     assert_eq!(wire[0], 0x85);
     if let Err(err) = check_or_bless_bytes(&golden_path("stats_reply.bin"), &wire) {
         panic!("{err}");

@@ -40,6 +40,9 @@ fn snapshot_from(words: &[u64]) -> StatsSnapshot {
         service_p99_micros: words[18],
         service_max_micros: words[19],
         service_samples: words[20],
+        queue_p50_micros: words[21],
+        queue_p99_micros: words[22],
+        queue_max_micros: words[23],
     }
 }
 
@@ -94,7 +97,7 @@ proptest! {
     #[test]
     fn every_reply_variant_round_trips(
         selector in 0usize..9,
-        words in vec(any::<u64>(), 21),
+        words in vec(any::<u64>(), 24),
         flag in any::<bool>(),
         value_bits in vec(any::<u32>(), 0..12),
         artifact in vec(any::<u8>(), 0..64),

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo xtask lint   # source-hygiene rules L001-L004; exits 1 on findings
+//! cargo xtask bench  # release-build the CLI, run `chason bench <args...>`
 //! ```
 
 mod lint;
@@ -16,7 +17,10 @@ USAGE:
   cargo xtask lint   # L001 un-annotated unwrap/expect (chason-core, chason-sim)
                      # L002 todo!/unimplemented! stubs (workspace-wide)
                      # L003 undocumented pub items (chason-core)
-                     # L004 println!/eprintln! in library crates";
+                     # L004 println!/eprintln! in library crates
+  cargo xtask bench [bench args...]
+                     # wall-clock benchmarks via a release build of the CLI;
+                     # args are forwarded to `chason bench` (see its --help)";
 
 fn main() -> ExitCode {
     let task = std::env::args().nth(1).unwrap_or_default();
@@ -36,6 +40,31 @@ fn main() -> ExitCode {
             } else {
                 println!("xtask lint: {} violation(s)", violations.len());
                 ExitCode::FAILURE
+            }
+        }
+        "bench" => {
+            // Benchmarks are meaningless unoptimized, so always go through
+            // a release build of the CLI and forward the remaining args.
+            let status = std::process::Command::new(env!("CARGO"))
+                .args([
+                    "run",
+                    "--release",
+                    "-p",
+                    "chason-cli",
+                    "--bin",
+                    "chason",
+                    "--",
+                    "bench",
+                ])
+                .args(std::env::args().skip(2))
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(_) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("cannot launch cargo: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         "help" | "--help" | "" => {
