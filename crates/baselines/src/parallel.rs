@@ -63,7 +63,7 @@ pub fn spmv_static(matrix: &CsrMatrix, x: &[f32], threads: usize) -> Vec<f32> {
         return y;
     }
     let chunk = rows.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    let joined = crossbeam::scope(|scope| {
         for (t, y_chunk) in y.chunks_mut(chunk).enumerate() {
             let start = t * chunk;
             scope.spawn(move |_| {
@@ -82,8 +82,9 @@ pub fn spmv_static(matrix: &CsrMatrix, x: &[f32], threads: usize) -> Vec<f32> {
                 publish_shard(&shard);
             });
         }
-    })
-    .expect("spmv worker threads do not panic");
+    });
+    #[allow(clippy::expect_used)] // a worker panic is an index bug; propagate it
+    joined.expect("spmv worker threads do not panic");
     y
 }
 
@@ -116,18 +117,21 @@ pub fn spmv_dynamic(matrix: &CsrMatrix, x: &[f32], threads: usize, chunk_rows: u
     let chunks: Vec<Mutex<&mut [f32]>> = y.chunks_mut(chunk_rows).map(Mutex::new).collect();
     let n_chunks = chunks.len();
     let cursor = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    let joined = crossbeam::scope(|scope| {
         for _ in 0..threads {
             let chunks = &chunks;
             let cursor = &cursor;
             scope.spawn(move |_| {
                 let mut shard = HistogramShard::new();
                 loop {
+                    // relaxed: chunk claims only need atomicity; every
+                    // result is read after the scope joins the workers
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     if idx >= n_chunks {
                         break;
                     }
                     let start = idx * chunk_rows;
+                    #[allow(clippy::expect_used)] // uncontended by construction (unique claims)
                     let mut out_chunk = chunks[idx].lock().expect("chunk lock is never poisoned");
                     for (i, out) in out_chunk.iter_mut().enumerate() {
                         let (cols, vals) = matrix.row(start + i);
@@ -142,8 +146,9 @@ pub fn spmv_dynamic(matrix: &CsrMatrix, x: &[f32], threads: usize, chunk_rows: u
                 publish_shard(&shard);
             });
         }
-    })
-    .expect("spmv worker threads do not panic");
+    });
+    #[allow(clippy::expect_used)] // a worker panic is an index bug; propagate it
+    joined.expect("spmv worker threads do not panic");
     drop(chunks);
     y
 }

@@ -16,10 +16,11 @@ fn main() {
     for n in [1usize, 8, 16, 32, 64, 128] {
         let b = DenseMatrix::from_fn(2048, n, |r, c| ((r + c) % 7) as f32 * 0.25);
         let c0 = DenseMatrix::zeros(2048, n);
+        #[allow(clippy::expect_used)] // fixed in-range ablation inputs
         let ce = chason.run_spmm(&a, &b, 1.0, 0.0, &c0).expect("chason runs");
-        let se = serpens
-            .run_spmm(&a, &b, 1.0, 0.0, &c0)
-            .expect("serpens runs");
+        let se = serpens.run_spmm(&a, &b, 1.0, 0.0, &c0);
+        #[allow(clippy::expect_used)] // fixed in-range ablation inputs
+        let se = se.expect("serpens runs");
         println!(
             "{:>4} {:>6} {:>12} {:>12} {:>9.2} {:>8.2}x",
             n,

@@ -22,6 +22,7 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "results".to_string());
     let dir = Path::new(&dir);
+    #[allow(clippy::expect_used)] // CLI entry point: an unwritable results dir is fatal
     fs::create_dir_all(dir).expect("cannot create results directory");
     let n = corpus_size();
 

@@ -59,6 +59,7 @@ pub fn example_matrix() -> CooMatrix {
         let row = 4 + (k % 4) + 8 * (k / 4);
         t.push((row, k % 3, 100.0 + k as f32));
     }
+    #[allow(clippy::expect_used)] // literal in-range triplets
     CooMatrix::from_triplets(32, 3, t).expect("example triplets are valid")
 }
 
@@ -111,6 +112,7 @@ pub fn run() -> Fig02Result {
     ];
     for (name, schedule) in schedulers {
         let s = schedule();
+        #[allow(clippy::expect_used)] // experiment asserts the schedulers' own invariants
         s.validate(&matrix).expect("scheduler invariants hold");
         let (pe0_timeline, pe0_nz_per_cycle, pe0_underutilization_pct) = pe0_timeline(&s);
         schemes.push(SchemeResult {

@@ -52,6 +52,7 @@ pub fn example_matrix() -> CooMatrix {
             }
         }
     }
+    #[allow(clippy::expect_used)] // literal in-range triplets
     CooMatrix::from_triplets(36, 3, t).expect("example triplets are valid")
 }
 
@@ -60,8 +61,10 @@ pub fn run() -> Fig05Result {
     let config = config();
     let matrix = example_matrix();
     let before = PeAware::new().schedule(&matrix, &config);
+    #[allow(clippy::expect_used)] // experiment asserts the schedulers' own invariants
     before.validate(&matrix).expect("pe-aware invariants");
     let (after, report) = Crhcs::new().schedule_with_report(&matrix, &config);
+    #[allow(clippy::expect_used)] // experiment asserts the schedulers' own invariants
     after.validate(&matrix).expect("crhcs invariants");
     Fig05Result {
         cycles_before: before.stream_cycles(),

@@ -40,6 +40,7 @@ impl Distribution {
             .max_by_key(|&(_, c)| *c)
             .map(|(i, _)| i)
             .unwrap_or(0);
+        #[allow(clippy::expect_used)] // simulated latencies are finite
         values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let median = if values.is_empty() {
             0.0

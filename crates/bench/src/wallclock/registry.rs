@@ -150,9 +150,11 @@ pub fn benchmarks(profile: &Profile, filter: Option<&str>) -> Vec<Benchmark> {
                 routine: Box::new(move || {
                     if is_chason {
                         let engine = ChasonEngine::default();
+                        #[allow(clippy::expect_used)] // bench corpus fits the engines
                         black_box(engine.plan_with_threads(&matrix, threads).expect("plan"));
                     } else {
                         let engine = SerpensEngine::default();
+                        #[allow(clippy::expect_used)] // bench corpus fits the engines
                         black_box(engine.plan_with_threads(&matrix, threads).expect("plan"));
                     }
                 }),
@@ -167,6 +169,7 @@ pub fn benchmarks(profile: &Profile, filter: Option<&str>) -> Vec<Benchmark> {
         let fingerprint = matrix_fingerprint(&matrix);
         let bytes = spmv_bytes(&matrix);
         let engine = ChasonEngine::default();
+        #[allow(clippy::expect_used)] // bench corpus fits the engines
         let plan = engine.plan_with_threads(&matrix, 1).expect("plan");
         let x: Vec<f32> = (0..matrix.cols())
             .map(|i| (i as f32 * 0.29).sin())
@@ -176,6 +179,7 @@ pub fn benchmarks(profile: &Profile, filter: Option<&str>) -> Vec<Benchmark> {
             fingerprint,
             bytes_per_iter: bytes,
             routine: Box::new(move || {
+                #[allow(clippy::expect_used)] // plan was built from this same matrix
                 black_box(engine.run_planned(&plan, &x).expect("replay"));
             }),
         });
@@ -201,6 +205,7 @@ pub fn benchmarks(profile: &Profile, filter: Option<&str>) -> Vec<Benchmark> {
                 bytes_per_iter: bytes,
                 routine: Box::new(move || {
                     let wire = encode_request(&request);
+                    #[allow(clippy::expect_used)] // decoding our own encoder's output
                     black_box(decode_request(&wire).expect("decode request"));
                 }),
             });
@@ -220,6 +225,7 @@ pub fn benchmarks(profile: &Profile, filter: Option<&str>) -> Vec<Benchmark> {
                 bytes_per_iter: bytes,
                 routine: Box::new(move || {
                     let wire = encode_reply(&reply);
+                    #[allow(clippy::expect_used)] // decoding our own encoder's output
                     black_box(decode_reply(&wire).expect("decode reply"));
                 }),
             });

@@ -1,0 +1,240 @@
+//! `chason-race` — run the model suites through the deterministic
+//! interleaving explorer (usually via `cargo xtask race`).
+//!
+//! Default mode explores every model: real (`ok*`) models must come back
+//! clean, known-racy mutants must be caught (the self-check that proves the
+//! checker has teeth). Any violation prints a seed-replayable schedule;
+//! `--replay` re-executes exactly that interleaving.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::str::FromStr;
+use std::time::Instant;
+
+use chason_race::{Schedule, Violation};
+use chason_race_models::{all_models, find_model, ModelDef};
+
+const USAGE: &str = "\
+chason-race: deterministic interleaving explorer over the model suites
+
+USAGE:
+  chason-race [--seed N] [--budget N] [--preemptions N] [--suite NAME]
+              [--skip-mutants] [--artifacts DIR]
+  chason-race --replay \"0,1,0\" --model SUITE/NAME [--seed N] [--preemptions N]
+  chason-race --list
+
+OPTIONS:
+  --seed N         exploration seed quoted in violation reports  [default: 0]
+  --budget N       max executions per model                      [default: 4000]
+  --preemptions N  preemption bound per execution                [default: 2]
+  --suite NAME     only run models of this suite
+  --skip-mutants   only run the real (expected-clean) models
+  --artifacts DIR  write <suite>__<name>.trace.txt for each violation
+  --replay S       re-run one schedule (with --model) instead of exploring
+  --model ID       model id (suite/name) for --replay
+  --list           list model ids and exit
+";
+
+struct Cli {
+    seed: u64,
+    budget: usize,
+    preemptions: usize,
+    suite: Option<String>,
+    skip_mutants: bool,
+    artifacts: Option<PathBuf>,
+    replay: Option<String>,
+    model: Option<String>,
+    list: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        seed: 0,
+        budget: 4000,
+        preemptions: 2,
+        suite: None,
+        skip_mutants: false,
+        artifacts: None,
+        replay: None,
+        model: None,
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => cli.seed = parse_num(&value("--seed")?)?,
+            "--budget" => cli.budget = parse_num(&value("--budget")?)?,
+            "--preemptions" => cli.preemptions = parse_num(&value("--preemptions")?)?,
+            "--suite" => cli.suite = Some(value("--suite")?),
+            "--skip-mutants" => cli.skip_mutants = true,
+            "--artifacts" => cli.artifacts = Some(PathBuf::from(value("--artifacts")?)),
+            "--replay" => cli.replay = Some(value("--replay")?),
+            "--model" => cli.model = Some(value("--model")?),
+            "--list" => cli.list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+fn parse_num<T: FromStr>(text: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{text:?} is not a valid number"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list {
+        for model in all_models() {
+            let kind = if model.expect_violation {
+                "mutant"
+            } else {
+                "model "
+            };
+            println!("{kind}  {:<34} {}", model.id(), model.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(schedule) = &cli.replay {
+        return run_replay(&cli, schedule);
+    }
+    run_explore(&cli)
+}
+
+/// Re-execute one recorded schedule of one model.
+fn run_replay(cli: &Cli, schedule: &str) -> ExitCode {
+    let Some(id) = &cli.model else {
+        eprintln!("error: --replay needs --model SUITE/NAME");
+        return ExitCode::from(2);
+    };
+    let Some(model) = find_model(id) else {
+        eprintln!("error: no model named {id:?} (see --list)");
+        return ExitCode::from(2);
+    };
+    let schedule = match Schedule::from_str(schedule) {
+        Ok(s) => s,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = model.options(cli.seed, 1, cli.preemptions);
+    match chason_race::replay(opts, &schedule, model.run) {
+        Ok(Some(violation)) => {
+            println!("{id}: schedule reproduces a violation\n{violation}");
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            println!("{id}: schedule executed clean");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: replay diverged: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Explore every selected model; exit non-zero if any real model violates
+/// or any mutant escapes.
+fn run_explore(cli: &Cli) -> ExitCode {
+    let models: Vec<ModelDef> = all_models()
+        .into_iter()
+        .filter(|m| cli.suite.as_deref().is_none_or(|s| m.suite == s))
+        .filter(|m| !(cli.skip_mutants && m.expect_violation))
+        .collect();
+    if models.is_empty() {
+        eprintln!("error: no models selected (see --list)");
+        return ExitCode::from(2);
+    }
+    println!(
+        "exploring {} models  seed={}  budget={}  preemption-bound={}",
+        models.len(),
+        cli.seed,
+        cli.budget,
+        cli.preemptions
+    );
+    let started = Instant::now();
+    let mut failures = 0usize;
+    for model in &models {
+        let model_started = Instant::now();
+        let (report, pass) = model.check(cli.seed, cli.budget, cli.preemptions);
+        let verdict = match (pass, model.expect_violation) {
+            (true, false) => "OK   clean",
+            (true, true) => "OK   caught",
+            (false, false) => "FAIL violation in real model",
+            (false, true) => "FAIL mutant escaped",
+        };
+        println!(
+            "{:<36} {:<28} execs={:<5} pruned={:<5} depth={:<3} {:<10} {:.2}s",
+            model.id(),
+            verdict,
+            report.executions,
+            report.pruned,
+            report.max_depth,
+            if report.complete {
+                "complete"
+            } else {
+                "budget-cut"
+            },
+            model_started.elapsed().as_secs_f64(),
+        );
+        if let Some(violation) = &report.violation {
+            println!(
+                "    {}  [replay: cargo xtask race --replay \"{}\" --model {} --seed {}]",
+                violation.kind,
+                violation.schedule,
+                model.id(),
+                violation.seed
+            );
+            if let Some(dir) = &cli.artifacts {
+                write_artifact(dir, model, violation);
+            }
+            if !pass {
+                println!("{violation}");
+            }
+        }
+        if !pass {
+            failures += 1;
+        }
+    }
+    println!(
+        "done: {}/{} models passed in {:.2}s",
+        models.len() - failures,
+        models.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn write_artifact(dir: &PathBuf, model: &ModelDef, violation: &Violation) {
+    let path = dir.join(format!("{}__{}.trace.txt", model.suite, model.name));
+    let body = format!(
+        "model: {}\nexpect_violation: {}\n{violation}",
+        model.id(),
+        model.expect_violation
+    );
+    if let Err(error) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, body)) {
+        eprintln!("warning: could not write {}: {error}", path.display());
+    }
+}

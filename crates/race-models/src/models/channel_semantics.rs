@@ -1,0 +1,148 @@
+//! Semantics checks of the vendored crossbeam channel shim *itself*, run
+//! under the checker: disconnect-while-blocked, timeout-vs-disconnect
+//! precedence, and spurious-wakeup robustness. All models here are expected
+//! clean — they pin the shim's contract across every explored interleaving
+//! (complementing the wall-clock tests in `vendor/crossbeam`).
+//!
+//! Timeouts follow the DESIGN.md §12 rules: durations are generous
+//! (an hour), and the scheduler only fires a timeout when nothing else can
+//! run, so `Timeout` results are schedule-chosen, never wall-clock-chosen.
+
+use std::time::Duration;
+
+use chason_race::thread;
+use crossbeam::channel::{self, RecvTimeoutError};
+
+use crate::{join, ModelDef};
+
+const GENEROUS: Duration = Duration::from_secs(3600);
+
+/// Dropping the only sender unblocks a parked `recv` with `Err`.
+fn recv_disconnect() {
+    let (tx, rx) = channel::bounded::<u32>(1);
+    let consumer = thread::spawn(move || assert!(rx.recv().is_err(), "recv survived disconnect"));
+    drop(tx);
+    join(consumer);
+}
+
+/// A buffered value is still delivered after the sender hangs up; only the
+/// *next* recv reports the disconnect.
+fn recv_value_then_disconnect() {
+    let (tx, rx) = channel::bounded::<u32>(1);
+    let producer = thread::spawn(move || assert!(tx.send(1).is_ok()));
+    let consumer = thread::spawn(move || {
+        assert_eq!(rx.recv().ok(), Some(1), "buffered value lost at disconnect");
+        assert!(rx.recv().is_err(), "disconnect not reported after drain");
+    });
+    join(producer);
+    join(consumer);
+}
+
+/// With a live sender and an empty queue, `recv_timeout` reports `Timeout`
+/// (fired by the scheduler's timeout rescue, not the wall clock).
+fn recv_timeout_quiet() {
+    let (tx, rx) = channel::bounded::<u32>(1);
+    let consumer = thread::spawn(move || {
+        let got = rx.recv_timeout(GENEROUS);
+        assert!(
+            matches!(got, Err(RecvTimeoutError::Timeout)),
+            "expected Timeout, got {got:?}"
+        );
+    });
+    join(consumer);
+    drop(tx); // kept alive across the join: the timeout must not be a disconnect
+}
+
+/// When every sender is gone, a blocked `recv_timeout` reports
+/// `Disconnected` — never `Timeout`, even though a deadline is armed.
+fn recv_timeout_disconnect() {
+    let (tx, rx) = channel::bounded::<u32>(1);
+    let producer = thread::spawn(move || drop(tx));
+    let consumer = thread::spawn(move || {
+        let got = rx.recv_timeout(GENEROUS);
+        assert!(
+            matches!(got, Err(RecvTimeoutError::Disconnected)),
+            "expected Disconnected, got {got:?}"
+        );
+    });
+    join(producer);
+    join(consumer);
+}
+
+/// Dropping the only receiver unblocks a `send` parked on a full queue.
+fn send_blocked_disconnect() {
+    let (tx, rx) = channel::bounded::<u32>(1);
+    assert!(tx.try_send(0).is_ok()); // fill the queue so the send must park
+    let sender = thread::spawn(move || assert!(tx.send(1).is_err(), "send survived disconnect"));
+    drop(rx);
+    join(sender);
+}
+
+/// The shim's wait loops re-check their predicate after every wakeup, so
+/// injected spurious wakeups never surface a wrong result.
+fn spurious_wakeup() {
+    let (tx, rx) = channel::bounded::<u32>(1);
+    let consumer = thread::spawn(move || {
+        assert_eq!(
+            rx.recv().ok(),
+            Some(7),
+            "spurious wakeup leaked out of recv"
+        );
+    });
+    assert!(tx.try_send(7).is_ok());
+    join(consumer);
+}
+
+/// The `channel` suite.
+pub fn models() -> Vec<ModelDef> {
+    vec![
+        ModelDef {
+            suite: "channel",
+            name: "recv-disconnect",
+            about: "sender drop unblocks a parked recv with Err",
+            expect_violation: false,
+            spurious: 0,
+            run: recv_disconnect,
+        },
+        ModelDef {
+            suite: "channel",
+            name: "recv-value-then-disconnect",
+            about: "buffered value delivered before disconnect reported",
+            expect_violation: false,
+            spurious: 0,
+            run: recv_value_then_disconnect,
+        },
+        ModelDef {
+            suite: "channel",
+            name: "recv-timeout-quiet",
+            about: "live sender + empty queue times out via rescue",
+            expect_violation: false,
+            spurious: 1,
+            run: recv_timeout_quiet,
+        },
+        ModelDef {
+            suite: "channel",
+            name: "recv-timeout-disconnect",
+            about: "disconnect beats an armed timeout",
+            expect_violation: false,
+            spurious: 1,
+            run: recv_timeout_disconnect,
+        },
+        ModelDef {
+            suite: "channel",
+            name: "send-blocked-disconnect",
+            about: "receiver drop unblocks a parked send with Err",
+            expect_violation: false,
+            spurious: 0,
+            run: send_blocked_disconnect,
+        },
+        ModelDef {
+            suite: "channel",
+            name: "spurious-wakeup",
+            about: "recv re-checks its predicate after spurious wakeups",
+            expect_violation: false,
+            spurious: 3,
+            run: spurious_wakeup,
+        },
+    ]
+}

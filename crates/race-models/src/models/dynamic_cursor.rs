@@ -1,0 +1,140 @@
+//! The work-stealing chunk cursor from `spmv_dynamic`
+//! (`chason_baselines::parallel`): workers claim row chunks with
+//! `fetch_add` on a shared cursor and write disjoint output slices. The
+//! disjoint-write pattern is exactly what a race detector must *not* flag —
+//! and what the two mutants break.
+//!
+//! Mutants:
+//! * `nonatomic-claim` — the claim becomes load-then-store, so two workers
+//!   can claim the same chunk and race on its output cell.
+//! * `off-by-one-claim` — the stop test is `>` instead of `>=`, walking one
+//!   chunk past the end (an out-of-bounds panic in every schedule).
+
+use std::sync::Arc;
+
+use chason_race::atomic::{AtomicUsize, Ordering};
+use chason_race::cell::RaceCell;
+use chason_race::thread;
+
+use crate::{join, ModelDef};
+
+const CHUNKS: usize = 3;
+const WORKERS: usize = 2;
+
+fn chunk_cells() -> Arc<Vec<RaceCell<usize>>> {
+    Arc::new((0..CHUNKS).map(|_| RaceCell::new(0)).collect())
+}
+
+/// Correct extract: atomic claims partition the chunks, so the per-chunk
+/// writes are disjoint and the after-join read sees every chunk written
+/// exactly once.
+fn ok() {
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let cells = chunk_cells();
+    let mut workers = Vec::new();
+    for _ in 0..WORKERS {
+        let cursor = Arc::clone(&cursor);
+        let cells = Arc::clone(&cells);
+        workers.push(thread::spawn(move || {
+            loop {
+                // relaxed: chunk claims only need atomicity, not ordering —
+                // results are read after join (mirrors baselines::parallel)
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= CHUNKS {
+                    break;
+                }
+                cells[idx].set(idx + 1);
+            }
+        }));
+    }
+    for handle in workers {
+        join(handle);
+    }
+    for (idx, cell) in cells.iter().enumerate() {
+        assert_eq!(cell.get(), idx + 1, "chunk {idx} not written exactly once");
+    }
+}
+
+/// Mutant: the claim is a load followed by a store — two workers can read
+/// the same cursor value and both write the same chunk.
+fn nonatomic_claim() {
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let cells = chunk_cells();
+    let mut workers = Vec::new();
+    for _ in 0..WORKERS {
+        let cursor = Arc::clone(&cursor);
+        let cells = Arc::clone(&cells);
+        workers.push(thread::spawn(move || {
+            loop {
+                // relaxed: seeded bug under test — the lost atomicity (not
+                // the ordering) is what the checker must catch
+                let idx = cursor.load(Ordering::Relaxed); // BUG: not a fetch_add
+                if idx >= CHUNKS {
+                    break;
+                }
+                // relaxed: seeded bug under test (see above)
+                cursor.store(idx + 1, Ordering::Relaxed);
+                cells[idx].set(idx + 1);
+            }
+        }));
+    }
+    for handle in workers {
+        join(handle);
+    }
+}
+
+/// Mutant: the stop test is off by one, so a worker claims chunk `CHUNKS`
+/// and indexes past the end of the output.
+fn off_by_one_claim() {
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let cells = chunk_cells();
+    let mut workers = Vec::new();
+    for _ in 0..WORKERS {
+        let cursor = Arc::clone(&cursor);
+        let cells = Arc::clone(&cells);
+        workers.push(thread::spawn(move || {
+            loop {
+                // relaxed: chunk claims only need atomicity (see `ok`)
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx > CHUNKS {
+                    // BUG: admits idx == CHUNKS
+                    break;
+                }
+                cells[idx].set(idx + 1);
+            }
+        }));
+    }
+    for handle in workers {
+        join(handle);
+    }
+}
+
+/// The `dynamic-cursor` suite.
+pub fn models() -> Vec<ModelDef> {
+    vec![
+        ModelDef {
+            suite: "dynamic-cursor",
+            name: "ok",
+            about: "fetch_add chunk claims give disjoint writes",
+            expect_violation: false,
+            spurious: 0,
+            run: ok,
+        },
+        ModelDef {
+            suite: "dynamic-cursor",
+            name: "nonatomic-claim",
+            about: "load-then-store claim duplicates a chunk",
+            expect_violation: true,
+            spurious: 0,
+            run: nonatomic_claim,
+        },
+        ModelDef {
+            suite: "dynamic-cursor",
+            name: "off-by-one-claim",
+            about: "stop test admits one chunk past the end",
+            expect_violation: true,
+            spurious: 0,
+            run: off_by_one_claim,
+        },
+    ]
+}

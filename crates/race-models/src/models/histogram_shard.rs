@@ -1,0 +1,100 @@
+//! Telemetry shard aggregation: one thread merges a thread-local
+//! [`HistogramShard`] into shared totals while another thread is still
+//! recording into them — the `chason-telemetry` pattern of relaxed counter
+//! `fetch_add`s whose totals are only *read* after all writers are joined.
+//!
+//! Mutant:
+//! * `lost-update` — the shared count becomes a naive read-modify-write on
+//!   an unsynchronized cell; the merge races the concurrent recorder.
+
+use std::sync::Arc;
+
+use chason_race::atomic::{AtomicU64, Ordering};
+use chason_race::cell::RaceCell;
+use chason_race::thread;
+use chason_telemetry::metrics::HistogramShard;
+
+use crate::{join, ModelDef};
+
+/// Correct extract: relaxed `fetch_add`s are atomic RMWs, so concurrent
+/// merge and record never lose updates; the totals are read after join.
+fn ok() {
+    let count = Arc::new(AtomicU64::new(0));
+    let sum = Arc::new(AtomicU64::new(0));
+
+    let merge_count = Arc::clone(&count);
+    let merge_sum = Arc::clone(&sum);
+    let merger = thread::spawn(move || {
+        let mut shard = HistogramShard::new();
+        shard.record(1);
+        shard.record(2);
+        // relaxed: counter merge only needs atomicity; totals are read
+        // after join (the telemetry metrics idiom)
+        merge_count.fetch_add(shard.count(), Ordering::Relaxed);
+        // The shard's sum is private; the model tracks it (1 + 2).
+        // relaxed: see above
+        merge_sum.fetch_add(3, Ordering::Relaxed);
+    });
+
+    let rec_count = Arc::clone(&count);
+    let rec_sum = Arc::clone(&sum);
+    let recorder = thread::spawn(move || {
+        // relaxed: counter bumps, read after join
+        rec_count.fetch_add(1, Ordering::Relaxed);
+        // relaxed: see above
+        rec_sum.fetch_add(4, Ordering::Relaxed);
+    });
+
+    join(merger);
+    join(recorder);
+    // relaxed: joins above order these loads after every fetch_add
+    assert_eq!(count.load(Ordering::Relaxed), 3, "lost count update");
+    // relaxed: see above
+    assert_eq!(sum.load(Ordering::Relaxed), 7, "lost sum update");
+}
+
+/// Mutant: the shared count is a plain cell updated by get-then-set; the
+/// merger and the recorder race on it.
+fn lost_update() {
+    let count = Arc::new(RaceCell::new(0u64));
+
+    let merge_count = Arc::clone(&count);
+    let merger = thread::spawn(move || {
+        let mut shard = HistogramShard::new();
+        shard.record(1);
+        shard.record(2);
+        let seen = merge_count.get(); // BUG: unsynchronized RMW
+        merge_count.set(seen + shard.count());
+    });
+
+    let rec_count = Arc::clone(&count);
+    let recorder = thread::spawn(move || {
+        let seen = rec_count.get(); // BUG: unsynchronized RMW
+        rec_count.set(seen + 1);
+    });
+
+    join(merger);
+    join(recorder);
+}
+
+/// The `histogram-shard` suite.
+pub fn models() -> Vec<ModelDef> {
+    vec![
+        ModelDef {
+            suite: "histogram-shard",
+            name: "ok",
+            about: "relaxed fetch_add merge vs concurrent recorder is atomic",
+            expect_violation: false,
+            spurious: 0,
+            run: ok,
+        },
+        ModelDef {
+            suite: "histogram-shard",
+            name: "lost-update",
+            about: "count merged with get-then-set races the recorder",
+            expect_violation: true,
+            spurious: 0,
+            run: lost_update,
+        },
+    ]
+}

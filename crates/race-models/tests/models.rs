@@ -1,0 +1,68 @@
+//! The race-smoke contract, as a test suite: at a fixed seed every real
+//! model explores clean, every seeded mutant is caught, traces replay, and
+//! exploration is deterministic.
+
+use std::str::FromStr;
+
+use chason_race::Schedule;
+use chason_race_models::{all_models, find_model};
+
+const SEED: u64 = 0xC0FFEE;
+const BUDGET: usize = 1200;
+const PREEMPTIONS: usize = 2;
+
+#[test]
+fn real_models_explore_clean() {
+    for model in all_models().iter().filter(|m| !m.expect_violation) {
+        let (report, pass) = model.check(SEED, BUDGET, PREEMPTIONS);
+        assert!(
+            pass,
+            "real model {} violated after {} executions:\n{}",
+            model.id(),
+            report.executions,
+            report.violation.map(|v| v.to_string()).unwrap_or_default()
+        );
+    }
+}
+
+#[test]
+fn every_mutant_is_caught() {
+    for model in all_models().iter().filter(|m| m.expect_violation) {
+        let (report, pass) = model.check(SEED, BUDGET, PREEMPTIONS);
+        assert!(
+            pass,
+            "mutant {} escaped: {} executions, complete={}",
+            model.id(),
+            report.executions,
+            report.complete
+        );
+    }
+}
+
+#[test]
+fn mutant_traces_replay_to_the_same_violation() {
+    let model = find_model("shutdown-drain/relaxed-publish").expect("model registered");
+    let (report, _) = model.check(SEED, BUDGET, PREEMPTIONS);
+    let violation = report.violation.expect("mutant caught");
+    let schedule = Schedule::from_str(&violation.schedule.to_string()).expect("schedule parses");
+    let replayed = chason_race::replay(model.options(SEED, 1, PREEMPTIONS), &schedule, model.run)
+        .expect("replay does not diverge")
+        .expect("replay reproduces the violation");
+    assert_eq!(
+        std::mem::discriminant(&replayed.kind),
+        std::mem::discriminant(&violation.kind),
+        "replayed {:?}, explored {:?}",
+        replayed.kind,
+        violation.kind
+    );
+}
+
+#[test]
+fn exploration_is_deterministic_per_seed() {
+    let model = find_model("serve-queue/ok").expect("model registered");
+    let (first, _) = model.check(SEED, 400, PREEMPTIONS);
+    let (second, _) = model.check(SEED, 400, PREEMPTIONS);
+    assert_eq!(first.executions, second.executions);
+    assert_eq!(first.pruned, second.pruned);
+    assert_eq!(first.max_depth, second.max_depth);
+}

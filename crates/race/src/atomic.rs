@@ -1,0 +1,141 @@
+//! Instrumented atomics with std-shaped APIs.
+//!
+//! Under an active model execution every operation is a scheduler yield
+//! point, and the declared [`Ordering`] drives happens-before edges in the
+//! vector-clock detector: `Release` stores publish the writer's clock into
+//! the atomic, `Acquire` loads absorb it, `Relaxed` does neither (so a
+//! dropped fence turns into a detectable race on whatever the atomic was
+//! supposed to publish). Outside an execution they are plain std atomics.
+//!
+//! `SeqCst` is modeled as `AcqRel`: the detector never relies on the single
+//! total order, which is sound (it can only miss orderings, i.e. report a
+//! race that `SeqCst` reasoning would also flag as needing the HB edge).
+
+pub use std::sync::atomic::Ordering;
+
+use crate::runtime::{self, LazyReg, ObjectKind, OpKind, OrdKind};
+
+macro_rules! instrumented_atomic {
+    ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$meta])*
+        pub struct $name {
+            reg: LazyReg,
+            v: $std,
+        }
+
+        impl $name {
+            /// Create an atomic with the given initial value.
+            pub const fn new(v: $prim) -> $name {
+                $name { reg: LazyReg::new(), v: <$std>::new(v) }
+            }
+
+            /// Create an atomic whose name appears in traces.
+            pub const fn labeled(label: &'static str, v: $prim) -> $name {
+                $name { reg: LazyReg::labeled(label), v: <$std>::new(v) }
+            }
+
+            fn hook(&self, op: fn(usize, OrdKind) -> OpKind, ord: Ordering) {
+                if let Some((ctrl, tid)) = runtime::current_ctx() {
+                    let obj = self.reg.ensure(&ctrl, ObjectKind::Atomic);
+                    if ctrl.yield_op(tid, op(obj, OrdKind::of(ord))).is_err() {
+                        runtime::abort_unwind();
+                    }
+                }
+            }
+
+            /// Atomic load.
+            pub fn load(&self, ord: Ordering) -> $prim {
+                self.hook(|obj, ord| OpKind::AtomicLoad { obj, ord }, ord);
+                self.v.load(ord)
+            }
+
+            /// Atomic store.
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                self.hook(|obj, ord| OpKind::AtomicStore { obj, ord }, ord);
+                self.v.store(val, ord)
+            }
+
+            /// Atomic swap, returning the previous value.
+            pub fn swap(&self, val: $prim, ord: Ordering) -> $prim {
+                self.hook(|obj, ord| OpKind::AtomicRmw { obj, ord }, ord);
+                self.v.swap(val, ord)
+            }
+
+            /// Atomic compare-exchange, returning `Ok(previous)` on success.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                // Conservatively model with the success ordering; a failed
+                // exchange absorbing extra happens-before only loses races,
+                // and the schedule at the yield point is what matters.
+                self.hook(|obj, ord| OpKind::AtomicRmw { obj, ord }, success);
+                self.v.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+macro_rules! instrumented_atomic_int {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, val: $prim, ord: Ordering) -> $prim {
+                self.hook(|obj, ord| OpKind::AtomicRmw { obj, ord }, ord);
+                self.v.fetch_add(val, ord)
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, val: $prim, ord: Ordering) -> $prim {
+                self.hook(|obj, ord| OpKind::AtomicRmw { obj, ord }, ord);
+                self.v.fetch_sub(val, ord)
+            }
+
+            /// Atomic maximum, returning the previous value.
+            pub fn fetch_max(&self, val: $prim, ord: Ordering) -> $prim {
+                self.hook(|obj, ord| OpKind::AtomicRmw { obj, ord }, ord);
+                self.v.fetch_max(val, ord)
+            }
+        }
+    };
+}
+
+instrumented_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+instrumented_atomic_int!(AtomicUsize, usize);
+
+instrumented_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+instrumented_atomic_int!(AtomicU64, u64);
+
+instrumented_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicBool`].
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);
+
+impl AtomicBool {
+    /// Atomic OR, returning the previous value.
+    pub fn fetch_or(&self, val: bool, ord: Ordering) -> bool {
+        self.hook(|obj, ord| OpKind::AtomicRmw { obj, ord }, ord);
+        self.v.fetch_or(val, ord)
+    }
+
+    /// Atomic AND, returning the previous value.
+    pub fn fetch_and(&self, val: bool, ord: Ordering) -> bool {
+        self.hook(|obj, ord| OpKind::AtomicRmw { obj, ord }, ord);
+        self.v.fetch_and(val, ord)
+    }
+}

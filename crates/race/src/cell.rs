@@ -1,0 +1,78 @@
+//! [`RaceCell`]: a shared memory location the race detector watches.
+//!
+//! `RaceCell<T>` stands in for plain shared data (a field written without
+//! synchronization, a buffer slot, a counter) in extracted models. It is
+//! internally backed by a mutex so the *process* never has undefined
+//! behavior, but the detector treats every access as an unsynchronized
+//! read/write: two unordered conflicting accesses are reported as a data
+//! race even though the interleaving that ran produced a well-defined value.
+//! That is exactly the property a model wants: "would this be a race if the
+//! backing store were a bare field?"
+
+use crate::runtime::{self, LazyReg, ObjectKind, OpKind};
+use std::sync::Mutex as StdMutex;
+
+/// A shared cell whose accesses are checked for data races.
+pub struct RaceCell<T> {
+    reg: LazyReg,
+    v: StdMutex<T>,
+}
+
+impl<T> RaceCell<T> {
+    /// Create a cell with the given initial value.
+    pub const fn new(v: T) -> RaceCell<T> {
+        RaceCell {
+            reg: LazyReg::new(),
+            v: StdMutex::new(v),
+        }
+    }
+
+    /// Create a cell whose name appears in traces and race reports.
+    pub const fn labeled(label: &'static str, v: T) -> RaceCell<T> {
+        RaceCell {
+            reg: LazyReg::labeled(label),
+            v: StdMutex::new(v),
+        }
+    }
+
+    fn hook(&self, write: bool) {
+        if let Some((ctrl, tid)) = runtime::current_ctx() {
+            let obj = self.reg.ensure(&ctrl, ObjectKind::Cell);
+            let op = if write {
+                OpKind::CellWrite { obj }
+            } else {
+                OpKind::CellRead { obj }
+            };
+            if ctrl.yield_op(tid, op).is_err() {
+                runtime::abort_unwind();
+            }
+        }
+    }
+
+    /// Read the value (a tracked read access).
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.hook(false);
+        runtime::lenient_lock(&self.v).clone()
+    }
+
+    /// Overwrite the value (a tracked write access).
+    pub fn set(&self, v: T) {
+        self.hook(true);
+        *runtime::lenient_lock(&self.v) = v;
+    }
+
+    /// Observe the value through a closure (a tracked read access).
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.hook(false);
+        f(&runtime::lenient_lock(&self.v))
+    }
+
+    /// Mutate the value through a closure (a tracked write access).
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.hook(true);
+        f(&mut runtime::lenient_lock(&self.v))
+    }
+}

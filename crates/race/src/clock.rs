@@ -1,0 +1,84 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! A [`VectorClock`] maps thread ids (small dense `usize` indices assigned by
+//! the scheduler) to logical timestamps. Component `t` of a thread's clock is
+//! that thread's own *epoch*: it is advanced at release points (mutex unlock,
+//! release-store, spawn) so that two accesses by the same thread separated by
+//! a release get distinguishable timestamps, which is all FastTrack-style
+//! epoch race checking needs.
+
+/// A grow-on-demand vector clock. Missing components read as 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock(Vec<u32>);
+
+impl VectorClock {
+    /// An empty clock (all components zero).
+    pub const fn new() -> Self {
+        VectorClock(Vec::new())
+    }
+
+    /// Component for thread `tid` (0 if never set).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Increment thread `tid`'s own component by one.
+    pub fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum with `other` (the happens-before join).
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// True if an access at `(tid, time)` happens-before this clock, i.e.
+    /// this clock has already observed thread `tid` up to `time`.
+    pub fn observed(&self, tid: usize, time: u32) -> bool {
+        self.get(tid) >= time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_bumps() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.get(3), 0);
+        c.bump(3);
+        c.bump(3);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VectorClock::new();
+        b.bump(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+    }
+
+    #[test]
+    fn observed_tracks_epochs() {
+        let mut a = VectorClock::new();
+        a.bump(2);
+        assert!(a.observed(2, 1));
+        assert!(!a.observed(2, 2));
+        assert!(a.observed(5, 0));
+    }
+}

@@ -1,0 +1,441 @@
+//! Depth-first exploration of the schedule tree.
+//!
+//! Each execution replays a *forced prefix* of branch choices, then runs a
+//! default policy (prefer the previously running thread — the zero-preemption
+//! baseline) to the end. The branching points encountered are recorded as
+//! [`NodeRecord`]s; backtracking picks the deepest node with an untried,
+//! non-sleeping, bound-respecting sibling and re-runs with the extended
+//! prefix. Two prunings keep the tree tractable:
+//!
+//! - **Bounded preemption**: choosing a thread other than the previously
+//!   running one *while the previous one is still enabled* is a preemption;
+//!   schedules with more than `preemption_bound` of them are skipped.
+//!   Empirically (CHESS) almost all concurrency bugs need very few.
+//! - **Sleep sets**: after exploring thread `a` at a node, sibling branches
+//!   carry `a` in their sleep set until an operation *conflicting* with
+//!   `a`'s pending op executes; scheduling a sleeping thread first would
+//!   commute with the explored branch and reach an already-covered state.
+//!   Conflict detection is conservative (same object, not both reads;
+//!   scheduler ops conflict with everything), which is sound — it only
+//!   reduces pruning.
+
+use std::sync::Arc;
+
+use crate::runtime::{self, Controller, ExecOpts, RunOutcome};
+use crate::trace::{Schedule, Violation, ViolationKind};
+
+/// Exploration knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Seed for tie-breaking choice order; a violation report quotes it.
+    pub seed: u64,
+    /// Maximum number of executions before giving up (budget).
+    pub max_executions: usize,
+    /// Maximum preemptions per execution (see module docs).
+    pub preemption_bound: usize,
+    /// Per-execution step budget; exceeding it is reported as a violation.
+    pub max_steps: usize,
+    /// Spurious condvar wakeups the scheduler may inject per execution.
+    pub spurious_wakeups: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 0,
+            max_executions: 4096,
+            preemption_bound: 2,
+            max_steps: 20_000,
+            spurious_wakeups: 0,
+        }
+    }
+}
+
+/// What exploration found.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions actually run (including pruned ones).
+    pub executions: usize,
+    /// Executions cut short by sleep-set / preemption-bound pruning.
+    pub pruned: usize,
+    /// True if the bounded schedule space was exhausted within budget.
+    pub complete: bool,
+    /// First violation found, if any (exploration stops at the first).
+    pub violation: Option<Violation>,
+    /// Deepest branching structure seen (diagnostic).
+    pub max_depth: usize,
+}
+
+/// One branch choice in a forced prefix.
+#[derive(Clone, Copy, Debug)]
+pub struct ForcedChoice {
+    pub chosen: usize,
+    /// Bitmask of siblings already fully explored at this node; they enter
+    /// the sleep set of the subtree below `chosen`.
+    pub tried: u64,
+}
+
+/// Conservative independence classification of a pending operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ConflictKey {
+    /// Touches one tracked object; `read_only` ops commute with each other.
+    Obj { obj: usize, read_only: bool },
+    /// Scheduler-level op (spawn/join/notify/park): conflicts with everything.
+    Global,
+}
+
+fn conflicts(a: ConflictKey, b: ConflictKey) -> bool {
+    match (a, b) {
+        (ConflictKey::Global, _) | (_, ConflictKey::Global) => true,
+        (
+            ConflictKey::Obj {
+                obj: oa,
+                read_only: ra,
+            },
+            ConflictKey::Obj {
+                obj: ob,
+                read_only: rb,
+            },
+        ) => oa == ob && !(ra && rb),
+    }
+}
+
+/// A branching point recorded during one execution.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeRecord {
+    pub enabled: Vec<usize>,
+    pub prev: Option<usize>,
+    /// Preemptions consumed before this node.
+    pub preempt_before: usize,
+    /// Sleep set on entry (bitmask over tids).
+    pub sleep_in: u64,
+    pub chosen: usize,
+}
+
+/// The scheduler's choice, or a reason not to continue.
+pub(crate) enum Choice {
+    Pick(usize),
+    /// Sleep-set or preemption-bound pruning: this execution is redundant.
+    Prune,
+    /// A forced replay choice was not enabled — the model is nondeterministic
+    /// beyond scheduling (e.g. real time or ambient randomness leaked in).
+    Diverged(String),
+}
+
+/// Per-execution choice policy driven by the explorer's forced prefix.
+pub(crate) struct Policy {
+    forced: Vec<ForcedChoice>,
+    /// Index of the next forced node.
+    node_idx: usize,
+    sleep: u64,
+    seed: u64,
+    preemption_bound: usize,
+    preemptions: usize,
+    nodes: Vec<NodeRecord>,
+}
+
+impl Policy {
+    pub(crate) fn new(forced: Vec<ForcedChoice>, seed: u64, preemption_bound: usize) -> Policy {
+        Policy {
+            forced,
+            node_idx: 0,
+            sleep: 0,
+            seed,
+            preemption_bound,
+            preemptions: 0,
+            nodes: Vec::new(),
+        }
+    }
+
+    pub(crate) fn take_nodes(&mut self) -> Vec<NodeRecord> {
+        std::mem::take(&mut self.nodes)
+    }
+
+    /// Pick among `enabled` (non-empty, ascending). `pendings` holds the
+    /// conflict keys of all threads with a pending op (for sleep bookkeeping).
+    pub(crate) fn choose(
+        &mut self,
+        enabled: &[usize],
+        _pendings: &[(usize, ConflictKey)],
+        prev: Option<usize>,
+    ) -> Choice {
+        let is_node = enabled.len() > 1;
+        let candidates: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|&t| self.sleep & bit(t) == 0)
+            .collect();
+
+        let chosen = if is_node && self.node_idx < self.forced.len() {
+            let f = self.forced[self.node_idx];
+            if !enabled.contains(&f.chosen) {
+                return Choice::Diverged(format!(
+                    "replay chose t{} at node {} but enabled set is {:?}",
+                    f.chosen, self.node_idx, enabled
+                ));
+            }
+            // Exhausted siblings sleep in this subtree.
+            self.sleep |= f.tried;
+            self.sleep &= !bit(f.chosen);
+            f.chosen
+        } else {
+            if candidates.is_empty() {
+                return Choice::Prune;
+            }
+            // Default: stay on the previous thread (zero-preemption baseline).
+            if let Some(p) = prev {
+                if candidates.contains(&p) {
+                    p
+                } else if enabled.contains(&p) && self.preemptions >= self.preemption_bound {
+                    // Every candidate would preempt a still-enabled thread.
+                    return Choice::Prune;
+                } else {
+                    candidates
+                        [(mix(self.seed ^ (self.nodes.len() as u64)) as usize) % candidates.len()]
+                }
+            } else {
+                candidates[(mix(self.seed ^ (self.nodes.len() as u64)) as usize) % candidates.len()]
+            }
+        };
+
+        if is_node {
+            self.nodes.push(NodeRecord {
+                enabled: enabled.to_vec(),
+                prev,
+                preempt_before: self.preemptions,
+                sleep_in: self.sleep & !bit(chosen),
+                chosen,
+            });
+            self.node_idx += 1;
+        }
+        if let Some(p) = prev {
+            if chosen != p && enabled.contains(&p) {
+                self.preemptions += 1;
+            }
+        }
+        Choice::Pick(chosen)
+    }
+
+    /// An operation with key `executed` just ran: wake sleeping threads whose
+    /// pending op conflicts with it (their branches are no longer redundant).
+    pub(crate) fn on_op(&mut self, executed: ConflictKey, pendings: &[(usize, ConflictKey)]) {
+        if self.sleep == 0 {
+            return;
+        }
+        for (tid, key) in pendings {
+            if self.sleep & bit(*tid) != 0 && conflicts(*key, executed) {
+                self.sleep &= !bit(*tid);
+            }
+        }
+    }
+}
+
+fn bit(t: usize) -> u64 {
+    1u64 << (t as u32)
+}
+
+/// splitmix64 — cheap deterministic seed scrambling.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+struct StackEntry {
+    rec: NodeRecord,
+    /// Siblings fully explored at this node.
+    tried: u64,
+}
+
+/// Run `model` under every schedule within the bound/budget, stopping at the
+/// first violation. The model must be purely scheduling-dependent (no real
+/// time, no ambient randomness); it runs once per explored execution.
+pub fn explore<F>(opts: Options, model: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    runtime::install_quiet_hook();
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let mut stack: Vec<StackEntry> = Vec::new();
+    let mut report = Report {
+        executions: 0,
+        pruned: 0,
+        complete: false,
+        violation: None,
+        max_depth: 0,
+    };
+    loop {
+        if report.executions >= opts.max_executions {
+            return report;
+        }
+        let forced: Vec<ForcedChoice> = stack
+            .iter()
+            .map(|e| ForcedChoice {
+                chosen: e.rec.chosen,
+                tried: e.tried,
+            })
+            .collect();
+        let mut outcome = run_once(&opts, forced, Arc::clone(&model));
+        report.executions += 1;
+        report.max_depth = report.max_depth.max(outcome.nodes.len());
+        if outcome.pruned {
+            report.pruned += 1;
+        }
+        if let Some(kind) = outcome.violation.take() {
+            report.violation = Some(make_violation(opts.seed, kind, &outcome));
+            return report;
+        }
+        if let Some(msg) = outcome.diverged.take() {
+            // Surface nondeterminism loudly: it invalidates replayability.
+            report.violation = Some(make_violation(
+                opts.seed,
+                ViolationKind::Panic {
+                    tid: 0,
+                    message: format!("nondeterministic model: {msg}"),
+                },
+                &outcome,
+            ));
+            return report;
+        }
+        // Adopt newly discovered nodes below the forced prefix.
+        debug_assert!(outcome.nodes.len() >= stack.len());
+        for rec in outcome.nodes.into_iter().skip(stack.len()) {
+            stack.push(StackEntry { rec, tried: 0 });
+        }
+        // Backtrack: deepest node with an untried, legal sibling.
+        if !next_prefix(&mut stack, &opts) {
+            report.complete = true;
+            return report;
+        }
+    }
+}
+
+/// Re-run a specific schedule (from a violation report). Returns the
+/// violation it reproduces, `Ok(None)` if the schedule runs clean, or an
+/// error if the run diverges from the recorded branch structure.
+pub fn replay<F>(opts: Options, schedule: &Schedule, model: F) -> Result<Option<Violation>, String>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    runtime::install_quiet_hook();
+    let forced: Vec<ForcedChoice> = schedule
+        .0
+        .iter()
+        .map(|&chosen| ForcedChoice { chosen, tried: 0 })
+        .collect();
+    let mut outcome = run_once(&opts, forced, Arc::new(model));
+    if let Some(msg) = outcome.diverged.take() {
+        return Err(msg);
+    }
+    let violation = outcome.violation.take();
+    Ok(violation.map(|kind| make_violation(opts.seed, kind, &outcome)))
+}
+
+fn make_violation(seed: u64, kind: ViolationKind, outcome: &RunOutcome) -> Violation {
+    Violation {
+        kind,
+        seed,
+        schedule: Schedule(outcome.nodes.iter().map(|n| n.chosen).collect()),
+        trace: outcome.trace.clone(),
+    }
+}
+
+fn next_prefix(stack: &mut Vec<StackEntry>, opts: &Options) -> bool {
+    loop {
+        let depth = stack.len();
+        let Some(entry) = stack.last_mut() else {
+            return false;
+        };
+        let exhausted = entry.tried | bit(entry.rec.chosen) | entry.rec.sleep_in;
+        let mut found = None;
+        for i in 0..entry.rec.enabled.len() {
+            // Deterministic seeded rotation of sibling order.
+            let idx = (i + mix(opts.seed ^ (depth as u64)) as usize) % entry.rec.enabled.len();
+            let c = entry.rec.enabled[idx];
+            if exhausted & bit(c) != 0 {
+                continue;
+            }
+            let preempting = entry
+                .rec
+                .prev
+                .is_some_and(|p| p != c && entry.rec.enabled.contains(&p));
+            if preempting && entry.rec.preempt_before >= opts.preemption_bound {
+                continue;
+            }
+            found = Some(c);
+            break;
+        }
+        match found {
+            Some(c) => {
+                entry.tried |= bit(entry.rec.chosen);
+                entry.rec.chosen = c;
+                return true;
+            }
+            None => {
+                stack.pop();
+            }
+        }
+    }
+}
+
+fn run_once(
+    opts: &Options,
+    forced: Vec<ForcedChoice>,
+    model: Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    let exec = ExecOpts {
+        max_steps: opts.max_steps,
+        spurious_wakeups: opts.spurious_wakeups,
+    };
+    let controller = Controller::new(exec, forced, opts.seed, opts.preemption_bound);
+    let ctrl = Arc::clone(&controller);
+    let handle = std::thread::Builder::new()
+        .name(format!(
+            "{}root-{}",
+            runtime::THREAD_NAME_PREFIX,
+            controller.serial
+        ))
+        .spawn(move || {
+            runtime::set_ctx(Arc::clone(&ctrl), 0);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if ctrl.park_start(0).is_err() {
+                    runtime::abort_unwind();
+                }
+                model();
+            }));
+            runtime::clear_ctx();
+            match result {
+                Ok(()) => ctrl.finish(0),
+                Err(payload) => {
+                    if payload.downcast_ref::<runtime::AbortSignal>().is_some() {
+                        ctrl.finish_abort(0);
+                    } else {
+                        ctrl.report_panic(0, runtime::payload_to_string(payload.as_ref()));
+                    }
+                }
+            }
+        });
+    match handle {
+        Ok(h) => {
+            controller.kickoff();
+            let outcome = controller.wait_done();
+            let _ = h.join();
+            outcome
+        }
+        Err(e) => {
+            // Could not even spawn the root thread: report as a panic-style
+            // violation rather than aborting the process.
+            RunOutcome {
+                violation: Some(ViolationKind::Panic {
+                    tid: 0,
+                    message: format!("failed to spawn model root thread: {e}"),
+                }),
+                nodes: Vec::new(),
+                trace: Vec::new(),
+                pruned: false,
+                diverged: None,
+            }
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! `chason-race` — deterministic concurrency checking for the workspace's
+//! hand-rolled synchronization, in the spirit of loom.
+//!
+//! Every sync primitive in this workspace goes through `vendor/crossbeam`
+//! and std wrappers we control, so a pure-std checker can own the schedule:
+//!
+//! 1. **Controllable scheduler** ([`sync`], [`atomic`], [`cell`],
+//!    [`thread`]): instrumented primitives yield to a central controller
+//!    before every visible operation; exactly one thread runs at a time.
+//!    Outside a model execution the same types pass through to plain std.
+//! 2. **Explorer** ([`explore`]): seeded depth-first search over thread
+//!    interleavings with bounded preemption and sleep-set pruning, plus
+//!    deadlock (including lost-wakeup) and spin-loop detection.
+//! 3. **Race detector**: FastTrack-style vector clocks flag unordered
+//!    conflicting accesses to [`cell::RaceCell`]s, honoring the declared
+//!    memory orderings of [`atomic`] operations — a `Relaxed` store
+//!    publishes no happens-before edge, so dropped fences become reported
+//!    races. Violations carry a seed-replayable interleaving trace
+//!    ([`replay`]).
+//!
+//! Model suites for the real hot structures live in `chason-race-models`;
+//! run them via `cargo xtask race`. DESIGN.md §12 documents the scheduler
+//! model and how to write a model.
+
+pub mod atomic;
+pub mod cell;
+mod clock;
+mod explorer;
+mod runtime;
+pub mod sync;
+pub mod thread;
+mod trace;
+
+pub use explorer::{explore, replay, Options, Report};
+pub use trace::{Schedule, Violation, ViolationKind};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::{AtomicUsize, Ordering};
+    use crate::cell::RaceCell;
+    use crate::sync::{Condvar, Mutex};
+    use std::sync::Arc;
+
+    fn opts(seed: u64) -> Options {
+        Options {
+            seed,
+            max_executions: 2000,
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn unsynchronized_writes_race() {
+        let report = explore(opts(1), || {
+            let cell = Arc::new(RaceCell::labeled("shared", 0u32));
+            let c2 = Arc::clone(&cell);
+            let t = thread::spawn(move || c2.set(1));
+            cell.set(2);
+            let _ = t.join();
+        });
+        let v = report.violation.expect("two unordered writes must race");
+        assert!(
+            matches!(v.kind, ViolationKind::DataRace { .. }),
+            "got {:?}",
+            v.kind
+        );
+        assert!(v.trace.iter().any(|l| l.contains("shared")));
+    }
+
+    #[test]
+    fn mutex_protected_writes_are_clean() {
+        let report = explore(opts(2), || {
+            let cell = Arc::new((Mutex::new(()), RaceCell::new(0u32)));
+            let c2 = Arc::clone(&cell);
+            let t = thread::spawn(move || {
+                let _g = c2.0.lock();
+                let v = c2.1.get();
+                c2.1.set(v + 1);
+            });
+            {
+                let _g = cell.0.lock();
+                let v = cell.1.get();
+                cell.1.set(v + 1);
+            }
+            let _ = t.join();
+            assert_eq!(cell.1.get(), 2);
+        });
+        assert!(
+            report.violation.is_none(),
+            "violation: {:?}",
+            report.violation
+        );
+        assert!(report.complete, "small model should be exhaustible");
+        assert!(report.executions > 1, "must actually branch");
+    }
+
+    #[test]
+    fn release_acquire_publication_is_clean_but_relaxed_races() {
+        let run = |store_ord: Ordering, load_ord: Ordering| {
+            explore(opts(3), move || {
+                let shared = Arc::new((RaceCell::labeled("payload", 0u64), AtomicUsize::new(0)));
+                let s2 = Arc::clone(&shared);
+                let t = thread::spawn(move || {
+                    s2.0.set(42);
+                    s2.1.store(1, store_ord);
+                });
+                if shared.1.load(load_ord) == 1 {
+                    assert_eq!(shared.0.get(), 42);
+                }
+                let _ = t.join();
+            })
+        };
+        let clean = run(Ordering::Release, Ordering::Acquire);
+        assert!(
+            clean.violation.is_none(),
+            "rel/acq publication must be clean: {:?}",
+            clean.violation
+        );
+        let racy = run(Ordering::Relaxed, Ordering::Relaxed);
+        let v = racy.violation.expect("relaxed publication must race");
+        assert!(
+            matches!(v.kind, ViolationKind::DataRace { .. }),
+            "got {:?}",
+            v.kind
+        );
+    }
+
+    #[test]
+    fn abba_deadlock_detected() {
+        let report = explore(opts(4), || {
+            let locks = Arc::new((Mutex::labeled("A", ()), Mutex::labeled("B", ())));
+            let l2 = Arc::clone(&locks);
+            let t = thread::spawn(move || {
+                let _a = l2.0.lock();
+                let _b = l2.1.lock();
+            });
+            let _b = locks.1.lock();
+            let _a = locks.0.lock();
+            drop((_a, _b));
+            let _ = t.join();
+        });
+        let v = report
+            .violation
+            .expect("ABBA must deadlock under some schedule");
+        assert!(
+            matches!(v.kind, ViolationKind::Deadlock { .. }),
+            "got {:?}",
+            v.kind
+        );
+    }
+
+    #[test]
+    fn lost_wakeup_detected_as_deadlock() {
+        // Classic bug: the waiter parks without a predicate, so a notify
+        // that fires before the park is lost forever.
+        let report = explore(opts(5), || {
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = thread::spawn(move || p2.1.notify_one());
+            let g = match pair.0.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            let _ = pair.1.wait(g);
+            let _ = t.join();
+        });
+        let v = report.violation.expect("lost wakeup must be found");
+        assert!(
+            matches!(v.kind, ViolationKind::Deadlock { .. }),
+            "got {:?}",
+            v.kind
+        );
+    }
+
+    #[test]
+    fn condvar_with_predicate_loop_is_clean() {
+        let report = explore(opts(6), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                *match p2.0.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                } = true;
+                p2.1.notify_one();
+            });
+            let mut g = match pair.0.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            while !*g {
+                g = match pair.1.wait(g) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+            drop(g);
+            let _ = t.join();
+        });
+        assert!(
+            report.violation.is_none(),
+            "violation: {:?}",
+            report.violation
+        );
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn assertion_failures_become_panic_violations() {
+        let report = explore(opts(7), || {
+            let c = Arc::new(RaceCell::new(0u32));
+            let c2 = Arc::clone(&c);
+            // Write then join: no race, but the value check can fail when
+            // the child observes the parent's write ordering... it cannot —
+            // so instead assert something schedule-dependent via an atomic.
+            let flag = Arc::new(AtomicUsize::new(0));
+            let f2 = Arc::clone(&flag);
+            let t = thread::spawn(move || {
+                f2.store(1, Ordering::Release);
+                c2.set(1);
+            });
+            let _ = t.join();
+            assert_eq!(flag.load(Ordering::Acquire), 2, "seeded failure");
+        });
+        let v = report.violation.expect("assert must surface");
+        match &v.kind {
+            ViolationKind::Panic { message, .. } => assert!(message.contains("seeded failure")),
+            other => panic!("expected Panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exploration_is_deterministic_and_replayable() {
+        let model = || {
+            let cell = Arc::new(RaceCell::labeled("spot", 0u8));
+            let c2 = Arc::clone(&cell);
+            let t = thread::spawn(move || c2.set(1));
+            cell.set(2);
+            let _ = t.join();
+        };
+        let a = explore(opts(9), model);
+        let b = explore(opts(9), model);
+        let (va, vb) = match (a.violation, b.violation) {
+            (Some(va), Some(vb)) => (va, vb),
+            other => panic!("both runs must find the race: {other:?}"),
+        };
+        assert_eq!(a.executions, b.executions, "same seed, same exploration");
+        assert_eq!(va.schedule, vb.schedule);
+        assert_eq!(va.trace, vb.trace);
+
+        let replayed = replay(opts(9), &va.schedule, model)
+            .expect("replay must not diverge")
+            .expect("replay must reproduce the violation");
+        assert_eq!(format!("{:?}", replayed.kind), format!("{:?}", va.kind));
+    }
+
+    #[test]
+    fn primitives_pass_through_outside_executions() {
+        // This test itself is NOT a model: everything delegates to std.
+        let m = Mutex::new(5);
+        {
+            let mut g = m.lock().expect("not poisoned");
+            *g += 1;
+        }
+        assert_eq!(*m.lock().expect("not poisoned"), 6);
+
+        let cv = Condvar::new();
+        let g = m.lock().expect("not poisoned");
+        let (g, r) = cv
+            .wait_timeout(g, std::time::Duration::from_millis(1))
+            .expect("not poisoned");
+        assert!(r.timed_out());
+        drop(g);
+
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+
+        let c = RaceCell::new(7u32);
+        c.set(8);
+        assert_eq!(c.get(), 8);
+
+        let t = thread::spawn(|| 11u8);
+        assert_eq!(t.join().map_err(|_| "panic"), Ok(11));
+    }
+
+    #[test]
+    fn zero_preemption_bound_still_covers_orderings() {
+        // With bound 0 only non-preemptive schedules run, but blocking
+        // reschedules are free: the race between two unsynchronized writers
+        // is still ordered two ways and found.
+        let report = explore(
+            Options {
+                seed: 10,
+                preemption_bound: 0,
+                max_executions: 500,
+                ..Options::default()
+            },
+            || {
+                let cell = Arc::new(RaceCell::new(0u8));
+                let c2 = Arc::clone(&cell);
+                let t = thread::spawn(move || c2.set(1));
+                cell.set(2);
+                let _ = t.join();
+            },
+        );
+        assert!(report.violation.is_some());
+    }
+}

@@ -1,0 +1,1042 @@
+//! The deterministic scheduler: one OS thread runs at a time, every visible
+//! operation yields to a central [`Controller`] that picks who goes next.
+//!
+//! ## Protocol
+//!
+//! Each instrumented primitive calls [`Controller::yield_op`] (or a blocking
+//! variant) *before* performing the operation's data effect. The controller
+//! applies the operation's **bookkeeping** (vector clocks, race checks, trace
+//! line) at grant time, then lets exactly the chosen thread run; the thread
+//! performs the data effect unobserved (it is the only one running) and
+//! continues until its next yield point. Blocking is modeled through
+//! *enabledness*: a pending `LockAcquire` on a held mutex, a parked condvar
+//! waiter that has not been notified, or a `Join` on a live child simply
+//! cannot be chosen.
+//!
+//! ## Abort
+//!
+//! When a violation is found (or the explorer prunes the execution) every
+//! controlled thread must unwind promptly: parked threads wake up, observe
+//! `aborting`, and receive `Err(Aborted)`; the primitive then switches the
+//! thread into *abort-passthrough* mode (all further instrumented calls
+//! degrade to plain std with poison forgiveness, so destructors running
+//! during the unwind cannot double-panic) and raises an [`AbortSignal`]
+//! panic that the thread wrapper catches.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::clock::VectorClock;
+use crate::explorer::{Choice, ConflictKey, ForcedChoice, NodeRecord, Policy};
+use crate::trace::ViolationKind;
+
+/// Densely allocated id for a tracked object (mutex, condvar, atomic, cell).
+pub(crate) type ObjId = usize;
+
+/// Panic payload used to unwind controlled threads when an execution aborts.
+/// The thread wrappers catch it; the quiet panic hook suppresses its output.
+pub(crate) struct AbortSignal;
+
+/// Error returned by controller calls once the execution is aborting.
+pub(crate) struct Aborted;
+
+/// Sanity cap on threads per execution (sleep sets are u64 bitmasks).
+pub(crate) const MAX_THREADS: usize = 64;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ObjectKind {
+    Mutex,
+    Condvar,
+    Atomic,
+    Cell,
+}
+
+impl ObjectKind {
+    fn tag(self) -> &'static str {
+        match self {
+            ObjectKind::Mutex => "mutex",
+            ObjectKind::Condvar => "condvar",
+            ObjectKind::Atomic => "atomic",
+            ObjectKind::Cell => "cell",
+        }
+    }
+}
+
+/// One read or write access to a tracked cell, for two-access race reports.
+#[derive(Clone, Debug)]
+struct Access {
+    tid: usize,
+    /// The accessing thread's own epoch at access time.
+    time: u32,
+    /// Global step number (indexes the trace).
+    step: usize,
+    write: bool,
+}
+
+impl Access {
+    fn describe(&self) -> String {
+        let what = if self.write { "write" } else { "read" };
+        format!("{what} by t{} at step {}", self.tid, self.step)
+    }
+}
+
+struct ObjectState {
+    label: String,
+    /// Mutex: current holder.
+    holder: Option<usize>,
+    /// Mutex: clock of the last release. Atomic: join of all release-stores.
+    clock: VectorClock,
+    /// Condvar: parked waiters in FIFO order.
+    waiters: Vec<usize>,
+    /// Cell: last write, if any.
+    last_write: Option<Access>,
+    /// Cell: reads since the last write (at most one per thread).
+    reads: Vec<Access>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Allocated by `spawn` but the `Spawn` op has not been granted yet.
+    Embryo,
+    Ready,
+    Finished,
+}
+
+/// Why a condvar waiter was granted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WakeReason {
+    Notified,
+    Spurious,
+    TimedOut,
+}
+
+/// Memory-ordering strength relevant to happens-before edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OrdKind {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+}
+
+impl OrdKind {
+    pub(crate) fn of(ord: std::sync::atomic::Ordering) -> OrdKind {
+        use std::sync::atomic::Ordering::*;
+        match ord {
+            Relaxed => OrdKind::Relaxed,
+            Acquire => OrdKind::Acquire,
+            Release => OrdKind::Release,
+            // SeqCst is at least AcqRel; modeling it as AcqRel is sound for
+            // race detection (we never rely on the total SC order).
+            AcqRel | SeqCst => OrdKind::AcqRel,
+            _ => OrdKind::AcqRel,
+        }
+    }
+
+    fn acquires(self) -> bool {
+        matches!(self, OrdKind::Acquire | OrdKind::AcqRel)
+    }
+
+    fn releases(self) -> bool {
+        matches!(self, OrdKind::Release | OrdKind::AcqRel)
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            OrdKind::Relaxed => "Relaxed",
+            OrdKind::Acquire => "Acquire",
+            OrdKind::Release => "Release",
+            OrdKind::AcqRel => "AcqRel+",
+        }
+    }
+}
+
+/// A visible operation a thread is about to perform.
+#[derive(Clone, Debug)]
+pub(crate) enum OpKind {
+    LockAcquire { obj: ObjId },
+    Spawn { child: usize },
+    Join { child: usize },
+    CondNotifyOne { obj: ObjId },
+    CondNotifyAll { obj: ObjId },
+    AtomicLoad { obj: ObjId, ord: OrdKind },
+    AtomicStore { obj: ObjId, ord: OrdKind },
+    AtomicRmw { obj: ObjId, ord: OrdKind },
+    CellRead { obj: ObjId },
+    CellWrite { obj: ObjId },
+}
+
+/// What a non-running thread is waiting to do.
+enum PendingOp {
+    /// First slice of a freshly spawned thread (always enabled).
+    Start,
+    Op(OpKind),
+    CondParked {
+        cv: ObjId,
+        lock: ObjId,
+        can_timeout: bool,
+        notified: bool,
+    },
+}
+
+struct ThreadState {
+    status: Status,
+    pending: Option<PendingOp>,
+    clock: VectorClock,
+    /// Set at grant for a parked waiter; consumed by `cond_wait`.
+    wake: Option<WakeReason>,
+}
+
+/// Grant stage: normal choice, or the deadlock-rescue stage that fires
+/// `wait_timeout` waiters only when nothing else can run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Main,
+    TimeoutRescue,
+}
+
+/// Per-execution knobs (a subset of `Options`, resolved by the explorer).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ExecOpts {
+    pub max_steps: usize,
+    pub spurious_wakeups: usize,
+}
+
+/// Everything the explorer needs back from one execution.
+pub(crate) struct RunOutcome {
+    pub violation: Option<ViolationKind>,
+    pub nodes: Vec<NodeRecord>,
+    pub trace: Vec<String>,
+    pub pruned: bool,
+    pub diverged: Option<String>,
+}
+
+struct SchedState {
+    threads: Vec<ThreadState>,
+    objects: Vec<ObjectState>,
+    running: Option<usize>,
+    prev_running: Option<usize>,
+    policy: Policy,
+    trace: Vec<String>,
+    steps: usize,
+    violation: Option<ViolationKind>,
+    aborting: bool,
+    done: bool,
+    pruned: bool,
+    diverged: Option<String>,
+    spurious_left: usize,
+    opts: ExecOpts,
+}
+
+/// The per-execution scheduler. One lives for exactly one execution; the
+/// `serial` distinguishes executions so lazily registered objects re-register.
+pub(crate) struct Controller {
+    pub(crate) serial: u64,
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+}
+
+/// Monotonic execution serial (process-wide; collisions are impossible).
+static NEXT_SERIAL: AtomicU64 = AtomicU64::new(1);
+
+// ---------------------------------------------------------------------------
+// Thread-local context: which controller (if any) owns the current thread.
+// ---------------------------------------------------------------------------
+
+enum TlsState {
+    /// Not a model thread: primitives pass through to plain std.
+    Free,
+    /// Model thread `tid` controlled by this controller.
+    Controlled(Arc<Controller>, usize),
+    /// Model thread unwinding after an abort: primitives pass through to std
+    /// with poison forgiveness so destructors cannot double-panic.
+    AbortPassthrough,
+}
+
+thread_local! {
+    static CTX: RefCell<TlsState> = const { RefCell::new(TlsState::Free) };
+}
+
+/// The controller/tid pair for the current thread, if it is a live model
+/// thread.
+pub(crate) fn current_ctx() -> Option<(Arc<Controller>, usize)> {
+    CTX.with(|c| match &*c.borrow() {
+        TlsState::Controlled(ctrl, tid) => Some((Arc::clone(ctrl), *tid)),
+        _ => None,
+    })
+}
+
+/// True while the current thread is unwinding from an execution abort.
+pub(crate) fn in_abort_passthrough() -> bool {
+    CTX.with(|c| matches!(&*c.borrow(), TlsState::AbortPassthrough))
+}
+
+pub(crate) fn set_ctx(ctrl: Arc<Controller>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = TlsState::Controlled(ctrl, tid));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = TlsState::Free);
+}
+
+/// Switch to abort-passthrough and unwind. Called by primitives when the
+/// controller reports the execution is aborting.
+pub(crate) fn abort_unwind() -> ! {
+    CTX.with(|c| *c.borrow_mut() = TlsState::AbortPassthrough);
+    std::panic::panic_any(AbortSignal)
+}
+
+/// Lock a mutex ignoring poison: used for checker-internal storage, where a
+/// poisoned lock only means some model thread unwound while holding it.
+pub(crate) fn lenient_lock<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quiet panic hook: suppress output from model threads (their panics are
+// reported as violations) without touching panics anywhere else.
+// ---------------------------------------------------------------------------
+
+/// Name prefix given to every OS thread the checker spawns.
+pub(crate) const THREAD_NAME_PREFIX: &str = "chason-race-";
+
+static HOOK_ONCE: std::sync::Once = std::sync::Once::new();
+
+pub(crate) fn install_quiet_hook() {
+    HOOK_ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let suppress = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(THREAD_NAME_PREFIX));
+            if !suppress {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Render a panic payload for violation reports.
+pub(crate) fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+impl Controller {
+    pub(crate) fn new(
+        opts: ExecOpts,
+        forced: Vec<ForcedChoice>,
+        seed: u64,
+        preemption_bound: usize,
+    ) -> Arc<Self> {
+        let t0 = ThreadState {
+            status: Status::Ready,
+            pending: Some(PendingOp::Start),
+            clock: {
+                let mut c = VectorClock::new();
+                c.bump(0);
+                c
+            },
+            wake: None,
+        };
+        Arc::new(Controller {
+            // relaxed: a unique-id counter; no data is published through it
+            serial: NEXT_SERIAL.fetch_add(1, StdOrdering::Relaxed),
+            state: StdMutex::new(SchedState {
+                threads: vec![t0],
+                objects: Vec::new(),
+                running: None,
+                prev_running: None,
+                policy: Policy::new(forced, seed, preemption_bound),
+                trace: Vec::new(),
+                steps: 0,
+                violation: None,
+                aborting: false,
+                done: false,
+                pruned: false,
+                diverged: None,
+                spurious_left: opts.spurious_wakeups,
+                opts,
+            }),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    fn guard(&self) -> StdMutexGuard<'_, SchedState> {
+        lenient_lock(&self.state)
+    }
+
+    fn wait<'a>(&self, g: StdMutexGuard<'a, SchedState>) -> StdMutexGuard<'a, SchedState> {
+        match self.cv.wait(g) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Register a tracked object, returning its dense id for this execution.
+    pub(crate) fn register_object(&self, kind: ObjectKind, label: Option<&str>) -> ObjId {
+        let mut st = self.guard();
+        let id = st.objects.len();
+        let label = match label {
+            Some(l) => format!("{}#{id} \"{l}\"", kind.tag()),
+            None => format!("{}#{id}", kind.tag()),
+        };
+        st.objects.push(ObjectState {
+            label,
+            holder: None,
+            clock: VectorClock::new(),
+            waiters: Vec::new(),
+            last_write: None,
+            reads: Vec::new(),
+        });
+        id
+    }
+
+    /// Start scheduling: called once after the root thread is spawned.
+    pub(crate) fn kickoff(&self) {
+        let mut st = self.guard();
+        if st.running.is_none() && !st.done && !st.aborting {
+            Self::advance(&mut st);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Announce a visible op and park until granted. On `Ok` the op's
+    /// bookkeeping has been applied and the thread owns the schedule slice.
+    pub(crate) fn yield_op(&self, tid: usize, op: OpKind) -> Result<(), Aborted> {
+        let mut st = self.guard();
+        if st.aborting {
+            return Err(Aborted);
+        }
+        st.threads[tid].pending = Some(PendingOp::Op(op));
+        st.running = None;
+        Self::advance(&mut st);
+        self.cv.notify_all();
+        loop {
+            if st.aborting {
+                return Err(Aborted);
+            }
+            if st.running == Some(tid) {
+                return Ok(());
+            }
+            st = self.wait(st);
+        }
+    }
+
+    /// Park a freshly spawned thread until its first grant.
+    pub(crate) fn park_start(&self, tid: usize) -> Result<(), Aborted> {
+        let mut st = self.guard();
+        loop {
+            if st.aborting {
+                return Err(Aborted);
+            }
+            if st.running == Some(tid) {
+                return Ok(());
+            }
+            st = self.wait(st);
+        }
+    }
+
+    /// Allocate a child thread id; the parent's `Spawn` op is granted before
+    /// this returns, so the caller can then really spawn the OS thread.
+    pub(crate) fn spawn_child(&self, parent: usize) -> Result<usize, Aborted> {
+        let child = {
+            let mut st = self.guard();
+            if st.aborting {
+                return Err(Aborted);
+            }
+            assert!(
+                st.threads.len() < MAX_THREADS,
+                "model exceeds {MAX_THREADS} threads"
+            );
+            let child = st.threads.len();
+            st.threads.push(ThreadState {
+                status: Status::Embryo,
+                pending: Some(PendingOp::Start),
+                clock: VectorClock::new(),
+                wake: None,
+            });
+            child
+        };
+        self.yield_op(parent, OpKind::Spawn { child })?;
+        Ok(child)
+    }
+
+    /// Release a mutex: pure bookkeeping, never a choice point. The next
+    /// yield of the releasing thread exposes the new enabledness.
+    pub(crate) fn lock_release(&self, tid: usize, obj: ObjId) {
+        let mut st = self.guard();
+        if st.aborting {
+            return;
+        }
+        Self::do_release(&mut st, tid, obj);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Park on a condvar (the associated mutex must already be released by
+    /// the caller, std guard dropped). Returns the wake reason; on return the
+    /// thread has been granted the mutex again (bookkeeping-wise).
+    pub(crate) fn cond_wait(
+        &self,
+        tid: usize,
+        cv: ObjId,
+        lock: ObjId,
+        can_timeout: bool,
+    ) -> Result<WakeReason, Aborted> {
+        let mut st = self.guard();
+        if st.aborting {
+            return Err(Aborted);
+        }
+        Self::do_release(&mut st, tid, lock);
+        st.objects[cv].waiters.push(tid);
+        st.threads[tid].pending = Some(PendingOp::CondParked {
+            cv,
+            lock,
+            can_timeout,
+            notified: false,
+        });
+        st.running = None;
+        Self::advance(&mut st);
+        self.cv.notify_all();
+        loop {
+            if st.aborting {
+                return Err(Aborted);
+            }
+            if st.running == Some(tid) {
+                let reason = st.threads[tid].wake.take().unwrap_or(WakeReason::Spurious);
+                return Ok(reason);
+            }
+            st = self.wait(st);
+        }
+    }
+
+    /// Normal completion of a model thread.
+    pub(crate) fn finish(&self, tid: usize) {
+        let mut st = self.guard();
+        if !st.aborting {
+            let step = st.steps;
+            st.trace.push(render(step, tid, "exit"));
+        }
+        st.threads[tid].status = Status::Finished;
+        if st.aborting {
+            Self::check_abort_done(&mut st);
+        } else {
+            st.running = None;
+            Self::advance(&mut st);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Completion of a model thread that unwound from an `AbortSignal`.
+    pub(crate) fn finish_abort(&self, tid: usize) {
+        let mut st = self.guard();
+        st.threads[tid].status = Status::Finished;
+        Self::check_abort_done(&mut st);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// A model thread panicked for real: record the violation and abort.
+    pub(crate) fn report_panic(&self, tid: usize, message: String) {
+        let mut st = self.guard();
+        if !st.aborting && st.violation.is_none() {
+            let step = st.steps;
+            st.trace
+                .push(render(step, tid, &format!("panic: {message}")));
+            st.violation = Some(ViolationKind::Panic { tid, message });
+            Self::start_abort(&mut st);
+        }
+        st.threads[tid].status = Status::Finished;
+        Self::check_abort_done(&mut st);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Block until the execution completes, then hand back the outcome.
+    pub(crate) fn wait_done(&self) -> RunOutcome {
+        let mut st = self.guard();
+        while !st.done {
+            st = self.wait(st);
+        }
+        RunOutcome {
+            violation: st.violation.take(),
+            nodes: st.policy.take_nodes(),
+            trace: std::mem::take(&mut st.trace),
+            pruned: st.pruned,
+            diverged: st.diverged.take(),
+        }
+    }
+
+    // -- internal ----------------------------------------------------------
+
+    fn do_release(st: &mut SchedState, tid: usize, obj: ObjId) {
+        debug_assert_eq!(st.objects[obj].holder, Some(tid), "release by non-holder");
+        st.objects[obj].holder = None;
+        let thread_clock = st.threads[tid].clock.clone();
+        st.objects[obj].clock = thread_clock;
+        st.threads[tid].clock.bump(tid);
+        st.steps += 1;
+        let (step, label) = (st.steps, st.objects[obj].label.clone());
+        st.trace
+            .push(render(step, tid, &format!("release {label}")));
+        let pendings = Self::pending_keys(st);
+        st.policy.on_op(
+            ConflictKey::Obj {
+                obj,
+                read_only: false,
+            },
+            &pendings,
+        );
+    }
+
+    fn check_abort_done(st: &mut SchedState) {
+        if st.threads.iter().all(|t| t.status == Status::Finished) {
+            st.done = true;
+        }
+    }
+
+    fn start_abort(st: &mut SchedState) {
+        st.aborting = true;
+        st.running = None;
+        // Embryo threads have no OS thread yet (their Spawn op was never
+        // granted, so the parent is unwinding instead of spawning them).
+        for t in st.threads.iter_mut() {
+            if t.status == Status::Embryo {
+                t.status = Status::Finished;
+            }
+        }
+        Self::check_abort_done(st);
+    }
+
+    fn pending_keys(st: &SchedState) -> Vec<(usize, ConflictKey)> {
+        let mut out = Vec::new();
+        for (tid, t) in st.threads.iter().enumerate() {
+            if t.status == Status::Finished {
+                continue;
+            }
+            let Some(p) = &t.pending else { continue };
+            let key = match p {
+                PendingOp::Start => ConflictKey::Global,
+                PendingOp::CondParked { .. } => ConflictKey::Global,
+                PendingOp::Op(op) => match op {
+                    OpKind::LockAcquire { obj } => ConflictKey::Obj {
+                        obj: *obj,
+                        read_only: false,
+                    },
+                    OpKind::AtomicLoad { obj, .. } => ConflictKey::Obj {
+                        obj: *obj,
+                        read_only: true,
+                    },
+                    OpKind::AtomicStore { obj, .. } | OpKind::AtomicRmw { obj, .. } => {
+                        ConflictKey::Obj {
+                            obj: *obj,
+                            read_only: false,
+                        }
+                    }
+                    OpKind::CellRead { obj } => ConflictKey::Obj {
+                        obj: *obj,
+                        read_only: true,
+                    },
+                    OpKind::CellWrite { obj } => ConflictKey::Obj {
+                        obj: *obj,
+                        read_only: false,
+                    },
+                    OpKind::Spawn { .. } | OpKind::Join { .. } => ConflictKey::Global,
+                    OpKind::CondNotifyOne { .. } | OpKind::CondNotifyAll { .. } => {
+                        ConflictKey::Global
+                    }
+                },
+            };
+            out.push((tid, key));
+        }
+        out
+    }
+
+    fn enabled_set(st: &SchedState, stage: Stage) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (tid, t) in st.threads.iter().enumerate() {
+            if t.status != Status::Ready {
+                continue;
+            }
+            let Some(p) = &t.pending else { continue };
+            let enabled = match (stage, p) {
+                (Stage::Main, PendingOp::Start) => true,
+                (Stage::Main, PendingOp::Op(op)) => match op {
+                    OpKind::LockAcquire { obj } => st.objects[*obj].holder.is_none(),
+                    OpKind::Join { child } => st.threads[*child].status == Status::Finished,
+                    _ => true,
+                },
+                (Stage::Main, PendingOp::CondParked { lock, notified, .. }) => {
+                    (*notified || st.spurious_left > 0) && st.objects[*lock].holder.is_none()
+                }
+                (
+                    Stage::TimeoutRescue,
+                    PendingOp::CondParked {
+                        lock,
+                        notified,
+                        can_timeout,
+                        ..
+                    },
+                ) => *can_timeout && !*notified && st.objects[*lock].holder.is_none(),
+                (Stage::TimeoutRescue, _) => false,
+            };
+            if enabled {
+                out.push(tid);
+            }
+        }
+        out
+    }
+
+    /// Pick and grant the next thread. Called with `running == None`.
+    fn advance(st: &mut SchedState) {
+        if st.aborting || st.done {
+            return;
+        }
+        if st.threads.iter().all(|t| t.status == Status::Finished) {
+            st.done = true;
+            return;
+        }
+        let mut stage = Stage::Main;
+        let mut enabled = Self::enabled_set(st, stage);
+        if enabled.is_empty() {
+            stage = Stage::TimeoutRescue;
+            enabled = Self::enabled_set(st, stage);
+        }
+        if enabled.is_empty() {
+            let waiting: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(tid, t)| format!("t{tid} {}", describe_stuck(st, t)))
+                .collect();
+            st.violation = Some(ViolationKind::Deadlock { waiting });
+            Self::start_abort(st);
+            return;
+        }
+        let pendings = Self::pending_keys(st);
+        let chosen = match st.policy.choose(&enabled, &pendings, st.prev_running) {
+            Choice::Pick(c) => c,
+            Choice::Prune => {
+                st.pruned = true;
+                Self::start_abort(st);
+                return;
+            }
+            Choice::Diverged(msg) => {
+                st.diverged = Some(msg);
+                Self::start_abort(st);
+                return;
+            }
+        };
+        Self::apply_op(st, chosen, stage);
+        if st.aborting || st.done {
+            return;
+        }
+        st.prev_running = Some(chosen);
+        st.running = Some(chosen);
+    }
+
+    /// Apply the chosen thread's pending op: clocks, race checks, trace.
+    fn apply_op(st: &mut SchedState, tid: usize, stage: Stage) {
+        st.steps += 1;
+        if st.steps > st.opts.max_steps {
+            st.violation = Some(ViolationKind::StepLimit {
+                limit: st.opts.max_steps,
+            });
+            Self::start_abort(st);
+            return;
+        }
+        let step = st.steps;
+        let Some(pending) = st.threads[tid].pending.take() else {
+            debug_assert!(false, "granted thread has no pending op");
+            return;
+        };
+        let mut executed_key = ConflictKey::Global;
+        match pending {
+            PendingOp::Start => {
+                st.trace.push(render(step, tid, "start"));
+            }
+            PendingOp::CondParked {
+                cv, lock, notified, ..
+            } => {
+                let reason = if notified {
+                    WakeReason::Notified
+                } else if stage == Stage::TimeoutRescue {
+                    WakeReason::TimedOut
+                } else {
+                    st.spurious_left = st.spurious_left.saturating_sub(1);
+                    WakeReason::Spurious
+                };
+                st.objects[cv].waiters.retain(|&w| w != tid);
+                st.objects[lock].holder = Some(tid);
+                let lock_clock = st.objects[lock].clock.clone();
+                st.threads[tid].clock.join(&lock_clock);
+                st.threads[tid].wake = Some(reason);
+                let (cv_label, lock_label) =
+                    (st.objects[cv].label.clone(), st.objects[lock].label.clone());
+                let how = match reason {
+                    WakeReason::Notified => "notified",
+                    WakeReason::Spurious => "spurious wake",
+                    WakeReason::TimedOut => "timed out",
+                };
+                st.trace.push(render(
+                    step,
+                    tid,
+                    &format!("wake ({how}) on {cv_label}, reacquire {lock_label}"),
+                ));
+            }
+            PendingOp::Op(op) => match op {
+                OpKind::LockAcquire { obj } => {
+                    debug_assert!(st.objects[obj].holder.is_none());
+                    st.objects[obj].holder = Some(tid);
+                    let lock_clock = st.objects[obj].clock.clone();
+                    st.threads[tid].clock.join(&lock_clock);
+                    let label = st.objects[obj].label.clone();
+                    st.trace
+                        .push(render(step, tid, &format!("acquire {label}")));
+                    executed_key = ConflictKey::Obj {
+                        obj,
+                        read_only: false,
+                    };
+                }
+                OpKind::Spawn { child } => {
+                    st.threads[child].status = Status::Ready;
+                    let mut child_clock = st.threads[tid].clock.clone();
+                    child_clock.bump(child);
+                    st.threads[child].clock = child_clock;
+                    st.threads[tid].clock.bump(tid);
+                    st.trace.push(render(step, tid, &format!("spawn t{child}")));
+                }
+                OpKind::Join { child } => {
+                    debug_assert_eq!(st.threads[child].status, Status::Finished);
+                    let child_clock = st.threads[child].clock.clone();
+                    st.threads[tid].clock.join(&child_clock);
+                    st.trace.push(render(step, tid, &format!("join t{child}")));
+                }
+                OpKind::CondNotifyOne { obj } => {
+                    let target = st.objects[obj].waiters.iter().copied().find(|&w| {
+                        matches!(
+                            st.threads[w].pending,
+                            Some(PendingOp::CondParked {
+                                notified: false,
+                                ..
+                            })
+                        )
+                    });
+                    if let Some(w) = target {
+                        if let Some(PendingOp::CondParked { notified, .. }) =
+                            &mut st.threads[w].pending
+                        {
+                            *notified = true;
+                        }
+                    }
+                    let label = st.objects[obj].label.clone();
+                    let who = target.map_or("no waiter".to_string(), |w| format!("t{w}"));
+                    st.trace
+                        .push(render(step, tid, &format!("notify_one {label} -> {who}")));
+                }
+                OpKind::CondNotifyAll { obj } => {
+                    let waiters = st.objects[obj].waiters.clone();
+                    for w in &waiters {
+                        if let Some(PendingOp::CondParked { notified, .. }) =
+                            &mut st.threads[*w].pending
+                        {
+                            *notified = true;
+                        }
+                    }
+                    let label = st.objects[obj].label.clone();
+                    st.trace.push(render(
+                        step,
+                        tid,
+                        &format!("notify_all {label} ({} waiter(s))", waiters.len()),
+                    ));
+                }
+                OpKind::AtomicLoad { obj, ord } => {
+                    if ord.acquires() {
+                        let obj_clock = st.objects[obj].clock.clone();
+                        st.threads[tid].clock.join(&obj_clock);
+                    }
+                    let label = st.objects[obj].label.clone();
+                    st.trace
+                        .push(render(step, tid, &format!("load({}) {label}", ord.name())));
+                    executed_key = ConflictKey::Obj {
+                        obj,
+                        read_only: true,
+                    };
+                }
+                OpKind::AtomicStore { obj, ord } | OpKind::AtomicRmw { obj, ord } => {
+                    let rmw = matches!(op, OpKind::AtomicRmw { .. });
+                    if rmw && ord.acquires() {
+                        let obj_clock = st.objects[obj].clock.clone();
+                        st.threads[tid].clock.join(&obj_clock);
+                    }
+                    if ord.releases() {
+                        let thread_clock = st.threads[tid].clock.clone();
+                        st.objects[obj].clock.join(&thread_clock);
+                        st.threads[tid].clock.bump(tid);
+                    }
+                    let label = st.objects[obj].label.clone();
+                    let what = if rmw { "rmw" } else { "store" };
+                    st.trace.push(render(
+                        step,
+                        tid,
+                        &format!("{what}({}) {label}", ord.name()),
+                    ));
+                    executed_key = ConflictKey::Obj {
+                        obj,
+                        read_only: false,
+                    };
+                }
+                OpKind::CellRead { obj } => {
+                    Self::cell_access(st, tid, obj, false, step);
+                    if st.aborting {
+                        return;
+                    }
+                    executed_key = ConflictKey::Obj {
+                        obj,
+                        read_only: true,
+                    };
+                }
+                OpKind::CellWrite { obj } => {
+                    Self::cell_access(st, tid, obj, true, step);
+                    if st.aborting {
+                        return;
+                    }
+                    executed_key = ConflictKey::Obj {
+                        obj,
+                        read_only: false,
+                    };
+                }
+            },
+        }
+        let pendings = Self::pending_keys(st);
+        st.policy.on_op(executed_key, &pendings);
+    }
+
+    /// FastTrack-style epoch check for an unsynchronized shared cell.
+    fn cell_access(st: &mut SchedState, tid: usize, obj: ObjId, write: bool, step: usize) {
+        let me = Access {
+            tid,
+            time: st.threads[tid].clock.get(tid),
+            step,
+            write,
+        };
+        let label = st.objects[obj].label.clone();
+        let what = if write { "write" } else { "read" };
+        st.trace.push(render(step, tid, &format!("{what} {label}")));
+
+        let clock = st.threads[tid].clock.clone();
+        let mut racy: Option<Access> = None;
+        if let Some(w) = &st.objects[obj].last_write {
+            if w.tid != tid && !clock.observed(w.tid, w.time) {
+                racy = Some(w.clone());
+            }
+        }
+        if write && racy.is_none() {
+            for r in &st.objects[obj].reads {
+                if r.tid != tid && !clock.observed(r.tid, r.time) {
+                    racy = Some(r.clone());
+                    break;
+                }
+            }
+        }
+        if let Some(prior) = racy {
+            st.violation = Some(ViolationKind::DataRace {
+                object: label,
+                first: prior.describe(),
+                second: me.describe(),
+            });
+            Self::start_abort(st);
+            return;
+        }
+        if write {
+            st.objects[obj].last_write = Some(me);
+            st.objects[obj].reads.clear();
+        } else {
+            st.objects[obj].reads.retain(|r| r.tid != tid);
+            st.objects[obj].reads.push(me);
+        }
+    }
+}
+
+/// Lazily registers an object with the controller of the current execution.
+/// Objects created outside any execution (e.g. in statics) re-register per
+/// execution; the serial check makes stale registrations invisible.
+pub(crate) struct LazyReg {
+    slot: StdMutex<LazySlot>,
+}
+
+struct LazySlot {
+    label: Option<&'static str>,
+    reg: Option<(u64, ObjId)>,
+}
+
+impl LazyReg {
+    pub(crate) const fn new() -> LazyReg {
+        LazyReg {
+            slot: StdMutex::new(LazySlot {
+                label: None,
+                reg: None,
+            }),
+        }
+    }
+
+    pub(crate) const fn labeled(label: &'static str) -> LazyReg {
+        LazyReg {
+            slot: StdMutex::new(LazySlot {
+                label: Some(label),
+                reg: None,
+            }),
+        }
+    }
+
+    pub(crate) fn ensure(&self, ctrl: &Controller, kind: ObjectKind) -> ObjId {
+        let mut s = lenient_lock(&self.slot);
+        match s.reg {
+            Some((serial, id)) if serial == ctrl.serial => id,
+            _ => {
+                let id = ctrl.register_object(kind, s.label);
+                s.reg = Some((ctrl.serial, id));
+                id
+            }
+        }
+    }
+}
+
+fn describe_stuck(st: &SchedState, t: &ThreadState) -> String {
+    match &t.pending {
+        Some(PendingOp::Start) => "not yet started".to_string(),
+        Some(PendingOp::CondParked {
+            cv, can_timeout, ..
+        }) => {
+            let tag = if *can_timeout { " (with timeout)" } else { "" };
+            format!("waiting on {}{tag}", st.objects[*cv].label)
+        }
+        Some(PendingOp::Op(OpKind::LockAcquire { obj })) => {
+            format!("waiting to acquire {}", st.objects[*obj].label)
+        }
+        Some(PendingOp::Op(OpKind::Join { child })) => format!("joining t{child}"),
+        Some(PendingOp::Op(_)) => "pending op".to_string(),
+        None => "running".to_string(),
+    }
+}
+
+fn render(step: usize, tid: usize, desc: &str) -> String {
+    format!("{step:>4}  t{tid}  {desc}")
+}

@@ -1,0 +1,332 @@
+//! Instrumented `Mutex`/`Condvar` with std-shaped APIs.
+//!
+//! On a thread owned by an active model execution, every acquire, release,
+//! wait, and notify yields to the scheduler; outside one they delegate to
+//! plain `std::sync`, so code written against these types behaves
+//! identically in normal builds and binaries.
+//!
+//! One deliberate deviation: under the checker, lock poisoning is forgiven
+//! (a model panic aborts the whole execution anyway, and a poisoned std
+//! mutex must not leak into the next execution). Passthrough mode keeps
+//! std's poisoning semantics exactly.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{
+    Arc, Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard,
+    PoisonError,
+};
+use std::time::Duration;
+
+use crate::runtime::{self, Controller, LazyReg, ObjId, ObjectKind, OpKind, WakeReason};
+
+/// A mutual-exclusion lock with the shape of [`std::sync::Mutex`], visible
+/// to the model checker.
+pub struct Mutex<T> {
+    reg: LazyReg,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create an unlocked mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            reg: LazyReg::new(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Create an unlocked mutex whose name appears in traces.
+    pub const fn labeled(label: &'static str, value: T) -> Mutex<T> {
+        Mutex {
+            reg: LazyReg::labeled(label),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking (in model time or real time) until free.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match runtime::current_ctx() {
+            Some((ctrl, tid)) => {
+                let obj = self.reg.ensure(&ctrl, ObjectKind::Mutex);
+                if ctrl.yield_op(tid, OpKind::LockAcquire { obj }).is_err() {
+                    runtime::abort_unwind();
+                }
+                // Granted: the scheduler guarantees no live holder, so this
+                // std lock can only block momentarily (a guard mid-drop).
+                let g = runtime::lenient_lock(&self.inner);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    ctl: Some((ctrl, tid, obj)),
+                })
+            }
+            None if runtime::in_abort_passthrough() => {
+                let g = runtime::lenient_lock(&self.inner);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    ctl: None,
+                })
+            }
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    ctl: None,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(poisoned.into_inner()),
+                    ctl: None,
+                })),
+            },
+        }
+    }
+
+    /// Consume the mutex, returning the inner value (poison forgiven).
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing it is a scheduler-visible event.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    ctl: Option<(Arc<Controller>, usize, ObjId)>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            // Invariant: `inner` is Some from construction until drop/wait.
+            None => unreachable!("MutexGuard used after teardown"),
+        }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("MutexGuard used after teardown"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first; only then tell the scheduler. No
+        // other model thread can observe the window (exactly one runs).
+        drop(self.inner.take());
+        if let Some((ctrl, tid, obj)) = self.ctl.take() {
+            ctrl.lock_release(tid, obj);
+        }
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`]. Mirrors
+/// [`std::sync::WaitTimeoutResult`], which cannot be constructed outside
+/// std — hence this type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable with the shape of [`std::sync::Condvar`], visible to
+/// the model checker.
+///
+/// Under the checker, a `wait_timeout` waiter "times out" only as deadlock
+/// rescue — when no other thread can run. Model code should therefore pass
+/// generous timeouts (the duration's real value is irrelevant in model time)
+/// and rely on its own predicate re-checks, exactly like production code.
+pub struct Condvar {
+    reg: LazyReg,
+    inner: StdCondvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            reg: LazyReg::new(),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Create a condition variable whose name appears in traces.
+    pub const fn labeled(label: &'static str) -> Condvar {
+        Condvar {
+            reg: LazyReg::labeled(label),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Block until notified (or woken spuriously), releasing the guard while
+    /// parked and reacquiring before returning.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.ctl.take() {
+            Some((ctrl, tid, lock_obj)) => {
+                let (g, _reason) = self.controlled_wait(guard, ctrl, tid, lock_obj, false);
+                Ok(g)
+            }
+            None => {
+                let lock_ref = guard.lock;
+                let std_g = take_std_guard(&mut guard);
+                drop(guard); // defused: both options are None
+                match self.inner.wait(std_g) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock: lock_ref,
+                        inner: Some(g),
+                        ctl: None,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        lock: lock_ref,
+                        inner: Some(poisoned.into_inner()),
+                        ctl: None,
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Like [`Condvar::wait`] but also wakes once `dur` elapses (in model
+    /// time: only when nothing else can make progress).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match guard.ctl.take() {
+            Some((ctrl, tid, lock_obj)) => {
+                let (g, reason) = self.controlled_wait(guard, ctrl, tid, lock_obj, true);
+                Ok((
+                    g,
+                    WaitTimeoutResult {
+                        timed_out: reason == WakeReason::TimedOut,
+                    },
+                ))
+            }
+            None => {
+                let lock_ref = guard.lock;
+                let std_g = take_std_guard(&mut guard);
+                drop(guard);
+                match self.inner.wait_timeout(std_g, dur) {
+                    Ok((g, r)) => Ok((
+                        MutexGuard {
+                            lock: lock_ref,
+                            inner: Some(g),
+                            ctl: None,
+                        },
+                        WaitTimeoutResult {
+                            timed_out: r.timed_out(),
+                        },
+                    )),
+                    Err(poisoned) => {
+                        let (g, r) = poisoned.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                lock: lock_ref,
+                                inner: Some(g),
+                                ctl: None,
+                            },
+                            WaitTimeoutResult {
+                                timed_out: r.timed_out(),
+                            },
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wake one parked waiter (the longest-parked one, under the checker).
+    pub fn notify_one(&self) {
+        if let Some((ctrl, tid)) = runtime::current_ctx() {
+            let obj = self.reg.ensure(&ctrl, ObjectKind::Condvar);
+            if ctrl.yield_op(tid, OpKind::CondNotifyOne { obj }).is_err() {
+                runtime::abort_unwind();
+            }
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wake every parked waiter.
+    pub fn notify_all(&self) {
+        if let Some((ctrl, tid)) = runtime::current_ctx() {
+            let obj = self.reg.ensure(&ctrl, ObjectKind::Condvar);
+            if ctrl.yield_op(tid, OpKind::CondNotifyAll { obj }).is_err() {
+                runtime::abort_unwind();
+            }
+        }
+        self.inner.notify_all();
+    }
+
+    /// Park under the scheduler. `guard.ctl` must already be taken by the
+    /// caller (passed as `ctrl`/`tid`/`lock_obj`).
+    fn controlled_wait<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        ctrl: Arc<Controller>,
+        tid: usize,
+        lock_obj: ObjId,
+        can_timeout: bool,
+    ) -> (MutexGuard<'a, T>, WakeReason) {
+        let cv_obj = self.reg.ensure(&ctrl, ObjectKind::Condvar);
+        let lock_ref = guard.lock;
+        // Drop the real std lock BEFORE parking in the controller: a thread
+        // the scheduler runs meanwhile may need it, and it must never block
+        // on a lock held by a parked thread.
+        drop(guard.inner.take());
+        drop(guard);
+        match ctrl.cond_wait(tid, cv_obj, lock_obj, can_timeout) {
+            Err(_) => runtime::abort_unwind(),
+            Ok(reason) => {
+                // The grant already reassigned the lock to us.
+                let g = runtime::lenient_lock(&lock_ref.inner);
+                (
+                    MutexGuard {
+                        lock: lock_ref,
+                        inner: Some(g),
+                        ctl: Some((ctrl, tid, lock_obj)),
+                    },
+                    reason,
+                )
+            }
+        }
+    }
+}
+
+fn take_std_guard<'a, T>(guard: &mut MutexGuard<'a, T>) -> StdMutexGuard<'a, T> {
+    match guard.inner.take() {
+        Some(g) => g,
+        // Invariant: a live guard always holds its std guard.
+        None => unreachable!("MutexGuard used after teardown"),
+    }
+}

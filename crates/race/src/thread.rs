@@ -1,0 +1,97 @@
+//! Instrumented `spawn`/`join` with std-shaped APIs.
+//!
+//! Spawned from a model thread, the child becomes a scheduler-controlled
+//! thread: `spawn` and `join` are yield points carrying happens-before
+//! edges (parent → child start; child exit → joiner). Spawned from anywhere
+//! else, this is exactly [`std::thread::spawn`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::runtime::{self, AbortSignal, Controller, OpKind};
+
+/// Handle to a spawned thread; mirrors [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    ctl: Option<(Arc<Controller>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, returning its result (or the panic
+    /// payload, like std). Under the checker this is a blocking yield point.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((_ctrl, child)) = &self.ctl {
+            if let Some((ctrl, me)) = runtime::current_ctx() {
+                if ctrl.yield_op(me, OpKind::Join { child: *child }).is_err() {
+                    runtime::abort_unwind();
+                }
+            }
+        }
+        // Granted (or passthrough): the OS thread is at worst packaging its
+        // return value, so this join blocks only momentarily.
+        self.inner.join()
+    }
+}
+
+/// Spawn a thread; a controlled thread if the caller is one.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match runtime::current_ctx() {
+        Some((ctrl, parent)) => {
+            let child = match ctrl.spawn_child(parent) {
+                Ok(c) => c,
+                Err(_) => runtime::abort_unwind(),
+            };
+            let ctrl2 = Arc::clone(&ctrl);
+            let builder = std::thread::Builder::new().name(format!(
+                "{}t{child}-{}",
+                runtime::THREAD_NAME_PREFIX,
+                ctrl.serial
+            ));
+            let spawned = builder.spawn(move || {
+                runtime::set_ctx(Arc::clone(&ctrl2), child);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if ctrl2.park_start(child).is_err() {
+                        runtime::abort_unwind();
+                    }
+                    f()
+                }));
+                runtime::clear_ctx();
+                match result {
+                    Ok(v) => {
+                        ctrl2.finish(child);
+                        v
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<AbortSignal>().is_some() {
+                            ctrl2.finish_abort(child);
+                        } else {
+                            ctrl2.report_panic(child, runtime::payload_to_string(payload.as_ref()));
+                        }
+                        std::panic::resume_unwind(payload)
+                    }
+                }
+            });
+            match spawned {
+                Ok(inner) => JoinHandle {
+                    inner,
+                    ctl: Some((ctrl, child)),
+                },
+                // The scheduler already granted the Spawn op; mark the child
+                // finished (it will never run) so the execution can abort
+                // cleanly, then surface the OS failure as a model panic.
+                Err(e) => {
+                    ctrl.finish_abort(child);
+                    panic!("failed to spawn model thread: {e}")
+                }
+            }
+        }
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            ctl: None,
+        },
+    }
+}

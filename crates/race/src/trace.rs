@@ -1,0 +1,163 @@
+//! Schedules, violations, and human-readable interleaving traces.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The sequence of scheduler choices that reproduces one execution.
+///
+/// Only *branching* points (more than one thread enabled) are recorded; runs
+/// of forced single-thread progress replay implicitly. The `Display`/
+/// `FromStr` round trip (`"0,1,0,2"`) is what `chason-race --replay` takes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule(pub Vec<usize>);
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Schedule(Vec::new()));
+        }
+        let mut out = Vec::new();
+        for part in s.split(',') {
+            let tid: usize = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("schedule component {part:?} is not a thread id"))?;
+            out.push(tid);
+        }
+        Ok(Schedule(out))
+    }
+}
+
+/// What went wrong in an execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two unordered conflicting accesses to the same tracked location.
+    DataRace {
+        /// Label of the racing object (e.g. `cell#2 "chunk1"`).
+        object: String,
+        /// Rendered description of the earlier access.
+        first: String,
+        /// Rendered description of the later access.
+        second: String,
+    },
+    /// No runnable thread remains but not all threads finished. Lost wakeups
+    /// (a notify that raced past its wait) surface as this.
+    Deadlock {
+        /// One rendered line per stuck thread.
+        waiting: Vec<String>,
+    },
+    /// A model thread panicked (assertion failure, index out of bounds, ...).
+    Panic {
+        /// Thread id that panicked.
+        tid: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The execution exceeded the per-execution step budget — almost always a
+    /// spin loop in the model, which the scheduler cannot bound.
+    StepLimit {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::DataRace {
+                object,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "data race on {object}: {first} is unordered with {second}"
+                )
+            }
+            ViolationKind::Deadlock { waiting } => {
+                write!(f, "deadlock; stuck threads: {}", waiting.join("; "))
+            }
+            ViolationKind::Panic { tid, message } => {
+                write!(f, "thread t{tid} panicked: {message}")
+            }
+            ViolationKind::StepLimit { limit } => {
+                write!(
+                    f,
+                    "execution exceeded {limit} steps (spin loop in the model?)"
+                )
+            }
+        }
+    }
+}
+
+/// A failed execution: the verdict plus everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Seed the explorer ran with.
+    pub seed: u64,
+    /// Branch choices that replay this execution (`--replay` format).
+    pub schedule: Schedule,
+    /// Full interleaving trace, one rendered line per scheduler step.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation: {}", self.kind)?;
+        writeln!(f, "seed: {} | schedule: \"{}\"", self.seed, self.schedule)?;
+        writeln!(f, "interleaving trace:")?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_round_trips() {
+        let s = Schedule(vec![0, 2, 1, 1, 3]);
+        let text = s.to_string();
+        assert_eq!(text, "0,2,1,1,3");
+        assert_eq!(text.parse::<Schedule>().map_err(|e| e.to_string()), Ok(s));
+        assert_eq!(
+            "".parse::<Schedule>().map_err(|e| e.to_string()),
+            Ok(Schedule(vec![]))
+        );
+        assert!("0,x".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn violation_renders_schedule_and_trace() {
+        let v = Violation {
+            kind: ViolationKind::StepLimit { limit: 10 },
+            seed: 7,
+            schedule: Schedule(vec![1, 0]),
+            trace: vec!["   1  t0  start".into()],
+        };
+        let text = v.to_string();
+        assert!(text.contains("schedule: \"1,0\""));
+        assert!(text.contains("seed: 7"));
+        assert!(text.contains("t0  start"));
+    }
+}

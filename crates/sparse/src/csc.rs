@@ -49,7 +49,9 @@ impl CscMatrix {
                 values.len()
             )));
         }
-        if *col_ptr.last().expect("col_ptr is non-empty") != row_idx.len() {
+        #[allow(clippy::expect_used)] // col_ptr length was checked to be cols + 1 above
+        let col_ptr_end = *col_ptr.last().expect("col_ptr is non-empty");
+        if col_ptr_end != row_idx.len() {
             return Err(SparseError::MalformedStructure(format!(
                 "col_ptr must end at nnz = {}",
                 row_idx.len()

@@ -65,7 +65,9 @@ impl CsrMatrix {
                 values.len()
             )));
         }
-        if *row_ptr.last().expect("row_ptr is non-empty") != col_idx.len() {
+        #[allow(clippy::expect_used)] // row_ptr length was checked to be rows + 1 above
+        let row_ptr_end = *row_ptr.last().expect("row_ptr is non-empty");
+        if row_ptr_end != col_idx.len() {
             return Err(SparseError::MalformedStructure(format!(
                 "row_ptr must end at nnz = {}",
                 col_idx.len()
@@ -236,8 +238,10 @@ impl From<&CooMatrix> for CsrMatrix {
 
 impl From<&CsrMatrix> for CooMatrix {
     fn from(csr: &CsrMatrix) -> Self {
-        CooMatrix::from_triplets(csr.rows(), csr.cols(), csr.iter().collect())
-            .expect("a valid CSR matrix always yields valid triplets")
+        #[allow(clippy::expect_used)] // a valid CSR matrix always yields valid triplets
+        let coo = CooMatrix::from_triplets(csr.rows(), csr.cols(), csr.iter().collect())
+            .expect("a valid CSR matrix always yields valid triplets");
+        coo
     }
 }
 

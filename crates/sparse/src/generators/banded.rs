@@ -38,7 +38,9 @@ pub fn banded(n: usize, bandwidth: usize, fill: f64, seed: u64) -> CooMatrix {
             }
         }
     }
-    CooMatrix::from_triplets(n, n, triplets).expect("band coordinates are unique by construction")
+    #[allow(clippy::expect_used)] // band coordinates are unique by construction
+    let matrix = CooMatrix::from_triplets(n, n, triplets).expect("band coordinates are valid");
+    matrix
 }
 
 /// Generates an `n × n` banded matrix with *exactly* `nnz` entries sampled
@@ -87,8 +89,9 @@ pub fn banded_with_nnz(n: usize, bandwidth: usize, nnz: usize, seed: u64) -> Coo
 pub fn diagonal(n: usize, seed: u64) -> CooMatrix {
     let mut rng = rng_for(seed);
     let triplets = (0..n).map(|i| (i, i, sample_value(&mut rng))).collect();
-    CooMatrix::from_triplets(n, n, triplets)
-        .expect("diagonal coordinates are unique by construction")
+    #[allow(clippy::expect_used)] // diagonal coordinates are unique by construction
+    let matrix = CooMatrix::from_triplets(n, n, triplets).expect("diagonal coordinates are valid");
+    matrix
 }
 
 #[cfg(test)]

@@ -43,7 +43,9 @@ pub fn block_diagonal(n: usize, block: usize, fill: f64, seed: u64) -> CooMatrix
         }
         start = end;
     }
-    CooMatrix::from_triplets(n, n, triplets).expect("block coordinates are unique by construction")
+    #[allow(clippy::expect_used)] // block coordinates are unique by construction
+    let matrix = CooMatrix::from_triplets(n, n, triplets).expect("block coordinates are valid");
+    matrix
 }
 
 #[cfg(test)]

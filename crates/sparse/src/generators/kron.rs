@@ -54,7 +54,9 @@ pub fn mycielskian(k: u32, seed: u64) -> CooMatrix {
         triplets.push((a, b, v));
         triplets.push((b, a, v));
     }
-    CooMatrix::from_triplets(n, n, triplets).expect("mycielskian edges are unique by construction")
+    #[allow(clippy::expect_used)] // mycielskian edges are unique by construction
+    let matrix = CooMatrix::from_triplets(n, n, triplets).expect("mycielskian edges are valid");
+    matrix
 }
 
 #[cfg(test)]

@@ -73,8 +73,9 @@ pub(crate) fn matrix_from_coords(
         .into_iter()
         .map(|(r, c)| (r, c, sample_value(rng)))
         .collect();
-    CooMatrix::from_triplets(rows, cols, triplets)
-        .expect("generator coordinates are validated by construction")
+    #[allow(clippy::expect_used)] // generator coordinates are validated by construction
+    let matrix = CooMatrix::from_triplets(rows, cols, triplets).expect("coordinates are valid");
+    matrix
 }
 
 #[cfg(test)]

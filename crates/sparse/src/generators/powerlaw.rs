@@ -123,8 +123,9 @@ pub fn power_law(rows: usize, cols: usize, nnz: usize, alpha: f64, seed: u64) ->
             triplets.push((row, c, sample_value(&mut rng)));
         }
     }
-    CooMatrix::from_triplets(rows, cols, triplets)
-        .expect("power-law coordinates are unique by construction")
+    #[allow(clippy::expect_used)] // power-law coordinates are unique by construction
+    let matrix = CooMatrix::from_triplets(rows, cols, triplets).expect("coordinates are valid");
+    matrix
 }
 
 #[cfg(test)]

@@ -56,7 +56,9 @@ impl Permutation {
             let j = rng.gen_range(0..=i);
             forward.swap(i, j);
         }
-        Permutation::from_forward(forward).expect("shuffle yields a permutation")
+        #[allow(clippy::expect_used)] // a Fisher-Yates shuffle of 0..len is a permutation
+        let perm = Permutation::from_forward(forward).expect("shuffle yields a permutation");
+        perm
     }
 
     /// Number of elements permuted.
@@ -110,7 +112,9 @@ pub fn degree_interleave(matrix: &CooMatrix, total_pes: usize) -> Permutation {
     // The construction above can exceed `rows` when rows % pes != 0 for the
     // deepest positions; repair by compacting collisions.
     repair(&mut forward);
-    Permutation::from_forward(forward).expect("repair yields a permutation")
+    #[allow(clippy::expect_used)] // repair() leaves forward a bijection on 0..rows
+    let perm = Permutation::from_forward(forward).expect("repair yields a permutation");
+    perm
 }
 
 /// Repairs an almost-permutation by reassigning duplicate / out-of-range
@@ -128,7 +132,9 @@ fn repair(forward: &mut [usize]) {
     }
     let mut free = (0..n).filter(|&s| !used[s]);
     for i in needs_fix {
-        forward[i] = free.next().expect("free slots match broken entries");
+        #[allow(clippy::expect_used)] // counting: one free slot exists per broken entry
+        let slot = free.next().expect("free slots match broken entries");
+        forward[i] = slot;
     }
 }
 
@@ -147,8 +153,10 @@ pub fn permute_rows(matrix: &CooMatrix, perm: &Permutation) -> CooMatrix {
         .iter()
         .map(|&(r, c, v)| (perm.apply(r), c, v))
         .collect();
-    CooMatrix::from_triplets(matrix.rows(), matrix.cols(), triplets)
-        .expect("permutation preserves coordinate validity")
+    #[allow(clippy::expect_used)] // a permutation maps valid rows to valid rows
+    let permuted = CooMatrix::from_triplets(matrix.rows(), matrix.cols(), triplets)
+        .expect("permutation preserves coordinate validity");
+    permuted
 }
 
 /// Applies a row permutation to a dense vector indexed by row.

@@ -80,7 +80,9 @@ pub fn row_stats(matrix: &CooMatrix) -> RowStats {
         };
     }
     let empty_rows = degrees.iter().filter(|&&d| d == 0).count();
+    #[allow(clippy::expect_used)] // the rows == 0 case returned above
     let min = *degrees.iter().min().expect("rows > 0");
+    #[allow(clippy::expect_used)] // the rows == 0 case returned above
     let max = *degrees.iter().max().expect("rows > 0");
     let mean = nnz as f64 / rows as f64;
     let variance = degrees
@@ -116,6 +118,7 @@ pub fn gini_coefficient(counts: &[usize]) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    #[allow(clippy::expect_used)] // counts are integers cast to f64, always comparable
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
     // G = (2 * sum_i i*x_i) / (n * sum_i x_i) - (n + 1) / n, with 1-based i.
     let weighted: f64 = sorted

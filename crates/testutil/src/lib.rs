@@ -125,6 +125,7 @@ pub fn spd_system(n: usize, seed: u64) -> (CooMatrix, Vec<f32>) {
     for (i, &sum) in row_sum.iter().enumerate() {
         t.push((i, i, sum + 1.0));
     }
+    #[allow(clippy::expect_used)] // coordinates are in range by construction
     let a = CooMatrix::from_triplets(n, n, t).expect("coordinates are in range");
     let b: Vec<f32> = (0..n).map(|i| ((i % 7) as f32 - 3.0) * 0.5).collect();
     (a, b)

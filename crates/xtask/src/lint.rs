@@ -1,14 +1,14 @@
 //! The `cargo xtask lint` source-hygiene pass.
 //!
-//! Four rules, pure `std`, no parsing beyond line heuristics — cheap
+//! Five rules, pure `std`, no parsing beyond line heuristics — cheap
 //! enough to run on every CI job and every local commit:
 //!
 //! * **L001** — no un-annotated `.unwrap()` / `.expect(` in *non-test*
-//!   `chason-core` / `chason-sim` code. The simulator's contract is typed
-//!   errors (`SimError`, `ScheduleError`); a panic site must carry an
-//!   `#[allow(clippy::unwrap_used)]` / `#[allow(clippy::expect_used)]`
-//!   annotation (same line or up to three lines above) stating why it
-//!   cannot fire.
+//!   workspace code (every `crates/*/src` plus the root crate). The
+//!   stack's contract is typed errors (`SimError`, `ScheduleError`, ...);
+//!   a panic site must carry an `#[allow(clippy::unwrap_used)]` /
+//!   `#[allow(clippy::expect_used)]` annotation (same line or up to three
+//!   lines above) stating why it cannot fire.
 //! * **L002** — no `todo!(` / `unimplemented!(` anywhere in workspace
 //!   sources: the repo reproduces a paper, and a stub that type-checks but
 //!   aborts at runtime silently poisons benchmark sweeps.
@@ -20,6 +20,13 @@
 //!   and the root crate's solvers). Libraries report through telemetry
 //!   (metrics, spans) or typed return values; stdout/stderr belong to the
 //!   CLI and xtask binaries.
+//! * **L005** — no `Ordering::Relaxed` outside the telemetry counter
+//!   modules unless the site carries a `// relaxed:` justification (same
+//!   line or up to three lines above). Relaxed atomics are invisible to
+//!   happens-before reasoning — `chason-race` models them as carrying *no*
+//!   ordering edge — so every site must say why that is sufficient
+//!   (typically: a monotonic counter whose value is only read after a
+//!   join or another acquire edge).
 //!
 //! Violations render in `rustc` style and the binary exits non-zero, so
 //! the pass composes with CI exactly like `cargo clippy -- -D warnings`.
@@ -109,16 +116,24 @@ fn is_annotated(raw_lines: &[&str], idx: usize, back: usize) -> bool {
         .any(|l| l.contains("allow(clippy::unwrap_used") || l.contains("allow(clippy::expect_used"))
 }
 
-/// **L001**: un-annotated `.unwrap()` / `.expect(` in non-test code.
+/// **L001**: un-annotated `.unwrap()` / `.expect("..")` in non-test code.
+///
+/// `expect` is only matched with a literal message (`.expect("`): several
+/// workspace types (the serve client, the trace JSON parser) define their
+/// own `expect` methods whose operands are requests or bytes, and those are
+/// typed-error APIs, not panic sites. Needles are assembled at runtime so
+/// this file does not flag itself.
 pub fn check_unwraps(path: &str, source: &str) -> Vec<Violation> {
+    let unwrap_needle = [".unw", "rap()"].concat();
+    let expect_needle = [".exp", "ect(\""].concat();
     let raw: Vec<&str> = source.lines().collect();
     non_test_lines(source)
         .into_iter()
         .filter(|(_, line)| !is_comment(line))
         .filter_map(|(n, line)| {
-            let call = if line.contains(".unwrap()") {
-                ".unwrap()"
-            } else if line.contains(".expect(") {
+            let call = if line.contains(&unwrap_needle) {
+                unwrap_needle.as_str()
+            } else if line.contains(&expect_needle) {
                 ".expect(..)"
             } else {
                 return None;
@@ -181,6 +196,48 @@ pub fn check_prints(path: &str, source: &str) -> Vec<Violation> {
                 message: format!("`{}..)` in library code", &hit[..hit.len() - 1]),
                 note: "libraries must not write to stdout/stderr; record a \
                        telemetry metric or span, or return the text to the caller",
+            })
+        })
+        .collect()
+}
+
+/// Whether `lines[idx]` (or up to three raw lines above it) carries a
+/// `// relaxed:` justification comment.
+fn is_relaxed_justified(raw_lines: &[&str], idx: usize) -> bool {
+    let lo = idx.saturating_sub(3);
+    raw_lines[lo..=idx]
+        .iter()
+        .any(|l| l.contains("// relaxed:"))
+}
+
+/// **L005**: unjustified `Ordering::Relaxed` in non-test code (telemetry's
+/// counter modules are exempt — relaxed counters are their whole design,
+/// documented once at module level).
+pub fn check_relaxed(path: &str, source: &str) -> Vec<Violation> {
+    // Assembled at runtime so this file (and the xtask USAGE text) does not
+    // flag itself.
+    let needle = ["Ordering::Rel", "axed"].concat();
+    let raw: Vec<&str> = source.lines().collect();
+    non_test_lines(source)
+        .into_iter()
+        .filter_map(|(n, line)| {
+            // Only flag code, not a mention in a comment tail.
+            let code = line.split("//").next().unwrap_or("");
+            if !code.contains(&needle) {
+                return None;
+            }
+            if is_relaxed_justified(&raw, n - 1) {
+                return None;
+            }
+            Some(Violation {
+                rule: "L005",
+                path: path.to_string(),
+                line: n,
+                message: format!("`{needle}` without a `// relaxed:` justification"),
+                note: "relaxed atomics carry no happens-before edge (chason-race \
+                       flags reads through them as races); justify with \
+                       `// relaxed: <why no ordering is needed>` on or above this \
+                       line, or upgrade to Acquire/Release",
             })
         })
         .collect()
@@ -292,23 +349,26 @@ pub fn run(root: &Path) -> Vec<Violation> {
     let read = |p: &Path| std::fs::read_to_string(p).unwrap_or_default();
     let mut violations = Vec::new();
 
-    // L001: the simulator stack's non-test code must not panic silently.
-    for dir in ["crates/core/src", "crates/sim/src"] {
-        for file in rust_files(&root.join(dir)) {
-            violations.extend(check_unwraps(&rel(&file), &read(&file)));
-        }
-    }
-    // L002: no stubs anywhere in workspace sources (vendor shims excluded —
-    // they mirror external crates' APIs and are not product code).
+    // Workspace source dirs: the root crate plus every crates/*/src
+    // (vendor shims excluded — they mirror external crates' APIs and are
+    // not product code).
     let mut source_dirs: Vec<PathBuf> = vec![root.join("src")];
     if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
         let mut crates: Vec<_> = entries.flatten().map(|e| e.path().join("src")).collect();
         crates.sort();
         source_dirs.extend(crates);
     }
-    for dir in source_dirs {
-        for file in rust_files(&dir) {
+    // L001: non-test code anywhere in the workspace must not panic silently.
+    // L002: no stubs anywhere in workspace sources.
+    // L005: relaxed atomics must be justified (telemetry counters exempt).
+    let telemetry_src = root.join("crates/telemetry/src");
+    for dir in &source_dirs {
+        for file in rust_files(dir) {
+            violations.extend(check_unwraps(&rel(&file), &read(&file)));
             violations.extend(check_stubs(&rel(&file), &read(&file)));
+            if !file.starts_with(&telemetry_src) {
+                violations.extend(check_relaxed(&rel(&file), &read(&file)));
+            }
         }
     }
     // L003: the contribution layer is fully documented.
@@ -365,6 +425,13 @@ mod tests {
         let src = "fn f() {\n    let a = r.unwrap_or(0);\n    let b = r.unwrap_or_else(h);\n    \
                    let c = r.expect_err(\"msg\");\n}\n";
         assert!(check_unwraps("a.rs", src).is_empty());
+        // User-defined `expect` methods take non-string operands (the serve
+        // client's request matcher, the trace parser's byte matcher).
+        let methods = "fn f() {\n    let r = self.expect(&request)?;\n    \
+                       p.expect(b':')?;\n}\n";
+        assert!(check_unwraps("a.rs", methods).is_empty());
+        let literal = "fn f() { r.expect(\"boom\"); }\n";
+        assert_eq!(check_unwraps("a.rs", literal).len(), 1);
     }
 
     #[test]
@@ -409,6 +476,27 @@ mod tests {
         assert_eq!(check_docs("a.rs", attr_only).len(), 1);
         let private = "fn f() {}\npub(crate) fn g() {}\n";
         assert!(check_docs("a.rs", private).is_empty());
+    }
+
+    #[test]
+    fn relaxed_needs_justification() {
+        let bad = "fn f() { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let v = check_relaxed("a.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, v[0].line), ("L005", 1));
+        let inline = "fn f() { c.fetch_add(1, Ordering::Relaxed); // relaxed: counter\n}\n";
+        assert!(check_relaxed("a.rs", inline).is_empty());
+        let above = "fn f() {\n    // relaxed: read only after join\n    \
+                     c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(check_relaxed("a.rs", above).is_empty());
+        let far = "fn f() {\n    // relaxed: too far away\n    a();\n    b();\n    c();\n    \
+                   c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert_eq!(check_relaxed("a.rs", far).len(), 1);
+        // Mentions inside comments (doc or tail) are not flagged.
+        let comment = "// Ordering::Relaxed is discussed here\nfn f() {}\n";
+        assert!(check_relaxed("a.rs", comment).is_empty());
+        let gated = "#[cfg(test)]\nmod t {\n    fn g() { c.load(Ordering::Relaxed); }\n}\n";
+        assert!(check_relaxed("a.rs", gated).is_empty());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! `cargo xtask` — workspace automation, pure `std`.
 //!
 //! ```text
-//! cargo xtask lint   # source-hygiene rules L001-L004; exits 1 on findings
+//! cargo xtask lint   # source-hygiene rules L001-L005; exits 1 on findings
 //! cargo xtask bench  # release-build the CLI, run `chason bench <args...>`
+//! cargo xtask race   # release-build chason-race, explore the model suites
 //! ```
 
 mod lint;
@@ -14,13 +15,18 @@ const USAGE: &str = "\
 cargo xtask — workspace automation
 
 USAGE:
-  cargo xtask lint   # L001 un-annotated unwrap/expect (chason-core, chason-sim)
+  cargo xtask lint   # L001 un-annotated unwrap/expect (workspace-wide)
                      # L002 todo!/unimplemented! stubs (workspace-wide)
                      # L003 undocumented pub items (chason-core)
                      # L004 println!/eprintln! in library crates
+                     # L005 unjustified relaxed atomic ordering outside telemetry
   cargo xtask bench [bench args...]
                      # wall-clock benchmarks via a release build of the CLI;
-                     # args are forwarded to `chason bench` (see its --help)";
+                     # args are forwarded to `chason bench` (see its --help)
+  cargo xtask race [race args...]
+                     # deterministic interleaving exploration of the model
+                     # suites via a release build of `chason-race`
+                     # (see `cargo xtask race --help`)";
 
 fn main() -> ExitCode {
     let task = std::env::args().nth(1).unwrap_or_default();
@@ -35,7 +41,7 @@ fn main() -> ExitCode {
                 println!("{v}\n");
             }
             if violations.is_empty() {
-                println!("xtask lint: workspace clean (L001, L002, L003, L004)");
+                println!("xtask lint: workspace clean (L001, L002, L003, L004, L005)");
                 ExitCode::SUCCESS
             } else {
                 println!("xtask lint: {} violation(s)", violations.len());
@@ -55,6 +61,30 @@ fn main() -> ExitCode {
                     "chason",
                     "--",
                     "bench",
+                ])
+                .args(std::env::args().skip(2))
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(_) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("cannot launch cargo: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "race" => {
+            // Exploration is schedule-bounded but thread-spawn-heavy, so a
+            // release build of the runner keeps the suite under CI budgets.
+            let status = std::process::Command::new(env!("CARGO"))
+                .args([
+                    "run",
+                    "--release",
+                    "-p",
+                    "chason-race-models",
+                    "--bin",
+                    "chason-race",
+                    "--",
                 ])
                 .args(std::env::args().skip(2))
                 .status();

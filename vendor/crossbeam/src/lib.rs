@@ -19,8 +19,21 @@ pub use thread::scope;
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::Arc;
     use std::time::{Duration, Instant};
+
+    // Under `model-check` the queue's synchronization is the instrumented
+    // chason-race primitives: the deterministic scheduler owns every
+    // acquire/release/wait/notify and explores interleavings. The types are
+    // API-compatible with std (chason-race's `WaitTimeoutResult` mirrors
+    // std's, which has no public constructor), and they pass through to
+    // plain std whenever no model execution is active, so behavior outside
+    // `cargo xtask race` is identical. Normal builds compile the std types
+    // directly — zero overhead, nothing to opt out of at runtime.
+    #[cfg(feature = "model-check")]
+    use chason_race::sync::{Condvar, Mutex, MutexGuard};
+    #[cfg(not(feature = "model-check"))]
+    use std::sync::{Condvar, Mutex, MutexGuard};
 
     struct Inner<T> {
         queue: VecDeque<T>,
@@ -124,7 +137,7 @@ pub mod channel {
     #[allow(clippy::expect_used)] // a poisoned queue mutex means a consumer
                                   // panicked while holding it; every API here would misbehave silently, so
                                   // propagating the panic is the only sound option.
-    fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, Inner<T>> {
+    fn lock<T>(shared: &Shared<T>) -> MutexGuard<'_, Inner<T>> {
         shared.inner.lock().expect("channel mutex poisoned")
     }
 
@@ -476,6 +489,53 @@ mod channel_tests {
             .flat_map(|p| (0..25u64).map(move |i| p * 100 + i))
             .sum();
         assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn recv_blocked_then_sender_drop_disconnects() {
+        // The receiver is (very likely) parked in `recv` when the last
+        // sender drops; the disconnect notify must wake it with an error
+        // rather than leaving it blocked forever.
+        let (tx, rx) = bounded::<u32>(1);
+        let joined = super::scope(|s| {
+            let h = s.spawn(move |_| rx.recv());
+            std::thread::sleep(Duration::from_millis(20));
+            drop(tx);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert!(joined.is_err(), "blocked recv must observe the disconnect");
+    }
+
+    #[test]
+    fn send_blocked_then_receiver_drop_errors() {
+        // Mirror case: a sender parked on a full queue must be woken by the
+        // last receiver dropping and hand the value back via SendError.
+        let (tx, rx) = bounded(1);
+        tx.try_send(0u32).unwrap();
+        let joined = super::scope(|s| {
+            let h = s.spawn(move |_| tx.send(1));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert!(joined.is_err(), "blocked send must observe the disconnect");
+    }
+
+    #[test]
+    fn recv_timeout_blocked_then_disconnect_reports_disconnected() {
+        // A waiter inside `recv_timeout` that is woken by sender-drop (not
+        // by the deadline) must report Disconnected, not Timeout.
+        let (tx, rx) = bounded::<u32>(1);
+        let joined = super::scope(|s| {
+            let h = s.spawn(move |_| rx.recv_timeout(Duration::from_secs(30)));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(tx);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(joined.unwrap_err(), RecvTimeoutError::Disconnected);
     }
 
     #[test]
