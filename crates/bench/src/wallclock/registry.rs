@@ -1,5 +1,6 @@
 //! The registered wall-clock benchmarks: threaded SpMV kernels, engine
-//! planning, plan replay, and CHSP codec round-trips.
+//! planning, plan replay, incremental delta re-planning, and CHSP codec
+//! round-trips.
 //!
 //! Every benchmark has a stable `group/case` id — the comparator matches
 //! baseline to current by id — and an input fingerprint, so a baseline
@@ -17,7 +18,7 @@ use chason_serve::proto::{
 };
 use chason_sim::{ChasonEngine, SerpensEngine};
 use chason_sparse::generators::{power_law, uniform_random};
-use chason_sparse::{CooMatrix, CsrMatrix};
+use chason_sparse::{CooMatrix, CsrMatrix, MatrixDelta};
 use criterion::black_box;
 use std::rc::Rc;
 
@@ -185,7 +186,69 @@ pub fn benchmarks(profile: &Profile, filter: Option<&str>) -> Vec<Benchmark> {
         });
     }
 
-    // (d) CHSP codec round-trips on realistic payload sizes.
+    // (d) Incremental re-planning: a small delta (revalues confined to one
+    // column window, touching well under 5% of the rows) spliced into a
+    // cached plan vs. a full from-scratch re-plan of the updated matrix.
+    // Same updated matrix either way, so the pair measures exactly the
+    // work `replan_delta` avoids.
+    let replan_ids = ["replan/full", "replan/delta"];
+    if replan_ids.iter().any(|id| matches(id, filter)) {
+        let matrix = plan_matrix(profile);
+        let mut delta = MatrixDelta::for_matrix(&matrix);
+        let budget = (matrix.rows() / 20).min(32); // <= 5% of rows
+        let mut touched = 0usize;
+        for &(r, c, v) in matrix.triplets().iter() {
+            if touched == budget {
+                break;
+            }
+            if c < 8192 {
+                // First column window only (W = 8192).
+                #[allow(clippy::expect_used)] // coordinate comes from the triplet list
+                delta
+                    .push_revalue(r, c, v * 1.5)
+                    .expect("revalue existing entry");
+                touched += 1;
+            }
+        }
+        #[allow(clippy::expect_used)] // delta revalues existing entries only
+        let updated = delta.apply(&matrix).expect("apply delta");
+        let fingerprint = matrix_fingerprint(&updated);
+        if matches(replan_ids[0], filter) {
+            let engine = ChasonEngine::default();
+            let updated = updated.clone();
+            out.push(Benchmark {
+                id: replan_ids[0].to_string(),
+                fingerprint,
+                bytes_per_iter: 0,
+                routine: Box::new(move || {
+                    #[allow(clippy::expect_used)] // bench corpus fits the engines
+                    black_box(engine.plan_with_threads(&updated, 1).expect("plan"));
+                }),
+            });
+        }
+        if matches(replan_ids[1], filter) {
+            let engine = ChasonEngine::default();
+            #[allow(clippy::expect_used)] // bench corpus fits the engines
+            let base = engine.plan_with_threads(&matrix, 1).expect("plan");
+            out.push(Benchmark {
+                id: replan_ids[1].to_string(),
+                fingerprint,
+                bytes_per_iter: 0,
+                routine: Box::new(move || {
+                    // The clone mirrors a serving cache splicing a copy of
+                    // the resident plan; it is part of the splice cost.
+                    let mut spliced = base.clone();
+                    #[allow(clippy::expect_used)] // delta matches the base plan
+                    engine
+                        .replan_delta(&mut spliced, &updated, &delta)
+                        .expect("splice");
+                    black_box(spliced);
+                }),
+            });
+        }
+    }
+
+    // (e) CHSP codec round-trips on realistic payload sizes.
     let chsp_ids = ["chsp/request-spmv", "chsp/reply-vector"];
     if chsp_ids.iter().any(|id| matches(id, filter)) {
         let n = chsp_vector_len(profile);
@@ -261,19 +324,30 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_four_groups() {
+    fn registry_covers_all_five_groups() {
         let profile = Profile::smoke();
         let ids: Vec<String> = benchmarks(&profile, None)
             .iter()
             .map(|b| b.id.clone())
             .collect();
-        for prefix in ["spmv/", "plan/", "replay/", "chsp/"] {
+        for prefix in ["spmv/", "plan/", "replay/", "replan/", "chsp/"] {
             assert!(
                 ids.iter().any(|id| id.starts_with(prefix)),
                 "missing group {prefix} in {ids:?}"
             );
         }
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 14);
+    }
+
+    #[test]
+    fn replan_benchmarks_share_the_updated_fingerprint() {
+        // Both replan benchmarks measure a path to the same updated
+        // matrix's plan; the comparator relies on equal fingerprints to
+        // know the inputs match.
+        let profile = Profile::smoke();
+        let benches = benchmarks(&profile, Some("replan/"));
+        assert_eq!(benches.len(), 2);
+        assert_eq!(benches[0].fingerprint, benches[1].fingerprint);
     }
 
     #[test]

@@ -428,7 +428,7 @@ pub fn verify(args: &Args) -> Result<(), String> {
 /// `chason conformance` — the differential cross-engine harness plus the
 /// deterministic schedule fuzzer.
 pub fn conformance(args: &Args) -> Result<(), String> {
-    use chason_conformance::{fuzz, CorpusSize, HarnessOptions};
+    use chason_conformance::{fuzz, fuzz_deltas, CorpusSize, DeltaOptions, HarnessOptions};
 
     let corpus_name = args.get("corpus").unwrap_or("small");
     let size = CorpusSize::from_name(corpus_name)
@@ -486,6 +486,64 @@ pub fn conformance(args: &Args) -> Result<(), String> {
     }
     if iterations >= 10 && !outcome.covered_all_corruptions() {
         return Err("fuzz run did not apply every corruption at least once".to_string());
+    }
+
+    // Delta-splice oracles: every spliced plan must be bit-identical to a
+    // from-scratch plan of the updated matrix and replay to the reference.
+    // The corpus pass runs under a toy geometry with a narrow window so
+    // the small matrices span several windows and splices are genuinely
+    // partial; `--deltas N` sizes the randomized delta fuzzer on top.
+    let delta_iterations = args.get_or("deltas", 16u64)?;
+    let delta_options = DeltaOptions {
+        sched: SchedulerConfig::toy(4, 4, 6),
+        window: Some(32),
+        seed,
+        ..DeltaOptions::default()
+    };
+    let delta_report = chason_conformance::run_delta_cases(&cases, &delta_options);
+    for v in &delta_report.violations {
+        println!("VIOLATION {v}");
+    }
+    println!("\n{}", delta_report.summary());
+
+    let delta_outcome = fuzz_deltas(seed, delta_iterations);
+    println!(
+        "delta fuzz: {} iteration(s), seed {seed}, {} skipped (no valid delta)\n",
+        delta_outcome.iterations, delta_outcome.skipped
+    );
+    println!("{}", delta_outcome.equivalence_table());
+    if !delta_outcome.escapes.is_empty() {
+        if let Some(dir) = args.get("artifacts") {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+            for e in &delta_outcome.escapes {
+                let path = dir.join(format!(
+                    "delta-escape-{}-{}.mtx",
+                    e.iteration,
+                    e.kind.name()
+                ));
+                let file =
+                    File::create(&path).map_err(|err| format!("cannot write {path:?}: {err}"))?;
+                write_matrix_market(BufWriter::new(file), &e.source)
+                    .map_err(|err| format!("cannot write {path:?}: {err}"))?;
+                println!(
+                    "delta escape artifact: {path:?} ({} on {}: {})",
+                    e.kind.name(),
+                    e.matrix,
+                    e.detail
+                );
+            }
+        }
+        return Err(format!(
+            "{} delta-splice escape(s): spliced plans diverged from scratch plans or replayed wrong",
+            delta_outcome.escapes.len()
+        ));
+    }
+    if delta_iterations >= 8 && !delta_outcome.covered_all_kinds() {
+        return Err("delta fuzz run did not apply every delta kind at least once".to_string());
+    }
+    if !delta_report.is_clean() {
+        return Err(delta_report.summary());
     }
     if !report.is_clean() {
         return Err(report.summary());

@@ -38,10 +38,12 @@ USAGE:
                                [--channels N] [--pes N] [--distance D] [--hops H]
                                [--corrupt KIND]   # static rule checker (S001-S006,
                                P001, R001); exits non-zero on violations
-  chason conformance           [--corpus small|extended] [--fuzz N] [--seed S]
-                               [--fixtures DIR] [--artifacts DIR]
-                               # differential cross-engine harness + schedule
-                               fuzzer; exits non-zero on violations or escapes
+  chason conformance           [--corpus small|extended] [--fuzz N] [--deltas N]
+                               [--seed S] [--fixtures DIR] [--artifacts DIR]
+                               # differential cross-engine harness, schedule
+                               fuzzer, and delta-splice oracles (spliced plans
+                               must equal from-scratch plans); exits non-zero
+                               on violations or escapes
   chason generate <recipe> <out.mtx> --n N --nnz NNZ
                                [--alpha A] [--bandwidth W] [--dense-rows D] [--seed S]
                                (recipes: uniform, powerlaw, banded, arrow)
@@ -51,12 +53,16 @@ USAGE:
                                [--retry-after-ms MS] [--channels N] [--pes N]
                                # CHSP daemon; runs until a Shutdown request
   chason client <op>           stats | metrics | load <m.mtx> | spmv <m.mtx>
-                               | solve <m.mtx> | plan <m.mtx> [--out FILE] | shutdown
+                               | solve <m.mtx> | plan <m.mtx> [--out FILE]
+                               | update <m.mtx> [--insert \"r,c,v[;...]\"]
+                                 [--revalue \"r,c,v[;...]\"] [--delete \"r,c[;...]\"]
+                               | shutdown
                                [--addr HOST:PORT] [--engine E] [--solver S]
   chason loadgen               [--addr HOST:PORT] [--connections N] [--requests M]
                                [--seed S] [--format text|json] [--report FILE]
-                               [--require-hits]
-                               # deterministic closed-loop load generator
+                               [--require-hits] [--churn PCT]
+                               # deterministic closed-loop load generator;
+                               --churn sends that percentage as matrix deltas
   chason bench                 [--profile smoke|full] [--name NAME] [--out DIR]
                                [--filter SUBSTR] [--baseline FILE] [--current FILE]
                                [--threshold PCT]

@@ -59,11 +59,56 @@ fn connect(args: &Args) -> Result<Client, String> {
     Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
 }
 
+/// Parses a `;`-separated list of `row,col,value` triplets
+/// (e.g. `--insert "0,5,1.5;2,7,-3.25"`).
+fn parse_triplets(spec: &str) -> Result<Vec<(u64, u64, f32)>, String> {
+    spec.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let parts: Vec<&str> = s.split(',').map(str::trim).collect();
+            let [r, c, v] = parts.as_slice() else {
+                return Err(format!("expected row,col,value in '{s}'"));
+            };
+            Ok((
+                r.parse()
+                    .map_err(|_| format!("invalid row '{r}' in '{s}'"))?,
+                c.parse()
+                    .map_err(|_| format!("invalid col '{c}' in '{s}'"))?,
+                v.parse()
+                    .map_err(|_| format!("invalid value '{v}' in '{s}'"))?,
+            ))
+        })
+        .collect()
+}
+
+/// Parses a `;`-separated list of `row,col` coordinates
+/// (e.g. `--delete "0,5;2,7"`).
+fn parse_coords(spec: &str) -> Result<Vec<(u64, u64)>, String> {
+    spec.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let parts: Vec<&str> = s.split(',').map(str::trim).collect();
+            let [r, c] = parts.as_slice() else {
+                return Err(format!("expected row,col in '{s}'"));
+            };
+            Ok((
+                r.parse()
+                    .map_err(|_| format!("invalid row '{r}' in '{s}'"))?,
+                c.parse()
+                    .map_err(|_| format!("invalid col '{c}' in '{s}'"))?,
+            ))
+        })
+        .collect()
+}
+
 /// `chason client <op>` — one-shot CHSP requests against a running
 /// server.
 pub fn client(args: &Args) -> Result<(), String> {
     let op = args.positional.first().map(String::as_str).ok_or_else(|| {
-        "expected an operation: stats | metrics | load | spmv | solve | plan | shutdown".to_string()
+        "expected an operation: stats | metrics | load | spmv | solve | plan | update | shutdown"
+            .to_string()
     })?;
     let mut client = connect(args)?;
     match op {
@@ -137,6 +182,43 @@ pub fn client(args: &Args) -> Result<(), String> {
                 ),
             }
         }
+        "update" => {
+            let matrix = read_positional_matrix(args, 1)?;
+            let inserts = args
+                .get("insert")
+                .map(parse_triplets)
+                .transpose()?
+                .unwrap_or_default();
+            let revalues = args
+                .get("revalue")
+                .map(parse_triplets)
+                .transpose()?
+                .unwrap_or_default();
+            let deletes = args
+                .get("delete")
+                .map(parse_coords)
+                .transpose()?
+                .unwrap_or_default();
+            if inserts.is_empty() && revalues.is_empty() && deletes.is_empty() {
+                return Err(
+                    "update needs at least one --insert r,c,v / --revalue r,c,v / --delete r,c"
+                        .to_string(),
+                );
+            }
+            // Loading is idempotent: if the matrix is already resident this
+            // just resolves the handle of its current lineage.
+            let (handle, _) = client.load_matrix(&matrix).map_err(|e| e.to_string())?;
+            let outcome = client
+                .update(handle, inserts, revalues, deletes)
+                .map_err(|e| e.to_string())?;
+            println!("handle        : {handle:#018x}");
+            println!("version       : {}", outcome.version);
+            println!("nnz           : {}", outcome.nnz);
+            println!(
+                "plans spliced : {} ({}/{} windows replanned)",
+                outcome.plans_spliced, outcome.windows_replanned, outcome.windows_total
+            );
+        }
         "shutdown" => {
             client.shutdown().map_err(|e| e.to_string())?;
             println!("server acknowledged shutdown");
@@ -149,12 +231,19 @@ pub fn client(args: &Args) -> Result<(), String> {
 /// `chason loadgen` — deterministic closed-loop load against a CHSP
 /// server (or an in-process one when `--addr` is omitted).
 pub fn run_loadgen(args: &Args) -> Result<(), String> {
+    let churn = args.get_or("churn", 0u64)?;
+    if churn > 100 {
+        return Err(format!(
+            "--churn {churn} is out of range (percentage, 0-100)"
+        ));
+    }
     let options = LoadgenOptions {
         connections: args.get_or("connections", 4usize)?,
         requests: args.get_or("requests", 1000usize)?,
         seed: args.get_or("seed", 7u64)?,
         addr: args.get("addr").map(str::to_string),
         require_hits: args.has_flag("require-hits"),
+        churn,
     };
     let report = loadgen::run(&options)?;
     let rendered = match args.get("format").unwrap_or("text") {

@@ -20,23 +20,33 @@
 //!    committed under `tests/golden/`, byte-compared on every run and
 //!    re-blessed with `UPDATE_GOLDEN=1`.
 //!
-//! On top sits a deterministic schedule [`fuzz`]er that reuses the
-//! ten-corruption mutation library from `chason-verify` as fault
-//! injection: every injected corruption must be caught by the static
-//! checker or by a dynamic oracle, proving the two layers compose into a
-//! net with no holes.
+//! On top sit two adversarial stages:
+//!
+//! * a deterministic schedule [`fuzz`]er that reuses the ten-corruption
+//!   mutation library from `chason-verify` as fault injection: every
+//!   injected corruption must be caught by the static checker or by a
+//!   dynamic oracle, proving the two layers compose into a net with no
+//!   holes; and
+//! * the [`delta`] oracles for dynamic matrices: every spliced plan
+//!   (`PlanningEngine::replan_delta`) must be bit-identical to a
+//!   from-scratch plan of the updated matrix, replay to the reference
+//!   SpMV, conserve its cycle report, and pass `chason-verify` — with a
+//!   delta-splice fuzzer ([`fuzz_deltas`]) replaying spliced plans on
+//!   bare PEGs across random insert/delete/revalue batches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod delta;
 pub mod fuzz;
 pub mod golden;
 pub mod harness;
 pub mod ulp;
 
 pub use corpus::{corpus, load_fixtures, CorpusCase, CorpusSize};
-pub use fuzz::{fuzz, CaughtBy, FuzzOutcome};
+pub use delta::{random_delta, run_delta_cases, DeltaKind, DeltaOptions, DeltaReport, SplitMix64};
+pub use fuzz::{fuzz, fuzz_deltas, CaughtBy, DeltaFuzzOutcome, FuzzOutcome};
 pub use harness::{run_case, CaseOutcome, HarnessOptions, Violation};
 pub use ulp::UlpTolerance;
 

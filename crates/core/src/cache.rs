@@ -315,4 +315,55 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.stats().evictions, 0, "remove/clear are not evictions");
     }
+
+    /// Version-aware plan-cache key shape: `(fingerprint, version, config)`
+    /// as used by `chason-serve` for dynamic matrices.
+    type VersionedKey = (u64, u64, u8);
+
+    #[test]
+    fn multi_version_pressure_evicts_least_recent_version() {
+        let mut cache: LruCache<VersionedKey, &'static str> = LruCache::new(3);
+        // Three versions of the same matrix fill the cache.
+        cache.insert((0xabc, 0, 0), "v0");
+        cache.insert((0xabc, 1, 0), "v1");
+        cache.insert((0xabc, 2, 0), "v2");
+        // Touch v0 and v2 so v1 is the least recently used version.
+        assert!(cache.get(&(0xabc, 0, 0)).is_some());
+        assert!(cache.get(&(0xabc, 2, 0)).is_some());
+        let evicted = cache.insert((0xdef, 0, 0), "other");
+        assert_eq!(evicted, Some(((0xabc, 1, 0), "v1")));
+        assert!(cache.contains(&(0xabc, 0, 0)));
+        assert!(cache.contains(&(0xabc, 2, 0)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn update_invalidation_counts_a_miss_then_a_hit() {
+        let mut cache: LruCache<VersionedKey, &'static str> = LruCache::new(4);
+        cache.insert((7, 0, 0), "plan-v0");
+        assert!(cache.get(&(7, 0, 0)).is_some());
+        // An update bumps the version; the old plan no longer matches.
+        assert!(cache.get(&(7, 1, 0)).is_none());
+        cache.insert((7, 1, 0), "plan-v1");
+        assert!(cache.get(&(7, 1, 0)).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        // Explicit invalidation of the superseded version frees residency
+        // without counting as an eviction.
+        assert_eq!(cache.remove(&(7, 0, 0)), Some("plan-v0"));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn versions_of_one_matrix_do_not_collide_across_configs() {
+        let mut cache: LruCache<VersionedKey, u32> = LruCache::new(8);
+        cache.insert((9, 0, 0), 100);
+        cache.insert((9, 0, 1), 200);
+        cache.insert((9, 1, 0), 101);
+        assert_eq!(cache.get(&(9, 0, 0)), Some(&100));
+        assert_eq!(cache.get(&(9, 0, 1)), Some(&200));
+        assert_eq!(cache.get(&(9, 1, 0)), Some(&101));
+        assert_eq!(cache.len(), 3);
+    }
 }

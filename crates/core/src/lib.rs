@@ -43,6 +43,7 @@ pub mod element;
 pub mod export;
 pub mod metrics;
 pub mod plan;
+pub mod replan;
 pub mod schedule;
 pub mod viz;
 pub mod window;
@@ -51,6 +52,7 @@ pub use cache::{CacheStats, LruCache};
 pub use diag::{Location, RuleId, ScheduleError, Severity};
 pub use element::SparseElement;
 pub use plan::{matrix_fingerprint, PassPlan, PlanKey, PlanWindow, SpmvPlan};
+pub use replan::{dirty_windows, ReplanError, ReplanReport};
 pub use schedule::{
     ChannelSchedule, Crhcs, HybridRowSplit, NzSlot, PeAware, RowBased, ScheduledMatrix, Scheduler,
     SchedulerConfig,

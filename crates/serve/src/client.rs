@@ -85,6 +85,21 @@ pub struct SolveOutcome {
     pub simulated_nanos: u64,
 }
 
+/// Outcome of [`Client::update`].
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateOutcome {
+    /// The matrix's new version (1 for the first update).
+    pub version: u64,
+    /// Non-zero count after the delta.
+    pub nnz: u64,
+    /// Cached plans incrementally respliced by this update.
+    pub plans_spliced: u32,
+    /// Column windows re-scheduled across those splices.
+    pub windows_replanned: u64,
+    /// Total column windows per plan (splice denominator).
+    pub windows_total: u64,
+}
+
 /// A blocking CHSP connection.
 #[derive(Debug)]
 pub struct Client {
@@ -201,6 +216,43 @@ impl Client {
                 converged,
                 service_micros,
                 simulated_nanos,
+            }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Applies a delta batch to a resident matrix (see
+    /// [`Request::Update`]); the handle is unchanged, the version bumps.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] variants as for every typed helper.
+    pub fn update(
+        &mut self,
+        handle: u64,
+        inserts: Vec<(u64, u64, f32)>,
+        revalues: Vec<(u64, u64, f32)>,
+        deletes: Vec<(u64, u64)>,
+    ) -> Result<UpdateOutcome, ClientError> {
+        let request = Request::Update {
+            handle,
+            inserts,
+            revalues,
+            deletes,
+        };
+        match self.expect(&request)? {
+            Reply::Updated {
+                version,
+                nnz,
+                plans_spliced,
+                windows_replanned,
+                windows_total,
+            } => Ok(UpdateOutcome {
+                version,
+                nnz,
+                plans_spliced,
+                windows_replanned,
+                windows_total,
             }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }

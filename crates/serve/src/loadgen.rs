@@ -32,6 +32,11 @@ pub struct LoadgenOptions {
     /// Fail the run unless the server reports at least one plan-cache
     /// hit.
     pub require_hits: bool,
+    /// Percentage (0–100) of requests that are `Update` deltas churning
+    /// the shared matrices. Churn revalues diagonal entries upward, so
+    /// any interleaving across connections stays valid and every system
+    /// stays SPD.
+    pub churn: u64,
 }
 
 impl Default for LoadgenOptions {
@@ -42,6 +47,7 @@ impl Default for LoadgenOptions {
             seed: 7,
             addr: None,
             require_hits: false,
+            churn: 0,
         }
     }
 }
@@ -57,8 +63,8 @@ pub struct LoadgenReport {
     pub protocol_errors: u64,
     /// `Busy` replies absorbed by retrying.
     pub busy_retries: u64,
-    /// Completed requests by type: `[spmv, solve, plan, stats]`.
-    pub by_type: [u64; 4],
+    /// Completed requests by type: `[spmv, solve, plan, stats, update]`.
+    pub by_type: [u64; 5],
     /// Wall-clock of the whole run in seconds.
     pub elapsed_seconds: f64,
     /// Completed requests per second.
@@ -77,8 +83,13 @@ impl LoadgenReport {
         let (p50, p90, p99, max) = self.latency_micros;
         let mut out = String::new();
         out.push_str(&format!(
-            "completed            : {} ({} spmv, {} solve, {} plan, {} stats)\n",
-            self.completed, self.by_type[0], self.by_type[1], self.by_type[2], self.by_type[3]
+            "completed            : {} ({} spmv, {} solve, {} plan, {} stats, {} update)\n",
+            self.completed,
+            self.by_type[0],
+            self.by_type[1],
+            self.by_type[2],
+            self.by_type[3],
+            self.by_type[4]
         ));
         out.push_str(&format!(
             "protocol errors      : {}\n",
@@ -118,8 +129,8 @@ impl LoadgenReport {
         field(
             "by_type",
             format!(
-                "{{\"spmv\":{},\"solve\":{},\"plan\":{},\"stats\":{}}}",
-                self.by_type[0], self.by_type[1], self.by_type[2], self.by_type[3]
+                "{{\"spmv\":{},\"solve\":{},\"plan\":{},\"stats\":{},\"update\":{}}}",
+                self.by_type[0], self.by_type[1], self.by_type[2], self.by_type[3], self.by_type[4]
             ),
         );
         field("elapsed_seconds", format!("{:.6}", self.elapsed_seconds));
@@ -139,7 +150,8 @@ impl LoadgenReport {
                     "\"plan_cache_len\":{},\"plan_cache_capacity\":{},\"matrices_resident\":{},",
                     "\"matrix_evictions\":{},\"service_p50_micros\":{},\"service_p99_micros\":{},",
                     "\"service_max_micros\":{},\"service_samples\":{},\"queue_p50_micros\":{},",
-                    "\"queue_p99_micros\":{},\"queue_max_micros\":{}}}"
+                    "\"queue_p99_micros\":{},\"queue_max_micros\":{},\"requests_update\":{},",
+                    "\"plans_spliced\":{},\"replan_windows\":{}}}"
                 ),
                 s.uptime_millis,
                 s.requests_load,
@@ -164,7 +176,10 @@ impl LoadgenReport {
                 s.service_samples,
                 s.queue_p50_micros,
                 s.queue_p99_micros,
-                s.queue_max_micros
+                s.queue_max_micros,
+                s.requests_update,
+                s.plans_spliced,
+                s.replan_windows
             ),
         );
         out.push('}');
@@ -176,7 +191,7 @@ struct ConnOutcome {
     completed: u64,
     protocol_errors: u64,
     busy_retries: u64,
-    by_type: [u64; 4],
+    by_type: [u64; 5],
     latencies: Vec<u64>,
 }
 
@@ -226,10 +241,24 @@ fn workload_matrices(seed: u64) -> Vec<CooMatrix> {
 
 const ENGINES: [Engine; 3] = [Engine::Cpu, Engine::Chason, Engine::Serpens];
 
+/// The as-loaded diagonal values of a workload matrix, the floor churn
+/// revalues stay above so strict diagonal dominance (hence SPD) is
+/// preserved under any interleaving.
+fn diagonal_of(matrix: &CooMatrix) -> Vec<f32> {
+    let mut diag = vec![1.0f32; matrix.rows()];
+    for &(r, c, v) in matrix.iter() {
+        if r == c {
+            diag[r] = v;
+        }
+    }
+    diag
+}
+
 fn run_connection(
     addr: &str,
     matrices: &[CooMatrix],
     requests: usize,
+    churn: u64,
     mut rng: u64,
 ) -> Result<ConnOutcome, ClientError> {
     let mut client = Client::connect(addr)?;
@@ -238,22 +267,59 @@ fn run_connection(
         let (handle, _fresh) = client.load_matrix(matrix)?;
         handles.push(handle);
     }
+    let diagonals: Vec<Vec<f32>> = matrices.iter().map(diagonal_of).collect();
+    let churn = churn.min(100);
     let mut outcome = ConnOutcome {
         completed: 0,
         protocol_errors: 0,
         busy_retries: 0,
-        by_type: [0; 4],
+        by_type: [0; 5],
         latencies: Vec::with_capacity(requests),
     };
     for _ in 0..requests {
         let which = (splitmix64(&mut rng) as usize) % matrices.len();
         let (matrix, handle) = (&matrices[which], handles[which]);
         let n = matrix.rows();
-        let kind = splitmix64(&mut rng) % 10;
+        // First `churn`% of the roll space is matrix churn; the remainder
+        // maps onto the classic 60/20/10/10 mix.
+        let roll = splitmix64(&mut rng) % 100;
+        let kind = if roll < churn {
+            10 // churn
+        } else {
+            (roll - churn) * 10 / (100 - churn).max(1)
+        };
         // Retry loop: Busy is shedding, not failure.
         loop {
             let start = Instant::now();
             let result: Result<usize, ClientError> = match kind {
+                10 => {
+                    // Revalue a handful of diagonal entries upward. The
+                    // diagonal always exists whatever other connections
+                    // have churned, and only ever grows past its as-loaded
+                    // value, so concurrent deltas can never conflict or
+                    // break convergence.
+                    let count = 1 + (splitmix64(&mut rng) as usize) % 3;
+                    let mut revalues: Vec<(u64, u64, f32)> = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let i = (splitmix64(&mut rng) as usize) % n;
+                        if revalues.iter().any(|&(r, _, _)| r == i as u64) {
+                            continue; // a delta batch may touch a coordinate once
+                        }
+                        let bump = 0.5 + (splitmix64(&mut rng) % 1000) as f32 / 1000.0;
+                        revalues.push((i as u64, i as u64, diagonals[which][i] + bump));
+                    }
+                    client
+                        .update(handle, Vec::new(), revalues, Vec::new())
+                        .and_then(|outcome| {
+                            if outcome.version > 0 {
+                                Ok(4)
+                            } else {
+                                Err(ClientError::Unexpected(
+                                    "update did not advance the version".to_string(),
+                                ))
+                            }
+                        })
+                }
                 0..=5 => {
                     let phase = (splitmix64(&mut rng) % 1000) as f32 / 1000.0;
                     let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37 + phase).sin()).collect();
@@ -346,7 +412,9 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
                 .wrapping_add(conn as u64 + 1);
             let addr = addr.clone();
             let matrices = &matrices;
-            joins.push(scope.spawn(move || run_connection(&addr, matrices, share, rng)));
+            joins.push(
+                scope.spawn(move || run_connection(&addr, matrices, share, options.churn, rng)),
+            );
         }
         joins
             .into_iter()
@@ -363,7 +431,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
     let mut completed = 0u64;
     let mut protocol_errors = 0u64;
     let mut busy_retries = 0u64;
-    let mut by_type = [0u64; 4];
+    let mut by_type = [0u64; 5];
     let mut latencies = Vec::new();
     for outcome in outcomes {
         match outcome {
@@ -495,10 +563,12 @@ mod tests {
             seed: 3,
             addr: None,
             require_hits: true,
+            churn: 0,
         })
         .expect("loadgen run");
         assert_eq!(report.completed, 40);
         assert_eq!(report.protocol_errors, 0);
+        assert_eq!(report.by_type[4], 0, "churn defaults off");
         assert!(report.server_stats.plan_cache_hits > 0);
         assert!(report.render().contains("protocol errors      : 0"));
         let json = report.render_json();
@@ -506,5 +576,34 @@ mod tests {
         assert!(json.contains("\"completed\":40"), "{json}");
         assert!(json.contains("\"protocol_errors\":0"), "{json}");
         assert!(json.contains("\"server_stats\":{"), "{json}");
+    }
+
+    #[test]
+    fn churned_run_updates_matrices_and_stays_clean() {
+        let report = run(&LoadgenOptions {
+            connections: 3,
+            requests: 60,
+            seed: 5,
+            addr: None,
+            require_hits: true,
+            churn: 25,
+        })
+        .expect("churned loadgen run");
+        assert_eq!(report.completed, 60);
+        assert_eq!(report.protocol_errors, 0);
+        assert!(
+            report.by_type[4] > 0,
+            "25% churn over 60 requests must send updates: {:?}",
+            report.by_type
+        );
+        assert_eq!(report.server_stats.requests_update, report.by_type[4]);
+        assert!(
+            report.server_stats.plans_spliced > 0,
+            "churn against warm plans must splice: {:?}",
+            report.server_stats
+        );
+        let json = report.render_json();
+        assert!(json.contains("\"update\":"), "{json}");
+        assert!(json.contains("\"plans_spliced\":"), "{json}");
     }
 }

@@ -274,6 +274,24 @@ pub enum Request {
         /// How long the worker sleeps.
         millis: u32,
     },
+    /// Applies a delta batch to a resident matrix: insert new entries,
+    /// revalue or delete existing ones. The handle stays the same; the
+    /// matrix's version is bumped and cached plans are incrementally
+    /// respliced (dirty windows only) or rebuilt on next use. Layout:
+    /// `handle u64, n_ins u64, n_rev u64, n_del u64,
+    /// n_ins × (row u64, col u64, value f32),
+    /// n_rev × (row u64, col u64, value f32),
+    /// n_del × (row u64, col u64)`.
+    Update {
+        /// Matrix handle from a `Loaded` reply.
+        handle: u64,
+        /// Entries to insert (coordinates must be vacant).
+        inserts: Vec<(u64, u64, f32)>,
+        /// Entries to revalue (coordinates must exist).
+        revalues: Vec<(u64, u64, f32)>,
+        /// Entries to delete (coordinates must exist).
+        deletes: Vec<(u64, u64)>,
+    },
 }
 
 /// A server-to-client CHSP message.
@@ -346,6 +364,22 @@ pub enum Reply {
         /// Human-readable detail.
         message: String,
     },
+    /// Acknowledges an `Update`: the matrix advanced to `version`. Layout:
+    /// `version u64, nnz u64, plans_spliced u32, windows_replanned u64,
+    /// windows_total u64`.
+    Updated {
+        /// The matrix's new version (1 for the first update).
+        version: u64,
+        /// Non-zero count after the delta.
+        nnz: u64,
+        /// Cached plans that were incrementally respliced (rather than
+        /// invalidated) by this update.
+        plans_spliced: u32,
+        /// Column windows re-scheduled across those splices.
+        windows_replanned: u64,
+        /// Total column windows per plan (splice denominator).
+        windows_total: u64,
+    },
 }
 
 /// A point-in-time copy of every server counter, as carried by
@@ -402,6 +436,13 @@ pub struct StatsSnapshot {
     pub queue_p99_micros: u64,
     /// Worst queue wait.
     pub queue_max_micros: u64,
+    /// `Update` requests accepted into the queue.
+    pub requests_update: u64,
+    /// Cached plans incrementally respliced (rather than rebuilt) after
+    /// matrix updates.
+    pub plans_spliced: u64,
+    /// Column windows re-scheduled across all plan splices.
+    pub replan_windows: u64,
 }
 
 impl StatsSnapshot {
@@ -423,9 +464,10 @@ impl StatsSnapshot {
             + self.requests_solve
             + self.requests_plan
             + self.requests_sleep
+            + self.requests_update
     }
 
-    const FIELDS: usize = 24;
+    const FIELDS: usize = 27;
 
     fn to_words(self) -> [u64; Self::FIELDS] {
         [
@@ -453,6 +495,9 @@ impl StatsSnapshot {
             self.queue_p50_micros,
             self.queue_p99_micros,
             self.queue_max_micros,
+            self.requests_update,
+            self.plans_spliced,
+            self.replan_windows,
         ]
     }
 
@@ -482,6 +527,9 @@ impl StatsSnapshot {
             queue_p50_micros: w[21],
             queue_p99_micros: w[22],
             queue_max_micros: w[23],
+            requests_update: w[24],
+            plans_spliced: w[25],
+            replan_windows: w[26],
         }
     }
 
@@ -499,13 +547,14 @@ impl StatsSnapshot {
         line(
             "requests executed",
             format!(
-                "{} (load {}, spmv {}, solve {}, plan {}, sleep {})",
+                "{} (load {}, spmv {}, solve {}, plan {}, sleep {}, update {})",
                 self.requests_executed(),
                 self.requests_load,
                 self.requests_spmv,
                 self.requests_solve,
                 self.requests_plan,
-                self.requests_sleep
+                self.requests_sleep,
+                self.requests_update
             ),
         );
         line("stats served inline", self.requests_stats.to_string());
@@ -529,6 +578,13 @@ impl StatsSnapshot {
             format!(
                 "{} ({} evictions)",
                 self.matrices_resident, self.matrix_evictions
+            ),
+        );
+        line(
+            "plan splices",
+            format!(
+                "{} ({} windows replanned)",
+                self.plans_spliced, self.replan_windows
             ),
         );
         line(
@@ -564,6 +620,7 @@ const OP_STATS: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
 const OP_SLEEP: u8 = 0x07;
 const OP_METRICS: u8 = 0x08;
+const OP_UPDATE: u8 = 0x09;
 
 const RP_LOADED: u8 = 0x81;
 const RP_VECTOR: u8 = 0x82;
@@ -574,6 +631,7 @@ const RP_DONE: u8 = 0x86;
 const RP_BUSY: u8 = 0x87;
 const RP_ERROR: u8 = 0x88;
 const RP_METRICS: u8 = 0x89;
+const RP_UPDATED: u8 = 0x8A;
 
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -719,6 +777,27 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             buf.push(OP_SLEEP);
             put_u32(&mut buf, *millis);
         }
+        Request::Update {
+            handle,
+            inserts,
+            revalues,
+            deletes,
+        } => {
+            buf.push(OP_UPDATE);
+            put_u64(&mut buf, *handle);
+            put_u64(&mut buf, inserts.len() as u64);
+            put_u64(&mut buf, revalues.len() as u64);
+            put_u64(&mut buf, deletes.len() as u64);
+            for &(r, c, v) in inserts.iter().chain(revalues.iter()) {
+                put_u64(&mut buf, r);
+                put_u64(&mut buf, c);
+                put_u32(&mut buf, v.to_bits());
+            }
+            for &(r, c) in deletes {
+                put_u64(&mut buf, r);
+                put_u64(&mut buf, c);
+            }
+        }
     }
     buf
 }
@@ -791,6 +870,49 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         OP_METRICS => Request::Metrics,
         OP_SHUTDOWN => Request::Shutdown,
         OP_SLEEP => Request::Sleep { millis: c.u32()? },
+        OP_UPDATE => {
+            let handle = c.u64()?;
+            let n_ins = c.u64()? as usize;
+            let n_rev = c.u64()? as usize;
+            let n_del = c.u64()? as usize;
+            let expect = n_ins
+                .saturating_mul(20)
+                .saturating_add(n_rev.saturating_mul(20))
+                .saturating_add(n_del.saturating_mul(16));
+            if c.remaining() != expect {
+                return Err(ProtoError::Malformed(format!(
+                    "Update: declared {n_ins}+{n_rev} triplets and {n_del} coordinates \
+                     but {} payload bytes remain",
+                    c.remaining()
+                )));
+            }
+            let mut inserts = Vec::with_capacity(n_ins.min(PREALLOC_LIMIT));
+            for _ in 0..n_ins {
+                let r = c.u64()?;
+                let col = c.u64()?;
+                let v = c.f32()?;
+                inserts.push((r, col, v));
+            }
+            let mut revalues = Vec::with_capacity(n_rev.min(PREALLOC_LIMIT));
+            for _ in 0..n_rev {
+                let r = c.u64()?;
+                let col = c.u64()?;
+                let v = c.f32()?;
+                revalues.push((r, col, v));
+            }
+            let mut deletes = Vec::with_capacity(n_del.min(PREALLOC_LIMIT));
+            for _ in 0..n_del {
+                let r = c.u64()?;
+                let col = c.u64()?;
+                deletes.push((r, col));
+            }
+            Request::Update {
+                handle,
+                inserts,
+                revalues,
+                deletes,
+            }
+        }
         other => {
             return Err(ProtoError::Malformed(format!(
                 "unknown request opcode {other:#04x}"
@@ -873,6 +995,20 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             let bytes = message.as_bytes();
             put_u32(&mut buf, bytes.len() as u32);
             buf.extend_from_slice(bytes);
+        }
+        Reply::Updated {
+            version,
+            nnz,
+            plans_spliced,
+            windows_replanned,
+            windows_total,
+        } => {
+            buf.push(RP_UPDATED);
+            put_u64(&mut buf, *version);
+            put_u64(&mut buf, *nnz);
+            put_u32(&mut buf, *plans_spliced);
+            put_u64(&mut buf, *windows_replanned);
+            put_u64(&mut buf, *windows_total);
         }
     }
     buf
@@ -969,6 +1105,20 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtoError> {
         RP_BUSY => Reply::Busy {
             retry_after_ms: c.u32()?,
         },
+        RP_UPDATED => {
+            let version = c.u64()?;
+            let nnz = c.u64()?;
+            let plans_spliced = c.u32()?;
+            let windows_replanned = c.u64()?;
+            let windows_total = c.u64()?;
+            Reply::Updated {
+                version,
+                nnz,
+                plans_spliced,
+                windows_replanned,
+                windows_total,
+            }
+        }
         RP_ERROR => {
             let code = ErrorCode::from_code(c.u8()?)
                 .ok_or_else(|| ProtoError::Malformed("bad error code".to_string()))?;

@@ -35,7 +35,7 @@ use chason_core::cache::LruCache;
 use chason_core::plan::{matrix_fingerprint, PlanKey, SpmvPlan};
 use chason_core::schedule::SchedulerConfig;
 use chason_sim::{AcceleratorConfig, ChasonEngine, PlanningEngine, SerpensEngine, SimError};
-use chason_sparse::{CooMatrix, CsrMatrix};
+use chason_sparse::{CooMatrix, CowCsr, MatrixDelta};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -103,17 +103,33 @@ struct Job {
     received: Instant,
 }
 
+/// A resident matrix: the COO source of truth, a CSR mirror whose row
+/// storage is structurally shared across versions, and a version counter
+/// that `Update` bumps. The cache key (the load-time fingerprint) never
+/// changes; the version distinguishes delta generations.
+#[derive(Debug, Clone)]
+struct ResidentMatrix {
+    matrix: Arc<CooMatrix>,
+    csr: Arc<CowCsr>,
+    version: u64,
+}
+
 /// State shared by every connection and worker thread.
+///
+/// Lock ordering: `matrices` before `plans` (updates splice plans while
+/// serialized under the matrices lock); no path acquires them in the
+/// opposite nesting.
 struct Shared {
     chason: ChasonEngine,
     serpens: SerpensEngine,
-    /// Resident matrices keyed by structural fingerprint.
-    matrices: Mutex<LruCache<u64, Arc<CooMatrix>>>,
-    /// Plans keyed by engine family plus `(fingerprint, scheduler
-    /// config)`. The engine tag matters: both engines share one scheduler
-    /// configuration here, so `PlanKey` alone would collide across
-    /// families.
-    plans: Mutex<LruCache<(Engine, PlanKey), Arc<SpmvPlan>>>,
+    /// Resident matrices keyed by load-time structural fingerprint.
+    matrices: Mutex<LruCache<u64, ResidentMatrix>>,
+    /// Plans keyed by engine family, matrix version, and `(fingerprint,
+    /// scheduler config)`. The engine tag matters: both engines share one
+    /// scheduler configuration here, so `PlanKey` alone would collide
+    /// across families. The version keeps plans for superseded matrix
+    /// generations from serving requests against the current one.
+    plans: Mutex<LruCache<(Engine, u64, PlanKey), Arc<SpmvPlan>>>,
     stats: ServerStats,
     shutdown: AtomicBool,
     config: ServeConfig,
@@ -137,21 +153,30 @@ impl Shared {
             .render_exposition(plan_stats, m.len as u64, m.evictions)
     }
 
-    fn matrix(&self, handle: u64) -> Option<Arc<CooMatrix>> {
+    fn matrix(&self, handle: u64) -> Option<ResidentMatrix> {
         lock_unpoisoned(&self.matrices).get(&handle).cloned()
     }
 
-    /// Returns the cached plan for (`engine`, `matrix`), scheduling and
-    /// inserting it on a miss. Scheduling runs outside the cache lock, so
-    /// concurrent misses on the same key may schedule twice; the loser's
-    /// insert is a harmless replace.
+    /// The current version of a resident matrix, without touching
+    /// recency or hit/miss counters (the batching predicate polls this).
+    fn matrix_version(&self, handle: u64) -> Option<u64> {
+        lock_unpoisoned(&self.matrices)
+            .peek(&handle)
+            .map(|r| r.version)
+    }
+
+    /// Returns the cached plan for (`engine`, `matrix` at `version`),
+    /// scheduling and inserting it on a miss. Scheduling runs outside the
+    /// cache lock, so concurrent misses on the same key may schedule
+    /// twice; the loser's insert is a harmless replace.
     fn resolve_plan<E: PlanningEngine>(
         &self,
         wire: Engine,
+        version: u64,
         planner: &E,
         matrix: &CooMatrix,
     ) -> Result<Arc<SpmvPlan>, SimError> {
-        let key = (wire, planner.plan_key(matrix));
+        let key = (wire, version, planner.plan_key(matrix));
         if let Some(plan) = lock_unpoisoned(&self.plans).get(&key) {
             return Ok(Arc::clone(plan));
         }
@@ -423,6 +448,7 @@ fn record_accepted_kind(shared: &Shared, request: &Request) {
         Request::Solve { .. } => &shared.stats.requests.solve,
         Request::Plan { .. } => &shared.stats.requests.plan,
         Request::Sleep { .. } => &shared.stats.requests.sleep,
+        Request::Update { .. } => &shared.stats.requests.update,
         // Served inline, counted there.
         Request::Stats | Request::Metrics | Request::Shutdown => return,
     };
@@ -439,6 +465,12 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<Job>) {
         // plan once, then drains queued twins (front-of-queue only, so
         // FIFO fairness holds for everything else).
         if let Request::Spmv { handle, engine, .. } = job.request {
+            // The batch key is (handle, engine, version): an Update racing
+            // on another worker bumps the version and closes the batch, so
+            // a batch never mixes requests against different matrix
+            // generations. (Front-of-queue-only draining already keeps a
+            // queued Update ordered before any Spmv sent after it.)
+            let version = shared.matrix_version(handle);
             let mut batch = vec![job];
             while batch.len() < shared.config.batch_max {
                 let twin = rx.try_recv_if(|next| {
@@ -449,7 +481,7 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<Job>) {
                             engine: e,
                             ..
                         } if h == handle && e == engine
-                    )
+                    ) && shared.matrix_version(handle) == version
                 });
                 match twin {
                     Some(next) => batch.push(next),
@@ -539,6 +571,12 @@ fn execute(shared: &Shared, request: Request) -> Reply {
             &b,
         ),
         Request::Plan { handle, engine } => execute_plan(shared, handle, engine),
+        Request::Update {
+            handle,
+            inserts,
+            revalues,
+            deletes,
+        } => execute_update(shared, handle, &inserts, &revalues, &deletes),
         Request::Sleep { millis } => {
             thread::sleep(Duration::from_millis(u64::from(millis.min(10_000))));
             Reply::Done
@@ -573,10 +611,20 @@ fn execute_load(shared: &Shared, rows: u64, cols: u64, triplets: &[(u64, u64, f3
         Err(err) => return bad_request(err.to_string()),
     };
     let handle = matrix_fingerprint(&matrix);
+    let csr = Arc::new(CowCsr::from(&matrix));
     let mut matrices = lock_unpoisoned(&shared.matrices);
+    // Re-loading a matrix whose resident copy has since been updated keeps
+    // the updated (current-version) copy: the handle names a lineage.
     let fresh = !matrices.contains(&handle);
     if fresh {
-        matrices.insert(handle, Arc::new(matrix));
+        matrices.insert(
+            handle,
+            ResidentMatrix {
+                matrix: Arc::new(matrix),
+                csr,
+                version: 0,
+            },
+        );
     }
     Reply::Loaded {
         handle,
@@ -588,24 +636,24 @@ fn execute_load(shared: &Shared, rows: u64, cols: u64, triplets: &[(u64, u64, f3
 }
 
 fn execute_spmv(shared: &Shared, handle: u64, engine: Engine, x: &[f32]) -> Reply {
-    let Some(matrix) = shared.matrix(handle) else {
+    let Some(resident) = shared.matrix(handle) else {
         return unknown_handle(handle);
     };
-    if x.len() != matrix.cols() {
+    if x.len() != resident.matrix.cols() {
         return bad_request(format!(
             "x has {} entries, matrix has {} columns",
             x.len(),
-            matrix.cols()
+            resident.matrix.cols()
         ));
     }
     let start = Instant::now();
     let (y, simulated_nanos) = match engine {
-        Engine::Cpu => (CsrMatrix::from(matrix.as_ref()).spmv(x), 0),
-        Engine::Chason => match run_engine_spmv(shared, engine, &shared.chason, &matrix, x) {
+        Engine::Cpu => (resident.csr.spmv(x), 0),
+        Engine::Chason => match run_engine_spmv(shared, engine, &shared.chason, &resident, x) {
             Ok(out) => out,
             Err(err) => return sim_error_reply(&err),
         },
-        Engine::Serpens => match run_engine_spmv(shared, engine, &shared.serpens, &matrix, x) {
+        Engine::Serpens => match run_engine_spmv(shared, engine, &shared.serpens, &resident, x) {
             Ok(out) => out,
             Err(err) => return sim_error_reply(&err),
         },
@@ -621,10 +669,10 @@ fn run_engine_spmv<E: PlanningEngine>(
     shared: &Shared,
     wire: Engine,
     planner: &E,
-    matrix: &CooMatrix,
+    resident: &ResidentMatrix,
     x: &[f32],
 ) -> Result<(Vec<f32>, u64), SimError> {
-    let plan = shared.resolve_plan(wire, planner, matrix)?;
+    let plan = shared.resolve_plan(wire, resident.version, planner, &resident.matrix)?;
     let exec = planner.run_planned(&plan, x)?;
     let nanos = (exec.latency_seconds() * 1e9) as u64;
     Ok((exec.y, nanos))
@@ -635,13 +683,16 @@ fn run_engine_spmv<E: PlanningEngine>(
 struct SharedPlanBackend<'a, E: PlanningEngine> {
     shared: &'a Shared,
     wire: Engine,
+    version: u64,
     planner: &'a E,
     elapsed: f64,
 }
 
 impl<E: PlanningEngine> SpmvBackend for SharedPlanBackend<'_, E> {
     fn spmv(&mut self, matrix: &CooMatrix, x: &[f32]) -> Result<Vec<f32>, SimError> {
-        let plan = self.shared.resolve_plan(self.wire, self.planner, matrix)?;
+        let plan = self
+            .shared
+            .resolve_plan(self.wire, self.version, self.planner, matrix)?;
         let exec = self.planner.run_planned(&plan, x)?;
         self.elapsed += exec.latency_seconds();
         Ok(exec.y)
@@ -665,9 +716,10 @@ fn execute_solve(
     tolerance: f64,
     b: &[f32],
 ) -> Reply {
-    let Some(matrix) = shared.matrix(handle) else {
+    let Some(resident) = shared.matrix(handle) else {
         return unknown_handle(handle);
     };
+    let matrix = Arc::clone(&resident.matrix);
     // The solvers assert on these; validate ahead so a bad request cannot
     // panic a worker.
     if matrix.rows() != matrix.cols() {
@@ -720,6 +772,7 @@ fn execute_solve(
             let mut backend = SharedPlanBackend {
                 shared,
                 wire: engine,
+                version: resident.version,
                 planner: &shared.chason,
                 elapsed: 0.0,
             };
@@ -730,6 +783,7 @@ fn execute_solve(
             let mut backend = SharedPlanBackend {
                 shared,
                 wire: engine,
+                version: resident.version,
                 planner: &shared.serpens,
                 elapsed: 0.0,
             };
@@ -751,13 +805,17 @@ fn execute_solve(
 }
 
 fn execute_plan(shared: &Shared, handle: u64, engine: Engine) -> Reply {
-    let Some(matrix) = shared.matrix(handle) else {
+    let Some(resident) = shared.matrix(handle) else {
         return unknown_handle(handle);
     };
     let plan = match engine {
         Engine::Cpu => return bad_request("the cpu backend has no schedule plan"),
-        Engine::Chason => shared.resolve_plan(engine, &shared.chason, &matrix),
-        Engine::Serpens => shared.resolve_plan(engine, &shared.serpens, &matrix),
+        Engine::Chason => {
+            shared.resolve_plan(engine, resident.version, &shared.chason, &resident.matrix)
+        }
+        Engine::Serpens => {
+            shared.resolve_plan(engine, resident.version, &shared.serpens, &resident.matrix)
+        }
     };
     match plan {
         Ok(plan) => {
@@ -771,5 +829,130 @@ fn execute_plan(shared: &Shared, handle: u64, engine: Engine) -> Reply {
             }
         }
         Err(err) => sim_error_reply(&err),
+    }
+}
+
+/// Takes the cached plan for the outgoing matrix generation (if any),
+/// resplices its dirty windows in place, and re-inserts it under the new
+/// generation's key. Returns `(windows_replanned, windows_total)`, or
+/// `None` when there was no cached plan or the splice failed — either way
+/// the stale plan is gone and the next request schedules from scratch.
+fn splice_plan<E: PlanningEngine>(
+    shared: &Shared,
+    wire: Engine,
+    planner: &E,
+    outgoing: &ResidentMatrix,
+    updated: &CooMatrix,
+    delta: &MatrixDelta,
+) -> Option<(u64, u64)> {
+    let old_key = (wire, outgoing.version, planner.plan_key(&outgoing.matrix));
+    let plan = lock_unpoisoned(&shared.plans).remove(&old_key)?;
+    let mut spliced = (*plan).clone();
+    match planner.replan_delta(&mut spliced, updated, delta) {
+        Ok(report) => {
+            let windows_total = spliced.window_count() as u64;
+            let new_key = (wire, outgoing.version + 1, planner.plan_key(updated));
+            lock_unpoisoned(&shared.plans).insert(new_key, Arc::new(spliced));
+            Some((report.windows_replanned as u64, windows_total))
+        }
+        Err(_) => None,
+    }
+}
+
+fn execute_update(
+    shared: &Shared,
+    handle: u64,
+    inserts: &[(u64, u64, f32)],
+    revalues: &[(u64, u64, f32)],
+    deletes: &[(u64, u64)],
+) -> Reply {
+    for &(r, c, v) in inserts.iter().chain(revalues.iter()) {
+        if !v.is_finite() || v == 0.0 {
+            // Same rule as LoadMatrix: §3.2 reserves the all-zero word for
+            // stalls. Deleting is the way to write a zero.
+            return bad_request(format!(
+                "unschedulable value {v} at ({r}, {c}): values must be finite and non-zero"
+            ));
+        }
+    }
+    // Updates to a handle serialize under the matrices lock so version
+    // N+1 is always derived from version N (lock ordering: matrices
+    // before plans).
+    let mut matrices = lock_unpoisoned(&shared.matrices);
+    let Some(resident) = matrices.get(&handle).cloned() else {
+        return unknown_handle(handle);
+    };
+    let mut delta = MatrixDelta::for_matrix(&resident.matrix);
+    let push = |result: Result<(), chason_sparse::SparseError>| result.map_err(|e| e.to_string());
+    for &(r, c, v) in inserts {
+        if let Err(e) = push(delta.push_insert(r as usize, c as usize, v)) {
+            return bad_request(e);
+        }
+    }
+    for &(r, c, v) in revalues {
+        if let Err(e) = push(delta.push_revalue(r as usize, c as usize, v)) {
+            return bad_request(e);
+        }
+    }
+    for &(r, c) in deletes {
+        if let Err(e) = push(delta.push_delete(r as usize, c as usize)) {
+            return bad_request(e);
+        }
+    }
+    let updated = match delta.apply(&resident.matrix) {
+        Ok(updated) => updated,
+        Err(err) => return bad_request(err.to_string()),
+    };
+    let csr = match resident.csr.apply_delta(&delta) {
+        Ok(csr) => csr,
+        Err(err) => {
+            return Reply::Error {
+                code: ErrorCode::Internal,
+                message: format!("csr delta diverged from coo delta: {err}"),
+            }
+        }
+    };
+    let mut plans_spliced: u32 = 0;
+    let mut windows_replanned: u64 = 0;
+    let mut windows_total: u64 = 0;
+    let chason = splice_plan(
+        shared,
+        Engine::Chason,
+        &shared.chason,
+        &resident,
+        &updated,
+        &delta,
+    );
+    let serpens = splice_plan(
+        shared,
+        Engine::Serpens,
+        &shared.serpens,
+        &resident,
+        &updated,
+        &delta,
+    );
+    for (replanned, total) in [chason, serpens].into_iter().flatten() {
+        plans_spliced += 1;
+        windows_replanned += replanned;
+        windows_total = windows_total.max(total);
+    }
+    shared.stats.plans_spliced.add(u64::from(plans_spliced));
+    shared.stats.replan_windows.add(windows_replanned);
+    let version = resident.version + 1;
+    let nnz = updated.nnz() as u64;
+    matrices.insert(
+        handle,
+        ResidentMatrix {
+            matrix: Arc::new(updated),
+            csr: Arc::new(csr),
+            version,
+        },
+    );
+    Reply::Updated {
+        version,
+        nnz,
+        plans_spliced,
+        windows_replanned,
+        windows_total,
     }
 }

@@ -35,6 +35,8 @@ pub struct RequestCounters {
     pub sleep: Arc<Counter>,
     /// `Metrics` served inline (`chsp_requests_metrics_total`).
     pub metrics: Arc<Counter>,
+    /// `Update` accepted (`chsp_requests_update_total`).
+    pub update: Arc<Counter>,
 }
 
 impl RequestCounters {
@@ -47,6 +49,7 @@ impl RequestCounters {
             stats: registry.counter("chsp_requests_stats_total"),
             sleep: registry.counter("chsp_requests_sleep_total"),
             metrics: registry.counter("chsp_requests_metrics_total"),
+            update: registry.counter("chsp_requests_update_total"),
         }
     }
 }
@@ -64,6 +67,12 @@ pub struct ServerStats {
     /// Extra same-matrix SpMVs executed by piggybacking on a dequeued
     /// request (`chsp_batched_total`).
     pub batched: Arc<Counter>,
+    /// Cached plans incrementally respliced after matrix updates
+    /// (`chsp_plans_spliced_total`).
+    pub plans_spliced: Arc<Counter>,
+    /// Column windows re-scheduled across all splices
+    /// (`chsp_replan_windows_total`).
+    pub replan_windows: Arc<Counter>,
     queue_depth_hwm: Arc<Gauge>,
     service: Arc<Histogram>,
     queue_wait: Arc<Histogram>,
@@ -76,6 +85,8 @@ impl ServerStats {
         let requests = RequestCounters::new(&registry);
         let shed = registry.counter("chsp_shed_total");
         let batched = registry.counter("chsp_batched_total");
+        let plans_spliced = registry.counter("chsp_plans_spliced_total");
+        let replan_windows = registry.counter("chsp_replan_windows_total");
         let queue_depth_hwm = registry.gauge("chsp_queue_depth_hwm");
         let service = registry.histogram("chsp_service_micros");
         let queue_wait = registry.histogram("chsp_queue_wait_micros");
@@ -85,6 +96,8 @@ impl ServerStats {
             requests,
             shed,
             batched,
+            plans_spliced,
+            replan_windows,
             queue_depth_hwm,
             service,
             queue_wait,
@@ -143,6 +156,9 @@ impl ServerStats {
             queue_p50_micros: self.queue_wait.quantile(0.50),
             queue_p99_micros: self.queue_wait.quantile(0.99),
             queue_max_micros: self.queue_wait.max(),
+            requests_update: self.requests.update.get(),
+            plans_spliced: self.plans_spliced.get(),
+            replan_windows: self.replan_windows.get(),
         }
     }
 

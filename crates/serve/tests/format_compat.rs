@@ -37,6 +37,9 @@ fn pinned_snapshot() -> StatsSnapshot {
         queue_p50_micros: 2_222,
         queue_p99_micros: 2_323,
         queue_max_micros: 2_424,
+        requests_update: 2_525,
+        plans_spliced: 2_626,
+        replan_windows: 2_727,
     }
 }
 
@@ -47,11 +50,12 @@ fn golden_path(name: &str) -> std::path::PathBuf {
 #[test]
 fn stats_reply_bytes_are_pinned() {
     let wire = encode_reply(&Reply::Stats(pinned_snapshot()));
-    // Structure first: opcode byte plus 24 little-endian u64 words. The
-    // 2026-08 golden re-bless appended three queue-wait words (p50, p99,
-    // max) when queue wait was split out of service time; the first 21
-    // words are byte-identical to the previous fixture.
-    assert_eq!(wire.len(), 1 + 24 * 8);
+    // Structure first: opcode byte plus 27 little-endian u64 words. New
+    // fields only ever append: the 2026-08 re-blesses added three
+    // queue-wait words (p50, p99, max) and then three dynamic-matrix words
+    // (update requests, plan splices, replanned windows); every earlier
+    // prefix is byte-identical to the previous fixtures.
+    assert_eq!(wire.len(), 1 + 27 * 8);
     assert_eq!(wire[0], 0x85);
     if let Err(err) = check_or_bless_bytes(&golden_path("stats_reply.bin"), &wire) {
         panic!("{err}");
@@ -60,6 +64,53 @@ fn stats_reply_bytes_are_pinned() {
     assert_eq!(
         decode_reply(&wire).expect("pinned reply decodes"),
         Reply::Stats(pinned_snapshot())
+    );
+}
+
+#[test]
+fn update_request_bytes_are_pinned() {
+    // One op of each kind with asymmetric coordinates, so a swapped
+    // row/col, reordered section, or dropped count moves the golden.
+    let wire = encode_request(&Request::Update {
+        handle: 0x1122_3344_5566_7788,
+        inserts: vec![(9, 2, 1.5)],
+        revalues: vec![(3, 8, -2.25)],
+        deletes: vec![(4, 7)],
+    });
+    // opcode + handle + three u64 counts + 2 triplets @ 20 + 1 coord @ 16.
+    assert_eq!(wire.len(), 1 + 8 + 24 + 2 * 20 + 16);
+    assert_eq!(wire[0], 0x09);
+    if let Err(err) = check_or_bless_bytes(&golden_path("update_request.bin"), &wire) {
+        panic!("{err}");
+    }
+    let decoded = chason_serve::proto::decode_request(&wire).expect("pinned request decodes");
+    assert_eq!(encode_request(&decoded), wire);
+}
+
+#[test]
+fn updated_reply_bytes_are_pinned() {
+    let wire = encode_reply(&Reply::Updated {
+        version: 11,
+        nnz: 22,
+        plans_spliced: 2,
+        windows_replanned: 33,
+        windows_total: 44,
+    });
+    // opcode + version + nnz + plans_spliced(u32) + replanned + total.
+    assert_eq!(wire.len(), 1 + 8 + 8 + 4 + 8 + 8);
+    assert_eq!(wire[0], 0x8A);
+    if let Err(err) = check_or_bless_bytes(&golden_path("updated_reply.bin"), &wire) {
+        panic!("{err}");
+    }
+    assert_eq!(
+        decode_reply(&wire).expect("pinned reply decodes"),
+        Reply::Updated {
+            version: 11,
+            nnz: 22,
+            plans_spliced: 2,
+            windows_replanned: 33,
+            windows_total: 44,
+        }
     );
 }
 

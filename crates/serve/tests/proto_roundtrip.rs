@@ -43,6 +43,9 @@ fn snapshot_from(words: &[u64]) -> StatsSnapshot {
         queue_p50_micros: words[21],
         queue_p99_micros: words[22],
         queue_max_micros: words[23],
+        requests_update: words[24],
+        plans_spliced: words[25],
+        replan_windows: words[26],
     }
 }
 
@@ -53,7 +56,7 @@ proptest! {
 
     #[test]
     fn every_request_variant_round_trips(
-        selector in 0usize..8,
+        selector in 0usize..9,
         handle in any::<u64>(),
         dims in (1u64..5000, 1u64..5000),
         engine_code in 0u8..3,
@@ -62,6 +65,7 @@ proptest! {
         tolerance_bits in any::<u64>(),
         value_bits in vec(any::<u32>(), 0..12),
         coords in vec((0u64..5000, 0u64..5000, any::<u32>()), 0..12),
+        bare_coords in vec((0u64..5000, 0u64..5000), 0..12),
         millis in any::<u32>(),
     ) {
         let engine = Engine::from_code(engine_code).unwrap();
@@ -87,6 +91,19 @@ proptest! {
             4 => Request::Stats,
             5 => Request::Shutdown,
             6 => Request::Metrics,
+            7 => Request::Update {
+                handle,
+                inserts: coords
+                    .iter()
+                    .map(|&(r, c, v)| (r, c, f32::from_bits(v)))
+                    .collect(),
+                revalues: coords
+                    .iter()
+                    .rev()
+                    .map(|&(r, c, v)| (c, r, f32::from_bits(v)))
+                    .collect(),
+                deletes: bare_coords,
+            },
             _ => Request::Sleep { millis },
         };
         let wire = encode_request(&request);
@@ -96,8 +113,8 @@ proptest! {
 
     #[test]
     fn every_reply_variant_round_trips(
-        selector in 0usize..9,
-        words in vec(any::<u64>(), 24),
+        selector in 0usize..10,
+        words in vec(any::<u64>(), 27),
         flag in any::<bool>(),
         value_bits in vec(any::<u32>(), 0..12),
         artifact in vec(any::<u8>(), 0..64),
@@ -133,6 +150,13 @@ proptest! {
             6 => Reply::Busy { retry_after_ms },
             7 => Reply::MetricsText {
                 text: MESSAGES[message_index].to_string(),
+            },
+            8 => Reply::Updated {
+                version: words[9],
+                nnz: words[10],
+                plans_spliced: retry_after_ms,
+                windows_replanned: words[11],
+                windows_total: words[12],
             },
             _ => Reply::Error {
                 code: ErrorCode::from_code(error_code).unwrap(),
@@ -172,7 +196,7 @@ proptest! {
 
     #[test]
     fn corrupted_encodings_never_panic(
-        selector in 0usize..3,
+        selector in 0usize..4,
         flip_at in any::<u64>(),
         flip_to in any::<u8>(),
         value_bits in vec(any::<u32>(), 1..8),
@@ -186,6 +210,12 @@ proptest! {
             1 => encode_reply(&Reply::Error {
                 code: ErrorCode::BadRequest,
                 message: "detail".to_string(),
+            }),
+            2 => encode_request(&Request::Update {
+                handle: 9,
+                inserts: vec![(1, 2, f32::from_bits(value_bits[0]))],
+                revalues: vec![(3, 4, f32::from_bits(value_bits[0]))],
+                deletes: vec![(5, 6)],
             }),
             _ => encode_reply(&Reply::Stats(StatsSnapshot::default())),
         };

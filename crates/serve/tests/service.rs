@@ -348,3 +348,115 @@ fn raw_is_dead(stream: &mut TcpStream) -> bool {
     }
     read_frame_blocking(stream, DEFAULT_MAX_FRAME).is_err()
 }
+
+#[test]
+fn updates_interleave_with_spmv_on_one_connection_without_stale_plans() {
+    use chason_sparse::generators::uniform_random;
+    use chason_sparse::MatrixDelta;
+
+    let server = start(small_config());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Wide enough for three column windows under the paper's W = 8192, so
+    // a splice re-schedules a strict subset of windows.
+    let m0 = uniform_random(128, 20_000, 4_000, 11);
+    let (handle, fresh) = client.load_matrix(&m0).expect("load");
+    assert!(fresh);
+    let x: Vec<f32> = (0..m0.cols()).map(|i| ((i % 13) as f32) - 6.0).collect();
+
+    let check = |client: &mut Client, reference: &chason_sparse::CooMatrix| {
+        let expected = reference.spmv(&x);
+        for engine in [Engine::Cpu, Engine::Chason, Engine::Serpens] {
+            let (y, _, _) = client.spmv(handle, engine, x.clone()).expect("spmv");
+            for (row, (got, want)) in y.iter().zip(&expected).enumerate() {
+                assert!(
+                    (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+                    "{engine:?} row {row}: got {got}, want {want}"
+                );
+            }
+        }
+    };
+
+    // Warm every engine's plan against version 0.
+    check(&mut client, &m0);
+
+    // Delta 1: revalue the first explicit entry by a large factor (so a
+    // stale plan would produce a visibly wrong row), delete the last, and
+    // insert at a vacant coordinate.
+    let triplets: Vec<(usize, usize, f32)> = m0.iter().copied().collect();
+    let &(r0, c0, v0) = triplets.first().expect("non-empty matrix");
+    let &(r1, c1, _) = triplets.last().expect("non-empty matrix");
+    let vacant_col = (0..m0.cols())
+        .find(|&c| !triplets.iter().any(|&(r, tc, _)| r == 0 && tc == c))
+        .expect("a vacant coordinate in row 0");
+
+    let mut delta = MatrixDelta::for_matrix(&m0);
+    delta.push_revalue(r0, c0, v0 * 64.0).expect("revalue");
+    delta.push_delete(r1, c1).expect("delete");
+    delta.push_insert(0, vacant_col, 2.5).expect("insert");
+    let m1 = delta.apply(&m0).expect("reference apply");
+
+    let outcome = client
+        .update(
+            handle,
+            vec![(0, vacant_col as u64, 2.5)],
+            vec![(r0 as u64, c0 as u64, v0 * 64.0)],
+            vec![(r1 as u64, c1 as u64)],
+        )
+        .expect("update");
+    assert_eq!(outcome.version, 1);
+    assert_eq!(outcome.nnz, m1.nnz() as u64);
+    // Both simulated engines had warm plans; both must have been spliced,
+    // touching some but not every window.
+    assert_eq!(outcome.plans_spliced, 2);
+    assert!(outcome.windows_replanned >= 1);
+    assert!(outcome.windows_total >= 3);
+    assert!(outcome.windows_replanned < outcome.plans_spliced as u64 * outcome.windows_total);
+
+    // The very next products on the same connection see version 1.
+    check(&mut client, &m1);
+
+    // Delta 2 against the updated matrix: put the deleted entry back.
+    let mut delta2 = MatrixDelta::for_matrix(&m1);
+    delta2.push_insert(r1, c1, -3.75).expect("insert back");
+    let m2 = delta2.apply(&m1).expect("reference apply");
+    let outcome2 = client
+        .update(handle, vec![(r1 as u64, c1 as u64, -3.75)], vec![], vec![])
+        .expect("second update");
+    assert_eq!(outcome2.version, 2);
+    assert_eq!(outcome2.nnz, m2.nnz() as u64);
+    check(&mut client, &m2);
+
+    // Bad deltas are typed errors and leave the resident version alone.
+    for (ins, rev, del) in [
+        // Insert over an existing entry.
+        (vec![(r0 as u64, c0 as u64, 1.0)], vec![], vec![]),
+        // Revalue of a vacant coordinate (row 1 may hold it: pick far row).
+        (vec![], vec![(u64::MAX, 0, 1.0)], vec![]),
+        // Unschedulable explicit zero.
+        (vec![], vec![(r0 as u64, c0 as u64, 0.0)], vec![]),
+    ] {
+        let err = client.update(handle, ins, rev, del).expect_err("bad delta");
+        assert!(
+            matches!(
+                err,
+                chason_serve::client::ClientError::Server {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "wanted BadRequest, got {err}"
+        );
+    }
+    check(&mut client, &m2);
+
+    let stats = client.stats().expect("stats");
+    // Acceptance counters count every queued Update, rejected ones
+    // included: 2 applied + 3 refused.
+    assert_eq!(stats.requests_update, 5);
+    assert_eq!(stats.plans_spliced, outcome.plans_spliced as u64 + 2);
+    assert!(stats.replan_windows >= stats.plans_spliced);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}

@@ -15,8 +15,9 @@ use crate::memory::URAM_PARTIALS;
 use crate::partitioned::combine;
 use crate::{ChasonEngine, Execution, SerpensEngine, SimError};
 use chason_core::plan::{PlanKey, SpmvPlan};
+use chason_core::replan::ReplanReport;
 use chason_core::window::partition_rows_capacity;
-use chason_sparse::CooMatrix;
+use chason_sparse::{CooMatrix, MatrixDelta};
 
 /// Threads used by `plan` when the caller does not choose a count.
 fn default_planning_threads() -> usize {
@@ -36,6 +37,15 @@ pub trait PlanningEngine {
     /// The cache key identifying `matrix` scheduled under this engine's
     /// configuration.
     fn plan_key(&self, matrix: &CooMatrix) -> PlanKey;
+
+    /// Splices `delta` into `plan` by re-scheduling only the dirty windows.
+    /// See `ChasonEngine::replan_delta`.
+    fn replan_delta(
+        &self,
+        plan: &mut SpmvPlan,
+        updated: &CooMatrix,
+        delta: &MatrixDelta,
+    ) -> Result<ReplanReport, SimError>;
 }
 
 macro_rules! impl_planning {
@@ -88,6 +98,47 @@ macro_rules! impl_planning {
                     nnz: matrix.nnz(),
                     passes,
                 })
+            }
+
+            /// Splices `delta` into `plan` by re-scheduling only the column
+            /// windows the delta's row/column footprint dirties, leaving
+            /// every other window's schedule untouched.
+            ///
+            /// `updated` must be the delta applied to the plan's source
+            /// matrix (`MatrixDelta::apply`). Because the pass/window
+            /// skeleton depends only on the matrix shape — which deltas
+            /// never change — and this engine's scheduler is
+            /// deterministic, the spliced plan is bit-identical to
+            /// [`plan`](Self::plan) of `updated`; the conformance suite's
+            /// delta oracle asserts exactly that across the corpus. The
+            /// report says how many windows were re-scheduled.
+            ///
+            /// # Errors
+            ///
+            /// * [`SimError::PlanMismatch`] if the plan was built by a
+            ///   different engine family or configuration, or if
+            ///   `updated`/`delta` are inconsistent with the plan (shape or
+            ///   non-zero count disagreement).
+            pub fn replan_delta(
+                &self,
+                plan: &mut SpmvPlan,
+                updated: &CooMatrix,
+                delta: &MatrixDelta,
+            ) -> Result<ReplanReport, SimError> {
+                let config = self.config();
+                if plan.engine != $name {
+                    return Err(SimError::PlanMismatch(format!(
+                        "plan built by the {} engine cannot be respliced on {}",
+                        plan.engine, $name
+                    )));
+                }
+                if plan.key.config != config.sched || plan.window != config.window {
+                    return Err(SimError::PlanMismatch(
+                        "plan was built under a different configuration".to_string(),
+                    ));
+                }
+                plan.apply_delta(updated, delta, self.scheduler())
+                    .map_err(|e| SimError::PlanMismatch(e.to_string()))
             }
 
             /// Executes `y = A·x` from a plan built by
@@ -155,6 +206,15 @@ macro_rules! impl_planning {
 
             fn plan_key(&self, matrix: &CooMatrix) -> PlanKey {
                 PlanKey::new(matrix, self.config().sched)
+            }
+
+            fn replan_delta(
+                &self,
+                plan: &mut SpmvPlan,
+                updated: &CooMatrix,
+                delta: &MatrixDelta,
+            ) -> Result<ReplanReport, SimError> {
+                <$engine>::replan_delta(self, plan, updated, delta)
             }
         }
     };
@@ -249,6 +309,98 @@ mod tests {
             }
             other => panic!("expected InvalidSchedule, got {other:?}"),
         }
+    }
+
+    /// A small structural delta against a multi-window matrix: revalue and
+    /// delete existing entries, insert at a vacant coordinate.
+    fn sample_delta(m: &CooMatrix) -> MatrixDelta {
+        let mut delta = MatrixDelta::for_matrix(m);
+        let t = m.triplets();
+        let (r, c, _) = t[t.len() / 3];
+        delta.push_revalue(r, c, 2.75).unwrap();
+        let (r, c, _) = t[2 * t.len() / 3];
+        delta.push_delete(r, c).unwrap();
+        let vacant = (0..m.cols())
+            .find(|&c| !t.iter().any(|&(tr, tc, _)| tr == 0 && tc == c))
+            .unwrap();
+        delta.push_insert(0, vacant, -4.5).unwrap();
+        delta
+    }
+
+    #[test]
+    fn respliced_plan_equals_scratch_plan_for_both_engines() {
+        let m = uniform_random(256, 20_000, 8_000, 21); // 3 windows of W = 8192
+        let delta = sample_delta(&m);
+        let updated = delta.apply(&m).unwrap();
+
+        let chason = ChasonEngine::default();
+        let mut spliced = chason.plan(&m).unwrap();
+        let report = chason.replan_delta(&mut spliced, &updated, &delta).unwrap();
+        assert_eq!(spliced, chason.plan(&updated).unwrap());
+        assert!(report.windows_replanned < report.windows_total);
+
+        let serpens = SerpensEngine::default();
+        let mut spliced = serpens.plan(&m).unwrap();
+        serpens
+            .replan_delta(&mut spliced, &updated, &delta)
+            .unwrap();
+        assert_eq!(spliced, serpens.plan(&updated).unwrap());
+    }
+
+    #[test]
+    fn respliced_plan_replays_like_the_updated_matrix() {
+        let m = power_law(300, 17_000, 4_000, 1.8, 29);
+        let delta = sample_delta(&m);
+        let updated = delta.apply(&m).unwrap();
+        let engine = ChasonEngine::default();
+        let mut plan = engine.plan(&m).unwrap();
+        engine.replan_delta(&mut plan, &updated, &delta).unwrap();
+        let x: Vec<f32> = (0..m.cols()).map(|i| (i as f32 * 0.19).sin()).collect();
+        assert_eq!(
+            engine.run_planned(&plan, &x).unwrap(),
+            engine.run(&updated, &x).unwrap()
+        );
+    }
+
+    #[test]
+    fn resplice_spans_row_partition_passes() {
+        let engine = ChasonEngine::new(AcceleratorConfig {
+            sched: SchedulerConfig::toy(2, 2, 4),
+            ..AcceleratorConfig::chason()
+        });
+        // 4 PEs x 8192 rows/PE = 32_768 rows per pass -> 3 passes.
+        let m = uniform_random(70_000, 128, 30_000, 5);
+        let delta = sample_delta(&m);
+        let updated = delta.apply(&m).unwrap();
+        let mut spliced = engine.plan(&m).unwrap();
+        let report = engine.replan_delta(&mut spliced, &updated, &delta).unwrap();
+        assert_eq!(spliced, engine.plan(&updated).unwrap());
+        assert!(report.passes_touched >= 1);
+        assert_eq!(
+            spliced.passes.iter().map(|p| p.nnz).sum::<usize>(),
+            updated.nnz()
+        );
+    }
+
+    #[test]
+    fn resplice_rejects_foreign_or_inconsistent_inputs() {
+        let m = uniform_random(64, 64, 300, 1);
+        let delta = sample_delta(&m);
+        let updated = delta.apply(&m).unwrap();
+        let chason = ChasonEngine::default();
+        let serpens = SerpensEngine::default();
+        let mut plan = chason.plan(&m).unwrap();
+        assert!(matches!(
+            serpens.replan_delta(&mut plan, &updated, &delta),
+            Err(SimError::PlanMismatch(_))
+        ));
+        // Updated matrix inconsistent with the delta (nnz disagreement).
+        assert!(matches!(
+            chason.replan_delta(&mut plan, &m, &delta),
+            Err(SimError::PlanMismatch(_))
+        ));
+        // Plan untouched by the failed attempts.
+        assert_eq!(plan, chason.plan(&m).unwrap());
     }
 
     #[test]

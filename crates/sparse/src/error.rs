@@ -30,6 +30,13 @@ pub enum SparseError {
         /// Column of the duplicated coordinate.
         col: usize,
     },
+    /// A delta operation targeted a coordinate holding no explicit entry.
+    AbsentEntry {
+        /// Row of the missing coordinate.
+        row: usize,
+        /// Column of the missing coordinate.
+        col: usize,
+    },
     /// A structural array (e.g. a CSR row-pointer array) is inconsistent.
     MalformedStructure(String),
     /// A MatrixMarket stream could not be parsed.
@@ -60,6 +67,9 @@ impl fmt::Display for SparseError {
             }
             SparseError::DuplicateEntry { row, col } => {
                 write!(f, "duplicate explicit entry at ({row}, {col})")
+            }
+            SparseError::AbsentEntry { row, col } => {
+                write!(f, "no explicit entry at ({row}, {col}) to update")
             }
             SparseError::MalformedStructure(msg) => {
                 write!(f, "malformed sparse structure: {msg}")

@@ -36,6 +36,7 @@ mod coo;
 mod csc;
 mod csr;
 pub mod datasets;
+mod delta;
 mod dense;
 mod error;
 pub mod generators;
@@ -46,6 +47,7 @@ pub mod stats;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
+pub use delta::{CowCsr, MatrixDelta, VersionedMatrix};
 pub use dense::DenseMatrix;
 pub use error::SparseError;
 

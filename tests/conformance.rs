@@ -1,9 +1,13 @@
 //! Root integration tests driving the `chason-conformance` harness: the
 //! full small-corpus differential run, the committed golden cycle traces
-//! (with the `UPDATE_GOLDEN=1` bless flow), and the schedule fuzzer's
-//! no-escapes guarantee.
+//! (with the `UPDATE_GOLDEN=1` bless flow), the schedule fuzzer's
+//! no-escapes guarantee, and the dynamic-matrix delta oracles
+//! (spliced plans ≡ from-scratch plans across the corpus).
 
-use chason_conformance::{corpus, fuzz, golden, run_case, run_corpus, CorpusSize, HarnessOptions};
+use chason_conformance::{
+    corpus, fuzz, fuzz_deltas, golden, run_case, run_corpus, run_delta_cases, CorpusSize,
+    DeltaKind, DeltaOptions, HarnessOptions,
+};
 use chason_sim::report::CycleTrace;
 use std::path::PathBuf;
 
@@ -105,4 +109,65 @@ fn fuzzer_catches_every_injected_corruption() {
     // The table names each corruption and at least one catching layer.
     let table = outcome.detection_table();
     assert_eq!(table.lines().count(), 12, "header + divider + ten rows");
+}
+
+/// Every spliced plan across the full small corpus — both engines, all
+/// four delta kinds, under a toy geometry with a narrow window so the
+/// matrices span several column windows — is bit-identical to a
+/// from-scratch plan of the updated matrix, replays to the CPU
+/// reference, conserves its cycle report, and passes `chason-verify`.
+#[test]
+fn delta_splices_equal_scratch_plans_across_the_corpus() {
+    use chason_core::schedule::SchedulerConfig;
+    let options = DeltaOptions {
+        sched: SchedulerConfig::toy(4, 4, 6),
+        window: Some(32),
+        deltas_per_case: 2,
+        ..DeltaOptions::default()
+    };
+    let cases = corpus(CorpusSize::Small);
+    let report = run_delta_cases(&cases, &options);
+    assert_eq!(report.deltas, cases.len() * 2 * DeltaKind::ALL.len());
+    assert_eq!(report.checks, report.deltas * 2, "both engines per delta");
+    assert!(
+        report.is_clean(),
+        "{}\n{}",
+        report.summary(),
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The delta-splice fuzzer: random insert/delete/revalue batches spliced
+/// into cached plans must always equal scratch plans and replay clean on
+/// bare PEGs — no escapes, every kind exercised.
+#[test]
+fn delta_fuzzer_finds_no_splice_escapes() {
+    let outcome = fuzz_deltas(1, 48);
+    assert!(outcome.covered_all_kinds(), "{:?}", outcome.per_kind);
+    assert!(
+        outcome.is_clean(),
+        "escapes:\n{}\n{}",
+        outcome
+            .escapes
+            .iter()
+            .map(|e| format!(
+                "iter {} {} on {}: {}",
+                e.iteration,
+                e.kind.name(),
+                e.matrix,
+                e.detail
+            ))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        outcome.equivalence_table()
+    );
+    for (kind, stats) in &outcome.per_kind {
+        assert_eq!(stats.equivalent, stats.applied, "{kind}");
+        assert_eq!(stats.replay_clean, stats.applied, "{kind}");
+    }
 }
