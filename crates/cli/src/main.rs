@@ -52,17 +52,27 @@ USAGE:
                                [--plan-cache N] [--matrix-cache N] [--batch-max N]
                                [--retry-after-ms MS] [--channels N] [--pes N]
                                # CHSP daemon; runs until a Shutdown request
+  chason route                 --shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+                               [--workers N] [--queue N] [--matrix-cache N]
+                               [--retry-attempts N] [--health-interval-ms MS]
+                               [--shutdown-shards]
+                               # scatter-gather CHSP frontend over N serve shards;
+                               --shutdown-shards forwards a wire Shutdown to
+                               every backend before draining
   chason client <op>           stats | metrics | load <m.mtx> | spmv <m.mtx>
                                | solve <m.mtx> | plan <m.mtx> [--out FILE]
                                | update <m.mtx> [--insert \"r,c,v[;...]\"]
                                  [--revalue \"r,c,v[;...]\"] [--delete \"r,c[;...]\"]
                                | shutdown
                                [--addr HOST:PORT] [--engine E] [--solver S]
+                               [--retries N]   # back off and resend on Busy
   chason loadgen               [--addr HOST:PORT] [--connections N] [--requests M]
                                [--seed S] [--format text|json] [--report FILE]
-                               [--require-hits] [--churn PCT]
+                               [--require-hits] [--churn PCT] [--router]
                                # deterministic closed-loop load generator;
-                               --churn sends that percentage as matrix deltas
+                               --churn sends that percentage as matrix deltas;
+                               --router targets a chason route frontend and
+                               reports per-shard balance + gather percentiles
   chason bench                 [--profile smoke|full] [--name NAME] [--out DIR]
                                [--filter SUBSTR] [--baseline FILE] [--current FILE]
                                [--threshold PCT]
@@ -94,6 +104,7 @@ fn main() -> ExitCode {
         "catalog" => commands::catalog(),
         "bench" => bench::bench(&args),
         "serve" => service::serve(&args),
+        "route" => service::route(&args),
         "client" => service::client(&args),
         "loadgen" => service::run_loadgen(&args),
         "help" | "--help" => {

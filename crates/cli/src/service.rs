@@ -1,9 +1,10 @@
-//! `chason serve` / `chason client` / `chason loadgen` — the CHSP service
-//! front ends.
+//! `chason serve` / `chason route` / `chason client` / `chason loadgen` —
+//! the CHSP service front ends.
 
 use crate::args::Args;
 use crate::commands::scheduler_config;
-use chason_serve::client::Client;
+use chason_router::{Router, RouterConfig};
+use chason_serve::client::{Client, ClientError, RetryPolicy};
 use chason_serve::loadgen::{self, LoadgenOptions};
 use chason_serve::proto::{Engine, SolverKind};
 use chason_serve::server::{ServeConfig, Server};
@@ -54,9 +55,79 @@ pub fn serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `chason route` — scatter-gather CHSP frontend over N backend shards;
+/// runs until a `Shutdown` request arrives (forwarded to every shard
+/// when `--shutdown-shards` is set).
+pub fn route(args: &Args) -> Result<(), String> {
+    let shards: Vec<String> = args
+        .get("shards")
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if shards.is_empty() {
+        return Err("route needs --shards HOST:PORT,HOST:PORT,...".to_string());
+    }
+    let config = RouterConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7478").to_string(),
+        shards,
+        workers: args.get_or("workers", 4usize)?,
+        queue_capacity: args.get_or("queue", 64usize)?,
+        matrix_cache_capacity: args.get_or("matrix-cache", 32usize)?,
+        retry_after_ms: args.get_or("retry-after-ms", 20u32)?,
+        shard_retry: RetryPolicy {
+            max_attempts: args.get_or("retry-attempts", RetryPolicy::default().max_attempts)?,
+            ..RetryPolicy::default()
+        },
+        health_interval: Duration::from_millis(args.get_or("health-interval-ms", 2000u64)?),
+        shutdown_shards: args.has_flag("shutdown-shards"),
+        ..RouterConfig::default()
+    };
+    let router = Router::start(config).map_err(|e| format!("cannot start router: {e}"))?;
+    println!("chason route listening on {}", router.local_addr());
+    // The line above is how scripts discover an ephemeral port; make sure
+    // it is visible before we block.
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout: {e}"))?;
+    router.join();
+    println!("chason route drained and exited");
+    Ok(())
+}
+
 fn connect(args: &Args) -> Result<Client, String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:7477");
-    Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+    let client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let retries = args.get_or("retries", 0u32)?;
+    Ok(if retries > 0 {
+        client.with_retry(Some(RetryPolicy {
+            max_attempts: retries,
+            ..RetryPolicy::default()
+        }))
+    } else {
+        client
+    })
+}
+
+/// Renders a client error for the terminal, surfacing the server's
+/// back-off hint on `Busy` instead of a generic failure string.
+fn describe(err: ClientError) -> String {
+    match err {
+        ClientError::Busy { retry_after_ms } => format!(
+            "server busy — retry after {retry_after_ms} ms \
+             (pass --retries N to back off and retry automatically)"
+        ),
+        ClientError::RetriesExhausted {
+            attempts,
+            retry_after_ms,
+        } => format!(
+            "server still busy after {attempts} attempts — last hint: \
+             retry after {retry_after_ms} ms"
+        ),
+        other => other.to_string(),
+    }
 }
 
 /// Parses a `;`-separated list of `row,col,value` triplets
@@ -113,16 +184,16 @@ pub fn client(args: &Args) -> Result<(), String> {
     let mut client = connect(args)?;
     match op {
         "stats" => {
-            let snapshot = client.stats().map_err(|e| e.to_string())?;
+            let snapshot = client.stats().map_err(describe)?;
             print!("{}", snapshot.render_table());
         }
         "metrics" => {
-            let text = client.metrics().map_err(|e| e.to_string())?;
+            let text = client.metrics().map_err(describe)?;
             print!("{text}");
         }
         "load" => {
             let matrix = read_positional_matrix(args, 1)?;
-            let (handle, fresh) = client.load_matrix(&matrix).map_err(|e| e.to_string())?;
+            let (handle, fresh) = client.load_matrix(&matrix).map_err(describe)?;
             println!(
                 "handle {handle:#018x} ({}, {} x {}, {} nnz)",
                 if fresh { "fresh" } else { "already resident" },
@@ -134,10 +205,10 @@ pub fn client(args: &Args) -> Result<(), String> {
         "spmv" => {
             let matrix = read_positional_matrix(args, 1)?;
             let engine = parse_engine(args)?;
-            let (handle, _) = client.load_matrix(&matrix).map_err(|e| e.to_string())?;
+            let (handle, _) = client.load_matrix(&matrix).map_err(describe)?;
             let x = vec![1.0f32; matrix.cols()];
             let (y, service_micros, simulated_nanos) =
-                client.spmv(handle, engine, x).map_err(|e| e.to_string())?;
+                client.spmv(handle, engine, x).map_err(describe)?;
             let checksum: f64 = y.iter().map(|&v| v as f64).sum();
             println!("engine        : {}", engine.name());
             println!("y checksum    : {checksum:.6}");
@@ -152,11 +223,11 @@ pub fn client(args: &Args) -> Result<(), String> {
                 .ok_or_else(|| format!("unknown solver '{solver_name}'"))?;
             let max_iterations = args.get_or("max-iterations", 500u32)?;
             let tolerance = args.get_or("tolerance", 1e-6f64)?;
-            let (handle, _) = client.load_matrix(&matrix).map_err(|e| e.to_string())?;
+            let (handle, _) = client.load_matrix(&matrix).map_err(describe)?;
             let b = vec![1.0f32; matrix.rows()];
             let outcome = client
                 .solve(handle, engine, solver, max_iterations, tolerance, b)
-                .map_err(|e| e.to_string())?;
+                .map_err(describe)?;
             println!("solver        : {} on {}", solver.name(), engine.name());
             println!(
                 "converged     : {} after {} iterations (residual {:.3e})",
@@ -168,8 +239,8 @@ pub fn client(args: &Args) -> Result<(), String> {
         "plan" => {
             let matrix = read_positional_matrix(args, 1)?;
             let engine = parse_engine(args)?;
-            let (handle, _) = client.load_matrix(&matrix).map_err(|e| e.to_string())?;
-            let bytes = client.plan(handle, engine).map_err(|e| e.to_string())?;
+            let (handle, _) = client.load_matrix(&matrix).map_err(describe)?;
+            let bytes = client.plan(handle, engine).map_err(describe)?;
             match args.get("out") {
                 Some(path) => {
                     std::fs::write(path, &bytes)
@@ -207,10 +278,10 @@ pub fn client(args: &Args) -> Result<(), String> {
             }
             // Loading is idempotent: if the matrix is already resident this
             // just resolves the handle of its current lineage.
-            let (handle, _) = client.load_matrix(&matrix).map_err(|e| e.to_string())?;
+            let (handle, _) = client.load_matrix(&matrix).map_err(describe)?;
             let outcome = client
                 .update(handle, inserts, revalues, deletes)
-                .map_err(|e| e.to_string())?;
+                .map_err(describe)?;
             println!("handle        : {handle:#018x}");
             println!("version       : {}", outcome.version);
             println!("nnz           : {}", outcome.nnz);
@@ -220,7 +291,7 @@ pub fn client(args: &Args) -> Result<(), String> {
             );
         }
         "shutdown" => {
-            client.shutdown().map_err(|e| e.to_string())?;
+            client.shutdown().map_err(describe)?;
             println!("server acknowledged shutdown");
         }
         other => return Err(format!("unknown client operation '{other}'")),
@@ -244,6 +315,7 @@ pub fn run_loadgen(args: &Args) -> Result<(), String> {
         addr: args.get("addr").map(str::to_string),
         require_hits: args.has_flag("require-hits"),
         churn,
+        router: args.has_flag("router"),
     };
     let report = loadgen::run(&options)?;
     let rendered = match args.get("format").unwrap_or("text") {

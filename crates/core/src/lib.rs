@@ -45,6 +45,7 @@ pub mod metrics;
 pub mod plan;
 pub mod replan;
 pub mod schedule;
+pub mod shard;
 pub mod viz;
 pub mod window;
 
@@ -57,3 +58,4 @@ pub use schedule::{
     ChannelSchedule, Crhcs, HybridRowSplit, NzSlot, PeAware, RowBased, ScheduledMatrix, Scheduler,
     SchedulerConfig,
 };
+pub use shard::ShardedPlan;

@@ -1,0 +1,148 @@
+//! Per-shard plan bundles for row-block sharded SpMV.
+//!
+//! [`ShardedPlan`] pairs a [`ShardSpec`] with one [`SpmvPlan`] per shard:
+//! the unit a scatter-gather frontend caches so every shard backend can
+//! execute its row block with a pre-built schedule. The reduction of
+//! per-shard partial vectors lives on [`ShardSpec::gather`]; this module
+//! validates that the plans actually match the spec they claim to tile.
+
+use crate::plan::SpmvPlan;
+use chason_sparse::shard::ShardSpec;
+use chason_sparse::SparseError;
+
+/// A [`ShardSpec`] together with one execution plan per shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedPlan {
+    spec: ShardSpec,
+    plans: Vec<SpmvPlan>,
+}
+
+impl ShardedPlan {
+    /// Bundles per-shard plans with the spec that produced their slices.
+    ///
+    /// Each plan must cover exactly its shard's row range (plans are built
+    /// from row-remapped slices, so plan `k` has `end_k - start_k` rows)
+    /// and all plans must agree on the column width.
+    pub fn assemble(spec: ShardSpec, plans: Vec<SpmvPlan>) -> Result<Self, SparseError> {
+        if plans.len() != spec.shards() {
+            return Err(SparseError::InvalidShardSpec(format!(
+                "expected {} plans, got {}",
+                spec.shards(),
+                plans.len()
+            )));
+        }
+        let cols = plans.first().map(|p| p.cols);
+        for (k, plan) in plans.iter().enumerate() {
+            let (start, end) = spec.range(k);
+            if plan.rows != end - start {
+                return Err(SparseError::InvalidShardSpec(format!(
+                    "shard {k} plan covers {} rows, range [{start}, {end}) needs {}",
+                    plan.rows,
+                    end - start
+                )));
+            }
+            if Some(plan.cols) != cols {
+                return Err(SparseError::InvalidShardSpec(format!(
+                    "shard {k} plan has {} columns, shard 0 has {}",
+                    plan.cols,
+                    cols.unwrap_or(0)
+                )));
+            }
+        }
+        Ok(ShardedPlan { spec, plans })
+    }
+
+    /// The row partition the plans were built against.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Per-shard plans in shard order.
+    pub fn plans(&self) -> &[SpmvPlan] {
+        &self.plans
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Total column windows across all shard plans.
+    pub fn window_count(&self) -> usize {
+        self.plans.iter().map(SpmvPlan::window_count).sum()
+    }
+
+    /// Total non-zeros across all shard plans.
+    pub fn nnz(&self) -> usize {
+        self.plans.iter().map(|p| p.nnz).sum()
+    }
+
+    /// Reduces per-shard partial products into the full output vector.
+    ///
+    /// Thin wrapper over [`ShardSpec::gather`] so callers holding a
+    /// `ShardedPlan` do not have to reach into the spec.
+    pub fn reduce_partials(&self, partials: &[Vec<f32>]) -> Result<Vec<f32>, SparseError> {
+        self.spec.gather(partials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PassPlan, PlanKey, SpmvPlan};
+
+    fn dummy_plan(rows: usize, cols: usize, nnz: usize) -> SpmvPlan {
+        SpmvPlan {
+            key: PlanKey {
+                fingerprint: rows as u64 ^ (cols as u64) << 20,
+                config: Default::default(),
+            },
+            engine: "test".to_string(),
+            window: 16,
+            rows,
+            cols,
+            nnz,
+            passes: vec![PassPlan {
+                row_start: 0,
+                row_end: rows,
+                nnz,
+                windows: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn assemble_validates_shape() {
+        let spec = ShardSpec::uniform(10, 2).unwrap();
+        let ok =
+            ShardedPlan::assemble(spec.clone(), vec![dummy_plan(5, 8, 3), dummy_plan(5, 8, 4)])
+                .unwrap();
+        assert_eq!(ok.shards(), 2);
+        assert_eq!(ok.nnz(), 7);
+
+        // Wrong plan count.
+        assert!(ShardedPlan::assemble(spec.clone(), vec![dummy_plan(5, 8, 3)]).is_err());
+        // Wrong row coverage.
+        assert!(ShardedPlan::assemble(
+            spec.clone(),
+            vec![dummy_plan(4, 8, 3), dummy_plan(6, 8, 4)]
+        )
+        .is_err());
+        // Column disagreement.
+        assert!(
+            ShardedPlan::assemble(spec, vec![dummy_plan(5, 8, 3), dummy_plan(5, 9, 4)]).is_err()
+        );
+    }
+
+    #[test]
+    fn reduce_partials_places_rows() {
+        let spec = ShardSpec::uniform(4, 2).unwrap();
+        let plan =
+            ShardedPlan::assemble(spec, vec![dummy_plan(2, 4, 1), dummy_plan(2, 4, 1)]).unwrap();
+        let y = plan
+            .reduce_partials(&[vec![1.0, 2.0], vec![3.0, 4.0]])
+            .unwrap();
+        assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(plan.reduce_partials(&[vec![1.0], vec![3.0, 4.0]]).is_err());
+    }
+}

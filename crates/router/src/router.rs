@@ -1,0 +1,1350 @@
+//! The `chason route` frontend: listener, connection threads, worker
+//! pool, scatter-gather executors, and the shard health checker.
+//!
+//! # Threading model
+//!
+//! The shape mirrors `chason serve` deliberately — one listener thread,
+//! a thread per connection, a bounded MPMC queue feeding a fixed worker
+//! pool, `Stats`/`Metrics`/`Shutdown` answered inline, `Busy` shed when
+//! the queue is full — so a router drops into any deployment script that
+//! already drives a server. The difference is inside the workers: instead
+//! of executing kernels, each worker owns one pooled
+//! [`ShardConn`](crate::shards::ShardConn) per backend and scatters
+//! sub-requests across them with scoped threads, so an N-shard fan-out
+//! costs one round trip, not N.
+//!
+//! # Consistency
+//!
+//! The router is the only writer its shards see (clients must not address
+//! backends directly while a router fronts them). Loads and updates
+//! serialize under the resident-table lock, so the per-shard matrix
+//! versions the router records stay in lockstep with the shards' own
+//! version counters; any observed divergence — a shard reporting a
+//! version the router did not produce — fails the request with
+//! [`ErrorCode::PartialGather`] and drops the mapping, forcing the next
+//! `LoadMatrix` to re-scatter a consistent snapshot.
+
+use crate::shards::{HealthBoard, ShardConn, ShardError, ShardErrorKind};
+use crate::stats::RouterStats;
+use chason::solvers::{conjugate_gradient, jacobi, CgOptions, SpmvBackend};
+use chason_core::cache::{CacheStats, LruCache};
+use chason_core::plan::matrix_fingerprint;
+use chason_serve::client::{Client, RetryPolicy};
+use chason_serve::proto::{
+    decode_request, encode_reply, write_frame, Engine, ErrorCode, FrameEvent, FrameReader,
+    ProtoError, Reply, Request, SolverKind, StatsSnapshot, DEFAULT_MAX_FRAME,
+};
+use chason_serve::stats::lock_unpoisoned;
+use chason_sim::SimError;
+use chason_sparse::shard::ShardSpec;
+use chason_sparse::{CooMatrix, MatrixDelta};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tunable knobs of a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Backend shard addresses, in row-block order: shard 0 owns the
+    /// lowest row range.
+    pub shards: Vec<String>,
+    /// Worker threads executing queued requests. Each owns one pooled
+    /// connection per shard.
+    pub workers: usize,
+    /// Bounded queue capacity between connections and workers; the
+    /// load-shedding threshold.
+    pub queue_capacity: usize,
+    /// Sharded-resident table capacity (matrices the router can route
+    /// without a reload).
+    pub matrix_cache_capacity: usize,
+    /// How long a client connection may sit idle before the router hangs
+    /// up.
+    pub idle_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Largest accepted frame payload.
+    pub max_frame_len: usize,
+    /// Back-off hint carried by [`Reply::Busy`] when the router itself
+    /// sheds.
+    pub retry_after_ms: u32,
+    /// Retry policy for `Busy` replies from shards.
+    pub shard_retry: RetryPolicy,
+    /// Interval between background shard health probes.
+    pub health_interval: Duration,
+    /// Whether a wire `Shutdown` request is forwarded to every shard
+    /// before the router drains (one `chason client shutdown` tears the
+    /// whole deployment down).
+    pub shutdown_shards: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: Vec::new(),
+            workers: 4,
+            queue_capacity: 64,
+            matrix_cache_capacity: 32,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame_len: DEFAULT_MAX_FRAME,
+            retry_after_ms: 20,
+            shard_retry: RetryPolicy::default(),
+            health_interval: Duration::from_secs(2),
+            shutdown_shards: false,
+        }
+    }
+}
+
+/// How often a blocked read or health-checker sleep wakes up to re-check
+/// the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// A unit of queued work: the decoded request plus the channel its reply
+/// travels back on.
+struct Job {
+    request: Request,
+    reply_tx: mpsc::Sender<Reply>,
+    received: Instant,
+}
+
+/// One sharded matrix the router can route: the full-matrix source of
+/// truth (the solver outer loops and update validation need it), the
+/// row-block partition, and per-shard handle/version bookkeeping.
+///
+/// `spec.shards()` may be smaller than the configured backend count: a
+/// matrix with fewer rows than shards is spread over the first
+/// `min(rows, shards)` backends.
+#[derive(Debug, Clone)]
+struct ShardedResident {
+    matrix: Arc<CooMatrix>,
+    spec: ShardSpec,
+    /// Shard-local handle of each slice, indexed by shard.
+    shard_handles: Arc<Vec<u64>>,
+    /// Last acknowledged shard-side version of each slice.
+    shard_versions: Arc<Vec<u64>>,
+    /// Router-side lineage version; bumps on every successful update,
+    /// mirroring a single server's counter for the same request sequence.
+    version: u64,
+}
+
+/// State shared by every connection, worker, and the health checker.
+struct Shared {
+    /// Sharded residents keyed by full-matrix structural fingerprint —
+    /// the same handle a single `chason serve` would mint, so clients are
+    /// oblivious to the sharding.
+    residents: Mutex<LruCache<u64, ShardedResident>>,
+    stats: RouterStats,
+    health: Arc<HealthBoard>,
+    shutdown: AtomicBool,
+    config: RouterConfig,
+}
+
+impl Shared {
+    /// Router stats reuse the server snapshot layout; the plan-cache
+    /// words are zero (plans live on the shards) and the matrix words
+    /// describe the sharded-resident table.
+    fn snapshot(&self) -> StatsSnapshot {
+        let m = lock_unpoisoned(&self.residents).stats();
+        self.stats
+            .inner
+            .snapshot(CacheStats::default(), m.len as u64, m.evictions)
+    }
+
+    fn exposition(&self) -> String {
+        // Sync the per-shard gauges with the live board so a scrape never
+        // lags the most recent worker observation.
+        for (k, gauge) in self.stats.shard_up.iter().enumerate() {
+            gauge.set(u64::from(self.health.is_up(k)));
+        }
+        let m = lock_unpoisoned(&self.residents).stats();
+        self.stats
+            .inner
+            .render_exposition(CacheStats::default(), m.len as u64, m.evictions)
+    }
+}
+
+/// A running `chason route` instance.
+pub struct Router {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    health_thread: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds, spawns the worker pool, listener, and health checker, and
+    /// returns immediately. Shards are probed lazily — a router starts
+    /// fine with every backend down and reports them via `Metrics`.
+    ///
+    /// # Errors
+    ///
+    /// An empty shard list, or I/O failures binding the listener.
+    pub fn start(config: RouterConfig) -> std::io::Result<Router> {
+        if config.shards.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router requires at least one shard address",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            residents: Mutex::new(LruCache::new(config.matrix_cache_capacity)),
+            stats: RouterStats::new(config.shards.len()),
+            health: Arc::new(HealthBoard::new(config.shards.len())),
+            shutdown: AtomicBool::new(false),
+            config: config.clone(),
+        });
+        let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity);
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = job_rx.clone();
+                thread::Builder::new()
+                    .name(format!("chason-router-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx, i as u64))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        drop(job_rx);
+        let health_shared = Arc::clone(&shared);
+        let health_thread = thread::Builder::new()
+            .name("chason-router-health".to_string())
+            .spawn(move || health_loop(&health_shared))?;
+        let listener_shared = Arc::clone(&shared);
+        let listener_thread = thread::Builder::new()
+            .name("chason-router-listener".to_string())
+            .spawn(move || listener_loop(&listener, &listener_shared, &job_tx))?;
+        Ok(Router {
+            local_addr,
+            shared,
+            listener_thread: Some(listener_thread),
+            workers: worker_handles,
+            health_thread: Some(health_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time copy of the router's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Shards currently marked up by the health board.
+    pub fn shards_up(&self) -> usize {
+        self.shared.health.up_count()
+    }
+
+    /// Initiates a graceful drain of the router itself. Shards are left
+    /// running — programmatic callers own their backend lifecycles; only
+    /// a wire `Shutdown` with
+    /// [`shutdown_shards`](RouterConfig::shutdown_shards) set tears the
+    /// backends down too.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the listener out of `accept`.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Blocks until the listener, every connection, every worker, and the
+    /// health checker have exited. Call [`shutdown`](Self::shutdown)
+    /// first (or send a `Shutdown` request) or this blocks forever.
+    pub fn join(mut self) {
+        if let Some(listener) = self.listener_thread.take() {
+            let _ = listener.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(health) = self.health_thread.take() {
+            let _ = health.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listener and connections (same shape as chason-serve)
+// ---------------------------------------------------------------------------
+
+fn listener_loop(listener: &TcpListener, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let job_tx = job_tx.clone();
+        let spawned = thread::Builder::new()
+            .name("chason-router-conn".to_string())
+            .spawn(move || {
+                let _ = serve_connection(stream, &shared, &job_tx);
+            });
+        if let Ok(handle) = spawned {
+            connections.push(handle);
+        }
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn send_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
+    match write_frame(stream, &encode_reply(reply)) {
+        Ok(()) => Ok(()),
+        Err(ProtoError::Io(e)) => Err(e),
+        Err(other) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            other.to_string(),
+        )),
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    job_tx: &Sender<Job>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = FrameReader::new(shared.config.max_frame_len);
+    let mut last_activity = Instant::now();
+    loop {
+        let event = match reader.poll(&mut stream) {
+            Ok(event) => event,
+            Err(ProtoError::FrameTooLarge { len, cap }) => {
+                let _ = send_reply(
+                    &mut stream,
+                    &Reply::Error {
+                        code: ErrorCode::FrameTooLarge,
+                        message: format!("frame of {len} bytes exceeds the {cap}-byte cap"),
+                    },
+                );
+                return Ok(());
+            }
+            Err(_) => return Ok(()),
+        };
+        let payload = match event {
+            FrameEvent::Frame(payload) => payload,
+            FrameEvent::Eof => return Ok(()),
+            FrameEvent::Timeout => {
+                if shared.shutdown.load(Ordering::SeqCst) && !reader.mid_frame() {
+                    return Ok(());
+                }
+                if last_activity.elapsed() > shared.config.idle_timeout {
+                    return Ok(());
+                }
+                continue;
+            }
+        };
+        last_activity = Instant::now();
+        let request = match decode_request(&payload) {
+            Ok(request) => request,
+            Err(err) => {
+                send_reply(
+                    &mut stream,
+                    &Reply::Error {
+                        code: ErrorCode::MalformedFrame,
+                        message: err.to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match request {
+            Request::Stats => {
+                shared.stats.inner.requests.stats.add(1);
+                send_reply(&mut stream, &Reply::Stats(shared.snapshot()))?;
+            }
+            Request::Metrics => {
+                shared.stats.inner.requests.metrics.add(1);
+                send_reply(
+                    &mut stream,
+                    &Reply::MetricsText {
+                        text: shared.exposition(),
+                    },
+                )?;
+            }
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                if shared.config.shutdown_shards {
+                    // Forward before acknowledging so "client shutdown;
+                    // wait for the router pid" is a complete drain of the
+                    // whole deployment.
+                    forward_shutdown(shared);
+                }
+                let local = stream.local_addr()?;
+                send_reply(&mut stream, &Reply::Done)?;
+                let _ = TcpStream::connect(local);
+                return Ok(());
+            }
+            request => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    send_reply(
+                        &mut stream,
+                        &Reply::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "router is draining".to_string(),
+                        },
+                    )?;
+                    return Ok(());
+                }
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let job = Job {
+                    request,
+                    reply_tx,
+                    received: Instant::now(),
+                };
+                match job_tx.try_send(job) {
+                    Ok(()) => {
+                        shared.stats.inner.observe_queue_depth(job_tx.len() as u64);
+                        let reply = reply_rx.recv().unwrap_or(Reply::Error {
+                            code: ErrorCode::Internal,
+                            message: "worker dropped the request".to_string(),
+                        });
+                        send_reply(&mut stream, &reply)?;
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        shared.stats.inner.shed.add(1);
+                        send_reply(
+                            &mut stream,
+                            &Reply::Busy {
+                                retry_after_ms: shared.config.retry_after_ms,
+                            },
+                        )?;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        send_reply(
+                            &mut stream,
+                            &Reply::Error {
+                                code: ErrorCode::ShuttingDown,
+                                message: "worker pool has stopped".to_string(),
+                            },
+                        )?;
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Best-effort `Shutdown` fan-out over fresh connections (worker conns
+/// may be mid-request). A dead shard is already down; errors are ignored.
+fn forward_shutdown(shared: &Shared) {
+    for addr in &shared.config.shards {
+        if let Ok(mut client) = Client::connect(addr.as_str()) {
+            let _ = client.request(&Request::Shutdown);
+        }
+    }
+}
+
+fn record_accepted_kind(shared: &Shared, request: &Request) {
+    let requests = &shared.stats.inner.requests;
+    let counter = match request {
+        Request::LoadMatrix { .. } => &requests.load,
+        Request::Spmv { .. } => &requests.spmv,
+        Request::Solve { .. } => &requests.solve,
+        Request::Plan { .. } => &requests.plan,
+        Request::Sleep { .. } => &requests.sleep,
+        Request::Update { .. } => &requests.update,
+        Request::Stats | Request::Metrics | Request::Shutdown => return,
+    };
+    counter.add(1);
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<Job>, worker_index: u64) {
+    // Each worker owns its own connection pool, so concurrent scatters
+    // from different workers never contend on a socket lock.
+    let mut conns: Vec<ShardConn> = shared
+        .config
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(k, addr)| {
+            ShardConn::new(
+                k,
+                addr.clone(),
+                shared.config.shard_retry,
+                shared.config.shard_retry.seed ^ (worker_index << 32) ^ k as u64,
+                Arc::clone(&shared.health),
+                Arc::clone(&shared.stats.shard_requests[k]),
+                Arc::clone(&shared.stats.shard_retries),
+                Arc::clone(&shared.stats.shard_reconnects),
+            )
+        })
+        .collect();
+    while let Ok(job) = rx.recv() {
+        record_accepted_kind(shared, &job.request);
+        shared
+            .stats
+            .inner
+            .record_queue_wait_micros(job.received.elapsed().as_micros() as u64);
+        let started = Instant::now();
+        let reply = catch_unwind(AssertUnwindSafe(|| {
+            execute(shared, &mut conns, job.request)
+        }))
+        .unwrap_or_else(|_| {
+            // A panic may have left a shard connection mid-frame; drop
+            // them all so the next request starts clean.
+            for conn in &mut conns {
+                conn.disconnect();
+            }
+            Reply::Error {
+                code: ErrorCode::Internal,
+                message: "request execution panicked".to_string(),
+            }
+        });
+        shared
+            .stats
+            .inner
+            .record_service_micros(started.elapsed().as_micros() as u64);
+        let _ = job.reply_tx.send(reply);
+    }
+}
+
+fn bad_request(message: impl Into<String>) -> Reply {
+    Reply::Error {
+        code: ErrorCode::BadRequest,
+        message: message.into(),
+    }
+}
+
+fn unknown_handle(handle: u64) -> Reply {
+    Reply::Error {
+        code: ErrorCode::UnknownHandle,
+        message: format!("no sharded matrix with handle {handle:#018x}; send LoadMatrix first"),
+    }
+}
+
+fn execute(shared: &Shared, conns: &mut [ShardConn], request: Request) -> Reply {
+    match request {
+        Request::LoadMatrix {
+            rows,
+            cols,
+            triplets,
+        } => execute_load(shared, conns, rows, cols, &triplets),
+        Request::Spmv { handle, engine, x } => execute_spmv(shared, conns, handle, engine, &x),
+        Request::Solve {
+            handle,
+            engine,
+            solver,
+            max_iterations,
+            tolerance,
+            b,
+        } => execute_solve(
+            shared,
+            conns,
+            handle,
+            engine,
+            solver,
+            max_iterations,
+            tolerance,
+            &b,
+        ),
+        Request::Plan { .. } => {
+            bad_request("plan artifacts are per-shard; request Plan from a backend shard directly")
+        }
+        Request::Update {
+            handle,
+            inserts,
+            revalues,
+            deletes,
+        } => execute_update(shared, conns, handle, &inserts, &revalues, &deletes),
+        Request::Sleep { millis } => {
+            thread::sleep(Duration::from_millis(u64::from(millis.min(10_000))));
+            Reply::Done
+        }
+        Request::Stats | Request::Metrics | Request::Shutdown => Reply::Error {
+            code: ErrorCode::Internal,
+            message: "inline request reached the worker pool".to_string(),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather plumbing
+// ---------------------------------------------------------------------------
+
+/// Sends one request to each shard with a `Some` slot, concurrently on
+/// scoped threads. Slot `k` of the result mirrors slot `k` of the input;
+/// a panicked request thread is reported as that shard being unavailable.
+fn scatter(
+    conns: &mut [ShardConn],
+    requests: Vec<Option<Request>>,
+    resend_safe: bool,
+) -> Vec<Option<Result<Reply, ShardError>>> {
+    debug_assert_eq!(conns.len(), requests.len());
+    thread::scope(|scope| {
+        let handles: Vec<_> = conns
+            .iter_mut()
+            .zip(requests)
+            .map(|(conn, request)| {
+                request.map(|request| {
+                    let index = conn.index();
+                    (index, scope.spawn(move || conn.call(&request, resend_safe)))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|slot| {
+                slot.map(|(index, handle)| {
+                    handle.join().unwrap_or_else(|_| {
+                        Err(ShardError {
+                            shard: index,
+                            kind: ShardErrorKind::Unavailable(
+                                "scatter thread panicked".to_string(),
+                            ),
+                        })
+                    })
+                })
+            })
+            .collect()
+    })
+}
+
+/// Splits scatter results into indexed successes and failures.
+fn partition_results(
+    results: Vec<Option<Result<Reply, ShardError>>>,
+) -> (Vec<(usize, Reply)>, Vec<ShardError>) {
+    let mut oks = Vec::new();
+    let mut errors = Vec::new();
+    for (k, slot) in results.into_iter().enumerate() {
+        match slot {
+            Some(Ok(reply)) => oks.push((k, reply)),
+            Some(Err(err)) => errors.push(err),
+            None => {}
+        }
+    }
+    (oks, errors)
+}
+
+/// Maps a non-empty set of shard failures to the client-facing reply.
+///
+/// Priority: any transport-level failure wins (`ShardUnavailable` — the
+/// gather is incomplete no matter what the others said); otherwise a
+/// typed shard error propagates with its original code; otherwise every
+/// failure was `Busy`, and the router relays `Busy` with the largest
+/// back-off hint.
+fn scatter_failure_reply(errors: &[ShardError], stats: &RouterStats) -> Reply {
+    stats.scatter_failures.add(1);
+    if let Some(err) = errors.iter().find(|e| {
+        matches!(
+            e.kind,
+            ShardErrorKind::Unavailable(_) | ShardErrorKind::Unexpected(_)
+        )
+    }) {
+        return Reply::Error {
+            code: ErrorCode::ShardUnavailable,
+            message: err.to_string(),
+        };
+    }
+    for err in errors {
+        if let ShardErrorKind::Server { code, message } = &err.kind {
+            return Reply::Error {
+                code: *code,
+                message: format!("shard {}: {message}", err.shard),
+            };
+        }
+    }
+    let hint = errors
+        .iter()
+        .map(|e| match e.kind {
+            ShardErrorKind::Busy { retry_after_ms } => retry_after_ms,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0);
+    Reply::Busy {
+        retry_after_ms: hint,
+    }
+}
+
+fn unexpected_reply(shard: usize, reply: &Reply) -> Reply {
+    Reply::Error {
+        code: ErrorCode::Internal,
+        message: format!("shard {shard} sent an unexpected reply variant: {reply:?}"),
+    }
+}
+
+/// One distributed SpMV: broadcast `x`, run each shard's slice, reduce
+/// the partials by row-range placement. Returns the gathered vector and
+/// the max per-shard simulated latency (the shards run concurrently in
+/// the modeled hardware, so the slowest one bounds the distributed op).
+///
+/// # Errors
+///
+/// The client-facing error reply.
+fn scatter_spmv(
+    conns: &mut [ShardConn],
+    resident: &ShardedResident,
+    engine: Engine,
+    x: &[f32],
+    stats: &RouterStats,
+) -> Result<(Vec<f32>, u64), Box<Reply>> {
+    let n = resident.spec.shards();
+    let mut requests: Vec<Option<Request>> = vec![None; conns.len()];
+    for (k, slot) in requests.iter_mut().take(n).enumerate() {
+        *slot = Some(Request::Spmv {
+            handle: resident.shard_handles[k],
+            engine,
+            x: x.to_vec(),
+        });
+    }
+    let started = Instant::now();
+    let results = scatter(conns, requests, true);
+    stats
+        .gather_micros
+        .record(started.elapsed().as_micros() as u64);
+    let (oks, errors) = partition_results(results);
+    if !errors.is_empty() {
+        return Err(Box::new(scatter_failure_reply(&errors, stats)));
+    }
+    let mut partials: Vec<Vec<f32>> = vec![Vec::new(); n];
+    let mut max_nanos = 0u64;
+    for (k, reply) in oks {
+        match reply {
+            Reply::Vector {
+                y, simulated_nanos, ..
+            } => {
+                max_nanos = max_nanos.max(simulated_nanos);
+                partials[k] = y;
+            }
+            other => return Err(Box::new(unexpected_reply(k, &other))),
+        }
+    }
+    match resident.spec.gather(&partials) {
+        Ok(y) => Ok((y, max_nanos)),
+        Err(err) => Err(Box::new(Reply::Error {
+            code: ErrorCode::PartialGather,
+            message: format!("reduction failed: {err}"),
+        })),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executors
+// ---------------------------------------------------------------------------
+
+fn execute_load(
+    shared: &Shared,
+    conns: &mut [ShardConn],
+    rows: u64,
+    cols: u64,
+    triplets: &[(u64, u64, f32)],
+) -> Reply {
+    const MAX_DIM: u64 = 1 << 32;
+    if rows == 0 || cols == 0 || rows > MAX_DIM || cols > MAX_DIM {
+        return bad_request(format!("matrix dimensions {rows}x{cols} out of range"));
+    }
+    for &(r, c, v) in triplets {
+        if !v.is_finite() || v == 0.0 {
+            return bad_request(format!(
+                "unschedulable value {v} at ({r}, {c}): values must be finite and non-zero"
+            ));
+        }
+    }
+    let converted: Vec<(usize, usize, f32)> = triplets
+        .iter()
+        .map(|&(r, c, v)| (r as usize, c as usize, v))
+        .collect();
+    let matrix = match CooMatrix::from_triplets(rows as usize, cols as usize, converted) {
+        Ok(matrix) => matrix,
+        Err(err) => return bad_request(err.to_string()),
+    };
+    let handle = matrix_fingerprint(&matrix);
+    // Loads serialize under the resident lock so two identical concurrent
+    // loads scatter once, and no update interleaves with the scatter.
+    let mut residents = lock_unpoisoned(&shared.residents);
+    if let Some(resident) = residents.get(&handle) {
+        // Same lineage semantics as a single server: the handle resolves
+        // to the resident (possibly updated) copy, and the version tells
+        // the caller whether the content moved past the sent triplets.
+        return Reply::Loaded {
+            handle,
+            rows,
+            cols,
+            nnz: triplets.len() as u64,
+            fresh: false,
+            version: resident.version,
+        };
+    }
+    let shard_count = conns.len().min(matrix.rows());
+    let spec = match ShardSpec::nnz_balanced(&matrix, shard_count) {
+        Ok(spec) => spec,
+        Err(err) => return bad_request(format!("sharding failed: {err}")),
+    };
+    let mut requests: Vec<Option<Request>> = vec![None; conns.len()];
+    for (k, slot) in requests.iter_mut().take(shard_count).enumerate() {
+        let slice = match spec.slice(&matrix, k) {
+            Ok(slice) => slice,
+            Err(err) => {
+                return Reply::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("slicing shard {k} failed: {err}"),
+                }
+            }
+        };
+        *slot = Some(Request::LoadMatrix {
+            rows: slice.rows() as u64,
+            cols: slice.cols() as u64,
+            triplets: slice
+                .iter()
+                .map(|&(r, c, v)| (r as u64, c as u64, v))
+                .collect(),
+        });
+    }
+    let started = Instant::now();
+    let results = scatter(conns, requests, true);
+    shared
+        .stats
+        .gather_micros
+        .record(started.elapsed().as_micros() as u64);
+    let (oks, errors) = partition_results(results);
+    if !errors.is_empty() {
+        return scatter_failure_reply(&errors, &shared.stats);
+    }
+    let mut shard_handles = vec![0u64; shard_count];
+    for (k, reply) in oks {
+        match reply {
+            Reply::Loaded {
+                handle: shard_handle,
+                version,
+                ..
+            } => {
+                if version != 0 {
+                    // The shard already holds this slice lineage at a
+                    // later version: someone updated the backend out of
+                    // band. Routing against it would mix generations.
+                    return Reply::Error {
+                        code: ErrorCode::PartialGather,
+                        message: format!(
+                            "shard {k} holds a diverged copy of this slice (version \
+                             {version}); restart the shard or route updates through \
+                             the router only"
+                        ),
+                    };
+                }
+                shard_handles[k] = shard_handle;
+            }
+            other => return unexpected_reply(k, &other),
+        }
+    }
+    if let Ok(imbalance) = spec.nnz_imbalance(&matrix) {
+        shared
+            .stats
+            .nnz_balance_pct
+            .set((imbalance * 100.0).round() as u64);
+    }
+    residents.insert(
+        handle,
+        ShardedResident {
+            matrix: Arc::new(matrix),
+            spec,
+            shard_handles: Arc::new(shard_handles),
+            shard_versions: Arc::new(vec![0; shard_count]),
+            version: 0,
+        },
+    );
+    Reply::Loaded {
+        handle,
+        rows,
+        cols,
+        nnz: triplets.len() as u64,
+        fresh: true,
+        version: 0,
+    }
+}
+
+fn execute_spmv(
+    shared: &Shared,
+    conns: &mut [ShardConn],
+    handle: u64,
+    engine: Engine,
+    x: &[f32],
+) -> Reply {
+    let Some(resident) = lock_unpoisoned(&shared.residents).get(&handle).cloned() else {
+        return unknown_handle(handle);
+    };
+    if x.len() != resident.matrix.cols() {
+        return bad_request(format!(
+            "x has {} entries, matrix has {} columns",
+            x.len(),
+            resident.matrix.cols()
+        ));
+    }
+    let start = Instant::now();
+    match scatter_spmv(conns, &resident, engine, x, &shared.stats) {
+        Ok((y, simulated_nanos)) => Reply::Vector {
+            y,
+            service_micros: start.elapsed().as_micros() as u64,
+            simulated_nanos,
+        },
+        Err(reply) => *reply,
+    }
+}
+
+/// The distributed Reduction Unit as a solver backend: every product the
+/// CG/Jacobi outer loop requests is scattered across the shards and the
+/// partials are gathered by row placement. Row-block sharding keeps each
+/// output row on exactly one shard, so the gathered product is exactly
+/// the vector a single instance would produce (bit-identical on `cpu`,
+/// where slicing preserves per-row accumulation order).
+///
+/// [`SimError`] has no transport variant, so a scatter failure stashes
+/// the client-facing reply in `failure` and surfaces a placeholder error
+/// to the solver; `execute_solve` unstashes it.
+struct DistributedBackend<'a> {
+    conns: &'a mut [ShardConn],
+    resident: &'a ShardedResident,
+    engine: Engine,
+    stats: &'a RouterStats,
+    simulated_nanos: u64,
+    failure: Option<Reply>,
+}
+
+impl SpmvBackend for DistributedBackend<'_> {
+    fn spmv(&mut self, _matrix: &CooMatrix, x: &[f32]) -> Result<Vec<f32>, SimError> {
+        match scatter_spmv(self.conns, self.resident, self.engine, x, self.stats) {
+            Ok((y, nanos)) => {
+                self.simulated_nanos += nanos;
+                Ok(y)
+            }
+            Err(reply) => {
+                self.failure = Some(*reply);
+                Err(SimError::InvalidConfig(
+                    "distributed SpMV failed; see the stashed router reply".to_string(),
+                ))
+            }
+        }
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        self.simulated_nanos as f64 * 1e-9
+    }
+
+    fn name(&self) -> &'static str {
+        self.engine.name()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_solve(
+    shared: &Shared,
+    conns: &mut [ShardConn],
+    handle: u64,
+    engine: Engine,
+    solver: SolverKind,
+    max_iterations: u32,
+    tolerance: f64,
+    b: &[f32],
+) -> Reply {
+    let Some(resident) = lock_unpoisoned(&shared.residents).get(&handle).cloned() else {
+        return unknown_handle(handle);
+    };
+    let matrix = Arc::clone(&resident.matrix);
+    // Same ahead-of-time validation as a single server: the solvers
+    // assert on these.
+    if matrix.rows() != matrix.cols() {
+        return bad_request(format!(
+            "solver requires a square system, matrix is {}x{}",
+            matrix.rows(),
+            matrix.cols()
+        ));
+    }
+    if b.len() != matrix.rows() {
+        return bad_request(format!(
+            "b has {} entries, system has {} rows",
+            b.len(),
+            matrix.rows()
+        ));
+    }
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return bad_request(format!(
+            "tolerance {tolerance} must be finite and non-negative"
+        ));
+    }
+    if solver == SolverKind::Jacobi {
+        let mut diag = vec![false; matrix.rows()];
+        for &(r, c, v) in matrix.iter() {
+            if r == c && v != 0.0 {
+                diag[r] = true;
+            }
+        }
+        if let Some(row) = diag.iter().position(|&set| !set) {
+            return bad_request(format!(
+                "Jacobi requires a non-zero diagonal; row {row} has none"
+            ));
+        }
+    }
+    let options = CgOptions {
+        max_iterations: max_iterations as usize,
+        tolerance,
+    };
+    let start = Instant::now();
+    let mut backend = DistributedBackend {
+        conns,
+        resident: &resident,
+        engine,
+        stats: &shared.stats,
+        simulated_nanos: 0,
+        failure: None,
+    };
+    let result = match solver {
+        SolverKind::Cg => conjugate_gradient(&mut backend, &matrix, b, options),
+        SolverKind::Jacobi => jacobi(&mut backend, &matrix, b, options),
+    };
+    let simulated_nanos = backend.simulated_nanos;
+    let failure = backend.failure.take();
+    match result {
+        Ok(result) => Reply::Solved {
+            solution: result.solution,
+            iterations: result.iterations as u64,
+            residual: result.residual,
+            converged: result.converged,
+            service_micros: start.elapsed().as_micros() as u64,
+            simulated_nanos,
+        },
+        Err(err) => failure.unwrap_or_else(|| bad_request(err.to_string())),
+    }
+}
+
+fn execute_update(
+    shared: &Shared,
+    conns: &mut [ShardConn],
+    handle: u64,
+    inserts: &[(u64, u64, f32)],
+    revalues: &[(u64, u64, f32)],
+    deletes: &[(u64, u64)],
+) -> Reply {
+    for &(r, c, v) in inserts.iter().chain(revalues.iter()) {
+        if !v.is_finite() || v == 0.0 {
+            return bad_request(format!(
+                "unschedulable value {v} at ({r}, {c}): values must be finite and non-zero"
+            ));
+        }
+    }
+    // Updates serialize under the resident lock (held across the scatter)
+    // so shard version N+1 is always derived from N and concurrent
+    // loads/updates cannot interleave with a half-applied delta.
+    let mut residents = lock_unpoisoned(&shared.residents);
+    let Some(resident) = residents.get(&handle).cloned() else {
+        return unknown_handle(handle);
+    };
+    // Validate the whole delta against the full matrix up front: a
+    // rejected op must not reach any shard, or the fleet diverges.
+    let mut delta = MatrixDelta::for_matrix(&resident.matrix);
+    let push = |result: Result<(), chason_sparse::SparseError>| result.map_err(|e| e.to_string());
+    for &(r, c, v) in inserts {
+        if let Err(e) = push(delta.push_insert(r as usize, c as usize, v)) {
+            return bad_request(e);
+        }
+    }
+    for &(r, c, v) in revalues {
+        if let Err(e) = push(delta.push_revalue(r as usize, c as usize, v)) {
+            return bad_request(e);
+        }
+    }
+    for &(r, c) in deletes {
+        if let Err(e) = push(delta.push_delete(r as usize, c as usize)) {
+            return bad_request(e);
+        }
+    }
+    let updated = match delta.apply(&resident.matrix) {
+        Ok(updated) => updated,
+        Err(err) => return bad_request(err.to_string()),
+    };
+    // Partition the ops by row footprint; only touched shards see a
+    // sub-update. Rows are shard-local (offset by the range start).
+    let n = resident.spec.shards();
+    let mut shard_inserts: Vec<Vec<(u64, u64, f32)>> = vec![Vec::new(); n];
+    let mut shard_revalues: Vec<Vec<(u64, u64, f32)>> = vec![Vec::new(); n];
+    let mut shard_deletes: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+    let route = |r: u64| -> Option<(usize, u64)> {
+        let k = resident.spec.shard_of_row(r as usize)?;
+        let (start, _) = resident.spec.range(k);
+        Some((k, r - start as u64))
+    };
+    for &(r, c, v) in inserts {
+        match route(r) {
+            Some((k, local)) => shard_inserts[k].push((local, c, v)),
+            None => return bad_request(format!("row {r} outside the sharded matrix")),
+        }
+    }
+    for &(r, c, v) in revalues {
+        match route(r) {
+            Some((k, local)) => shard_revalues[k].push((local, c, v)),
+            None => return bad_request(format!("row {r} outside the sharded matrix")),
+        }
+    }
+    for &(r, c) in deletes {
+        match route(r) {
+            Some((k, local)) => shard_deletes[k].push((local, c)),
+            None => return bad_request(format!("row {r} outside the sharded matrix")),
+        }
+    }
+    let mut requests: Vec<Option<Request>> = vec![None; conns.len()];
+    for k in 0..n {
+        if shard_inserts[k].is_empty()
+            && shard_revalues[k].is_empty()
+            && shard_deletes[k].is_empty()
+        {
+            continue;
+        }
+        requests[k] = Some(Request::Update {
+            handle: resident.shard_handles[k],
+            inserts: std::mem::take(&mut shard_inserts[k]),
+            revalues: std::mem::take(&mut shard_revalues[k]),
+            deletes: std::mem::take(&mut shard_deletes[k]),
+        });
+    }
+    let started = Instant::now();
+    // Updates are not idempotent: never resend on a broken pooled
+    // connection — the shard may already have applied the delta.
+    let results = scatter(conns, requests, false);
+    shared
+        .stats
+        .gather_micros
+        .record(started.elapsed().as_micros() as u64);
+    let (oks, errors) = partition_results(results);
+    if !errors.is_empty() {
+        // Some shards may have applied their sub-delta and some not: the
+        // fleet no longer matches any single matrix generation. Drop the
+        // mapping (poisoned); the next LoadMatrix re-scatters a
+        // consistent snapshot from the client's triplets.
+        residents.remove(&handle);
+        shared.stats.scatter_failures.add(1);
+        let first = &errors[0];
+        return Reply::Error {
+            code: ErrorCode::PartialGather,
+            message: format!(
+                "update reached only part of the shard set ({} of {} sub-updates \
+                 failed; first: {first}); the sharded mapping was dropped — reload \
+                 the matrix to re-shard",
+                errors.len(),
+                oks.len() + errors.len(),
+            ),
+        };
+    }
+    let mut new_versions = resident.shard_versions.as_ref().clone();
+    let mut plans_spliced: u32 = 0;
+    let mut windows_replanned: u64 = 0;
+    let mut windows_total: u64 = 0;
+    let mut shard_nnz: Vec<Option<u64>> = vec![None; n];
+    for (k, reply) in oks {
+        match reply {
+            Reply::Updated {
+                version,
+                nnz,
+                plans_spliced: spliced,
+                windows_replanned: replanned,
+                windows_total: total,
+            } => {
+                let expected = resident.shard_versions[k] + 1;
+                if version != expected {
+                    residents.remove(&handle);
+                    return Reply::Error {
+                        code: ErrorCode::PartialGather,
+                        message: format!(
+                            "version skew on shard {k}: it reports v{version}, the \
+                             router expected v{expected} — the shard was updated out \
+                             of band; the sharded mapping was dropped"
+                        ),
+                    };
+                }
+                new_versions[k] = version;
+                plans_spliced += spliced;
+                windows_replanned += replanned;
+                windows_total = windows_total.max(total);
+                shard_nnz[k] = Some(nnz);
+            }
+            other => {
+                residents.remove(&handle);
+                return unexpected_reply(k, &other);
+            }
+        }
+    }
+    // Cross-check: every touched shard's post-update nnz must match the
+    // router's own application of the same delta.
+    match resident.spec.nnz_per_shard(&updated) {
+        Ok(counts) => {
+            for (k, reported) in shard_nnz.iter().enumerate() {
+                if let Some(reported) = reported {
+                    if *reported != counts[k] as u64 {
+                        residents.remove(&handle);
+                        return Reply::Error {
+                            code: ErrorCode::PartialGather,
+                            message: format!(
+                                "shard {k} reports {reported} nnz after the update, \
+                                 the router expected {}; the sharded mapping was \
+                                 dropped",
+                                counts[k]
+                            ),
+                        };
+                    }
+                }
+            }
+        }
+        Err(err) => {
+            residents.remove(&handle);
+            return Reply::Error {
+                code: ErrorCode::Internal,
+                message: format!("post-update nnz audit failed: {err}"),
+            };
+        }
+    }
+    let version = resident.version + 1;
+    let nnz = updated.nnz() as u64;
+    residents.insert(
+        handle,
+        ShardedResident {
+            matrix: Arc::new(updated),
+            spec: resident.spec,
+            shard_handles: resident.shard_handles,
+            shard_versions: Arc::new(new_versions),
+            version,
+        },
+    );
+    Reply::Updated {
+        version,
+        nnz,
+        plans_spliced,
+        windows_replanned,
+        windows_total,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Health checker
+// ---------------------------------------------------------------------------
+
+/// Periodically pings every shard with `Stats` over its own persistent
+/// connections, updating the board and the per-shard gauges. Sleeps in
+/// [`READ_TICK`] increments so shutdown is prompt.
+fn health_loop(shared: &Arc<Shared>) {
+    let mut clients: Vec<Option<Client>> = shared.config.shards.iter().map(|_| None).collect();
+    loop {
+        for (k, slot) in clients.iter_mut().enumerate() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if slot.is_none() {
+                *slot = Client::connect(shared.config.shards[k].as_str()).ok();
+            }
+            let up = match slot.as_mut() {
+                Some(client) => match client.request(&Request::Stats) {
+                    Ok(Reply::Error {
+                        code: ErrorCode::ShuttingDown,
+                        ..
+                    }) => {
+                        *slot = None;
+                        false
+                    }
+                    Ok(_) => true,
+                    Err(_) => {
+                        *slot = None;
+                        false
+                    }
+                },
+                None => false,
+            };
+            shared.health.set(k, up);
+            shared.stats.shard_up[k].set(u64::from(up));
+        }
+        let mut slept = Duration::ZERO;
+        while slept < shared.config.health_interval {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            thread::sleep(READ_TICK);
+            slept += READ_TICK;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_refuses_empty_shard_list() {
+        let err = match Router::start(RouterConfig::default()) {
+            Err(err) => err,
+            Ok(_) => panic!("a shardless router must not start"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn failure_reply_priority() {
+        let stats = RouterStats::new(2);
+        let unavailable = ShardError {
+            shard: 0,
+            kind: ShardErrorKind::Unavailable("gone".to_string()),
+        };
+        let busy = ShardError {
+            shard: 1,
+            kind: ShardErrorKind::Busy { retry_after_ms: 7 },
+        };
+        let server = ShardError {
+            shard: 1,
+            kind: ShardErrorKind::Server {
+                code: ErrorCode::UnknownHandle,
+                message: "no such matrix".to_string(),
+            },
+        };
+        // Transport failure dominates.
+        let reply = scatter_failure_reply(&[busy, unavailable], &stats);
+        assert!(matches!(
+            reply,
+            Reply::Error {
+                code: ErrorCode::ShardUnavailable,
+                ..
+            }
+        ));
+        // A typed shard error propagates its code.
+        let busy = ShardError {
+            shard: 0,
+            kind: ShardErrorKind::Busy { retry_after_ms: 7 },
+        };
+        let reply = scatter_failure_reply(&[busy, server], &stats);
+        assert!(matches!(
+            reply,
+            Reply::Error {
+                code: ErrorCode::UnknownHandle,
+                ..
+            }
+        ));
+        // All-busy relays Busy with the largest hint.
+        let busy_small = ShardError {
+            shard: 0,
+            kind: ShardErrorKind::Busy { retry_after_ms: 7 },
+        };
+        let busy_large = ShardError {
+            shard: 1,
+            kind: ShardErrorKind::Busy { retry_after_ms: 40 },
+        };
+        let reply = scatter_failure_reply(&[busy_small, busy_large], &stats);
+        assert!(matches!(reply, Reply::Busy { retry_after_ms: 40 }));
+        assert_eq!(stats.scatter_failures.get(), 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Router telemetry: the standard `chsp_*` service counters plus
+//! router-specific `router_*` metrics, all in one registry so a single
+//! `Metrics` reply exposes both families.
+//!
+//! Per-shard metrics embed the shard index as a Prometheus-style label in
+//! the metric name (`router_shard_requests_total{shard="0"}`), matching
+//! the repo's hand-rolled exposition format.
+
+use chason_serve::stats::ServerStats;
+use chason_telemetry::metrics::{Counter, Gauge, Histogram};
+use std::sync::Arc;
+
+/// All router telemetry; shared by every connection and worker thread.
+#[derive(Debug)]
+pub struct RouterStats {
+    /// The standard CHSP service counters (requests by opcode, shed,
+    /// queue depth, service/queue-wait histograms) under `chsp_*`.
+    pub inner: ServerStats,
+    /// Requests actually sent to each shard, retries included
+    /// (`router_shard_requests_total{shard="k"}`).
+    pub shard_requests: Vec<Arc<Counter>>,
+    /// Last observed liveness per shard, 1 = up
+    /// (`router_shard_up{shard="k"}`).
+    pub shard_up: Vec<Arc<Gauge>>,
+    /// Wall-clock scatter-to-gather time of distributed operations
+    /// (`router_gather_micros`).
+    pub gather_micros: Arc<Histogram>,
+    /// `max/mean` shard nnz load of the most recently sharded matrix, in
+    /// percent — 100 is perfectly balanced
+    /// (`router_nnz_balance_pct`).
+    pub nnz_balance_pct: Arc<Gauge>,
+    /// Scatters that failed on at least one shard
+    /// (`router_scatter_failures_total`).
+    pub scatter_failures: Arc<Counter>,
+    /// `Busy` replies retried against shards
+    /// (`router_shard_retries_total`).
+    pub shard_retries: Arc<Counter>,
+    /// Reconnect-and-resend recoveries after stale pooled connections
+    /// (`router_shard_reconnects_total`).
+    pub shard_reconnects: Arc<Counter>,
+    /// Number of configured backend shards (`router_shards`).
+    pub shards_configured: Arc<Gauge>,
+}
+
+impl RouterStats {
+    /// Creates zeroed counters for a router over `shards` backends.
+    pub fn new(shards: usize) -> Self {
+        let inner = ServerStats::new();
+        let registry = inner.registry();
+        let shard_requests: Vec<Arc<Counter>> = (0..shards)
+            .map(|k| registry.counter(&format!("router_shard_requests_total{{shard=\"{k}\"}}")))
+            .collect();
+        let shard_up: Vec<Arc<Gauge>> = (0..shards)
+            .map(|k| registry.gauge(&format!("router_shard_up{{shard=\"{k}\"}}")))
+            .collect();
+        let gather_micros = registry.histogram("router_gather_micros");
+        let nnz_balance_pct = registry.gauge("router_nnz_balance_pct");
+        let scatter_failures = registry.counter("router_scatter_failures_total");
+        let shard_retries = registry.counter("router_shard_retries_total");
+        let shard_reconnects = registry.counter("router_shard_reconnects_total");
+        let shards_configured = registry.gauge("router_shards");
+        shards_configured.set(shards as u64);
+        for gauge in &shard_up {
+            gauge.set(1);
+        }
+        RouterStats {
+            inner,
+            shard_requests,
+            shard_up,
+            gather_micros,
+            nnz_balance_pct,
+            scatter_failures,
+            shard_retries,
+            shard_reconnects,
+            shards_configured,
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "telemetry-off")))]
+mod tests {
+    use super::*;
+    use chason_core::cache::CacheStats;
+
+    #[test]
+    fn exposition_carries_both_families() {
+        let stats = RouterStats::new(3);
+        stats.shard_requests[1].add(5);
+        stats.shard_up[2].set(0);
+        stats.gather_micros.record(120);
+        stats.nnz_balance_pct.set(104);
+        stats.inner.requests.spmv.add(2);
+        let text = stats.inner.render_exposition(CacheStats::default(), 1, 0);
+        for needle in [
+            "router_shard_requests_total{shard=\"1\"} 5",
+            "router_shard_requests_total{shard=\"0\"} 0",
+            "router_shard_up{shard=\"2\"} 0",
+            "router_shard_up{shard=\"0\"} 1",
+            "router_nnz_balance_pct 104",
+            "router_shards 3",
+            "router_gather_micros_count 1",
+            "chsp_requests_spmv_total 2",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

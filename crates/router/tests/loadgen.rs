@@ -1,0 +1,74 @@
+//! `chason loadgen --router` end to end: a mixed churned workload against
+//! a 3-shard router completes cleanly and the report carries the parsed
+//! fan-out summary (per-shard balance, gather percentiles).
+
+use chason_router::{Router, RouterConfig};
+use chason_serve::loadgen::{run, LoadgenOptions};
+use chason_serve::server::{ServeConfig, Server};
+
+#[test]
+fn churned_router_run_is_clean_and_reports_fanout_balance() {
+    let config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let shards: Vec<Server> = (0..3)
+        .map(|_| Server::start(config.clone()).expect("shard"))
+        .collect();
+    let router = Router::start(RouterConfig {
+        shards: shards.iter().map(|s| s.local_addr().to_string()).collect(),
+        workers: 4,
+        ..RouterConfig::default()
+    })
+    .expect("router");
+
+    let report = run(&LoadgenOptions {
+        connections: 3,
+        requests: 60,
+        seed: 11,
+        addr: Some(router.local_addr().to_string()),
+        require_hits: false,
+        churn: 20,
+        router: true,
+    })
+    .expect("router loadgen run");
+
+    assert_eq!(report.completed, 60);
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.by_type[2], 0, "router mode sends no plan fetches");
+    assert!(
+        report.by_type[4] > 0,
+        "20% churn must send updates: {:?}",
+        report.by_type
+    );
+    let fanout = report.router.as_ref().expect("router section");
+    assert_eq!(fanout.shards_total, 3);
+    assert_eq!(fanout.shards_up, 3);
+    assert_eq!(fanout.scatter_failures, 0);
+    assert!(
+        fanout.shard_requests.iter().all(|&n| n > 0),
+        "every shard must receive traffic: {:?}",
+        fanout.shard_requests
+    );
+    assert!(
+        fanout.request_balance < 1.5,
+        "row-block fan-out must stay balanced: {:?} ({:.2})",
+        fanout.shard_requests,
+        fanout.request_balance
+    );
+    assert!(fanout.nnz_balance_pct >= 100, "max/mean is at least 100%");
+    let (_, _, p99, max) = fanout.gather_micros;
+    assert!(p99 <= max, "percentiles are clamped to the exact max");
+    assert!(max > 0, "gather latency was recorded");
+    let json = report.render_json();
+    assert!(json.contains("\"router\":{\"shards_up\":3"), "{json}");
+    assert!(report.render().contains("--- router ---"));
+
+    // The report left the deployment running; drain it explicitly.
+    router.shutdown();
+    router.join();
+    for s in shards {
+        s.shutdown();
+        s.join();
+    }
+}

@@ -1,0 +1,109 @@
+//! The sharding law behind the router: row-block sharded SpMV equals
+//! single-instance SpMV.
+//!
+//! Stated at the plan level (no sockets): for any matrix and any shard
+//! count, planning each row-block slice independently, running the
+//! slices, and reducing the partials by row placement yields the same
+//! vector as one full-matrix plan — bit-identical on the CPU reference
+//! (slicing preserves per-row accumulation order) and ULP-equivalent on
+//! the modeled engines (whose column windows re-associate sums within a
+//! slice).
+
+use chason_conformance::ulp::{compare, row_scales, UlpTolerance};
+use chason_sim::{
+    plan_shards, run_sharded, AcceleratorConfig, ChasonEngine, PlanningEngine, SerpensEngine,
+};
+use chason_sparse::shard::ShardSpec;
+use chason_sparse::CooMatrix;
+use chason_testutil::{archetype_corpus, dense_x, sparse_matrix_nonempty};
+use proptest::prelude::*;
+
+fn check_engine<E: PlanningEngine>(
+    engine: &E,
+    name: &str,
+    matrix: &CooMatrix,
+    spec: &ShardSpec,
+    x: &[f32],
+    scales: &[f32],
+) {
+    let full_plan = engine.plan(matrix).expect("full plan");
+    let full = engine.run_planned(&full_plan, x).expect("full run");
+    let sharded_plan = plan_shards(engine, matrix, spec).expect("shard plans");
+    let sharded = run_sharded(engine, &sharded_plan, x).expect("sharded run");
+    let rejects = compare(&full.y, &sharded.y, scales, &UlpTolerance::default());
+    assert!(
+        rejects.is_empty(),
+        "{name}: sharded result diverges from full run over {} shards at {} rows: {:?}",
+        spec.shards(),
+        matrix.rows(),
+        &rejects[..rejects.len().min(5)]
+    );
+    assert!(
+        sharded.max_latency_seconds <= sharded.total_latency_seconds + 1e-12,
+        "{name}: max per-shard latency {} exceeds the serial total {}",
+        sharded.max_latency_seconds,
+        sharded.total_latency_seconds
+    );
+}
+
+fn check_all(matrix: &CooMatrix, shards: usize) {
+    let shards = shards.clamp(1, matrix.rows());
+    let spec = ShardSpec::nnz_balanced(matrix, shards).expect("nnz-balanced spec");
+    let x = dense_x(matrix.cols());
+    let scales = row_scales(matrix, &x);
+
+    // CPU reference: slicing preserves the per-row accumulation order, so
+    // the gathered vector is bit-identical, not merely close.
+    let full_cpu = matrix.spmv(&x);
+    let partials: Vec<Vec<f32>> = (0..spec.shards())
+        .map(|k| spec.slice(matrix, k).expect("slice").spmv(&x))
+        .collect();
+    let gathered = spec.gather(&partials).expect("gather");
+    assert_eq!(
+        full_cpu.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        gathered.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "cpu gather must be bit-identical over {shards} shards"
+    );
+
+    check_engine(
+        &ChasonEngine::new(AcceleratorConfig::chason()),
+        "chason",
+        matrix,
+        &spec,
+        &x,
+        &scales,
+    );
+    check_engine(
+        &SerpensEngine::new(AcceleratorConfig::serpens()),
+        "serpens",
+        matrix,
+        &spec,
+        &x,
+        &scales,
+    );
+}
+
+#[test]
+fn archetype_corpus_obeys_the_sharding_law() {
+    for (name, matrix) in archetype_corpus() {
+        for shards in [1, 2, 3, 5] {
+            if matrix.nnz() == 0 {
+                continue;
+            }
+            eprintln!("corpus {name}: {shards} shards");
+            check_all(&matrix, shards);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_matrices_obey_the_sharding_law(
+        matrix in sparse_matrix_nonempty(40, 200),
+        shards in 1usize..5,
+    ) {
+        check_all(&matrix, shards);
+    }
+}

@@ -23,6 +23,14 @@ pub enum ClientError {
         /// Server's suggested back-off.
         retry_after_ms: u32,
     },
+    /// Every attempt allowed by the client's [`RetryPolicy`] came back
+    /// [`Reply::Busy`].
+    RetriesExhausted {
+        /// Attempts made (including the first send).
+        attempts: u32,
+        /// The last `Busy` reply's suggested back-off.
+        retry_after_ms: u32,
+    },
     /// The server answered with a typed error.
     Server {
         /// Failure class.
@@ -42,6 +50,15 @@ impl fmt::Display for ClientError {
             ClientError::Proto(e) => write!(f, "protocol error: {e}"),
             ClientError::Busy { retry_after_ms } => {
                 write!(f, "server busy; retry after {retry_after_ms} ms")
+            }
+            ClientError::RetriesExhausted {
+                attempts,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "server still busy after {attempts} attempts; last hint: retry after {retry_after_ms} ms"
+                )
             }
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code:?}): {message}")
@@ -100,15 +117,79 @@ pub struct UpdateOutcome {
     pub windows_total: u64,
 }
 
+/// Bounded retry with exponential back-off and deterministic jitter for
+/// [`Reply::Busy`] replies.
+///
+/// Each attempt `n` (0-based) sleeps for
+/// `max(server_hint, jittered(base_delay_ms << n))` capped at
+/// `max_delay_ms`, where `jittered` picks a value in the upper half of the
+/// exponential window from a SplitMix64 stream seeded by `seed` — so two
+/// clients created with different seeds desynchronise instead of
+/// stampeding the server in lockstep, and a test re-running with the same
+/// seed sees identical sleeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total send attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Back-off for the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single sleep, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Jitter stream seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 10,
+            max_delay_ms: 500,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based), honoring the
+    /// server's hint. Pure: the jitter comes from `state`, which the
+    /// caller advances.
+    pub fn backoff_ms(&self, attempt: u32, hint_ms: u32, state: &mut u64) -> u64 {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .clamp(1, self.max_delay_ms);
+        // Jitter into [exp/2, exp] so the exponential shape survives but
+        // concurrent clients spread out.
+        let low = exp / 2;
+        let jittered = low + splitmix64(state) % (exp - low + 1);
+        jittered.max(u64::from(hint_ms)).min(self.max_delay_ms)
+    }
+}
+
 /// A blocking CHSP connection.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     max_frame: usize,
+    retry: Option<RetryPolicy>,
+    retry_state: u64,
 }
 
 impl Client {
     /// Connects and configures socket timeouts.
+    ///
+    /// Retries are off by default: a [`Reply::Busy`] surfaces as
+    /// [`ClientError::Busy`]. Opt in with [`Client::set_retry`] or
+    /// [`Client::with_retry`].
     ///
     /// # Errors
     ///
@@ -121,7 +202,25 @@ impl Client {
         Ok(Client {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
+            retry: None,
+            retry_state: 0,
         })
+    }
+
+    /// Builder-style [`Client::set_retry`].
+    #[must_use]
+    pub fn with_retry(mut self, policy: Option<RetryPolicy>) -> Client {
+        self.set_retry(policy);
+        self
+    }
+
+    /// Enables (or disables, with `None`) automatic retry of `Busy`
+    /// replies for every typed helper. With a policy installed, a request
+    /// that is still shed after `max_attempts` sends fails with
+    /// [`ClientError::RetriesExhausted`].
+    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
+        self.retry_state = policy.map_or(0, |p| p.seed);
+        self.retry = policy;
     }
 
     /// Sends one request and reads its raw reply ([`Reply::Busy`] and
@@ -138,10 +237,29 @@ impl Client {
     }
 
     fn expect(&mut self, request: &Request) -> Result<Reply, ClientError> {
-        match self.request(request)? {
-            Reply::Busy { retry_after_ms } => Err(ClientError::Busy { retry_after_ms }),
-            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
-            reply => Ok(reply),
+        let mut attempt = 0u32;
+        loop {
+            match self.request(request)? {
+                Reply::Busy { retry_after_ms } => {
+                    let Some(policy) = self.retry else {
+                        return Err(ClientError::Busy { retry_after_ms });
+                    };
+                    attempt += 1;
+                    if attempt >= policy.max_attempts.max(1) {
+                        return Err(ClientError::RetriesExhausted {
+                            attempts: attempt,
+                            retry_after_ms,
+                        });
+                    }
+                    let sleep_ms =
+                        policy.backoff_ms(attempt - 1, retry_after_ms, &mut self.retry_state);
+                    std::thread::sleep(Duration::from_millis(sleep_ms));
+                }
+                Reply::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                reply => return Ok(reply),
+            }
         }
     }
 
@@ -317,5 +435,60 @@ impl Client {
             Reply::Done => Ok(()),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            seed: 42,
+        };
+        let mut state = policy.seed;
+        let mut prev_window = 0u64;
+        for attempt in 0..6 {
+            let ms = policy.backoff_ms(attempt, 0, &mut state);
+            let window = (10u64 << attempt).min(100);
+            assert!(
+                ms >= window / 2 && ms <= window,
+                "attempt {attempt}: {ms} outside [{}, {window}]",
+                window / 2
+            );
+            assert!(window >= prev_window);
+            prev_window = window;
+        }
+    }
+
+    #[test]
+    fn backoff_honors_server_hint() {
+        let policy = RetryPolicy::default();
+        let mut state = policy.seed;
+        // Hint above the exponential window wins.
+        assert!(policy.backoff_ms(0, 200, &mut state) >= 200);
+        // But never beyond the cap.
+        assert_eq!(policy.backoff_ms(0, 10_000, &mut state), 500);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let (mut a, mut b) = (policy.seed, policy.seed);
+        for attempt in 0..5 {
+            assert_eq!(
+                policy.backoff_ms(attempt, 0, &mut a),
+                policy.backoff_ms(attempt, 0, &mut b)
+            );
+        }
+        // Different seeds give a different jitter stream somewhere.
+        let (mut c, mut d) = (1u64, 2u64);
+        let diverged = (0..8)
+            .any(|n| policy.backoff_ms(n % 4, 0, &mut c) != policy.backoff_ms(n % 4, 0, &mut d));
+        assert!(diverged);
     }
 }

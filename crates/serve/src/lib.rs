@@ -34,7 +34,7 @@ pub mod proto;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, ClientError, UpdateOutcome};
-pub use loadgen::{LoadgenOptions, LoadgenReport};
+pub use client::{Client, ClientError, RetryPolicy, UpdateOutcome};
+pub use loadgen::{LoadgenOptions, LoadgenReport, RouterLoadReport};
 pub use proto::{Engine, ErrorCode, Reply, Request, SolverKind, StatsSnapshot};
 pub use server::{ServeConfig, Server};

@@ -37,6 +37,12 @@ pub struct LoadgenOptions {
     /// any interleaving across connections stays valid and every system
     /// stays SPD.
     pub churn: u64,
+    /// The target is a `chason route` frontend: `Plan` requests (which a
+    /// router refuses — plans live on the shards) become extra `Stats`
+    /// polls, and the report gains a router section parsed from the
+    /// `router_*` metrics (per-shard request balance, gather-latency
+    /// percentiles, scatter failures). Requires `addr`.
+    pub router: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -48,6 +54,7 @@ impl Default for LoadgenOptions {
             addr: None,
             require_hits: false,
             churn: 0,
+            router: false,
         }
     }
 }
@@ -74,6 +81,170 @@ pub struct LoadgenReport {
     pub latency_micros: (u64, u64, u64, u64),
     /// The server's own counters, fetched after the run.
     pub server_stats: StatsSnapshot,
+    /// Router fan-out summary, parsed from the `router_*` metrics after a
+    /// `--router` run; `None` against a plain server.
+    pub router: Option<RouterLoadReport>,
+}
+
+/// Fan-out summary of a load-generation run against a `chason route`
+/// frontend, parsed from its Prometheus-style metrics exposition.
+#[derive(Debug, Clone)]
+pub struct RouterLoadReport {
+    /// Requests each shard received (retries included), by shard index.
+    pub shard_requests: Vec<u64>,
+    /// Shards the router currently reports up.
+    pub shards_up: u64,
+    /// Shards configured.
+    pub shards_total: u64,
+    /// `max/mean` of `shard_requests` — 1.0 is a perfectly balanced
+    /// fan-out.
+    pub request_balance: f64,
+    /// Scatter-to-gather latency percentiles `(p50, p90, p99, max)` in
+    /// microseconds. Percentiles are power-of-two bucket upper bounds
+    /// (clamped to the exact max); the max is exact.
+    pub gather_micros: (u64, u64, u64, u64),
+    /// `max/mean` nnz balance of the most recently sharded matrix, in
+    /// percent (100 = perfectly balanced).
+    pub nnz_balance_pct: u64,
+    /// Fan-outs that failed on at least one shard.
+    pub scatter_failures: u64,
+    /// `Busy` replies retried against shards.
+    pub shard_retries: u64,
+    /// Reconnect-and-resend recoveries on stale pooled connections.
+    pub shard_reconnects: u64,
+}
+
+impl RouterLoadReport {
+    fn render(&self) -> String {
+        let (p50, p90, p99, max) = self.gather_micros;
+        let mut out = String::from("--- router ---\n");
+        out.push_str(&format!(
+            "shards up            : {}/{}\n",
+            self.shards_up, self.shards_total
+        ));
+        out.push_str(&format!(
+            "shard requests       : {:?} (balance {:.2} max/mean)\n",
+            self.shard_requests, self.request_balance
+        ));
+        out.push_str(&format!(
+            "gather latency       : p50 {p50} us, p90 {p90} us, p99 {p99} us, max {max} us\n"
+        ));
+        out.push_str(&format!(
+            "nnz balance          : {}% max/mean\n",
+            self.nnz_balance_pct
+        ));
+        out.push_str(&format!(
+            "scatter failures     : {} (busy retries {}, reconnects {})\n",
+            self.scatter_failures, self.shard_retries, self.shard_reconnects
+        ));
+        out
+    }
+
+    fn render_json(&self) -> String {
+        let (p50, p90, p99, max) = self.gather_micros;
+        let requests = self
+            .shard_requests
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\"shards_up\":{},\"shards_total\":{},\"shard_requests\":[{}],",
+                "\"request_balance\":{:.4},\"gather_micros\":{{\"p50\":{},\"p90\":{},",
+                "\"p99\":{},\"max\":{}}},\"nnz_balance_pct\":{},\"scatter_failures\":{},",
+                "\"shard_retries\":{},\"shard_reconnects\":{}}}"
+            ),
+            self.shards_up,
+            self.shards_total,
+            requests,
+            self.request_balance,
+            p50,
+            p90,
+            p99,
+            max,
+            self.nnz_balance_pct,
+            self.scatter_failures,
+            self.shard_retries,
+            self.shard_reconnects,
+        )
+    }
+}
+
+/// The value of one exactly-named metric in a Prometheus-style
+/// exposition (labels, if any, are part of `name`).
+fn metric_value(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+/// Nearest-rank percentiles of a rendered power-of-two-bucket histogram:
+/// each percentile is the upper bound of the bucket containing its rank
+/// (clamped to the exact recorded max), so reported tails are never
+/// understated.
+fn histogram_quantiles(text: &str, name: &str) -> (u64, u64, u64, u64) {
+    let prefix = format!("{name}_bucket{{le=\"");
+    let mut buckets: Vec<(u64, u64)> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some((bound, cumulative)) = rest.split_once("\"} ") else {
+            continue;
+        };
+        if let (Ok(bound), Ok(cumulative)) = (bound.parse(), cumulative.trim().parse()) {
+            buckets.push((bound, cumulative));
+        }
+    }
+    let count = metric_value(text, &format!("{name}_count")).unwrap_or(0);
+    let max = metric_value(text, &format!("{name}_max")).unwrap_or(0);
+    let quantile = |p: u64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let rank = (count * p).div_ceil(100).max(1);
+        buckets
+            .iter()
+            .find(|&&(_, cumulative)| cumulative >= rank)
+            .map_or(max, |&(bound, _)| bound.min(max))
+    };
+    (quantile(50), quantile(90), quantile(99), max)
+}
+
+/// Parses the `router_*` family out of a metrics exposition. Returns
+/// `None` when the text carries no `router_shards` gauge (i.e. the target
+/// was a plain server).
+pub fn parse_router_metrics(text: &str) -> Option<RouterLoadReport> {
+    let shards_total = metric_value(text, "router_shards")?;
+    let mut shard_requests = Vec::with_capacity(shards_total as usize);
+    let mut shards_up = 0u64;
+    for k in 0..shards_total {
+        shard_requests.push(
+            metric_value(
+                text,
+                &format!("router_shard_requests_total{{shard=\"{k}\"}}"),
+            )
+            .unwrap_or(0),
+        );
+        shards_up += metric_value(text, &format!("router_shard_up{{shard=\"{k}\"}}")).unwrap_or(0);
+    }
+    let max = shard_requests.iter().copied().max().unwrap_or(0);
+    let mean = shard_requests.iter().sum::<u64>() as f64 / shard_requests.len().max(1) as f64;
+    let request_balance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+    Some(RouterLoadReport {
+        shard_requests,
+        shards_up,
+        shards_total,
+        request_balance,
+        gather_micros: histogram_quantiles(text, "router_gather_micros"),
+        nnz_balance_pct: metric_value(text, "router_nnz_balance_pct").unwrap_or(0),
+        scatter_failures: metric_value(text, "router_scatter_failures_total").unwrap_or(0),
+        shard_retries: metric_value(text, "router_shard_retries_total").unwrap_or(0),
+        shard_reconnects: metric_value(text, "router_shard_reconnects_total").unwrap_or(0),
+    })
 }
 
 impl LoadgenReport {
@@ -105,6 +276,9 @@ impl LoadgenReport {
         ));
         out.push_str("--- server stats ---\n");
         out.push_str(&self.server_stats.render_table());
+        if let Some(router) = &self.router {
+            out.push_str(&router.render());
+        }
         out
     }
 
@@ -182,6 +356,9 @@ impl LoadgenReport {
                 s.replan_windows
             ),
         );
+        if let Some(router) = &self.router {
+            field("router", router.render_json());
+        }
         out.push('}');
         out
     }
@@ -259,6 +436,7 @@ fn run_connection(
     matrices: &[CooMatrix],
     requests: usize,
     churn: u64,
+    router: bool,
     mut rng: u64,
 ) -> Result<ConnOutcome, ClientError> {
     let mut client = Client::connect(addr)?;
@@ -345,6 +523,9 @@ fn run_connection(
                     };
                     client.solve(handle, engine, solver, 8, 1e-4, b).map(|_| 1)
                 }
+                // A router refuses Plan (artifacts are per-shard), so the
+                // plan slot becomes an extra stats poll there.
+                8 if router => client.stats().map(|_| 3),
                 8 => {
                     let engine = ENGINES[1 + (splitmix64(&mut rng) as usize) % 2];
                     client.plan(handle, engine).and_then(|bytes| {
@@ -389,6 +570,17 @@ fn run_connection(
 /// or (`require_hits`) the server reports zero plan-cache hits.
 pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
     let connections = options.connections.max(1);
+    if options.router {
+        if options.addr.is_none() {
+            return Err("--router requires --addr (start `chason route` first)".to_string());
+        }
+        if options.require_hits {
+            return Err(
+                "--require-hits is meaningless against a router: plans live on the shards"
+                    .to_string(),
+            );
+        }
+    }
     let local_server = match &options.addr {
         Some(_) => None,
         None => Some(Server::start(ServeConfig::default()).map_err(|e| e.to_string())?),
@@ -412,9 +604,9 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
                 .wrapping_add(conn as u64 + 1);
             let addr = addr.clone();
             let matrices = &matrices;
-            joins.push(
-                scope.spawn(move || run_connection(&addr, matrices, share, options.churn, rng)),
-            );
+            joins.push(scope.spawn(move || {
+                run_connection(&addr, matrices, share, options.churn, options.router, rng)
+            }));
         }
         joins
             .into_iter()
@@ -452,6 +644,17 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
     let server_stats = final_client
         .stats()
         .map_err(|e| format!("final stats fetch failed: {e}"))?;
+    let router = if options.router {
+        let text = final_client
+            .metrics()
+            .map_err(|e| format!("router metrics fetch failed: {e}"))?;
+        Some(
+            parse_router_metrics(&text)
+                .ok_or("target exposes no router_* metrics; is it a chason route frontend?")?,
+        )
+    } else {
+        None
+    };
     if let Some(server) = local_server {
         final_client
             .shutdown()
@@ -473,6 +676,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
         throughput_rps: completed as f64 / elapsed_seconds.max(1e-9),
         latency_micros: (p50, p90, p99, max),
         server_stats,
+        router,
     };
     if report.protocol_errors > 0 {
         return Err(format!(
@@ -535,6 +739,46 @@ mod tests {
     }
 
     #[test]
+    fn router_metrics_parse_into_a_balanced_report() {
+        let text = concat!(
+            "# TYPE router_shard_requests_total{shard=\"0\"} counter\n",
+            "router_shard_requests_total{shard=\"0\"} 120\n",
+            "router_shard_requests_total{shard=\"1\"} 100\n",
+            "router_shard_requests_total{shard=\"2\"} 80\n",
+            "router_shard_up{shard=\"0\"} 1\n",
+            "router_shard_up{shard=\"1\"} 1\n",
+            "router_shard_up{shard=\"2\"} 0\n",
+            "router_shards 3\n",
+            "router_nnz_balance_pct 104\n",
+            "router_scatter_failures_total 2\n",
+            "router_shard_retries_total 5\n",
+            "router_shard_reconnects_total 1\n",
+            "# TYPE router_gather_micros histogram\n",
+            "router_gather_micros_bucket{le=\"127\"} 6\n",
+            "router_gather_micros_bucket{le=\"255\"} 9\n",
+            "router_gather_micros_bucket{le=\"1023\"} 10\n",
+            "router_gather_micros_bucket{le=\"+Inf\"} 10\n",
+            "router_gather_micros_sum 1850\n",
+            "router_gather_micros_count 10\n",
+            "router_gather_micros_max 900\n",
+        );
+        let report = parse_router_metrics(text).expect("router metrics parse");
+        assert_eq!(report.shard_requests, vec![120, 100, 80]);
+        assert_eq!(report.shards_up, 2);
+        assert_eq!(report.shards_total, 3);
+        assert!((report.request_balance - 1.2).abs() < 1e-9);
+        // p50 rank 5 lands in the first bucket; p99 rank 10 lands in the
+        // 1023 bucket but is clamped to the exact max.
+        assert_eq!(report.gather_micros, (127, 255, 900, 900));
+        assert_eq!(report.nnz_balance_pct, 104);
+        assert_eq!(report.scatter_failures, 2);
+        assert_eq!(report.shard_retries, 5);
+        assert_eq!(report.shard_reconnects, 1);
+        // A plain server exposition has no router family.
+        assert!(parse_router_metrics("chsp_requests_spmv_total 4\n").is_none());
+    }
+
+    #[test]
     fn percentile_uses_ceiling_nearest_rank() {
         // 100 samples 1..=100: pN is exactly N.
         let hundred: Vec<u64> = (1..=100).collect();
@@ -564,6 +808,7 @@ mod tests {
             addr: None,
             require_hits: true,
             churn: 0,
+            router: false,
         })
         .expect("loadgen run");
         assert_eq!(report.completed, 40);
@@ -587,6 +832,7 @@ mod tests {
             addr: None,
             require_hits: true,
             churn: 25,
+            router: false,
         })
         .expect("churned loadgen run");
         assert_eq!(report.completed, 60);

@@ -179,6 +179,13 @@ pub enum ErrorCode {
     FrameTooLarge,
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
+    /// A router could not reach a backend shard needed by the request
+    /// (connection refused, broken mid-request, or health-checked down).
+    ShardUnavailable,
+    /// A router's scatter reached only part of the shard set, or shard
+    /// replies disagreed (e.g. diverging matrix versions after an update);
+    /// the gathered result was discarded rather than returned truncated.
+    PartialGather,
 }
 
 impl ErrorCode {
@@ -192,6 +199,8 @@ impl ErrorCode {
             ErrorCode::Internal => 5,
             ErrorCode::FrameTooLarge => 6,
             ErrorCode::ShuttingDown => 7,
+            ErrorCode::ShardUnavailable => 8,
+            ErrorCode::PartialGather => 9,
         }
     }
 
@@ -205,6 +214,8 @@ impl ErrorCode {
             5 => Some(ErrorCode::Internal),
             6 => Some(ErrorCode::FrameTooLarge),
             7 => Some(ErrorCode::ShuttingDown),
+            8 => Some(ErrorCode::ShardUnavailable),
+            9 => Some(ErrorCode::PartialGather),
             _ => None,
         }
     }
@@ -310,6 +321,11 @@ pub enum Reply {
         /// Whether this upload inserted the matrix (`false`: it was
         /// already resident and the upload was a no-op).
         fresh: bool,
+        /// Current version of the resident lineage the handle names: 0
+        /// for a fresh (or never-updated) matrix, bumped by every
+        /// `Update`. Lets a frontend detect that a handle now names
+        /// content that has diverged from the triplets it just sent.
+        version: u64,
     },
     /// The result vector of a `Spmv`.
     Vector {
@@ -933,6 +949,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             cols,
             nnz,
             fresh,
+            version,
         } => {
             buf.push(RP_LOADED);
             put_u64(&mut buf, *handle);
@@ -940,6 +957,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             put_u64(&mut buf, *cols);
             put_u64(&mut buf, *nnz);
             buf.push(u8::from(*fresh));
+            put_u64(&mut buf, *version);
         }
         Reply::Vector {
             y,
@@ -1036,12 +1054,14 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtoError> {
                     return Err(ProtoError::Malformed(format!("bad fresh flag {other}")));
                 }
             };
+            let version = c.u64()?;
             Reply::Loaded {
                 handle,
                 rows,
                 cols,
                 nnz,
                 fresh,
+                version,
             }
         }
         RP_VECTOR => {

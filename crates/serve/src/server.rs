@@ -614,24 +614,30 @@ fn execute_load(shared: &Shared, rows: u64, cols: u64, triplets: &[(u64, u64, f3
     let csr = Arc::new(CowCsr::from(&matrix));
     let mut matrices = lock_unpoisoned(&shared.matrices);
     // Re-loading a matrix whose resident copy has since been updated keeps
-    // the updated (current-version) copy: the handle names a lineage.
-    let fresh = !matrices.contains(&handle);
-    if fresh {
-        matrices.insert(
-            handle,
-            ResidentMatrix {
-                matrix: Arc::new(matrix),
-                csr,
-                version: 0,
-            },
-        );
-    }
+    // the updated (current-version) copy: the handle names a lineage. The
+    // reply carries the lineage's current version so the caller can tell
+    // the resident content has moved past the triplets it sent.
+    let (fresh, version) = match matrices.peek(&handle) {
+        Some(resident) => (false, resident.version),
+        None => {
+            matrices.insert(
+                handle,
+                ResidentMatrix {
+                    matrix: Arc::new(matrix),
+                    csr,
+                    version: 0,
+                },
+            );
+            (true, 0)
+        }
+    };
     Reply::Loaded {
         handle,
         rows,
         cols,
         nnz: triplets.len() as u64,
         fresh,
+        version,
     }
 }
 

@@ -104,6 +104,13 @@ impl ServerStats {
         }
     }
 
+    /// The registry every `chsp_*` metric lives in. A frontend embedding
+    /// these stats (e.g. the CHSP router) registers its own metrics here
+    /// so one `Metrics` reply exposes both families.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// Records one completed request's execution time (queue wait
     /// excluded — that goes to [`record_queue_wait_micros`]).
     ///

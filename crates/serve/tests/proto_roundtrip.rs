@@ -120,7 +120,7 @@ proptest! {
         artifact in vec(any::<u8>(), 0..64),
         residual_bits in any::<u64>(),
         retry_after_ms in any::<u32>(),
-        error_code in 1u8..8,
+        error_code in 1u8..10,
         message_index in 0usize..4,
     ) {
         let reply = match selector {
@@ -130,6 +130,7 @@ proptest! {
                 cols: words[2],
                 nnz: words[3],
                 fresh: flag,
+                version: words[8],
             },
             1 => Reply::Vector {
                 y: floats(&value_bits),

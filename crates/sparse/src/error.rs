@@ -48,6 +48,8 @@ pub enum SparseError {
     },
     /// An I/O error occurred while reading or writing a matrix file.
     Io(String),
+    /// A shard specification does not tile the matrix it claims to cover.
+    InvalidShardSpec(String),
 }
 
 impl fmt::Display for SparseError {
@@ -78,6 +80,9 @@ impl fmt::Display for SparseError {
                 write!(f, "parse error on line {line}: {message}")
             }
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            SparseError::InvalidShardSpec(msg) => {
+                write!(f, "invalid shard spec: {msg}")
+            }
         }
     }
 }

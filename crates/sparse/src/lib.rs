@@ -13,7 +13,9 @@
 //! * the evaluation catalogs ([`datasets`]) mirroring Table 2 of the paper
 //!   and the 800-matrix corpus used by Figures 3, 11 and 14,
 //! * row/column population statistics ([`stats`]) used to characterise
-//!   workload imbalance.
+//!   workload imbalance,
+//! * row-block sharding ([`shard`]) splitting a matrix into contiguous,
+//!   nnz-balanced row ranges for multi-instance serving.
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@ mod error;
 pub mod generators;
 pub mod market;
 pub mod permute;
+pub mod shard;
 pub mod stats;
 
 pub use coo::CooMatrix;
@@ -50,6 +53,7 @@ pub use csr::CsrMatrix;
 pub use delta::{CowCsr, MatrixDelta, VersionedMatrix};
 pub use dense::DenseMatrix;
 pub use error::SparseError;
+pub use shard::ShardSpec;
 
 /// A single explicit entry of a sparse matrix: `(row, column, value)`.
 ///

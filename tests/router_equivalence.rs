@@ -1,0 +1,323 @@
+//! Acceptance proof for sharded serving: a 3-shard router returns the
+//! same answers as a single `chason serve` instance on the same corpus —
+//! bit-identical on the `cpu` engine (row-block sharding preserves
+//! per-row accumulation order), ULP-equivalent on the modeled engines —
+//! including after an `UpdateMatrix` delta routed by row footprint.
+
+use chason_conformance::ulp::{compare, row_scales, UlpTolerance};
+use chason_router::{Router, RouterConfig};
+use chason_serve::client::Client;
+use chason_serve::proto::{Engine, SolverKind};
+use chason_serve::server::{ServeConfig, Server};
+use chason_sparse::{CooMatrix, MatrixDelta};
+use chason_testutil::{dense_x, spd_system};
+
+struct Deployment {
+    single: Server,
+    shards: Vec<Server>,
+    router: Router,
+}
+
+impl Deployment {
+    fn start(shard_count: usize) -> Deployment {
+        let config = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let single = Server::start(config.clone()).expect("single server");
+        let shards: Vec<Server> = (0..shard_count)
+            .map(|_| Server::start(config.clone()).expect("shard"))
+            .collect();
+        let router = Router::start(RouterConfig {
+            shards: shards.iter().map(|s| s.local_addr().to_string()).collect(),
+            workers: 2,
+            ..RouterConfig::default()
+        })
+        .expect("router");
+        Deployment {
+            single,
+            shards,
+            router,
+        }
+    }
+
+    fn clients(&self) -> (Client, Client) {
+        let single = Client::connect(self.single.local_addr()).expect("connect single");
+        let routed = Client::connect(self.router.local_addr()).expect("connect router");
+        (single, routed)
+    }
+
+    fn stop(self) {
+        self.router.shutdown();
+        self.router.join();
+        for s in self.shards {
+            s.shutdown();
+            s.join();
+        }
+        self.single.shutdown();
+        self.single.join();
+    }
+}
+
+fn assert_bits_equal(want: &[f32], got: &[f32], what: &str) {
+    assert_eq!(want.len(), got.len(), "{what}: length mismatch");
+    for (i, (w, g)) in want.iter().zip(got).enumerate() {
+        assert_eq!(
+            w.to_bits(),
+            g.to_bits(),
+            "{what}: bit divergence at {i}: {w} vs {g}"
+        );
+    }
+}
+
+fn assert_ulp_equal(matrix: &CooMatrix, x: &[f32], want: &[f32], got: &[f32], what: &str) {
+    let scales = row_scales(matrix, x);
+    let rejects = compare(want, got, &scales, &UlpTolerance::default());
+    assert!(
+        rejects.is_empty(),
+        "{what}: ULP divergence: {:?}",
+        &rejects[..rejects.len().min(5)]
+    );
+}
+
+/// Relative residual of `A·x = b`, accumulated in f64.
+fn relative_residual(a: &CooMatrix, x: &[f32], b: &[f32]) -> f64 {
+    let ax = a.spmv(x);
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (axi, bi) in ax.iter().zip(b) {
+        num += f64::from(axi - bi).powi(2);
+        den += f64::from(*bi).powi(2);
+    }
+    (num / den.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+/// Loads `a` into both deployments (asserting the handles agree — the
+/// router mints the same full-matrix fingerprint a single server would)
+/// and compares SpMV on every engine and CG/Jacobi on the deterministic
+/// `cpu` backend.
+fn compare_deployment(
+    single: &mut Client,
+    routed: &mut Client,
+    a: &CooMatrix,
+    b: &[f32],
+    what: &str,
+) -> u64 {
+    let (h_single, _) = single.load_matrix(a).expect("load single");
+    let (h_routed, _) = routed.load_matrix(a).expect("load routed");
+    assert_eq!(
+        h_single, h_routed,
+        "{what}: the router must mint the single-server handle"
+    );
+
+    let x = dense_x(a.cols());
+
+    // cpu: bit-identical, and both bit-identical to the local reference.
+    let (y_single, _, _) = single
+        .spmv(h_single, Engine::Cpu, x.clone())
+        .expect("single cpu spmv");
+    let (y_routed, _, nanos) = routed
+        .spmv(h_routed, Engine::Cpu, x.clone())
+        .expect("routed cpu spmv");
+    assert_bits_equal(&y_single, &y_routed, &format!("{what}: cpu spmv"));
+    assert_eq!(nanos, 0, "{what}: cpu reports no modeled time");
+
+    // Modeled engines: ULP-equivalent (per-shard column windows may
+    // re-associate sums within a slice).
+    for engine in [Engine::Chason, Engine::Serpens] {
+        let (y_single, _, _) = single
+            .spmv(h_single, engine, x.clone())
+            .expect("single engine spmv");
+        let (y_routed, _, nanos) = routed
+            .spmv(h_routed, engine, x.clone())
+            .expect("routed engine spmv");
+        assert!(nanos > 0, "{what}: {engine:?} must report modeled time");
+        assert_ulp_equal(
+            a,
+            &x,
+            &y_single,
+            &y_routed,
+            &format!("{what}: {engine:?} spmv"),
+        );
+    }
+
+    // cpu solves: the distributed per-iteration products are bit-identical
+    // to the single instance's, so the whole trajectory is.
+    for solver in [SolverKind::Cg, SolverKind::Jacobi] {
+        let s = single
+            .solve(h_single, Engine::Cpu, solver, 300, 1e-5, b.to_vec())
+            .expect("single cpu solve");
+        let r = routed
+            .solve(h_routed, Engine::Cpu, solver, 300, 1e-5, b.to_vec())
+            .expect("routed cpu solve");
+        assert_eq!(s.converged, r.converged, "{what}: {solver:?} convergence");
+        assert_eq!(s.iterations, r.iterations, "{what}: {solver:?} iterations");
+        assert_bits_equal(
+            &s.solution,
+            &r.solution,
+            &format!("{what}: cpu {solver:?} solution"),
+        );
+    }
+
+    // Engine CG: iteration-level FP differences may shift the trajectory,
+    // so the claim is convergence to the same tolerance on both paths.
+    let s = single
+        .solve(
+            h_single,
+            Engine::Chason,
+            SolverKind::Cg,
+            300,
+            1e-4,
+            b.to_vec(),
+        )
+        .expect("single chason cg");
+    let r = routed
+        .solve(
+            h_routed,
+            Engine::Chason,
+            SolverKind::Cg,
+            300,
+            1e-4,
+            b.to_vec(),
+        )
+        .expect("routed chason cg");
+    assert!(
+        s.converged,
+        "{what}: single chason cg residual {}",
+        s.residual
+    );
+    assert!(
+        r.converged,
+        "{what}: routed chason cg residual {}",
+        r.residual
+    );
+    let check = relative_residual(a, &r.solution, b);
+    assert!(
+        check <= 1e-3,
+        "{what}: routed chason cg solution does not solve the system: {check}"
+    );
+
+    h_single
+}
+
+#[test]
+fn three_shard_router_matches_single_instance_including_after_update() {
+    let deployment = Deployment::start(3);
+    let (mut single, mut routed) = deployment.clients();
+
+    // Two system sizes: one divides evenly across 3 shards, one does not.
+    for (n, seed) in [(64usize, 9u64), (33, 21)] {
+        let what = format!("n={n}");
+        let (a, b) = spd_system(n, seed);
+        let handle = compare_deployment(&mut single, &mut routed, &a, &b, &what);
+
+        // A symmetric, dominance-preserving delta: boost one diagonal,
+        // insert a tiny far-off-band pair, delete one off-diagonal pair.
+        let diag = a
+            .iter()
+            .find(|&&(r, c, _)| r == c)
+            .copied()
+            .expect("spd diagonal");
+        let off = a
+            .iter()
+            .find(|&&(r, c, _)| r < c)
+            .copied()
+            .expect("spd off-diagonal");
+        let inserts = vec![
+            (0u64, (n - 1) as u64, 0.01f32),
+            ((n - 1) as u64, 0u64, 0.01f32),
+        ];
+        let revalues = vec![(diag.0 as u64, diag.1 as u64, diag.2 + 1.0)];
+        let deletes = vec![(off.0 as u64, off.1 as u64), (off.1 as u64, off.0 as u64)];
+
+        let s = single
+            .update(handle, inserts.clone(), revalues.clone(), deletes.clone())
+            .expect("single update");
+        let r = routed
+            .update(handle, inserts.clone(), revalues.clone(), deletes.clone())
+            .expect("routed update");
+        assert_eq!(s.version, 1, "{what}: single update bumps to v1");
+        assert_eq!(r.version, 1, "{what}: routed update bumps to v1");
+        assert_eq!(s.nnz, r.nnz, "{what}: nnz after identical deltas");
+
+        // Apply the same delta locally for references and scales.
+        let mut delta = MatrixDelta::for_matrix(&a);
+        for &(row, col, v) in &revalues {
+            delta
+                .push_revalue(row as usize, col as usize, v)
+                .expect("revalue");
+        }
+        for &(row, col, v) in &inserts {
+            delta
+                .push_insert(row as usize, col as usize, v)
+                .expect("insert");
+        }
+        for &(row, col) in &deletes {
+            delta
+                .push_delete(row as usize, col as usize)
+                .expect("delete");
+        }
+        let updated = delta.apply(&a).expect("local apply");
+        assert_eq!(updated.nnz() as u64, s.nnz, "{what}: local apply agrees");
+
+        // Post-update equivalence on the same handle, all engines.
+        let x = dense_x(updated.cols());
+        let (y_single, _, _) = single
+            .spmv(handle, Engine::Cpu, x.clone())
+            .expect("single cpu spmv post-update");
+        let (y_routed, _, _) = routed
+            .spmv(handle, Engine::Cpu, x.clone())
+            .expect("routed cpu spmv post-update");
+        assert_bits_equal(
+            &y_single,
+            &y_routed,
+            &format!("{what}: cpu spmv post-update"),
+        );
+        assert_bits_equal(
+            &updated.spmv(&x),
+            &y_routed,
+            &format!("{what}: routed post-update vs local reference"),
+        );
+        for engine in [Engine::Chason, Engine::Serpens] {
+            let (y_single, _, _) = single
+                .spmv(handle, engine, x.clone())
+                .expect("single engine spmv post-update");
+            let (y_routed, _, _) = routed
+                .spmv(handle, engine, x.clone())
+                .expect("routed engine spmv post-update");
+            assert_ulp_equal(
+                &updated,
+                &x,
+                &y_single,
+                &y_routed,
+                &format!("{what}: {engine:?} spmv post-update"),
+            );
+        }
+
+        // CG still agrees bit-for-bit on cpu against the updated system.
+        let s = single
+            .solve(handle, Engine::Cpu, SolverKind::Cg, 300, 1e-5, b.clone())
+            .expect("single cpu cg post-update");
+        let r = routed
+            .solve(handle, Engine::Cpu, SolverKind::Cg, 300, 1e-5, b.clone())
+            .expect("routed cpu cg post-update");
+        assert_eq!(s.iterations, r.iterations, "{what}: post-update iterations");
+        assert_bits_equal(
+            &s.solution,
+            &r.solution,
+            &format!("{what}: cpu cg post-update solution"),
+        );
+    }
+
+    // The router's fan-out telemetry saw every shard.
+    let metrics = routed.metrics().expect("router metrics");
+    for k in 0..3 {
+        let needle = format!("router_shard_requests_total{{shard=\"{k}\"}} 0");
+        assert!(
+            !metrics.contains(&needle),
+            "shard {k} must have received requests:\n{metrics}"
+        );
+    }
+
+    deployment.stop();
+}
