@@ -1,6 +1,7 @@
 //! The registered wall-clock benchmarks: threaded SpMV kernels, engine
-//! planning, plan replay, incremental delta re-planning, and CHSP codec
-//! round-trips.
+//! planning, plan replay, incremental delta re-planning, CHSP codec
+//! round-trips, and pipelined echo round-trips through the chason-net
+//! readiness loop.
 //!
 //! Every benchmark has a stable `group/case` id — the comparator matches
 //! baseline to current by id — and an input fingerprint, so a baseline
@@ -13,13 +14,17 @@ use super::report::BenchResult;
 use super::runner::{measure, Profile};
 use chason_baselines::parallel::{spmv_dynamic, spmv_static};
 use chason_core::plan::matrix_fingerprint;
+use chason_net::server::{FrameOutcome, NetConfig, NetServer, Service};
 use chason_serve::proto::{
     decode_reply, decode_request, encode_reply, encode_request, Engine, Reply, Request,
 };
 use chason_sim::{ChasonEngine, SerpensEngine};
 use chason_sparse::generators::{power_law, uniform_random};
 use chason_sparse::{CooMatrix, CsrMatrix, MatrixDelta};
+use chason_telemetry::metrics::Registry;
 use criterion::black_box;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::rc::Rc;
 
 /// One runnable benchmark: a stable id, its input fingerprint, the
@@ -295,6 +300,70 @@ pub fn benchmarks(profile: &Profile, filter: Option<&str>) -> Vec<Benchmark> {
         }
     }
 
+    // (f) Pipelined echo through the chason-net readiness loop on a real
+    // loopback socket: one iteration writes `depth` frames back-to-back
+    // and reads `depth` replies, so the depth sweep shows how much
+    // per-round-trip latency pipelining amortises away.
+    let net_ids = [
+        ("net/echo-pipelined-d1", 1usize),
+        ("net/echo-pipelined-d8", 8),
+        ("net/echo-pipelined-d64", 64),
+    ];
+    if net_ids.iter().any(|(id, _)| matches(id, filter)) {
+        struct Echo;
+        impl Service for Echo {
+            fn on_frame(&mut self, _conn: u64, _seq: u64, payload: Vec<u8>) -> FrameOutcome {
+                FrameOutcome::Reply(payload)
+            }
+            fn on_oversized(&mut self, _conn: u64, _len: u64, _cap: u64) -> Option<Vec<u8>> {
+                None
+            }
+        }
+        let payload: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        let fingerprint = fnv1a(&payload);
+        for (id, depth) in net_ids {
+            if !matches(id, filter) {
+                continue;
+            }
+            let registry = Registry::new();
+            #[allow(clippy::expect_used)] // bench setup; loopback never fails here
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+            #[allow(clippy::expect_used)] // bench setup; loopback never fails here
+            let server = NetServer::start(listener, NetConfig::default(), &registry, |_| Echo)
+                .expect("start net server");
+            #[allow(clippy::expect_used)] // bench setup; loopback never fails here
+            let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+            #[allow(clippy::expect_used)] // bench setup; loopback never fails here
+            stream.set_nodelay(true).expect("nodelay");
+            let header = (payload.len() as u32).to_le_bytes();
+            let payload = payload.clone();
+            out.push(Benchmark {
+                id: id.to_string(),
+                fingerprint,
+                // Each round trip moves the frame both ways.
+                bytes_per_iter: (depth * (payload.len() + 4) * 2) as u64,
+                routine: Box::new(move || {
+                    // The server lives as long as the routine: the closure
+                    // owns it, so the loop thread dies with the bench.
+                    let _keep_alive = &server;
+                    let mut burst = Vec::with_capacity(depth * (payload.len() + 4));
+                    for _ in 0..depth {
+                        burst.extend_from_slice(&header);
+                        burst.extend_from_slice(&payload);
+                    }
+                    #[allow(clippy::expect_used)] // loopback echo round trip
+                    stream.write_all(&burst).expect("write burst");
+                    let mut reply = vec![0u8; payload.len() + 4];
+                    for _ in 0..depth {
+                        #[allow(clippy::expect_used)] // loopback echo round trip
+                        stream.read_exact(&mut reply).expect("read reply");
+                    }
+                    black_box(&reply);
+                }),
+            });
+        }
+    }
+
     out
 }
 
@@ -324,19 +393,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_five_groups() {
+    fn registry_covers_all_six_groups() {
         let profile = Profile::smoke();
         let ids: Vec<String> = benchmarks(&profile, None)
             .iter()
             .map(|b| b.id.clone())
             .collect();
-        for prefix in ["spmv/", "plan/", "replay/", "replan/", "chsp/"] {
+        for prefix in ["spmv/", "plan/", "replay/", "replan/", "chsp/", "net/"] {
             assert!(
                 ids.iter().any(|id| id.starts_with(prefix)),
                 "missing group {prefix} in {ids:?}"
             );
         }
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 17);
     }
 
     #[test]

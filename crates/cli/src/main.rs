@@ -51,11 +51,14 @@ USAGE:
   chason serve                 [--addr HOST:PORT] [--workers N] [--queue N]
                                [--plan-cache N] [--matrix-cache N] [--batch-max N]
                                [--retry-after-ms MS] [--channels N] [--pes N]
-                               # CHSP daemon; runs until a Shutdown request
+                               [--net async|threads]
+                               # CHSP daemon; runs until a Shutdown request;
+                               --net async (default) serves every connection
+                               from one readiness-driven event loop
   chason route                 --shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
                                [--workers N] [--queue N] [--matrix-cache N]
                                [--retry-attempts N] [--health-interval-ms MS]
-                               [--shutdown-shards]
+                               [--shutdown-shards] [--net async|threads]
                                # scatter-gather CHSP frontend over N serve shards;
                                --shutdown-shards forwards a wire Shutdown to
                                every backend before draining
@@ -69,7 +72,11 @@ USAGE:
   chason loadgen               [--addr HOST:PORT] [--connections N] [--requests M]
                                [--seed S] [--format text|json] [--report FILE]
                                [--require-hits] [--churn PCT] [--router]
-                               # deterministic closed-loop load generator;
+                               [--pipeline DEPTH] [--open-loop RPS]
+                               # deterministic load generator; closed-loop by
+                               default, --pipeline keeps DEPTH requests in
+                               flight per connection, --open-loop sends on a
+                               fixed aggregate schedule instead of waiting;
                                --churn sends that percentage as matrix deltas;
                                --router targets a chason route frontend and
                                reports per-shard balance + gather percentiles

@@ -8,6 +8,7 @@ use chason_serve::client::{Client, ClientError, RetryPolicy};
 use chason_serve::loadgen::{self, LoadgenOptions};
 use chason_serve::proto::{Engine, SolverKind};
 use chason_serve::server::{ServeConfig, Server};
+use chason_serve::NetMode;
 use chason_sparse::market::read_matrix_market;
 use chason_sparse::CooMatrix;
 use std::fs::File;
@@ -41,6 +42,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         batch_max: args.get_or("batch-max", 8usize)?,
         retry_after_ms: args.get_or("retry-after-ms", 20u32)?,
         sched: scheduler_config(args)?,
+        net: NetMode::parse(args.get("net").unwrap_or("async"))?,
         ..ServeConfig::default()
     };
     let server = Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
@@ -83,6 +85,7 @@ pub fn route(args: &Args) -> Result<(), String> {
         },
         health_interval: Duration::from_millis(args.get_or("health-interval-ms", 2000u64)?),
         shutdown_shards: args.has_flag("shutdown-shards"),
+        net: NetMode::parse(args.get("net").unwrap_or("async"))?,
         ..RouterConfig::default()
     };
     let router = Router::start(config).map_err(|e| format!("cannot start router: {e}"))?;
@@ -299,8 +302,9 @@ pub fn client(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `chason loadgen` — deterministic closed-loop load against a CHSP
-/// server (or an in-process one when `--addr` is omitted).
+/// `chason loadgen` — deterministic load against a CHSP server (or an
+/// in-process one when `--addr` is omitted): closed-loop by default,
+/// pipelined with `--pipeline DEPTH`, open-loop with `--open-loop RPS`.
 pub fn run_loadgen(args: &Args) -> Result<(), String> {
     let churn = args.get_or("churn", 0u64)?;
     if churn > 100 {
@@ -308,6 +312,13 @@ pub fn run_loadgen(args: &Args) -> Result<(), String> {
             "--churn {churn} is out of range (percentage, 0-100)"
         ));
     }
+    let open_loop_rps = args
+        .get("open-loop")
+        .map(|raw| {
+            raw.parse::<u64>()
+                .map_err(|e| format!("--open-loop {raw}: {e}"))
+        })
+        .transpose()?;
     let options = LoadgenOptions {
         connections: args.get_or("connections", 4usize)?,
         requests: args.get_or("requests", 1000usize)?,
@@ -316,6 +327,8 @@ pub fn run_loadgen(args: &Args) -> Result<(), String> {
         require_hits: args.has_flag("require-hits"),
         churn,
         router: args.has_flag("router"),
+        pipeline: args.get_or("pipeline", 1usize)?,
+        open_loop_rps,
     };
     let report = loadgen::run(&options)?;
     let rendered = match args.get("format").unwrap_or("text") {

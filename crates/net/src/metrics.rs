@@ -1,0 +1,57 @@
+//! `net_*` metric handles, registered into the embedding server's
+//! [`Registry`] so one exposition endpoint covers both the worker pool
+//! and the connection layer.
+
+use chason_telemetry::metrics::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Pre-resolved handles for every connection-layer metric (DESIGN.md §15
+/// names them all). Cloning is cheap — handles are `Arc`s.
+#[derive(Debug, Clone)]
+pub struct NetMetrics {
+    /// `net_connections_open`: connections currently registered.
+    pub connections_open: Arc<Gauge>,
+    /// `net_connections_hwm`: most connections ever open at once.
+    pub connections_hwm: Arc<Gauge>,
+    /// `net_accepted_total`: connections handed to the loop.
+    pub accepted: Arc<Counter>,
+    /// `net_closed_total`: connections closed (any cause).
+    pub closed: Arc<Counter>,
+    /// `net_loop_wakeups_total`: poller wait returns.
+    pub wakeups: Arc<Counter>,
+    /// `net_readiness_batch`: events delivered per non-empty wakeup.
+    pub readiness_batch: Arc<Histogram>,
+    /// `net_frames_in_total`: request frames reassembled.
+    pub frames_in: Arc<Counter>,
+    /// `net_frames_out_total`: reply frames queued for write.
+    pub frames_out: Arc<Counter>,
+    /// `net_write_queue_depth_hwm`: most unsent reply bytes buffered on
+    /// one connection.
+    pub write_queue_depth_hwm: Arc<Gauge>,
+    /// `net_read_pauses_total`: backpressure pause transitions.
+    pub read_pauses: Arc<Counter>,
+    /// `net_idle_reaped_total`: connections closed by the idle wheel.
+    pub idle_reaped: Arc<Counter>,
+    /// `net_loop_errors_total`: unrecoverable poller failures.
+    pub loop_errors: Arc<Counter>,
+}
+
+impl NetMetrics {
+    /// Registers (or re-resolves) every `net_*` metric in `registry`.
+    pub fn register(registry: &Registry) -> NetMetrics {
+        NetMetrics {
+            connections_open: registry.gauge("net_connections_open"),
+            connections_hwm: registry.gauge("net_connections_hwm"),
+            accepted: registry.counter("net_accepted_total"),
+            closed: registry.counter("net_closed_total"),
+            wakeups: registry.counter("net_loop_wakeups_total"),
+            readiness_batch: registry.histogram("net_readiness_batch"),
+            frames_in: registry.counter("net_frames_in_total"),
+            frames_out: registry.counter("net_frames_out_total"),
+            write_queue_depth_hwm: registry.gauge("net_write_queue_depth_hwm"),
+            read_pauses: registry.counter("net_read_pauses_total"),
+            idle_reaped: registry.counter("net_idle_reaped_total"),
+            loop_errors: registry.counter("net_loop_errors_total"),
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Byte-granularity frame reassembly properties (ISSUE satellite 3):
+//! any split of a CHSP byte stream — every byte boundary, random
+//! partitions, frames coalesced with their successors — must decode
+//! identically to a one-shot feed, and hostile partial/oversized frames
+//! must fail without corrupting earlier frames.
+
+use chason_net::FrameAssembler;
+use proptest::prelude::*;
+
+fn encode(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for f in frames {
+        wire.extend_from_slice(&(f.len() as u32).to_le_bytes());
+        wire.extend_from_slice(f);
+    }
+    wire
+}
+
+fn one_shot(wire: &[u8], cap: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    FrameAssembler::new(cap)
+        .feed(wire, &mut out)
+        .expect("one-shot decode of valid frames");
+    out
+}
+
+/// Decodes `wire` in chunks cut at the given boundaries.
+fn chunked(wire: &[u8], cuts: &[usize], cap: usize) -> Vec<Vec<u8>> {
+    let mut asm = FrameAssembler::new(cap);
+    let mut out = Vec::new();
+    let mut start = 0;
+    for &cut in cuts {
+        let cut = cut.min(wire.len());
+        if cut > start {
+            asm.feed(&wire[start..cut], &mut out).expect("chunk decode");
+            start = cut;
+        }
+    }
+    if start < wire.len() {
+        asm.feed(&wire[start..], &mut out).expect("tail decode");
+    }
+    assert!(!asm.mid_frame(), "stream ended mid-frame");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Splitting the stream at EVERY byte boundary (one byte per feed)
+    /// decodes identically to the one-shot feed.
+    #[test]
+    fn every_byte_boundary_split_is_identical(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 1..8)
+    ) {
+        let wire = encode(&frames);
+        let reference = one_shot(&wire, 1 << 16);
+        let cuts: Vec<usize> = (1..wire.len()).collect();
+        let trickled = chunked(&wire, &cuts, 1 << 16);
+        prop_assert_eq!(&reference, &trickled);
+        prop_assert_eq!(&reference, &frames);
+    }
+
+    /// Any random partition — including chunks that coalesce a frame's
+    /// tail with its successor's header — decodes identically.
+    #[test]
+    fn random_partitions_are_identical(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..300), 1..10),
+        mut cuts in proptest::collection::vec(any::<usize>(), 0..20)
+    ) {
+        let wire = encode(&frames);
+        let reference = one_shot(&wire, 1 << 16);
+        for c in &mut cuts {
+            *c = if wire.is_empty() { 0 } else { *c % wire.len() };
+        }
+        cuts.sort_unstable();
+        let split = chunked(&wire, &cuts, 1 << 16);
+        prop_assert_eq!(&reference, &split);
+    }
+
+    /// A truncated final frame leaves the assembler mid-frame with every
+    /// complete predecessor already delivered, no matter where the
+    /// truncation lands.
+    #[test]
+    fn truncation_preserves_complete_prefixes(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..100), 1..6),
+        cut_back in 1usize..50
+    ) {
+        let wire = encode(&frames);
+        let cut = wire.len() - cut_back.min(wire.len() - 1);
+        let mut asm = FrameAssembler::new(1 << 16);
+        let mut out = Vec::new();
+        asm.feed(&wire[..cut], &mut out).expect("prefix decode");
+        // Either the cut landed mid-frame, or it fell exactly on a frame
+        // boundary and every frame before it was delivered whole.
+        prop_assert!(out.len() <= frames.len());
+        prop_assert!(asm.mid_frame() || cut == encode(&frames[..out.len()]).len());
+        // Every delivered frame matches its original exactly.
+        for (got, want) in out.iter().zip(frames.iter()) {
+            prop_assert_eq!(got, want);
+        }
+        // Feeding the rest completes the stream identically.
+        asm.feed(&wire[cut..], &mut out).expect("suffix decode");
+        prop_assert_eq!(&out, &frames);
+        prop_assert!(!asm.mid_frame());
+    }
+
+    /// An over-cap header fails at the same point regardless of how the
+    /// bytes were split, and frames before it survive. The assembler
+    /// stays poisoned afterwards.
+    #[test]
+    fn hostile_oversized_header_fails_identically(
+        good in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..50), 0..4),
+        oversize in 1025u32..u32::MAX,
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+        one_byte_at_a_time in any::<bool>()
+    ) {
+        let mut wire = encode(&good);
+        wire.extend_from_slice(&oversize.to_le_bytes());
+        wire.extend_from_slice(&garbage);
+
+        let mut asm = FrameAssembler::new(1024);
+        let mut out = Vec::new();
+        let result = if one_byte_at_a_time {
+            let mut last = Ok(());
+            for b in &wire {
+                last = asm.feed(std::slice::from_ref(b), &mut out);
+                if last.is_err() {
+                    break;
+                }
+            }
+            last
+        } else {
+            asm.feed(&wire, &mut out)
+        };
+        let err = result.expect_err("over-cap header must fail");
+        prop_assert_eq!(err.len, u64::from(oversize));
+        prop_assert_eq!(err.cap, 1024);
+        prop_assert_eq!(&out, &good);
+        // Poisoned: innocuous bytes keep failing.
+        prop_assert!(asm.feed(&[0, 0, 0, 0], &mut out).is_err());
+        prop_assert_eq!(&out, &good);
+    }
+}

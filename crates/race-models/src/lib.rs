@@ -79,6 +79,7 @@ pub fn all_models() -> Vec<ModelDef> {
     out.extend(models::dynamic_cursor::models());
     out.extend(models::histogram_shard::models());
     out.extend(models::channel_semantics::models());
+    out.extend(models::net_wakeup::models());
     out
 }
 

@@ -6,5 +6,6 @@ pub mod channel_semantics;
 pub mod dynamic_cursor;
 pub mod histogram_shard;
 pub mod lru_cache;
+pub mod net_wakeup;
 pub mod serve_queue;
 pub mod shutdown_drain;

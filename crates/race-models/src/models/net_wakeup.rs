@@ -1,0 +1,129 @@
+//! The chason-net event loop's wakeup/registration handshake
+//! (`crates/net/src/server.rs`). Producers enqueue a completion and then
+//! notify the poller, deduplicating notifies through a `notified` flag:
+//!
+//! ```text
+//! producer: enqueue(c); if !notified.swap(true) { poller.notify() }
+//! loop:     wait();     notified.store(false);  drain_inbox()
+//! ```
+//!
+//! The dedupe is only sound because the loop clears `notified` *before*
+//! draining: a producer that skips the notify (it saw the flag up) knows
+//! its enqueue happened before the clear, hence before the drain that
+//! follows it, so the completion is picked up by the in-progress cycle.
+//!
+//! Mutant:
+//! * `drain-then-clear` — the loop drains first and clears the flag
+//!   after. A producer can enqueue in the window between the drain and
+//!   the clear, see the flag still up, and skip the notify: the loop goes
+//!   back to sleep with a completion sitting in the inbox forever (a lost
+//!   wakeup).
+
+use std::sync::Arc;
+
+use chason_race::atomic::{AtomicBool, AtomicUsize, Ordering};
+use chason_race::thread;
+use crossbeam::channel;
+
+use crate::{join, ModelDef};
+
+const SUBMITTED: usize = 2;
+
+/// When the loop clears the `notified` flag relative to draining the
+/// inbox.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Clear {
+    BeforeDrain,
+    AfterDrain,
+}
+
+fn run_with(clear: Clear) {
+    // The inbox of completions and the poller's notification pipe. A
+    // blocking `recv` on the token channel is the loop parked in
+    // `wait()`: disconnect (every producer done, no token in flight)
+    // means no wakeup will ever come again.
+    let (item_tx, item_rx) = channel::bounded::<u32>(4);
+    let (token_tx, token_rx) = channel::bounded::<()>(4);
+    let notified = Arc::new(AtomicBool::new(false));
+    let drained_total = Arc::new(AtomicUsize::new(0));
+
+    let mut producers = Vec::new();
+    for item in 0..SUBMITTED as u32 {
+        let item_tx = item_tx.clone();
+        let token_tx = token_tx.clone();
+        let notified = Arc::clone(&notified);
+        producers.push(thread::spawn(move || {
+            assert!(item_tx.try_send(item).is_ok());
+            // Dedupe: only the producer that flips the flag pays for a
+            // poller notify; everyone else relies on the handshake.
+            if !notified.swap(true, Ordering::SeqCst) {
+                assert!(token_tx.try_send(()).is_ok());
+            }
+        }));
+    }
+    // The loop owns only the receiving ends; the producers' clones are
+    // the last senders, so their exit closes the wait channel.
+    drop(item_tx);
+    drop(token_tx);
+
+    let loop_notified = Arc::clone(&notified);
+    let loop_drained = Arc::clone(&drained_total);
+    let event_loop = thread::spawn(move || {
+        let mut drained = 0;
+        while token_rx.recv().is_ok() {
+            if clear == Clear::BeforeDrain {
+                loop_notified.store(false, Ordering::SeqCst);
+            }
+            while item_rx.try_recv().is_ok() {
+                drained += 1;
+            }
+            if clear == Clear::AfterDrain {
+                // BUG (mutant): a producer enqueueing right here still
+                // sees the flag up, skips its notify, and is never
+                // drained.
+                loop_notified.store(false, Ordering::SeqCst);
+            }
+        }
+        loop_drained.store(drained, Ordering::SeqCst);
+    });
+
+    for producer in producers {
+        join(producer);
+    }
+    join(event_loop);
+    assert_eq!(
+        drained_total.load(Ordering::SeqCst),
+        SUBMITTED,
+        "lost wakeup: a completion was enqueued but never drained"
+    );
+}
+
+fn ok() {
+    run_with(Clear::BeforeDrain);
+}
+
+fn drain_then_clear() {
+    run_with(Clear::AfterDrain);
+}
+
+/// The `net-wakeup` suite.
+pub fn models() -> Vec<ModelDef> {
+    vec![
+        ModelDef {
+            suite: "net-wakeup",
+            name: "ok",
+            about: "clear notified before draining: skipped notifies are safe",
+            expect_violation: false,
+            spurious: 0,
+            run: ok,
+        },
+        ModelDef {
+            suite: "net-wakeup",
+            name: "drain-then-clear",
+            about: "flag cleared after the drain: dedupe loses a wakeup",
+            expect_violation: true,
+            spurious: 0,
+            run: drain_then_clear,
+        },
+    ]
+}

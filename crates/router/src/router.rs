@@ -29,12 +29,16 @@ use crate::stats::RouterStats;
 use chason::solvers::{conjugate_gradient, jacobi, CgOptions, SpmvBackend};
 use chason_core::cache::{CacheStats, LruCache};
 use chason_core::plan::matrix_fingerprint;
+use chason_net::NetServer;
 use chason_serve::client::{Client, RetryPolicy};
+use chason_serve::frontend::{
+    start_async_frontend, threaded_listener_loop, ChspFrontend, EnqueueOutcome, Job,
+};
 use chason_serve::proto::{
-    decode_request, encode_reply, write_frame, Engine, ErrorCode, FrameEvent, FrameReader,
-    ProtoError, Reply, Request, SolverKind, StatsSnapshot, DEFAULT_MAX_FRAME,
+    Engine, ErrorCode, Reply, Request, SolverKind, StatsSnapshot, DEFAULT_MAX_FRAME,
 };
 use chason_serve::stats::lock_unpoisoned;
+use chason_serve::NetMode;
 use chason_sim::SimError;
 use chason_sparse::shard::ShardSpec;
 use chason_sparse::{CooMatrix, MatrixDelta};
@@ -42,7 +46,7 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -81,6 +85,8 @@ pub struct RouterConfig {
     /// before the router drains (one `chason client shutdown` tears the
     /// whole deployment down).
     pub shutdown_shards: bool,
+    /// Which connection front end to run (`--net async|threads`).
+    pub net: NetMode,
 }
 
 impl Default for RouterConfig {
@@ -98,21 +104,14 @@ impl Default for RouterConfig {
             shard_retry: RetryPolicy::default(),
             health_interval: Duration::from_secs(2),
             shutdown_shards: false,
+            net: NetMode::default(),
         }
     }
 }
 
-/// How often a blocked read or health-checker sleep wakes up to re-check
-/// the shutdown flag.
+/// How often the health-checker sleep wakes up to re-check the shutdown
+/// flag.
 const READ_TICK: Duration = Duration::from_millis(100);
-
-/// A unit of queued work: the decoded request plus the channel its reply
-/// travels back on.
-struct Job {
-    request: Request,
-    reply_tx: mpsc::Sender<Reply>,
-    received: Instant,
-}
 
 /// One sharded matrix the router can route: the full-matrix source of
 /// truth (the solver outer loops and update validation need it), the
@@ -170,11 +169,85 @@ impl Shared {
     }
 }
 
+/// The router's [`ChspFrontend`]: inline replies from [`Shared`], the
+/// worker queue sender, and the shard fan-out on a wire `Shutdown`. Held
+/// only by the connection layer, so dropping that layer drops the last
+/// queue sender and lets the workers drain and exit.
+struct RouterFrontend {
+    shared: Arc<Shared>,
+    job_tx: Sender<Job>,
+}
+
+impl ChspFrontend for RouterFrontend {
+    fn stats_reply(&self) -> Reply {
+        self.shared.stats.inner.requests.stats.add(1);
+        Reply::Stats(self.shared.snapshot())
+    }
+
+    fn metrics_reply(&self) -> Reply {
+        self.shared.stats.inner.requests.metrics.add(1);
+        Reply::MetricsText {
+            text: self.shared.exposition(),
+        }
+    }
+
+    fn on_wire_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if self.shared.config.shutdown_shards {
+            // Forward before acknowledging so "client shutdown; wait for
+            // the router pid" is a complete drain of the whole deployment.
+            forward_shutdown(&self.shared);
+        }
+    }
+
+    fn is_draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn draining_message(&self) -> String {
+        "router is draining".to_string()
+    }
+
+    fn retry_after_ms(&self) -> u32 {
+        self.shared.config.retry_after_ms
+    }
+
+    fn enqueue(&self, job: Job) -> EnqueueOutcome {
+        match self.job_tx.try_send(job) {
+            Ok(()) => {
+                self.shared
+                    .stats
+                    .inner
+                    .observe_queue_depth(self.job_tx.len() as u64);
+                EnqueueOutcome::Accepted
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.stats.inner.shed.add(1);
+                EnqueueOutcome::Shed
+            }
+            Err(TrySendError::Disconnected(_)) => EnqueueOutcome::Disconnected,
+        }
+    }
+
+    fn idle_timeout(&self) -> Duration {
+        self.shared.config.idle_timeout
+    }
+
+    fn write_timeout(&self) -> Duration {
+        self.shared.config.write_timeout
+    }
+
+    fn max_frame_len(&self) -> usize {
+        self.shared.config.max_frame_len
+    }
+}
+
 /// A running `chason route` instance.
 pub struct Router {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     listener_thread: Option<JoinHandle<()>>,
+    net: Option<NetServer>,
     workers: Vec<JoinHandle<()>>,
     health_thread: Option<JoinHandle<()>>,
 }
@@ -219,14 +292,29 @@ impl Router {
         let health_thread = thread::Builder::new()
             .name("chason-router-health".to_string())
             .spawn(move || health_loop(&health_shared))?;
-        let listener_shared = Arc::clone(&shared);
-        let listener_thread = thread::Builder::new()
-            .name("chason-router-listener".to_string())
-            .spawn(move || listener_loop(&listener, &listener_shared, &job_tx))?;
+        let frontend = Arc::new(RouterFrontend {
+            shared: Arc::clone(&shared),
+            job_tx,
+        });
+        let (listener_thread, net) = match config.net {
+            NetMode::Async => {
+                let net = start_async_frontend(listener, frontend, shared.stats.inner.registry())?;
+                (None, Some(net))
+            }
+            NetMode::Threads => {
+                let listener_thread = thread::Builder::new()
+                    .name("chason-router-listener".to_string())
+                    .spawn(move || {
+                        threaded_listener_loop(&listener, &frontend, "chason-router-conn")
+                    })?;
+                (Some(listener_thread), None)
+            }
+        };
         Ok(Router {
             local_addr,
             shared,
-            listener_thread: Some(listener_thread),
+            listener_thread,
+            net,
             workers: worker_handles,
             health_thread: Some(health_thread),
         })
@@ -254,191 +342,31 @@ impl Router {
     /// backends down too.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Nudge the listener out of `accept`.
-        let _ = TcpStream::connect(self.local_addr);
+        match &self.net {
+            Some(net) => net.shutdown(),
+            // Nudge the threaded listener out of `accept`.
+            None => {
+                let _ = TcpStream::connect(self.local_addr);
+            }
+        }
     }
 
-    /// Blocks until the listener, every connection, every worker, and the
-    /// health checker have exited. Call [`shutdown`](Self::shutdown)
-    /// first (or send a `Shutdown` request) or this blocks forever.
+    /// Blocks until the connection front end, every connection, every
+    /// worker, and the health checker have exited. Call
+    /// [`shutdown`](Self::shutdown) first (or send a `Shutdown` request)
+    /// or this blocks forever.
     pub fn join(mut self) {
         if let Some(listener) = self.listener_thread.take() {
             let _ = listener.join();
+        }
+        if let Some(net) = self.net.take() {
+            net.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
         if let Some(health) = self.health_thread.take() {
             let _ = health.join();
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Listener and connections (same shape as chason-serve)
-// ---------------------------------------------------------------------------
-
-fn listener_loop(listener: &TcpListener, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        let job_tx = job_tx.clone();
-        let spawned = thread::Builder::new()
-            .name("chason-router-conn".to_string())
-            .spawn(move || {
-                let _ = serve_connection(stream, &shared, &job_tx);
-            });
-        if let Ok(handle) = spawned {
-            connections.push(handle);
-        }
-        connections.retain(|h| !h.is_finished());
-    }
-    for handle in connections {
-        let _ = handle.join();
-    }
-}
-
-fn send_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
-    match write_frame(stream, &encode_reply(reply)) {
-        Ok(()) => Ok(()),
-        Err(ProtoError::Io(e)) => Err(e),
-        Err(other) => Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            other.to_string(),
-        )),
-    }
-}
-
-fn serve_connection(
-    mut stream: TcpStream,
-    shared: &Arc<Shared>,
-    job_tx: &Sender<Job>,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(READ_TICK))?;
-    stream.set_write_timeout(Some(shared.config.write_timeout))?;
-    stream.set_nodelay(true)?;
-    let mut reader = FrameReader::new(shared.config.max_frame_len);
-    let mut last_activity = Instant::now();
-    loop {
-        let event = match reader.poll(&mut stream) {
-            Ok(event) => event,
-            Err(ProtoError::FrameTooLarge { len, cap }) => {
-                let _ = send_reply(
-                    &mut stream,
-                    &Reply::Error {
-                        code: ErrorCode::FrameTooLarge,
-                        message: format!("frame of {len} bytes exceeds the {cap}-byte cap"),
-                    },
-                );
-                return Ok(());
-            }
-            Err(_) => return Ok(()),
-        };
-        let payload = match event {
-            FrameEvent::Frame(payload) => payload,
-            FrameEvent::Eof => return Ok(()),
-            FrameEvent::Timeout => {
-                if shared.shutdown.load(Ordering::SeqCst) && !reader.mid_frame() {
-                    return Ok(());
-                }
-                if last_activity.elapsed() > shared.config.idle_timeout {
-                    return Ok(());
-                }
-                continue;
-            }
-        };
-        last_activity = Instant::now();
-        let request = match decode_request(&payload) {
-            Ok(request) => request,
-            Err(err) => {
-                send_reply(
-                    &mut stream,
-                    &Reply::Error {
-                        code: ErrorCode::MalformedFrame,
-                        message: err.to_string(),
-                    },
-                )?;
-                continue;
-            }
-        };
-        match request {
-            Request::Stats => {
-                shared.stats.inner.requests.stats.add(1);
-                send_reply(&mut stream, &Reply::Stats(shared.snapshot()))?;
-            }
-            Request::Metrics => {
-                shared.stats.inner.requests.metrics.add(1);
-                send_reply(
-                    &mut stream,
-                    &Reply::MetricsText {
-                        text: shared.exposition(),
-                    },
-                )?;
-            }
-            Request::Shutdown => {
-                shared.shutdown.store(true, Ordering::SeqCst);
-                if shared.config.shutdown_shards {
-                    // Forward before acknowledging so "client shutdown;
-                    // wait for the router pid" is a complete drain of the
-                    // whole deployment.
-                    forward_shutdown(shared);
-                }
-                let local = stream.local_addr()?;
-                send_reply(&mut stream, &Reply::Done)?;
-                let _ = TcpStream::connect(local);
-                return Ok(());
-            }
-            request => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    send_reply(
-                        &mut stream,
-                        &Reply::Error {
-                            code: ErrorCode::ShuttingDown,
-                            message: "router is draining".to_string(),
-                        },
-                    )?;
-                    return Ok(());
-                }
-                let (reply_tx, reply_rx) = mpsc::channel();
-                let job = Job {
-                    request,
-                    reply_tx,
-                    received: Instant::now(),
-                };
-                match job_tx.try_send(job) {
-                    Ok(()) => {
-                        shared.stats.inner.observe_queue_depth(job_tx.len() as u64);
-                        let reply = reply_rx.recv().unwrap_or(Reply::Error {
-                            code: ErrorCode::Internal,
-                            message: "worker dropped the request".to_string(),
-                        });
-                        send_reply(&mut stream, &reply)?;
-                    }
-                    Err(TrySendError::Full(_)) => {
-                        shared.stats.inner.shed.add(1);
-                        send_reply(
-                            &mut stream,
-                            &Reply::Busy {
-                                retry_after_ms: shared.config.retry_after_ms,
-                            },
-                        )?;
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        send_reply(
-                            &mut stream,
-                            &Reply::Error {
-                                code: ErrorCode::ShuttingDown,
-                                message: "worker pool has stopped".to_string(),
-                            },
-                        )?;
-                        return Ok(());
-                    }
-                }
-            }
         }
     }
 }
@@ -517,7 +445,7 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<Job>, worker_index: u64) {
             .stats
             .inner
             .record_service_micros(started.elapsed().as_micros() as u64);
-        let _ = job.reply_tx.send(reply);
+        job.reply_tx.send(&reply);
     }
 }
 

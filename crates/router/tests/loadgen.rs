@@ -30,6 +30,7 @@ fn churned_router_run_is_clean_and_reports_fanout_balance() {
         require_hits: false,
         churn: 20,
         router: true,
+        ..LoadgenOptions::default()
     })
     .expect("router loadgen run");
 

@@ -1,0 +1,406 @@
+//! The CHSP connection front end, shared by `chason serve` and
+//! `chason route`.
+//!
+//! Both daemons accept the same wire protocol, answer
+//! `Stats`/`Metrics`/`Shutdown` inline, refuse queued work while
+//! draining, and shed with [`Reply::Busy`] when their bounded worker
+//! queue is full. This module captures that contract once, behind the
+//! [`ChspFrontend`] trait, and provides both transports over it:
+//!
+//! * [`serve_connection_threaded`] — the original thread-per-connection
+//!   loop (`--net threads`), one blocking socket per client.
+//! * [`ChspService`] — the same request handling as a
+//!   [`chason_net::Service`], run by the readiness event loop
+//!   (`--net async`), where one thread multiplexes every connection and
+//!   requests may be pipelined.
+//!
+//! The two are byte-identical at the wire: replies are written strictly
+//! in per-connection request order (the event loop re-orders worker
+//! completions by sequence number), shedding and drain refusals carry the
+//! same error codes, and the idle-timeout clock resets on any completed
+//! frame in either direction — so a client cannot tell which front end it
+//! is talking to.
+
+use crate::proto::{
+    decode_request, encode_reply, write_frame, ErrorCode, FrameEvent, FrameReader, ProtoError,
+    Reply, Request,
+};
+use chason_net::server::{FrameOutcome, NetConfig, NetServer};
+use chason_net::{LoopHandle, Service};
+use chason_telemetry::metrics::Registry;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often a blocked connection read wakes up to re-check the shutdown
+/// flag and idle deadline (threaded front end only).
+pub const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Where a worker's reply goes: back to the blocking connection thread,
+/// or into the event loop's completion queue under the frame's sequence
+/// number.
+pub enum ReplySink {
+    /// Threaded front end: the connection thread blocks on the receiver.
+    Thread(mpsc::Sender<Reply>),
+    /// Async front end: the worker encodes the reply itself (off the
+    /// loop thread) and completes the `(conn, seq)` slot.
+    Async {
+        /// Completion handle into the event loop.
+        handle: LoopHandle,
+        /// Connection the frame arrived on.
+        conn: u64,
+        /// Per-connection sequence number of the frame.
+        seq: u64,
+    },
+}
+
+impl ReplySink {
+    /// Delivers the reply. A gone receiver (client disconnected) is not
+    /// an error.
+    pub fn send(self, reply: &Reply) {
+        match self {
+            ReplySink::Thread(tx) => {
+                let _ = tx.send(reply.clone());
+            }
+            ReplySink::Async { handle, conn, seq } => {
+                handle.complete(conn, seq, encode_reply(reply));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplySink::Thread(_) => f.write_str("ReplySink::Thread"),
+            ReplySink::Async { conn, seq, .. } => f
+                .debug_struct("ReplySink::Async")
+                .field("conn", conn)
+                .field("seq", seq)
+                .finish(),
+        }
+    }
+}
+
+/// A unit of queued work: the decoded request plus where its reply goes.
+#[derive(Debug)]
+pub struct Job {
+    /// The decoded request.
+    pub request: Request,
+    /// Reply destination.
+    pub reply_tx: ReplySink,
+    /// Enqueue time, for the queue-wait histogram.
+    pub received: Instant,
+}
+
+/// What became of an enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Queued; a worker will deliver the reply through the job's sink.
+    Accepted,
+    /// Queue full; the job was shed (the implementation counted it) and
+    /// the caller replies [`Reply::Busy`].
+    Shed,
+    /// The worker pool is gone; the caller replies `ShuttingDown` and
+    /// closes.
+    Disconnected,
+}
+
+/// The pieces of a CHSP daemon the connection layer needs: inline
+/// replies, drain state, and the worker queue. `chason serve` and
+/// `chason route` each implement this once and get both front ends.
+pub trait ChspFrontend: Send + Sync + 'static {
+    /// Answers `Stats` (implementations bump their own counter).
+    fn stats_reply(&self) -> Reply;
+    /// Answers `Metrics` (implementations bump their own counter).
+    fn metrics_reply(&self) -> Reply;
+    /// A wire `Shutdown` arrived: set the drain flag and do any
+    /// daemon-specific fan-out (the router forwards to its shards here)
+    /// BEFORE the `Done` acknowledgement is sent.
+    fn on_wire_shutdown(&self);
+    /// Whether the daemon is draining (new queued work is refused).
+    fn is_draining(&self) -> bool;
+    /// Human-readable drain refusal (`"server is draining"` /
+    /// `"router is draining"`).
+    fn draining_message(&self) -> String;
+    /// Back-off hint carried by [`Reply::Busy`].
+    fn retry_after_ms(&self) -> u32;
+    /// Offers a job to the bounded worker queue; never blocks. A `Shed`
+    /// return has already been counted in the daemon's shed statistics.
+    fn enqueue(&self, job: Job) -> EnqueueOutcome;
+    /// How long a connection may sit idle before the daemon hangs up.
+    fn idle_timeout(&self) -> Duration;
+    /// Per-connection write timeout (threaded front end; the async loop
+    /// bounds slow writers with backpressure plus the idle reap instead).
+    fn write_timeout(&self) -> Duration;
+    /// Largest accepted frame payload.
+    fn max_frame_len(&self) -> usize;
+}
+
+fn send_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
+    match write_frame(stream, &encode_reply(reply)) {
+        Ok(()) => Ok(()),
+        Err(ProtoError::Io(e)) => Err(e),
+        // An un-frameable reply (> u32::MAX bytes) cannot reach the peer;
+        // surface it as data corruption so the connection is dropped.
+        Err(other) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            other.to_string(),
+        )),
+    }
+}
+
+fn frame_too_large_reply(len: u64, cap: u64) -> Reply {
+    Reply::Error {
+        code: ErrorCode::FrameTooLarge,
+        message: format!("frame of {len} bytes exceeds the {cap}-byte cap"),
+    }
+}
+
+/// The thread-per-connection loop: one blocking socket, one request at a
+/// time, replies written inline.
+///
+/// The idle clock resets on any *completed frame* — a request arriving or
+/// a reply being written — not only on request dispatch, so a connection
+/// whose single request runs longer than the idle timeout is not reaped
+/// out from under the reply.
+///
+/// # Errors
+///
+/// Socket I/O failures; callers treat any return as "connection over".
+pub fn serve_connection_threaded<F: ChspFrontend>(
+    mut stream: TcpStream,
+    frontend: &F,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_write_timeout(Some(frontend.write_timeout()))?;
+    stream.set_nodelay(true)?;
+    let mut reader = FrameReader::new(frontend.max_frame_len());
+    let mut last_activity = Instant::now();
+    loop {
+        let event = match reader.poll(&mut stream) {
+            Ok(event) => event,
+            Err(ProtoError::FrameTooLarge { len, cap }) => {
+                // The stream cannot be resynchronized past an oversized
+                // frame; reply, then hang up.
+                let _ = send_reply(&mut stream, &frame_too_large_reply(len, cap));
+                return Ok(());
+            }
+            Err(_) => return Ok(()), // disconnect (mid-frame EOF included)
+        };
+        let payload = match event {
+            FrameEvent::Frame(payload) => payload,
+            FrameEvent::Eof => return Ok(()),
+            FrameEvent::Timeout => {
+                if frontend.is_draining() && !reader.mid_frame() {
+                    return Ok(());
+                }
+                if last_activity.elapsed() > frontend.idle_timeout() {
+                    return Ok(()); // idle connection reclaimed
+                }
+                continue;
+            }
+        };
+        let request = match decode_request(&payload) {
+            Ok(request) => request,
+            Err(err) => {
+                // A malformed payload poisons only itself; the connection
+                // continues at the next frame boundary.
+                send_reply(
+                    &mut stream,
+                    &Reply::Error {
+                        code: ErrorCode::MalformedFrame,
+                        message: err.to_string(),
+                    },
+                )?;
+                last_activity = Instant::now();
+                continue;
+            }
+        };
+        match request {
+            Request::Stats => {
+                send_reply(&mut stream, &frontend.stats_reply())?;
+            }
+            Request::Metrics => {
+                send_reply(&mut stream, &frontend.metrics_reply())?;
+            }
+            Request::Shutdown => {
+                frontend.on_wire_shutdown();
+                let local = stream.local_addr()?;
+                send_reply(&mut stream, &Reply::Done)?;
+                // Nudge the listener out of `accept` so it can join.
+                let _ = TcpStream::connect(local);
+                return Ok(());
+            }
+            request => {
+                if frontend.is_draining() {
+                    send_reply(
+                        &mut stream,
+                        &Reply::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: frontend.draining_message(),
+                        },
+                    )?;
+                    return Ok(());
+                }
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let job = Job {
+                    request,
+                    reply_tx: ReplySink::Thread(reply_tx),
+                    received: Instant::now(),
+                };
+                match frontend.enqueue(job) {
+                    EnqueueOutcome::Accepted => {
+                        let reply = reply_rx.recv().unwrap_or(Reply::Error {
+                            code: ErrorCode::Internal,
+                            message: "worker dropped the request".to_string(),
+                        });
+                        send_reply(&mut stream, &reply)?;
+                    }
+                    EnqueueOutcome::Shed => {
+                        send_reply(
+                            &mut stream,
+                            &Reply::Busy {
+                                retry_after_ms: frontend.retry_after_ms(),
+                            },
+                        )?;
+                    }
+                    EnqueueOutcome::Disconnected => {
+                        send_reply(
+                            &mut stream,
+                            &Reply::Error {
+                                code: ErrorCode::ShuttingDown,
+                                message: "worker pool has stopped".to_string(),
+                            },
+                        )?;
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        // The reply above completed a frame; the connection is active.
+        last_activity = Instant::now();
+    }
+}
+
+/// The blocking accept loop of the threaded front end: spawns one
+/// `serve_connection_threaded` thread per client and joins them on exit.
+pub fn threaded_listener_loop<F: ChspFrontend>(
+    listener: &TcpListener,
+    frontend: &Arc<F>,
+    conn_thread_name: &str,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if frontend.is_draining() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let frontend = Arc::clone(frontend);
+        let spawned = thread::Builder::new()
+            .name(conn_thread_name.to_string())
+            .spawn(move || {
+                let _ = serve_connection_threaded(stream, &*frontend);
+            });
+        if let Ok(handle) = spawned {
+            connections.push(handle);
+        }
+        // Reap finished connection threads so a long-lived server does not
+        // accumulate handles.
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// The same request handling as a [`chason_net::Service`]: run by the
+/// readiness event loop, so one thread serves every connection and
+/// clients may pipeline.
+pub struct ChspService<F> {
+    frontend: Arc<F>,
+    handle: LoopHandle,
+}
+
+impl<F: ChspFrontend> Service for ChspService<F> {
+    fn on_frame(&mut self, conn: u64, seq: u64, payload: Vec<u8>) -> FrameOutcome {
+        let request = match decode_request(&payload) {
+            Ok(request) => request,
+            Err(err) => {
+                return FrameOutcome::Reply(encode_reply(&Reply::Error {
+                    code: ErrorCode::MalformedFrame,
+                    message: err.to_string(),
+                }));
+            }
+        };
+        match request {
+            Request::Stats => FrameOutcome::Reply(encode_reply(&self.frontend.stats_reply())),
+            Request::Metrics => FrameOutcome::Reply(encode_reply(&self.frontend.metrics_reply())),
+            Request::Shutdown => {
+                // Daemon-specific fan-out first (mirrors the threaded
+                // ordering: "Done" acknowledges a completed drain start),
+                // then stop the loop's accept thread and begin the drain.
+                self.frontend.on_wire_shutdown();
+                self.handle.begin_drain();
+                FrameOutcome::ReplyThenClose(encode_reply(&Reply::Done))
+            }
+            request => {
+                if self.frontend.is_draining() {
+                    return FrameOutcome::ReplyThenClose(encode_reply(&Reply::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: self.frontend.draining_message(),
+                    }));
+                }
+                let job = Job {
+                    request,
+                    reply_tx: ReplySink::Async {
+                        handle: self.handle.clone(),
+                        conn,
+                        seq,
+                    },
+                    received: Instant::now(),
+                };
+                match self.frontend.enqueue(job) {
+                    EnqueueOutcome::Accepted => FrameOutcome::Pending,
+                    EnqueueOutcome::Shed => FrameOutcome::Reply(encode_reply(&Reply::Busy {
+                        retry_after_ms: self.frontend.retry_after_ms(),
+                    })),
+                    EnqueueOutcome::Disconnected => {
+                        FrameOutcome::ReplyThenClose(encode_reply(&Reply::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "worker pool has stopped".to_string(),
+                        }))
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_oversized(&mut self, _conn: u64, len: u64, cap: u64) -> Option<Vec<u8>> {
+        Some(encode_reply(&frame_too_large_reply(len, cap)))
+    }
+}
+
+/// Starts the readiness-loop front end over `frontend`, registering
+/// `net_*` metrics into `registry` (the daemon's own registry, so one
+/// `Metrics` reply exposes both families).
+///
+/// # Errors
+///
+/// Poller or thread-spawn failures.
+pub fn start_async_frontend<F: ChspFrontend>(
+    listener: TcpListener,
+    frontend: Arc<F>,
+    registry: &Registry,
+) -> std::io::Result<NetServer> {
+    let config = NetConfig {
+        idle_timeout: frontend.idle_timeout(),
+        max_frame_len: frontend.max_frame_len(),
+        ..NetConfig::default()
+    };
+    NetServer::start(listener, config, registry, move |handle| ChspService {
+        frontend,
+        handle,
+    })
+}

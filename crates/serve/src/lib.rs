@@ -29,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod frontend;
 pub mod loadgen;
 pub mod proto;
 pub mod server;
 pub mod stats;
 
+pub use chason_net::NetMode;
 pub use client::{Client, ClientError, RetryPolicy, UpdateOutcome};
 pub use loadgen::{LoadgenOptions, LoadgenReport, RouterLoadReport};
 pub use proto::{Engine, ErrorCode, Reply, Request, SolverKind, StatsSnapshot};

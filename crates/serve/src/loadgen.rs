@@ -1,18 +1,27 @@
-//! Deterministic closed-loop load generator for a CHSP server.
+//! Deterministic load generator for a CHSP server.
 //!
 //! `chason loadgen` drives a mixed workload — roughly 60% SpMV across all
 //! three backends, 20% iterative solves, 10% plan fetches, 10% stats
-//! polls — from N concurrent connections, each a closed loop (next
-//! request only after the previous reply). The request schedule is a pure
-//! function of `(seed, connection index)`, so a run is reproducible
-//! end-to-end; the only nondeterminism is timing. `Busy` replies are
-//! retried after the server's hint and counted, never treated as errors:
-//! shedding is the server behaving as specified.
+//! polls — from N concurrent connections. By default each connection is a
+//! closed loop (next request only after the previous reply); `--pipeline
+//! DEPTH` keeps up to DEPTH requests in flight per connection, and
+//! `--open-loop RPS` switches to scheduled arrivals that do not wait for
+//! replies at all, so a single loadgen process can drive 1k+ connections
+//! against the async listener. The request schedule is a pure function of
+//! `(seed, connection index)`, so a run is reproducible end-to-end; the
+//! only nondeterminism is timing. `Busy` replies are retried and counted,
+//! never treated as errors: shedding is the server behaving as specified.
 
 use crate::client::{Client, ClientError};
-use crate::proto::{Engine, SolverKind, StatsSnapshot};
+use crate::proto::{
+    decode_reply, encode_request, read_frame_blocking, write_frame, Engine, FrameEvent,
+    FrameReader, ProtoError, Reply, Request, SolverKind, StatsSnapshot, DEFAULT_MAX_FRAME,
+};
 use crate::server::{ServeConfig, Server};
 use chason_sparse::CooMatrix;
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -43,6 +52,20 @@ pub struct LoadgenOptions {
     /// `router_*` metrics (per-shard request balance, gather-latency
     /// percentiles, scatter failures). Requires `addr`.
     pub router: bool,
+    /// Requests kept in flight per connection. `1` (the default) is the
+    /// classic closed loop; larger depths pipeline requests — each
+    /// connection writes up to `pipeline` frames before reading, matching
+    /// replies FIFO (CHSP replies are strictly ordered per connection).
+    pub pipeline: usize,
+    /// Open-loop arrival mode: requests are sent on a fixed schedule of
+    /// this many requests per second (aggregate, split evenly across
+    /// connections) instead of waiting for replies. Latency is measured
+    /// from the *scheduled* arrival, so queueing delay from a slow server
+    /// is not hidden (no coordinated omission). The in-flight window is
+    /// still capped at `pipeline.max(1)` per connection so unread replies
+    /// stay bounded; a send that misses its slot goes out late and the
+    /// lateness shows up in the percentiles.
+    pub open_loop_rps: Option<u64>,
 }
 
 impl Default for LoadgenOptions {
@@ -55,6 +78,8 @@ impl Default for LoadgenOptions {
             require_hits: false,
             churn: 0,
             router: false,
+            pipeline: 1,
+            open_loop_rps: None,
         }
     }
 }
@@ -562,6 +587,319 @@ fn run_connection(
     Ok(outcome)
 }
 
+/// A countdown gate lining every pipelined connection up after setup, so
+/// the server demonstrably holds all of them open at once before the
+/// first request flies. Unlike [`std::sync::Barrier`], a participant that
+/// never starts (spawn failure, failed setup) can be forfeited without
+/// deadlocking the rest.
+struct StartGate {
+    remaining: Mutex<usize>,
+    all_ready: Condvar,
+}
+
+impl StartGate {
+    fn new(participants: usize) -> StartGate {
+        StartGate {
+            remaining: Mutex::new(participants),
+            all_ready: Condvar::new(),
+        }
+    }
+
+    /// Marks this participant ready and blocks until every other one has
+    /// arrived (or been forfeited).
+    fn arrive(&self) {
+        #[allow(clippy::expect_used)] // gate mutex is never poisoned: no panics under the lock
+        let mut remaining = self.remaining.lock().expect("gate lock");
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.all_ready.notify_all();
+            return;
+        }
+        while *remaining > 0 {
+            #[allow(clippy::expect_used)] // gate mutex is never poisoned: no panics under the lock
+            {
+                remaining = self.all_ready.wait(remaining).expect("gate wait");
+            }
+        }
+    }
+
+    /// Removes a participant that will never arrive, without blocking.
+    fn forfeit(&self) {
+        #[allow(clippy::expect_used)] // gate mutex is never poisoned: no panics under the lock
+        let mut remaining = self.remaining.lock().expect("gate lock");
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.all_ready.notify_all();
+        }
+    }
+}
+
+/// One pre-planned pipelined request: the encoded frame plus what reply
+/// shape counts as success.
+struct Scheduled {
+    payload: Vec<u8>,
+    /// `by_type` slot the request belongs to: `[spmv, solve, plan,
+    /// stats, update]`.
+    slot: usize,
+    /// Expected result-vector length for SpMV (0: no length check).
+    n: usize,
+}
+
+/// Draws one request from the same mixed workload as the closed loop,
+/// already encoded so the pipelining loop only moves bytes.
+fn draw_request(
+    matrices: &[CooMatrix],
+    handles: &[u64],
+    diagonals: &[Vec<f32>],
+    churn: u64,
+    router: bool,
+    rng: &mut u64,
+) -> Scheduled {
+    let which = (splitmix64(rng) as usize) % matrices.len();
+    let (matrix, handle) = (&matrices[which], handles[which]);
+    let n = matrix.rows();
+    let roll = splitmix64(rng) % 100;
+    let kind = if roll < churn {
+        10
+    } else {
+        (roll - churn) * 10 / (100 - churn).max(1)
+    };
+    let (request, slot, expect_n) = match kind {
+        10 => {
+            // Diagonal revalues only ever grow past the as-loaded value,
+            // so any interleaving across connections stays SPD (same
+            // invariant as the closed loop).
+            let count = 1 + (splitmix64(rng) as usize) % 3;
+            let mut revalues: Vec<(u64, u64, f32)> = Vec::with_capacity(count);
+            for _ in 0..count {
+                let i = (splitmix64(rng) as usize) % n;
+                if revalues.iter().any(|&(r, _, _)| r == i as u64) {
+                    continue;
+                }
+                let bump = 0.5 + (splitmix64(rng) % 1000) as f32 / 1000.0;
+                revalues.push((i as u64, i as u64, diagonals[which][i] + bump));
+            }
+            (
+                Request::Update {
+                    handle,
+                    inserts: Vec::new(),
+                    revalues,
+                    deletes: Vec::new(),
+                },
+                4,
+                0,
+            )
+        }
+        0..=5 => {
+            let phase = (splitmix64(rng) % 1000) as f32 / 1000.0;
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37 + phase).sin()).collect();
+            let engine = ENGINES[(splitmix64(rng) as usize) % ENGINES.len()];
+            (Request::Spmv { handle, engine, x }, 0, n)
+        }
+        6 | 7 => {
+            let b: Vec<f32> = (0..n).map(|i| 1.0 + (i % 5) as f32 * 0.25).collect();
+            let engine = ENGINES[1 + (splitmix64(rng) as usize) % 2];
+            let solver = if splitmix64(rng).is_multiple_of(2) {
+                SolverKind::Jacobi
+            } else {
+                SolverKind::Cg
+            };
+            (
+                Request::Solve {
+                    handle,
+                    engine,
+                    solver,
+                    max_iterations: 8,
+                    tolerance: 1e-4,
+                    b,
+                },
+                1,
+                0,
+            )
+        }
+        8 if !router => {
+            let engine = ENGINES[1 + (splitmix64(rng) as usize) % 2];
+            (Request::Plan { handle, engine }, 2, 0)
+        }
+        _ => (Request::Stats, 3, 0),
+    };
+    Scheduled {
+        payload: encode_request(&request),
+        slot,
+        n: expect_n,
+    }
+}
+
+/// Checks a pipelined reply against what its request expected. `Ok(true)`
+/// is success, `Ok(false)` is `Busy` (retry the request), `Err` is a
+/// protocol error.
+fn check_reply(reply: &Reply, expected: &Scheduled) -> Result<bool, String> {
+    match (expected.slot, reply) {
+        (_, Reply::Busy { .. }) => Ok(false),
+        (0, Reply::Vector { y, .. }) if y.len() == expected.n => Ok(true),
+        (0, Reply::Vector { y, .. }) => Err(format!(
+            "spmv returned {} values for {} rows",
+            y.len(),
+            expected.n
+        )),
+        (1, Reply::Solved { .. }) => Ok(true),
+        (2, Reply::PlanArtifact { bytes }) if bytes.starts_with(b"CHPL") => Ok(true),
+        (2, Reply::PlanArtifact { .. }) => Err("plan artifact missing CHPL magic".to_string()),
+        (3, Reply::Stats(_)) => Ok(true),
+        (4, Reply::Updated { version, .. }) if *version > 0 => Ok(true),
+        (4, Reply::Updated { .. }) => Err("update did not advance the version".to_string()),
+        (_, Reply::Error { code, message }) => Err(format!("server error ({code:?}): {message}")),
+        (slot, other) => Err(format!("slot {slot} got unexpected reply {other:?}")),
+    }
+}
+
+/// One blocking request/reply exchange on a raw stream, retrying `Busy`
+/// per the server's hint. Used for per-connection setup (matrix uploads)
+/// before the pipelined loop takes over the socket.
+fn setup_request(stream: &mut TcpStream, request: &Request) -> Result<Reply, ClientError> {
+    loop {
+        write_frame(stream, &encode_request(request))?;
+        let payload = read_frame_blocking(stream, DEFAULT_MAX_FRAME)?;
+        match decode_reply(&payload)? {
+            Reply::Busy { retry_after_ms } => {
+                thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
+            }
+            reply => return Ok(reply),
+        }
+    }
+}
+
+/// Drives one connection with up to `depth` requests in flight
+/// (closed-loop pipelining), or on a fixed arrival schedule when
+/// `interval` is set (open loop). Replies are matched FIFO: CHSP carries
+/// no sequence numbers because replies are strictly ordered per
+/// connection. `start_gate` lines every connection up after setup so the
+/// server really holds all of them open at once.
+#[allow(clippy::too_many_arguments)] // internal fan-out helper, mirrors run_connection
+fn run_connection_pipelined(
+    addr: &str,
+    matrices: &[CooMatrix],
+    requests: usize,
+    churn: u64,
+    router: bool,
+    mut rng: u64,
+    depth: usize,
+    interval: Option<Duration>,
+    start_gate: &StartGate,
+) -> Result<ConnOutcome, ClientError> {
+    let result = (|| {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut handles = Vec::with_capacity(matrices.len());
+        for matrix in matrices {
+            let request = Request::LoadMatrix {
+                rows: matrix.rows() as u64,
+                cols: matrix.cols() as u64,
+                triplets: matrix
+                    .iter()
+                    .map(|&(r, c, v)| (r as u64, c as u64, v))
+                    .collect(),
+            };
+            match setup_request(&mut stream, &request)? {
+                Reply::Loaded { handle, .. } => handles.push(handle),
+                other => return Err(ClientError::Unexpected(format!("LoadMatrix got {other:?}"))),
+            }
+        }
+        Ok((stream, handles))
+    })();
+    // Every connection reaches the gate even on a failed setup, so the
+    // others are not stuck waiting on a gate that will never fill.
+    start_gate.arrive();
+    let (mut stream, handles) = result?;
+
+    let diagonals: Vec<Vec<f32>> = matrices.iter().map(diagonal_of).collect();
+    let churn = churn.min(100);
+    let depth = depth.max(1);
+    let mut outcome = ConnOutcome {
+        completed: 0,
+        protocol_errors: 0,
+        busy_retries: 0,
+        by_type: [0; 5],
+        latencies: Vec::with_capacity(requests),
+    };
+    // Pre-draw the whole schedule: the wire loop below then only moves
+    // bytes, and `Busy` retries re-enqueue without disturbing the rng.
+    let mut to_send: VecDeque<Scheduled> = (0..requests)
+        .map(|_| draw_request(matrices, &handles, &diagonals, churn, router, &mut rng))
+        .collect();
+    let mut in_flight: VecDeque<(Scheduled, Instant)> = VecDeque::new();
+
+    // Short read timeout: `FrameReader` keeps partial-frame progress
+    // across timeouts, so the loop can interleave scheduled sends with
+    // reply reads on one blocking socket.
+    stream.set_read_timeout(Some(Duration::from_millis(2)))?;
+    let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+    let started = Instant::now();
+    let mut next_arrival = started;
+    while !(to_send.is_empty() && in_flight.is_empty()) {
+        // Admit sends: closed loop tops the window up to `depth`; open
+        // loop sends when the schedule says so (window-capped so unread
+        // replies stay bounded).
+        while !to_send.is_empty() && in_flight.len() < depth {
+            let now = Instant::now();
+            let sent_at = match interval {
+                Some(gap) => {
+                    if now < next_arrival {
+                        break;
+                    }
+                    let scheduled = next_arrival;
+                    next_arrival += gap;
+                    scheduled // latency includes any send-slot lateness
+                }
+                None => now,
+            };
+            #[allow(clippy::expect_used)] // non-empty checked above
+            let scheduled = to_send.pop_front().expect("to_send is non-empty");
+            write_frame(&mut stream, &scheduled.payload)?;
+            in_flight.push_back((scheduled, sent_at));
+        }
+        if in_flight.is_empty() {
+            // Open loop, ahead of schedule: nothing to read back yet.
+            thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        match reader.poll(&mut stream) {
+            Ok(FrameEvent::Frame(payload)) => {
+                #[allow(clippy::expect_used)] // non-empty checked above
+                let (expected, sent_at) = in_flight.pop_front().expect("in_flight is non-empty");
+                match decode_reply(&payload) {
+                    Ok(reply) => match check_reply(&reply, &expected) {
+                        Ok(true) => {
+                            outcome.latencies.push(sent_at.elapsed().as_micros() as u64);
+                            outcome.completed += 1;
+                            outcome.by_type[expected.slot] += 1;
+                        }
+                        Ok(false) => {
+                            // Shed: re-enqueue at the back, which spaces the
+                            // retry out behind the rest of the schedule.
+                            outcome.busy_retries += 1;
+                            to_send.push_back(expected);
+                        }
+                        Err(_) => outcome.protocol_errors += 1,
+                    },
+                    Err(_) => outcome.protocol_errors += 1,
+                }
+            }
+            Ok(FrameEvent::Timeout) => {}
+            Ok(FrameEvent::Eof) => {
+                return Err(ClientError::Unexpected(format!(
+                    "server closed the connection with {} replies outstanding",
+                    in_flight.len()
+                )))
+            }
+            Err(ProtoError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(e) => return Err(ClientError::Proto(e)),
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    Ok(outcome)
+}
+
 /// Runs the load generator.
 ///
 /// # Errors
@@ -581,6 +919,16 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
             );
         }
     }
+    if options.open_loop_rps == Some(0) {
+        return Err("--open-loop requires a positive arrival rate".to_string());
+    }
+    let depth = options.pipeline.max(1);
+    let pipelined = depth > 1 || options.open_loop_rps.is_some();
+    // Open loop: split the aggregate arrival rate evenly across
+    // connections.
+    let interval = options
+        .open_loop_rps
+        .map(|rps| Duration::from_secs_f64(connections as f64 / rps as f64));
     let local_server = match &options.addr {
         Some(_) => None,
         None => Some(Server::start(ServeConfig::default()).map_err(|e| e.to_string())?),
@@ -591,6 +939,10 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
         (None, None) => unreachable!("local server started above"),
     };
     let matrices = workload_matrices(options.seed);
+    // Pipelined runs gate every connection's first request on all of them
+    // being connected, so the server demonstrably holds `connections`
+    // sockets open at once (the CI smoke asserts its high-water mark).
+    let start_gate = StartGate::new(connections);
     let started = Instant::now();
     let outcomes: Vec<Result<ConnOutcome, ClientError>> = thread::scope(|scope| {
         let mut joins = Vec::with_capacity(connections);
@@ -604,17 +956,47 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
                 .wrapping_add(conn as u64 + 1);
             let addr = addr.clone();
             let matrices = &matrices;
-            joins.push(scope.spawn(move || {
-                run_connection(&addr, matrices, share, options.churn, options.router, rng)
-            }));
+            let start_gate = &start_gate;
+            // Default thread stacks are 2-8 MiB; a 1k-connection run only
+            // needs a shallow call tree per connection, so a small stack
+            // keeps the whole fan-out cheap.
+            let builder = thread::Builder::new()
+                .name(format!("loadgen-{conn}"))
+                .stack_size(256 * 1024);
+            let spawned = builder.spawn_scoped(scope, move || {
+                if pipelined {
+                    run_connection_pipelined(
+                        &addr,
+                        matrices,
+                        share,
+                        options.churn,
+                        options.router,
+                        rng,
+                        depth,
+                        interval,
+                        start_gate,
+                    )
+                } else {
+                    run_connection(&addr, matrices, share, options.churn, options.router, rng)
+                }
+            });
+            if spawned.is_err() {
+                // This participant will never reach the start gate;
+                // release the others before reporting the failure.
+                start_gate.forfeit();
+            }
+            joins.push(spawned.map_err(ClientError::Io));
         }
         joins
             .into_iter()
-            .map(|j| match j.join() {
-                Ok(outcome) => outcome,
-                Err(_) => Err(ClientError::Unexpected(
-                    "loadgen connection thread panicked".to_string(),
-                )),
+            .map(|j| match j {
+                Ok(join) => match join.join() {
+                    Ok(outcome) => outcome,
+                    Err(_) => Err(ClientError::Unexpected(
+                        "loadgen connection thread panicked".to_string(),
+                    )),
+                },
+                Err(e) => Err(e),
             })
             .collect()
     });
@@ -808,7 +1190,7 @@ mod tests {
             addr: None,
             require_hits: true,
             churn: 0,
-            router: false,
+            ..LoadgenOptions::default()
         })
         .expect("loadgen run");
         assert_eq!(report.completed, 40);
@@ -832,7 +1214,7 @@ mod tests {
             addr: None,
             require_hits: true,
             churn: 25,
-            router: false,
+            ..LoadgenOptions::default()
         })
         .expect("churned loadgen run");
         assert_eq!(report.completed, 60);
@@ -851,5 +1233,55 @@ mod tests {
         let json = report.render_json();
         assert!(json.contains("\"update\":"), "{json}");
         assert!(json.contains("\"plans_spliced\":"), "{json}");
+    }
+
+    #[test]
+    fn pipelined_run_is_clean() {
+        let report = run(&LoadgenOptions {
+            connections: 3,
+            requests: 90,
+            seed: 11,
+            churn: 10,
+            pipeline: 8,
+            ..LoadgenOptions::default()
+        })
+        .expect("pipelined loadgen run");
+        assert_eq!(report.completed, 90);
+        assert_eq!(report.protocol_errors, 0);
+        // The mixed schedule exercised every request type over 90 draws.
+        assert!(report.by_type[0] > 0, "{:?}", report.by_type);
+        assert!(report.by_type[3] > 0, "{:?}", report.by_type);
+    }
+
+    #[test]
+    fn open_loop_run_is_clean() {
+        let report = run(&LoadgenOptions {
+            connections: 2,
+            requests: 30,
+            seed: 13,
+            pipeline: 4,
+            open_loop_rps: Some(2000),
+            ..LoadgenOptions::default()
+        })
+        .expect("open-loop loadgen run");
+        assert_eq!(report.completed, 30);
+        assert_eq!(report.protocol_errors, 0);
+        // 30 requests at 2000 req/s arrive over ~15 ms of schedule; the
+        // run can be slower than that but never faster.
+        assert!(
+            report.elapsed_seconds >= 0.014,
+            "{}",
+            report.elapsed_seconds
+        );
+    }
+
+    #[test]
+    fn open_loop_rejects_a_zero_rate() {
+        let err = run(&LoadgenOptions {
+            open_loop_rps: Some(0),
+            ..LoadgenOptions::default()
+        })
+        .expect_err("zero arrival rate must be rejected");
+        assert!(err.contains("positive arrival rate"), "{err}");
     }
 }

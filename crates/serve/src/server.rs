@@ -1,46 +1,52 @@
-//! The `chason serve` daemon: listener, connection threads, worker pool.
+//! The `chason serve` daemon: connection front end plus worker pool.
 //!
 //! # Threading model
 //!
-//! One listener thread accepts connections and spawns a thread per
-//! connection. Connection threads parse frames and answer `Stats` and
-//! `Shutdown` inline; everything else is pushed onto one bounded MPMC
+//! The connection edge runs in one of two modes
+//! ([`ServeConfig::net`], `--net async|threads`), byte-identical at the
+//! wire:
+//!
+//! * **async** (default): a [`chason_net`] readiness event loop — one
+//!   accept thread plus one loop thread multiplex every connection,
+//!   reassemble frames incrementally, and allow request pipelining.
+//! * **threads**: the original thread-per-connection loop.
+//!
+//! Either way, `Stats`/`Metrics`/`Shutdown` are answered inline by the
+//! connection layer; everything else is pushed onto one bounded MPMC
 //! queue feeding a fixed pool of worker threads. The queue is the
-//! backpressure boundary: when it is full, the connection thread replies
+//! backpressure boundary: when it is full, the front end replies
 //! [`Reply::Busy`] immediately (load-shedding) instead of blocking, so a
 //! saturated server stays responsive and observable — `Stats` never
-//! queues.
-//!
-//! A connection handles one request at a time (it waits for the worker's
-//! reply before reading the next frame), so queue depth is bounded by the
-//! number of concurrent connections as well as by the queue capacity.
+//! queues. The shared connection-layer logic lives in
+//! [`crate::frontend`].
 //!
 //! # Shutdown
 //!
-//! `Shutdown` (or [`Server::shutdown`]) flips a flag and nudges the
-//! listener awake. The listener stops accepting and joins the connection
-//! threads, which notice the flag within one read-timeout tick, finish
-//! their in-flight request, and hang up. Once every connection thread has
-//! dropped its queue handle the workers drain what remains and exit:
-//! accepted work is always answered, new work is refused with
-//! [`ErrorCode::ShuttingDown`].
+//! `Shutdown` (or [`Server::shutdown`]) flips a flag and stops the
+//! accept path. In-flight requests finish and their replies flush; new
+//! work is refused with [`ErrorCode::ShuttingDown`]. Once the connection
+//! layer has dropped its queue handle the workers drain what remains and
+//! exit: accepted work is always answered.
 
+use crate::frontend::{
+    start_async_frontend, threaded_listener_loop, ChspFrontend, EnqueueOutcome, Job,
+};
 use crate::proto::{
-    decode_request, encode_reply, write_frame, Engine, ErrorCode, FrameEvent, FrameReader,
-    ProtoError, Reply, Request, SolverKind, StatsSnapshot, DEFAULT_MAX_FRAME,
+    Engine, ErrorCode, Reply, Request, SolverKind, StatsSnapshot, DEFAULT_MAX_FRAME,
 };
 use crate::stats::{lock_unpoisoned, ServerStats};
 use chason::solvers::{conjugate_gradient, jacobi, CgOptions, SpmvBackend};
 use chason_core::cache::LruCache;
 use chason_core::plan::{matrix_fingerprint, PlanKey, SpmvPlan};
 use chason_core::schedule::SchedulerConfig;
+use chason_net::{NetMode, NetServer};
 use chason_sim::{AcceleratorConfig, ChasonEngine, PlanningEngine, SerpensEngine, SimError};
 use chason_sparse::{CooMatrix, CowCsr, MatrixDelta};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -71,6 +77,8 @@ pub struct ServeConfig {
     pub retry_after_ms: u32,
     /// Scheduler configuration both simulated engines run under.
     pub sched: SchedulerConfig,
+    /// Which connection front end to run (`--net async|threads`).
+    pub net: NetMode,
 }
 
 impl Default for ServeConfig {
@@ -87,20 +95,9 @@ impl Default for ServeConfig {
             batch_max: 8,
             retry_after_ms: 20,
             sched: SchedulerConfig::paper(),
+            net: NetMode::default(),
         }
     }
-}
-
-/// How often a blocked connection read wakes up to re-check the shutdown
-/// flag and idle deadline.
-const READ_TICK: Duration = Duration::from_millis(100);
-
-/// A unit of queued work: the decoded request plus the channel its reply
-/// travels back on.
-struct Job {
-    request: Request,
-    reply_tx: mpsc::Sender<Reply>,
-    received: Instant,
 }
 
 /// A resident matrix: the COO source of truth, a CSR mirror whose row
@@ -186,21 +183,89 @@ impl Shared {
     }
 }
 
+/// The serve daemon's [`ChspFrontend`]: inline replies from [`Shared`],
+/// the worker queue sender. Held only by the connection layer (threaded
+/// listener or async service), so dropping that layer drops the last
+/// queue sender and lets the workers drain and exit.
+struct ServeFrontend {
+    shared: Arc<Shared>,
+    job_tx: Sender<Job>,
+}
+
+impl ChspFrontend for ServeFrontend {
+    fn stats_reply(&self) -> Reply {
+        self.shared.stats.requests.stats.add(1);
+        Reply::Stats(self.shared.snapshot())
+    }
+
+    fn metrics_reply(&self) -> Reply {
+        self.shared.stats.requests.metrics.add(1);
+        Reply::MetricsText {
+            text: self.shared.exposition(),
+        }
+    }
+
+    fn on_wire_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn is_draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn draining_message(&self) -> String {
+        "server is draining".to_string()
+    }
+
+    fn retry_after_ms(&self) -> u32 {
+        self.shared.config.retry_after_ms
+    }
+
+    fn enqueue(&self, job: Job) -> EnqueueOutcome {
+        match self.job_tx.try_send(job) {
+            Ok(()) => {
+                self.shared
+                    .stats
+                    .observe_queue_depth(self.job_tx.len() as u64);
+                EnqueueOutcome::Accepted
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.stats.shed.add(1);
+                EnqueueOutcome::Shed
+            }
+            Err(TrySendError::Disconnected(_)) => EnqueueOutcome::Disconnected,
+        }
+    }
+
+    fn idle_timeout(&self) -> Duration {
+        self.shared.config.idle_timeout
+    }
+
+    fn write_timeout(&self) -> Duration {
+        self.shared.config.write_timeout
+    }
+
+    fn max_frame_len(&self) -> usize {
+        self.shared.config.max_frame_len
+    }
+}
+
 /// A running `chason serve` instance.
 pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     listener_thread: Option<JoinHandle<()>>,
+    net: Option<NetServer>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the worker pool and listener, and returns
-    /// immediately.
+    /// Binds, spawns the worker pool and the configured connection front
+    /// end, and returns immediately.
     ///
     /// # Errors
     ///
-    /// I/O failures binding the listener.
+    /// I/O failures binding the listener or starting the front end.
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -231,14 +296,27 @@ impl Server {
             })
             .collect::<std::io::Result<Vec<_>>>()?;
         drop(job_rx);
-        let listener_shared = Arc::clone(&shared);
-        let listener_thread = thread::Builder::new()
-            .name("chason-listener".to_string())
-            .spawn(move || listener_loop(&listener, &listener_shared, &job_tx))?;
+        let frontend = Arc::new(ServeFrontend {
+            shared: Arc::clone(&shared),
+            job_tx,
+        });
+        let (listener_thread, net) = match config.net {
+            NetMode::Async => {
+                let net = start_async_frontend(listener, frontend, shared.stats.registry())?;
+                (None, Some(net))
+            }
+            NetMode::Threads => {
+                let listener_thread = thread::Builder::new()
+                    .name("chason-listener".to_string())
+                    .spawn(move || threaded_listener_loop(&listener, &frontend, "chason-conn"))?;
+                (Some(listener_thread), None)
+            }
+        };
         Ok(Server {
             local_addr,
             shared,
-            listener_thread: Some(listener_thread),
+            listener_thread,
+            net,
             workers: worker_handles,
         })
     }
@@ -256,187 +334,27 @@ impl Server {
     /// Initiates the same graceful drain a `Shutdown` request does.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Nudge the listener out of `accept`.
-        let _ = TcpStream::connect(self.local_addr);
+        match &self.net {
+            Some(net) => net.shutdown(),
+            // Nudge the threaded listener out of `accept`.
+            None => {
+                let _ = TcpStream::connect(self.local_addr);
+            }
+        }
     }
 
-    /// Blocks until the listener, every connection, and every worker have
-    /// exited. Call [`shutdown`](Self::shutdown) first (or send a
-    /// `Shutdown` request) or this blocks forever.
+    /// Blocks until the connection front end, every connection, and every
+    /// worker have exited. Call [`shutdown`](Self::shutdown) first (or
+    /// send a `Shutdown` request) or this blocks forever.
     pub fn join(mut self) {
         if let Some(listener) = self.listener_thread.take() {
             let _ = listener.join();
         }
+        if let Some(net) = self.net.take() {
+            net.join();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
-        }
-    }
-}
-
-fn listener_loop(listener: &TcpListener, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        let job_tx = job_tx.clone();
-        let spawned = thread::Builder::new()
-            .name("chason-conn".to_string())
-            .spawn(move || {
-                let _ = serve_connection(stream, &shared, &job_tx);
-            });
-        if let Ok(handle) = spawned {
-            connections.push(handle);
-        }
-        // Reap finished connection threads so a long-lived server does not
-        // accumulate handles.
-        connections.retain(|h| !h.is_finished());
-    }
-    for handle in connections {
-        let _ = handle.join();
-    }
-}
-
-fn send_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
-    match write_frame(stream, &encode_reply(reply)) {
-        Ok(()) => Ok(()),
-        Err(ProtoError::Io(e)) => Err(e),
-        // An un-frameable reply (> u32::MAX bytes) cannot reach the peer;
-        // surface it as data corruption so the connection is dropped.
-        Err(other) => Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            other.to_string(),
-        )),
-    }
-}
-
-fn serve_connection(
-    mut stream: TcpStream,
-    shared: &Arc<Shared>,
-    job_tx: &Sender<Job>,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(READ_TICK))?;
-    stream.set_write_timeout(Some(shared.config.write_timeout))?;
-    stream.set_nodelay(true)?;
-    let mut reader = FrameReader::new(shared.config.max_frame_len);
-    let mut last_activity = Instant::now();
-    loop {
-        let event = match reader.poll(&mut stream) {
-            Ok(event) => event,
-            Err(ProtoError::FrameTooLarge { len, cap }) => {
-                // The stream cannot be resynchronized past an oversized
-                // frame; reply, then hang up.
-                let _ = send_reply(
-                    &mut stream,
-                    &Reply::Error {
-                        code: ErrorCode::FrameTooLarge,
-                        message: format!("frame of {len} bytes exceeds the {cap}-byte cap"),
-                    },
-                );
-                return Ok(());
-            }
-            Err(_) => return Ok(()), // disconnect (mid-frame EOF included)
-        };
-        let payload = match event {
-            FrameEvent::Frame(payload) => payload,
-            FrameEvent::Eof => return Ok(()),
-            FrameEvent::Timeout => {
-                if shared.shutdown.load(Ordering::SeqCst) && !reader.mid_frame() {
-                    return Ok(());
-                }
-                if last_activity.elapsed() > shared.config.idle_timeout {
-                    return Ok(()); // idle connection reclaimed
-                }
-                continue;
-            }
-        };
-        last_activity = Instant::now();
-        let request = match decode_request(&payload) {
-            Ok(request) => request,
-            Err(err) => {
-                // A malformed payload poisons only itself; the connection
-                // continues at the next frame boundary.
-                send_reply(
-                    &mut stream,
-                    &Reply::Error {
-                        code: ErrorCode::MalformedFrame,
-                        message: err.to_string(),
-                    },
-                )?;
-                continue;
-            }
-        };
-        match request {
-            Request::Stats => {
-                shared.stats.requests.stats.add(1);
-                send_reply(&mut stream, &Reply::Stats(shared.snapshot()))?;
-            }
-            Request::Metrics => {
-                shared.stats.requests.metrics.add(1);
-                send_reply(
-                    &mut stream,
-                    &Reply::MetricsText {
-                        text: shared.exposition(),
-                    },
-                )?;
-            }
-            Request::Shutdown => {
-                shared.shutdown.store(true, Ordering::SeqCst);
-                let local = stream.local_addr()?;
-                send_reply(&mut stream, &Reply::Done)?;
-                // Nudge the listener out of `accept` so it can join.
-                let _ = TcpStream::connect(local);
-                return Ok(());
-            }
-            request => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    send_reply(
-                        &mut stream,
-                        &Reply::Error {
-                            code: ErrorCode::ShuttingDown,
-                            message: "server is draining".to_string(),
-                        },
-                    )?;
-                    return Ok(());
-                }
-                let (reply_tx, reply_rx) = mpsc::channel();
-                let job = Job {
-                    request,
-                    reply_tx,
-                    received: Instant::now(),
-                };
-                match job_tx.try_send(job) {
-                    Ok(()) => {
-                        shared.stats.observe_queue_depth(job_tx.len() as u64);
-                        let reply = reply_rx.recv().unwrap_or(Reply::Error {
-                            code: ErrorCode::Internal,
-                            message: "worker dropped the request".to_string(),
-                        });
-                        send_reply(&mut stream, &reply)?;
-                    }
-                    Err(TrySendError::Full(_)) => {
-                        shared.stats.shed.add(1);
-                        send_reply(
-                            &mut stream,
-                            &Reply::Busy {
-                                retry_after_ms: shared.config.retry_after_ms,
-                            },
-                        )?;
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        send_reply(
-                            &mut stream,
-                            &Reply::Error {
-                                code: ErrorCode::ShuttingDown,
-                                message: "worker pool has stopped".to_string(),
-                            },
-                        )?;
-                        return Ok(());
-                    }
-                }
-            }
         }
     }
 }
@@ -522,7 +440,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
     shared
         .stats
         .record_service_micros(started.elapsed().as_micros() as u64);
-    let _ = job.reply_tx.send(reply); // receiver gone = client disconnected
+    job.reply_tx.send(&reply); // receiver gone = client disconnected
 }
 
 fn bad_request(message: impl Into<String>) -> Reply {

@@ -1,0 +1,893 @@
+//! Offline shim of the `polling` crate (portable epoll/kqueue readiness),
+//! mirroring the 2.x surface this workspace uses: a [`Poller`] holding
+//! **oneshot** per-fd interests, [`Event`] with a caller-chosen `key`, a
+//! blocking [`Poller::wait`] with an optional timeout, and a thread-safe
+//! [`Poller::notify`] that interrupts a concurrent `wait`.
+//!
+//! Like the other `vendor/` shims this is a from-scratch reimplementation
+//! against the documented API, not vendored upstream source; swap the
+//! workspace path for a registry version to use the real crate. The
+//! workspace has no `libc` dependency, so the OS interface is declared
+//! here directly (`std` already links the platform C library; the
+//! declarations below resolve against it at link time):
+//!
+//! * **Linux/Android** — `epoll` with `EPOLLONESHOT`, the kernel ABI
+//!   `epoll_event` layout (packed on x86-64 only).
+//! * **macOS/iOS/FreeBSD/OpenBSD/DragonFly** — `kqueue` with
+//!   `EV_ONESHOT`, the classic BSD `struct kevent` layout.
+//! * **any other Unix** — a portable `poll(2)` backend with interests
+//!   tracked in user space.
+//!
+//! Oneshot semantics: a delivered event disarms that fd until the caller
+//! re-arms it with [`Poller::modify`]. The internal notification channel
+//! (a nonblocking `UnixStream` pair) is invisible to callers — `wait`
+//! drains and re-arms it without reporting an event.
+//!
+//! Non-Unix platforms are not supported by this shim (the workspace's
+//! daemons are Unix-only); the real crate supports more.
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Key reserved for the internal notifier; user registrations must not
+/// use it.
+const NOTIFY_KEY: usize = usize::MAX;
+
+/// A readiness interest or delivered readiness state for one source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier echoed back on delivery.
+    pub key: usize,
+    /// Interest in (or delivery of) read readiness.
+    pub readable: bool,
+    /// Interest in (or delivery of) write readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// No interest: keeps the source registered but disarmed.
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// Anything registerable with a [`Poller`]: a raw fd or a reference to an
+/// fd-backed type.
+pub trait Source {
+    /// The underlying descriptor.
+    fn raw(&self) -> RawFd;
+}
+
+impl Source for RawFd {
+    fn raw(&self) -> RawFd {
+        *self
+    }
+}
+
+impl<T: AsRawFd> Source for &T {
+    fn raw(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+/// A selector holding oneshot readiness interests.
+///
+/// All methods take `&self` and are safe to call from any thread; `wait`
+/// is intended to be called from one thread at a time.
+pub struct Poller {
+    backend: sys::Backend,
+    /// Write side of the notifier; reading side is registered with the
+    /// backend under [`NOTIFY_KEY`].
+    notify_tx: UnixStream,
+    notify_rx: UnixStream,
+}
+
+impl Poller {
+    /// Creates a new poller with its notification channel armed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OS failures creating the selector or the notifier pair.
+    pub fn new() -> io::Result<Poller> {
+        let (notify_tx, notify_rx) = UnixStream::pair()?;
+        notify_tx.set_nonblocking(true)?;
+        notify_rx.set_nonblocking(true)?;
+        let backend = sys::Backend::new()?;
+        backend.add(notify_rx.as_raw_fd(), Event::readable(NOTIFY_KEY))?;
+        Ok(Poller {
+            backend,
+            notify_tx,
+            notify_rx,
+        })
+    }
+
+    /// Registers a source with an initial oneshot interest.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for the reserved key; OS errors otherwise (e.g. the
+    /// fd is already registered).
+    pub fn add(&self, source: impl Source, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "event key usize::MAX is reserved by the poller",
+            ));
+        }
+        self.backend.add(source.raw(), interest)
+    }
+
+    /// Re-arms (or changes) a registered source's oneshot interest.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for the reserved key; OS errors otherwise (e.g. the
+    /// fd was never added).
+    pub fn modify(&self, source: impl Source, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "event key usize::MAX is reserved by the poller",
+            ));
+        }
+        self.backend.modify(source.raw(), interest)
+    }
+
+    /// Deregisters a source.
+    ///
+    /// # Errors
+    ///
+    /// OS errors (deleting an unregistered fd is reported by the OS).
+    pub fn delete(&self, source: impl Source) -> io::Result<()> {
+        self.backend.delete(source.raw())
+    }
+
+    /// Blocks until at least one armed source is ready, the timeout
+    /// elapses, or [`notify`](Poller::notify) is called; appends delivered
+    /// events to `events` and returns how many were appended.
+    ///
+    /// A delivered event disarms its source until `modify` re-arms it.
+    /// `None` blocks indefinitely. Notifications are coalesced and never
+    /// surface as events.
+    ///
+    /// # Errors
+    ///
+    /// OS failures of the underlying wait call (`EINTR` is retried).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let before = events.len();
+        self.backend.wait(events, timeout)?;
+        let mut notified = false;
+        events.retain(|ev| {
+            if ev.key == NOTIFY_KEY {
+                notified = true;
+                false
+            } else {
+                true
+            }
+        });
+        if notified {
+            self.drain_notifications()?;
+        }
+        Ok(events.len() - before)
+    }
+
+    /// Wakes a concurrent (or the next) [`wait`](Poller::wait) call.
+    /// Multiple notifications before a wait coalesce into one wakeup.
+    ///
+    /// # Errors
+    ///
+    /// OS write failures other than a full pipe (which already guarantees
+    /// a pending wakeup).
+    pub fn notify(&self) -> io::Result<()> {
+        use std::io::Write;
+        match (&self.notify_tx).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            // A full buffer means wakeups are already pending.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Empties the notifier and re-arms its oneshot registration.
+    fn drain_notifications(&self) -> io::Result<()> {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.notify_rx).read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        self.backend
+            .modify(self.notify_rx.as_raw_fd(), Event::readable(NOTIFY_KEY))
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").finish_non_exhaustive()
+    }
+}
+
+/// Converts an optional timeout to whole milliseconds, rounding up so a
+/// sub-millisecond timeout does not spin, with `-1` meaning forever.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            let ms = t.as_millis();
+            let ms = if ms == 0 && t.as_nanos() > 0 { 1 } else { ms };
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+mod sys {
+    //! `epoll` backend. `EPOLLONESHOT` gives the shim's disarm-on-delivery
+    //! contract directly; the fd stays registered, so re-arming is one
+    //! `EPOLL_CTL_MOD`.
+
+    use super::{timeout_ms, Event};
+    use std::ffi::c_int;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+
+    /// The kernel ABI for `struct epoll_event`: packed on x86-64 (where the
+    /// kernel declares it `__attribute__((packed))` for 32/64-bit compat),
+    /// naturally aligned everywhere else.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn last_os_error_if(failed: bool) -> io::Result<()> {
+        if failed {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn mask(interest: Event) -> u32 {
+        let mut events = EPOLLONESHOT;
+        if interest.readable {
+            events |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.writable {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    pub(super) struct Backend {
+        epfd: RawFd,
+    }
+
+    // SAFETY: the epoll fd is a kernel object; every syscall on it is
+    // thread-safe.
+    unsafe impl Send for Backend {}
+    unsafe impl Sync for Backend {}
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            // SAFETY: plain syscall, no pointer arguments.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            last_os_error_if(epfd < 0)?;
+            Ok(Backend { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+            // DEL ignores the event argument on modern kernels but must
+            // still receive a valid pointer on pre-2.6.9 ones.
+            let mut ev = EpollEvent {
+                events: interest.map(mask).unwrap_or(0),
+                data: interest.map(|i| i.key as u64).unwrap_or(0),
+            };
+            // SAFETY: `ev` outlives the call and matches the kernel ABI
+            // layout declared above.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            last_os_error_if(rc < 0)
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Some(interest))
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Some(interest))
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            loop {
+                // SAFETY: `buf` is valid for `buf.len()` entries and the
+                // kernel writes at most `maxevents` of them.
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        buf.as_mut_ptr(),
+                        buf.len() as c_int,
+                        timeout_ms(timeout),
+                    )
+                };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(err);
+                }
+                for ev in &buf[..n as usize] {
+                    let bits = ev.events;
+                    let hangup = bits & (EPOLLERR | EPOLLHUP) != 0;
+                    out.push(Event {
+                        key: ev.data as usize,
+                        readable: bits & (EPOLLIN | EPOLLRDHUP) != 0 || hangup,
+                        writable: bits & EPOLLOUT != 0 || hangup,
+                    });
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            // SAFETY: the fd was returned by epoll_create1 and is closed
+            // exactly once.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+))]
+mod sys {
+    //! `kqueue` backend. Read and write interests are separate filters;
+    //! `EV_ONESHOT` deletes a filter on delivery, so re-arming re-adds it.
+
+    use super::Event;
+    use std::ffi::{c_int, c_void};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EV_ADD: u16 = 0x0001;
+    const EV_DELETE: u16 = 0x0002;
+    const EV_ONESHOT: u16 = 0x0010;
+    const EV_EOF: u16 = 0x8000;
+
+    /// Classic BSD `struct kevent` layout (macOS, FreeBSD, OpenBSD,
+    /// DragonFly; NetBSD's differs and takes the `poll` backend instead).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct KEvent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: *mut c_void,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: isize,
+        tv_nsec: isize,
+    }
+
+    extern "C" {
+        fn kqueue() -> c_int;
+        fn kevent(
+            kq: c_int,
+            changelist: *const KEvent,
+            nchanges: c_int,
+            eventlist: *mut KEvent,
+            nevents: c_int,
+            timeout: *const Timespec,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    pub(super) struct Backend {
+        kq: RawFd,
+        /// Keys by fd, so delivered events can be labeled (kqueue's udata
+        /// would also work, but a side table keeps the unsafe surface to
+        /// the syscalls themselves).
+        keys: std::sync::Mutex<std::collections::HashMap<RawFd, usize>>,
+    }
+
+    // SAFETY: the kqueue fd is a kernel object; syscalls on it are
+    // thread-safe, and the key table is behind a mutex.
+    unsafe impl Send for Backend {}
+    unsafe impl Sync for Backend {}
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            // SAFETY: plain syscall, no pointer arguments.
+            let kq = unsafe { kqueue() };
+            if kq < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Backend {
+                kq,
+                keys: std::sync::Mutex::new(std::collections::HashMap::new()),
+            })
+        }
+
+        fn apply(&self, changes: &[KEvent]) -> io::Result<()> {
+            // SAFETY: `changes` is a valid slice; no eventlist is passed.
+            let rc = unsafe {
+                kevent(
+                    self.kq,
+                    changes.as_ptr(),
+                    changes.len() as c_int,
+                    std::ptr::null_mut(),
+                    0,
+                    std::ptr::null(),
+                )
+            };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                // Deleting an already-fired oneshot filter is routine.
+                if err.raw_os_error() != Some(2) {
+                    return Err(err);
+                }
+            }
+            Ok(())
+        }
+
+        fn arm(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.keys
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(fd, interest.key);
+            let mut changes = Vec::with_capacity(2);
+            for (filter, wanted) in [
+                (EVFILT_READ, interest.readable),
+                (EVFILT_WRITE, interest.writable),
+            ] {
+                changes.push(KEvent {
+                    ident: fd as usize,
+                    filter,
+                    flags: if wanted {
+                        EV_ADD | EV_ONESHOT
+                    } else {
+                        EV_DELETE
+                    },
+                    fflags: 0,
+                    data: 0,
+                    udata: std::ptr::null_mut(),
+                });
+            }
+            for change in changes {
+                self.apply(std::slice::from_ref(&change))?;
+            }
+            Ok(())
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.arm(fd, interest)
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.arm(fd, interest)
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.keys
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&fd);
+            for filter in [EVFILT_READ, EVFILT_WRITE] {
+                self.apply(&[KEvent {
+                    ident: fd as usize,
+                    filter,
+                    flags: EV_DELETE,
+                    fflags: 0,
+                    data: 0,
+                    udata: std::ptr::null_mut(),
+                }])?;
+            }
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let ts = timeout.map(|t| Timespec {
+                tv_sec: t.as_secs() as isize,
+                tv_nsec: t.subsec_nanos() as isize,
+            });
+            let mut buf = [KEvent {
+                ident: 0,
+                filter: 0,
+                flags: 0,
+                fflags: 0,
+                data: 0,
+                udata: std::ptr::null_mut(),
+            }; 256];
+            loop {
+                // SAFETY: `buf` is valid for `buf.len()` entries; `ts`
+                // outlives the call when present.
+                let n = unsafe {
+                    kevent(
+                        self.kq,
+                        std::ptr::null(),
+                        0,
+                        buf.as_mut_ptr(),
+                        buf.len() as c_int,
+                        ts.as_ref().map_or(std::ptr::null(), |t| t as *const _),
+                    )
+                };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(err);
+                }
+                let keys = self.keys.lock().unwrap_or_else(|e| e.into_inner());
+                for ev in &buf[..n as usize] {
+                    let Some(&key) = keys.get(&(ev.ident as RawFd)) else {
+                        continue;
+                    };
+                    let eof = ev.flags & EV_EOF != 0;
+                    out.push(Event {
+                        key,
+                        readable: ev.filter == EVFILT_READ || eof,
+                        writable: ev.filter == EVFILT_WRITE || eof,
+                    });
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            // SAFETY: the fd was returned by kqueue and is closed once.
+            unsafe {
+                close(self.kq);
+            }
+        }
+    }
+}
+
+#[cfg(all(
+    unix,
+    not(any(
+        target_os = "linux",
+        target_os = "android",
+        target_os = "macos",
+        target_os = "ios",
+        target_os = "freebsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))
+))]
+mod sys {
+    //! Portable `poll(2)` backend for Unixes without an epoll/kqueue
+    //! binding above. Interests live in a user-space table; oneshot
+    //! semantics are emulated by clearing delivered interest bits.
+
+    use super::{timeout_ms, Event};
+    use std::collections::HashMap;
+    use std::ffi::c_int;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: c_int) -> c_int;
+    }
+
+    pub(super) struct Backend {
+        table: Mutex<HashMap<RawFd, Event>>,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            Ok(Backend {
+                table: Mutex::new(HashMap::new()),
+            })
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.table
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(fd, interest);
+            Ok(())
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.add(fd, interest)
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.table
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&fd);
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut fds: Vec<(PollFd, usize)> = {
+                let table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+                table
+                    .iter()
+                    .map(|(&fd, ev)| {
+                        let mut bits = 0i16;
+                        if ev.readable {
+                            bits |= POLLIN;
+                        }
+                        if ev.writable {
+                            bits |= POLLOUT;
+                        }
+                        (
+                            PollFd {
+                                fd,
+                                events: bits,
+                                revents: 0,
+                            },
+                            ev.key,
+                        )
+                    })
+                    .collect()
+            };
+            let mut raw: Vec<PollFd> = fds.iter().map(|(p, _)| *p).collect();
+            loop {
+                // SAFETY: `raw` is a valid slice of PollFd for its length.
+                let rc = unsafe { poll(raw.as_mut_ptr(), raw.len(), timeout_ms(timeout)) };
+                if rc < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(err);
+                }
+                break;
+            }
+            let mut table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+            for (raw_fd, (_, key)) in raw.iter().zip(fds.drain(..)) {
+                let bits = raw_fd.revents;
+                if bits == 0 {
+                    continue;
+                }
+                let hangup = bits & (POLLERR | POLLHUP) != 0;
+                let delivered = Event {
+                    key,
+                    readable: bits & POLLIN != 0 || hangup,
+                    writable: bits & POLLOUT != 0 || hangup,
+                };
+                out.push(delivered);
+                // Oneshot: clear the delivered interest bits.
+                if let Some(ev) = table.get_mut(&raw_fd.fd) {
+                    if delivered.readable {
+                        ev.readable = false;
+                    }
+                    if delivered.writable {
+                        ev.writable = false;
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn notify_interrupts_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let remote = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0, "notifications are not surfaced as events");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_times_out_empty() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn oneshot_read_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // Oneshot: without re-arming, further readiness is not delivered.
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(n, 0, "fd must be disarmed after delivery");
+
+        // Re-arm and observe the still-pending data again.
+        poller.modify(&server, Event::readable(7)).unwrap();
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let mut buf = [0u8; 8];
+        let got = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"ping");
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn write_readiness_and_disarm() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        // A fresh socket is immediately writable.
+        poller.add(&client, Event::writable(3)).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable);
+
+        // Interest `none` keeps it registered but silent.
+        poller.modify(&client, Event::none(3)).unwrap();
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        let err = poller
+            .add(&listener, Event::readable(usize::MAX))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}
